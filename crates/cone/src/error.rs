@@ -1,0 +1,82 @@
+//! Profiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::papi::CounterKind;
+
+/// Errors raised by the profiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConeError {
+    /// Two counters of an event set need the same hardware counter
+    /// slot — the POWER4-style restriction that motivates the merge
+    /// operator.
+    ConflictingEventSet {
+        /// First counter.
+        a: CounterKind,
+        /// Second counter.
+        b: CounterKind,
+        /// The contested hardware slot.
+        slot: u8,
+    },
+    /// An event set must name at least one counter.
+    EmptyEventSet,
+    /// The profiler observed inconsistent enter/exit nesting (a bug in
+    /// the monitored program or simulator).
+    CorruptCallStack { rank: usize },
+    /// Assembling the experiment failed a data-model constraint.
+    Model(cube_model::ModelError),
+}
+
+impl fmt::Display for ConeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ConflictingEventSet { a, b, slot } => write!(
+                f,
+                "counters {} and {} cannot be measured in the same run \
+                 (both need hardware counter slot {slot}); \
+                 measure them in separate runs and merge the experiments",
+                a.papi_name(),
+                b.papi_name()
+            ),
+            Self::EmptyEventSet => write!(f, "event set contains no counters"),
+            Self::CorruptCallStack { rank } => {
+                write!(f, "rank {rank}: corrupt call stack during profiling")
+            }
+            Self::Model(e) => write!(f, "profile violates the data model: {e}"),
+        }
+    }
+}
+
+impl Error for ConeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cube_model::ModelError> for ConeError {
+    fn from(e: cube_model::ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_message_suggests_merging() {
+        let e = ConeError::ConflictingEventSet {
+            a: CounterKind::FpIns,
+            b: CounterKind::L1Dcm,
+            slot: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("PAPI_FP_INS"));
+        assert!(s.contains("PAPI_L1_DCM"));
+        assert!(s.contains("merge"));
+    }
+}

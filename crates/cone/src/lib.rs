@@ -1,0 +1,39 @@
+//! # cone — call-graph profiling with hardware counters
+//!
+//! Reproduces CONE, the paper's call-graph profiler: it tracks the call
+//! graph at run time and maps *wall-clock time and hardware-counter
+//! data* onto full call paths, producing CUBE experiments.
+//!
+//! Two properties of the original setup matter for the paper's §5.2 and
+//! are modeled here:
+//!
+//! * **Event sets with hardware conflicts** ([`papi`]): the counter
+//!   hardware has a limited number of programmable slots, and some
+//!   combinations are impossible — on POWER4, floating-point
+//!   instructions cannot be counted together with level-1 data-cache
+//!   misses. Measuring both therefore takes *two runs*, whose profiles
+//!   are then combined with the CUBE **merge** operator.
+//! * **Profiles are cheap** ([`profiler`]): unlike per-event counter
+//!   recording in traces, a call-graph profile stores one row per call
+//!   path, so collecting counters with CONE and trace data with EXPERT
+//!   separately — and merging — avoids the trace-size blowup.
+//!
+//! ```
+//! use cone::{ConeProfiler, EventSet};
+//! use simmpi::apps::{stencil, StencilConfig};
+//! use simmpi::{simulate, MachineModel};
+//!
+//! let program = stencil(&StencilConfig::default());
+//! let mut profiler = ConeProfiler::new(EventSet::flops()).unwrap();
+//! simulate(&program, &MachineModel::default(), &mut profiler).unwrap();
+//! let experiment = profiler.into_experiment().unwrap();
+//! assert!(experiment.metadata().find_metric("PAPI_FP_INS").is_some());
+//! ```
+
+pub mod error;
+pub mod papi;
+pub mod profiler;
+
+pub use error::ConeError;
+pub use papi::{CounterKind, EventSet};
+pub use profiler::ConeProfiler;

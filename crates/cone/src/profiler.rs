@@ -1,0 +1,519 @@
+//! The call-graph profiler: a [`Monitor`] that accumulates wall time,
+//! visits, and counter values per call path and emits a CUBE
+//! experiment.
+
+use std::collections::HashMap;
+
+use cube_model::builder::ExperimentBuilder;
+use cube_model::{Experiment, MetricId, RegionKind, Unit};
+use epilog::CollectiveOp;
+use simmpi::{ComputeWork, Monitor, Program};
+
+use crate::error::ConeError;
+use crate::papi::{CounterDeltas, CounterKind, EventSet};
+
+/// Call-graph node identity: a user region or an MPI routine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum NodeKind {
+    User(usize),
+    Mpi(&'static str),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    parent: Option<usize>,
+    kind: NodeKind,
+    children: HashMap<NodeKind, usize>,
+    time: f64,
+    visits: f64,
+    counters: [f64; 5],
+}
+
+struct Frame {
+    node: usize,
+    enter: f64,
+    child_time: f64,
+}
+
+#[derive(Default)]
+struct RankState {
+    nodes: Vec<Node>,
+    stack: Vec<Frame>,
+}
+
+impl RankState {
+    fn node(&mut self, parent: Option<usize>, kind: NodeKind) -> usize {
+        if let Some(p) = parent {
+            if let Some(&n) = self.nodes[p].children.get(&kind) {
+                return n;
+            }
+        } else if let Some(n) = self
+            .nodes
+            .iter()
+            .position(|n| n.parent.is_none() && n.kind == kind)
+        {
+            return n;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            parent,
+            kind,
+            children: HashMap::new(),
+            time: 0.0,
+            visits: 0.0,
+            counters: [0.0; 5],
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.insert(kind, id);
+        }
+        id
+    }
+
+    fn add_counters(&mut self, node: usize, d: &CounterDeltas) {
+        for (i, &k) in CounterKind::ALL.iter().enumerate() {
+            self.nodes[node].counters[i] += d.get(k);
+        }
+    }
+}
+
+/// The profiler. Attach it to [`simmpi::simulate`] as a monitor, then
+/// call [`ConeProfiler::into_experiment`].
+pub struct ConeProfiler {
+    event_set: EventSet,
+    clock_hz: f64,
+    machine_name: String,
+    nodes_on_machine: usize,
+    program_name: String,
+    regions: Vec<simmpi::RegionInfo>,
+    ranks: Vec<RankState>,
+    corrupt: Option<usize>,
+}
+
+impl ConeProfiler {
+    /// Creates a profiler for a (conflict-free) event set.
+    pub fn new(event_set: EventSet) -> Result<Self, ConeError> {
+        event_set.validate()?;
+        Ok(Self {
+            event_set,
+            clock_hz: 550e6, // the paper's 550 MHz cluster
+            machine_name: "simulated cluster".into(),
+            nodes_on_machine: 1,
+            program_name: String::new(),
+            regions: Vec::new(),
+            ranks: Vec::new(),
+            corrupt: None,
+        })
+    }
+
+    /// Overrides the CPU clock used to derive cycle counts.
+    pub fn with_clock_hz(mut self, clock_hz: f64) -> Self {
+        self.clock_hz = clock_hz;
+        self
+    }
+
+    /// Overrides the machine name and SMP node count of the emitted
+    /// system dimension (ranks are placed round-robin).
+    pub fn with_layout(mut self, machine: impl Into<String>, nodes: usize) -> Self {
+        self.machine_name = machine.into();
+        self.nodes_on_machine = nodes.max(1);
+        self
+    }
+
+    /// The event set being measured.
+    pub fn event_set(&self) -> &EventSet {
+        &self.event_set
+    }
+
+    fn mpi_child(&mut self, rank: usize, name: &'static str) -> Option<usize> {
+        let state = &mut self.ranks[rank];
+        let parent = state.stack.last().map(|f| f.node);
+        Some(state.node(parent, NodeKind::Mpi(name)))
+    }
+
+    fn attribute_mpi(
+        &mut self,
+        rank: usize,
+        name: &'static str,
+        start: f64,
+        end: f64,
+        bytes: u64,
+    ) {
+        let clock = self.clock_hz;
+        if let Some(node) = self.mpi_child(rank, name) {
+            let state = &mut self.ranks[rank];
+            state.nodes[node].time += end - start;
+            state.nodes[node].visits += 1.0;
+            let d = CounterDeltas::for_message(end - start, bytes, clock);
+            state.add_counters(node, &d);
+            if let Some(f) = state.stack.last_mut() {
+                f.child_time += end - start;
+            }
+        }
+    }
+
+    /// Consumes the profiler and builds the CUBE experiment.
+    pub fn into_experiment(self) -> Result<Experiment, ConeError> {
+        if let Some(rank) = self.corrupt {
+            return Err(ConeError::CorruptCallStack { rank });
+        }
+        let mut b = ExperimentBuilder::new(format!(
+            "CONE profile of {} (event set {})",
+            self.program_name, self.event_set.name
+        ));
+
+        // Metrics: wall time, visits, and the event set's counters with
+        // their inclusion hierarchy (parent first when both present).
+        let time = b.def_metric("Time", Unit::Seconds, "Wall-clock time", None);
+        let visits = b.def_metric("Visits", Unit::Occurrences, "Call-path visits", None);
+        let mut metric_of_counter: HashMap<CounterKind, MetricId> = HashMap::new();
+        let mut ordered = self.event_set.counters.clone();
+        // Parents must be defined before children.
+        ordered.sort_by_key(|c| c.parent().is_some());
+        for &c in &ordered {
+            let parent = c
+                .parent()
+                .and_then(|p| metric_of_counter.get(&p).copied());
+            let id = b.def_metric(c.papi_name(), Unit::Occurrences, c.description(), parent);
+            metric_of_counter.insert(c, id);
+        }
+
+        // Program dimension: user regions plus the MPI routines seen.
+        let mut module_of_file: HashMap<String, cube_model::ModuleId> = HashMap::new();
+        let mut user_region_ids = Vec::new();
+        for r in &self.regions {
+            let module = *module_of_file
+                .entry(r.file.clone())
+                .or_insert_with(|| b.def_module(r.file.clone(), r.file.clone()));
+            user_region_ids.push(b.def_region(
+                r.name.clone(),
+                module,
+                RegionKind::Function,
+                r.line,
+                r.line,
+            ));
+        }
+        let mpi_module = b.def_module("mpi", "mpi");
+        let mut mpi_region_ids: HashMap<&'static str, cube_model::RegionId> = HashMap::new();
+        for state in &self.ranks {
+            for n in &state.nodes {
+                if let NodeKind::Mpi(name) = n.kind {
+                    mpi_region_ids.entry(name).or_insert_with(|| {
+                        b.def_region(name, mpi_module, RegionKind::Function, 0, 0)
+                    });
+                }
+            }
+        }
+
+        // Merge per-rank call trees into a global tree.
+        let region_of = |kind: NodeKind| match kind {
+            NodeKind::User(i) => user_region_ids[i],
+            NodeKind::Mpi(name) => mpi_region_ids[name],
+        };
+        let mut site_of_region: HashMap<cube_model::RegionId, cube_model::CallSiteId> =
+            HashMap::new();
+        let mut global: HashMap<(Option<cube_model::CallNodeId>, cube_model::RegionId), cube_model::CallNodeId> =
+            HashMap::new();
+        let mut node_maps: Vec<Vec<cube_model::CallNodeId>> = Vec::new();
+        for state in &self.ranks {
+            let mut map = Vec::with_capacity(state.nodes.len());
+            for n in &state.nodes {
+                let parent = n.parent.map(|p| map[p]);
+                let region = region_of(n.kind);
+                let key = (parent, region);
+                let id = match global.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let site = *site_of_region.entry(region).or_insert_with(|| {
+                            let (file, line) = match n.kind {
+                                NodeKind::User(i) => {
+                                    (self.regions[i].file.clone(), self.regions[i].line)
+                                }
+                                NodeKind::Mpi(_) => ("mpi".to_string(), 0),
+                            };
+                            b.def_call_site(file, line, region)
+                        });
+                        let id = b.def_call_node(site, parent);
+                        global.insert(key, id);
+                        id
+                    }
+                };
+                map.push(id);
+            }
+            node_maps.push(map);
+        }
+
+        // System dimension: single-threaded ranks round-robin on nodes.
+        let mach = b.def_machine(self.machine_name.clone());
+        let node_ids: Vec<_> = (0..self.nodes_on_machine)
+            .map(|i| b.def_node(format!("node{i}"), mach))
+            .collect();
+        let threads: Vec<_> = (0..self.ranks.len())
+            .map(|r| {
+                let p = b.def_process(
+                    format!("rank {r}"),
+                    r as i32,
+                    node_ids[r % node_ids.len()],
+                );
+                b.def_thread(format!("rank {r} thread 0"), 0, p)
+            })
+            .collect();
+
+        // Severity.
+        for (rank, state) in self.ranks.iter().enumerate() {
+            let thread = threads[rank];
+            for (ni, n) in state.nodes.iter().enumerate() {
+                let cnode = node_maps[rank][ni];
+                if n.time != 0.0 {
+                    b.set_severity(time, cnode, thread, n.time);
+                }
+                if n.visits != 0.0 {
+                    b.set_severity(visits, cnode, thread, n.visits);
+                }
+                for (i, &k) in CounterKind::ALL.iter().enumerate() {
+                    if let Some(&metric) = metric_of_counter.get(&k) {
+                        if n.counters[i] != 0.0 {
+                            b.set_severity(metric, cnode, thread, n.counters[i]);
+                        }
+                    }
+                }
+            }
+        }
+
+        b.build().map_err(ConeError::from)
+    }
+}
+
+impl Monitor for ConeProfiler {
+    fn on_start(&mut self, program: &Program) {
+        self.program_name = program.name.clone();
+        self.regions = program.regions.clone();
+        self.ranks = (0..program.ranks()).map(|_| RankState::default()).collect();
+    }
+
+    fn on_enter(&mut self, rank: usize, region: usize, time: f64) {
+        let state = &mut self.ranks[rank];
+        let parent = state.stack.last().map(|f| f.node);
+        let node = state.node(parent, NodeKind::User(region));
+        state.nodes[node].visits += 1.0;
+        state.stack.push(Frame {
+            node,
+            enter: time,
+            child_time: 0.0,
+        });
+    }
+
+    fn on_exit(&mut self, rank: usize, _region: usize, time: f64) {
+        let state = &mut self.ranks[rank];
+        match state.stack.pop() {
+            Some(frame) => {
+                let duration = time - frame.enter;
+                state.nodes[frame.node].time += duration - frame.child_time;
+                if let Some(parent) = state.stack.last_mut() {
+                    parent.child_time += duration;
+                }
+            }
+            None => self.corrupt = Some(rank),
+        }
+    }
+
+    fn on_compute(&mut self, rank: usize, start: f64, end: f64, work: &ComputeWork) {
+        let d = CounterDeltas::for_compute(end - start, work, self.clock_hz);
+        let state = &mut self.ranks[rank];
+        if let Some(frame) = state.stack.last() {
+            let node = frame.node;
+            state.add_counters(node, &d);
+        }
+    }
+
+    fn on_send(&mut self, rank: usize, start: f64, end: f64, _dest: usize, _tag: i32, bytes: u64) {
+        self.attribute_mpi(rank, "MPI_Send", start, end, bytes);
+    }
+
+    fn on_recv(
+        &mut self,
+        rank: usize,
+        start: f64,
+        end: f64,
+        _source: usize,
+        _tag: i32,
+        bytes: u64,
+        _send_time: f64,
+    ) {
+        self.attribute_mpi(rank, "MPI_Recv", start, end, bytes);
+    }
+
+    fn on_collective(
+        &mut self,
+        rank: usize,
+        op: CollectiveOp,
+        start: f64,
+        end: f64,
+        bytes: u64,
+        _root: i32,
+    ) {
+        self.attribute_mpi(rank, op.region_name(), start, end, bytes);
+    }
+
+    fn on_parallel(&mut self, rank: usize, start: f64, thread_ends: &[f64], work: &ComputeWork) {
+        // CONE is a per-process profiler: the parallel region becomes a
+        // call-graph child carrying the region's wall time and the total
+        // CPU seconds' worth of counters across all threads.
+        let clock = self.clock_hz;
+        let wall = thread_ends.iter().copied().fold(start, f64::max) - start;
+        let cpu_seconds: f64 = thread_ends.iter().map(|&e| e - start).sum();
+        let state = &mut self.ranks[rank];
+        let parent = state.stack.last().map(|f| f.node);
+        let node = state.node(parent, NodeKind::Mpi("!$omp parallel"));
+        state.nodes[node].time += wall;
+        state.nodes[node].visits += 1.0;
+        let d = CounterDeltas::for_compute(cpu_seconds, work, clock);
+        state.add_counters(node, &d);
+        if let Some(f) = state.stack.last_mut() {
+            f.child_time += wall;
+        }
+    }
+
+    fn on_finish(&mut self, rank: usize, _time: f64) {
+        if !self.ranks[rank].stack.is_empty() {
+            self.corrupt = Some(rank);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::aggregate::{call_value, metric_total, CallSelection, MetricSelection};
+    use simmpi::apps::{pescan, sweep3d, PescanConfig, Sweep3dConfig};
+    use simmpi::{simulate, MachineModel};
+
+    fn profile(program: &Program, set: EventSet) -> Experiment {
+        let mut prof = ConeProfiler::new(set).unwrap().with_layout("cluster", 4);
+        simulate(program, &MachineModel::default(), &mut prof).unwrap();
+        prof.into_experiment().unwrap()
+    }
+
+    fn total(e: &Experiment, name: &str) -> f64 {
+        let m = e.metadata().find_metric(name).unwrap();
+        metric_total(e, MetricSelection::inclusive(m))
+    }
+
+    #[test]
+    fn fp_profile_of_pescan() {
+        let e = profile(&pescan(&PescanConfig::default()), EventSet::flops());
+        e.validate().unwrap();
+        assert!(total(&e, "Time") > 0.0);
+        assert!(total(&e, "PAPI_FP_INS") > 0.0);
+        assert!(total(&e, "PAPI_TOT_INS") >= total(&e, "PAPI_FP_INS"));
+        assert!(total(&e, "PAPI_TOT_CYC") > 0.0);
+        // FP_INS is a child of TOT_INS in the metric tree.
+        let md = e.metadata();
+        let fp = md.find_metric("PAPI_FP_INS").unwrap();
+        let ins = md.find_metric("PAPI_TOT_INS").unwrap();
+        assert_eq!(md.metric(fp).parent, Some(ins));
+        // The L1 counters are absent from this event set.
+        assert!(md.find_metric("PAPI_L1_DCM").is_none());
+    }
+
+    #[test]
+    fn l1_profile_of_sweep3d_concentrates_misses_at_recv() {
+        let e = profile(&sweep3d(&Sweep3dConfig::default()), EventSet::l1_cache());
+        e.validate().unwrap();
+        let md = e.metadata();
+        let dcm = md.find_metric("PAPI_L1_DCM").unwrap();
+        let msel = MetricSelection::inclusive(dcm);
+        // Misses attributed to MPI_Recv call paths.
+        let recv_misses: f64 = md
+            .call_node_ids()
+            .filter(|&c| md.region(md.call_node_callee(c)).name == "MPI_Recv")
+            .map(|c| call_value(&e, msel, CallSelection::exclusive(c)))
+            .sum();
+        let all = total(&e, "PAPI_L1_DCM");
+        assert!(recv_misses > 0.0);
+        assert!(
+            recv_misses / all > 0.05,
+            "recv misses {:.1}% too small",
+            recv_misses / all * 100.0
+        );
+        // And the miss *rate* in MPI_Recv exceeds the overall rate.
+        let dca = md.find_metric("PAPI_L1_DCA").unwrap();
+        let recv_accesses: f64 = md
+            .call_node_ids()
+            .filter(|&c| md.region(md.call_node_callee(c)).name == "MPI_Recv")
+            .map(|c| {
+                call_value(
+                    &e,
+                    MetricSelection::inclusive(dca),
+                    CallSelection::exclusive(c),
+                )
+            })
+            .sum();
+        let overall_rate = all / total(&e, "PAPI_L1_DCA");
+        let recv_rate = recv_misses / recv_accesses;
+        assert!(
+            recv_rate > overall_rate,
+            "recv miss rate {recv_rate:.3} not above average {overall_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn call_tree_includes_mpi_routines() {
+        let e = profile(
+            &pescan(&PescanConfig {
+                ranks: 4,
+                iterations: 2,
+                ..PescanConfig::default()
+            }),
+            EventSet::flops(),
+        );
+        let md = e.metadata();
+        let names: std::collections::HashSet<String> = md
+            .call_node_ids()
+            .map(|c| md.region(md.call_node_callee(c)).name.clone())
+            .collect();
+        for expected in ["main", "solver", "fft_forward", "MPI_Alltoall", "MPI_Barrier", "MPI_Send", "MPI_Recv"] {
+            assert!(names.contains(expected), "missing call path {expected}");
+        }
+    }
+
+    #[test]
+    fn profile_time_approximates_run_time() {
+        let program = pescan(&PescanConfig {
+            ranks: 4,
+            iterations: 3,
+            ..PescanConfig::default()
+        });
+        let mut prof = ConeProfiler::new(EventSet::flops()).unwrap();
+        let report = simulate(&program, &MachineModel::default(), &mut prof).unwrap();
+        let e = prof.into_experiment().unwrap();
+        let time_total = total(&e, "Time");
+        let busy_total: f64 = report.rank_times.iter().sum();
+        assert!(
+            (time_total - busy_total).abs() / busy_total < 1e-6,
+            "profile time {time_total} vs summed rank times {busy_total}"
+        );
+    }
+
+    #[test]
+    fn conflicting_set_cannot_construct_profiler() {
+        let bad = EventSet {
+            name: "bad".into(),
+            counters: vec![CounterKind::FpIns, CounterKind::L1Dcm],
+        };
+        assert!(ConeProfiler::new(bad).is_err());
+    }
+
+    #[test]
+    fn provenance_names_event_set() {
+        let e = profile(
+            &pescan(&PescanConfig {
+                ranks: 2,
+                iterations: 1,
+                ..PescanConfig::default()
+            }),
+            EventSet::l1_cache(),
+        );
+        assert!(e.provenance().label().contains("event set L1"));
+        assert!(e.provenance().label().contains("pescan"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The baseline the paper compares against: the *performance
+//! difference* operator of Karavanic & Miller's framework for
+//! multi-execution performance tuning.
+//!
+//! Their operator "maps from its input space containing entire
+//! experiments into a smaller representation (i.e., a list of
+//! resources)": it returns the list of *foci* — combinations of
+//! resources from the different hierarchies — whose discrepancy between
+//! two experiments is significant. The paper's critique, reproduced
+//! here so it can be demonstrated and benchmarked:
+//!
+//! * the output is **not** an experiment — "a repeated application is
+//!   not possible, further processing would require a logic or a
+//!   display different from one suitable for the original input data";
+//! * there is no mean operator, and the structural merge is defined
+//!   only for metadata, not for the performance numbers.
+//!
+//! [`performance_difference`] implements the operator faithfully
+//! (metadata integration reused from CUBE's structural merge, which
+//! instantiates the framework's structural-merge operator); the
+//! contrast with [`ops::diff`](crate::ops::diff) — whose result feeds
+//! straight back into every CUBE tool — is exercised in the
+//! `baseline_comparison` tests and the `operators` bench.
+
+use cube_model::Experiment;
+
+use crate::extend::extend_severity;
+use crate::integrate::integrate;
+use crate::options::MergeOptions;
+
+/// One focus with a significant discrepancy: a resource combination
+/// drawn from the three hierarchies, with the observed severity delta.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffFocus {
+    /// Metric name (qualified by its path from the tree root).
+    pub metric: String,
+    /// Call path, as region names from the root.
+    pub call_path: Vec<String>,
+    /// Process rank and thread number.
+    pub location: (i32, u32),
+    /// Severity in the first experiment (zero-extended).
+    pub first: f64,
+    /// Severity in the second experiment (zero-extended).
+    pub second: f64,
+}
+
+impl DiffFocus {
+    /// The discrepancy `first − second`.
+    pub fn delta(&self) -> f64 {
+        self.first - self.second
+    }
+}
+
+/// The framework's performance difference operator: all foci whose
+/// absolute discrepancy exceeds `threshold`, ordered by decreasing
+/// absolute discrepancy.
+///
+/// Note the return type — a list, not an experiment. This is exactly
+/// what the CUBE algebra improves on; the function exists as the
+/// reproducible baseline.
+pub fn performance_difference(
+    first: &Experiment,
+    second: &Experiment,
+    threshold: f64,
+) -> Vec<DiffFocus> {
+    let integrated = integrate(&[first, second], MergeOptions::default());
+    let md = &integrated.metadata;
+    let shape = md.shape();
+    let a = extend_severity(first, &integrated.maps[0], shape);
+    let b = extend_severity(second, &integrated.maps[1], shape);
+
+    let mut out = Vec::new();
+    for m in md.metric_ids() {
+        for c in md.call_node_ids() {
+            let ra = a.row(m, c);
+            let rb = b.row(m, c);
+            for (ti, (&va, &vb)) in ra.iter().zip(rb).enumerate() {
+                if (va - vb).abs() > threshold {
+                    let t = cube_model::ThreadId::from_index(ti);
+                    let thread = md.thread(t);
+                    let process = md.process(thread.process);
+                    out.push(DiffFocus {
+                        metric: metric_path(md, m),
+                        call_path: md
+                            .call_path(c)
+                            .into_iter()
+                            .map(str::to_string)
+                            .collect(),
+                        location: (process.rank, thread.number),
+                        first: va,
+                        second: vb,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|x, y| {
+        y.delta()
+            .abs()
+            .partial_cmp(&x.delta().abs())
+            .expect("severities are never NaN")
+    });
+    out
+}
+
+fn metric_path(md: &cube_model::Metadata, m: cube_model::MetricId) -> String {
+    let mut parts = vec![md.metric(m).name.clone()];
+    let mut cur = m;
+    while let Some(p) = md.metric(cur).parent {
+        parts.push(md.metric(p).name.clone());
+        cur = p;
+    }
+    parts.reverse();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{ExperimentBuilder, RegionKind, Unit};
+
+    fn sample(solve_value: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new("base");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let mpi = b.def_metric("mpi", Unit::Seconds, "", Some(time));
+        let m = b.def_module("a.c", "/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 9);
+        let solve_r = b.def_region("solve", m, RegionKind::Function, 2, 8);
+        let cs0 = b.def_call_site("a.c", 1, main_r);
+        let cs1 = b.def_call_site("a.c", 3, solve_r);
+        let root = b.def_call_node(cs0, None);
+        let solve = b.def_call_node(cs1, Some(root));
+        let ts = single_threaded_system(&mut b, 2);
+        for &t in &ts {
+            b.set_severity(time, root, t, 1.0);
+            b.set_severity(time, solve, t, solve_value);
+            b.set_severity(mpi, solve, t, 0.25);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_significant_foci_only() {
+        let a = sample(5.0);
+        let b = sample(2.0);
+        let foci = performance_difference(&a, &b, 0.5);
+        // Only the solve/time tuples differ by 3.0; everything else is
+        // identical.
+        assert_eq!(foci.len(), 2); // one per rank
+        for f in &foci {
+            assert_eq!(f.metric, "time");
+            assert_eq!(f.call_path, vec!["main", "solve"]);
+            assert!((f.delta() - 3.0).abs() < 1e-12);
+        }
+        // Threshold above the discrepancy: nothing is significant.
+        assert!(performance_difference(&a, &b, 4.0).is_empty());
+    }
+
+    #[test]
+    fn foci_are_sorted_by_discrepancy() {
+        let a = sample(5.0);
+        let mut b = sample(2.0);
+        // Make rank 1's root differ hugely too.
+        let time = b.metadata().find_metric("time").unwrap();
+        let root = b.metadata().call_roots()[0];
+        let t1 = cube_model::ThreadId::new(1);
+        b.severity_mut().set(time, root, t1, -20.0);
+        let foci = performance_difference(&a, &b, 0.5);
+        assert!(foci.windows(2).all(|w| w[0].delta().abs() >= w[1].delta().abs()));
+        assert_eq!(foci[0].location, (1, 0));
+        assert_eq!(foci[0].call_path, vec!["main"]);
+    }
+
+    #[test]
+    fn metric_paths_are_qualified() {
+        let a = sample(1.0);
+        let mut b = sample(1.0);
+        let mpi = b.metadata().find_metric("mpi").unwrap();
+        let solve = cube_model::CallNodeId::new(1);
+        b.severity_mut().set(mpi, solve, cube_model::ThreadId::new(0), 9.0);
+        let foci = performance_difference(&a, &b, 0.5);
+        assert_eq!(foci.len(), 1);
+        assert_eq!(foci[0].metric, "time/mpi");
+    }
+
+    /// The paper's critique, demonstrated: the baseline output cannot be
+    /// fed back; CUBE's can — and browsing the CUBE difference with a
+    /// threshold-style filter recovers the same foci.
+    #[test]
+    fn cube_difference_subsumes_the_baseline() {
+        let a = sample(5.0);
+        let b = sample(2.0);
+        let threshold = 0.5;
+
+        let baseline = performance_difference(&a, &b, threshold);
+
+        // CUBE: one closed operator application ...
+        let d = ops::diff(&a, &b);
+        d.validate().unwrap(); // ... whose result is a full experiment,
+        let twice = ops::diff(&d, &d); // ... so repeated application works,
+        twice.validate().unwrap();
+
+        // ... and the baseline's list is a trivial *view* of it.
+        let md = d.metadata();
+        let mut recovered = Vec::new();
+        for (m, c, t, v) in d.severity().iter_nonzero() {
+            if v.abs() > threshold {
+                let thread = md.thread(t);
+                recovered.push((
+                    md.metric(m).name.clone(),
+                    md.call_path(c).last().map(|s| s.to_string()),
+                    md.process(thread.process).rank,
+                    v,
+                ));
+            }
+        }
+        assert_eq!(recovered.len(), baseline.len());
+        for f in &baseline {
+            assert!(recovered.iter().any(|(m, leaf, rank, v)| {
+                *m == f.metric.rsplit('/').next().unwrap()
+                    && leaf.as_deref() == f.call_path.last().map(|s| s.as_str())
+                    && *rank == f.location.0
+                    && (*v - f.delta()).abs() < 1e-12
+            }));
+        }
+    }
+}

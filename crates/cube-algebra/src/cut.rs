@@ -1,0 +1,213 @@
+//! Call-tree surgery: prune and reroot.
+//!
+//! These single-operand operators correspond to the `cube_cut` utility
+//! that grew out of the CUBE algebra. Both are closed like all other
+//! operators: the result is a complete derived experiment.
+
+use std::collections::HashMap;
+
+use cube_model::{CallNode, CallNodeId, Experiment, Metadata, Provenance, Severity};
+
+/// Removes the descendants of `node`, accumulating their severity into
+/// `node` itself (so every metric total is preserved). The pruned call
+/// paths disappear from the metadata.
+pub fn prune(e: &Experiment, node: CallNodeId) -> Experiment {
+    let md = e.metadata();
+    let subtree = md.call_subtree(node);
+    // Redirect: every node of the subtree maps onto `node`; everything
+    // else maps onto itself. Then rebuild the call forest without the
+    // subtree's non-root members.
+    let mut redirect: HashMap<CallNodeId, CallNodeId> = HashMap::new();
+    for &s in &subtree {
+        redirect.insert(s, node);
+    }
+    rebuild(e, |c| *redirect.get(&c).unwrap_or(&c), "prune", |c| {
+        c == node || !redirect.contains_key(&c)
+    })
+}
+
+/// Keeps only the subtree rooted at `node`, which becomes the single
+/// root of the result's call forest. Severity outside the subtree is
+/// discarded.
+pub fn reroot(e: &Experiment, node: CallNodeId) -> Experiment {
+    let md = e.metadata();
+    let keep: std::collections::HashSet<CallNodeId> =
+        md.call_subtree(node).into_iter().collect();
+    rebuild(e, |c| c, "reroot", move |c| keep.contains(&c))
+}
+
+/// Shared rebuild: keeps call nodes for which `kept` is true, remaps
+/// severity through `redirect` (dropped nodes whose redirect target is
+/// also dropped lose their severity — only `reroot` does that, by
+/// design).
+fn rebuild(
+    e: &Experiment,
+    redirect: impl Fn(CallNodeId) -> CallNodeId,
+    op_name: &str,
+    kept: impl Fn(CallNodeId) -> bool,
+) -> Experiment {
+    let md = e.metadata();
+    let mut new_md = Metadata::new();
+
+    // Metric dimension and static program structure are copied verbatim.
+    for m in md.metrics() {
+        new_md.add_metric(m.clone());
+    }
+    for m in md.modules() {
+        new_md.add_module(m.clone());
+    }
+    for r in md.regions() {
+        new_md.add_region(r.clone());
+    }
+    for cs in md.call_sites() {
+        new_md.add_call_site(cs.clone());
+    }
+
+    // Kept call nodes, in id order (parents precede children, so the
+    // parent's new id is always known; a kept node whose parent was
+    // dropped becomes a root).
+    let mut new_ids: HashMap<CallNodeId, CallNodeId> = HashMap::new();
+    for c in md.call_node_ids() {
+        if !kept(c) {
+            continue;
+        }
+        let old = md.call_node(c);
+        let parent = old.parent.and_then(|p| new_ids.get(&p).copied());
+        let nid = new_md.add_call_node(CallNode {
+            call_site: old.call_site,
+            parent,
+        });
+        new_ids.insert(c, nid);
+    }
+
+    // System dimension copied verbatim.
+    for m in md.machines() {
+        new_md.add_machine(m.clone());
+    }
+    for n in md.nodes() {
+        new_md.add_node(n.clone());
+    }
+    for p in md.processes() {
+        new_md.add_process(p.clone());
+    }
+    for t in md.threads() {
+        new_md.add_thread(t.clone());
+    }
+
+    let (nm, nc, nt) = new_md.shape();
+    let mut sev = Severity::zeros(nm, nc, nt);
+    for (m, c, t, v) in e.severity().iter_nonzero() {
+        let target = redirect(c);
+        if let Some(&nid) = new_ids.get(&target) {
+            sev.add(m, nid, t, v);
+        }
+    }
+
+    Experiment::new_unchecked(
+        new_md,
+        sev,
+        Provenance::derived(op_name, vec![e.provenance().label()]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::aggregate::{call_value, CallSelection, MetricSelection};
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{ExperimentBuilder, MetricId, RegionKind, Unit};
+
+    /// main(1.0) -> { solve(2.0) -> inner(4.0), io(8.0) }, 1 rank.
+    fn sample() -> (Experiment, [CallNodeId; 4]) {
+        let mut b = ExperimentBuilder::new("cut");
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let names = ["main", "solve", "inner", "io"];
+        let regions: Vec<_> = (0..4)
+            .map(|i| b.def_region(names[i], m, RegionKind::Function, 1, 2))
+            .collect();
+        let css: Vec<_> = regions
+            .iter()
+            .map(|&r| b.def_call_site("a", 1, r))
+            .collect();
+        let n_main = b.def_call_node(css[0], None);
+        let n_solve = b.def_call_node(css[1], Some(n_main));
+        let n_inner = b.def_call_node(css[2], Some(n_solve));
+        let n_io = b.def_call_node(css[3], Some(n_main));
+        let ts = single_threaded_system(&mut b, 1);
+        b.set_severity(t, n_main, ts[0], 1.0);
+        b.set_severity(t, n_solve, ts[0], 2.0);
+        b.set_severity(t, n_inner, ts[0], 4.0);
+        b.set_severity(t, n_io, ts[0], 8.0);
+        (b.build().unwrap(), [n_main, n_solve, n_inner, n_io])
+    }
+
+    #[test]
+    fn prune_collapses_subtree_preserving_total() {
+        let (e, [_, n_solve, ..]) = sample();
+        let time = MetricId::new(0);
+        let p = prune(&e, n_solve);
+        p.validate().unwrap();
+        assert_eq!(p.metadata().num_call_nodes(), 3); // inner removed
+        assert_eq!(p.severity().metric_sum(time), 15.0); // total preserved
+        // solve now carries 2 + 4.
+        let solve = p
+            .metadata()
+            .call_node_ids()
+            .find(|&c| p.metadata().region(p.metadata().call_node_callee(c)).name == "solve")
+            .unwrap();
+        assert_eq!(
+            call_value(
+                &p,
+                MetricSelection::inclusive(time),
+                CallSelection::exclusive(solve)
+            ),
+            6.0
+        );
+    }
+
+    #[test]
+    fn prune_at_leaf_is_severity_identity() {
+        let (e, [_, _, n_inner, _]) = sample();
+        let p = prune(&e, n_inner);
+        assert_eq!(p.metadata().num_call_nodes(), 4);
+        assert_eq!(p.severity().values(), e.severity().values());
+    }
+
+    #[test]
+    fn reroot_keeps_only_subtree() {
+        let (e, [_, n_solve, ..]) = sample();
+        let time = MetricId::new(0);
+        let r = reroot(&e, n_solve);
+        r.validate().unwrap();
+        assert_eq!(r.metadata().num_call_nodes(), 2);
+        assert_eq!(r.metadata().call_roots().len(), 1);
+        assert_eq!(r.severity().metric_sum(time), 6.0); // 2 + 4
+        let root = r.metadata().call_roots()[0];
+        assert_eq!(
+            r.metadata().region(r.metadata().call_node_callee(root)).name,
+            "solve"
+        );
+    }
+
+    #[test]
+    fn reroot_at_root_preserves_everything() {
+        let (e, [n_main, ..]) = sample();
+        let r = reroot(&e, n_main);
+        assert_eq!(r.metadata().num_call_nodes(), 4);
+        assert_eq!(r.severity().values(), e.severity().values());
+    }
+
+    #[test]
+    fn cut_results_compose_with_other_operators() {
+        let (e, [_, n_solve, ..]) = sample();
+        let p = prune(&e, n_solve);
+        let d = crate::ops::diff(&e, &p);
+        d.validate().unwrap();
+        // Total difference is zero (prune preserves totals) but the
+        // distribution over call paths changed.
+        let time = MetricId::new(0);
+        assert!(d.severity().metric_sum(time).abs() < 1e-12);
+        assert!(d.severity().max_abs() > 0.0);
+    }
+}

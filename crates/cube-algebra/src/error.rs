@@ -1,0 +1,43 @@
+//! Error type of the algebra layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by operators.
+///
+/// Metadata integration itself is total — any two valid experiments can
+/// be integrated (whether the result is *useful* is the user's call, as
+/// the paper notes about taking the mean of unrelated programs). Errors
+/// therefore only concern degenerate argument lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// An n-ary operator (`mean`, `sum`, `min`, `max`) received an empty
+    /// operand list.
+    EmptyOperandList {
+        /// Operator name for the message.
+        operator: &'static str,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyOperandList { operator } => {
+                write!(f, "operator '{operator}' requires at least one operand")
+            }
+        }
+    }
+}
+
+impl Error for AlgebraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_operator() {
+        let e = AlgebraError::EmptyOperandList { operator: "mean" };
+        assert!(e.to_string().contains("mean"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Zero-extension of operand severity onto integrated metadata.
+
+use cube_model::{Experiment, Severity};
+
+use crate::mapping::OperandMap;
+
+/// Scatter an operand's severity values into a store shaped for the
+/// integrated metadata. Tuples the operand never defined stay zero —
+/// the algebra's zero-extension rule.
+///
+/// When the mapping is the identity and the shapes agree (the common
+/// fast path of equal metadata), the operand's store is cloned directly.
+///
+/// Distinct operand tuples can map onto one integrated tuple only when
+/// the operand itself contains structurally equal siblings; their values
+/// are *accumulated*, which is the only meaningful interpretation.
+pub fn extend_severity(
+    exp: &Experiment,
+    map: &OperandMap,
+    shape: (usize, usize, usize),
+) -> Severity {
+    if exp.severity().shape() == shape && map.is_identity() {
+        return exp.severity().clone();
+    }
+    let mut out = Severity::zeros(shape.0, shape.1, shape.2);
+    for (m, c, t, v) in exp.severity().iter_nonzero() {
+        out.add(
+            map.metrics[m.index()],
+            map.call_nodes[c.index()],
+            map.threads[t.index()],
+            v,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{CallNodeId, ExperimentBuilder, MetricId, RegionKind, ThreadId, Unit};
+
+    fn tiny(v: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new("tiny");
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, 1);
+        b.set_severity(t, root, ts[0], v);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identity_fast_path_clones() {
+        let e = tiny(2.5);
+        let map = OperandMap::identity(1, 1, 1);
+        let out = extend_severity(&e, &map, (1, 1, 1));
+        assert_eq!(out, *e.severity());
+    }
+
+    #[test]
+    fn scatter_into_larger_shape() {
+        let e = tiny(2.5);
+        let map = OperandMap {
+            metrics: vec![MetricId::new(1)],
+            call_nodes: vec![CallNodeId::new(2)],
+            threads: vec![ThreadId::new(3)],
+        };
+        let out = extend_severity(&e, &map, (2, 3, 4));
+        assert_eq!(out.get(MetricId::new(1), CallNodeId::new(2), ThreadId::new(3)), 2.5);
+        assert_eq!(out.values().iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn colliding_tuples_accumulate() {
+        let mut b = ExperimentBuilder::new("dup");
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let c0 = b.def_call_node(cs, None);
+        let c1 = b.def_call_node(cs, None); // structurally equal sibling root
+        let ts = single_threaded_system(&mut b, 1);
+        b.set_severity(t, c0, ts[0], 1.0);
+        b.set_severity(t, c1, ts[0], 2.0);
+        let e = b.build().unwrap();
+        let map = OperandMap {
+            metrics: vec![MetricId::new(0)],
+            call_nodes: vec![CallNodeId::new(0), CallNodeId::new(0)],
+            threads: vec![ThreadId::new(0)],
+        };
+        let out = extend_severity(&e, &map, (1, 1, 1));
+        assert_eq!(out.get(MetricId::new(0), CallNodeId::new(0), ThreadId::new(0)), 3.0);
+    }
+}

@@ -1,0 +1,666 @@
+//! Metadata integration: the structural merge phase of every operator.
+//!
+//! Integration folds the operands' metadata into one integrated
+//! [`Metadata`] and records, for every operand, where each of its
+//! entities landed ([`OperandMap`]). The merge is *top-down*: starting
+//! at the roots, nodes are matched with the dimension's equality
+//! relation; matched nodes become shared nodes, unmatched nodes are
+//! appended together with their entire subtree (even if that subtree
+//! contains nodes that would match deeper down — exactly the behavior
+//! the paper prescribes).
+//!
+//! Equality relations:
+//!
+//! * **metric**: same name and unit under an already-matched parent;
+//! * **call node**: call-site equality under an already-matched parent —
+//!   by default only the callee region (name + module name) is compared,
+//!   because line numbers may shift between code versions; a strict mode
+//!   additionally compares file and line (see [`CallSiteEq`]);
+//! * **system**: processes and threads are matched by application-level
+//!   rank and thread number. The machine/node levels are *not* matched:
+//!   depending on [`SystemMergeMode`] they are copied from the first
+//!   operand or collapsed to a single machine with a single node; the
+//!   default collapses exactly when the partitioning of processes into
+//!   nodes is incompatible between the operands.
+
+use std::collections::HashMap;
+
+use cube_model::{
+    CallNode, CallNodeId, CallSite, CallSiteId, Experiment, Machine, Metadata, Metric, MetricId,
+    Module, ModuleId, Process, Region, RegionId, SystemNode, Thread,
+};
+
+use crate::mapping::OperandMap;
+use crate::options::{CallSiteEq, MergeOptions, SystemMergeMode};
+
+/// The result of metadata integration.
+#[derive(Clone, Debug)]
+pub struct Integrated {
+    /// The integrated metadata.
+    pub metadata: Metadata,
+    /// One identifier mapping per operand, in operand order.
+    pub maps: Vec<OperandMap>,
+}
+
+/// Integrates the metadata of all operands.
+///
+/// Always succeeds: any two valid metadata sets can be integrated. With
+/// a single operand and default options the result is (structurally)
+/// that operand's metadata.
+pub fn integrate(operands: &[&Experiment], options: MergeOptions) -> Integrated {
+    // Fast path: all metadata identical, and no forced collapse that
+    // would restructure the system dimension.
+    if operands.len() >= 1 {
+        let first = operands[0].metadata();
+        let all_equal = operands.iter().all(|e| e.metadata() == first);
+        let collapse_is_noop = options.system_mode != SystemMergeMode::Collapse
+            || (first.machines().len() <= 1 && first.nodes().len() <= 1);
+        if all_equal && collapse_is_noop {
+            let (nm, nc, nt) = first.shape();
+            return Integrated {
+                metadata: first.clone(),
+                maps: operands
+                    .iter()
+                    .map(|_| OperandMap::identity(nm, nc, nt))
+                    .collect(),
+            };
+        }
+    }
+
+    let mut md = Metadata::new();
+    let mut maps: Vec<OperandMap> = Vec::with_capacity(operands.len());
+
+    // ---- metric and program dimensions: top-down structural merge ----
+    for op in operands {
+        let src = op.metadata();
+        let mut map = OperandMap::default();
+        map.metrics = merge_metric_forest(&mut md, src);
+        map.call_nodes = merge_call_forest(&mut md, src, options.call_site_eq);
+        maps.push(map);
+    }
+
+    // ---- system dimension ----
+    let thread_keys = build_system(&mut md, operands, options.system_mode);
+    // Topologies: copy the first operand's topologies, remapping each
+    // placement onto the integrated process table via the rank (the
+    // system equality key). Later operands' topologies are ignored —
+    // the same first-wins rule the merge operator uses for metrics.
+    if let Some(first) = operands.first() {
+        let src = first.metadata();
+        for topo in src.topologies() {
+            let mut copy = cube_model::CartTopology::new(
+                topo.name.clone(),
+                topo.dims.clone(),
+                topo.periodic.clone(),
+            );
+            for (p, c) in &topo.coords {
+                let rank = src.process(*p).rank;
+                if let Some(new_p) = md.find_process_by_rank(rank) {
+                    copy.coords.push((new_p, c.clone()));
+                }
+            }
+            md.add_topology(copy);
+        }
+    }
+    for (op, map) in operands.iter().zip(maps.iter_mut()) {
+        let src = op.metadata();
+        map.threads = src
+            .threads()
+            .iter()
+            .map(|t| {
+                let rank = src.process(t.process).rank;
+                *thread_keys
+                    .get(&(rank, t.number))
+                    .expect("every operand thread is present in the integrated system")
+            })
+            .collect();
+    }
+
+    Integrated { metadata: md, maps }
+}
+
+// ---------------------------------------------------------------------------
+// Metric dimension
+// ---------------------------------------------------------------------------
+
+fn merge_metric_forest(md: &mut Metadata, src: &Metadata) -> Vec<MetricId> {
+    let mut map = vec![MetricId::new(0); src.num_metrics()];
+    for &root in src.metric_roots() {
+        merge_metric_node(md, src, root, None, &mut map);
+    }
+    map
+}
+
+fn merge_metric_node(
+    md: &mut Metadata,
+    src: &Metadata,
+    sid: MetricId,
+    new_parent: Option<MetricId>,
+    map: &mut [MetricId],
+) {
+    let sm = src.metric(sid);
+    let candidates: &[MetricId] = match new_parent {
+        Some(p) => md.metric_children(p),
+        None => md.metric_roots(),
+    };
+    let found = candidates
+        .iter()
+        .copied()
+        .find(|&c| md.metric(c).name == sm.name && md.metric(c).unit == sm.unit);
+    let nid = match found {
+        Some(nid) => nid,
+        None => md.add_metric(Metric {
+            name: sm.name.clone(),
+            unit: sm.unit,
+            description: sm.description.clone(),
+            parent: new_parent,
+        }),
+    };
+    map[sid.index()] = nid;
+    // When `sid` was appended as a new node, its children cannot match
+    // anything (the new node has no children yet), so the same recursion
+    // appends the whole subtree — the paper's subtree rule for free.
+    for &child in src.metric_children(sid) {
+        merge_metric_node(md, src, child, Some(nid), map);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program dimension
+// ---------------------------------------------------------------------------
+
+fn region_eq(md: &Metadata, nid: RegionId, src: &Metadata, sid: RegionId) -> bool {
+    let nr = md.region(nid);
+    let sr = src.region(sid);
+    nr.name == sr.name && md.module(nr.module).name == src.module(sr.module).name
+}
+
+fn call_node_eq(
+    md: &Metadata,
+    nid: CallNodeId,
+    src: &Metadata,
+    sid: CallNodeId,
+    eq: CallSiteEq,
+) -> bool {
+    let ncs = md.call_site(md.call_node(nid).call_site);
+    let scs = src.call_site(src.call_node(sid).call_site);
+    let callee_eq = region_eq(md, ncs.callee, src, scs.callee);
+    match eq {
+        CallSiteEq::CalleeOnly => callee_eq,
+        CallSiteEq::Strict => callee_eq && ncs.file == scs.file && ncs.line == scs.line,
+    }
+}
+
+fn map_module(md: &mut Metadata, src: &Metadata, sid: ModuleId) -> ModuleId {
+    let sm = src.module(sid);
+    match md.find_module(&sm.name) {
+        Some(existing) => existing,
+        None => md.add_module(Module::new(sm.name.clone(), sm.path.clone())),
+    }
+}
+
+fn map_region(md: &mut Metadata, src: &Metadata, sid: RegionId) -> RegionId {
+    for i in 0..md.regions().len() {
+        let nid = RegionId::from_index(i);
+        if region_eq(md, nid, src, sid) {
+            return nid;
+        }
+    }
+    let sr = src.region(sid).clone();
+    let module = map_module(md, src, sr.module);
+    md.add_region(Region {
+        name: sr.name,
+        module,
+        kind: sr.kind,
+        begin_line: sr.begin_line,
+        end_line: sr.end_line,
+    })
+}
+
+fn map_call_site(
+    md: &mut Metadata,
+    src: &Metadata,
+    sid: CallSiteId,
+    eq: CallSiteEq,
+) -> CallSiteId {
+    let scs = src.call_site(sid);
+    for i in 0..md.call_sites().len() {
+        let nid = CallSiteId::from_index(i);
+        let ncs = md.call_site(nid);
+        let callee_eq = region_eq(md, ncs.callee, src, scs.callee);
+        let equal = match eq {
+            CallSiteEq::CalleeOnly => callee_eq,
+            CallSiteEq::Strict => callee_eq && ncs.file == scs.file && ncs.line == scs.line,
+        };
+        if equal {
+            return nid;
+        }
+    }
+    let callee = map_region(md, src, scs.callee);
+    let (file, line) = (scs.file.clone(), scs.line);
+    md.add_call_site(CallSite { file, line, callee })
+}
+
+fn merge_call_forest(md: &mut Metadata, src: &Metadata, eq: CallSiteEq) -> Vec<CallNodeId> {
+    let mut map = vec![CallNodeId::new(0); src.num_call_nodes()];
+    for &root in src.call_roots() {
+        merge_call_node(md, src, root, None, eq, &mut map);
+    }
+    map
+}
+
+fn merge_call_node(
+    md: &mut Metadata,
+    src: &Metadata,
+    sid: CallNodeId,
+    new_parent: Option<CallNodeId>,
+    eq: CallSiteEq,
+    map: &mut [CallNodeId],
+) {
+    let candidates: Vec<CallNodeId> = match new_parent {
+        Some(p) => md.call_node_children(p).to_vec(),
+        None => md.call_roots().to_vec(),
+    };
+    let found = candidates
+        .into_iter()
+        .find(|&c| call_node_eq(md, c, src, sid, eq));
+    let nid = match found {
+        Some(nid) => nid,
+        None => {
+            let call_site = map_call_site(md, src, src.call_node(sid).call_site, eq);
+            md.add_call_node(CallNode {
+                call_site,
+                parent: new_parent,
+            })
+        }
+    };
+    map[sid.index()] = nid;
+    for &child in src.call_node_children(sid).to_vec().iter() {
+        merge_call_node(md, src, child, Some(nid), eq, map);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// System dimension
+// ---------------------------------------------------------------------------
+
+/// Builds the integrated system dimension and returns the lookup table
+/// `(rank, thread number) → integrated thread id`.
+fn build_system(
+    md: &mut Metadata,
+    operands: &[&Experiment],
+    mode: SystemMergeMode,
+) -> HashMap<(i32, u32), cube_model::ThreadId> {
+    let collapse = match mode {
+        SystemMergeMode::Collapse => true,
+        SystemMergeMode::CopyFirst => false,
+        SystemMergeMode::Auto => !partitions_compatible(operands),
+    };
+
+    // Union of processes: rank → (name, node index in first operand that
+    // defines the rank), in deterministic order.
+    struct ProcInfo {
+        rank: i32,
+        name: String,
+        node_index: usize,
+        /// thread number → name, ordered by number.
+        threads: Vec<(u32, String)>,
+    }
+    let mut order: Vec<i32> = Vec::new();
+    let mut procs: HashMap<i32, ProcInfo> = HashMap::new();
+    for op in operands {
+        let src = op.metadata();
+        for (pi, p) in src.processes().iter().enumerate() {
+            let info = procs.entry(p.rank).or_insert_with(|| {
+                order.push(p.rank);
+                ProcInfo {
+                    rank: p.rank,
+                    name: p.name.clone(),
+                    node_index: src.processes()[pi].node.index(),
+                    threads: Vec::new(),
+                }
+            });
+            for &tid in src.threads_of_process(cube_model::ProcessId::from_index(pi)) {
+                let t = src.thread(tid);
+                if !info.threads.iter().any(|(n, _)| *n == t.number) {
+                    info.threads.push((t.number, t.name.clone()));
+                }
+            }
+        }
+    }
+    for info in procs.values_mut() {
+        info.threads.sort_by_key(|(n, _)| *n);
+    }
+
+    // Process order: first operand's order, then ranks first seen in
+    // later operands — `order` already records first-seen order. Under
+    // collapse, sort by rank for a fully canonical result.
+    if collapse {
+        order.sort_unstable();
+    }
+
+    let mut keys = HashMap::new();
+    if collapse {
+        let mach = md.add_machine(Machine::new("virtual machine"));
+        let node = md.add_node(SystemNode::new("virtual node", mach));
+        for rank in order {
+            let info = &procs[&rank];
+            let pid = md.add_process(Process::new(info.name.clone(), info.rank, node));
+            for (num, name) in &info.threads {
+                let tid = md.add_thread(Thread::new(name.clone(), *num, pid));
+                keys.insert((rank, *num), tid);
+            }
+        }
+    } else {
+        // Copy the first operand's machine/node hierarchy.
+        let first = operands[0].metadata();
+        for m in first.machines() {
+            md.add_machine(Machine::new(m.name.clone()));
+        }
+        for n in first.nodes() {
+            md.add_node(SystemNode::new(n.name.clone(), n.machine));
+        }
+        if md.machines().is_empty() {
+            // First operand had an empty system (degenerate); fall back to
+            // a virtual hierarchy so later operands' processes have a home.
+            let mach = md.add_machine(Machine::new("virtual machine"));
+            md.add_node(SystemNode::new("virtual node", mach));
+        }
+        let num_nodes = md.nodes().len();
+        for rank in order {
+            let info = &procs[&rank];
+            let node_index = info.node_index.min(num_nodes - 1);
+            let pid = md.add_process(Process::new(
+                info.name.clone(),
+                info.rank,
+                cube_model::NodeId::from_index(node_index),
+            ));
+            for (num, name) in &info.threads {
+                let tid = md.add_thread(Thread::new(name.clone(), *num, pid));
+                keys.insert((rank, *num), tid);
+            }
+        }
+    }
+    keys
+}
+
+/// Whether all operands agree on the machine/node structure and on the
+/// placement of common ranks, so that copying the first operand's
+/// hierarchy is faithful for every operand.
+fn partitions_compatible(operands: &[&Experiment]) -> bool {
+    let Some((first, rest)) = operands.split_first() else {
+        return true;
+    };
+    let f = first.metadata();
+    let f_machines: Vec<&str> = f.machines().iter().map(|m| m.name.as_str()).collect();
+    let f_nodes: Vec<(&str, usize)> = f
+        .nodes()
+        .iter()
+        .map(|n| (n.name.as_str(), n.machine.index()))
+        .collect();
+    let f_rank_node: HashMap<i32, usize> = f
+        .processes()
+        .iter()
+        .map(|p| (p.rank, p.node.index()))
+        .collect();
+    for op in rest {
+        let o = op.metadata();
+        let o_machines: Vec<&str> = o.machines().iter().map(|m| m.name.as_str()).collect();
+        let o_nodes: Vec<(&str, usize)> = o
+            .nodes()
+            .iter()
+            .map(|n| (n.name.as_str(), n.machine.index()))
+            .collect();
+        if o_machines != f_machines || o_nodes != f_nodes {
+            return false;
+        }
+        for p in o.processes() {
+            if let Some(&fnode) = f_rank_node.get(&p.rank) {
+                if fnode != p.node.index() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{ExperimentBuilder, RegionKind, Unit};
+
+    fn base_builder(name: &str) -> ExperimentBuilder {
+        ExperimentBuilder::new(name)
+    }
+
+    /// Experiment with metrics time>mpi, call tree main>solve, 2 ranks.
+    fn exp_a() -> Experiment {
+        let mut b = base_builder("a");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        b.def_metric("mpi", Unit::Seconds, "", Some(time));
+        let m = b.def_module("a.c", "/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 99);
+        let solve_r = b.def_region("solve", m, RegionKind::Function, 10, 50);
+        let cs0 = b.def_call_site("a.c", 1, main_r);
+        let cs1 = b.def_call_site("a.c", 20, solve_r);
+        let root = b.def_call_node(cs0, None);
+        b.def_call_node(cs1, Some(root));
+        single_threaded_system(&mut b, 2);
+        b.build().unwrap()
+    }
+
+    /// Same program, but extra metric `flops`, extra call path `io`,
+    /// and 3 ranks.
+    fn exp_b() -> Experiment {
+        let mut b = base_builder("b");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        b.def_metric("mpi", Unit::Seconds, "", Some(time));
+        b.def_metric("flops", Unit::Occurrences, "", None);
+        let m = b.def_module("a.c", "/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 99);
+        let solve_r = b.def_region("solve", m, RegionKind::Function, 10, 50);
+        let io_r = b.def_region("io", m, RegionKind::Function, 60, 70);
+        let cs0 = b.def_call_site("a.c", 1, main_r);
+        let cs1 = b.def_call_site("a.c", 21, solve_r); // different line!
+        let cs2 = b.def_call_site("a.c", 65, io_r);
+        let root = b.def_call_node(cs0, None);
+        b.def_call_node(cs1, Some(root));
+        b.def_call_node(cs2, Some(root));
+        single_threaded_system(&mut b, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_metadata_takes_fast_path() {
+        let a = exp_a();
+        let b = exp_a();
+        let integrated = integrate(&[&a, &b], MergeOptions::default());
+        assert_eq!(&integrated.metadata, a.metadata());
+        assert!(integrated.maps.iter().all(|m| m.is_identity()));
+    }
+
+    #[test]
+    fn single_operand_roundtrips() {
+        let a = exp_a();
+        let integrated = integrate(&[&a], MergeOptions::default());
+        assert_eq!(&integrated.metadata, a.metadata());
+        assert!(integrated.maps[0].is_identity());
+    }
+
+    #[test]
+    fn metric_union_shares_common_metrics() {
+        let a = exp_a();
+        let b = exp_b();
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        // time, mpi shared; flops appended → 3 metrics.
+        assert_eq!(i.metadata.num_metrics(), 3);
+        assert_eq!(i.maps[0].metrics.len(), 2);
+        assert_eq!(i.maps[1].metrics.len(), 3);
+        // Shared ids agree.
+        assert_eq!(i.maps[0].metrics[0], i.maps[1].metrics[0]);
+        assert_eq!(i.maps[0].metrics[1], i.maps[1].metrics[1]);
+        i.metadata.validate().unwrap();
+    }
+
+    #[test]
+    fn call_tree_union_with_callee_only_equality() {
+        let a = exp_a();
+        let b = exp_b();
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        // main and solve shared (despite differing call-site lines),
+        // io appended → 3 cnodes.
+        assert_eq!(i.metadata.num_call_nodes(), 3);
+        assert_eq!(i.maps[0].call_nodes[1], i.maps[1].call_nodes[1]);
+    }
+
+    #[test]
+    fn strict_call_site_equality_separates_moved_lines() {
+        let a = exp_a();
+        let b = exp_b();
+        let i = integrate(
+            &[&a, &b],
+            MergeOptions::default().with_call_site_eq(CallSiteEq::Strict),
+        );
+        // solve called from line 20 vs 21 → two distinct call paths now.
+        assert_eq!(i.metadata.num_call_nodes(), 4);
+        assert_ne!(i.maps[0].call_nodes[1], i.maps[1].call_nodes[1]);
+        i.metadata.validate().unwrap();
+    }
+
+    #[test]
+    fn system_union_matches_ranks() {
+        let a = exp_a();
+        let b = exp_b();
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        assert_eq!(i.metadata.processes().len(), 3);
+        assert_eq!(i.metadata.num_threads(), 3);
+        // rank 0 and 1 shared between operands.
+        assert_eq!(i.maps[0].threads[0], i.maps[1].threads[0]);
+        assert_eq!(i.maps[0].threads[1], i.maps[1].threads[1]);
+        i.metadata.validate().unwrap();
+    }
+
+    #[test]
+    fn incompatible_partitions_collapse_by_default() {
+        // Build b with two nodes (different partitioning).
+        let a = exp_a();
+        let mut bb = base_builder("two-node");
+        bb.def_metric("time", Unit::Seconds, "", None);
+        let m = bb.def_module("a.c", "/a.c");
+        let main_r = bb.def_region("main", m, RegionKind::Function, 1, 99);
+        let cs0 = bb.def_call_site("a.c", 1, main_r);
+        bb.def_call_node(cs0, None);
+        let mach = bb.def_machine("cluster");
+        let n0 = bb.def_node("node0", mach);
+        let n1 = bb.def_node("node1", mach);
+        let p0 = bb.def_process("rank 0", 0, n0);
+        let p1 = bb.def_process("rank 1", 1, n1);
+        bb.def_thread("t", 0, p0);
+        bb.def_thread("t", 0, p1);
+        let b = bb.build().unwrap();
+
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        assert_eq!(i.metadata.machines().len(), 1);
+        assert_eq!(i.metadata.nodes().len(), 1);
+        assert_eq!(i.metadata.machine(cube_model::MachineId::new(0)).name, "virtual machine");
+        assert_eq!(i.metadata.processes().len(), 2);
+        i.metadata.validate().unwrap();
+    }
+
+    #[test]
+    fn copy_first_keeps_hierarchy() {
+        let a = exp_a();
+        let b = exp_b();
+        let i = integrate(
+            &[&a, &b],
+            MergeOptions::default().with_system_mode(SystemMergeMode::CopyFirst),
+        );
+        // exp_a's hierarchy: 1 machine, 1 node named "virtual node".
+        assert_eq!(i.metadata.machines().len(), 1);
+        assert_eq!(i.metadata.nodes().len(), 1);
+        assert_eq!(i.metadata.processes().len(), 3);
+        i.metadata.validate().unwrap();
+    }
+
+    #[test]
+    fn compatible_partitions_copy_under_auto() {
+        let a = exp_a();
+        let b = exp_b();
+        // Both use single_threaded_system → same machine/node names and
+        // placements → compatible → copy (not collapse). The copied node
+        // keeps exp_a's name.
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        assert_eq!(i.metadata.nodes()[0].name, "virtual node");
+        assert_eq!(i.metadata.machines().len(), 1);
+    }
+
+    #[test]
+    fn mismatched_subtrees_duplicate_whole_subtree() {
+        // a: root X with child C; b: root Y with child C. Roots differ →
+        // C appears twice (once under each root), per the paper's rule.
+        fn mk(root_name: &str) -> Experiment {
+            let mut b = ExperimentBuilder::new(root_name);
+            b.def_metric("time", Unit::Seconds, "", None);
+            let m = b.def_module("a.c", "/a.c");
+            let root_r = b.def_region(root_name, m, RegionKind::Function, 1, 99);
+            let c_r = b.def_region("C", m, RegionKind::Function, 10, 20);
+            let cs0 = b.def_call_site("a.c", 1, root_r);
+            let cs1 = b.def_call_site("a.c", 15, c_r);
+            let root = b.def_call_node(cs0, None);
+            b.def_call_node(cs1, Some(root));
+            single_threaded_system(&mut b, 1);
+            b.build().unwrap()
+        }
+        let a = mk("X");
+        let b = mk("Y");
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        assert_eq!(i.metadata.num_call_nodes(), 4);
+        assert_ne!(i.maps[0].call_nodes[1], i.maps[1].call_nodes[1]);
+        i.metadata.validate().unwrap();
+    }
+
+    #[test]
+    fn same_name_different_unit_not_matched() {
+        fn mk(unit: Unit) -> Experiment {
+            let mut b = ExperimentBuilder::new("u");
+            b.def_metric("x", unit, "", None);
+            let m = b.def_module("a", "a");
+            let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+            let cs = b.def_call_site("a", 1, r);
+            b.def_call_node(cs, None);
+            single_threaded_system(&mut b, 1);
+            b.build().unwrap()
+        }
+        let a = mk(Unit::Seconds);
+        let b = mk(Unit::Bytes);
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        assert_eq!(i.metadata.num_metrics(), 2);
+    }
+
+    #[test]
+    fn openmp_threads_matched_by_number() {
+        fn mk(nthreads: u32) -> Experiment {
+            let mut b = ExperimentBuilder::new("omp");
+            b.def_metric("time", Unit::Seconds, "", None);
+            let m = b.def_module("a", "a");
+            let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+            let cs = b.def_call_site("a", 1, r);
+            b.def_call_node(cs, None);
+            let mach = b.def_machine("mach");
+            let node = b.def_node("n0", mach);
+            let p = b.def_process("rank 0", 0, node);
+            for i in 0..nthreads {
+                b.def_thread(format!("t{i}"), i, p);
+            }
+            b.build().unwrap()
+        }
+        let a = mk(2);
+        let b = mk(4);
+        let i = integrate(&[&a, &b], MergeOptions::default());
+        assert_eq!(i.metadata.num_threads(), 4);
+        assert_eq!(i.maps[0].threads.len(), 2);
+        assert_eq!(i.maps[0].threads[1], i.maps[1].threads[1]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Identifier mappings from operand metadata into integrated metadata.
+
+use cube_model::{CallNodeId, MetricId, ThreadId};
+
+/// For one operand experiment, where each of its severity-relevant
+/// entities landed in the integrated metadata.
+///
+/// Every entry is total: integration never drops an operand entity, it
+/// only shares or appends, so each old identifier has exactly one new
+/// identifier.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OperandMap {
+    /// Old metric id (by index) → new metric id.
+    pub metrics: Vec<MetricId>,
+    /// Old call-node id (by index) → new call-node id.
+    pub call_nodes: Vec<CallNodeId>,
+    /// Old thread id (by index) → new thread id.
+    pub threads: Vec<ThreadId>,
+}
+
+impl OperandMap {
+    /// An identity mapping for an operand whose metadata *is* the
+    /// integrated metadata (the fast path for equal metadata).
+    pub fn identity(num_metrics: usize, num_call_nodes: usize, num_threads: usize) -> Self {
+        Self {
+            metrics: (0..num_metrics as u32).map(MetricId::new).collect(),
+            call_nodes: (0..num_call_nodes as u32).map(CallNodeId::new).collect(),
+            threads: (0..num_threads as u32).map(ThreadId::new).collect(),
+        }
+    }
+
+    /// Whether this mapping is the identity on all three dimensions.
+    pub fn is_identity(&self) -> bool {
+        self.metrics.iter().enumerate().all(|(i, m)| m.index() == i)
+            && self
+                .call_nodes
+                .iter()
+                .enumerate()
+                .all(|(i, c)| c.index() == i)
+            && self.threads.iter().enumerate().all(|(i, t)| t.index() == i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let m = OperandMap::identity(3, 4, 5);
+        assert!(m.is_identity());
+        assert_eq!(m.metrics.len(), 3);
+        assert_eq!(m.call_nodes.len(), 4);
+        assert_eq!(m.threads.len(), 5);
+    }
+
+    #[test]
+    fn permuted_is_not_identity() {
+        let mut m = OperandMap::identity(2, 1, 1);
+        m.metrics.swap(0, 1);
+        assert!(!m.is_identity());
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        assert!(OperandMap::default().is_identity());
+    }
+}

@@ -1,0 +1,451 @@
+//! The operators: difference, merge, mean, and natural extensions.
+//!
+//! All operators are *closed*: operands are experiments, results are
+//! experiments. Each runs metadata integration followed by an
+//! element-wise arithmetic phase over zero-extended severity arrays.
+//! Element-wise loops switch to Rayon data parallelism above a size
+//! threshold — measured in the `par_elementwise` bench.
+
+use rayon::prelude::*;
+
+use cube_model::{Experiment, Provenance, Severity};
+
+use crate::error::AlgebraError;
+use crate::extend::extend_severity;
+use crate::integrate::integrate;
+use crate::options::MergeOptions;
+
+/// Below this element count the element-wise loops stay serial; the
+/// fork/join overhead would dominate (see the `par_elementwise` bench).
+const PAR_THRESHOLD: usize = 1 << 16;
+
+fn label(e: &Experiment) -> String {
+    e.provenance().label()
+}
+
+// ---------------------------------------------------------------------------
+// difference
+// ---------------------------------------------------------------------------
+
+/// The difference operator: `minuend − subtrahend`, element-wise over
+/// the integrated metadata. Severity values of the result may be
+/// negative; the display renders their sign as a relief.
+pub fn diff(minuend: &Experiment, subtrahend: &Experiment) -> Experiment {
+    diff_with(minuend, subtrahend, MergeOptions::default())
+}
+
+/// [`diff`] with explicit integration switches.
+pub fn diff_with(
+    minuend: &Experiment,
+    subtrahend: &Experiment,
+    options: MergeOptions,
+) -> Experiment {
+    let integrated = integrate(&[minuend, subtrahend], options);
+    let shape = integrated.metadata.shape();
+    let mut a = extend_severity(minuend, &integrated.maps[0], shape);
+    let b = extend_severity(subtrahend, &integrated.maps[1], shape);
+    zip_in_place(a.values_mut(), b.values(), |x, y| x - y);
+    Experiment::new_unchecked(
+        integrated.metadata,
+        a,
+        Provenance::derived("difference", vec![label(minuend), label(subtrahend)]),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// merge
+// ---------------------------------------------------------------------------
+
+/// The merge operator: integrates experiments with different (or
+/// overlapping) metric sets into one experiment with the joint set.
+///
+/// For each metric of the result, the severity comes from the *first*
+/// operand if that operand provides the metric, and from the second
+/// otherwise — the paper's "if it is provided by both experiments we
+/// take it from the first one".
+pub fn merge(first: &Experiment, second: &Experiment) -> Experiment {
+    merge_with(first, second, MergeOptions::default())
+}
+
+/// [`merge`] with explicit integration switches.
+pub fn merge_with(first: &Experiment, second: &Experiment, options: MergeOptions) -> Experiment {
+    let integrated = integrate(&[first, second], options);
+    let shape = integrated.metadata.shape();
+    let a = extend_severity(first, &integrated.maps[0], shape);
+    let b = extend_severity(second, &integrated.maps[1], shape);
+
+    // Which result metrics does the first operand provide?
+    let mut provided_by_first = vec![false; shape.0];
+    for m in &integrated.maps[0].metrics {
+        provided_by_first[m.index()] = true;
+    }
+
+    let block = shape.1 * shape.2;
+    let mut out = Severity::zeros(shape.0, shape.1, shape.2);
+    for (mi, provided) in provided_by_first.iter().enumerate() {
+        let src = if *provided { a.values() } else { b.values() };
+        out.values_mut()[mi * block..(mi + 1) * block]
+            .copy_from_slice(&src[mi * block..(mi + 1) * block]);
+    }
+    Experiment::new_unchecked(
+        integrated.metadata,
+        out,
+        Provenance::derived("merge", vec![label(first), label(second)]),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// n-ary reductions: mean, sum, min, max
+// ---------------------------------------------------------------------------
+
+/// The mean operator: element-wise arithmetic mean of any number of
+/// experiments. Smooths the random perturbation of separate runs, or
+/// summarizes a range of execution parameters in one statement.
+pub fn mean(operands: &[&Experiment]) -> Result<Experiment, AlgebraError> {
+    mean_with(operands, MergeOptions::default())
+}
+
+/// [`mean`] with explicit integration switches.
+pub fn mean_with(
+    operands: &[&Experiment],
+    options: MergeOptions,
+) -> Result<Experiment, AlgebraError> {
+    let mut e = reduce("mean", operands, options, |x, y| x + y)?;
+    let k = operands.len() as f64;
+    scale_in_place(e.severity_mut().values_mut(), 1.0 / k);
+    Ok(e)
+}
+
+/// Element-wise sum of any number of experiments.
+pub fn sum(operands: &[&Experiment]) -> Result<Experiment, AlgebraError> {
+    sum_with(operands, MergeOptions::default())
+}
+
+/// [`sum`] with explicit integration switches.
+pub fn sum_with(
+    operands: &[&Experiment],
+    options: MergeOptions,
+) -> Result<Experiment, AlgebraError> {
+    reduce("sum", operands, options, |x, y| x + y)
+}
+
+/// Element-wise minimum — the selection the paper's §5.1 applies to a
+/// series of ten runs to suppress system noise.
+pub fn min(operands: &[&Experiment]) -> Result<Experiment, AlgebraError> {
+    min_with(operands, MergeOptions::default())
+}
+
+/// [`min`] with explicit integration switches.
+pub fn min_with(
+    operands: &[&Experiment],
+    options: MergeOptions,
+) -> Result<Experiment, AlgebraError> {
+    reduce("min", operands, options, f64::min)
+}
+
+/// Element-wise maximum.
+pub fn max(operands: &[&Experiment]) -> Result<Experiment, AlgebraError> {
+    max_with(operands, MergeOptions::default())
+}
+
+/// [`max`] with explicit integration switches.
+pub fn max_with(
+    operands: &[&Experiment],
+    options: MergeOptions,
+) -> Result<Experiment, AlgebraError> {
+    reduce("max", operands, options, f64::max)
+}
+
+fn reduce(
+    name: &'static str,
+    operands: &[&Experiment],
+    options: MergeOptions,
+    f: impl Fn(f64, f64) -> f64 + Sync,
+) -> Result<Experiment, AlgebraError> {
+    if operands.is_empty() {
+        return Err(AlgebraError::EmptyOperandList { operator: name });
+    }
+    let integrated = integrate(operands, options);
+    let shape = integrated.metadata.shape();
+    let mut acc = extend_severity(operands[0], &integrated.maps[0], shape);
+    for (op, map) in operands.iter().zip(&integrated.maps).skip(1) {
+        let ext = extend_severity(op, map, shape);
+        zip_in_place(acc.values_mut(), ext.values(), &f);
+    }
+    Ok(Experiment::new_unchecked(
+        integrated.metadata,
+        acc,
+        Provenance::derived(name, operands.iter().map(|e| label(e)).collect()),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// scalar operations
+// ---------------------------------------------------------------------------
+
+/// Multiplies every severity value by `factor`, yielding a derived
+/// experiment with the operand's metadata. `scale(e, -1.0)` negates,
+/// `scale(sum, 1.0/k)` averages — useful for building composite
+/// operators by hand.
+pub fn scale(e: &Experiment, factor: f64) -> Experiment {
+    let mut sev = e.severity().clone();
+    scale_in_place(sev.values_mut(), factor);
+    Experiment::new_unchecked(
+        e.metadata().clone(),
+        sev,
+        Provenance::derived("scale", vec![label(e), format!("{factor}")]),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// element-wise kernels
+// ---------------------------------------------------------------------------
+
+fn zip_in_place(dst: &mut [f64], src: &[f64], f: impl Fn(f64, f64) -> f64 + Sync) {
+    debug_assert_eq!(dst.len(), src.len());
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(d, s)| *d = f(*d, *s));
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = f(*d, *s);
+        }
+    }
+}
+
+fn scale_in_place(dst: &mut [f64], factor: f64) {
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut().for_each(|d| *d *= factor);
+    } else {
+        for d in dst {
+            *d *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{ExperimentBuilder, RegionKind, Unit};
+
+    /// One metric, one call node, `ranks` ranks, value `v` everywhere.
+    fn uniform(name: &str, ranks: usize, v: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new(name);
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, ranks);
+        for &tid in &ts {
+            b.set_severity(t, root, tid, v);
+        }
+        b.build().unwrap()
+    }
+
+    /// Experiment with a second metric tree (`flops`), for merge tests.
+    fn with_flops(name: &str, time: f64, flops: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new(name);
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let f = b.def_metric("flops", Unit::Occurrences, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, 2);
+        for &tid in &ts {
+            b.set_severity(t, root, tid, time);
+            b.set_severity(f, root, tid, flops);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diff_of_identical_is_zero() {
+        let a = uniform("a", 4, 3.0);
+        let d = diff(&a, &a);
+        d.validate().unwrap();
+        assert!(d.severity().values().iter().all(|&v| v == 0.0));
+        assert!(d.provenance().is_derived());
+    }
+
+    #[test]
+    fn diff_subtracts_elementwise() {
+        let a = uniform("a", 2, 5.0);
+        let b = uniform("b", 2, 3.5);
+        let d = diff(&a, &b);
+        assert!(d.severity().values().iter().all(|&v| (v - 1.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn diff_zero_extends_missing_entities() {
+        // b has an extra rank; diff(a, b) at that rank = 0 - b's value.
+        let a = uniform("a", 2, 5.0);
+        let b = uniform("b", 3, 3.0);
+        let d = diff(&a, &b);
+        d.validate().unwrap();
+        assert_eq!(d.metadata().num_threads(), 3);
+        let vals = d.severity().values();
+        assert_eq!(vals, &[2.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn diff_is_anticommutative() {
+        let a = uniform("a", 2, 5.0);
+        let b = uniform("b", 2, 3.0);
+        let ab = diff(&a, &b);
+        let ba = diff(&b, &a);
+        let n: Vec<f64> = ba.severity().values().iter().map(|v| -v).collect();
+        assert_eq!(ab.severity().values(), &n[..]);
+    }
+
+    #[test]
+    fn mean_of_single_operand_is_identity_on_values() {
+        let a = uniform("a", 3, 2.0);
+        let m = mean(&[&a]).unwrap();
+        m.validate().unwrap();
+        assert!(m.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn mean_averages() {
+        let a = uniform("a", 2, 2.0);
+        let b = uniform("b", 2, 4.0);
+        let c = uniform("c", 2, 6.0);
+        let m = mean(&[&a, &b, &c]).unwrap();
+        assert!(m.severity().values().iter().all(|&v| (v - 4.0).abs() < 1e-12));
+        match m.provenance() {
+            Provenance::Derived { operator, operands } => {
+                assert_eq!(operator, "mean");
+                assert_eq!(operands.len(), 3);
+            }
+            other => panic!("unexpected provenance {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mean_of_empty_errors() {
+        assert!(matches!(
+            mean(&[]),
+            Err(AlgebraError::EmptyOperandList { operator: "mean" })
+        ));
+        assert!(sum(&[]).is_err());
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_unions_metrics_first_wins() {
+        let a = with_flops("a", 1.0, 100.0);
+        let b = uniform("b", 2, 9.0); // provides `time` only
+        let m = merge(&a, &b);
+        m.validate().unwrap();
+        assert_eq!(m.metadata().num_metrics(), 2);
+        // `time` provided by both → taken from a (1.0, not 9.0).
+        let time = m.metadata().find_metric("time").unwrap();
+        assert_eq!(m.severity().metric_sum(time), 2.0);
+        // `flops` only in a.
+        let flops = m.metadata().find_metric("flops").unwrap();
+        assert_eq!(m.severity().metric_sum(flops), 200.0);
+    }
+
+    #[test]
+    fn merge_takes_second_for_metrics_only_in_second() {
+        let a = uniform("a", 2, 9.0);
+        let b = with_flops("b", 1.0, 100.0);
+        let m = merge(&a, &b);
+        let time = m.metadata().find_metric("time").unwrap();
+        let flops = m.metadata().find_metric("flops").unwrap();
+        assert_eq!(m.severity().metric_sum(time), 18.0); // from a
+        assert_eq!(m.severity().metric_sum(flops), 200.0); // from b
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let a = with_flops("a", 1.0, 100.0);
+        let m = merge(&a, &a);
+        assert!(m.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn min_and_max_select_elementwise() {
+        let a = uniform("a", 2, 2.0);
+        let b = uniform("b", 2, 4.0);
+        let lo = min(&[&a, &b]).unwrap();
+        let hi = max(&[&a, &b]).unwrap();
+        assert!(lo.severity().values().iter().all(|&v| v == 2.0));
+        assert!(hi.severity().values().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn sum_plus_scale_compose_into_mean() {
+        let a = uniform("a", 2, 2.0);
+        let b = uniform("b", 2, 4.0);
+        let composite = scale(&sum(&[&a, &b]).unwrap(), 0.5);
+        let direct = mean(&[&a, &b]).unwrap();
+        assert!(composite.severity().approx_eq(direct.severity(), 1e-12));
+    }
+
+    #[test]
+    fn closure_composite_diff_of_means() {
+        // The paper's motivating composite: difference of averaged data.
+        let a1 = uniform("a1", 2, 2.0);
+        let a2 = uniform("a2", 2, 4.0);
+        let b1 = uniform("b1", 2, 1.0);
+        let b2 = uniform("b2", 2, 2.0);
+        let d = diff(&mean(&[&a1, &a2]).unwrap(), &mean(&[&b1, &b2]).unwrap());
+        d.validate().unwrap();
+        assert!(d.severity().values().iter().all(|&v| (v - 1.5).abs() < 1e-12));
+        assert_eq!(d.provenance().label(), "difference(mean(a1, a2), mean(b1, b2))");
+    }
+
+    #[test]
+    fn operators_preserve_validity() {
+        let a = with_flops("a", 1.0, 10.0);
+        let b = uniform("b", 3, 2.0);
+        for e in [
+            diff(&a, &b),
+            merge(&a, &b),
+            mean(&[&a, &b]).unwrap(),
+            sum(&[&a, &b]).unwrap(),
+            min(&[&a, &b]).unwrap(),
+            max(&[&a, &b]).unwrap(),
+            scale(&a, -2.0),
+        ] {
+            e.validate().expect("operator result must be a valid experiment");
+        }
+    }
+
+    #[test]
+    fn scale_negates() {
+        let a = uniform("a", 1, 3.0);
+        let n = scale(&a, -1.0);
+        assert_eq!(n.severity().values()[0], -3.0);
+    }
+
+    #[test]
+    fn large_arrays_use_parallel_path() {
+        // Shape exceeding PAR_THRESHOLD exercises the rayon branch.
+        let mut b = ExperimentBuilder::new("big");
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let mut parent = b.def_call_node(cs, None);
+        let mut nodes = vec![parent];
+        for _ in 0..255 {
+            parent = b.def_call_node(cs, Some(parent));
+            nodes.push(parent);
+        }
+        let ts = single_threaded_system(&mut b, 300);
+        for &c in &nodes {
+            b.set_severity(t, c, ts[0], 1.0);
+        }
+        let big = b.build().unwrap();
+        assert!(big.severity().len() >= PAR_THRESHOLD);
+        let d = diff(&big, &big);
+        assert!(d.severity().values().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Rendering cost of the display engine, and the baseline
+//! (Karavanic–Miller list difference) vs the closed diff.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cube_algebra::{baseline::performance_difference, ops};
+use cube_bench::{synthetic_experiment, SyntheticShape};
+use cube_display::{BrowserState, RenderOptions};
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("display");
+    for n in [1usize, 4] {
+        let s = SyntheticShape {
+            metrics: 2 * n,
+            call_nodes: 40 * n,
+            threads: 8 * n,
+        };
+        let e = synthetic_experiment(s, 1);
+        let mut state = BrowserState::new(&e);
+        state.expand_all(&e);
+        group.bench_with_input(BenchmarkId::new("full_view_expanded", n), &n, |b, _| {
+            b.iter(|| cube_display::render_view(black_box(&e), black_box(&state), RenderOptions::default()))
+        });
+        let collapsed = BrowserState::new(&e);
+        group.bench_with_input(BenchmarkId::new("full_view_collapsed", n), &n, |b, _| {
+            b.iter(|| cube_display::render_view(black_box(&e), black_box(&collapsed), RenderOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_vs_closed_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("difference_operators");
+    let s = SyntheticShape {
+        metrics: 8,
+        call_nodes: 80,
+        threads: 16,
+    };
+    let a = synthetic_experiment(s, 1);
+    let b = synthetic_experiment(s, 2);
+    group.bench_function("cube_closed_diff", |bench| {
+        bench.iter(|| ops::diff(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("karavanic_miller_list", |bench| {
+        bench.iter(|| performance_difference(black_box(&a), black_box(&b), 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_render, bench_baseline_vs_closed_diff);
+criterion_main!(benches);

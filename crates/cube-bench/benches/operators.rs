@@ -1,0 +1,89 @@
+//! Operator cost vs experiment size, and the metadata fast/slow paths.
+//!
+//! * `diff/equal_metadata/N` — identical metadata: integration takes the
+//!   fast path (identity maps, clone), leaving the element-wise
+//!   subtraction as the dominant cost.
+//! * `diff/overlapping_metadata/N` — realistic integration: structural
+//!   merge plus severity scatter.
+//! * `diff/disjoint_metadata/N` — worst case: nothing matches, the
+//!   result is twice as large.
+//! * `mean/series_k` — n-ary reduction over a 10-run series.
+//! * `merge/...` — the per-metric first-wins selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cube_algebra::ops;
+use cube_bench::{
+    synthetic_disjoint, synthetic_experiment, synthetic_overlapping, SyntheticShape,
+};
+
+fn shape(n: usize) -> SyntheticShape {
+    // n scales all three dimensions; tuple count grows as ~n^3 * 160.
+    SyntheticShape {
+        metrics: 2 * n,
+        call_nodes: 20 * n,
+        threads: 4 * n,
+    }
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff");
+    for n in [1usize, 2, 4, 8] {
+        let s = shape(n);
+        let tuples = (s.metrics * s.call_nodes * s.threads) as u64;
+        group.throughput(Throughput::Elements(tuples));
+
+        let a = synthetic_experiment(s, 1);
+        let b = synthetic_experiment(s, 2);
+        group.bench_with_input(BenchmarkId::new("equal_metadata", n), &n, |bench, _| {
+            bench.iter(|| ops::diff(black_box(&a), black_box(&b)))
+        });
+
+        let o = synthetic_overlapping(s, 3);
+        group.bench_with_input(
+            BenchmarkId::new("overlapping_metadata", n),
+            &n,
+            |bench, _| bench.iter(|| ops::diff(black_box(&a), black_box(&o))),
+        );
+
+        let d = synthetic_disjoint(s, 4);
+        group.bench_with_input(BenchmarkId::new("disjoint_metadata", n), &n, |bench, _| {
+            bench.iter(|| ops::diff(black_box(&a), black_box(&d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mean");
+    let s = shape(4);
+    for k in [2usize, 5, 10] {
+        let series: Vec<_> = (0..k as u64).map(|i| synthetic_experiment(s, i)).collect();
+        let refs: Vec<&cube_model::Experiment> = series.iter().collect();
+        group.bench_with_input(BenchmarkId::new("series", k), &k, |bench, _| {
+            bench.iter(|| ops::mean(black_box(&refs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for n in [1usize, 4] {
+        let s = shape(n);
+        let a = synthetic_experiment(s, 1);
+        let d = synthetic_disjoint(s, 2);
+        group.bench_with_input(BenchmarkId::new("disjoint_metrics", n), &n, |bench, _| {
+            bench.iter(|| ops::merge(black_box(&a), black_box(&d)))
+        });
+        let b = synthetic_experiment(s, 3);
+        group.bench_with_input(BenchmarkId::new("shared_metrics", n), &n, |bench, _| {
+            bench.iter(|| ops::merge(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_mean, bench_merge);
+criterion_main!(benches);

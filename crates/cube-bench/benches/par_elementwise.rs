@@ -1,0 +1,65 @@
+//! Ablation: Rayon data-parallel element-wise arithmetic vs serial.
+//!
+//! The operators switch to `par_iter` above a threshold; this bench
+//! justifies both the parallel path (large arrays) and the threshold
+//! (small arrays would lose to fork/join overhead). Serial baselines
+//! are hand-rolled here; the library path is exercised through
+//! `ops::diff` on equal metadata, where the element-wise kernel
+//! dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+use cube_algebra::ops;
+use cube_bench::{synthetic_experiment, SyntheticShape};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise_kernel");
+    for len in [1usize << 12, 1 << 16, 1 << 20] {
+        let a: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..len).map(|i| (i * 7 % 13) as f64).collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("serial", len), &len, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                for (d, s) in dst.iter_mut().zip(&b) {
+                    *d -= *s;
+                }
+                black_box(dst)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", len), &len, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                dst.par_iter_mut().zip(b.par_iter()).for_each(|(d, s)| *d -= *s);
+                black_box(dst)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_operator_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_kernel_path");
+    // Below threshold (serial) and above threshold (parallel).
+    for (label, n) in [("below_threshold", 2usize), ("above_threshold", 10)] {
+        let s = SyntheticShape {
+            metrics: 2 * n,
+            call_nodes: 20 * n,
+            threads: 4 * n,
+        };
+        let a = synthetic_experiment(s, 1);
+        let b = synthetic_experiment(s, 2);
+        group.throughput(Throughput::Elements(
+            (s.metrics * s.call_nodes * s.threads) as u64,
+        ));
+        group.bench_function(label, |bench| {
+            bench.iter(|| ops::diff(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_operator_path);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Throughput of the `.cube` XML writer and reader.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cube_bench::{synthetic_experiment, SyntheticShape};
+
+fn bench_xml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml");
+    for n in [1usize, 4, 8] {
+        let s = SyntheticShape {
+            metrics: 2 * n,
+            call_nodes: 20 * n,
+            threads: 4 * n,
+        };
+        let e = synthetic_experiment(s, 1);
+        let text = cube_xml::write_experiment(&e);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("write", n), &n, |bench, _| {
+            bench.iter(|| cube_xml::write_experiment(black_box(&e)))
+        });
+        group.bench_with_input(BenchmarkId::new("read", n), &n, |bench, _| {
+            bench.iter(|| cube_xml::read_experiment(black_box(&text)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 1**: the CUBE display showing the unoptimized
+//! PESCAN run with the *Wait at Barrier* metric selected — "a large
+//! fraction of the execution time is spent waiting in front of barriers
+//! (13.2 %)".
+//!
+//! ```text
+//! cargo run --release -p cube-bench --bin fig1_pescan_baseline
+//! ```
+
+use cube_bench::metric_total_by_name;
+use cube_display::{BrowserState, RenderOptions, ValueMode};
+use expert::{analyze, AnalyzeOptions};
+use simmpi::apps::{pescan, PescanConfig};
+use simmpi::{simulate, EpilogTracer, MachineModel};
+
+fn main() {
+    // The paper's setup: 16 processes on four 4-way SMP nodes.
+    let cfg = PescanConfig::default();
+    let program = pescan(&cfg);
+    let mut tracer = EpilogTracer::new("Pentium III Xeon 550 MHz cluster (simulated)", 4);
+    simulate(&program, &MachineModel::default(), &mut tracer)
+        .expect("simulation succeeds");
+    let trace = tracer.into_trace();
+    let experiment = analyze(
+        &trace,
+        &AnalyzeOptions {
+            name: Some("pescan, unoptimized, medium-sized particle model".into()),
+        },
+    )
+    .expect("trace analyzes cleanly");
+
+    // Figure 1's view: percent mode, Wait at Barrier selected, trees
+    // expanded down to the selection.
+    let mut state = BrowserState::new(&experiment);
+    state.expand_all(&experiment);
+    assert!(state.select_metric_by_name(&experiment, "Wait at Barrier"));
+    state.select_call_by_region(&experiment, "MPI_Barrier");
+    state.value_mode = ValueMode::Percent;
+    println!("=== Figure 1: CUBE display, unoptimized PESCAN ===\n");
+    println!(
+        "{}",
+        cube_display::render_view(&experiment, &state, RenderOptions::default())
+    );
+
+    let time = metric_total_by_name(&experiment, "Time");
+    println!("series the paper reports:");
+    for name in [
+        "Time",
+        "Execution",
+        "MPI",
+        "Communication",
+        "Collective",
+        "Wait at N x N",
+        "P2P",
+        "Late Sender",
+        "Synchronization",
+        "Wait at Barrier",
+        "Barrier Completion",
+    ] {
+        let v = metric_total_by_name(&experiment, name);
+        println!("  {name:<20} {:>6.1} % of execution time", v / time * 100.0);
+    }
+    let wab = metric_total_by_name(&experiment, "Wait at Barrier") / time * 100.0;
+    println!("\nheadline: Wait-at-Barrier = {wab:.1} %   (paper: 13.2 %)");
+}

@@ -1,0 +1,121 @@
+//! Regenerates **Figure 3**: "Merge of outputs from CONE and EXPERT" —
+//! one EXPERT trace analysis of SWEEP3D merged with *two* CONE
+//! call-graph profiles collected with conflicting event sets
+//! ({PAPI_TOT_CYC, PAPI_TOT_INS, PAPI_FP_INS} and {PAPI_L1_DCA,
+//! PAPI_L1_DCM}), rendered as one experiment with the joint metric
+//! forest. The call tree shows the percentage distribution of cache
+//! misses with a high concentration at `MPI_Recv` calls, which are at
+//! the same time sources of Late-Sender problems.
+//!
+//! ```text
+//! cargo run --release -p cube-bench --bin fig3_merge_integration
+//! ```
+
+use cube_algebra::ops;
+use cube_bench::metric_total_by_name;
+use cube_display::{BrowserState, RenderOptions, ValueMode};
+use cube_model::aggregate::{call_value, CallSelection, MetricSelection};
+use cube_model::Experiment;
+use cone::{ConeProfiler, EventSet};
+use expert::{analyze, AnalyzeOptions};
+use simmpi::apps::sweep3d::{grid_coordinates, sweep3d, Sweep3dConfig};
+use simmpi::{simulate, EpilogTracer, MachineModel};
+
+fn cone_profile(set: EventSet) -> Experiment {
+    let program = sweep3d(&Sweep3dConfig::default());
+    let mut profiler = ConeProfiler::new(set)
+        .expect("conflict-free event set")
+        .with_layout("IBM POWER4 (simulated)", 4);
+    simulate(&program, &MachineModel::default(), &mut profiler).expect("simulation succeeds");
+    profiler.into_experiment().expect("valid experiment")
+}
+
+fn main() {
+    // Run 1: EXPERT on a trace of SWEEP3D, with the process grid
+    // recorded as topology information.
+    let cfg = Sweep3dConfig::default();
+    let program = sweep3d(&cfg);
+    let mut tracer = EpilogTracer::new("IBM POWER4 (simulated)", 4).with_topology(
+        "process grid",
+        vec![cfg.px as u32, cfg.py as u32],
+        vec![false, false],
+        grid_coordinates(&cfg),
+    );
+    simulate(&program, &MachineModel::default(), &mut tracer).expect("simulation succeeds");
+    let expert_exp = analyze(
+        &tracer.into_trace(),
+        &AnalyzeOptions {
+            name: Some("EXPERT (sweep3d trace)".into()),
+        },
+    )
+    .expect("trace analyzes cleanly");
+    // Runs 2+3: CONE with the two conflicting event sets.
+    let fp = cone_profile(EventSet::flops());
+    let l1 = cone_profile(EventSet::l1_cache());
+
+    let merged = ops::merge(&ops::merge(&expert_exp, &fp), &l1);
+    merged.validate().expect("closure");
+
+    let mut state = BrowserState::new(&merged);
+    state.expand_all(&merged);
+    assert!(state.select_metric_by_name(&merged, "PAPI_L1_DCM"));
+    state.select_call_by_region(&merged, "MPI_Recv");
+    state.value_mode = ValueMode::Percent;
+    println!("=== Figure 3: merged EXPERT + CONE(FP) + CONE(L1) experiment ===\n");
+    println!(
+        "{}",
+        cube_display::render_view(&merged, &state, RenderOptions::default())
+    );
+
+    println!("rows the paper reports:");
+    println!(
+        "  metric roots in the joint forest: {:?}",
+        merged
+            .metadata()
+            .metric_roots()
+            .iter()
+            .map(|&m| merged.metadata().metric(m).name.as_str())
+            .collect::<Vec<_>>()
+    );
+    let md = merged.metadata();
+    let dcm = md.find_metric("PAPI_L1_DCM").expect("from the L1 run");
+    let all_misses = metric_total_by_name(&merged, "PAPI_L1_DCM");
+    let recv_misses: f64 = md
+        .call_node_ids()
+        .filter(|&c| md.region(md.call_node_callee(c)).name == "MPI_Recv")
+        .map(|c| {
+            call_value(
+                &merged,
+                MetricSelection::inclusive(dcm),
+                CallSelection::exclusive(c),
+            )
+        })
+        .sum();
+    println!(
+        "  cache misses at MPI_Recv call paths: {:.1} % of all misses",
+        recv_misses / all_misses * 100.0
+    );
+    println!(
+        "  Late-Sender waiting at the same call paths: {:.4} s",
+        metric_total_by_name(&merged, "Late Sender")
+    );
+    println!(
+        "  FP_INS (from the other, conflicting event set): {:.3e}",
+        metric_total_by_name(&merged, "PAPI_FP_INS")
+    );
+    // Topology heat views (the paper's future-work visualization): the
+    // same derived experiment, projected onto the recorded process grid.
+    let mut tstate = BrowserState::new(&merged);
+    for metric in ["Late Sender", "PAPI_L1_DCM"] {
+        assert!(tstate.select_metric_by_name(&merged, metric));
+        if let Some(view) =
+            cube_display::render_topology(&merged, &tstate, 0, RenderOptions::default())
+        {
+            println!("\nseverity of '{metric}' over the process grid:\n{view}");
+        }
+    }
+    println!(
+        "\nheadline: one derived experiment integrates trace analysis and both \
+         counter sets that no single run could measure together"
+    );
+}

@@ -1,0 +1,83 @@
+//! Regenerates the **§5.1 speedup measurement**: "We created two series
+//! of ten experiments for either configuration and took the minimum of
+//! each series as a representative. The speedup obtained for the solver
+//! by removing the barriers was about 16 %."
+//!
+//! Runs both PESCAN configurations ten times, uninstrumented, under OS
+//! noise; prints the series, the minima, and the speedup. Also shows
+//! the algebra's `min`/`mean` operators applied to the corresponding
+//! analyzed experiments — the tool-side version of the same protocol.
+//!
+//! ```text
+//! cargo run --release -p cube-bench --bin tab_speedup_series
+//! ```
+
+use cube_algebra::ops;
+use cube_bench::metric_total_by_name;
+use cube_model::Experiment;
+use expert::{analyze, AnalyzeOptions};
+use simmpi::apps::{pescan, PescanConfig};
+use simmpi::{simulate, EpilogTracer, MachineModel, NoiseModel, NullMonitor};
+
+const RUNS: usize = 10;
+const NOISE: f64 = 0.08;
+
+fn model(seed: u64) -> MachineModel {
+    MachineModel {
+        noise: NoiseModel {
+            amplitude: NOISE,
+            seed,
+        },
+        ..MachineModel::default()
+    }
+}
+
+fn main() {
+    println!("=== §5.1 protocol: two series of {RUNS} uninstrumented runs ===\n");
+    let mut minima = [f64::INFINITY; 2];
+    for (ci, barriers) in [true, false].into_iter().enumerate() {
+        let label = if barriers { "original " } else { "optimized" };
+        print!("{label}: ");
+        for run in 0..RUNS {
+            let program = pescan(&PescanConfig {
+                barriers,
+                ..PescanConfig::default()
+            });
+            let seed = (ci as u64) * 1000 + run as u64;
+            let report = simulate(&program, &model(seed), &mut NullMonitor)
+                .expect("simulation succeeds");
+            minima[ci] = minima[ci].min(report.elapsed);
+            print!("{:7.4} ", report.elapsed);
+        }
+        println!("  min = {:.4} s", minima[ci]);
+    }
+    let speedup = (minima[0] - minima[1]) / minima[0] * 100.0;
+    println!("\nspeedup from removing the barriers: {speedup:.1} %   (paper: ~16 %)");
+
+    // The same protocol expressed in the algebra: min over analyzed
+    // experiments of each series, then compare Times.
+    println!("\n=== the same selection via the algebra (3 traced runs per series) ===");
+    let analyzed = |barriers: bool, seed: u64| -> Experiment {
+        let program = pescan(&PescanConfig {
+            barriers,
+            ..PescanConfig::default()
+        });
+        let mut tracer = EpilogTracer::new("cluster", 4);
+        simulate(&program, &model(seed), &mut tracer).expect("simulation succeeds");
+        analyze(&tracer.into_trace(), &AnalyzeOptions::default()).expect("analysis succeeds")
+    };
+    for barriers in [true, false] {
+        let series: Vec<Experiment> = (0..3)
+            .map(|i| analyzed(barriers, 7000 + i + if barriers { 0 } else { 500 }))
+            .collect();
+        let refs: Vec<&Experiment> = series.iter().collect();
+        let best = ops::min(&refs).expect("non-empty series");
+        let smooth = ops::mean(&refs).expect("non-empty series");
+        println!(
+            "  barriers={barriers}: min(Time) = {:.4} s, mean(Time) = {:.4} s",
+            metric_total_by_name(&best, "Time"),
+            metric_total_by_name(&smooth, "Time"),
+        );
+    }
+    println!("\n(derived min/mean experiments remain valid CUBE experiments — closure)");
+}

@@ -1,0 +1,733 @@
+//! # cube-cli — the `cube` command-line tool
+//!
+//! Applies the CUBE algebra to `.cube` files from the shell, mirroring
+//! the utilities that grew around the original library:
+//!
+//! ```text
+//! cube diff  OLD.cube NEW.cube -o DIFF.cube    # difference operator
+//! cube merge A.cube B.cube     -o OUT.cube     # merge operator
+//! cube mean  R1.cube R2.cube … -o OUT.cube     # mean operator
+//! cube min|max|sum …           -o OUT.cube     # series reductions
+//! cube scale A.cube 0.5        -o OUT.cube     # scalar multiple
+//! cube cut   A.cube --prune REGION -o OUT.cube # call-tree surgery
+//! cube cut   A.cube --reroot REGION -o OUT.cube
+//! cube stddev R1.cube R2.cube … -o OUT.cube    # series variability
+//! cube info  A.cube                            # summary
+//! cube stat  A.cube                            # per-metric totals
+//! cube calltree A.cube [--metric M]            # call tree with values
+//! cube hotspots A.cube [--metric M] [--top K]  # top-k severity tuples
+//! cube cmp   A.cube B.cube [--tol 1e-9]        # compare (exit code)
+//! cube browse A.cube [--ansi]                  # interactive browser
+//! cube view  A.cube [--metric M] [--call R] [--percent]
+//!            [--normalize REF.cube] [--expand-all] [--flat] [--ansi]
+//!            [--topology N]                     # append a heat view
+//! ```
+//!
+//! Because the algebra is closed, outputs of any subcommand are valid
+//! inputs of any other — composite operations are shell pipelines over
+//! files.
+
+pub mod browse;
+
+use std::fmt::Write as _;
+
+use cube_algebra::{ops, CallSiteEq, MergeOptions, SystemMergeMode};
+use cube_display::{BrowserState, NormalizationRef, ProgramView, RenderOptions, ValueMode};
+use cube_model::aggregate::{metric_total, MetricSelection};
+use cube_model::Experiment;
+use cube_xml::{read_experiment_file, write_experiment_file};
+
+/// Outcome of a CLI invocation: process exit code plus captured stdout.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Process exit code (0 = success; `cmp` uses 1 for "different").
+    pub code: i32,
+    /// What would be printed to stdout.
+    pub stdout: String,
+}
+
+fn ok(stdout: String) -> Result<Outcome, String> {
+    Ok(Outcome { code: 0, stdout })
+}
+
+/// Runs the tool on the given arguments (without the program name).
+///
+/// Returns `Err` with a message for usage errors and I/O failures; the
+/// binary prints it to stderr and exits nonzero.
+pub fn run(args: &[String]) -> Result<Outcome, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "diff" => binary_op(rest, "diff"),
+        "merge" => binary_op(rest, "merge"),
+        "mean" | "sum" | "min" | "max" | "stddev" => nary_op(rest, cmd),
+        "scale" => scale(rest),
+        "cut" => cut(rest),
+        "info" => info(rest),
+        "stat" => stat(rest),
+        "calltree" => calltree(rest),
+        "hotspots" => hotspots_cmd(rest),
+        "cmp" => cmp(rest),
+        "view" => view(rest),
+        "browse" => browse_cmd(rest),
+        "help" | "--help" | "-h" => ok(usage()),
+        other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: cube <diff|merge|mean|sum|min|max|stddev|scale|cut|info|stat|calltree|hotspots|cmp|view|browse|help> ...\n\
+     see the crate documentation for per-subcommand flags"
+        .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// argument helpers
+// ---------------------------------------------------------------------------
+
+struct Parsed {
+    positional: Vec<String>,
+    output: Option<String>,
+    flags: Vec<String>,
+    valued: Vec<(String, String)>,
+}
+
+const VALUED_FLAGS: &[&str] = &[
+    "--normalize",
+    "--metric",
+    "--call",
+    "--tol",
+    "--prune",
+    "--reroot",
+    "--top",
+    "--topology",
+];
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut p = Parsed {
+        positional: Vec::new(),
+        output: None,
+        flags: Vec::new(),
+        valued: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "-o" || a == "--output" {
+            let v = it.next().ok_or("missing value after -o")?;
+            p.output = Some(v.clone());
+        } else if VALUED_FLAGS.contains(&a.as_str()) {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("missing value after {a}"))?;
+            p.valued.push((a.clone(), v.clone()));
+        } else if a.starts_with("--") {
+            p.flags.push(a.clone());
+        } else {
+            p.positional.push(a.clone());
+        }
+    }
+    Ok(p)
+}
+
+impl Parsed {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.valued
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn merge_options(&self) -> MergeOptions {
+        let mut o = MergeOptions::default();
+        if self.flag("--strict-csite") {
+            o.call_site_eq = CallSiteEq::Strict;
+        }
+        if self.flag("--collapse") {
+            o.system_mode = SystemMergeMode::Collapse;
+        }
+        if self.flag("--copy-first") {
+            o.system_mode = SystemMergeMode::CopyFirst;
+        }
+        o
+    }
+}
+
+fn load(path: &str) -> Result<Experiment, String> {
+    read_experiment_file(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn store(exp: &Experiment, path: &str) -> Result<(), String> {
+    write_experiment_file(exp, path).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// operator subcommands
+// ---------------------------------------------------------------------------
+
+fn binary_op(args: &[String], which: &str) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 2 {
+        return Err(format!("cube {which} takes exactly two input files"));
+    }
+    let a = load(&p.positional[0])?;
+    let b = load(&p.positional[1])?;
+    let opts = p.merge_options();
+    let result = match which {
+        "diff" => ops::diff_with(&a, &b, opts),
+        "merge" => ops::merge_with(&a, &b, opts),
+        _ => unreachable!("binary_op called with {which}"),
+    };
+    let out = p.output.ok_or("missing -o OUTPUT")?;
+    store(&result, &out)?;
+    ok(format!("wrote {out}: {}\n", result.provenance().label()))
+}
+
+fn nary_op(args: &[String], which: &str) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.is_empty() {
+        return Err(format!("cube {which} needs at least one input file"));
+    }
+    let exps: Vec<Experiment> = p
+        .positional
+        .iter()
+        .map(|f| load(f))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&Experiment> = exps.iter().collect();
+    let opts = p.merge_options();
+    let result = match which {
+        "mean" => ops::mean_with(&refs, opts),
+        "sum" => ops::sum_with(&refs, opts),
+        "min" => ops::min_with(&refs, opts),
+        "max" => ops::max_with(&refs, opts),
+        "stddev" => {
+            let mut e = cube_algebra::stats::variance_with(&refs, opts)
+                .map_err(|err| err.to_string())?;
+            for v in e.severity_mut().values_mut() {
+                *v = v.sqrt();
+            }
+            Ok(e)
+        }
+        _ => unreachable!("nary_op called with {which}"),
+    }
+    .map_err(|e| e.to_string())?;
+    let out = p.output.ok_or("missing -o OUTPUT")?;
+    store(&result, &out)?;
+    ok(format!("wrote {out}: {}\n", result.provenance().label()))
+}
+
+fn scale(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 2 {
+        return Err("cube scale takes INPUT and FACTOR".into());
+    }
+    let a = load(&p.positional[0])?;
+    let factor: f64 = p.positional[1]
+        .parse()
+        .map_err(|_| format!("'{}' is not a number", p.positional[1]))?;
+    let result = ops::scale(&a, factor);
+    let out = p.output.ok_or("missing -o OUTPUT")?;
+    store(&result, &out)?;
+    ok(format!("wrote {out}: {}\n", result.provenance().label()))
+}
+
+fn cut(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 1 {
+        return Err("cube cut takes exactly one input file".into());
+    }
+    let a = load(&p.positional[0])?;
+    let find = |region: &str| {
+        let md = a.metadata();
+        md.call_node_ids()
+            .find(|&c| md.region(md.call_node_callee(c)).name == region)
+            .ok_or_else(|| format!("no call path with callee '{region}'"))
+    };
+    let result = match (p.value("--prune"), p.value("--reroot")) {
+        (Some(r), None) => cube_algebra::cut::prune(&a, find(r)?),
+        (None, Some(r)) => cube_algebra::cut::reroot(&a, find(r)?),
+        _ => return Err("cube cut needs exactly one of --prune REGION or --reroot REGION".into()),
+    };
+    let out = p.output.ok_or("missing -o OUTPUT")?;
+    store(&result, &out)?;
+    ok(format!("wrote {out}: {}\n", result.provenance().label()))
+}
+
+// ---------------------------------------------------------------------------
+// inspection subcommands
+// ---------------------------------------------------------------------------
+
+fn info(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 1 {
+        return Err("cube info takes exactly one input file".into());
+    }
+    let e = load(&p.positional[0])?;
+    let md = e.metadata();
+    let mut s = String::new();
+    let _ = writeln!(s, "experiment: {}", e.provenance().label());
+    let _ = writeln!(
+        s,
+        "derived:    {}",
+        if e.provenance().is_derived() { "yes" } else { "no" }
+    );
+    let _ = writeln!(
+        s,
+        "metrics:    {} ({} roots)",
+        md.num_metrics(),
+        md.metric_roots().len()
+    );
+    let _ = writeln!(
+        s,
+        "program:    {} modules, {} regions, {} call sites, {} call paths",
+        md.modules().len(),
+        md.regions().len(),
+        md.call_sites().len(),
+        md.num_call_nodes()
+    );
+    let _ = writeln!(
+        s,
+        "system:     {} machines, {} nodes, {} processes, {} threads",
+        md.machines().len(),
+        md.nodes().len(),
+        md.processes().len(),
+        md.num_threads()
+    );
+    let nonzero = e.severity().iter_nonzero().count();
+    let _ = writeln!(
+        s,
+        "severity:   {} tuples, {} nonzero",
+        e.severity().len(),
+        nonzero
+    );
+    ok(s)
+}
+
+fn stat(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 1 {
+        return Err("cube stat takes exactly one input file".into());
+    }
+    let e = load(&p.positional[0])?;
+    let md = e.metadata();
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<28} {:>16} {:>9}  unit", "metric", "total", "% root");
+    for m in md.metric_ids() {
+        let total = metric_total(&e, MetricSelection::inclusive(m));
+        let root = md.metric_root_of(m);
+        let root_total = metric_total(&e, MetricSelection::inclusive(root));
+        let pct = if root_total != 0.0 {
+            total / root_total * 100.0
+        } else {
+            0.0
+        };
+        let depth = {
+            let mut d = 0;
+            let mut cur = m;
+            while let Some(parent) = md.metric(cur).parent {
+                d += 1;
+                cur = parent;
+            }
+            d
+        };
+        let name = format!("{}{}", "  ".repeat(depth), md.metric(m).name);
+        let _ = writeln!(
+            s,
+            "{name:<28} {total:>16.6} {pct:>8.1}%  {}",
+            md.metric(m).unit
+        );
+    }
+    ok(s)
+}
+
+fn calltree(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 1 {
+        return Err("cube calltree takes exactly one input file".into());
+    }
+    let e = load(&p.positional[0])?;
+    let md = e.metadata();
+    let metric = match p.value("--metric") {
+        Some(name) => md
+            .find_metric(name)
+            .ok_or_else(|| format!("no metric named '{name}'"))?,
+        None => *md
+            .metric_roots()
+            .first()
+            .ok_or("experiment has no metrics")?,
+    };
+    let msel = MetricSelection::inclusive(metric);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "call tree of {} (metric '{}', inclusive values)",
+        e.provenance().label(),
+        md.metric(metric).name
+    );
+    // Preorder traversal with depth.
+    let mut stack: Vec<(cube_model::CallNodeId, usize)> =
+        md.call_roots().iter().rev().map(|&c| (c, 0)).collect();
+    while let Some((c, depth)) = stack.pop() {
+        let value = cube_model::aggregate::call_value(
+            &e,
+            msel,
+            cube_model::aggregate::CallSelection::inclusive(c),
+        );
+        let _ = writeln!(
+            s,
+            "{value:>14.6}  {}{}",
+            "  ".repeat(depth),
+            md.region(md.call_node_callee(c)).name
+        );
+        for &child in md.call_node_children(c).iter().rev() {
+            stack.push((child, depth + 1));
+        }
+    }
+    ok(s)
+}
+
+fn hotspots_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 1 {
+        return Err("cube hotspots takes exactly one input file".into());
+    }
+    let e = load(&p.positional[0])?;
+    let md = e.metadata();
+    let metric = match p.value("--metric") {
+        Some(name) => md
+            .find_metric(name)
+            .ok_or_else(|| format!("no metric named '{name}'"))?,
+        None => *md
+            .metric_roots()
+            .first()
+            .ok_or("experiment has no metrics")?,
+    };
+    let k: usize = match p.valued.iter().find(|(key, _)| key == "--top") {
+        Some((_, v)) => v.parse().map_err(|_| "bad --top value".to_string())?,
+        None => 10,
+    };
+    let spots = cube_algebra::stats::hotspots(&e, metric, k);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "top {} severities of metric '{}' in {}",
+        spots.len(),
+        md.metric(metric).name,
+        e.provenance().label()
+    );
+    for h in spots {
+        let thread = md.thread(h.thread);
+        let rank = md.process(thread.process).rank;
+        let _ = writeln!(
+            s,
+            "{:>14.6}  rank {rank} thread {}  {}",
+            h.value,
+            thread.number,
+            md.call_path(h.call_node).join(" / ")
+        );
+    }
+    ok(s)
+}
+
+fn browse_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 1 {
+        return Err("cube browse takes exactly one input file".into());
+    }
+    let e = load(&p.positional[0])?;
+    let stdin = std::io::stdin();
+    let out = browse::browse(&e, stdin.lock(), p.flag("--ansi"));
+    ok(out)
+}
+
+fn cmp(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 2 {
+        return Err("cube cmp takes exactly two input files".into());
+    }
+    let a = load(&p.positional[0])?;
+    let b = load(&p.positional[1])?;
+    let tol: f64 = p
+        .value("--tol")
+        .unwrap_or("1e-9")
+        .parse()
+        .map_err(|_| "bad --tol value".to_string())?;
+    if a.approx_eq(&b, tol) {
+        ok("experiments are equal\n".to_string())
+    } else {
+        let why = if a.metadata() != b.metadata() {
+            "metadata differs"
+        } else {
+            "severity values differ"
+        };
+        Ok(Outcome {
+            code: 1,
+            stdout: format!("experiments differ: {why}\n"),
+        })
+    }
+}
+
+fn view(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 1 {
+        return Err("cube view takes exactly one input file".into());
+    }
+    let e = load(&p.positional[0])?;
+    let mut state = BrowserState::new(&e);
+    if p.flag("--expand-all") {
+        state.expand_all(&e);
+    }
+    if let Some(m) = p.value("--metric") {
+        if !state.select_metric_by_name(&e, m) {
+            return Err(format!("no metric named '{m}'"));
+        }
+    }
+    if let Some(r) = p.value("--call") {
+        if !state.select_call_by_region(&e, r) {
+            return Err(format!("no call path with callee '{r}'"));
+        }
+    }
+    if p.flag("--flat") {
+        state.program_view = ProgramView::FlatProfile;
+    }
+    if let Some(reference) = p.value("--normalize") {
+        let r = load(reference)?;
+        state.value_mode = ValueMode::PercentNormalized(NormalizationRef::from_experiment(&r));
+    } else if p.flag("--percent") {
+        state.value_mode = ValueMode::Percent;
+    }
+    let opts = RenderOptions {
+        ansi: p.flag("--ansi"),
+        ..RenderOptions::default()
+    };
+    let mut out = cube_display::render_view(&e, &state, opts);
+    if let Some(idx) = p.value("--topology") {
+        let idx: usize = idx.parse().map_err(|_| "bad --topology index".to_string())?;
+        match cube_display::render_topology(&e, &state, idx, opts) {
+            Some(view) => {
+                out.push('\n');
+                out.push_str(&view);
+            }
+            None => return Err(format!("experiment has no renderable topology {idx}")),
+        }
+    }
+    ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{ExperimentBuilder, RegionKind, Unit};
+    use std::path::PathBuf;
+
+    fn sample(value: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new(format!("cli sample {value}"));
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a.c", "/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 9);
+        let solve_r = b.def_region("solve", m, RegionKind::Function, 2, 8);
+        let cs0 = b.def_call_site("a.c", 1, main_r);
+        let cs1 = b.def_call_site("a.c", 3, solve_r);
+        let root = b.def_call_node(cs0, None);
+        let solve = b.def_call_node(cs1, Some(root));
+        let ts = single_threaded_system(&mut b, 2);
+        for &t in &ts {
+            b.set_severity(time, root, t, value);
+            b.set_severity(time, solve, t, value * 2.0);
+        }
+        b.build().unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cube_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_sample(name: &str, value: f64) -> String {
+        let path = tmp(name);
+        write_experiment_file(&sample(value), &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn diff_then_info() {
+        let a = write_sample("a.cube", 5.0);
+        let b = write_sample("b.cube", 3.0);
+        let out = tmp("d.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["diff", &a, &b, "-o", &out])).unwrap();
+        assert_eq!(r.code, 0);
+        let d = read_experiment_file(&out).unwrap();
+        assert!(d.provenance().is_derived());
+        assert_eq!(d.severity().values(), &[2.0, 2.0, 4.0, 4.0]);
+
+        let info = run(&args(&["info", &out])).unwrap();
+        assert!(info.stdout.contains("derived:    yes"));
+        assert!(info.stdout.contains("2 processes"));
+    }
+
+    #[test]
+    fn mean_and_cmp_roundtrip() {
+        let a = write_sample("m1.cube", 2.0);
+        let b = write_sample("m2.cube", 4.0);
+        let c = write_sample("m3.cube", 3.0);
+        let out = tmp("mean.cube").to_string_lossy().into_owned();
+        run(&args(&["mean", &a, &b, &c, "-o", &out])).unwrap();
+        // mean(2,4,3) == 3 → equal to the value-3 sample except provenance.
+        let r = run(&args(&["cmp", &out, &c])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+
+        let r = run(&args(&["cmp", &out, &a])).unwrap();
+        assert_eq!(r.code, 1);
+        assert!(r.stdout.contains("differ"));
+    }
+
+    #[test]
+    fn min_max_sum_scale() {
+        let a = write_sample("x1.cube", 2.0);
+        let b = write_sample("x2.cube", 4.0);
+        let lo = tmp("lo.cube").to_string_lossy().into_owned();
+        let hi = tmp("hi.cube").to_string_lossy().into_owned();
+        let s = tmp("s.cube").to_string_lossy().into_owned();
+        let half = tmp("half.cube").to_string_lossy().into_owned();
+        run(&args(&["min", &a, &b, "-o", &lo])).unwrap();
+        run(&args(&["max", &a, &b, "-o", &hi])).unwrap();
+        run(&args(&["sum", &a, &b, "-o", &s])).unwrap();
+        run(&args(&["scale", &s, "0.5", "-o", &half])).unwrap();
+        assert_eq!(read_experiment_file(&lo).unwrap().severity().values()[0], 2.0);
+        assert_eq!(read_experiment_file(&hi).unwrap().severity().values()[0], 4.0);
+        assert_eq!(read_experiment_file(&s).unwrap().severity().values()[0], 6.0);
+        assert_eq!(read_experiment_file(&half).unwrap().severity().values()[0], 3.0);
+    }
+
+    #[test]
+    fn stat_lists_metrics() {
+        let a = write_sample("stat.cube", 1.0);
+        let r = run(&args(&["stat", &a])).unwrap();
+        assert!(r.stdout.contains("time"));
+        assert!(r.stdout.contains("100.0%"));
+        assert!(r.stdout.contains("sec"));
+    }
+
+    #[test]
+    fn view_renders_three_panes() {
+        let a = write_sample("view.cube", 1.0);
+        let r = run(&args(&["view", &a, "--expand-all", "--percent"])).unwrap();
+        assert!(r.stdout.contains("--- metric tree ---"));
+        assert!(r.stdout.contains("solve"));
+        assert!(r.stdout.contains('%'));
+        // Selection flags work.
+        let r = run(&args(&["view", &a, "--call", "solve"])).unwrap();
+        assert!(r.stdout.contains("call path 'solve'"));
+        assert!(run(&args(&["view", &a, "--metric", "nope"])).is_err());
+    }
+
+    #[test]
+    fn view_normalized_against_reference() {
+        let a = write_sample("na.cube", 1.0);
+        let reference = write_sample("nref.cube", 2.0);
+        let r = run(&args(&["view", &a, "--normalize", &reference])).unwrap();
+        assert!(r.stdout.contains("normalized"));
+        // a's total (6) over the reference total (12) = 50%.
+        assert!(r.stdout.contains("50.0%"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn cut_prune_and_reroot() {
+        let a = write_sample("cut.cube", 1.0);
+        let pruned = tmp("pruned.cube").to_string_lossy().into_owned();
+        run(&args(&["cut", &a, "--prune", "main", "-o", &pruned])).unwrap();
+        let e = read_experiment_file(&pruned).unwrap();
+        assert_eq!(e.metadata().num_call_nodes(), 1);
+        // Totals preserved by prune: 2 ranks * (1 + 2).
+        assert_eq!(e.severity().values().iter().sum::<f64>(), 6.0);
+
+        let rerooted = tmp("rerooted.cube").to_string_lossy().into_owned();
+        run(&args(&["cut", &a, "--reroot", "solve", "-o", &rerooted])).unwrap();
+        let e = read_experiment_file(&rerooted).unwrap();
+        assert_eq!(e.metadata().num_call_nodes(), 1);
+        assert_eq!(e.severity().values().iter().sum::<f64>(), 4.0);
+
+        assert!(run(&args(&["cut", &a, "-o", &pruned])).is_err());
+        assert!(run(&args(&["cut", &a, "--prune", "ghost", "-o", &pruned])).is_err());
+    }
+
+    #[test]
+    fn calltree_prints_inclusive_values() {
+        let a = write_sample("tree.cube", 1.0);
+        let r = run(&args(&["calltree", &a])).unwrap();
+        let lines: Vec<&str> = r.stdout.lines().collect();
+        assert!(lines[0].contains("metric 'time'"));
+        // main (inclusive 1+2 per rank × 2 ranks = 6), solve (4).
+        assert!(lines[1].contains("6.000000") && lines[1].contains("main"));
+        assert!(lines[2].contains("4.000000") && lines[2].contains("solve"));
+        assert!(run(&args(&["calltree", &a, "--metric", "nope"])).is_err());
+    }
+
+    #[test]
+    fn hotspots_lists_top_tuples() {
+        let a = write_sample("hot.cube", 1.0);
+        let r = run(&args(&["hotspots", &a, "--top", "2"])).unwrap();
+        assert!(r.stdout.contains("top 2"));
+        assert!(r.stdout.contains("main / solve"));
+        // Largest tuples first (solve rows carry 2.0).
+        let first_value_line = r.stdout.lines().nth(1).unwrap();
+        assert!(first_value_line.trim_start().starts_with("2.0"));
+    }
+
+    #[test]
+    fn stddev_subcommand_writes_variability_experiment() {
+        let a = write_sample("sd1.cube", 2.0);
+        let b = write_sample("sd2.cube", 4.0);
+        let out = tmp("sd.cube").to_string_lossy().into_owned();
+        run(&args(&["stddev", &a, &b, "-o", &out])).unwrap();
+        let e = read_experiment_file(&out).unwrap();
+        // Values 2 vs 4 → stddev 1; solve rows 4 vs 8 → stddev 2.
+        assert_eq!(e.severity().values(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["diff", "only-one.cube"])).is_err());
+        assert!(run(&args(&["mean"])).is_err());
+        assert!(run(&args(&["scale", "a.cube", "not-a-number", "-o", "x"])).is_err());
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.stdout.contains("usage"));
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = run(&args(&["info", "/nonexistent/foo.cube"])).unwrap_err();
+        assert!(err.contains("/nonexistent/foo.cube"));
+    }
+
+    #[test]
+    fn merge_options_flags_accepted() {
+        let a = write_sample("opt_a.cube", 1.0);
+        let b = write_sample("opt_b.cube", 2.0);
+        let out = tmp("opt_out.cube").to_string_lossy().into_owned();
+        run(&args(&[
+            "diff",
+            &a,
+            &b,
+            "--strict-csite",
+            "--collapse",
+            "-o",
+            &out,
+        ]))
+        .unwrap();
+        let e = read_experiment_file(&out).unwrap();
+        assert_eq!(e.metadata().machines().len(), 1);
+    }
+}

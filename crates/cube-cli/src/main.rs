@@ -1,0 +1,17 @@
+//! Binary entry point of the `cube` tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cube_cli::run(&args) {
+        Ok(outcome) => {
+            print!("{}", outcome.stdout);
+            ExitCode::from(outcome.code.clamp(0, 255) as u8)
+        }
+        Err(message) => {
+            eprintln!("cube: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Severity color ranking.
+//!
+//! The display ranks all values with colors so that metric/resource
+//! combinations with a high severity stand out. The color encodes the
+//! *absolute* value; the *sign* is shown as a relief — raised for
+//! positive values, sunken for negative ones (difference experiments
+//! produce both). A color legend maps colors back onto a numeric scale.
+
+/// Sign relief of a displayed value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relief {
+    /// Positive severity (performance loss in a difference experiment's
+    /// minuend-favoring convention, or any original value).
+    Raised,
+    /// Negative severity — only derived experiments produce these.
+    Sunken,
+    /// Exactly zero.
+    Flat,
+}
+
+impl Relief {
+    /// Relief of a value.
+    pub fn of(value: f64) -> Self {
+        if value > 0.0 {
+            Self::Raised
+        } else if value < 0.0 {
+            Self::Sunken
+        } else {
+            Self::Flat
+        }
+    }
+
+    /// One-character marker used by the text renderer (`+`/`-`/` `).
+    pub fn marker(self) -> char {
+        match self {
+            Self::Raised => '+',
+            Self::Sunken => '-',
+            Self::Flat => ' ',
+        }
+    }
+}
+
+/// A ranked severity: color bucket plus sign relief.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shade {
+    /// Color bucket, `0..ColorScale::BUCKETS`; higher is more severe.
+    pub bucket: u8,
+    /// Sign relief.
+    pub relief: Relief,
+}
+
+/// Maps absolute severity values onto a fixed set of color buckets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColorScale {
+    /// The value mapped to the hottest bucket. Values above saturate.
+    pub max_abs: f64,
+}
+
+impl ColorScale {
+    /// Number of color buckets (0 = negligible ... 7 = maximal).
+    pub const BUCKETS: u8 = 8;
+
+    /// Builds a scale saturating at `max_abs` (values above map to the
+    /// hottest bucket). A non-positive `max_abs` yields a scale where
+    /// everything lands in bucket 0.
+    pub fn new(max_abs: f64) -> Self {
+        Self { max_abs }
+    }
+
+    /// Ranks a value.
+    pub fn shade(&self, value: f64) -> Shade {
+        let relief = Relief::of(value);
+        if self.max_abs <= 0.0 {
+            return Shade { bucket: 0, relief };
+        }
+        let frac = (value.abs() / self.max_abs).clamp(0.0, 1.0);
+        // Bucket boundaries are linear; bucket 0 is reserved for exact 0
+        // and the bottom 1/BUCKETS of the range.
+        let bucket = (frac * f64::from(Self::BUCKETS)).floor() as u8;
+        Shade {
+            bucket: bucket.min(Self::BUCKETS - 1),
+            relief,
+        }
+    }
+
+    /// ANSI 8-color escape sequence for a bucket (cold → hot).
+    pub fn ansi_color(bucket: u8) -> &'static str {
+        const COLORS: [&str; 8] = [
+            "\x1b[90m", // bright black
+            "\x1b[34m", // blue
+            "\x1b[36m", // cyan
+            "\x1b[32m", // green
+            "\x1b[33m", // yellow
+            "\x1b[35m", // magenta
+            "\x1b[31m", // red
+            "\x1b[91m", // bright red
+        ];
+        COLORS[usize::from(bucket.min(7))]
+    }
+
+    /// ANSI reset sequence.
+    pub const ANSI_RESET: &'static str = "\x1b[0m";
+
+    /// The numeric legend: for each bucket, the inclusive lower bound of
+    /// absolute values it covers.
+    pub fn legend(&self) -> Vec<(u8, f64)> {
+        (0..Self::BUCKETS)
+            .map(|b| {
+                (
+                    b,
+                    self.max_abs.max(0.0) * f64::from(b) / f64::from(Self::BUCKETS),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relief_of_signs() {
+        assert_eq!(Relief::of(1.0), Relief::Raised);
+        assert_eq!(Relief::of(-0.5), Relief::Sunken);
+        assert_eq!(Relief::of(0.0), Relief::Flat);
+        assert_eq!(Relief::Raised.marker(), '+');
+        assert_eq!(Relief::Sunken.marker(), '-');
+        assert_eq!(Relief::Flat.marker(), ' ');
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_magnitude() {
+        let s = ColorScale::new(100.0);
+        let mut last = 0;
+        for v in [0.0, 5.0, 20.0, 40.0, 60.0, 80.0, 99.0, 150.0] {
+            let b = s.shade(v).bucket;
+            assert!(b >= last, "bucket must not decrease: {v}");
+            last = b;
+        }
+        assert_eq!(s.shade(150.0).bucket, ColorScale::BUCKETS - 1);
+    }
+
+    #[test]
+    fn negative_values_rank_by_magnitude() {
+        let s = ColorScale::new(10.0);
+        let pos = s.shade(9.0);
+        let neg = s.shade(-9.0);
+        assert_eq!(pos.bucket, neg.bucket);
+        assert_eq!(neg.relief, Relief::Sunken);
+    }
+
+    #[test]
+    fn degenerate_scale_is_all_cold() {
+        let s = ColorScale::new(0.0);
+        assert_eq!(s.shade(123.0).bucket, 0);
+        assert_eq!(s.shade(-1.0).relief, Relief::Sunken);
+    }
+
+    #[test]
+    fn legend_has_increasing_bounds() {
+        let s = ColorScale::new(80.0);
+        let legend = s.legend();
+        assert_eq!(legend.len(), 8);
+        assert_eq!(legend[0].1, 0.0);
+        for w in legend.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn ansi_codes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..8 {
+            assert!(seen.insert(ColorScale::ansi_color(b)));
+        }
+    }
+}

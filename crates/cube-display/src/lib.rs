@@ -1,0 +1,39 @@
+//! # cube-display — the CUBE display engine
+//!
+//! The paper's display component is a GUI with three coupled tree
+//! browsers (metric, program, system). This crate implements the same
+//! *semantics* as a pure, testable state machine plus a text renderer;
+//! the GUI toolkit is replaced by a terminal presentation, which keeps
+//! every behavior of Section 4 observable:
+//!
+//! * **Two user actions** — selecting a node and expanding/collapsing a
+//!   node ([`BrowserState`]).
+//! * **Two aggregation mechanisms** — aggregation *across* dimensions by
+//!   selection (the call tree shows the selected metric, the system tree
+//!   shows the selected metric and call path) and aggregation *within* a
+//!   dimension by collapsing (a collapsed node shows its whole subtree).
+//! * **Single representation** — each severity fraction appears exactly
+//!   once per tree: an expanded node shows its exclusive value, its
+//!   descendants carry the rest.
+//! * **Value modes** — absolute values, percentages of the root total,
+//!   and percentages *normalized with respect to another experiment*
+//!   (used to compare difference experiments against a baseline).
+//! * **Severity color ranking with sign relief** — colors encode the
+//!   magnitude; positive values render as a *raised* relief and negative
+//!   values (possible in difference experiments) as a *sunken* relief.
+//! * The **flat-profile view** of the program dimension, and hiding of
+//!   the thread level for single-threaded (pure MPI) experiments.
+//! * A **topology heat view** ([`render_topology`]) for experiments
+//!   carrying Cartesian process topologies — the visualization the
+//!   paper's future work anticipates.
+
+pub mod color;
+pub mod render;
+pub mod view;
+
+pub use color::{ColorScale, Relief, Shade};
+pub use render::{
+    render_call_tree, render_metric_tree, render_source_pane, render_system_tree,
+    render_topology, render_view, RenderOptions,
+};
+pub use view::{BrowserState, NormalizationRef, ProgramView, Row, RowKind, ValueMode};

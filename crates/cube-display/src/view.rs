@@ -1,0 +1,824 @@
+//! The browser state machine: selections, expansion, value modes, and
+//! the computation of displayed rows.
+
+use std::collections::{HashMap, HashSet};
+
+use cube_model::aggregate::{
+    call_value, flat_profile, machine_value, metric_total, node_value, process_value, root_total,
+    thread_value, CallSelection, MetricSelection,
+};
+use cube_model::{
+    CallNodeId, Experiment, MachineId, MetricId, NodeId, ProcessId, RegionId, ThreadId,
+};
+
+use crate::color::{ColorScale, Shade};
+
+/// Which view of the program dimension is shown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProgramView {
+    /// The call-tree view (the default).
+    #[default]
+    CallTree,
+    /// The flat-profile view: one entry per region.
+    FlatProfile,
+}
+
+/// Totals of a reference experiment used for normalized percentages.
+///
+/// "Percentages can be normalized with respect to other experiments to
+/// simplify the comparison" — e.g. a difference experiment shown as
+/// percent of the *previous* version's execution time (Figure 2).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NormalizationRef {
+    /// Inclusive total per root-metric *name*.
+    root_totals: HashMap<String, f64>,
+}
+
+impl NormalizationRef {
+    /// Captures the root totals of a reference experiment.
+    pub fn from_experiment(reference: &Experiment) -> Self {
+        let md = reference.metadata();
+        let mut root_totals = HashMap::new();
+        for &root in md.metric_roots() {
+            root_totals.insert(
+                md.metric(root).name.clone(),
+                reference.severity().metric_sum(root),
+            );
+        }
+        Self { root_totals }
+    }
+
+    /// The reference total for a root-metric name, if present.
+    pub fn total(&self, root_name: &str) -> Option<f64> {
+        self.root_totals.get(root_name).copied()
+    }
+}
+
+/// How numbers are presented.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum ValueMode {
+    /// Plain severity values.
+    #[default]
+    Absolute,
+    /// Percent of the displayed experiment's own root-metric total.
+    Percent,
+    /// Percent of a *reference* experiment's root-metric total.
+    PercentNormalized(NormalizationRef),
+}
+
+/// What a row represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowKind {
+    /// A metric-tree node.
+    Metric(MetricId),
+    /// A call-tree node.
+    Call(CallNodeId),
+    /// A flat-profile region entry.
+    Region(RegionId),
+    /// A machine in the system tree.
+    Machine(MachineId),
+    /// An SMP node in the system tree.
+    SystemNode(NodeId),
+    /// A process in the system tree.
+    Process(ProcessId),
+    /// A thread in the system tree (hidden for single-threaded runs).
+    Thread(ThreadId),
+}
+
+/// One displayed row of a tree browser.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// What the row represents.
+    pub kind: RowKind,
+    /// Indentation depth.
+    pub depth: usize,
+    /// Display label.
+    pub label: String,
+    /// Value in display units (absolute, or percent in percent modes).
+    pub value: f64,
+    /// Underlying absolute severity value.
+    pub raw: f64,
+    /// Severity color ranking of `raw` within this tree.
+    pub shade: Shade,
+    /// Whether this row is the current selection of its tree.
+    pub selected: bool,
+    /// Whether the node is expanded.
+    pub expanded: bool,
+    /// Whether the node has children (expandable).
+    pub has_children: bool,
+}
+
+/// The complete interactive state of the three-pane browser.
+///
+/// Exactly one metric node and one call node are selected at all times;
+/// the system tree has no selection (matching the paper's display).
+#[derive(Clone, Debug)]
+pub struct BrowserState {
+    metric_selection: MetricId,
+    call_selection: CallNodeId,
+    expanded_metrics: HashSet<MetricId>,
+    expanded_calls: HashSet<CallNodeId>,
+    expanded_machines: HashSet<MachineId>,
+    expanded_nodes: HashSet<NodeId>,
+    expanded_processes: HashSet<ProcessId>,
+    /// Presentation mode for all panes.
+    pub value_mode: ValueMode,
+    /// Program-dimension view.
+    pub program_view: ProgramView,
+}
+
+impl BrowserState {
+    /// Initial state: first metric root and first call root selected,
+    /// everything collapsed, absolute values, call-tree view.
+    ///
+    /// # Panics
+    /// Panics if the experiment has no metric or no call node — such an
+    /// experiment has nothing to browse.
+    pub fn new(exp: &Experiment) -> Self {
+        let md = exp.metadata();
+        let metric_selection = *md
+            .metric_roots()
+            .first()
+            .expect("experiment has no metrics to display");
+        let call_selection = *md
+            .call_roots()
+            .first()
+            .expect("experiment has no call paths to display");
+        Self {
+            metric_selection,
+            call_selection,
+            expanded_metrics: HashSet::new(),
+            expanded_calls: HashSet::new(),
+            expanded_machines: HashSet::new(),
+            expanded_nodes: HashSet::new(),
+            expanded_processes: HashSet::new(),
+            value_mode: ValueMode::Absolute,
+            program_view: ProgramView::CallTree,
+        }
+    }
+
+    // ----- selection ------------------------------------------------------
+
+    /// The selected metric.
+    pub fn selected_metric(&self) -> MetricId {
+        self.metric_selection
+    }
+
+    /// The selected call path.
+    pub fn selected_call(&self) -> CallNodeId {
+        self.call_selection
+    }
+
+    /// Selects a metric node.
+    pub fn select_metric(&mut self, m: MetricId) {
+        self.metric_selection = m;
+    }
+
+    /// Selects a call-tree node.
+    pub fn select_call(&mut self, c: CallNodeId) {
+        self.call_selection = c;
+    }
+
+    /// Selects the first metric whose name matches, returning success.
+    pub fn select_metric_by_name(&mut self, exp: &Experiment, name: &str) -> bool {
+        if let Some(m) = exp.metadata().find_metric(name) {
+            self.metric_selection = m;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Selects the first call node whose callee region name matches.
+    pub fn select_call_by_region(&mut self, exp: &Experiment, region_name: &str) -> bool {
+        let md = exp.metadata();
+        for c in md.call_node_ids() {
+            if md.region(md.call_node_callee(c)).name == region_name {
+                self.call_selection = c;
+                return true;
+            }
+        }
+        false
+    }
+
+    // ----- expansion ------------------------------------------------------
+
+    /// Whether a metric node is expanded.
+    pub fn metric_expanded(&self, m: MetricId) -> bool {
+        self.expanded_metrics.contains(&m)
+    }
+
+    /// Whether a call node is expanded.
+    pub fn call_expanded(&self, c: CallNodeId) -> bool {
+        self.expanded_calls.contains(&c)
+    }
+
+    /// Toggles a metric node; returns the new expansion state.
+    pub fn toggle_metric(&mut self, m: MetricId) -> bool {
+        if !self.expanded_metrics.remove(&m) {
+            self.expanded_metrics.insert(m);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Toggles a call node; returns the new expansion state.
+    pub fn toggle_call(&mut self, c: CallNodeId) -> bool {
+        if !self.expanded_calls.remove(&c) {
+            self.expanded_calls.insert(c);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Toggles a machine; returns the new expansion state.
+    pub fn toggle_machine(&mut self, m: MachineId) -> bool {
+        if !self.expanded_machines.remove(&m) {
+            self.expanded_machines.insert(m);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Toggles a system node; returns the new expansion state.
+    pub fn toggle_node(&mut self, n: NodeId) -> bool {
+        if !self.expanded_nodes.remove(&n) {
+            self.expanded_nodes.insert(n);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Toggles a process; returns the new expansion state.
+    pub fn toggle_process(&mut self, p: ProcessId) -> bool {
+        if !self.expanded_processes.remove(&p) {
+            self.expanded_processes.insert(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Expands every node of every tree.
+    pub fn expand_all(&mut self, exp: &Experiment) {
+        let md = exp.metadata();
+        self.expanded_metrics.extend(md.metric_ids());
+        self.expanded_calls.extend(md.call_node_ids());
+        self.expanded_machines
+            .extend((0..md.machines().len() as u32).map(MachineId::new));
+        self.expanded_nodes
+            .extend((0..md.nodes().len() as u32).map(NodeId::new));
+        self.expanded_processes
+            .extend((0..md.processes().len() as u32).map(ProcessId::new));
+    }
+
+    /// Collapses every node of every tree.
+    pub fn collapse_all(&mut self) {
+        self.expanded_metrics.clear();
+        self.expanded_calls.clear();
+        self.expanded_machines.clear();
+        self.expanded_nodes.clear();
+        self.expanded_processes.clear();
+    }
+
+    // ----- current cross-dimension selections ------------------------------
+
+    /// The metric selection including its expansion state: an expanded
+    /// selected metric contributes only its exclusive value to the
+    /// right-hand panes (single representation).
+    pub fn metric_selection_view(&self) -> MetricSelection {
+        MetricSelection {
+            metric: self.metric_selection,
+            exclusive: self.metric_expanded(self.metric_selection),
+        }
+    }
+
+    /// The call selection including its expansion state: a collapsed
+    /// selected call node contributes its whole subtree.
+    pub fn call_selection_view(&self) -> CallSelection {
+        CallSelection {
+            node: self.call_selection,
+            inclusive: !self.call_expanded(self.call_selection),
+        }
+    }
+
+    // ----- value-mode helpers ----------------------------------------------
+
+    /// Converts a raw value into display units for the tree rooted at
+    /// the metric `m`'s tree.
+    fn displayed(&self, exp: &Experiment, m: MetricId, raw: f64) -> f64 {
+        match &self.value_mode {
+            ValueMode::Absolute => raw,
+            ValueMode::Percent => {
+                let denom = root_total(exp, m);
+                percent(raw, denom)
+            }
+            ValueMode::PercentNormalized(reference) => {
+                let md = exp.metadata();
+                let root = md.metric_root_of(m);
+                let denom = reference
+                    .total(&md.metric(root).name)
+                    .unwrap_or_else(|| root_total(exp, m));
+                percent(raw, denom)
+            }
+        }
+    }
+
+    // ----- rows -------------------------------------------------------------
+
+    /// Rows of the metric tree (left pane).
+    pub fn metric_rows(&self, exp: &Experiment) -> Vec<Row> {
+        let md = exp.metadata();
+        let mut rows = Vec::new();
+        let mut stack: Vec<(MetricId, usize)> = md
+            .metric_roots()
+            .iter()
+            .rev()
+            .map(|&m| (m, 0))
+            .collect();
+        while let Some((m, depth)) = stack.pop() {
+            let expanded = self.metric_expanded(m);
+            let has_children = !md.metric_children(m).is_empty();
+            let raw = metric_total(
+                exp,
+                MetricSelection {
+                    metric: m,
+                    exclusive: expanded && has_children,
+                },
+            );
+            rows.push(Row {
+                kind: RowKind::Metric(m),
+                depth,
+                label: md.metric(m).name.clone(),
+                value: self.displayed(exp, m, raw),
+                raw,
+                shade: Shade {
+                    bucket: 0,
+                    relief: crate::color::Relief::Flat,
+                }, // filled below
+                selected: m == self.metric_selection,
+                expanded,
+                has_children,
+            });
+            if expanded {
+                for &child in md.metric_children(m).iter().rev() {
+                    stack.push((child, depth + 1));
+                }
+            }
+        }
+        shade_rows(&mut rows);
+        rows
+    }
+
+    /// Rows of the program pane: call tree or flat profile.
+    pub fn program_rows(&self, exp: &Experiment) -> Vec<Row> {
+        match self.program_view {
+            ProgramView::CallTree => self.call_rows(exp),
+            ProgramView::FlatProfile => self.flat_rows(exp),
+        }
+    }
+
+    fn call_rows(&self, exp: &Experiment) -> Vec<Row> {
+        let md = exp.metadata();
+        let msel = self.metric_selection_view();
+        let mut rows = Vec::new();
+        let mut stack: Vec<(CallNodeId, usize)> =
+            md.call_roots().iter().rev().map(|&c| (c, 0)).collect();
+        while let Some((c, depth)) = stack.pop() {
+            let expanded = self.call_expanded(c);
+            let has_children = !md.call_node_children(c).is_empty();
+            let raw = call_value(
+                exp,
+                msel,
+                CallSelection {
+                    node: c,
+                    inclusive: !(expanded && has_children),
+                },
+            );
+            rows.push(Row {
+                kind: RowKind::Call(c),
+                depth,
+                label: md.region(md.call_node_callee(c)).name.clone(),
+                value: self.displayed(exp, msel.metric, raw),
+                raw,
+                shade: Shade {
+                    bucket: 0,
+                    relief: crate::color::Relief::Flat,
+                },
+                selected: c == self.call_selection,
+                expanded,
+                has_children,
+            });
+            if expanded {
+                for &child in md.call_node_children(c).iter().rev() {
+                    stack.push((child, depth + 1));
+                }
+            }
+        }
+        shade_rows(&mut rows);
+        rows
+    }
+
+    fn flat_rows(&self, exp: &Experiment) -> Vec<Row> {
+        let md = exp.metadata();
+        let msel = self.metric_selection_view();
+        let mut rows: Vec<Row> = flat_profile(exp, msel)
+            .into_iter()
+            .map(|(r, raw)| Row {
+                kind: RowKind::Region(r),
+                depth: 0,
+                label: md.region(r).name.clone(),
+                value: self.displayed(exp, msel.metric, raw),
+                raw,
+                shade: Shade {
+                    bucket: 0,
+                    relief: crate::color::Relief::Flat,
+                },
+                selected: false,
+                expanded: false,
+                has_children: false,
+            })
+            .collect();
+        shade_rows(&mut rows);
+        rows
+    }
+
+    /// Rows of the system tree (right pane). The thread level is hidden
+    /// when every process is single-threaded (a pure MPI run).
+    pub fn system_rows(&self, exp: &Experiment) -> Vec<Row> {
+        let md = exp.metadata();
+        let msel = self.metric_selection_view();
+        let csel = self.call_selection_view();
+        let show_threads = md
+            .processes()
+            .iter()
+            .enumerate()
+            .any(|(i, _)| md.threads_of_process(ProcessId::from_index(i)).len() > 1);
+
+        let mut rows = Vec::new();
+        for (mi, machine) in md.machines().iter().enumerate() {
+            let mid = MachineId::from_index(mi);
+            let m_expanded = self.expanded_machines.contains(&mid);
+            let m_children = !md.nodes_of_machine(mid).is_empty();
+            // Non-leaf system entities are pure groupings: expanded they
+            // show 0 (everything lives in their children).
+            let m_raw = if m_expanded && m_children {
+                0.0
+            } else {
+                machine_value(exp, msel, csel, mid)
+            };
+            rows.push(Row {
+                kind: RowKind::Machine(mid),
+                depth: 0,
+                label: machine.name.clone(),
+                value: self.displayed(exp, msel.metric, m_raw),
+                raw: m_raw,
+                shade: Shade {
+                    bucket: 0,
+                    relief: crate::color::Relief::Flat,
+                },
+                selected: false,
+                expanded: m_expanded,
+                has_children: m_children,
+            });
+            if !m_expanded {
+                continue;
+            }
+            for &nid in md.nodes_of_machine(mid) {
+                let n_expanded = self.expanded_nodes.contains(&nid);
+                let n_children = !md.processes_of_node(nid).is_empty();
+                let n_raw = if n_expanded && n_children {
+                    0.0
+                } else {
+                    node_value(exp, msel, csel, nid)
+                };
+                rows.push(Row {
+                    kind: RowKind::SystemNode(nid),
+                    depth: 1,
+                    label: md.node(nid).name.clone(),
+                    value: self.displayed(exp, msel.metric, n_raw),
+                    raw: n_raw,
+                    shade: Shade {
+                        bucket: 0,
+                        relief: crate::color::Relief::Flat,
+                    },
+                    selected: false,
+                    expanded: n_expanded,
+                    has_children: n_children,
+                });
+                if !n_expanded {
+                    continue;
+                }
+                for &pid in md.processes_of_node(nid) {
+                    let p_expanded = self.expanded_processes.contains(&pid) && show_threads;
+                    let p_has_children =
+                        show_threads && !md.threads_of_process(pid).is_empty();
+                    let p_raw = if p_expanded && p_has_children {
+                        0.0
+                    } else {
+                        process_value(exp, msel, csel, pid)
+                    };
+                    rows.push(Row {
+                        kind: RowKind::Process(pid),
+                        depth: 2,
+                        label: md.process(pid).name.clone(),
+                        value: self.displayed(exp, msel.metric, p_raw),
+                        raw: p_raw,
+                        shade: Shade {
+                            bucket: 0,
+                            relief: crate::color::Relief::Flat,
+                        },
+                        selected: false,
+                        expanded: p_expanded,
+                        has_children: p_has_children,
+                    });
+                    if !p_expanded {
+                        continue;
+                    }
+                    for &tid in md.threads_of_process(pid) {
+                        let t_raw = thread_value(exp, msel, csel, tid);
+                        rows.push(Row {
+                            kind: RowKind::Thread(tid),
+                            depth: 3,
+                            label: md.thread(tid).name.clone(),
+                            value: self.displayed(exp, msel.metric, t_raw),
+                            raw: t_raw,
+                            shade: Shade {
+                                bucket: 0,
+                                relief: crate::color::Relief::Flat,
+                            },
+                            selected: false,
+                            expanded: false,
+                            has_children: false,
+                        });
+                    }
+                }
+            }
+        }
+        shade_rows(&mut rows);
+        rows
+    }
+}
+
+fn percent(raw: f64, denom: f64) -> f64 {
+    if denom == 0.0 {
+        0.0
+    } else {
+        raw / denom * 100.0
+    }
+}
+
+/// Ranks the rows of one pane against the pane's own maximum magnitude.
+fn shade_rows(rows: &mut [Row]) {
+    let max_abs = rows.iter().fold(0.0f64, |acc, r| acc.max(r.raw.abs()));
+    let scale = ColorScale::new(max_abs);
+    for r in rows {
+        r.shade = scale.shade(r.raw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{ExperimentBuilder, RegionKind, Unit};
+
+    /// metrics: time(root) > mpi; calls: main > {solve, io}; 2 ranks.
+    fn sample() -> Experiment {
+        let mut b = ExperimentBuilder::new("view sample");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let mpi = b.def_metric("mpi", Unit::Seconds, "", Some(time));
+        let m = b.def_module("a.c", "/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 99);
+        let solve_r = b.def_region("solve", m, RegionKind::Function, 5, 50);
+        let io_r = b.def_region("io", m, RegionKind::Function, 60, 80);
+        let cs0 = b.def_call_site("a.c", 1, main_r);
+        let cs1 = b.def_call_site("a.c", 10, solve_r);
+        let cs2 = b.def_call_site("a.c", 70, io_r);
+        let root = b.def_call_node(cs0, None);
+        let solve = b.def_call_node(cs1, Some(root));
+        let io = b.def_call_node(cs2, Some(root));
+        let ts = single_threaded_system(&mut b, 2);
+        for &t in &ts {
+            b.set_severity(time, root, t, 1.0);
+            b.set_severity(time, solve, t, 3.0);
+            b.set_severity(time, io, t, 1.0);
+            b.set_severity(mpi, solve, t, 2.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_state_selects_roots() {
+        let e = sample();
+        let s = BrowserState::new(&e);
+        assert_eq!(s.selected_metric(), MetricId::new(0));
+        assert_eq!(s.selected_call(), CallNodeId::new(0));
+        let rows = s.metric_rows(&e);
+        assert_eq!(rows.len(), 1); // collapsed root only
+        assert_eq!(rows[0].label, "time");
+        assert_eq!(rows[0].raw, 10.0); // total time
+        assert!(rows[0].selected);
+        assert!(rows[0].has_children);
+    }
+
+    #[test]
+    fn expanding_metric_shows_exclusive_values() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        s.toggle_metric(MetricId::new(0));
+        let rows = s.metric_rows(&e);
+        assert_eq!(rows.len(), 2);
+        // Single representation: expanded time shows 10 - 4 = 6.
+        assert_eq!(rows[0].raw, 6.0);
+        assert_eq!(rows[1].label, "mpi");
+        assert_eq!(rows[1].raw, 4.0);
+        assert_eq!(rows[1].depth, 1);
+        // Collapsing shows the inclusive value again.
+        s.toggle_metric(MetricId::new(0));
+        assert_eq!(s.metric_rows(&e)[0].raw, 10.0);
+    }
+
+    #[test]
+    fn call_rows_follow_metric_selection() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        // Select mpi (child metric): call tree shows mpi distribution.
+        assert!(s.select_metric_by_name(&e, "mpi"));
+        s.toggle_call(CallNodeId::new(0));
+        let rows = s.program_rows(&e);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "main");
+        assert_eq!(rows[0].raw, 0.0); // exclusive: no mpi directly in main
+        assert_eq!(rows[1].label, "solve");
+        assert_eq!(rows[1].raw, 4.0);
+        assert_eq!(rows[2].label, "io");
+        assert_eq!(rows[2].raw, 0.0);
+    }
+
+    #[test]
+    fn collapsed_call_root_aggregates_subtree() {
+        let e = sample();
+        let s = BrowserState::new(&e);
+        let rows = s.program_rows(&e);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].raw, 10.0);
+    }
+
+    #[test]
+    fn percent_mode_uses_root_total() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        s.value_mode = ValueMode::Percent;
+        assert!(s.select_metric_by_name(&e, "mpi"));
+        let rows = s.metric_rows(&e);
+        // Only root visible (time collapsed): 100% of itself.
+        assert_eq!(rows[0].value, 100.0);
+        s.toggle_metric(MetricId::new(0));
+        let rows = s.metric_rows(&e);
+        assert_eq!(rows[1].label, "mpi");
+        assert!((rows[1].value - 40.0).abs() < 1e-9); // 4/10
+    }
+
+    #[test]
+    fn normalized_percent_uses_reference_totals() {
+        let e = sample();
+        // Reference with twice the total time.
+        let reference = {
+            let mut r = e.clone();
+            for v in r.severity_mut().values_mut() {
+                *v *= 2.0;
+            }
+            r
+        };
+        let mut s = BrowserState::new(&e);
+        s.value_mode = ValueMode::PercentNormalized(NormalizationRef::from_experiment(&reference));
+        let rows = s.metric_rows(&e);
+        assert!((rows[0].value - 50.0).abs() < 1e-9); // 10/20
+    }
+
+    #[test]
+    fn system_rows_collapse_and_expand() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        let rows = s.system_rows(&e);
+        assert_eq!(rows.len(), 1); // collapsed machine
+        assert_eq!(rows[0].raw, 10.0);
+        s.toggle_machine(MachineId::new(0));
+        s.toggle_node(NodeId::new(0));
+        let rows = s.system_rows(&e);
+        // machine(0) + node(0) + 2 processes; thread level hidden.
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].raw, 0.0); // expanded grouping rows show 0
+        assert_eq!(rows[1].raw, 0.0);
+        assert_eq!(rows[2].raw, 5.0);
+        assert_eq!(rows[3].raw, 5.0);
+        assert!(matches!(rows[2].kind, RowKind::Process(_)));
+        // Thread level hidden: processes are leaves.
+        assert!(!rows[2].has_children);
+    }
+
+    #[test]
+    fn thread_level_shown_for_multithreaded_runs() {
+        let mut b = ExperimentBuilder::new("omp");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let mach = b.def_machine("mach");
+        let node = b.def_node("n0", mach);
+        let p = b.def_process("rank 0", 0, node);
+        let t0 = b.def_thread("t0", 0, p);
+        let t1 = b.def_thread("t1", 1, p);
+        b.set_severity(time, root, t0, 1.0);
+        b.set_severity(time, root, t1, 2.0);
+        let e = b.build().unwrap();
+        let mut s = BrowserState::new(&e);
+        s.expand_all(&e);
+        let rows = s.system_rows(&e);
+        let labels: Vec<_> = rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["mach", "n0", "rank 0", "t0", "t1"]);
+        assert_eq!(rows[3].raw, 1.0);
+        assert_eq!(rows[4].raw, 2.0);
+        assert_eq!(rows[2].raw, 0.0); // expanded process is a grouping
+    }
+
+    #[test]
+    fn flat_profile_view() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        s.program_view = ProgramView::FlatProfile;
+        let rows = s.program_rows(&e);
+        let by_label: Vec<(&str, f64)> =
+            rows.iter().map(|r| (r.label.as_str(), r.raw)).collect();
+        assert_eq!(
+            by_label,
+            vec![("main", 2.0), ("solve", 6.0), ("io", 2.0)]
+        );
+    }
+
+    #[test]
+    fn expanded_selected_metric_propagates_exclusively() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        // Expand the selected root metric: panes to the right see only
+        // its exclusive fraction (time without mpi = 6).
+        s.toggle_metric(MetricId::new(0));
+        let rows = s.program_rows(&e);
+        assert_eq!(rows[0].raw, 6.0);
+    }
+
+    #[test]
+    fn shades_rank_within_pane() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        s.toggle_call(CallNodeId::new(0));
+        let rows = s.program_rows(&e);
+        let solve = rows.iter().find(|r| r.label == "solve").unwrap();
+        let io = rows.iter().find(|r| r.label == "io").unwrap();
+        assert!(solve.shade.bucket > io.shade.bucket);
+    }
+
+    #[test]
+    fn negative_differences_get_sunken_relief() {
+        let e = sample();
+        let better = {
+            let mut x = e.clone();
+            for v in x.severity_mut().values_mut() {
+                *v *= 0.5;
+            }
+            x
+        };
+        let d = cube_algebra::ops::diff(&better, &e); // negative everywhere
+        let s = BrowserState::new(&d);
+        let rows = s.metric_rows(&d);
+        assert_eq!(rows[0].shade.relief, crate::color::Relief::Sunken);
+    }
+
+    #[test]
+    fn expand_all_collapse_all_roundtrip() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        s.expand_all(&e);
+        assert_eq!(s.metric_rows(&e).len(), 2);
+        assert_eq!(s.program_rows(&e).len(), 3);
+        s.collapse_all();
+        assert_eq!(s.metric_rows(&e).len(), 1);
+        assert_eq!(s.program_rows(&e).len(), 1);
+        assert_eq!(s.system_rows(&e).len(), 1);
+    }
+
+    #[test]
+    fn select_call_by_region_name() {
+        let e = sample();
+        let mut s = BrowserState::new(&e);
+        assert!(s.select_call_by_region(&e, "solve"));
+        assert_eq!(s.selected_call(), CallNodeId::new(1));
+        assert!(!s.select_call_by_region(&e, "nonexistent"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Aggregation of severity values along and across the three dimensions.
+//!
+//! The stored severity is call-exclusive and metric-inclusive (see the
+//! crate docs). The display and the analysis tools need the other forms,
+//! which this module derives:
+//!
+//! * **metric selection** — a metric viewed either *inclusively* (the
+//!   stored value: the metric with everything its children cover) or
+//!   *exclusively* (children subtracted — what the display shows next to
+//!   an *expanded* metric node, the "single representation" principle);
+//! * **call selection** — a call path viewed either *exclusively* (the
+//!   stored value for exactly this call path, shown for an expanded
+//!   node) or *inclusively* (the whole subtree, shown for a collapsed
+//!   node);
+//! * aggregation **across** dimensions: the value shown in the call tree
+//!   sums the selected metric over the entire system; the value shown at
+//!   a system entity restricts the selected metric and call path to that
+//!   entity's threads.
+
+use rayon::prelude::*;
+
+use crate::experiment::Experiment;
+use crate::ids::{CallNodeId, MachineId, MetricId, NodeId, ProcessId, RegionId, ThreadId};
+
+/// How a metric node is being viewed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricSelection {
+    /// The selected metric.
+    pub metric: MetricId,
+    /// `true` when the metric node is expanded, i.e. the values of its
+    /// child metrics must be subtracted (each severity fraction is
+    /// displayed only once).
+    pub exclusive: bool,
+}
+
+impl MetricSelection {
+    /// Inclusive view of `metric` (collapsed node).
+    pub fn inclusive(metric: MetricId) -> Self {
+        Self {
+            metric,
+            exclusive: false,
+        }
+    }
+
+    /// Exclusive view of `metric` (expanded node).
+    pub fn exclusive(metric: MetricId) -> Self {
+        Self {
+            metric,
+            exclusive: true,
+        }
+    }
+}
+
+/// How a call-tree node is being viewed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallSelection {
+    /// The selected call path.
+    pub node: CallNodeId,
+    /// `true` when the node is collapsed, i.e. the whole subtree is
+    /// aggregated into the shown value.
+    pub inclusive: bool,
+}
+
+impl CallSelection {
+    /// Inclusive view (collapsed node — subtree aggregated).
+    pub fn inclusive(node: CallNodeId) -> Self {
+        Self {
+            node,
+            inclusive: true,
+        }
+    }
+
+    /// Exclusive view (expanded node — this call path only).
+    pub fn exclusive(node: CallNodeId) -> Self {
+        Self {
+            node,
+            inclusive: false,
+        }
+    }
+}
+
+/// Value of a metric selection at a single `(call node, thread)` tuple.
+pub fn metric_value_at(
+    exp: &Experiment,
+    sel: MetricSelection,
+    c: CallNodeId,
+    t: ThreadId,
+) -> f64 {
+    let sev = exp.severity();
+    let mut v = sev.get(sel.metric, c, t);
+    if sel.exclusive {
+        for &child in exp.metadata().metric_children(sel.metric) {
+            v -= sev.get(child, c, t);
+        }
+    }
+    v
+}
+
+/// Value of a metric selection summed over the entire program and system
+/// — the number shown next to the node in the metric tree.
+pub fn metric_total(exp: &Experiment, sel: MetricSelection) -> f64 {
+    let sev = exp.severity();
+    let mut v = sev.metric_sum(sel.metric);
+    if sel.exclusive {
+        for &child in exp.metadata().metric_children(sel.metric) {
+            v -= sev.metric_sum(child);
+        }
+    }
+    v
+}
+
+/// Inclusive total of the *root* of the metric tree containing `m` — the
+/// denominator for percentage displays.
+pub fn root_total(exp: &Experiment, m: MetricId) -> f64 {
+    let root = exp.metadata().metric_root_of(m);
+    exp.severity().metric_sum(root)
+}
+
+/// Value of `(metric selection, call selection)` at one thread.
+pub fn value_at_thread(
+    exp: &Experiment,
+    msel: MetricSelection,
+    csel: CallSelection,
+    t: ThreadId,
+) -> f64 {
+    if csel.inclusive {
+        exp.metadata()
+            .call_subtree(csel.node)
+            .into_iter()
+            .map(|c| metric_value_at(exp, msel, c, t))
+            .sum()
+    } else {
+        metric_value_at(exp, msel, csel.node, t)
+    }
+}
+
+/// Value of `(metric selection, call selection)` summed over the entire
+/// system — the number shown next to the node in the call tree.
+pub fn call_value(exp: &Experiment, msel: MetricSelection, csel: CallSelection) -> f64 {
+    let nodes = if csel.inclusive {
+        exp.metadata().call_subtree(csel.node)
+    } else {
+        vec![csel.node]
+    };
+    let sev = exp.severity();
+    let mut v: f64 = nodes.iter().map(|&c| sev.row_sum(msel.metric, c)).sum();
+    if msel.exclusive {
+        for &child in exp.metadata().metric_children(msel.metric) {
+            let s: f64 = nodes.iter().map(|&c| sev.row_sum(child, c)).sum();
+            v -= s;
+        }
+    }
+    v
+}
+
+/// Value at one thread — the number shown next to a thread in the system
+/// tree for the current metric and call selections.
+pub fn thread_value(
+    exp: &Experiment,
+    msel: MetricSelection,
+    csel: CallSelection,
+    t: ThreadId,
+) -> f64 {
+    value_at_thread(exp, msel, csel, t)
+}
+
+/// Aggregated value of a process (sum over its threads).
+pub fn process_value(
+    exp: &Experiment,
+    msel: MetricSelection,
+    csel: CallSelection,
+    p: ProcessId,
+) -> f64 {
+    exp.metadata()
+        .threads_of_process(p)
+        .iter()
+        .map(|&t| value_at_thread(exp, msel, csel, t))
+        .sum()
+}
+
+/// Aggregated value of a system node (sum over its processes).
+pub fn node_value(
+    exp: &Experiment,
+    msel: MetricSelection,
+    csel: CallSelection,
+    n: NodeId,
+) -> f64 {
+    exp.metadata()
+        .processes_of_node(n)
+        .iter()
+        .map(|&p| process_value(exp, msel, csel, p))
+        .sum()
+}
+
+/// Aggregated value of a machine (sum over its nodes).
+pub fn machine_value(
+    exp: &Experiment,
+    msel: MetricSelection,
+    csel: CallSelection,
+    m: MachineId,
+) -> f64 {
+    exp.metadata()
+        .nodes_of_machine(m)
+        .iter()
+        .map(|&n| node_value(exp, msel, csel, n))
+        .sum()
+}
+
+/// The flat-profile view of the program dimension: for each region, the
+/// selected metric summed over every call path whose callee is that
+/// region (and over the entire system). Equivalent to representing the
+/// profile as one trivial call tree per region.
+pub fn flat_profile(exp: &Experiment, msel: MetricSelection) -> Vec<(RegionId, f64)> {
+    let md = exp.metadata();
+    let mut per_region = vec![0.0f64; md.regions().len()];
+    for c in md.call_node_ids() {
+        let region = md.call_node_callee(c);
+        per_region[region.index()] +=
+            call_value(exp, msel, CallSelection::exclusive(c));
+    }
+    per_region
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (RegionId::from_index(i), v))
+        .collect()
+}
+
+/// Per-thread distribution of a metric/call selection, in thread order.
+///
+/// Uses a parallel map — for large system dimensions (thousands of
+/// threads) this is the hot path of the display's system pane.
+pub fn thread_distribution(
+    exp: &Experiment,
+    msel: MetricSelection,
+    csel: CallSelection,
+) -> Vec<f64> {
+    let n = exp.metadata().num_threads();
+    (0..n)
+        .into_par_iter()
+        .map(|t| value_at_thread(exp, msel, csel, ThreadId::from_index(t)))
+        .collect()
+}
+
+/// Consistency check used by tests and the viewer: the inclusive value of
+/// every call root, summed over roots, equals the plain metric total.
+pub fn check_call_aggregation(exp: &Experiment, m: MetricId, tol: f64) -> bool {
+    let msel = MetricSelection::inclusive(m);
+    let total: f64 = exp
+        .metadata()
+        .call_roots()
+        .iter()
+        .map(|&r| call_value(exp, msel, CallSelection::inclusive(r)))
+        .sum();
+    (total - exp.severity().metric_sum(m)).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{single_threaded_system, ExperimentBuilder};
+    use crate::metric::Unit;
+    use crate::program::RegionKind;
+
+    /// Builds: metrics time > mpi; call tree main -> {solve -> mpi_call, io};
+    /// 2 single-threaded ranks.
+    fn sample() -> (
+        Experiment,
+        [MetricId; 2],
+        [CallNodeId; 4],
+        Vec<ThreadId>,
+    ) {
+        let mut b = ExperimentBuilder::new("agg");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let mpi = b.def_metric("mpi", Unit::Seconds, "", Some(time));
+        let m = b.def_module("a.c", "/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 99);
+        let solve_r = b.def_region("solve", m, RegionKind::Function, 10, 60);
+        let mpicall_r = b.def_region("MPI_Send", m, RegionKind::Function, 0, 0);
+        let io_r = b.def_region("io", m, RegionKind::Function, 70, 90);
+        let cs_main = b.def_call_site("a.c", 1, main_r);
+        let cs_solve = b.def_call_site("a.c", 20, solve_r);
+        let cs_mpi = b.def_call_site("a.c", 30, mpicall_r);
+        let cs_io = b.def_call_site("a.c", 80, io_r);
+        let n_main = b.def_call_node(cs_main, None);
+        let n_solve = b.def_call_node(cs_solve, Some(n_main));
+        let n_mpi = b.def_call_node(cs_mpi, Some(n_solve));
+        let n_io = b.def_call_node(cs_io, Some(n_main));
+        let ts = single_threaded_system(&mut b, 2);
+        // time: main 1.0 each, solve 2.0 each, mpi 0.5 each, io 1.5/0.5
+        for &t in &ts {
+            b.set_severity(time, n_main, t, 1.0);
+            b.set_severity(time, n_solve, t, 2.0);
+            b.set_severity(time, n_mpi, t, 0.5);
+        }
+        b.set_severity(time, n_io, ts[0], 1.5);
+        b.set_severity(time, n_io, ts[1], 0.5);
+        // mpi metric: only inside the MPI_Send call path.
+        for &t in &ts {
+            b.set_severity(mpi, n_mpi, t, 0.5);
+        }
+        let e = b.build().unwrap();
+        (e, [time, mpi], [n_main, n_solve, n_mpi, n_io], ts)
+    }
+
+    #[test]
+    fn metric_totals() {
+        let (e, [time, mpi], _, _) = sample();
+        // time total: 2*(1+2+0.5) + 1.5 + 0.5 = 9.0
+        assert_eq!(metric_total(&e, MetricSelection::inclusive(time)), 9.0);
+        assert_eq!(metric_total(&e, MetricSelection::inclusive(mpi)), 1.0);
+        // exclusive time = 9 - 1 = 8
+        assert_eq!(metric_total(&e, MetricSelection::exclusive(time)), 8.0);
+        assert_eq!(root_total(&e, mpi), 9.0);
+    }
+
+    #[test]
+    fn call_values_inclusive_and_exclusive() {
+        let (e, [time, _], [n_main, n_solve, n_mpi, n_io], _) = sample();
+        let minc = MetricSelection::inclusive(time);
+        assert_eq!(call_value(&e, minc, CallSelection::inclusive(n_main)), 9.0);
+        assert_eq!(call_value(&e, minc, CallSelection::exclusive(n_main)), 2.0);
+        assert_eq!(call_value(&e, minc, CallSelection::inclusive(n_solve)), 5.0);
+        assert_eq!(call_value(&e, minc, CallSelection::exclusive(n_mpi)), 1.0);
+        assert_eq!(call_value(&e, minc, CallSelection::inclusive(n_io)), 2.0);
+    }
+
+    #[test]
+    fn exclusive_metric_at_call_node() {
+        let (e, [time, _], [_, _, n_mpi, _], _) = sample();
+        // At the MPI call node, exclusive time = time - mpi = 1.0 - 1.0 = 0.
+        let mexc = MetricSelection::exclusive(time);
+        assert_eq!(call_value(&e, mexc, CallSelection::exclusive(n_mpi)), 0.0);
+    }
+
+    #[test]
+    fn system_aggregation_chain() {
+        let (e, [time, _], [n_main, ..], ts) = sample();
+        let minc = MetricSelection::inclusive(time);
+        let cinc = CallSelection::inclusive(n_main);
+        let t0 = thread_value(&e, minc, cinc, ts[0]);
+        let t1 = thread_value(&e, minc, cinc, ts[1]);
+        assert_eq!(t0, 5.0);
+        assert_eq!(t1, 4.0);
+        let p0 = e.metadata().thread(ts[0]).process;
+        assert_eq!(process_value(&e, minc, cinc, p0), 5.0);
+        assert_eq!(node_value(&e, minc, cinc, NodeId::new(0)), 9.0);
+        assert_eq!(machine_value(&e, minc, cinc, MachineId::new(0)), 9.0);
+    }
+
+    #[test]
+    fn thread_distribution_matches_thread_values() {
+        let (e, [time, _], [n_main, ..], ts) = sample();
+        let minc = MetricSelection::inclusive(time);
+        let cinc = CallSelection::inclusive(n_main);
+        let dist = thread_distribution(&e, minc, cinc);
+        assert_eq!(dist.len(), ts.len());
+        assert_eq!(dist, vec![5.0, 4.0]);
+    }
+
+    #[test]
+    fn flat_profile_aggregates_by_region() {
+        let (e, [time, _], _, _) = sample();
+        let prof = flat_profile(&e, MetricSelection::inclusive(time));
+        // regions: main, solve, MPI_Send, io
+        let by_name: Vec<(String, f64)> = prof
+            .iter()
+            .map(|(r, v)| (e.metadata().region(*r).name.clone(), *v))
+            .collect();
+        assert_eq!(by_name[0], ("main".to_string(), 2.0));
+        assert_eq!(by_name[1], ("solve".to_string(), 4.0));
+        assert_eq!(by_name[2], ("MPI_Send".to_string(), 1.0));
+        assert_eq!(by_name[3], ("io".to_string(), 2.0));
+        let total: f64 = prof.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 9.0);
+    }
+
+    #[test]
+    fn aggregation_consistency_check() {
+        let (e, [time, mpi], _, _) = sample();
+        assert!(check_call_aggregation(&e, time, 1e-12));
+        assert!(check_call_aggregation(&e, mpi, 1e-12));
+    }
+}

@@ -1,0 +1,316 @@
+//! The experiment construction API.
+//!
+//! The original CUBE library shipped "a simple class interface with fewer
+//! than fifteen methods" for creating experiments and writing them to
+//! file. [`ExperimentBuilder`] is that interface: a `def_*` method per
+//! entity kind, `set_severity`/`add_severity` for the data part, and
+//! `build` to validate and seal the experiment.
+
+use crate::error::ModelError;
+use crate::experiment::Experiment;
+use crate::ids::{
+    CallNodeId, CallSiteId, MachineId, MetricId, ModuleId, NodeId, ProcessId, RegionId, ThreadId,
+};
+use crate::metadata::Metadata;
+use crate::metric::{Metric, Unit};
+use crate::program::{CallNode, CallSite, Module, Region, RegionKind};
+use crate::provenance::Provenance;
+use crate::severity::Severity;
+use crate::system::{Machine, Process, SystemNode, Thread};
+
+#[derive(Clone, Debug)]
+struct PendingWrite {
+    m: MetricId,
+    c: CallNodeId,
+    t: ThreadId,
+    value: f64,
+    accumulate: bool,
+}
+
+/// Incremental builder for [`Experiment`]s.
+///
+/// Severity tuples may be recorded at any time, even before all entities
+/// are defined: they are buffered and applied when [`build`] sizes the
+/// dense store.
+///
+/// [`build`]: ExperimentBuilder::build
+#[derive(Clone, Debug)]
+pub struct ExperimentBuilder {
+    metadata: Metadata,
+    pending: Vec<PendingWrite>,
+    name: String,
+}
+
+impl ExperimentBuilder {
+    /// Starts a new experiment with the given name (used as provenance).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            metadata: Metadata::new(),
+            pending: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Defines a metric. Pass `parent = None` for a tree root.
+    pub fn def_metric(
+        &mut self,
+        name: impl Into<String>,
+        unit: Unit,
+        description: impl Into<String>,
+        parent: Option<MetricId>,
+    ) -> MetricId {
+        self.metadata.add_metric(Metric {
+            name: name.into(),
+            unit,
+            description: description.into(),
+            parent,
+        })
+    }
+
+    /// Defines a source module.
+    pub fn def_module(&mut self, name: impl Into<String>, path: impl Into<String>) -> ModuleId {
+        self.metadata.add_module(Module::new(name, path))
+    }
+
+    /// Defines a source region.
+    pub fn def_region(
+        &mut self,
+        name: impl Into<String>,
+        module: ModuleId,
+        kind: RegionKind,
+        begin_line: u32,
+        end_line: u32,
+    ) -> RegionId {
+        self.metadata.add_region(Region {
+            name: name.into(),
+            module,
+            kind,
+            begin_line,
+            end_line,
+        })
+    }
+
+    /// Defines a call site whose execution enters `callee`.
+    pub fn def_call_site(
+        &mut self,
+        file: impl Into<String>,
+        line: u32,
+        callee: RegionId,
+    ) -> CallSiteId {
+        self.metadata.add_call_site(CallSite {
+            file: file.into(),
+            line,
+            callee,
+        })
+    }
+
+    /// Defines a call-tree node. Pass `parent = None` for a root.
+    pub fn def_call_node(&mut self, call_site: CallSiteId, parent: Option<CallNodeId>) -> CallNodeId {
+        self.metadata.add_call_node(CallNode { call_site, parent })
+    }
+
+    /// Defines a machine.
+    pub fn def_machine(&mut self, name: impl Into<String>) -> MachineId {
+        self.metadata.add_machine(Machine::new(name))
+    }
+
+    /// Defines an SMP node of `machine`.
+    pub fn def_node(&mut self, name: impl Into<String>, machine: MachineId) -> NodeId {
+        self.metadata.add_node(SystemNode::new(name, machine))
+    }
+
+    /// Defines a process with application-level `rank` on `node`.
+    pub fn def_process(&mut self, name: impl Into<String>, rank: i32, node: NodeId) -> ProcessId {
+        self.metadata.add_process(Process::new(name, rank, node))
+    }
+
+    /// Defines a thread with application-level `number` in `process`.
+    pub fn def_thread(
+        &mut self,
+        name: impl Into<String>,
+        number: u32,
+        process: ProcessId,
+    ) -> ThreadId {
+        self.metadata.add_thread(Thread::new(name, number, process))
+    }
+
+    /// Adds a Cartesian process topology and returns its index.
+    pub fn def_topology(&mut self, topology: crate::topology::CartTopology) -> usize {
+        self.metadata.add_topology(topology)
+    }
+
+    /// Records the severity of one tuple, replacing any earlier value
+    /// recorded for the same tuple.
+    pub fn set_severity(&mut self, m: MetricId, c: CallNodeId, t: ThreadId, value: f64) {
+        // Applied in order at build time; last write wins, matching `set`.
+        self.pending.push(PendingWrite {
+            m,
+            c,
+            t,
+            value,
+            accumulate: false,
+        });
+    }
+
+    /// Accumulates severity into one tuple — the natural operation for
+    /// measurement tools that observe many events per call path.
+    pub fn add_severity(&mut self, m: MetricId, c: CallNodeId, t: ThreadId, value: f64) {
+        self.pending.push(PendingWrite {
+            m,
+            c,
+            t,
+            value,
+            accumulate: true,
+        });
+    }
+
+    /// Convenience accessor for the metadata built so far.
+    pub fn metadata(&self) -> &Metadata {
+        &self.metadata
+    }
+
+    /// Validates and seals the experiment.
+    pub fn build(self) -> Result<Experiment, ModelError> {
+        let (nm, nc, nt) = self.metadata.shape();
+        let mut severity = Severity::zeros(nm, nc, nt);
+        for w in &self.pending {
+            // Out-of-range tuples cannot happen through the typed API when
+            // ids came from this builder; guard anyway so that a stale id
+            // from another experiment fails loudly instead of corrupting
+            // memory-adjacent values.
+            assert!(
+                w.m.index() < nm && w.c.index() < nc && w.t.index() < nt,
+                "severity tuple ({:?}, {:?}, {:?}) out of range for shape {:?}",
+                w.m,
+                w.c,
+                w.t,
+                (nm, nc, nt)
+            );
+            if w.accumulate {
+                severity.add(w.m, w.c, w.t, w.value);
+            } else {
+                severity.set(w.m, w.c, w.t, w.value);
+            }
+        }
+        Experiment::new(
+            self.metadata,
+            severity,
+            Provenance::original(self.name),
+        )
+    }
+}
+
+/// Convenience: builds the standard single-machine, single-node system
+/// dimension with `ranks` single-threaded processes — the layout of a
+/// pure message-passing run — and returns the thread ids in rank order.
+pub fn single_threaded_system(b: &mut ExperimentBuilder, ranks: usize) -> Vec<ThreadId> {
+    let mach = b.def_machine("virtual machine");
+    let node = b.def_node("virtual node", mach);
+    (0..ranks)
+        .map(|r| {
+            let p = b.def_process(format!("rank {r}"), r as i32, node);
+            b.def_thread(format!("rank {r} thread 0"), 0, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_valid_experiment() {
+        let mut b = ExperimentBuilder::new("demo");
+        let time = b.def_metric("time", Unit::Seconds, "wall time", None);
+        let mpi = b.def_metric("mpi", Unit::Seconds, "MPI time", Some(time));
+        let m = b.def_module("a.c", "/src/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 50);
+        let cs = b.def_call_site("a.c", 1, main_r);
+        let root = b.def_call_node(cs, None);
+        let threads = single_threaded_system(&mut b, 4);
+        for (i, &t) in threads.iter().enumerate() {
+            b.set_severity(time, root, t, 1.0 + i as f64);
+            b.set_severity(mpi, root, t, 0.25);
+        }
+        let e = b.build().unwrap();
+        assert_eq!(e.metadata().shape(), (2, 1, 4));
+        assert_eq!(e.severity().get(time, root, threads[2]), 3.0);
+        assert_eq!(e.severity().metric_sum(mpi), 1.0);
+        assert_eq!(e.provenance().label(), "demo");
+    }
+
+    #[test]
+    fn add_severity_accumulates() {
+        let mut b = ExperimentBuilder::new("acc");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, 1);
+        b.add_severity(time, root, ts[0], 1.0);
+        b.add_severity(time, root, ts[0], 2.5);
+        let e = b.build().unwrap();
+        assert_eq!(e.severity().get(time, root, ts[0]), 3.5);
+    }
+
+    #[test]
+    fn set_after_add_resets() {
+        let mut b = ExperimentBuilder::new("mix");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, 1);
+        b.add_severity(time, root, ts[0], 5.0);
+        b.set_severity(time, root, ts[0], 1.0);
+        b.add_severity(time, root, ts[0], 0.25);
+        let e = b.build().unwrap();
+        assert_eq!(e.severity().get(time, root, ts[0]), 1.25);
+    }
+
+    #[test]
+    fn later_set_severity_wins() {
+        let mut b = ExperimentBuilder::new("x");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, 1);
+        b.set_severity(time, root, ts[0], 1.0);
+        b.set_severity(time, root, ts[0], 9.0);
+        let e = b.build().unwrap();
+        assert_eq!(e.severity().get(time, root, ts[0]), 9.0);
+    }
+
+    #[test]
+    fn invalid_metadata_propagates_error() {
+        let mut b = ExperimentBuilder::new("bad");
+        b.def_metric("a", Unit::Seconds, "", None);
+        b.def_metric("b", Unit::Bytes, "", Some(MetricId::new(0)));
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        b.def_call_node(cs, None);
+        single_threaded_system(&mut b, 1);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn single_threaded_system_ranks() {
+        let mut b = ExperimentBuilder::new("s");
+        let ts = single_threaded_system(&mut b, 3);
+        assert_eq!(ts.len(), 3);
+        let md = b.metadata();
+        assert_eq!(md.machines().len(), 1);
+        assert_eq!(md.nodes().len(), 1);
+        assert_eq!(md.processes().len(), 3);
+        for (i, t) in ts.iter().enumerate() {
+            let th = md.thread(*t);
+            assert_eq!(th.number, 0);
+            assert_eq!(md.process(th.process).rank, i as i32);
+        }
+    }
+}

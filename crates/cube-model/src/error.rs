@@ -1,0 +1,177 @@
+//! Error type for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{CallNodeId, CallSiteId, MetricId, ProcessId, RegionId, ThreadId};
+use crate::metric::Unit;
+
+/// Violation of a data-model constraint.
+///
+/// [`Experiment::validate`](crate::Experiment::validate) and
+/// [`ExperimentBuilder::build`](crate::ExperimentBuilder::build) report the
+/// first constraint violation they find. Every variant corresponds to one
+/// of the constraints prescribed by the CUBE data model (Section 2 of the
+/// paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A metric refers to a parent identifier that does not exist.
+    DanglingMetricParent { metric: MetricId },
+    /// A metric's unit differs from the unit of its tree root. Within
+    /// each metric tree all metrics must share one unit of measurement.
+    MixedUnitsInMetricTree {
+        metric: MetricId,
+        unit: Unit,
+        root_unit: Unit,
+    },
+    /// The metric parent chain contains a cycle.
+    MetricCycle { metric: MetricId },
+    /// A region refers to a module that does not exist.
+    DanglingRegionModule { region: RegionId },
+    /// A region's begin line is after its end line.
+    InvertedRegionLines { region: RegionId },
+    /// A call site's callee region does not exist.
+    DanglingCallSiteCallee { call_site: CallSiteId },
+    /// A call-tree node refers to a call site that does not exist.
+    DanglingCallNodeSite { call_node: CallNodeId },
+    /// A call-tree node refers to a parent that does not exist.
+    DanglingCallNodeParent { call_node: CallNodeId },
+    /// The call-tree parent chain contains a cycle.
+    CallNodeCycle { call_node: CallNodeId },
+    /// A node refers to a machine that does not exist.
+    DanglingNodeMachine { node: crate::ids::NodeId },
+    /// A process refers to a node that does not exist.
+    DanglingProcessNode { process: ProcessId },
+    /// A thread refers to a process that does not exist.
+    DanglingThreadProcess { thread: ThreadId },
+    /// Two processes share the same application-level rank.
+    DuplicateRank { rank: i32 },
+    /// Two threads of the same process share the same thread number.
+    DuplicateThreadNumber { process: ProcessId, number: u32 },
+    /// The severity store's shape disagrees with the metadata tables.
+    SeverityShapeMismatch {
+        expected: (usize, usize, usize),
+        actual: (usize, usize, usize),
+    },
+    /// A severity value is NaN, which no operator can produce and no
+    /// measurement tool may record.
+    NanSeverity {
+        metric: MetricId,
+        call_node: CallNodeId,
+        thread: ThreadId,
+    },
+    /// The experiment contains no thread; the thread level is mandatory.
+    NoThreads,
+    /// A Cartesian topology violates its structural constraints.
+    BadTopology {
+        /// Topology name.
+        topology: String,
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DanglingMetricParent { metric } => {
+                write!(f, "metric {metric:?} refers to a nonexistent parent")
+            }
+            Self::MixedUnitsInMetricTree {
+                metric,
+                unit,
+                root_unit,
+            } => write!(
+                f,
+                "metric {metric:?} has unit {unit} but its tree root has unit {root_unit}; \
+                 all metrics of one tree must share a unit"
+            ),
+            Self::MetricCycle { metric } => {
+                write!(f, "metric {metric:?} participates in a parent cycle")
+            }
+            Self::DanglingRegionModule { region } => {
+                write!(f, "region {region:?} refers to a nonexistent module")
+            }
+            Self::InvertedRegionLines { region } => {
+                write!(f, "region {region:?} has begin line after end line")
+            }
+            Self::DanglingCallSiteCallee { call_site } => {
+                write!(f, "call site {call_site:?} refers to a nonexistent callee")
+            }
+            Self::DanglingCallNodeSite { call_node } => {
+                write!(f, "call node {call_node:?} refers to a nonexistent call site")
+            }
+            Self::DanglingCallNodeParent { call_node } => {
+                write!(f, "call node {call_node:?} refers to a nonexistent parent")
+            }
+            Self::CallNodeCycle { call_node } => {
+                write!(f, "call node {call_node:?} participates in a parent cycle")
+            }
+            Self::DanglingNodeMachine { node } => {
+                write!(f, "node {node:?} refers to a nonexistent machine")
+            }
+            Self::DanglingProcessNode { process } => {
+                write!(f, "process {process:?} refers to a nonexistent node")
+            }
+            Self::DanglingThreadProcess { thread } => {
+                write!(f, "thread {thread:?} refers to a nonexistent process")
+            }
+            Self::DuplicateRank { rank } => {
+                write!(f, "two processes share application-level rank {rank}")
+            }
+            Self::DuplicateThreadNumber { process, number } => write!(
+                f,
+                "process {process:?} has two threads numbered {number}"
+            ),
+            Self::SeverityShapeMismatch { expected, actual } => write!(
+                f,
+                "severity store shaped {actual:?} but metadata requires {expected:?} \
+                 (metrics x call nodes x threads)"
+            ),
+            Self::NanSeverity {
+                metric,
+                call_node,
+                thread,
+            } => write!(
+                f,
+                "severity at ({metric:?}, {call_node:?}, {thread:?}) is NaN"
+            ),
+            Self::NoThreads => write!(
+                f,
+                "experiment defines no thread; the thread level is mandatory"
+            ),
+            Self::BadTopology { topology, reason } => {
+                write!(f, "topology '{topology}' is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_entities() {
+        let e = ModelError::DanglingMetricParent {
+            metric: MetricId::new(3),
+        };
+        assert!(e.to_string().contains("met3"));
+
+        let e = ModelError::MixedUnitsInMetricTree {
+            metric: MetricId::new(1),
+            unit: Unit::Bytes,
+            root_unit: Unit::Seconds,
+        };
+        let s = e.to_string();
+        assert!(s.contains("bytes") && s.contains("sec"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(ModelError::NoThreads);
+        assert!(e.to_string().contains("mandatory"));
+    }
+}

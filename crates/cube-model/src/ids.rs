@@ -1,0 +1,156 @@
+//! Strongly typed identifiers for every entity kind in the data model.
+//!
+//! Each identifier is a dense index into the corresponding table of the
+//! [`Metadata`](crate::Metadata): identifiers are handed out consecutively
+//! starting at zero, so they double as array indices into the severity
+//! store. The newtypes prevent, at compile time, accidentally indexing the
+//! call-tree table with a metric identifier and similar mix-ups.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Creates an identifier from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `raw` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(raw: usize) -> Self {
+                Self(u32::try_from(raw).expect("entity index exceeds u32::MAX"))
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize` array index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a metric in the metric dimension.
+    MetricId,
+    "met"
+);
+define_id!(
+    /// Identifier of a source module (compilation unit, file, library).
+    ModuleId,
+    "mod"
+);
+define_id!(
+    /// Identifier of a source-code region (function, loop, basic block).
+    RegionId,
+    "reg"
+);
+define_id!(
+    /// Identifier of a call site — a source location where control may
+    /// move from one region into another (including loop entries).
+    CallSiteId,
+    "cs"
+);
+define_id!(
+    /// Identifier of a call-tree node, i.e. a call path.
+    CallNodeId,
+    "cn"
+);
+define_id!(
+    /// Identifier of a machine (cluster or MPP) in the system dimension.
+    MachineId,
+    "mach"
+);
+define_id!(
+    /// Identifier of an SMP node within a machine.
+    NodeId,
+    "node"
+);
+define_id!(
+    /// Identifier of a process (e.g. an MPI rank).
+    ProcessId,
+    "proc"
+);
+define_id!(
+    /// Identifier of a thread. The thread level is mandatory: pure
+    /// message-passing codes are modeled as single-threaded processes.
+    ThreadId,
+    "thrd"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = MetricId::new(7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(usize::from(id), 7);
+    }
+
+    #[test]
+    fn from_index_roundtrip() {
+        let id = CallNodeId::from_index(42);
+        assert_eq!(id, CallNodeId::new(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = ThreadId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn debug_uses_short_prefix() {
+        assert_eq!(format!("{:?}", MetricId::new(3)), "met3");
+        assert_eq!(format!("{:?}", CallNodeId::new(0)), "cn0");
+        assert_eq!(format!("{:?}", ThreadId::new(12)), "thrd12");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(format!("{}", ProcessId::new(5)), "5");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(RegionId::new(1) < RegionId::new(2));
+        assert_eq!(MachineId::new(4), MachineId::new(4));
+    }
+}

@@ -1,0 +1,122 @@
+//! The metric dimension: a forest of performance metrics.
+//!
+//! Each metric carries a name, a unit of measurement and an optional
+//! parent. The parent relation expresses *inclusion*: to qualify for
+//! parentship the parent metric must include the child metric (execution
+//! time includes communication time, cache accesses include cache
+//! misses). Within one tree all metrics must share the same unit.
+
+use std::fmt;
+
+use crate::ids::MetricId;
+
+/// Unit of measurement of a metric.
+///
+/// The CUBE data model admits exactly three units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// Wall-clock or CPU time in seconds.
+    Seconds,
+    /// Data volume in bytes.
+    Bytes,
+    /// Number of event occurrences (e.g. hardware-counter events).
+    Occurrences,
+}
+
+impl Unit {
+    /// The canonical short name used in the CUBE XML format (`uom`
+    /// attribute).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Seconds => "sec",
+            Self::Bytes => "bytes",
+            Self::Occurrences => "occ",
+        }
+    }
+
+    /// Parses the canonical short name produced by [`Unit::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "sec" => Some(Self::Seconds),
+            "bytes" => Some(Self::Bytes),
+            "occ" => Some(Self::Occurrences),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A performance metric: one node of the metric forest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Unique (within the experiment) metric name, used as the equality
+    /// key when integrating metadata of different experiments.
+    pub name: String,
+    /// Unit of measurement; constant within a metric tree.
+    pub unit: Unit,
+    /// Human-readable description of what the metric measures.
+    pub description: String,
+    /// Parent metric; `None` for a tree root.
+    pub parent: Option<MetricId>,
+}
+
+impl Metric {
+    /// Convenience constructor for a root metric.
+    pub fn root(name: impl Into<String>, unit: Unit, description: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            unit,
+            description: description.into(),
+            parent: None,
+        }
+    }
+
+    /// Convenience constructor for a child metric.
+    pub fn child(
+        name: impl Into<String>,
+        unit: Unit,
+        description: impl Into<String>,
+        parent: MetricId,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            unit,
+            description: description.into(),
+            parent: Some(parent),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_roundtrip() {
+        for u in [Unit::Seconds, Unit::Bytes, Unit::Occurrences] {
+            assert_eq!(Unit::from_str_opt(u.as_str()), Some(u));
+        }
+        assert_eq!(Unit::from_str_opt("parsecs"), None);
+    }
+
+    #[test]
+    fn unit_display_matches_as_str() {
+        assert_eq!(Unit::Seconds.to_string(), "sec");
+        assert_eq!(Unit::Bytes.to_string(), "bytes");
+        assert_eq!(Unit::Occurrences.to_string(), "occ");
+    }
+
+    #[test]
+    fn constructors_set_parent() {
+        let root = Metric::root("time", Unit::Seconds, "total time");
+        assert_eq!(root.parent, None);
+        let child = Metric::child("mpi", Unit::Seconds, "MPI time", MetricId::new(0));
+        assert_eq!(child.parent, Some(MetricId::new(0)));
+        assert_eq!(child.name, "mpi");
+    }
+}

@@ -1,0 +1,129 @@
+//! The program dimension: static structure (modules, regions, call sites)
+//! and dynamic structure (the call-tree forest).
+//!
+//! * A **region** is a general code section — a function, a loop, or
+//!   another type of basic block. Regions must be properly nested.
+//! * A **call site** denotes a source location where control may move
+//!   from one region into another (a loop entry point is a call site in
+//!   this sense). The region reached by executing the call site is its
+//!   *callee*.
+//! * A **call-tree node** represents a call path. The set of all
+//!   call-tree nodes forms a forest; most experiments have a single root
+//!   (the invocation of `main`), but a parallel program with several
+//!   executables may need more. Several nodes may point to the same call
+//!   site. Recursion must be collapsed onto the tree by the producer.
+//!
+//! Flat profiles are represented by multiple trivial call trees (one
+//! single-node tree per region), so the model needs no special case for
+//! them.
+
+use crate::ids::{CallSiteId, ModuleId, RegionId};
+
+/// A source module: compilation unit, source file, or library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Module {
+    /// Module name (typically the file name).
+    pub name: String,
+    /// Path of the module, informational only.
+    pub path: String,
+}
+
+impl Module {
+    /// Creates a module description.
+    pub fn new(name: impl Into<String>, path: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            path: path.into(),
+        }
+    }
+}
+
+/// The kind of code section a [`Region`] represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A function or subroutine.
+    Function,
+    /// A loop body instrumented as a region.
+    Loop,
+    /// Any other user-defined or tool-defined basic block.
+    UserRegion,
+}
+
+impl RegionKind {
+    /// Canonical lowercase name used in the XML representation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Function => "function",
+            Self::Loop => "loop",
+            Self::UserRegion => "user",
+        }
+    }
+
+    /// Parses the canonical name produced by [`RegionKind::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "function" => Some(Self::Function),
+            "loop" => Some(Self::Loop),
+            "user" => Some(Self::UserRegion),
+            _ => None,
+        }
+    }
+}
+
+/// A source-code region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Region name (function name, loop label, ...). Together with the
+    /// module it forms the equality key during metadata integration.
+    pub name: String,
+    /// Module the region belongs to.
+    pub module: ModuleId,
+    /// What kind of code section this is.
+    pub kind: RegionKind,
+    /// First source line of the region.
+    pub begin_line: u32,
+    /// Last source line of the region.
+    pub end_line: u32,
+}
+
+/// A call site: a source location from which a region is entered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Source file containing the call site.
+    pub file: String,
+    /// Source line of the call site. Line numbers can shift across code
+    /// versions; the algebra therefore offers a callee-only equality mode
+    /// when matching call trees.
+    pub line: u32,
+    /// The region reached by executing this call site.
+    pub callee: RegionId,
+}
+
+/// A node of the call-tree forest, i.e. one call path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallNode {
+    /// The call site from which this call path was entered.
+    pub call_site: CallSiteId,
+    /// The parent call path; `None` for a root.
+    pub parent: Option<crate::ids::CallNodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_kind_roundtrip() {
+        for k in [RegionKind::Function, RegionKind::Loop, RegionKind::UserRegion] {
+            assert_eq!(RegionKind::from_str_opt(k.as_str()), Some(k));
+        }
+        assert_eq!(RegionKind::from_str_opt("lambda"), None);
+    }
+
+    #[test]
+    fn module_constructor() {
+        let m = Module::new("solver.f", "/src/solver.f");
+        assert_eq!(m.name, "solver.f");
+        assert_eq!(m.path, "/src/solver.f");
+    }
+}

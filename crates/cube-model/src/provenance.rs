@@ -1,0 +1,101 @@
+//! Provenance of an experiment: original measurement or derived result.
+//!
+//! The algebra's closure property means a derived experiment is
+//! indistinguishable, structurally, from an original one. Provenance is
+//! therefore *informational only*: it never participates in equality
+//! used by the operators, but tools (and the display's title bar) can
+//! show where a data set came from.
+
+use std::fmt;
+
+/// Where an experiment's data came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Data collected during a real (or simulated) measurement run.
+    Original {
+        /// Free-form experiment name, e.g. `"pescan run 3"`.
+        name: String,
+    },
+    /// Data produced by applying an algebra operator.
+    Derived {
+        /// Operator name, e.g. `"difference"`, `"merge"`, `"mean"`.
+        operator: String,
+        /// Descriptions of the operand experiments, in operand order.
+        operands: Vec<String>,
+    },
+}
+
+impl Provenance {
+    /// Provenance for an original experiment.
+    pub fn original(name: impl Into<String>) -> Self {
+        Self::Original { name: name.into() }
+    }
+
+    /// Provenance for a derived experiment.
+    pub fn derived(operator: impl Into<String>, operands: Vec<String>) -> Self {
+        Self::Derived {
+            operator: operator.into(),
+            operands,
+        }
+    }
+
+    /// A short label suitable for window titles or CLI output.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// Whether this experiment is the result of an operator.
+    pub fn is_derived(&self) -> bool {
+        matches!(self, Self::Derived { .. })
+    }
+}
+
+impl Default for Provenance {
+    fn default() -> Self {
+        Self::original("unnamed experiment")
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Original { name } => write!(f, "{name}"),
+            Self::Derived { operator, operands } => {
+                write!(f, "{operator}(")?;
+                for (i, op) in operands.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{op}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_label() {
+        let p = Provenance::original("run 1");
+        assert_eq!(p.label(), "run 1");
+        assert!(!p.is_derived());
+    }
+
+    #[test]
+    fn derived_label_is_composite() {
+        let p = Provenance::derived("difference", vec!["old".into(), "new".into()]);
+        assert_eq!(p.label(), "difference(old, new)");
+        assert!(p.is_derived());
+    }
+
+    #[test]
+    fn nested_composition_reads_naturally() {
+        let inner = Provenance::derived("mean", vec!["a".into(), "b".into()]);
+        let outer = Provenance::derived("difference", vec![inner.label(), "c".into()]);
+        assert_eq!(outer.label(), "difference(mean(a, b), c)");
+    }
+}

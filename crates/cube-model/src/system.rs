@@ -1,0 +1,112 @@
+//! The system dimension: machines, nodes, processes, and threads.
+//!
+//! The system dimension is a forest with the fixed levels machine → node
+//! → process → thread. Machines and nodes are treated mainly as a
+//! *logical grouping* of processes for aggregation purposes; their
+//! physical characteristics are disregarded to simplify merging system
+//! hierarchies across experiments. The thread level is mandatory — a pure
+//! message-passing application is a collection of single-threaded
+//! processes. Nested thread-level parallelism is not supported.
+
+use crate::ids::{MachineId, NodeId, ProcessId};
+
+/// A machine: a cluster or massively parallel processor hosting nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Machine {
+    /// Machine name, informational only (not an equality key).
+    pub name: String,
+}
+
+impl Machine {
+    /// Creates a machine description.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+/// An SMP node within a machine, hosting processes.
+///
+/// Named `SystemNode` to avoid a clash with call-tree nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SystemNode {
+    /// Node name, informational only.
+    pub name: String,
+    /// The machine this node belongs to.
+    pub machine: MachineId,
+}
+
+impl SystemNode {
+    /// Creates a node description.
+    pub fn new(name: impl Into<String>, machine: MachineId) -> Self {
+        Self {
+            name: name.into(),
+            machine,
+        }
+    }
+}
+
+/// A process, identified across experiments by its application-level
+/// rank (e.g. the global MPI rank).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Process {
+    /// Process name, informational only.
+    pub name: String,
+    /// Application-level identifier used as the equality key when
+    /// integrating system dimensions (global MPI rank).
+    pub rank: i32,
+    /// The node hosting this process.
+    pub node: NodeId,
+}
+
+impl Process {
+    /// Creates a process description.
+    pub fn new(name: impl Into<String>, rank: i32, node: NodeId) -> Self {
+        Self {
+            name: name.into(),
+            rank,
+            node,
+        }
+    }
+}
+
+/// A thread within a process, identified across experiments by its
+/// application-level thread number (e.g. the OpenMP thread number).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Thread {
+    /// Thread name, informational only.
+    pub name: String,
+    /// Application-level thread number within the process; equality key
+    /// during system-dimension integration.
+    pub number: u32,
+    /// The process this thread belongs to.
+    pub process: ProcessId,
+}
+
+impl Thread {
+    /// Creates a thread description.
+    pub fn new(name: impl Into<String>, number: u32, process: ProcessId) -> Self {
+        Self {
+            name: name.into(),
+            number,
+            process,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_wire_parents() {
+        let m = Machine::new("cluster");
+        assert_eq!(m.name, "cluster");
+        let n = SystemNode::new("node0", MachineId::new(0));
+        assert_eq!(n.machine, MachineId::new(0));
+        let p = Process::new("rank 3", 3, NodeId::new(1));
+        assert_eq!(p.rank, 3);
+        let t = Thread::new("t0", 0, ProcessId::new(2));
+        assert_eq!(t.number, 0);
+        assert_eq!(t.process, ProcessId::new(2));
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests for the data model: severity indexing laws and the
+//! aggregation identities that the display semantics rest on.
+
+use proptest::prelude::*;
+
+use cube_model::aggregate::{
+    call_value, check_call_aggregation, flat_profile, metric_total, thread_distribution,
+    CallSelection, MetricSelection,
+};
+use cube_model::builder::single_threaded_system;
+use cube_model::{CallNodeId, Experiment, ExperimentBuilder, MetricId, RegionKind, ThreadId, Unit};
+
+// ---------------------------------------------------------------------------
+// severity indexing
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// set/get round-trips at any coordinate; neighbors stay untouched.
+    #[test]
+    fn severity_set_get_isolated(
+        nm in 1usize..5,
+        nc in 1usize..7,
+        nt in 1usize..6,
+        mi in 0usize..1000,
+        ci in 0usize..1000,
+        ti in 0usize..1000,
+        v in -1e9f64..1e9,
+    ) {
+        let (m, c, t) = (mi % nm, ci % nc, ti % nt);
+        let mut s = cube_model::Severity::zeros(nm, nc, nt);
+        s.set(MetricId::from_index(m), CallNodeId::from_index(c), ThreadId::from_index(t), v);
+        prop_assert_eq!(
+            s.get(MetricId::from_index(m), CallNodeId::from_index(c), ThreadId::from_index(t)),
+            v
+        );
+        // Exactly one nonzero cell (or zero cells when v == 0).
+        let nonzero = s.values().iter().filter(|&&x| x != 0.0).count();
+        prop_assert_eq!(nonzero, usize::from(v != 0.0));
+        // Sums agree.
+        prop_assert_eq!(s.metric_sum(MetricId::from_index(m)), v);
+        prop_assert_eq!(
+            s.row_sum(MetricId::from_index(m), CallNodeId::from_index(c)),
+            v
+        );
+    }
+
+    /// iter_nonzero enumerates exactly the nonzero coordinates.
+    #[test]
+    fn iter_nonzero_is_exact(values in proptest::collection::vec(-10i8..10, 1..60)) {
+        let nt = 5usize.min(values.len());
+        let nc = values.len().div_ceil(nt);
+        let mut s = cube_model::Severity::zeros(1, nc, nt);
+        for (i, &v) in values.iter().enumerate() {
+            s.set(
+                MetricId::new(0),
+                CallNodeId::from_index(i / nt),
+                ThreadId::from_index(i % nt),
+                f64::from(v),
+            );
+        }
+        let listed: Vec<_> = s.iter_nonzero().collect();
+        let expected = values.iter().filter(|&&v| v != 0).count();
+        prop_assert_eq!(listed.len(), expected);
+        for (m, c, t, v) in listed {
+            prop_assert_eq!(s.get(m, c, t), v);
+            prop_assert!(v != 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aggregation identities on generated experiments
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct TreeSpec {
+    metric_parents: Vec<Option<u8>>, // parent index into prefix
+    call_parents: Vec<Option<u8>>,
+    ranks: u8,
+    values: Vec<i16>,
+}
+
+fn tree_spec() -> impl Strategy<Value = TreeSpec> {
+    (
+        proptest::collection::vec(proptest::option::of(0u8..4), 1..6),
+        proptest::collection::vec(proptest::option::of(0u8..4), 1..8),
+        1u8..5,
+        proptest::collection::vec(-100i16..100, 1..30),
+    )
+        .prop_map(|(metric_parents, call_parents, ranks, values)| TreeSpec {
+            metric_parents,
+            call_parents,
+            ranks,
+            values,
+        })
+}
+
+fn build(spec: &TreeSpec) -> Experiment {
+    let mut b = ExperimentBuilder::new("props");
+    let mut metrics = Vec::new();
+    for (i, parent) in spec.metric_parents.iter().enumerate() {
+        let p = parent.and_then(|x| metrics.get(x as usize).copied());
+        metrics.push(b.def_metric(format!("m{i}"), Unit::Seconds, "", p));
+    }
+    let module = b.def_module("p.rs", "/p.rs");
+    let mut calls = Vec::new();
+    for (i, parent) in spec.call_parents.iter().enumerate() {
+        let r = b.def_region(format!("r{i}"), module, RegionKind::Function, 1, 2);
+        let cs = b.def_call_site("p.rs", i as u32 + 1, r);
+        let p = parent.and_then(|x| calls.get(x as usize).copied());
+        calls.push(b.def_call_node(cs, p));
+    }
+    let threads = single_threaded_system(&mut b, spec.ranks as usize);
+    let mut vi = 0;
+    for &m in &metrics {
+        for &c in &calls {
+            for &t in &threads {
+                let v = spec.values[vi % spec.values.len()];
+                vi += 1;
+                b.set_severity(m, c, t, f64::from(v) * 0.5);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sum of inclusive values over call roots == plain metric sum
+    /// (aggregation within the call dimension loses nothing).
+    #[test]
+    fn call_roots_cover_everything(spec in tree_spec()) {
+        let e = build(&spec);
+        for m in e.metadata().metric_ids() {
+            prop_assert!(check_call_aggregation(&e, m, 1e-9));
+        }
+    }
+
+    /// Single representation along the metric dimension: the exclusive
+    /// totals of a metric subtree sum to the root's inclusive total.
+    #[test]
+    fn metric_exclusive_values_partition_the_root(spec in tree_spec()) {
+        let e = build(&spec);
+        let md = e.metadata();
+        for &root in md.metric_roots() {
+            let inclusive = metric_total(&e, MetricSelection::inclusive(root));
+            let partition: f64 = md
+                .metric_subtree(root)
+                .into_iter()
+                .map(|m| metric_total(&e, MetricSelection::exclusive(m)))
+                .sum();
+            prop_assert!(
+                (inclusive - partition).abs() <= 1e-9 * inclusive.abs().max(1.0),
+                "{inclusive} vs {partition}"
+            );
+        }
+    }
+
+    /// The same partition property along the call dimension.
+    #[test]
+    fn call_exclusive_values_partition_roots(spec in tree_spec()) {
+        let e = build(&spec);
+        let md = e.metadata();
+        for m in md.metric_ids() {
+            let msel = MetricSelection::inclusive(m);
+            let roots: f64 = md
+                .call_roots()
+                .iter()
+                .map(|&c| call_value(&e, msel, CallSelection::inclusive(c)))
+                .sum();
+            let partition: f64 = md
+                .call_node_ids()
+                .map(|c| call_value(&e, msel, CallSelection::exclusive(c)))
+                .sum();
+            prop_assert!((roots - partition).abs() <= 1e-9 * roots.abs().max(1.0));
+        }
+    }
+
+    /// The flat profile is a re-partition of the same total.
+    #[test]
+    fn flat_profile_conserves_total(spec in tree_spec()) {
+        let e = build(&spec);
+        for m in e.metadata().metric_ids() {
+            let msel = MetricSelection::inclusive(m);
+            let flat: f64 = flat_profile(&e, msel).into_iter().map(|(_, v)| v).sum();
+            let total = e.severity().metric_sum(m);
+            prop_assert!((flat - total).abs() <= 1e-9 * total.abs().max(1.0));
+        }
+    }
+
+    /// The per-thread distribution sums to the cross-system value.
+    #[test]
+    fn thread_distribution_sums_to_call_value(spec in tree_spec()) {
+        let e = build(&spec);
+        let md = e.metadata();
+        let m = MetricId::new(0);
+        let msel = MetricSelection::inclusive(m);
+        for &root in md.call_roots() {
+            let csel = CallSelection::inclusive(root);
+            let dist: f64 = thread_distribution(&e, msel, csel).iter().sum();
+            let total = call_value(&e, msel, csel);
+            prop_assert!((dist - total).abs() <= 1e-9 * total.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! A small document object model on top of the lexer, plus a writer.
+
+use std::fmt::Write as _;
+
+use crate::error::{Position, XmlError};
+use crate::escape::{escape_attr, escape_text};
+use crate::lexer::{Lexer, XmlToken};
+
+/// A child of an element.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XmlNode {
+    /// Nested element.
+    Element(Element),
+    /// Character data (whitespace-only text between elements is dropped
+    /// by the parser; CDATA is preserved verbatim).
+    Text(String),
+}
+
+/// An XML element: name, attributes in document order, children.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+impl Element {
+    /// Creates an empty element.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style attribute addition.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder-style child element addition.
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Builder-style text child addition.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute value or a format error naming the element.
+    pub fn require_attr(&self, key: &str) -> Result<&str, XmlError> {
+        self.get_attr(key).ok_or_else(|| {
+            XmlError::format(format!(
+                "element <{}> is missing required attribute '{key}'",
+                self.name
+            ))
+        })
+    }
+
+    /// Parses a required attribute into any `FromStr` type.
+    pub fn parse_attr<T: std::str::FromStr>(&self, key: &str) -> Result<T, XmlError> {
+        let raw = self.require_attr(key)?;
+        raw.parse().map_err(|_| {
+            XmlError::value(format!(
+                "attribute '{key}'=\"{raw}\" of <{}> does not parse as {}",
+                self.name,
+                std::any::type_name::<T>()
+            ))
+        })
+    }
+
+    /// Child elements with the given tag name, in order.
+    pub fn elements<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |c| match c {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements in order.
+    pub fn all_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            XmlNode::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// The first child element with the given name.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|c| match c {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given name or a format error.
+    pub fn require_element(&self, name: &str) -> Result<&Element, XmlError> {
+        self.element(name).ok_or_else(|| {
+            XmlError::format(format!(
+                "element <{}> is missing required child <{name}>",
+                self.name
+            ))
+        })
+    }
+
+    /// Concatenated text content of the element (direct text children).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Serializes this element as the root of a document.
+    pub fn to_document_string(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        let only_text = self
+            .children
+            .iter()
+            .all(|c| matches!(c, XmlNode::Text(_)));
+        if only_text {
+            out.push('>');
+            for c in &self.children {
+                if let XmlNode::Text(t) = c {
+                    out.push_str(&escape_text(t));
+                }
+            }
+            let _ = write!(out, "</{}>\n", self.name);
+            return;
+        }
+        out.push_str(">\n");
+        for c in &self.children {
+            match c {
+                XmlNode::Element(e) => e.write_into(out, depth + 1),
+                XmlNode::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        for _ in 0..depth + 1 {
+                            out.push_str("  ");
+                        }
+                        out.push_str(&escape_text(trimmed));
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = write!(out, "</{}>\n", self.name);
+    }
+}
+
+/// A parsed document: exactly one root element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Document {
+    /// The document's root element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Parses a document from a string, checking well-formedness.
+    ///
+    /// Whitespace-only text between elements is dropped; comments are
+    /// dropped; CDATA becomes literal text.
+    pub fn parse(input: &str) -> Result<Self, XmlError> {
+        let mut lexer = Lexer::new(input);
+        let mut stack: Vec<Element> = Vec::new();
+        let mut root: Option<Element> = None;
+
+        while let Some(tok) = lexer.next_token()? {
+            let at = lexer.position();
+            match tok {
+                XmlToken::Declaration | XmlToken::Comment(_) => {}
+                XmlToken::StartTag {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
+                    if root.is_some() && stack.is_empty() {
+                        return Err(XmlError::malformed(
+                            at,
+                            "content after the document's root element",
+                        ));
+                    }
+                    let elem = Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    };
+                    if self_closing {
+                        Self::attach(&mut stack, &mut root, elem, at)?;
+                    } else {
+                        stack.push(elem);
+                    }
+                }
+                XmlToken::EndTag { name } => {
+                    let elem = stack.pop().ok_or_else(|| {
+                        XmlError::malformed(at, format!("unexpected closing tag </{name}>"))
+                    })?;
+                    if elem.name != name {
+                        return Err(XmlError::malformed(
+                            at,
+                            format!("<{}> closed by </{name}>", elem.name),
+                        ));
+                    }
+                    Self::attach(&mut stack, &mut root, elem, at)?;
+                }
+                XmlToken::Text(t) => {
+                    if let Some(top) = stack.last_mut() {
+                        if !t.trim().is_empty() {
+                            top.children.push(XmlNode::Text(t));
+                        }
+                    } else if !t.trim().is_empty() {
+                        return Err(XmlError::malformed(at, "text outside the root element"));
+                    }
+                }
+                XmlToken::CData(t) => {
+                    if let Some(top) = stack.last_mut() {
+                        top.children.push(XmlNode::Text(t));
+                    } else {
+                        return Err(XmlError::malformed(at, "CDATA outside the root element"));
+                    }
+                }
+            }
+        }
+        if let Some(open) = stack.last() {
+            return Err(XmlError::malformed(
+                lexer.position(),
+                format!("unclosed element <{}>", open.name),
+            ));
+        }
+        root.ok_or_else(|| {
+            XmlError::malformed(Position { line: 1, column: 1 }, "document has no root element")
+        })
+        .map(|root| Self { root })
+    }
+
+    fn attach(
+        stack: &mut [Element],
+        root: &mut Option<Element>,
+        elem: Element,
+        at: Position,
+    ) -> Result<(), XmlError> {
+        if let Some(top) = stack.last_mut() {
+            top.children.push(XmlNode::Element(elem));
+            Ok(())
+        } else if root.is_none() {
+            *root = Some(elem);
+            Ok(())
+        } else {
+            Err(XmlError::malformed(at, "document has multiple root elements"))
+        }
+    }
+
+    /// Serializes the document with declaration and indentation.
+    pub fn to_string_pretty(&self) -> String {
+        self.root.to_document_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nested_document() {
+        let doc = Document::parse(
+            r#"<?xml version="1.0"?>
+            <cube version="1.0">
+              <metrics><metric id="0" name="time"/></metrics>
+              <doc>hello &amp; goodbye</doc>
+            </cube>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.name, "cube");
+        assert_eq!(doc.root.get_attr("version"), Some("1.0"));
+        let metrics = doc.root.require_element("metrics").unwrap();
+        let m = metrics.element("metric").unwrap();
+        assert_eq!(m.get_attr("name"), Some("time"));
+        assert_eq!(
+            doc.root.element("doc").unwrap().text_content(),
+            "hello & goodbye"
+        );
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(Document::parse("<a><b></a></b>").is_err());
+        assert!(Document::parse("<a>").is_err());
+        assert!(Document::parse("</a>").is_err());
+        assert!(Document::parse("<a/><b/>").is_err());
+        assert!(Document::parse("stray text").is_err());
+        assert!(Document::parse("").is_err());
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let e = Element::new("cube")
+            .attr("version", "1.0")
+            .child(
+                Element::new("metric")
+                    .attr("name", "time <i>")
+                    .attr("descr", "a \"quoted\" thing"),
+            )
+            .child(Element::new("doc").text("line1 & line2"));
+        let s = e.to_document_string();
+        let doc = Document::parse(&s).unwrap();
+        assert_eq!(doc.root, e);
+    }
+
+    #[test]
+    fn parse_attr_typed() {
+        let doc = Document::parse(r#"<m id="42" frac="2.5" bad="x"/>"#).unwrap();
+        assert_eq!(doc.root.parse_attr::<u32>("id").unwrap(), 42);
+        assert_eq!(doc.root.parse_attr::<f64>("frac").unwrap(), 2.5);
+        assert!(doc.root.parse_attr::<u32>("bad").is_err());
+        assert!(doc.root.parse_attr::<u32>("absent").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = Document::parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+    }
+
+    #[test]
+    fn cdata_preserved_as_text() {
+        let doc = Document::parse("<a><![CDATA[x < y]]></a>").unwrap();
+        assert_eq!(doc.root.text_content(), "x < y");
+    }
+
+    #[test]
+    fn elements_iterator_filters_by_name() {
+        let doc = Document::parse("<a><x/><y/><x/></a>").unwrap();
+        assert_eq!(doc.root.elements("x").count(), 2);
+        assert_eq!(doc.root.all_elements().count(), 3);
+        assert!(doc.root.require_element("z").is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type shared by the XML substrate and the CUBE format layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Position in the input, 1-based.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, for speed; good enough for error
+    /// reporting on the ASCII-heavy CUBE format).
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors raised while lexing, parsing, or interpreting a `.cube` file.
+#[derive(Debug)]
+pub enum XmlError {
+    /// The lexer met a character it cannot interpret.
+    Syntax {
+        position: Position,
+        message: String,
+    },
+    /// Well-formedness violation (mismatched tags, multiple roots, ...).
+    Malformed {
+        position: Position,
+        message: String,
+    },
+    /// The document is valid XML but not a valid CUBE file.
+    Format { message: String },
+    /// A numeric attribute failed to parse or an id is out of range.
+    Value { message: String },
+    /// The experiment read from the file violates the data model.
+    Model(cube_model::ModelError),
+    /// Underlying I/O failure when reading or writing a file.
+    Io(std::io::Error),
+}
+
+impl XmlError {
+    pub(crate) fn syntax(position: Position, message: impl Into<String>) -> Self {
+        Self::Syntax {
+            position,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn malformed(position: Position, message: impl Into<String>) -> Self {
+        Self::Malformed {
+            position,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn format(message: impl Into<String>) -> Self {
+        Self::Format {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn value(message: impl Into<String>) -> Self {
+        Self::Value {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { position, message } => {
+                write!(f, "XML syntax error at {position}: {message}")
+            }
+            Self::Malformed { position, message } => {
+                write!(f, "malformed XML at {position}: {message}")
+            }
+            Self::Format { message } => write!(f, "not a valid CUBE file: {message}"),
+            Self::Value { message } => write!(f, "invalid value in CUBE file: {message}"),
+            Self::Model(e) => write!(f, "experiment violates the data model: {e}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for XmlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cube_model::ModelError> for XmlError {
+    fn from(e: cube_model::ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::syntax(Position { line: 3, column: 7 }, "unexpected '<'");
+        assert!(e.to_string().contains("3:7"));
+    }
+
+    #[test]
+    fn model_error_chains_source() {
+        let e: XmlError = cube_model::ModelError::NoThreads.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

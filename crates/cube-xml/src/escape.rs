@@ -1,0 +1,141 @@
+//! Entity escaping and unescaping.
+//!
+//! The writer escapes the five predefined XML entities; the reader
+//! additionally accepts decimal (`&#10;`) and hexadecimal (`&#x1F;`)
+//! character references, which other CUBE producers may emit.
+
+use crate::error::{Position, XmlError};
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (text entities plus both quote kinds, and
+/// the whitespace characters that attribute-value normalization would
+/// otherwise fold into spaces).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Resolves entity and character references in raw text.
+pub fn unescape(s: &str, at: Position) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or_else(|| XmlError::syntax(at, "unterminated entity reference"))?;
+        let name = &after[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16).map_err(|_| {
+                    XmlError::syntax(at, format!("bad hex character reference &{name};"))
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::syntax(at, format!("character reference &{name}; is not a char"))
+                })?);
+            }
+            _ if name.starts_with('#') => {
+                let cp: u32 = name[1..].parse().map_err(|_| {
+                    XmlError::syntax(at, format!("bad character reference &{name};"))
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::syntax(at, format!("character reference &{name}; is not a char"))
+                })?);
+            }
+            _ => {
+                return Err(XmlError::syntax(
+                    at,
+                    format!("unknown entity reference &{name};"),
+                ))
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AT: Position = Position { line: 1, column: 1 };
+
+    #[test]
+    fn escape_text_basics() {
+        assert_eq!(escape_text("a < b && c > d"), "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn escape_attr_quotes_and_whitespace() {
+        assert_eq!(escape_attr(r#"say "hi"'"#), "say &quot;hi&quot;&apos;");
+        assert_eq!(escape_attr("a\nb\tc\r"), "a&#10;b&#9;c&#13;");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(
+            unescape("a &lt; b &amp;&amp; c &gt; &quot;d&quot; &apos;", AT).unwrap(),
+            "a < b && c > \"d\" '"
+        );
+    }
+
+    #[test]
+    fn unescape_character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", AT).unwrap(), "ABc");
+        assert_eq!(unescape("newline:&#10;", AT).unwrap(), "newline:\n");
+    }
+
+    #[test]
+    fn unescape_rejects_bad_references() {
+        assert!(unescape("&unknown;", AT).is_err());
+        assert!(unescape("&#xZZ;", AT).is_err());
+        assert!(unescape("&#1114112;", AT).is_err()); // beyond char::MAX
+        assert!(unescape("&amp", AT).is_err()); // unterminated
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let samples = ["", "x", "<&>", "a&amp;b", "tab\there", "quote\"'", "ünïcødé 🚀"];
+        for s in samples {
+            assert_eq!(unescape(&escape_text(s), AT).unwrap(), s, "text: {s:?}");
+            assert_eq!(unescape(&escape_attr(s), AT).unwrap(), s, "attr: {s:?}");
+        }
+    }
+}

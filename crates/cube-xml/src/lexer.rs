@@ -1,0 +1,356 @@
+//! A streaming tokenizer for the XML subset used by the CUBE format.
+//!
+//! Supported: the XML declaration, start/end/self-closing tags with
+//! attributes (either quote kind), text content, comments, and CDATA
+//! sections. Not supported (not needed by the format, rejected cleanly):
+//! DOCTYPE declarations and processing instructions other than the
+//! declaration.
+
+use crate::error::{Position, XmlError};
+use crate::escape::unescape;
+
+/// One lexical token of the document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XmlToken {
+    /// `<?xml ...?>` — contents are not interpreted.
+    Declaration,
+    /// `<name attr="v" ...>` or `<name ... />`.
+    StartTag {
+        name: String,
+        attributes: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag { name: String },
+    /// Unescaped character data (entity references resolved).
+    Text(String),
+    /// `<!-- ... -->` — preserved so tools may inspect it; the DOM drops it.
+    Comment(String),
+    /// `<![CDATA[ ... ]]>` — delivered as literal text.
+    CData(String),
+}
+
+/// Tokenizer over an in-memory document.
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    /// Current position, for error messages.
+    pub fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: (self.pos - self.line_start + 1) as u32,
+        }
+    }
+
+    fn advance_over(&mut self, n: usize) {
+        for i in self.pos..self.pos + n {
+            if self.bytes[i] == b'\n' {
+                self.line += 1;
+                self.line_start = i + 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn find_from(&self, needle: &str) -> Option<usize> {
+        self.input[self.pos..].find(needle).map(|i| self.pos + i)
+    }
+
+    /// Returns the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<XmlToken>, XmlError> {
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        if self.bytes[self.pos] == b'<' {
+            self.lex_markup().map(Some)
+        } else {
+            self.lex_text().map(Some)
+        }
+    }
+
+    fn lex_text(&mut self) -> Result<XmlToken, XmlError> {
+        let at = self.position();
+        let end = self.find_from("<").unwrap_or(self.bytes.len());
+        let raw = &self.input[self.pos..end];
+        self.advance_over(end - self.pos);
+        Ok(XmlToken::Text(unescape(raw, at)?))
+    }
+
+    fn lex_markup(&mut self) -> Result<XmlToken, XmlError> {
+        let at = self.position();
+        if self.starts_with("<!--") {
+            let close = self.input[self.pos + 4..]
+                .find("-->")
+                .map(|i| self.pos + 4 + i)
+                .ok_or_else(|| XmlError::syntax(at, "unterminated comment"))?;
+            let body = self.input[self.pos + 4..close].to_string();
+            self.advance_over(close + 3 - self.pos);
+            return Ok(XmlToken::Comment(body));
+        }
+        if self.starts_with("<![CDATA[") {
+            let close = self.input[self.pos + 9..]
+                .find("]]>")
+                .map(|i| self.pos + 9 + i)
+                .ok_or_else(|| XmlError::syntax(at, "unterminated CDATA section"))?;
+            let body = self.input[self.pos + 9..close].to_string();
+            self.advance_over(close + 3 - self.pos);
+            return Ok(XmlToken::CData(body));
+        }
+        if self.starts_with("<?") {
+            let close = self
+                .find_from("?>")
+                .ok_or_else(|| XmlError::syntax(at, "unterminated processing instruction"))?;
+            let is_decl = self.starts_with("<?xml");
+            self.advance_over(close + 2 - self.pos);
+            if is_decl {
+                return Ok(XmlToken::Declaration);
+            }
+            return Err(XmlError::syntax(
+                at,
+                "processing instructions are not supported by the CUBE format",
+            ));
+        }
+        if self.starts_with("<!") {
+            return Err(XmlError::syntax(
+                at,
+                "DOCTYPE and other declarations are not supported by the CUBE format",
+            ));
+        }
+        if self.starts_with("</") {
+            let close = self
+                .find_from(">")
+                .ok_or_else(|| XmlError::syntax(at, "unterminated end tag"))?;
+            let name = self.input[self.pos + 2..close].trim().to_string();
+            if name.is_empty() {
+                return Err(XmlError::syntax(at, "end tag without a name"));
+            }
+            self.advance_over(close + 1 - self.pos);
+            return Ok(XmlToken::EndTag { name });
+        }
+        self.lex_start_tag(at)
+    }
+
+    fn lex_start_tag(&mut self, at: Position) -> Result<XmlToken, XmlError> {
+        // Skip '<'.
+        self.advance_over(1);
+        let name = self.lex_name(at)?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            if self.pos >= self.bytes.len() {
+                return Err(XmlError::syntax(at, "unterminated start tag"));
+            }
+            match self.bytes[self.pos] {
+                b'>' => {
+                    self.advance_over(1);
+                    return Ok(XmlToken::StartTag {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                b'/' => {
+                    if !self.starts_with("/>") {
+                        return Err(XmlError::syntax(self.position(), "expected '/>'"));
+                    }
+                    self.advance_over(2);
+                    return Ok(XmlToken::StartTag {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
+                }
+                _ => {
+                    let attr_at = self.position();
+                    let key = self.lex_name(attr_at)?;
+                    self.skip_whitespace();
+                    if self.pos >= self.bytes.len() || self.bytes[self.pos] != b'=' {
+                        return Err(XmlError::syntax(
+                            attr_at,
+                            format!("attribute '{key}' must be followed by '='"),
+                        ));
+                    }
+                    self.advance_over(1);
+                    self.skip_whitespace();
+                    let value = self.lex_attr_value(attr_at)?;
+                    attributes.push((key, value));
+                }
+            }
+        }
+    }
+
+    fn lex_name(&mut self, at: Position) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1; // names never contain newlines
+        }
+        if self.pos == start {
+            return Err(XmlError::syntax(at, "expected a name"));
+        }
+        let name = &self.input[start..self.pos];
+        if name.as_bytes()[0].is_ascii_digit() {
+            return Err(XmlError::syntax(at, format!("name '{name}' starts with a digit")));
+        }
+        Ok(name.to_string())
+    }
+
+    fn lex_attr_value(&mut self, at: Position) -> Result<String, XmlError> {
+        if self.pos >= self.bytes.len() {
+            return Err(XmlError::syntax(at, "missing attribute value"));
+        }
+        let quote = self.bytes[self.pos];
+        if quote != b'"' && quote != b'\'' {
+            return Err(XmlError::syntax(
+                self.position(),
+                "attribute value must be quoted",
+            ));
+        }
+        self.advance_over(1);
+        let q = quote as char;
+        let close = self.input[self.pos..]
+            .find(q)
+            .map(|i| self.pos + i)
+            .ok_or_else(|| XmlError::syntax(at, "unterminated attribute value"))?;
+        let raw = &self.input[self.pos..close];
+        let value = unescape(raw, at)?;
+        self.advance_over(close + 1 - self.pos);
+        Ok(value)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.advance_over(1);
+        }
+    }
+}
+
+/// Tokenizes a whole document into a vector.
+pub fn tokenize(input: &str) -> Result<Vec<XmlToken>, XmlError> {
+    let mut lexer = Lexer::new(input);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize(r#"<?xml version="1.0"?><a x="1"><b/>hi</a>"#).unwrap();
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[0], XmlToken::Declaration);
+        assert_eq!(
+            toks[1],
+            XmlToken::StartTag {
+                name: "a".into(),
+                attributes: vec![("x".into(), "1".into())],
+                self_closing: false
+            }
+        );
+        assert_eq!(
+            toks[2],
+            XmlToken::StartTag {
+                name: "b".into(),
+                attributes: vec![],
+                self_closing: true
+            }
+        );
+        assert_eq!(toks[3], XmlToken::Text("hi".into()));
+        assert_eq!(toks[4], XmlToken::EndTag { name: "a".into() });
+    }
+
+    #[test]
+    fn attributes_both_quote_kinds_and_entities() {
+        let toks = tokenize(r#"<m name='a &amp; b' descr="q&quot;q"/>"#).unwrap();
+        match &toks[0] {
+            XmlToken::StartTag { attributes, .. } => {
+                assert_eq!(attributes[0], ("name".into(), "a & b".into()));
+                assert_eq!(attributes[1], ("descr".into(), "q\"q".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_cdata() {
+        let toks = tokenize("<a><!-- note --><![CDATA[1 < 2 && 3]]></a>").unwrap();
+        assert_eq!(toks[1], XmlToken::Comment(" note ".into()));
+        assert_eq!(toks[2], XmlToken::CData("1 < 2 && 3".into()));
+    }
+
+    #[test]
+    fn text_entities_resolved() {
+        let toks = tokenize("<a>x &lt; y</a>").unwrap();
+        assert_eq!(toks[1], XmlToken::Text("x < y".into()));
+    }
+
+    #[test]
+    fn error_positions_track_lines() {
+        let err = tokenize("<a>\n  <b attr></b>\n</a>").unwrap_err();
+        match err {
+            XmlError::Syntax { position, .. } => {
+                assert_eq!(position.line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_doctype_and_pi() {
+        assert!(tokenize("<!DOCTYPE cube><cube/>").is_err());
+        assert!(tokenize("<?php echo ?><cube/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_constructs() {
+        assert!(tokenize("<a").is_err());
+        assert!(tokenize("<!-- never closed").is_err());
+        assert!(tokenize("<a x=\"1>").is_err());
+        assert!(tokenize("<![CDATA[ oops").is_err());
+    }
+
+    #[test]
+    fn whitespace_inside_tags() {
+        let toks = tokenize("<a  x = \"1\"   y='2' ></a>").unwrap();
+        match &toks[0] {
+            XmlToken::StartTag { attributes, .. } => assert_eq!(attributes.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn name_rules() {
+        assert!(tokenize("<1abc/>").is_err());
+        assert!(tokenize("<a-b.c:d/>").is_ok());
+    }
+}

@@ -1,0 +1,104 @@
+//! Tolerance tests: `.cube` files written by *other* tools may carry
+//! extra attributes, unknown elements, different attribute order, and
+//! unusual whitespace. The reader must accept all of that (the paper's
+//! interoperability goal) while still rejecting structural garbage.
+
+use cube_xml::read_experiment;
+
+/// A hand-written file exercising every tolerance at once.
+const FOREIGN: &str = r#"<?xml version='1.0' encoding='UTF-8' standalone='yes'?>
+<cube version="1.0" writer="someothertool-2.3">
+  <!-- written by a third-party exporter -->
+  <provenance label="foreign run" kind="original" host="node17"/>
+  <unknown-section><whatever/></unknown-section>
+  <metrics>
+    <metric name="time" id="0" uom="sec">
+      <annotation>not part of the format</annotation>
+      <metric uom="sec" descr="mpi time" name="mpi" id="1"/>
+    </metric>
+  </metrics>
+  <program>
+    <module path="/src/app.c" id="0" name="app.c"/>
+    <region end="99" begin="1" kind="function" name="main" mod="0" id="0" checksum="0xdead"/>
+    <csite callee="0" line="1" file="app.c" id="0"/>
+    <cnode csite="0" id="0">
+       <comment>vendor extension</comment>
+    </cnode>
+  </program>
+  <system>
+    <machine name="weird cluster" id="0" vendor="ACME">
+      <node id="0" name="n0" cores="64">
+        <process rank="0" id="0" name="rank 0" pid="4242">
+          <thread num="0" id="0" name="t0" tid="77"/>
+        </process>
+      </node>
+    </machine>
+  </system>
+  <severity>
+    <matrix metric="0">
+      <row cnode="0">
+         2.5
+      </row>
+    </matrix>
+  </severity>
+</cube>
+"#;
+
+#[test]
+fn foreign_file_reads() {
+    let e = read_experiment(FOREIGN).unwrap();
+    e.validate().unwrap();
+    assert_eq!(e.provenance().label(), "foreign run");
+    let md = e.metadata();
+    assert_eq!(md.num_metrics(), 2);
+    assert_eq!(md.metric(cube_model::MetricId::new(1)).name, "mpi");
+    assert_eq!(md.num_call_nodes(), 1);
+    assert_eq!(md.machines()[0].name, "weird cluster");
+    assert_eq!(e.severity().values(), &[2.5, 0.0]);
+}
+
+#[test]
+fn missing_optional_attributes_default() {
+    // descr on metrics and path on modules are optional.
+    let text = r#"<cube version="1.0">
+      <metrics><metric id="0" name="t" uom="occ"/></metrics>
+      <program>
+        <module id="0" name="m"/>
+        <region id="0" mod="0" name="r" kind="user" begin="0" end="0"/>
+        <csite id="0" file="m" line="0" callee="0"/>
+        <cnode id="0" csite="0"/>
+      </program>
+      <system>
+        <machine id="0" name="M"><node id="0" name="N">
+          <process id="0" rank="0" name="p"><thread id="0" num="0" name="t"/></process>
+        </node></machine>
+      </system>
+    </cube>"#;
+    let e = read_experiment(text).unwrap();
+    assert_eq!(e.metadata().metric(cube_model::MetricId::new(0)).description, "");
+    // No <severity> section at all: everything is zero.
+    assert!(e.severity().values().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn structural_garbage_still_rejected() {
+    // Unknown unit.
+    let bad_unit = FOREIGN.replace("uom=\"sec\"", "uom=\"lightyears\"");
+    assert!(read_experiment(&bad_unit).is_err());
+    // Region kind that does not exist.
+    let bad_kind = FOREIGN.replace("kind=\"function\"", "kind=\"blob\"");
+    assert!(read_experiment(&bad_kind).is_err());
+    // Dangling callee.
+    let bad_callee = FOREIGN.replace("callee=\"0\"", "callee=\"9\"");
+    assert!(read_experiment(&bad_callee).is_err());
+    // Severity row wider than the thread table.
+    let bad_row = FOREIGN.replace("2.5", "2.5 1.0 3.0");
+    assert!(read_experiment(&bad_row).is_err());
+}
+
+#[test]
+fn single_quotes_and_crlf_line_endings() {
+    let crlf = FOREIGN.replace('\n', "\r\n");
+    let e = read_experiment(&crlf).unwrap();
+    assert_eq!(e.metadata().num_metrics(), 2);
+}

@@ -1,0 +1,96 @@
+//! Format-stability guard: the exact bytes the writer produces for a
+//! reference experiment, and the ability to read a frozen historical
+//! file. If either test breaks, the `.cube` format changed — bump
+//! `FORMAT_VERSION` and provide migration instead of silently breaking
+//! interoperability.
+
+use cube_model::builder::single_threaded_system;
+use cube_model::{CartTopology, ExperimentBuilder, ProcessId, RegionKind, Unit};
+
+fn reference_experiment() -> cube_model::Experiment {
+    let mut b = ExperimentBuilder::new("format reference");
+    let time = b.def_metric("time", Unit::Seconds, "total", None);
+    let mpi = b.def_metric("mpi", Unit::Seconds, "MPI", Some(time));
+    let m = b.def_module("app.c", "/src/app.c");
+    let main_r = b.def_region("main", m, RegionKind::Function, 1, 40);
+    let kernel_r = b.def_region("kernel", m, RegionKind::Loop, 10, 30);
+    let cs0 = b.def_call_site("app.c", 1, main_r);
+    let cs1 = b.def_call_site("app.c", 12, kernel_r);
+    let root = b.def_call_node(cs0, None);
+    let kernel = b.def_call_node(cs1, Some(root));
+    let ts = single_threaded_system(&mut b, 2);
+    b.set_severity(time, root, ts[0], 1.5);
+    b.set_severity(time, kernel, ts[0], 2.25);
+    b.set_severity(time, kernel, ts[1], 0.5);
+    b.set_severity(mpi, kernel, ts[1], 0.125);
+    let mut topo = CartTopology::new("line", vec![2], vec![true]);
+    topo.coords.push((ProcessId::new(0), vec![0]));
+    topo.coords.push((ProcessId::new(1), vec![1]));
+    b.def_topology(topo);
+    b.build().unwrap()
+}
+
+/// The frozen serialization of [`reference_experiment`].
+const GOLDEN: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<cube version="1.0">
+  <provenance kind="original" label="format reference"/>
+  <metrics>
+    <metric id="0" name="time" uom="sec" descr="total">
+      <metric id="1" name="mpi" uom="sec" descr="MPI"/>
+    </metric>
+  </metrics>
+  <program>
+    <module id="0" name="app.c" path="/src/app.c"/>
+    <region id="0" mod="0" name="main" kind="function" begin="1" end="40"/>
+    <region id="1" mod="0" name="kernel" kind="loop" begin="10" end="30"/>
+    <csite id="0" file="app.c" line="1" callee="0"/>
+    <csite id="1" file="app.c" line="12" callee="1"/>
+    <cnode id="0" csite="0">
+      <cnode id="1" csite="1"/>
+    </cnode>
+  </program>
+  <system>
+    <machine id="0" name="virtual machine">
+      <node id="0" name="virtual node">
+        <process id="0" rank="0" name="rank 0">
+          <thread id="0" num="0" name="rank 0 thread 0"/>
+        </process>
+        <process id="1" rank="1" name="rank 1">
+          <thread id="1" num="0" name="rank 1 thread 0"/>
+        </process>
+      </node>
+    </machine>
+  </system>
+  <topologies>
+    <cart name="line" dims="2" periodic="1">
+      <coord proc="0">0</coord>
+      <coord proc="1">1</coord>
+    </cart>
+  </topologies>
+  <severity>
+    <matrix metric="0">
+      <row cnode="0">1.5 0</row>
+      <row cnode="1">2.25 0.5</row>
+    </matrix>
+    <matrix metric="1">
+      <row cnode="1">0 0.125</row>
+    </matrix>
+  </severity>
+</cube>
+"#;
+
+#[test]
+fn writer_output_is_frozen() {
+    let written = cube_xml::write_experiment(&reference_experiment());
+    assert_eq!(
+        written, GOLDEN,
+        "the .cube serialization changed; bump FORMAT_VERSION and update the golden"
+    );
+}
+
+#[test]
+fn frozen_file_still_reads() {
+    let e = cube_xml::read_experiment(GOLDEN).unwrap();
+    assert!(e.approx_eq(&reference_experiment(), 0.0));
+    assert_eq!(e.metadata().topologies().len(), 1);
+}

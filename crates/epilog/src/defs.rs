@@ -1,0 +1,136 @@
+//! Trace definition records: the static context events refer to.
+
+/// One measurement location: a `(process rank, thread number)` pair,
+/// placed on an SMP node. Pure MPI traces have one location per rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Location {
+    /// Global MPI rank of the process.
+    pub rank: i32,
+    /// Thread number within the process (0 for single-threaded).
+    pub thread: u32,
+    /// Index into [`TraceDefs::node_names`].
+    pub node_index: u32,
+}
+
+/// A source region referenced by enter/exit events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionDef {
+    /// Region name (e.g. `"solver"`, `"MPI_Recv"`).
+    pub name: String,
+    /// Source file.
+    pub file: String,
+    /// First source line.
+    pub line: u32,
+}
+
+/// A hardware counter recorded with events (optional).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterDef {
+    /// Counter name, e.g. `"PAPI_FP_INS"`.
+    pub name: String,
+}
+
+/// A Cartesian process topology recorded by instrumented MPI topology
+/// routines (`MPI_Cart_create`), as the paper's future work proposes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyDef {
+    /// Topology (communicator) name.
+    pub name: String,
+    /// Grid extents.
+    pub dims: Vec<u32>,
+    /// Periodicity flags, same length as `dims`.
+    pub periodic: Vec<bool>,
+    /// `(rank, coordinate)` placements.
+    pub coords: Vec<(i32, Vec<u32>)>,
+}
+
+/// All definition records of a trace.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TraceDefs {
+    /// Machine name.
+    pub machine_name: String,
+    /// SMP node names, indexed by [`Location::node_index`].
+    pub node_names: Vec<String>,
+    /// Measurement locations; the event records' `location` field
+    /// indexes this table.
+    pub locations: Vec<Location>,
+    /// Region table; enter/exit events index it.
+    pub regions: Vec<RegionDef>,
+    /// Counter table; when non-empty, every event carries one value per
+    /// counter (accumulated since location start).
+    pub counters: Vec<CounterDef>,
+    /// Optional Cartesian process topology.
+    pub topology: Option<TopologyDef>,
+}
+
+impl TraceDefs {
+    /// Looks up a region index by name.
+    pub fn find_region(&self, name: &str) -> Option<u32> {
+        self.regions
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Looks up the location index for `(rank, thread)`.
+    pub fn find_location(&self, rank: i32, thread: u32) -> Option<u32> {
+        self.locations
+            .iter()
+            .position(|l| l.rank == rank && l.thread == thread)
+            .map(|i| i as u32)
+    }
+
+    /// Convenience constructor for the common pure-MPI layout: `ranks`
+    /// single-threaded processes spread round-robin over `nodes` nodes.
+    pub fn pure_mpi(machine: impl Into<String>, ranks: usize, nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        Self {
+            machine_name: machine.into(),
+            node_names: (0..nodes).map(|n| format!("node{n}")).collect(),
+            locations: (0..ranks)
+                .map(|r| Location {
+                    rank: r as i32,
+                    thread: 0,
+                    node_index: (r % nodes) as u32,
+                })
+                .collect(),
+            regions: Vec::new(),
+            counters: Vec::new(),
+            topology: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_mpi_layout() {
+        let d = TraceDefs::pure_mpi("cluster", 8, 4);
+        assert_eq!(d.node_names.len(), 4);
+        assert_eq!(d.locations.len(), 8);
+        assert_eq!(d.locations[5].rank, 5);
+        assert_eq!(d.locations[5].node_index, 1);
+        assert_eq!(d.find_location(5, 0), Some(5));
+        assert_eq!(d.find_location(5, 1), None);
+    }
+
+    #[test]
+    fn find_region_by_name() {
+        let mut d = TraceDefs::pure_mpi("m", 1, 1);
+        d.regions.push(RegionDef {
+            name: "main".into(),
+            file: "a.c".into(),
+            line: 1,
+        });
+        assert_eq!(d.find_region("main"), Some(0));
+        assert_eq!(d.find_region("nope"), None);
+    }
+
+    #[test]
+    fn zero_nodes_clamped_to_one() {
+        let d = TraceDefs::pure_mpi("m", 2, 0);
+        assert_eq!(d.node_names.len(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for trace construction, validation, and (de)serialization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the trace substrate.
+#[derive(Debug)]
+pub enum EpilogError {
+    /// The byte stream does not start with the EPILOG magic.
+    BadMagic,
+    /// The byte stream declares an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The byte stream ended in the middle of a record.
+    UnexpectedEof { while_reading: &'static str },
+    /// An event record carries an unknown kind tag.
+    BadEventTag(u8),
+    /// A string field is not valid UTF-8.
+    Utf8(&'static str),
+    /// The trace violates a structural invariant.
+    Invalid(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EpilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not an EPILOG trace (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported EPILOG format version {v}"),
+            Self::UnexpectedEof { while_reading } => {
+                write!(f, "unexpected end of trace while reading {while_reading}")
+            }
+            Self::BadEventTag(t) => write!(f, "unknown event kind tag {t}"),
+            Self::Utf8(field) => write!(f, "field '{field}' is not valid UTF-8"),
+            Self::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for EpilogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EpilogError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EpilogError::BadMagic.to_string().contains("magic"));
+        assert!(EpilogError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(EpilogError::BadEventTag(42).to_string().contains("42"));
+        assert!(EpilogError::Invalid("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,181 @@
+//! Event records.
+
+/// Collective operations distinguished by the analyzer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveOp {
+    /// `MPI_Barrier`: pure synchronization.
+    Barrier,
+    /// N-to-N data exchange (`MPI_Alltoall`, `MPI_Allgather`, ...).
+    AllToAll,
+    /// Reduction to all (`MPI_Allreduce`).
+    AllReduce,
+    /// Rooted one-to-N (`MPI_Bcast`).
+    Broadcast,
+    /// Rooted N-to-one (`MPI_Reduce`).
+    Reduce,
+}
+
+impl CollectiveOp {
+    /// Stable tag used in the binary encoding.
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::Barrier => 0,
+            Self::AllToAll => 1,
+            Self::AllReduce => 2,
+            Self::Broadcast => 3,
+            Self::Reduce => 4,
+        }
+    }
+
+    /// Inverse of [`CollectiveOp::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Self::Barrier),
+            1 => Some(Self::AllToAll),
+            2 => Some(Self::AllReduce),
+            3 => Some(Self::Broadcast),
+            4 => Some(Self::Reduce),
+            _ => None,
+        }
+    }
+
+    /// The conventional MPI routine name, used as the region name of
+    /// collective call sites.
+    pub fn region_name(self) -> &'static str {
+        match self {
+            Self::Barrier => "MPI_Barrier",
+            Self::AllToAll => "MPI_Alltoall",
+            Self::AllReduce => "MPI_Allreduce",
+            Self::Broadcast => "MPI_Bcast",
+            Self::Reduce => "MPI_Reduce",
+        }
+    }
+
+    /// Whether the operation synchronizes *all* participants (inherent
+    /// N×N synchronization — the `Wait at N x N` pattern applies).
+    pub fn is_nxn(self) -> bool {
+        matches!(self, Self::AllToAll | Self::AllReduce)
+    }
+}
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// Control flow entered a region (index into the trace's region
+    /// table).
+    Enter { region: u32 },
+    /// Control flow left the most recently entered region.
+    Exit { region: u32 },
+    /// A point-to-point message left this location.
+    MpiSend { dest: i32, tag: i32, bytes: u64 },
+    /// A point-to-point message was received at this location. Recorded
+    /// at the *end* of the receive operation.
+    MpiRecv { source: i32, tag: i32, bytes: u64 },
+    /// A collective operation completed at this location. Enter/exit of
+    /// the surrounding `MPI_*` region carry the timing; this record
+    /// identifies the operation and instance for cross-process matching.
+    CollectiveExit {
+        op: CollectiveOp,
+        /// Bytes contributed by this location.
+        bytes: u64,
+        /// Root rank for rooted collectives, `-1` otherwise.
+        root: i32,
+    },
+}
+
+impl EventKind {
+    /// Stable tag used in the binary encoding.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Self::Enter { .. } => 0,
+            Self::Exit { .. } => 1,
+            Self::MpiSend { .. } => 2,
+            Self::MpiRecv { .. } => 3,
+            Self::CollectiveExit { .. } => 4,
+        }
+    }
+}
+
+/// One time-stamped event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Timestamp in seconds since the run's start.
+    pub time: f64,
+    /// Index into [`TraceDefs::locations`](crate::TraceDefs::locations).
+    pub location: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Accumulated counter values, one per defined counter (empty when
+    /// the trace defines no counters).
+    pub counters: Vec<u64>,
+}
+
+impl Event {
+    /// Creates an event without counter values.
+    pub fn new(time: f64, location: u32, kind: EventKind) -> Self {
+        Self {
+            time,
+            location,
+            kind,
+            counters: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_tags_roundtrip() {
+        for op in [
+            CollectiveOp::Barrier,
+            CollectiveOp::AllToAll,
+            CollectiveOp::AllReduce,
+            CollectiveOp::Broadcast,
+            CollectiveOp::Reduce,
+        ] {
+            assert_eq!(CollectiveOp::from_tag(op.tag()), Some(op));
+        }
+        assert_eq!(CollectiveOp::from_tag(99), None);
+    }
+
+    #[test]
+    fn nxn_classification() {
+        assert!(CollectiveOp::AllToAll.is_nxn());
+        assert!(CollectiveOp::AllReduce.is_nxn());
+        assert!(!CollectiveOp::Barrier.is_nxn());
+        assert!(!CollectiveOp::Broadcast.is_nxn());
+    }
+
+    #[test]
+    fn region_names_are_mpi_routines() {
+        assert_eq!(CollectiveOp::Barrier.region_name(), "MPI_Barrier");
+        assert_eq!(CollectiveOp::AllToAll.region_name(), "MPI_Alltoall");
+    }
+
+    #[test]
+    fn event_kind_tags_distinct() {
+        let kinds = [
+            EventKind::Enter { region: 0 },
+            EventKind::Exit { region: 0 },
+            EventKind::MpiSend {
+                dest: 0,
+                tag: 0,
+                bytes: 0,
+            },
+            EventKind::MpiRecv {
+                source: 0,
+                tag: 0,
+                bytes: 0,
+            },
+            EventKind::CollectiveExit {
+                op: CollectiveOp::Barrier,
+                bytes: 0,
+                root: -1,
+            },
+        ];
+        let tags: std::collections::HashSet<u8> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), kinds.len());
+    }
+}

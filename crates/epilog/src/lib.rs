@@ -1,0 +1,34 @@
+//! # epilog — event-trace substrate
+//!
+//! EXPERT (the trace analyzer reproduced in the `expert` crate) consumes
+//! time-stamped event traces in the EPILOG format. This crate is the
+//! EPILOG-like substrate: an event model for message-passing programs,
+//! an in-memory [`Trace`] container with validation, and a compact
+//! binary encoding ([`codec`]).
+//!
+//! A trace consists of
+//!
+//! * **definition records** ([`TraceDefs`]): the machine/node layout,
+//!   one [`Location`] per `(process rank, thread)`, the source
+//!   [`RegionDef`]s events refer to, and optional counter definitions;
+//! * **event records** ([`Event`]): region enter/exit, point-to-point
+//!   send/receive, and collective-operation completion, each carrying a
+//!   timestamp, a location, and (optionally) accumulated hardware
+//!   counter values.
+//!
+//! Recording one or more hardware-counter values as part of nearly every
+//! event record increases trace size dramatically (the paper's §5.2
+//! motivation for merging profile data instead); the codec reproduces
+//! that trade-off faithfully, and the `trace_analysis` bench measures it.
+
+pub mod codec;
+pub mod defs;
+pub mod error;
+pub mod event;
+pub mod trace;
+
+pub use codec::{decode_trace, encode_trace, read_trace_file, write_trace_file};
+pub use defs::{CounterDef, Location, RegionDef, TopologyDef, TraceDefs};
+pub use error::EpilogError;
+pub use event::{CollectiveOp, Event, EventKind};
+pub use trace::{Trace, TraceStats};

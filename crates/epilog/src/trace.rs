@@ -1,0 +1,344 @@
+//! The in-memory trace container, validation, and statistics.
+
+use crate::defs::TraceDefs;
+use crate::error::EpilogError;
+use crate::event::{Event, EventKind};
+
+/// A complete event trace: definitions plus events.
+///
+/// Events are stored in recording order. Within one location timestamps
+/// must be non-decreasing; across locations no global order is required
+/// (each process records independently).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Trace {
+    /// Definition records.
+    pub defs: TraceDefs,
+    /// Event records in recording order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates an empty trace over the given definitions.
+    pub fn new(defs: TraceDefs) -> Self {
+        Self {
+            defs,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Events of one location, in order.
+    pub fn events_of(&self, location: u32) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.location == location)
+    }
+
+    /// Checks structural invariants:
+    ///
+    /// * every event's location and region indices are in range;
+    /// * per location, timestamps are non-decreasing;
+    /// * per location, enter/exit events are properly nested and every
+    ///   exit names the region currently on top of the stack;
+    /// * counter value counts match the counter definitions;
+    /// * counter values are non-decreasing per location (they are
+    ///   accumulations).
+    pub fn validate(&self) -> Result<(), EpilogError> {
+        let nloc = self.defs.locations.len();
+        let nreg = self.defs.regions.len();
+        let ncnt = self.defs.counters.len();
+        let mut last_time = vec![f64::NEG_INFINITY; nloc];
+        let mut stacks: Vec<Vec<u32>> = vec![Vec::new(); nloc];
+        let mut last_counters: Vec<Vec<u64>> = vec![vec![0; ncnt]; nloc];
+
+        for (i, e) in self.events.iter().enumerate() {
+            let loc = e.location as usize;
+            if loc >= nloc {
+                return Err(EpilogError::Invalid(format!(
+                    "event {i} refers to location {loc}, trace has {nloc}"
+                )));
+            }
+            if e.time < last_time[loc] {
+                return Err(EpilogError::Invalid(format!(
+                    "event {i} at location {loc} goes back in time ({} < {})",
+                    e.time, last_time[loc]
+                )));
+            }
+            last_time[loc] = e.time;
+            if e.counters.len() != ncnt {
+                return Err(EpilogError::Invalid(format!(
+                    "event {i} carries {} counter values, trace defines {ncnt}",
+                    e.counters.len()
+                )));
+            }
+            for (c, (&v, last)) in e
+                .counters
+                .iter()
+                .zip(last_counters[loc].iter_mut())
+                .enumerate()
+            {
+                if v < *last {
+                    return Err(EpilogError::Invalid(format!(
+                        "event {i}: counter {c} decreases at location {loc}"
+                    )));
+                }
+                *last = v;
+            }
+            match &e.kind {
+                EventKind::Enter { region } => {
+                    if *region as usize >= nreg {
+                        return Err(EpilogError::Invalid(format!(
+                            "event {i} enters unknown region {region}"
+                        )));
+                    }
+                    stacks[loc].push(*region);
+                }
+                EventKind::Exit { region } => match stacks[loc].pop() {
+                    Some(top) if top == *region => {}
+                    Some(top) => {
+                        return Err(EpilogError::Invalid(format!(
+                            "event {i} exits region {region} but region {top} is open"
+                        )))
+                    }
+                    None => {
+                        return Err(EpilogError::Invalid(format!(
+                            "event {i} exits region {region} with empty call stack"
+                        )))
+                    }
+                },
+                EventKind::MpiSend { dest, .. } => {
+                    if !self.defs.locations.iter().any(|l| l.rank == *dest) {
+                        return Err(EpilogError::Invalid(format!(
+                            "event {i} sends to unknown rank {dest}"
+                        )));
+                    }
+                }
+                EventKind::MpiRecv { source, .. } => {
+                    if !self.defs.locations.iter().any(|l| l.rank == *source) {
+                        return Err(EpilogError::Invalid(format!(
+                            "event {i} receives from unknown rank {source}"
+                        )));
+                    }
+                }
+                EventKind::CollectiveExit { .. } => {}
+            }
+        }
+        for (loc, stack) in stacks.iter().enumerate() {
+            if !stack.is_empty() {
+                return Err(EpilogError::Invalid(format!(
+                    "location {loc} ends with {} unclosed region(s)",
+                    stack.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        s.num_locations = self.defs.locations.len();
+        s.num_events = self.events.len();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Enter { .. } => s.enters += 1,
+                EventKind::Exit { .. } => s.exits += 1,
+                EventKind::MpiSend { bytes, .. } => {
+                    s.sends += 1;
+                    // Saturate: hostile or corrupt traces may carry
+                    // absurd byte counts, and statistics must not abort.
+                    s.bytes_sent = s.bytes_sent.saturating_add(bytes);
+                }
+                EventKind::MpiRecv { .. } => s.recvs += 1,
+                EventKind::CollectiveExit { .. } => s.collectives += 1,
+            }
+            s.end_time = s.end_time.max(e.time);
+        }
+        s
+    }
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Number of measurement locations.
+    pub num_locations: usize,
+    /// Total event count.
+    pub num_events: usize,
+    /// Region-enter events.
+    pub enters: usize,
+    /// Region-exit events.
+    pub exits: usize,
+    /// Point-to-point sends.
+    pub sends: usize,
+    /// Point-to-point receives.
+    pub recvs: usize,
+    /// Collective completions.
+    pub collectives: usize,
+    /// Total payload bytes sent point-to-point.
+    pub bytes_sent: u64,
+    /// Largest timestamp.
+    pub end_time: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defs::{RegionDef, TraceDefs};
+    use crate::event::CollectiveOp;
+
+    fn defs() -> TraceDefs {
+        let mut d = TraceDefs::pure_mpi("m", 2, 1);
+        d.regions.push(RegionDef {
+            name: "main".into(),
+            file: "a.c".into(),
+            line: 1,
+        });
+        d.regions.push(RegionDef {
+            name: "MPI_Send".into(),
+            file: "mpi".into(),
+            line: 0,
+        });
+        d
+    }
+
+    fn valid_trace() -> Trace {
+        let mut t = Trace::new(defs());
+        t.push(Event::new(0.0, 0, EventKind::Enter { region: 0 }));
+        t.push(Event::new(0.1, 0, EventKind::Enter { region: 1 }));
+        t.push(Event::new(
+            0.15,
+            0,
+            EventKind::MpiSend {
+                dest: 1,
+                tag: 7,
+                bytes: 1024,
+            },
+        ));
+        t.push(Event::new(0.2, 0, EventKind::Exit { region: 1 }));
+        t.push(Event::new(1.0, 0, EventKind::Exit { region: 0 }));
+        t.push(Event::new(0.0, 1, EventKind::Enter { region: 0 }));
+        t.push(Event::new(
+            0.3,
+            1,
+            EventKind::MpiRecv {
+                source: 0,
+                tag: 7,
+                bytes: 1024,
+            },
+        ));
+        t.push(Event::new(
+            0.9,
+            1,
+            EventKind::CollectiveExit {
+                op: CollectiveOp::Barrier,
+                bytes: 0,
+                root: -1,
+            },
+        ));
+        t.push(Event::new(1.0, 1, EventKind::Exit { region: 0 }));
+        t
+    }
+
+    #[test]
+    fn valid_trace_validates() {
+        valid_trace().validate().unwrap();
+    }
+
+    #[test]
+    fn stats_count_event_kinds() {
+        let s = valid_trace().stats();
+        assert_eq!(s.num_events, 9);
+        assert_eq!(s.enters, 3);
+        assert_eq!(s.exits, 3);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.recvs, 1);
+        assert_eq!(s.collectives, 1);
+        assert_eq!(s.bytes_sent, 1024);
+        assert_eq!(s.end_time, 1.0);
+        assert_eq!(s.num_locations, 2);
+    }
+
+    #[test]
+    fn time_regression_rejected() {
+        let mut t = valid_trace();
+        t.push(Event::new(0.5, 0, EventKind::Enter { region: 0 }));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn unbalanced_stack_rejected() {
+        let mut t = Trace::new(defs());
+        t.push(Event::new(0.0, 0, EventKind::Enter { region: 0 }));
+        assert!(t.validate().is_err()); // unclosed
+        let mut t = Trace::new(defs());
+        t.push(Event::new(0.0, 0, EventKind::Exit { region: 0 }));
+        assert!(t.validate().is_err()); // empty-stack exit
+    }
+
+    #[test]
+    fn crossed_exit_rejected() {
+        let mut t = Trace::new(defs());
+        t.push(Event::new(0.0, 0, EventKind::Enter { region: 0 }));
+        t.push(Event::new(0.1, 0, EventKind::Enter { region: 1 }));
+        t.push(Event::new(0.2, 0, EventKind::Exit { region: 0 })); // wrong order
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_indices_rejected() {
+        let mut t = Trace::new(defs());
+        t.push(Event::new(0.0, 9, EventKind::Enter { region: 0 }));
+        assert!(t.validate().is_err());
+        let mut t = Trace::new(defs());
+        t.push(Event::new(0.0, 0, EventKind::Enter { region: 9 }));
+        assert!(t.validate().is_err());
+        let mut t = Trace::new(defs());
+        t.push(Event::new(
+            0.0,
+            0,
+            EventKind::MpiSend {
+                dest: 5,
+                tag: 0,
+                bytes: 0,
+            },
+        ));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn counter_cardinality_enforced() {
+        let mut d = defs();
+        d.counters.push(crate::defs::CounterDef {
+            name: "PAPI_FP_INS".into(),
+        });
+        let mut t = Trace::new(d);
+        t.push(Event::new(0.0, 0, EventKind::Enter { region: 0 })); // 0 counters, 1 defined
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn decreasing_counters_rejected() {
+        let mut d = defs();
+        d.counters.push(crate::defs::CounterDef {
+            name: "PAPI_FP_INS".into(),
+        });
+        let mut t = Trace::new(d);
+        let mut e1 = Event::new(0.0, 0, EventKind::Enter { region: 0 });
+        e1.counters = vec![100];
+        let mut e2 = Event::new(1.0, 0, EventKind::Exit { region: 0 });
+        e2.counters = vec![50];
+        t.push(e1);
+        t.push(e2);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn events_of_filters_by_location() {
+        let t = valid_trace();
+        assert_eq!(t.events_of(0).count(), 5);
+        assert_eq!(t.events_of(1).count(), 4);
+    }
+}

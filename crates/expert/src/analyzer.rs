@@ -1,0 +1,842 @@
+//! The trace analyzer: replay, pattern search, experiment assembly.
+//!
+//! Analysis runs in three phases:
+//!
+//! 1. **Replay** (parallel over locations with Rayon): each location's
+//!    event stream is replayed against a call stack, producing a local
+//!    call tree with exclusive time, visit counts, *Late Sender*
+//!    waiting (matched against the senders' send-post timestamps), and
+//!    the per-instance enter/exit records of every collective.
+//! 2. **Collective resolution** (sequential): the n-th instance of a
+//!    collective operation across all locations is matched up;
+//!    `last enter − own enter` becomes *Wait at Barrier* / *Wait at
+//!    N x N*, `own exit − first exit` becomes *Barrier Completion*.
+//! 3. **Assembly**: local call trees merge into one global call tree
+//!    and the severity values land in a CUBE experiment.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use cube_model::builder::ExperimentBuilder;
+use cube_model::{CallNodeId, CallSiteId, Experiment, RegionKind, ThreadId};
+use epilog::{CollectiveOp, EpilogError, EventKind, Trace};
+
+use crate::patterns::PatternIds;
+
+/// Analyzer switches.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzeOptions {
+    /// Experiment name (provenance); defaults to
+    /// `"EXPERT analysis of <machine>"`.
+    pub name: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Local (per-location) replay
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct LocalNode {
+    parent: Option<usize>,
+    region: u32,
+    children: HashMap<u32, usize>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CollRecord {
+    op: CollectiveOp,
+    seq: usize,
+    node: usize,
+    enter: f64,
+    exit: f64,
+    root: i32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LocalProfile {
+    nodes: Vec<LocalNode>,
+    time_excl: Vec<f64>,
+    visits: Vec<f64>,
+    late_sender: Vec<f64>,
+    wait_nxn: Vec<f64>,
+    late_broadcast: Vec<f64>,
+    early_reduce: Vec<f64>,
+    wait_barrier: Vec<f64>,
+    barrier_completion: Vec<f64>,
+    idle: Vec<f64>,
+    colls: Vec<CollRecord>,
+}
+
+impl LocalProfile {
+    fn node(&mut self, parent: Option<usize>, region: u32) -> usize {
+        if let Some(p) = parent {
+            if let Some(&n) = self.nodes[p].children.get(&region) {
+                return n;
+            }
+        } else if let Some(n) = self
+            .nodes
+            .iter()
+            .position(|n| n.parent.is_none() && n.region == region)
+        {
+            return n;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(LocalNode {
+            parent,
+            region,
+            children: HashMap::new(),
+        });
+        self.time_excl.push(0.0);
+        self.visits.push(0.0);
+        self.late_sender.push(0.0);
+        self.wait_nxn.push(0.0);
+        self.late_broadcast.push(0.0);
+        self.early_reduce.push(0.0);
+        self.wait_barrier.push(0.0);
+        self.barrier_completion.push(0.0);
+        self.idle.push(0.0);
+        if let Some(p) = parent {
+            self.nodes[p].children.insert(region, id);
+        }
+        id
+    }
+}
+
+struct Frame {
+    node: usize,
+    enter: f64,
+    child_time: f64,
+}
+
+/// Sends available to one receiving location:
+/// `(source rank, tag) → FIFO of send-post timestamps`.
+type SendQueues = HashMap<(i32, i32), std::collections::VecDeque<f64>>;
+
+fn replay_location(
+    trace: &Trace,
+    location: u32,
+    mut sends: SendQueues,
+) -> Result<LocalProfile, EpilogError> {
+    let mut p = LocalProfile::default();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut coll_seq: HashMap<u8, usize> = HashMap::new();
+
+    for e in trace.events_of(location) {
+        match &e.kind {
+            EventKind::Enter { region } => {
+                let parent = stack.last().map(|f| f.node);
+                let node = p.node(parent, *region);
+                p.visits[node] += 1.0;
+                stack.push(Frame {
+                    node,
+                    enter: e.time,
+                    child_time: 0.0,
+                });
+            }
+            EventKind::Exit { .. } => {
+                let frame = stack.pop().ok_or_else(|| {
+                    EpilogError::Invalid(format!("location {location}: exit with empty stack"))
+                })?;
+                let duration = e.time - frame.enter;
+                p.time_excl[frame.node] += duration - frame.child_time;
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_time += duration;
+                }
+            }
+            EventKind::MpiRecv { source, tag, .. } => {
+                let frame = stack.last().ok_or_else(|| {
+                    EpilogError::Invalid(format!("location {location}: recv outside a region"))
+                })?;
+                if let Some(send_post) =
+                    sends.get_mut(&(*source, *tag)).and_then(|q| q.pop_front())
+                {
+                    let blocked = e.time - frame.enter;
+                    let wait = (send_post - frame.enter).clamp(0.0, blocked.max(0.0));
+                    p.late_sender[frame.node] += wait;
+                }
+            }
+            EventKind::MpiSend { .. } => {
+                // Eager sends never block: Late Receiver severity is zero.
+            }
+            EventKind::CollectiveExit { op, root, .. } => {
+                let frame = stack.last().ok_or_else(|| {
+                    EpilogError::Invalid(format!(
+                        "location {location}: collective outside a region"
+                    ))
+                })?;
+                let seq_slot = coll_seq.entry(op.tag()).or_insert(0);
+                let seq = *seq_slot;
+                *seq_slot += 1;
+                p.colls.push(CollRecord {
+                    op: *op,
+                    seq,
+                    node: frame.node,
+                    enter: frame.enter,
+                    exit: e.time,
+                    root: *root,
+                });
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(EpilogError::Invalid(format!(
+            "location {location}: {} unclosed region(s)",
+            stack.len()
+        )));
+    }
+    Ok(p)
+}
+
+// ---------------------------------------------------------------------------
+// Analysis driver
+// ---------------------------------------------------------------------------
+
+/// Classification of a region by its name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RegionClass {
+    User,
+    P2pSend,
+    P2pRecv,
+    Barrier,
+    CollectiveData,
+    OtherMpi,
+}
+
+fn classify(name: &str) -> RegionClass {
+    match name {
+        "MPI_Send" | "MPI_Isend" | "MPI_Ssend" | "MPI_Bsend" => RegionClass::P2pSend,
+        "MPI_Recv" | "MPI_Irecv" => RegionClass::P2pRecv,
+        "MPI_Barrier" => RegionClass::Barrier,
+        "MPI_Alltoall" | "MPI_Allgather" | "MPI_Allreduce" | "MPI_Bcast" | "MPI_Reduce"
+        | "MPI_Scatter" | "MPI_Gather" | "MPI_Reduce_scatter" => RegionClass::CollectiveData,
+        _ if name.starts_with("MPI_") => RegionClass::OtherMpi,
+        _ => RegionClass::User,
+    }
+}
+
+/// Analyzes a trace and returns the resulting CUBE experiment.
+///
+/// The trace is validated first; analysis itself cannot fail on a valid
+/// trace.
+pub fn analyze(trace: &Trace, options: &AnalyzeOptions) -> Result<Experiment, EpilogError> {
+    trace.validate()?;
+
+    // Pre-group point-to-point sends by receiving rank.
+    let mut send_queues: HashMap<i32, SendQueues> = HashMap::new();
+    for e in &trace.events {
+        if let EventKind::MpiSend { dest, tag, .. } = &e.kind {
+            let src = trace.defs.locations[e.location as usize].rank;
+            send_queues
+                .entry(*dest)
+                .or_default()
+                .entry((src, *tag))
+                .or_default()
+                .push_back(e.time);
+        }
+    }
+
+    // Phase 1: parallel replay.
+    let locations: Vec<u32> = (0..trace.defs.locations.len() as u32).collect();
+    let mut profiles: Vec<LocalProfile> = locations
+        .par_iter()
+        .map(|&loc| {
+            let rank = trace.defs.locations[loc as usize].rank;
+            let queues = send_queues.get(&rank).cloned().unwrap_or_default();
+            replay_location(trace, loc, queues)
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Phase 2: collective instances across locations.
+    struct Member {
+        location: usize,
+        node: usize,
+        enter: f64,
+        exit: f64,
+        root: i32,
+    }
+    let mut instances: HashMap<(u8, usize), Vec<Member>> = HashMap::new();
+    for (li, p) in profiles.iter().enumerate() {
+        for c in &p.colls {
+            instances.entry((c.op.tag(), c.seq)).or_default().push(Member {
+                location: li,
+                node: c.node,
+                enter: c.enter,
+                exit: c.exit,
+                root: c.root,
+            });
+        }
+    }
+    let rank_of = |li: usize| trace.defs.locations[li].rank;
+    for ((op_tag, _), members) in &instances {
+        let op = CollectiveOp::from_tag(*op_tag).expect("tag from a valid op");
+        let last_enter = members
+            .iter()
+            .map(|m| m.enter)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let first_exit = members.iter().map(|m| m.exit).fold(f64::INFINITY, f64::min);
+        match op {
+            CollectiveOp::Barrier => {
+                for m in members {
+                    profiles[m.location].wait_barrier[m.node] +=
+                        (last_enter - m.enter).max(0.0);
+                    profiles[m.location].barrier_completion[m.node] +=
+                        (m.exit - first_exit).max(0.0);
+                }
+            }
+            CollectiveOp::AllToAll | CollectiveOp::AllReduce => {
+                for m in members {
+                    profiles[m.location].wait_nxn[m.node] += (last_enter - m.enter).max(0.0);
+                }
+            }
+            CollectiveOp::Broadcast => {
+                // Non-root ranks that enter before the root wait for it.
+                if let Some(root) = members.iter().find(|m| rank_of(m.location) == m.root) {
+                    let root_enter = root.enter;
+                    for m in members {
+                        if rank_of(m.location) != m.root {
+                            let wait =
+                                (root_enter - m.enter).clamp(0.0, (m.exit - m.enter).max(0.0));
+                            profiles[m.location].late_broadcast[m.node] += wait;
+                        }
+                    }
+                }
+            }
+            CollectiveOp::Reduce => {
+                // A root that enters before the last sender waits for it.
+                if let Some(root_idx) =
+                    members.iter().position(|m| rank_of(m.location) == m.root)
+                {
+                    let last_sender_enter = members
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != root_idx)
+                        .map(|(_, m)| m.enter)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let root = &members[root_idx];
+                    let wait = (last_sender_enter - root.enter)
+                        .clamp(0.0, (root.exit - root.enter).max(0.0));
+                    profiles[root.location].early_reduce[root.node] += wait;
+                }
+            }
+        }
+    }
+
+    // Phase 2b: Idle Threads (hybrid MPI + OpenMP runs). A worker
+    // location is busy only inside parallel regions; the rest of its
+    // rank's wall-clock span is idleness caused by the master's
+    // sequential execution. The idle time is attributed to the rank's
+    // root call path at the worker location (a simplification of
+    // EXPERT's time-interval mapping, documented in DESIGN.md).
+    {
+        let nloc = trace.defs.locations.len();
+        let mut spans: Vec<Option<(f64, f64)>> = vec![None; nloc];
+        for e in &trace.events {
+            let slot = &mut spans[e.location as usize];
+            *slot = Some(match slot {
+                Some((lo, hi)) => (lo.min(e.time), hi.max(e.time)),
+                None => (e.time, e.time),
+            });
+        }
+        for li in 0..nloc {
+            let loc = trace.defs.locations[li].clone();
+            if loc.thread == 0 {
+                continue;
+            }
+            let Some(master_li) = trace
+                .defs
+                .locations
+                .iter()
+                .position(|l| l.rank == loc.rank && l.thread == 0)
+            else {
+                continue;
+            };
+            let Some((ms, me)) = spans[master_li] else {
+                continue;
+            };
+            let busy: f64 = profiles[li].time_excl.iter().sum();
+            let idle = ((me - ms) - busy).max(0.0);
+            if idle <= 0.0 {
+                continue;
+            }
+            let Some(root_region) = profiles[master_li]
+                .nodes
+                .iter()
+                .find(|n| n.parent.is_none())
+                .map(|n| n.region)
+            else {
+                continue;
+            };
+            let node = profiles[li].node(None, root_region);
+            profiles[li].idle[node] += idle;
+        }
+    }
+
+    // Phase 3: assemble the experiment.
+    let name = options.name.clone().unwrap_or_else(|| {
+        format!("EXPERT analysis of {}", trace.defs.machine_name)
+    });
+    let mut b = ExperimentBuilder::new(name);
+    let pat = PatternIds::define(&mut b);
+
+    // Program dimension: modules per distinct file, regions from the
+    // trace's region table, one call site per global call-tree node.
+    let mut module_of_file: HashMap<&str, cube_model::ModuleId> = HashMap::new();
+    let mut region_ids = Vec::with_capacity(trace.defs.regions.len());
+    for r in &trace.defs.regions {
+        let module = *module_of_file
+            .entry(r.file.as_str())
+            .or_insert_with(|| b.def_module(r.file.clone(), r.file.clone()));
+        let kind = if r.name.starts_with("MPI_") {
+            RegionKind::Function
+        } else {
+            RegionKind::Function
+        };
+        region_ids.push(b.def_region(r.name.clone(), module, kind, r.line, r.line));
+    }
+
+    // Merge local call trees into a global tree keyed by
+    // (parent, region). `global[key] -> (CallNodeId, CallSiteId)`.
+    let mut global: HashMap<(Option<CallNodeId>, u32), CallNodeId> = HashMap::new();
+    let mut site_of_region: HashMap<u32, CallSiteId> = HashMap::new();
+    // Per location: local node index -> global call node.
+    let mut node_maps: Vec<Vec<CallNodeId>> = Vec::with_capacity(profiles.len());
+    for p in &profiles {
+        let mut map = Vec::with_capacity(p.nodes.len());
+        // Local nodes were created parent-before-child, so a single
+        // forward pass suffices.
+        for n in &p.nodes {
+            let parent_global = n.parent.map(|pi| map[pi]);
+            let key = (parent_global, n.region);
+            let id = match global.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let region = region_ids[n.region as usize];
+                    let site = *site_of_region.entry(n.region).or_insert_with(|| {
+                        let def = &trace.defs.regions[n.region as usize];
+                        b.def_call_site(def.file.clone(), def.line, region)
+                    });
+                    let id = b.def_call_node(site, parent_global);
+                    global.insert(key, id);
+                    id
+                }
+            };
+            map.push(id);
+        }
+        node_maps.push(map);
+    }
+
+    // System dimension.
+    let machine = b.def_machine(trace.defs.machine_name.clone());
+    let node_ids: Vec<_> = trace
+        .defs
+        .node_names
+        .iter()
+        .map(|n| b.def_node(n.clone(), machine))
+        .collect();
+    let mut process_of_rank: HashMap<i32, cube_model::ProcessId> = HashMap::new();
+    let mut thread_of_location: Vec<ThreadId> = Vec::with_capacity(trace.defs.locations.len());
+    for l in &trace.defs.locations {
+        let process = *process_of_rank.entry(l.rank).or_insert_with(|| {
+            let node = node_ids
+                .get(l.node_index as usize)
+                .copied()
+                .unwrap_or(node_ids[0]);
+            b.def_process(format!("rank {}", l.rank), l.rank, node)
+        });
+        thread_of_location.push(b.def_thread(
+            format!("rank {} thread {}", l.rank, l.thread),
+            l.thread,
+            process,
+        ));
+    }
+
+    // Topology recorded with the trace (instrumented MPI_Cart_create).
+    if let Some(t) = &trace.defs.topology {
+        let mut topo = cube_model::CartTopology::new(
+            t.name.clone(),
+            t.dims.clone(),
+            t.periodic.clone(),
+        );
+        for (rank, c) in &t.coords {
+            if let Some(p) = process_of_rank.get(rank) {
+                topo.coords.push((*p, c.clone()));
+            }
+        }
+        b.def_topology(topo);
+    }
+
+    // Severity. Stored values are call-exclusive and metric-inclusive:
+    // the hierarchy metrics (Execution, MPI, Communication, ...) are
+    // restrictions of Time to the call paths of the relevant class.
+    for (li, p) in profiles.iter().enumerate() {
+        let thread = thread_of_location[li];
+        for (ni, node) in p.nodes.iter().enumerate() {
+            let cnode = node_maps[li][ni];
+            let t = p.time_excl[ni];
+            let idle = p.idle[ni];
+            let class = classify(&trace.defs.regions[node.region as usize].name);
+            if p.visits[ni] > 0.0 {
+                b.set_severity(pat.visits, cnode, thread, p.visits[ni]);
+            }
+            if t != 0.0 || idle != 0.0 {
+                b.set_severity(pat.time, cnode, thread, t + idle);
+            }
+            if t != 0.0 {
+                b.set_severity(pat.execution, cnode, thread, t);
+            }
+            if idle > 0.0 {
+                b.set_severity(pat.idle_threads, cnode, thread, idle);
+            }
+            match class {
+                RegionClass::User => {}
+                RegionClass::OtherMpi => {
+                    b.set_severity(pat.mpi, cnode, thread, t);
+                }
+                RegionClass::P2pSend | RegionClass::P2pRecv => {
+                    b.set_severity(pat.mpi, cnode, thread, t);
+                    b.set_severity(pat.communication, cnode, thread, t);
+                    b.set_severity(pat.p2p, cnode, thread, t);
+                    if p.late_sender[ni] > 0.0 {
+                        b.set_severity(pat.late_sender, cnode, thread, p.late_sender[ni]);
+                    }
+                }
+                RegionClass::CollectiveData => {
+                    b.set_severity(pat.mpi, cnode, thread, t);
+                    b.set_severity(pat.communication, cnode, thread, t);
+                    b.set_severity(pat.collective, cnode, thread, t);
+                    if p.wait_nxn[ni] > 0.0 {
+                        b.set_severity(pat.wait_at_nxn, cnode, thread, p.wait_nxn[ni]);
+                    }
+                    if p.late_broadcast[ni] > 0.0 {
+                        b.set_severity(pat.late_broadcast, cnode, thread, p.late_broadcast[ni]);
+                    }
+                    if p.early_reduce[ni] > 0.0 {
+                        b.set_severity(pat.early_reduce, cnode, thread, p.early_reduce[ni]);
+                    }
+                }
+                RegionClass::Barrier => {
+                    b.set_severity(pat.mpi, cnode, thread, t);
+                    b.set_severity(pat.synchronization, cnode, thread, t);
+                    if p.wait_barrier[ni] > 0.0 {
+                        b.set_severity(pat.wait_at_barrier, cnode, thread, p.wait_barrier[ni]);
+                    }
+                    if p.barrier_completion[ni] > 0.0 {
+                        b.set_severity(
+                            pat.barrier_completion,
+                            cnode,
+                            thread,
+                            p.barrier_completion[ni],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    b.build().map_err(|e| EpilogError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::aggregate::{metric_total, MetricSelection};
+    use simmpi::apps::{pescan, sweep3d, PescanConfig, Sweep3dConfig};
+    use simmpi::{simulate, EpilogTracer, MachineModel};
+
+    fn trace_of(program: &simmpi::Program) -> Trace {
+        let mut tracer = EpilogTracer::new("simulated cluster", 4);
+        simulate(program, &MachineModel::default(), &mut tracer).unwrap();
+        tracer.into_trace()
+    }
+
+    fn metric_sum(e: &Experiment, name: &str) -> f64 {
+        let m = e.metadata().find_metric(name).unwrap();
+        metric_total(e, MetricSelection::inclusive(m))
+    }
+
+    #[test]
+    fn pescan_analysis_shows_barrier_waiting() {
+        let t = trace_of(&pescan(&PescanConfig::default()));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        e.validate().unwrap();
+
+        let time = metric_sum(&e, "Time");
+        let wab = metric_sum(&e, "Wait at Barrier");
+        let sync = metric_sum(&e, "Synchronization");
+        assert!(time > 0.0);
+        assert!(wab > 0.0, "barriers must produce waiting");
+        assert!(sync >= wab, "waiting is a subset of synchronization");
+        // Figure 1's headline: a large fraction of execution time is
+        // Wait-at-Barrier — calibrated to sit near 13 %.
+        let frac = wab / time;
+        assert!(
+            (0.05..0.30).contains(&frac),
+            "Wait-at-Barrier fraction {frac:.3} implausible"
+        );
+        // Completion exists thanks to exit skew.
+        assert!(metric_sum(&e, "Barrier Completion") > 0.0);
+    }
+
+    #[test]
+    fn optimized_pescan_has_no_barrier_metrics() {
+        let t = trace_of(&pescan(&PescanConfig {
+            barriers: false,
+            ..PescanConfig::default()
+        }));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        assert_eq!(metric_sum(&e, "Wait at Barrier"), 0.0);
+        assert_eq!(metric_sum(&e, "Synchronization"), 0.0);
+        // Waiting migrated to P2P and NxN instead.
+        assert!(metric_sum(&e, "Late Sender") > 0.0);
+        assert!(metric_sum(&e, "Wait at N x N") > 0.0);
+    }
+
+    #[test]
+    fn sweep3d_analysis_shows_late_sender() {
+        let t = trace_of(&sweep3d(&Sweep3dConfig::default()));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        e.validate().unwrap();
+        let ls = metric_sum(&e, "Late Sender");
+        let p2p = metric_sum(&e, "P2P");
+        assert!(ls > 0.0, "wavefront must produce Late Sender");
+        assert!(p2p >= ls);
+        // Late Sender should dominate P2P time in a pipeline fill.
+        assert!(ls / p2p > 0.3, "Late Sender only {:.1}% of P2P", ls / p2p * 100.0);
+    }
+
+    #[test]
+    fn hierarchy_inclusion_invariants_hold() {
+        let t = trace_of(&pescan(&PescanConfig::default()));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        let time = metric_sum(&e, "Time");
+        let exec = metric_sum(&e, "Execution");
+        let mpi = metric_sum(&e, "MPI");
+        let comm = metric_sum(&e, "Communication");
+        let coll = metric_sum(&e, "Collective");
+        let p2p = metric_sum(&e, "P2P");
+        let sync = metric_sum(&e, "Synchronization");
+        assert!(exec <= time + 1e-9);
+        assert!(mpi <= exec + 1e-9);
+        assert!(comm + sync <= mpi + 1e-9);
+        assert!(coll + p2p <= comm + 1e-9);
+        assert!(metric_sum(&e, "Wait at N x N") <= coll + 1e-9);
+        assert!(metric_sum(&e, "Late Sender") <= p2p + 1e-9);
+    }
+
+    #[test]
+    fn time_matches_trace_duration() {
+        // Total Time = sum over locations of their root-region spans.
+        let t = trace_of(&pescan(&PescanConfig {
+            ranks: 4,
+            iterations: 3,
+            ..PescanConfig::default()
+        }));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        let time = metric_sum(&e, "Time");
+        // Each location's events span its root enter..exit.
+        let mut expected = 0.0;
+        for loc in 0..t.defs.locations.len() as u32 {
+            let events: Vec<_> = t.events_of(loc).collect();
+            expected += events.last().unwrap().time - events.first().unwrap().time;
+        }
+        assert!(
+            (time - expected).abs() < 1e-9,
+            "Time {time} != trace span {expected}"
+        );
+    }
+
+    #[test]
+    fn call_tree_matches_program_structure() {
+        let t = trace_of(&pescan(&PescanConfig {
+            ranks: 4,
+            iterations: 2,
+            ..PescanConfig::default()
+        }));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        let md = e.metadata();
+        assert_eq!(md.call_roots().len(), 1);
+        let root = md.call_roots()[0];
+        assert_eq!(md.region(md.call_node_callee(root)).name, "main");
+        // main's children: setup, solver.
+        let children: Vec<&str> = md
+            .call_node_children(root)
+            .iter()
+            .map(|&c| md.region(md.call_node_callee(c)).name.as_str())
+            .collect();
+        assert_eq!(children, vec!["setup", "solver"]);
+        // The barrier call path exists under solver.
+        assert!(md
+            .call_node_ids()
+            .any(|c| md.region(md.call_node_callee(c)).name == "MPI_Barrier"));
+    }
+
+    #[test]
+    fn visits_count_program_iterations() {
+        let cfg = PescanConfig {
+            ranks: 4,
+            iterations: 5,
+            ..PescanConfig::default()
+        };
+        let t = trace_of(&pescan(&cfg));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        let md = e.metadata();
+        let visits = md.find_metric("Visits").unwrap();
+        let fft = md
+            .call_node_ids()
+            .find(|&c| md.region(md.call_node_callee(c)).name == "fft_forward")
+            .unwrap();
+        let total: f64 = (0..md.num_threads())
+            .map(|ti| e.severity().get(visits, fft, ThreadId::from_index(ti)))
+            .sum();
+        assert_eq!(total, (cfg.ranks * cfg.iterations) as f64);
+    }
+
+    #[test]
+    fn stencil_analysis_shows_rooted_collective_patterns() {
+        use simmpi::apps::{stencil, StencilConfig};
+        let t = trace_of(&stencil(&StencilConfig::default()));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        e.validate().unwrap();
+        // Rank 0 broadcasts late → others wait (Late Broadcast).
+        let lb = metric_sum(&e, "Late Broadcast");
+        assert!(lb > 0.0, "late broadcast must be detected");
+        // Rank 0 is fastest under the static imbalance → it reaches the
+        // final reduce early and waits (Early Reduce).
+        let er = metric_sum(&e, "Early Reduce");
+        assert!(er > 0.0, "early reduce must be detected");
+        // Both are subsets of Collective time.
+        let coll = metric_sum(&e, "Collective");
+        assert!(lb + er + metric_sum(&e, "Wait at N x N") <= coll + 1e-9);
+        // Late Broadcast severity sits at MPI_Bcast call paths only.
+        let md = e.metadata();
+        let m = md.find_metric("Late Broadcast").unwrap();
+        for (_, c, _, v) in e
+            .severity()
+            .iter_nonzero()
+            .filter(|(mm, _, _, _)| *mm == m)
+        {
+            assert!(v > 0.0);
+            assert_eq!(md.region(md.call_node_callee(c)).name, "MPI_Bcast");
+        }
+    }
+
+    #[test]
+    fn early_reduce_attributed_to_the_root_only() {
+        use simmpi::apps::{stencil, StencilConfig};
+        let t = trace_of(&stencil(&StencilConfig {
+            imbalance: 0.5,
+            ..StencilConfig::default()
+        }));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        let md = e.metadata();
+        let m = md.find_metric("Early Reduce").unwrap();
+        for (_, _, t_id, v) in e
+            .severity()
+            .iter_nonzero()
+            .filter(|(mm, _, _, _)| *mm == m)
+        {
+            assert!(v > 0.0);
+            let rank = md.process(md.thread(t_id).process).rank;
+            assert_eq!(rank, 0, "early reduce belongs to the reduction root");
+        }
+    }
+
+    #[test]
+    fn hybrid_analysis_shows_idle_threads() {
+        use simmpi::apps::{hybrid, HybridConfig};
+        let t = trace_of(&hybrid(&HybridConfig::default()));
+        t.validate().unwrap();
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        e.validate().unwrap();
+        let md = e.metadata();
+        // 4 ranks × 4 threads.
+        assert_eq!(md.processes().len(), 4);
+        assert_eq!(md.num_threads(), 16);
+        let idle = metric_sum(&e, "Idle Threads");
+        assert!(idle > 0.0, "sequential sections must idle the workers");
+        // Time ⊇ Execution + Idle Threads (metric-inclusive convention).
+        let time = metric_sum(&e, "Time");
+        let exec = metric_sum(&e, "Execution");
+        assert!(exec + idle <= time + 1e-9);
+        // The parallel region is a call path shared by all threads.
+        let omp = md
+            .call_node_ids()
+            .find(|&c| md.region(md.call_node_callee(c)).name == "!$omp parallel")
+            .expect("parallel region call path");
+        let visits = md.find_metric("Visits").unwrap();
+        let total_visits: f64 = (0..md.num_threads())
+            .map(|ti| e.severity().get(visits, omp, ThreadId::from_index(ti)))
+            .sum();
+        // Every thread of every rank visits every iteration's region.
+        assert_eq!(total_visits, (4 * 4 * 12) as f64);
+    }
+
+    #[test]
+    fn idle_threads_zero_for_pure_mpi() {
+        let t = trace_of(&pescan(&PescanConfig {
+            ranks: 4,
+            iterations: 2,
+            ..PescanConfig::default()
+        }));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        assert_eq!(metric_sum(&e, "Idle Threads"), 0.0);
+    }
+
+    #[test]
+    fn worker_idle_time_is_attributed_to_workers_only() {
+        use simmpi::apps::{hybrid, HybridConfig};
+        let t = trace_of(&hybrid(&HybridConfig {
+            ranks: 2,
+            threads: 3,
+            iterations: 4,
+            ..HybridConfig::default()
+        }));
+        let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+        let md = e.metadata();
+        let idle = md.find_metric("Idle Threads").unwrap();
+        for (_, _, t_id, v) in e
+            .severity()
+            .iter_nonzero()
+            .filter(|(m, _, _, _)| *m == idle)
+        {
+            assert!(v > 0.0);
+            assert!(
+                md.thread(t_id).number > 0,
+                "master threads never idle in this model"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_name_is_used() {
+        let t = trace_of(&pescan(&PescanConfig {
+            ranks: 2,
+            iterations: 1,
+            ..PescanConfig::default()
+        }));
+        let e = analyze(
+            &t,
+            &AnalyzeOptions {
+                name: Some("my run".into()),
+            },
+        )
+        .unwrap();
+        assert_eq!(e.provenance().label(), "my run");
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected() {
+        let mut t = trace_of(&pescan(&PescanConfig {
+            ranks: 2,
+            iterations: 1,
+            ..PescanConfig::default()
+        }));
+        t.events.push(epilog::Event::new(
+            0.0,
+            0,
+            EventKind::Enter { region: 0 },
+        ));
+        assert!(analyze(&t, &AnalyzeOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # expert — post-mortem trace analysis
+//!
+//! Reproduces the EXPERT analyzer the paper pairs with CUBE: it searches
+//! an EPILOG event trace for execution patterns that indicate
+//! inefficient behavior and transforms the trace into "a compact
+//! representation of performance behavior, which is essentially a
+//! mapping of tuples (performance problem, call path, location) onto
+//! the time spent on a particular performance problem" — i.e. a CUBE
+//! experiment.
+//!
+//! ## Pattern hierarchy
+//!
+//! The performance problems form a specialization hierarchy (general →
+//! specific), which becomes the experiment's metric tree:
+//!
+//! ```text
+//! Time
+//! ├─ Idle Threads          (hybrid MPI + OpenMP runs)
+//! └─ Execution
+//!    └─ MPI
+//!       ├─ Communication
+//!       │  ├─ Collective
+//!       │  │  ├─ Wait at N x N
+//!       │  │  ├─ Late Broadcast
+//!       │  │  └─ Early Reduce
+//!       │  └─ P2P
+//!       │     ├─ Late Sender
+//!       │     └─ Late Receiver
+//!       └─ Synchronization
+//!          ├─ Wait at Barrier
+//!          └─ Barrier Completion
+//! Visits
+//! ```
+//!
+//! * **Wait at Barrier** — time a process waits inside the barrier for
+//!   the last participant to reach it (`last enter − own enter`);
+//! * **Barrier Completion** — time spent in the barrier after the first
+//!   process has left it (`own exit − first exit`);
+//! * **Wait at N x N** — the same inherent synchronization applied to
+//!   all-to-all style collectives;
+//! * **Late Broadcast** — non-root ranks waiting inside a broadcast
+//!   because the root entered late;
+//! * **Early Reduce** — the reduction root waiting because it entered
+//!   before the last sender;
+//! * **Late Sender** — a receiver blocked waiting for a message whose
+//!   send had not been posted yet;
+//! * **Late Receiver** — a sender blocked on an unposted receive (zero
+//!   under the simulator's eager-send model, reported for hierarchy
+//!   fidelity).
+//!
+//! Severity values are seconds, mapped onto the call path of the MPI
+//! operation and the location that incurred the waiting — exactly the
+//! (metric, call path, thread) domain of the CUBE data model.
+
+pub mod analyzer;
+pub mod patterns;
+
+pub use analyzer::{analyze, AnalyzeOptions};
+pub use patterns::PatternIds;

@@ -1,0 +1,264 @@
+//! Precision tests: hand-built traces with known timestamps, so every
+//! pattern's severity is checked against an exact hand-computed value
+//! (the app-based tests only check shapes).
+
+use cube_model::aggregate::{metric_total, MetricSelection};
+use cube_model::Experiment;
+use epilog::{CollectiveOp, Event, EventKind, RegionDef, Trace, TraceDefs};
+use expert::{analyze, AnalyzeOptions};
+
+fn total(e: &Experiment, name: &str) -> f64 {
+    let m = e.metadata().find_metric(name).unwrap();
+    metric_total(e, MetricSelection::inclusive(m))
+}
+
+fn defs(ranks: usize) -> TraceDefs {
+    let mut d = TraceDefs::pure_mpi("handmade", ranks, 1);
+    for (name, file) in [
+        ("main", "app.c"),
+        ("MPI_Send", "mpi"),
+        ("MPI_Recv", "mpi"),
+        ("MPI_Barrier", "mpi"),
+        ("MPI_Allreduce", "mpi"),
+        ("MPI_Bcast", "mpi"),
+        ("MPI_Reduce", "mpi"),
+    ] {
+        d.regions.push(RegionDef {
+            name: name.into(),
+            file: file.into(),
+            line: 0,
+        });
+    }
+    d
+}
+
+const MAIN: u32 = 0;
+const SEND: u32 = 1;
+const RECV: u32 = 2;
+const BARRIER: u32 = 3;
+const ALLREDUCE: u32 = 4;
+const BCAST: u32 = 5;
+const REDUCE: u32 = 6;
+
+fn ev(t: f64, loc: u32, kind: EventKind) -> Event {
+    Event::new(t, loc, kind)
+}
+
+#[test]
+fn late_sender_is_the_send_delay() {
+    // Rank 1 posts a recv at t=1; rank 0 posts the send at t=4; the
+    // message arrives and the recv completes at t=5.
+    // Late Sender = send_post − recv_enter = 3.
+    let mut t = Trace::new(defs(2));
+    t.push(ev(0.0, 0, EventKind::Enter { region: MAIN }));
+    t.push(ev(4.0, 0, EventKind::Enter { region: SEND }));
+    t.push(ev(
+        4.0,
+        0,
+        EventKind::MpiSend {
+            dest: 1,
+            tag: 7,
+            bytes: 100,
+        },
+    ));
+    t.push(ev(4.2, 0, EventKind::Exit { region: SEND }));
+    t.push(ev(10.0, 0, EventKind::Exit { region: MAIN }));
+
+    t.push(ev(0.0, 1, EventKind::Enter { region: MAIN }));
+    t.push(ev(1.0, 1, EventKind::Enter { region: RECV }));
+    t.push(ev(
+        5.0,
+        1,
+        EventKind::MpiRecv {
+            source: 0,
+            tag: 7,
+            bytes: 100,
+        },
+    ));
+    t.push(ev(5.0, 1, EventKind::Exit { region: RECV }));
+    t.push(ev(10.0, 1, EventKind::Exit { region: MAIN }));
+
+    let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+    assert!((total(&e, "Late Sender") - 3.0).abs() < 1e-12);
+    // The recv region time is 4 seconds, all of it P2P.
+    assert!((total(&e, "P2P") - (4.0 + 0.2)).abs() < 1e-12);
+    assert!((total(&e, "Time") - 20.0).abs() < 1e-12);
+}
+
+#[test]
+fn late_sender_clamps_to_the_blocking_interval() {
+    // Send posted after the receive already completed (eager buffered
+    // match): waiting cannot exceed the time actually spent blocked.
+    let mut t = Trace::new(defs(2));
+    t.push(ev(0.0, 0, EventKind::Enter { region: MAIN }));
+    t.push(ev(
+        1.0,
+        0,
+        EventKind::MpiSend {
+            dest: 1,
+            tag: 0,
+            bytes: 8,
+        },
+    ));
+    t.push(ev(9.0, 0, EventKind::Exit { region: MAIN }));
+    t.push(ev(0.0, 1, EventKind::Enter { region: MAIN }));
+    t.push(ev(2.0, 1, EventKind::Enter { region: RECV }));
+    t.push(ev(
+        2.5,
+        1,
+        EventKind::MpiRecv {
+            source: 0,
+            tag: 0,
+            bytes: 8,
+        },
+    ));
+    t.push(ev(2.5, 1, EventKind::Exit { region: RECV }));
+    t.push(ev(9.0, 1, EventKind::Exit { region: MAIN }));
+    let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+    // Send at 1.0 predates the recv enter at 2.0 → no waiting at all.
+    assert_eq!(total(&e, "Late Sender"), 0.0);
+}
+
+#[test]
+fn barrier_waits_and_completion_are_exact() {
+    // Ranks enter the barrier at 1, 3, 6; everyone leaves: rank0 at 7,
+    // rank1 at 6.5, rank2 at 6.25.
+    // Wait-at-Barrier: (6−1) + (6−3) + 0 = 8.
+    // Completion (first exit 6.25): (7−6.25) + (6.5−6.25) + 0 = 1.0.
+    let mut t = Trace::new(defs(3));
+    let enters = [1.0, 3.0, 6.0];
+    let exits = [7.0, 6.5, 6.25];
+    for loc in 0..3u32 {
+        t.push(ev(0.0, loc, EventKind::Enter { region: MAIN }));
+        t.push(ev(enters[loc as usize], loc, EventKind::Enter { region: BARRIER }));
+        t.push(ev(
+            exits[loc as usize],
+            loc,
+            EventKind::CollectiveExit {
+                op: CollectiveOp::Barrier,
+                bytes: 0,
+                root: -1,
+            },
+        ));
+        t.push(ev(exits[loc as usize], loc, EventKind::Exit { region: BARRIER }));
+        t.push(ev(8.0, loc, EventKind::Exit { region: MAIN }));
+    }
+    let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+    assert!((total(&e, "Wait at Barrier") - 8.0).abs() < 1e-12);
+    assert!((total(&e, "Barrier Completion") - 1.0).abs() < 1e-12);
+    // Synchronization = full barrier spans: (7−1)+(6.5−3)+(6.25−6)=9.75.
+    assert!((total(&e, "Synchronization") - 9.75).abs() < 1e-12);
+}
+
+#[test]
+fn wait_at_nxn_is_exact() {
+    // Allreduce entered at 0 and 2, exits at 3 for both:
+    // Wait at N x N = (2−0) + 0 = 2.
+    let mut t = Trace::new(defs(2));
+    for (loc, enter) in [(0u32, 0.0), (1, 2.0)] {
+        t.push(ev(0.0, loc, EventKind::Enter { region: MAIN }));
+        t.push(ev(enter, loc, EventKind::Enter { region: ALLREDUCE }));
+        t.push(ev(
+            3.0,
+            loc,
+            EventKind::CollectiveExit {
+                op: CollectiveOp::AllReduce,
+                bytes: 8,
+                root: -1,
+            },
+        ));
+        t.push(ev(3.0, loc, EventKind::Exit { region: ALLREDUCE }));
+        t.push(ev(4.0, loc, EventKind::Exit { region: MAIN }));
+    }
+    let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+    assert!((total(&e, "Wait at N x N") - 2.0).abs() < 1e-12);
+    assert!((total(&e, "Collective") - (3.0 + 1.0)).abs() < 1e-12);
+}
+
+#[test]
+fn late_broadcast_and_early_reduce_are_exact() {
+    // Broadcast root (rank 0) enters at 5; rank 1 enters at 1, rank 2
+    // at 3. Late Broadcast = (5−1) + (5−3) = 6 (root contributes none).
+    // Then a reduce to rank 0: root enters at 6, senders at 8 and 9 →
+    // Early Reduce = 9−6 = 3.
+    let mut t = Trace::new(defs(3));
+    let bcast_enters = [5.0, 1.0, 3.0];
+    let reduce_enters = [6.0, 8.0, 9.0];
+    for loc in 0..3u32 {
+        let i = loc as usize;
+        t.push(ev(0.0, loc, EventKind::Enter { region: MAIN }));
+        t.push(ev(bcast_enters[i], loc, EventKind::Enter { region: BCAST }));
+        t.push(ev(
+            5.5,
+            loc,
+            EventKind::CollectiveExit {
+                op: CollectiveOp::Broadcast,
+                bytes: 64,
+                root: 0,
+            },
+        ));
+        t.push(ev(5.5, loc, EventKind::Exit { region: BCAST }));
+        t.push(ev(reduce_enters[i], loc, EventKind::Enter { region: REDUCE }));
+        t.push(ev(
+            9.5,
+            loc,
+            EventKind::CollectiveExit {
+                op: CollectiveOp::Reduce,
+                bytes: 64,
+                root: 0,
+            },
+        ));
+        t.push(ev(9.5, loc, EventKind::Exit { region: REDUCE }));
+        t.push(ev(10.0, loc, EventKind::Exit { region: MAIN }));
+    }
+    let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+    assert!((total(&e, "Late Broadcast") - 6.0).abs() < 1e-12);
+    assert!((total(&e, "Early Reduce") - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn exclusive_time_subtracts_nested_regions() {
+    // main spans 10s, with a 2s send region inside: main's exclusive
+    // time is 8, the send's is 2; together they carry Time = 10.
+    let mut t = Trace::new(defs(2));
+    t.push(ev(0.0, 0, EventKind::Enter { region: MAIN }));
+    t.push(ev(4.0, 0, EventKind::Enter { region: SEND }));
+    t.push(ev(
+        4.0,
+        0,
+        EventKind::MpiSend {
+            dest: 1,
+            tag: 0,
+            bytes: 8,
+        },
+    ));
+    t.push(ev(6.0, 0, EventKind::Exit { region: SEND }));
+    t.push(ev(10.0, 0, EventKind::Exit { region: MAIN }));
+    t.push(ev(0.0, 1, EventKind::Enter { region: MAIN }));
+    t.push(ev(
+        7.0,
+        1,
+        EventKind::MpiRecv {
+            source: 0,
+            tag: 0,
+            bytes: 8,
+        },
+    ));
+    t.push(ev(10.0, 1, EventKind::Exit { region: MAIN }));
+
+    let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
+    let md = e.metadata();
+    let time = md.find_metric("Time").unwrap();
+    let main_node = md
+        .call_node_ids()
+        .find(|&c| md.region(md.call_node_callee(c)).name == "main")
+        .unwrap();
+    let send_node = md
+        .call_node_ids()
+        .find(|&c| md.region(md.call_node_callee(c)).name == "MPI_Send")
+        .unwrap();
+    // Rank 0: main exclusive 8, send 2. Rank 1: main 10.
+    assert!((e.severity().row_sum(time, main_node) - 18.0).abs() < 1e-12);
+    assert!((e.severity().row_sum(time, send_node) - 2.0).abs() < 1e-12);
+    assert!((total(&e, "Time") - 20.0).abs() < 1e-12);
+}

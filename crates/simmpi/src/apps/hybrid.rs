@@ -1,0 +1,193 @@
+//! A hybrid MPI + OpenMP kernel.
+//!
+//! Each MPI rank runs several OpenMP-style threads: the relaxation
+//! kernel executes as a fork/join parallel region (with a per-thread
+//! imbalance), while halo exchange and the convergence reduction stay
+//! in the sequential master part — so worker threads idle there,
+//! producing EXPERT's *Idle Threads* pattern. This is the "and/or
+//! multithreaded" half of the paper's application domain.
+
+use epilog::CollectiveOp;
+
+use crate::monitor::ComputeWork;
+use crate::program::{Op, Program, RegionInfo};
+
+/// Configuration of the hybrid kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridConfig {
+    /// MPI ranks.
+    pub ranks: usize,
+    /// OpenMP threads per rank (≥ 1).
+    pub threads: usize,
+    /// Iterations.
+    pub iterations: usize,
+    /// Nominal per-thread compute seconds per iteration.
+    pub base_compute: f64,
+    /// Relative imbalance across the threads of one rank.
+    pub thread_imbalance: f64,
+    /// Halo bytes per neighbor message.
+    pub halo_bytes: u64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 4,
+            threads: 4,
+            iterations: 12,
+            base_compute: 1.5e-3,
+            thread_imbalance: 0.25,
+            halo_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// Builds the hybrid program.
+pub fn hybrid(cfg: &HybridConfig) -> Program {
+    assert!(cfg.ranks >= 2, "hybrid kernel needs at least 2 ranks");
+    assert!(cfg.threads >= 1);
+    let mut p = Program::hybrid("hybrid stencil", cfg.ranks, cfg.threads);
+    let main = p.add_region(RegionInfo::new("main", "hybrid.c", 1));
+    let relax = p.add_region(RegionInfo::new("relax", "hybrid.c", 50));
+    let exchange = p.add_region(RegionInfo::new("exchange_halo", "hybrid.c", 90));
+    let norm = p.add_region(RegionInfo::new("norm", "hybrid.c", 130));
+
+    for rank in 0..cfg.ranks {
+        let right = (rank + 1) % cfg.ranks;
+        let left = (rank + cfg.ranks - 1) % cfg.ranks;
+        let script = &mut p.scripts[rank];
+        script.push(Op::Enter(main));
+        for iter in 0..cfg.iterations {
+            // Fork/join parallel relaxation with a rotating per-thread
+            // imbalance.
+            let seconds_per_thread: Vec<f64> = (0..cfg.threads)
+                .map(|t| {
+                    let pos = (t + iter) % cfg.threads;
+                    let x = if cfg.threads > 1 {
+                        pos as f64 / (cfg.threads - 1) as f64 * 2.0 - 1.0
+                    } else {
+                        0.0
+                    };
+                    cfg.base_compute * (1.0 + cfg.thread_imbalance * x)
+                })
+                .collect();
+            script.push(Op::Enter(relax));
+            script.push(Op::ParallelCompute {
+                seconds_per_thread,
+                work: ComputeWork::memory_bound(1_000_000 * cfg.threads as u64),
+            });
+            script.push(Op::Exit(relax));
+            // Sequential master part: halo exchange (workers idle).
+            script.push(Op::Enter(exchange));
+            script.push(Op::Send {
+                to: right,
+                tag: 1,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Send {
+                to: left,
+                tag: 2,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Recv {
+                from: left,
+                tag: 1,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Recv {
+                from: right,
+                tag: 2,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Exit(exchange));
+            if (iter + 1) % 4 == 0 {
+                script.push(Op::Enter(norm));
+                script.push(Op::Collective {
+                    op: CollectiveOp::AllReduce,
+                    bytes: 8,
+                    root: -1,
+                });
+                script.push(Op::Exit(norm));
+            }
+        }
+        script.push(Op::Exit(main));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+    use crate::monitor::{Monitor, NullMonitor};
+    use crate::sim::simulate;
+
+    #[test]
+    fn program_validates_and_runs() {
+        let p = hybrid(&HybridConfig::default());
+        p.validate().unwrap();
+        assert_eq!(p.threads_per_rank, 4);
+        let r = simulate(&p, &MachineModel::default(), &mut NullMonitor).unwrap();
+        assert!(r.elapsed > 0.0);
+    }
+
+    #[test]
+    fn wrong_thread_vector_rejected() {
+        let mut p = Program::hybrid("t", 2, 4);
+        p.push(
+            0,
+            Op::ParallelCompute {
+                seconds_per_thread: vec![1.0; 3], // wrong length
+                work: ComputeWork::default(),
+            },
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn join_waits_for_the_slowest_thread() {
+        struct Watch {
+            start: f64,
+            ends: Vec<f64>,
+        }
+        impl Monitor for Watch {
+            fn on_parallel(
+                &mut self,
+                _rank: usize,
+                start: f64,
+                thread_ends: &[f64],
+                _work: &ComputeWork,
+            ) {
+                self.start = start;
+                self.ends = thread_ends.to_vec();
+            }
+        }
+        let mut p = Program::hybrid("t", 2, 3);
+        let main = p.add_region(RegionInfo::new("main", "m.c", 1));
+        p.push_all(Op::Enter(main));
+        p.push_all(Op::ParallelCompute {
+            seconds_per_thread: vec![0.1, 0.3, 0.2],
+            work: ComputeWork::default(),
+        });
+        p.push_all(Op::Exit(main));
+        let mut w = Watch {
+            start: -1.0,
+            ends: vec![],
+        };
+        let r = simulate(&p, &MachineModel::default(), &mut w).unwrap();
+        assert_eq!(w.ends.len(), 3);
+        assert!((w.ends[1] - 0.3).abs() < 1e-12);
+        assert!((r.elapsed - 0.3).abs() < 1e-12); // join at the slowest
+    }
+
+    #[test]
+    fn single_thread_degenerates_to_pure_mpi() {
+        let p = hybrid(&HybridConfig {
+            threads: 1,
+            thread_imbalance: 0.0,
+            ..HybridConfig::default()
+        });
+        p.validate().unwrap();
+        simulate(&p, &MachineModel::default(), &mut NullMonitor).unwrap();
+    }
+}

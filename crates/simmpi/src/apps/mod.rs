@@ -1,0 +1,23 @@
+//! Application kernels reproducing the paper's workloads.
+//!
+//! * [`pescan()`] — the §5.1 subject: a PESCAN-like iterative eigensolver
+//!   skeleton (FFT all-to-all, imbalanced potential application,
+//!   dot-product allreduce, halo exchange) with *removable barriers*
+//!   around the asynchronous point-to-point phase;
+//! * [`sweep3d()`] — the §5.2 subject: a SWEEP3D-like pipelined wavefront
+//!   sweep whose blocking receives wait on upstream neighbors (Late
+//!   Sender) while performing memory-bound computation (cache misses);
+//! * [`stencil()`] — a generic halo-exchange stencil used by the
+//!   quickstart example;
+//! * [`hybrid()`] — an MPI + OpenMP kernel whose sequential master
+//!   sections leave worker threads idle (EXPERT's *Idle Threads*).
+
+pub mod hybrid;
+pub mod pescan;
+pub mod stencil;
+pub mod sweep3d;
+
+pub use hybrid::{hybrid, HybridConfig};
+pub use pescan::{pescan, PescanConfig};
+pub use stencil::{stencil, StencilConfig};
+pub use sweep3d::{sweep3d, Sweep3dConfig};

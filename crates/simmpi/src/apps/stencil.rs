@@ -1,0 +1,176 @@
+//! A generic 1-D halo-exchange stencil kernel.
+//!
+//! The simplest realistic message-passing workload: every iteration,
+//! each rank exchanges halos with its ring neighbors, computes, and
+//! periodically reduces a convergence norm. Used by the quickstart
+//! example and as a neutral workload in benches.
+
+use epilog::CollectiveOp;
+
+use crate::monitor::ComputeWork;
+use crate::program::{Op, Program, RegionInfo};
+
+/// Configuration of the stencil kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StencilConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Iterations.
+    pub iterations: usize,
+    /// Nominal compute seconds per iteration.
+    pub base_compute: f64,
+    /// Relative static imbalance across ranks.
+    pub imbalance: f64,
+    /// Halo bytes per neighbor message.
+    pub halo_bytes: u64,
+    /// Reduce the convergence norm every `reduce_every` iterations.
+    pub reduce_every: usize,
+}
+
+impl Default for StencilConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 8,
+            iterations: 25,
+            base_compute: 1e-3,
+            imbalance: 0.15,
+            halo_bytes: 16 * 1024,
+            reduce_every: 5,
+        }
+    }
+}
+
+/// Builds the stencil program.
+pub fn stencil(cfg: &StencilConfig) -> Program {
+    assert!(cfg.ranks >= 2, "stencil needs at least 2 ranks");
+    let ranks = cfg.ranks;
+    let mut p = Program::new("stencil", ranks);
+    let main = p.add_region(RegionInfo::new("main", "stencil.c", 1));
+    let init = p.add_region(RegionInfo::new("read_input", "stencil.c", 20));
+    let exchange = p.add_region(RegionInfo::new("exchange_halo", "stencil.c", 40));
+    let relax = p.add_region(RegionInfo::new("relax", "stencil.c", 80));
+    let norm = p.add_region(RegionInfo::new("norm", "stencil.c", 120));
+    let report = p.add_region(RegionInfo::new("report", "stencil.c", 160));
+
+    for rank in 0..ranks {
+        let right = (rank + 1) % ranks;
+        let left = (rank + ranks - 1) % ranks;
+        let factor = 1.0 + cfg.imbalance * (rank as f64 / (ranks - 1).max(1) as f64 - 0.5);
+        let script = &mut p.scripts[rank];
+        script.push(Op::Enter(main));
+        // Rank 0 reads the input deck and broadcasts the parameters; the
+        // other ranks reach the broadcast immediately and wait for the
+        // late root (EXPERT's Late Broadcast pattern).
+        script.push(Op::Enter(init));
+        if rank == 0 {
+            script.push(Op::Compute {
+                seconds: cfg.base_compute * 4.0,
+                work: ComputeWork::memory_bound(500_000),
+            });
+        }
+        script.push(Op::Collective {
+            op: CollectiveOp::Broadcast,
+            bytes: 4096,
+            root: 0,
+        });
+        script.push(Op::Exit(init));
+        for iter in 0..cfg.iterations {
+            script.push(Op::Enter(exchange));
+            script.push(Op::Send {
+                to: right,
+                tag: 1,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Send {
+                to: left,
+                tag: 2,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Recv {
+                from: left,
+                tag: 1,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Recv {
+                from: right,
+                tag: 2,
+                bytes: cfg.halo_bytes,
+            });
+            script.push(Op::Exit(exchange));
+            script.push(Op::Enter(relax));
+            script.push(Op::Compute {
+                seconds: cfg.base_compute * factor,
+                work: ComputeWork::memory_bound(1_000_000),
+            });
+            script.push(Op::Exit(relax));
+            if cfg.reduce_every > 0 && (iter + 1) % cfg.reduce_every == 0 {
+                script.push(Op::Enter(norm));
+                script.push(Op::Collective {
+                    op: CollectiveOp::AllReduce,
+                    bytes: 8,
+                    root: -1,
+                });
+                script.push(Op::Exit(norm));
+            }
+        }
+        // Final statistics reduced to rank 0, which (being the fastest
+        // under the static imbalance) tends to arrive first and wait —
+        // EXPERT's Early Reduce pattern.
+        script.push(Op::Enter(report));
+        script.push(Op::Collective {
+            op: CollectiveOp::Reduce,
+            bytes: 256,
+            root: 0,
+        });
+        script.push(Op::Exit(report));
+        script.push(Op::Exit(main));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+    use crate::monitor::NullMonitor;
+    use crate::sim::simulate;
+
+    #[test]
+    fn runs_and_counts() {
+        let cfg = StencilConfig::default();
+        let p = stencil(&cfg);
+        p.validate().unwrap();
+        let r = simulate(&p, &MachineModel::default(), &mut NullMonitor).unwrap();
+        // 2 messages per rank per iteration.
+        assert_eq!(r.messages, (2 * cfg.ranks * cfg.iterations) as u64);
+        // Norm allreduces plus the parameter broadcast and final reduce.
+        assert_eq!(
+            r.collectives,
+            (cfg.iterations / cfg.reduce_every + 2) as u64
+        );
+    }
+
+    #[test]
+    fn no_reduction_when_disabled() {
+        let p = stencil(&StencilConfig {
+            reduce_every: 0,
+            ..StencilConfig::default()
+        });
+        let r = simulate(&p, &MachineModel::default(), &mut NullMonitor).unwrap();
+        // Only the broadcast and the final reduce remain.
+        assert_eq!(r.collectives, 2);
+    }
+
+    #[test]
+    fn imbalance_spreads_rank_times_without_sync() {
+        let p = stencil(&StencilConfig {
+            imbalance: 0.5,
+            reduce_every: 0,
+            ..StencilConfig::default()
+        });
+        let r = simulate(&p, &MachineModel::default(), &mut NullMonitor).unwrap();
+        let min = r.rank_times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = r.rank_times.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min);
+    }
+}

@@ -1,0 +1,226 @@
+//! SWEEP3D-like wavefront sweep.
+//!
+//! SWEEP3D solves a neutron-transport problem with a pipelined
+//! wavefront: the process grid is swept from each corner; every process
+//! waits for its upstream neighbors' boundary data, computes, and
+//! forwards boundary data downstream. Two properties matter for the
+//! paper's §5.2:
+//!
+//! * the blocking receives at the pipeline front wait on upstream
+//!   neighbors → **Late Sender** waiting concentrated at `MPI_Recv`;
+//! * the per-cell computation is memory-bound, and receives copy
+//!   boundary arrays → above-average **L1 cache misses** in exactly
+//!   those `MPI_Recv` call paths.
+//!
+//! The combination — "the cache-miss problem is insignificant because
+//! that time was waiting anyway" — is what merging EXPERT and CONE
+//! outputs reveals.
+
+use crate::monitor::ComputeWork;
+use crate::program::{Op, Program, RegionInfo};
+
+/// Configuration of the sweep kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sweep3dConfig {
+    /// Process-grid width.
+    pub px: usize,
+    /// Process-grid height.
+    pub py: usize,
+    /// Number of full sweeps (each covers all four corner octant
+    /// pairs).
+    pub sweeps: usize,
+    /// Nominal seconds of per-stage computation.
+    pub base_compute: f64,
+    /// Relative spread of per-rank compute cost (static imbalance).
+    pub imbalance: f64,
+    /// Bytes per boundary message.
+    pub bytes: u64,
+}
+
+impl Default for Sweep3dConfig {
+    fn default() -> Self {
+        Self {
+            px: 4,
+            py: 4,
+            sweeps: 8,
+            base_compute: 1.5e-3,
+            imbalance: 0.2,
+            bytes: 48 * 1024,
+        }
+    }
+}
+
+/// The process-grid coordinates of every rank, for recording a
+/// topology with the trace: `coords()[rank] == [x, y]`.
+pub fn grid_coordinates(cfg: &Sweep3dConfig) -> Vec<Vec<u32>> {
+    (0..cfg.px * cfg.py)
+        .map(|rank| vec![(rank % cfg.px) as u32, (rank / cfg.px) as u32])
+        .collect()
+}
+
+/// The four sweep directions (sign of x-propagation, sign of
+/// y-propagation).
+const DIRECTIONS: [(i32, i32); 4] = [(1, 1), (-1, 1), (1, -1), (-1, -1)];
+
+/// Builds the sweep program.
+pub fn sweep3d(cfg: &Sweep3dConfig) -> Program {
+    assert!(cfg.px >= 1 && cfg.py >= 1, "grid must be nonempty");
+    assert!(cfg.px * cfg.py >= 2, "sweep needs at least 2 ranks");
+    let ranks = cfg.px * cfg.py;
+    let mut p = Program::new("sweep3d", ranks);
+    let main = p.add_region(RegionInfo::new("main", "driver.f", 1));
+    let sweep = p.add_region(RegionInfo::new("sweep", "sweep.f", 30));
+    let octant = p.add_region(RegionInfo::new("octant", "sweep.f", 80));
+
+    for rank in 0..ranks {
+        let (i, j) = (rank % cfg.px, rank / cfg.px);
+        let script = &mut p.scripts[rank];
+        script.push(Op::Enter(main));
+        for _ in 0..cfg.sweeps {
+            script.push(Op::Enter(sweep));
+            for (d, (dx, dy)) in DIRECTIONS.iter().enumerate() {
+                let tag = d as i32;
+                // Upstream neighbor coordinates for this direction.
+                let up_x = i as i32 - dx;
+                let up_y = j as i32 - dy;
+                let down_x = i as i32 + dx;
+                let down_y = j as i32 + dy;
+                let at = |x: i32, y: i32| -> Option<usize> {
+                    if x < 0 || y < 0 || x >= cfg.px as i32 || y >= cfg.py as i32 {
+                        None
+                    } else {
+                        Some(y as usize * cfg.px + x as usize)
+                    }
+                };
+                script.push(Op::Enter(octant));
+                if let Some(up) = at(up_x, j as i32) {
+                    script.push(Op::Recv {
+                        from: up,
+                        tag,
+                        bytes: cfg.bytes,
+                    });
+                }
+                if let Some(up) = at(i as i32, up_y) {
+                    script.push(Op::Recv {
+                        from: up,
+                        tag: tag + 4,
+                        bytes: cfg.bytes,
+                    });
+                }
+                // Memory-bound per-stage computation with a static
+                // per-rank imbalance.
+                let factor =
+                    1.0 + cfg.imbalance * (rank as f64 / (ranks - 1).max(1) as f64 - 0.5);
+                script.push(Op::Compute {
+                    seconds: cfg.base_compute * factor,
+                    work: ComputeWork::memory_bound(4_000_000),
+                });
+                if let Some(down) = at(down_x, j as i32) {
+                    script.push(Op::Send {
+                        to: down,
+                        tag,
+                        bytes: cfg.bytes,
+                    });
+                }
+                if let Some(down) = at(i as i32, down_y) {
+                    script.push(Op::Send {
+                        to: down,
+                        tag: tag + 4,
+                        bytes: cfg.bytes,
+                    });
+                }
+                script.push(Op::Exit(octant));
+            }
+            script.push(Op::Exit(sweep));
+        }
+        script.push(Op::Exit(main));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+    use crate::monitor::{Monitor, NullMonitor};
+    use crate::sim::simulate;
+
+    #[test]
+    fn program_validates_and_runs() {
+        let p = sweep3d(&Sweep3dConfig::default());
+        p.validate().unwrap();
+        let r = simulate(&p, &MachineModel::default(), &mut NullMonitor).unwrap();
+        assert!(r.elapsed > 0.0);
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn wavefront_creates_late_sender_waiting() {
+        #[derive(Default)]
+        struct WaitSum {
+            waiting: f64,
+        }
+        impl Monitor for WaitSum {
+            fn on_recv(
+                &mut self,
+                _rank: usize,
+                start: f64,
+                end: f64,
+                _source: usize,
+                _tag: i32,
+                _bytes: u64,
+                send_time: f64,
+            ) {
+                // Waiting: the receive was posted before the send existed.
+                if send_time > start {
+                    self.waiting += (send_time - start).min(end - start);
+                }
+            }
+        }
+        let mut w = WaitSum::default();
+        let p = sweep3d(&Sweep3dConfig::default());
+        simulate(&p, &MachineModel::default(), &mut w).unwrap();
+        assert!(
+            w.waiting > 0.0,
+            "pipeline fill must produce late-sender waiting"
+        );
+    }
+
+    #[test]
+    fn small_grids_work() {
+        for (px, py) in [(2, 1), (1, 2), (2, 2), (3, 2)] {
+            let p = sweep3d(&Sweep3dConfig {
+                px,
+                py,
+                sweeps: 2,
+                ..Sweep3dConfig::default()
+            });
+            p.validate().unwrap();
+            simulate(&p, &MachineModel::default(), &mut NullMonitor).unwrap();
+        }
+    }
+
+    #[test]
+    fn more_sweeps_take_longer() {
+        let m = MachineModel::default();
+        let short = simulate(
+            &sweep3d(&Sweep3dConfig {
+                sweeps: 2,
+                ..Sweep3dConfig::default()
+            }),
+            &m,
+            &mut NullMonitor,
+        )
+        .unwrap();
+        let long = simulate(
+            &sweep3d(&Sweep3dConfig {
+                sweeps: 8,
+                ..Sweep3dConfig::default()
+            }),
+            &m,
+            &mut NullMonitor,
+        )
+        .unwrap();
+        assert!(long.elapsed > short.elapsed);
+    }
+}

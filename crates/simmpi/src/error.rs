@@ -1,0 +1,43 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No rank can make progress and the blocked operations do not form
+    /// a resolvable collective — the program deadlocks.
+    Deadlock {
+        /// Human-readable description of each blocked rank.
+        detail: String,
+    },
+    /// The program is structurally invalid (bad rank references,
+    /// mismatched region enter/exit, wrong script count, ...).
+    InvalidProgram(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Deadlock { detail } => write!(f, "simulated program deadlocks: {detail}"),
+            Self::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::Deadlock {
+            detail: "rank 0 waits on rank 1".into(),
+        };
+        assert!(e.to_string().contains("deadlock"));
+        assert!(SimError::InvalidProgram("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,222 @@
+//! The machine performance model: network costs, collective costs,
+//! noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use epilog::CollectiveOp;
+
+/// Point-to-point network parameters (a LogGP-flavored model).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// One-way message latency in seconds.
+    pub latency: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// CPU overhead of posting a send.
+    pub send_overhead: f64,
+    /// CPU overhead of completing a receive (after data arrival).
+    pub recv_overhead: f64,
+}
+
+impl Default for NetworkModel {
+    /// Defaults resembling the paper's Myrinet-era cluster: ~10 µs
+    /// latency, ~100 MB/s bandwidth.
+    fn default() -> Self {
+        Self {
+            latency: 10e-6,
+            bandwidth: 100e6,
+            send_overhead: 2e-6,
+            recv_overhead: 2e-6,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Time from posting a send until the data is available at the
+    /// receiver.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Pseudo-random perturbation of compute times — the "unrelated system
+/// activity" that makes repeated experiments differ.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Relative amplitude: each compute op is stretched by a factor
+    /// drawn uniformly from `[1, 1 + amplitude]` (OS noise only ever
+    /// steals time).
+    pub amplitude: f64,
+    /// RNG seed; two runs with the same seed are identical.
+    pub seed: u64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self {
+            amplitude: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// A noise source for one run.
+    #[cfg(test)]
+    pub(crate) fn source(&self) -> NoiseSource {
+        NoiseSource {
+            rng: StdRng::seed_from_u64(self.seed),
+            amplitude: self.amplitude,
+        }
+    }
+
+    /// An independent noise source per rank, so that adding ops to one
+    /// rank's script does not perturb another rank's noise stream.
+    pub(crate) fn source_for(&self, rank: usize) -> NoiseSource {
+        NoiseSource {
+            rng: StdRng::seed_from_u64(
+                self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            amplitude: self.amplitude,
+        }
+    }
+}
+
+/// Stateful noise stream (one per simulation run).
+pub(crate) struct NoiseSource {
+    rng: StdRng,
+    amplitude: f64,
+}
+
+impl NoiseSource {
+    /// Multiplicative stretch factor for one compute op.
+    pub(crate) fn stretch(&mut self) -> f64 {
+        if self.amplitude <= 0.0 {
+            1.0
+        } else {
+            1.0 + self.rng.random::<f64>() * self.amplitude
+        }
+    }
+
+    /// Small nonnegative exit skew for collective completion, in
+    /// multiples of `unit` seconds.
+    pub(crate) fn exit_skew(&mut self, unit: f64) -> f64 {
+        self.rng.random::<f64>() * unit
+    }
+}
+
+/// Complete machine model.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct MachineModel {
+    /// Point-to-point network.
+    pub network: NetworkModel,
+    /// Compute-time noise.
+    pub noise: NoiseModel,
+}
+
+impl MachineModel {
+    /// Cost of the collective operation itself (excluding the wait for
+    /// late participants), for `ranks` participants contributing
+    /// `bytes` each. Logarithmic algorithms for the rooted/reduction
+    /// collectives, linear exchange volume for all-to-all.
+    pub fn collective_cost(&self, op: CollectiveOp, bytes: u64, ranks: usize) -> f64 {
+        let p = ranks.max(1) as f64;
+        let log_p = p.log2().max(1.0);
+        let n = self.network;
+        match op {
+            // Gather + release phase plus per-stage software overhead —
+            // dissemination barriers of the paper's era cost on the
+            // order of 100 µs at 16 ranks.
+            CollectiveOp::Barrier => 3.0 * (n.latency + n.send_overhead) * log_p,
+            CollectiveOp::AllToAll => {
+                n.latency * log_p + (bytes as f64 * (p - 1.0)) / n.bandwidth
+            }
+            CollectiveOp::AllReduce => (n.latency + bytes as f64 / n.bandwidth) * log_p,
+            CollectiveOp::Broadcast | CollectiveOp::Reduce => {
+                (n.latency + bytes as f64 / n.bandwidth) * log_p
+            }
+        }
+    }
+
+    /// Scale of the per-rank exit skew after a collective (produces
+    /// nonzero *Barrier Completion* / collective completion times).
+    pub fn completion_skew_unit(&self) -> f64 {
+        self.network.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_grows_with_bytes() {
+        let n = NetworkModel::default();
+        assert!(n.transfer_time(1_000_000) > n.transfer_time(1_000));
+        assert!(n.transfer_time(0) >= n.latency);
+    }
+
+    #[test]
+    fn collective_costs_grow_with_ranks() {
+        let m = MachineModel::default();
+        for op in [
+            CollectiveOp::Barrier,
+            CollectiveOp::AllToAll,
+            CollectiveOp::AllReduce,
+        ] {
+            let small = m.collective_cost(op, 4096, 4);
+            let large = m.collective_cost(op, 4096, 64);
+            assert!(large > small, "{op:?} must scale with ranks");
+        }
+    }
+
+    #[test]
+    fn alltoall_costs_more_than_allreduce_for_large_payloads() {
+        let m = MachineModel::default();
+        let a2a = m.collective_cost(CollectiveOp::AllToAll, 1 << 20, 16);
+        let ar = m.collective_cost(CollectiveOp::AllReduce, 1 << 20, 16);
+        assert!(a2a > ar);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let n = NoiseModel {
+            amplitude: 0.1,
+            seed: 42,
+        };
+        let a: Vec<f64> = {
+            let mut s = n.source();
+            (0..10).map(|_| s.stretch()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = n.source();
+            (0..10).map(|_| s.stretch()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&f| (1.0..=1.1).contains(&f)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s1 = NoiseModel {
+            amplitude: 0.1,
+            seed: 1,
+        }
+        .source();
+        let mut s2 = NoiseModel {
+            amplitude: 0.1,
+            seed: 2,
+        }
+        .source();
+        let a: Vec<f64> = (0..5).map(|_| s1.stretch()).collect();
+        let b: Vec<f64> = (0..5).map(|_| s2.stretch()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_amplitude_is_exact() {
+        let mut s = NoiseModel::default().source();
+        assert_eq!(s.stretch(), 1.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The measurement interface: everything a tool can observe.
+//!
+//! Measurement tools (the EPILOG tracer, the CONE profiler) attach to a
+//! simulation run as [`Monitor`]s. The simulator reports region
+//! enter/exit, computation, point-to-point operations with their true
+//! start/end times, and collective instances. Multiple tools can run
+//! simultaneously via [`Fanout`] — or deliberately *not* simultaneously,
+//! which is the whole point of the paper's merge operator.
+
+use epilog::CollectiveOp;
+
+use crate::program::Program;
+
+/// Synthetic workload characteristics of a compute phase, used by
+/// profilers to generate hardware-counter values.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ComputeWork {
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Level-1 data-cache accesses performed.
+    pub l1_accesses: u64,
+    /// Fraction of accesses that miss in L1 (`0.0..=1.0`).
+    pub l1_miss_rate: f64,
+}
+
+impl ComputeWork {
+    /// Work of a dense FLOP-heavy kernel: many flops, cache-friendly.
+    pub fn flop_heavy(flops: u64) -> Self {
+        Self {
+            flops,
+            l1_accesses: flops / 2,
+            l1_miss_rate: 0.01,
+        }
+    }
+
+    /// Work of a memory-bound kernel: streaming accesses, high miss
+    /// rate.
+    pub fn memory_bound(l1_accesses: u64) -> Self {
+        Self {
+            flops: l1_accesses / 4,
+            l1_accesses,
+            l1_miss_rate: 0.15,
+        }
+    }
+}
+
+/// Observer of a simulation run. All times are in simulated seconds.
+///
+/// Default implementations are no-ops so tools only override what they
+/// record.
+#[allow(unused_variables)]
+pub trait Monitor {
+    /// Called once before the run starts.
+    fn on_start(&mut self, program: &Program) {}
+    /// A rank entered a user region.
+    fn on_enter(&mut self, rank: usize, region: usize, time: f64) {}
+    /// A rank left a user region.
+    fn on_exit(&mut self, rank: usize, region: usize, time: f64) {}
+    /// A rank computed from `start` to `end`.
+    fn on_compute(&mut self, rank: usize, start: f64, end: f64, work: &ComputeWork) {}
+    /// A rank executed a send operation (CPU-side occupancy
+    /// `start..end`).
+    fn on_send(&mut self, rank: usize, start: f64, end: f64, dest: usize, tag: i32, bytes: u64) {}
+    /// A rank executed a receive; `start` is when the receive was
+    /// posted (waiting begins), `end` when it completed, `send_time`
+    /// when the matching send was posted at the sender.
+    fn on_recv(
+        &mut self,
+        rank: usize,
+        start: f64,
+        end: f64,
+        source: usize,
+        tag: i32,
+        bytes: u64,
+        send_time: f64,
+    ) {
+    }
+    /// A rank executed a fork/join parallel region: all threads start
+    /// at `start`; `thread_ends[i]` is thread `i`'s finish time (thread
+    /// 0 is the master, which continues at `max(thread_ends)`). `work`
+    /// is the total workload across threads.
+    fn on_parallel(&mut self, rank: usize, start: f64, thread_ends: &[f64], work: &ComputeWork) {}
+    /// A rank completed a collective instance; `start` is its arrival,
+    /// `end` its exit.
+    fn on_collective(
+        &mut self,
+        rank: usize,
+        op: CollectiveOp,
+        start: f64,
+        end: f64,
+        bytes: u64,
+        root: i32,
+    ) {
+    }
+    /// A rank finished its script.
+    fn on_finish(&mut self, rank: usize, time: f64) {}
+}
+
+/// The monitor that records nothing (uninstrumented runs — the paper's
+/// §5.1 measures its headline speedup "without any trace
+/// instrumentation").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}
+
+/// Broadcasts every observation to several monitors.
+#[derive(Default)]
+pub struct Fanout<'a> {
+    monitors: Vec<&'a mut dyn Monitor>,
+}
+
+impl<'a> Fanout<'a> {
+    /// Creates an empty fanout.
+    pub fn new() -> Self {
+        Self {
+            monitors: Vec::new(),
+        }
+    }
+
+    /// Attaches a monitor.
+    pub fn attach(mut self, m: &'a mut dyn Monitor) -> Self {
+        self.monitors.push(m);
+        self
+    }
+}
+
+impl Monitor for Fanout<'_> {
+    fn on_start(&mut self, program: &Program) {
+        for m in &mut self.monitors {
+            m.on_start(program);
+        }
+    }
+    fn on_enter(&mut self, rank: usize, region: usize, time: f64) {
+        for m in &mut self.monitors {
+            m.on_enter(rank, region, time);
+        }
+    }
+    fn on_exit(&mut self, rank: usize, region: usize, time: f64) {
+        for m in &mut self.monitors {
+            m.on_exit(rank, region, time);
+        }
+    }
+    fn on_compute(&mut self, rank: usize, start: f64, end: f64, work: &ComputeWork) {
+        for m in &mut self.monitors {
+            m.on_compute(rank, start, end, work);
+        }
+    }
+    fn on_send(&mut self, rank: usize, start: f64, end: f64, dest: usize, tag: i32, bytes: u64) {
+        for m in &mut self.monitors {
+            m.on_send(rank, start, end, dest, tag, bytes);
+        }
+    }
+    fn on_recv(
+        &mut self,
+        rank: usize,
+        start: f64,
+        end: f64,
+        source: usize,
+        tag: i32,
+        bytes: u64,
+        send_time: f64,
+    ) {
+        for m in &mut self.monitors {
+            m.on_recv(rank, start, end, source, tag, bytes, send_time);
+        }
+    }
+    fn on_parallel(&mut self, rank: usize, start: f64, thread_ends: &[f64], work: &ComputeWork) {
+        for m in &mut self.monitors {
+            m.on_parallel(rank, start, thread_ends, work);
+        }
+    }
+    fn on_collective(
+        &mut self,
+        rank: usize,
+        op: CollectiveOp,
+        start: f64,
+        end: f64,
+        bytes: u64,
+        root: i32,
+    ) {
+        for m in &mut self.monitors {
+            m.on_collective(rank, op, start, end, bytes, root);
+        }
+    }
+    fn on_finish(&mut self, rank: usize, time: f64) {
+        for m in &mut self.monitors {
+            m.on_finish(rank, time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        enters: usize,
+        finishes: usize,
+    }
+
+    impl Monitor for Counter {
+        fn on_enter(&mut self, _rank: usize, _region: usize, _time: f64) {
+            self.enters += 1;
+        }
+        fn on_finish(&mut self, _rank: usize, _time: f64) {
+            self.finishes += 1;
+        }
+    }
+
+    #[test]
+    fn fanout_broadcasts() {
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        {
+            let mut f = Fanout::new().attach(&mut a).attach(&mut b);
+            f.on_enter(0, 0, 0.0);
+            f.on_enter(1, 0, 0.0);
+            f.on_finish(0, 1.0);
+        }
+        assert_eq!(a.enters, 2);
+        assert_eq!(b.enters, 2);
+        assert_eq!(a.finishes, 1);
+    }
+
+    #[test]
+    fn compute_work_presets() {
+        let f = ComputeWork::flop_heavy(1_000_000);
+        assert_eq!(f.flops, 1_000_000);
+        assert!(f.l1_miss_rate < 0.05);
+        let m = ComputeWork::memory_bound(1_000_000);
+        assert!(m.l1_miss_rate > f.l1_miss_rate);
+        assert!(m.l1_accesses > m.flops);
+    }
+
+    #[test]
+    fn null_monitor_is_a_monitor() {
+        let mut n = NullMonitor;
+        n.on_enter(0, 0, 0.0);
+        n.on_finish(0, 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Programs: per-rank operation scripts over a shared region table.
+
+use epilog::CollectiveOp;
+
+use crate::error::SimError;
+use crate::monitor::ComputeWork;
+
+/// A user source region of the simulated application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Region name.
+    pub name: String,
+    /// Source file.
+    pub file: String,
+    /// First source line.
+    pub line: u32,
+}
+
+impl RegionInfo {
+    /// Creates a region description.
+    pub fn new(name: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        Self {
+            name: name.into(),
+            file: file.into(),
+            line,
+        }
+    }
+}
+
+/// One operation of a rank's script.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Enter a user region (index into [`Program::regions`]).
+    Enter(usize),
+    /// Exit the region entered most recently (index must match).
+    Exit(usize),
+    /// Busy computation for `seconds` (before noise), performing `work`.
+    Compute {
+        /// Nominal duration in seconds.
+        seconds: f64,
+        /// Synthetic workload characteristics for counter generation.
+        work: ComputeWork,
+    },
+    /// Post an asynchronous (eager) point-to-point send.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: i32,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Blocking receive of a matching message.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: i32,
+        /// Expected payload size (informational; the matching message's
+        /// actual size is reported to monitors).
+        bytes: u64,
+    },
+    /// Blocking collective over *all* ranks.
+    Collective {
+        /// Which collective.
+        op: CollectiveOp,
+        /// Bytes contributed per rank.
+        bytes: u64,
+        /// Root rank for rooted collectives; `-1` otherwise.
+        root: i32,
+    },
+    /// A fork/join parallel region (OpenMP-style): every thread of the
+    /// process computes its share, the master continues when the last
+    /// thread finishes.
+    ParallelCompute {
+        /// Nominal seconds per thread (length must equal
+        /// [`Program::threads_per_rank`]); thread 0 is the master.
+        seconds_per_thread: Vec<f64>,
+        /// Total synthetic workload across all threads.
+        work: ComputeWork,
+    },
+}
+
+/// A complete simulated program: region table plus one script per rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name (becomes the experiment/trace name).
+    pub name: String,
+    /// User region table.
+    pub regions: Vec<RegionInfo>,
+    /// One operation script per rank.
+    pub scripts: Vec<Vec<Op>>,
+    /// Threads per process (1 = pure MPI; >1 = hybrid MPI + OpenMP).
+    pub threads_per_rank: usize,
+}
+
+impl Program {
+    /// Creates an empty pure-MPI program for `ranks` single-threaded
+    /// ranks.
+    pub fn new(name: impl Into<String>, ranks: usize) -> Self {
+        Self::hybrid(name, ranks, 1)
+    }
+
+    /// Creates an empty hybrid program: `ranks` processes with
+    /// `threads` OpenMP-style threads each.
+    pub fn hybrid(name: impl Into<String>, ranks: usize, threads: usize) -> Self {
+        Self {
+            name: name.into(),
+            regions: Vec::new(),
+            scripts: vec![Vec::new(); ranks],
+            threads_per_rank: threads.max(1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Adds a region and returns its index.
+    pub fn add_region(&mut self, info: RegionInfo) -> usize {
+        self.regions.push(info);
+        self.regions.len() - 1
+    }
+
+    /// Appends an op to one rank's script.
+    pub fn push(&mut self, rank: usize, op: Op) {
+        self.scripts[rank].push(op);
+    }
+
+    /// Appends an op to every rank's script.
+    pub fn push_all(&mut self, op: Op) {
+        for s in &mut self.scripts {
+            s.push(op.clone());
+        }
+    }
+
+    /// Static validation: indices in range, enter/exit properly nested
+    /// per rank, sends/recvs address existing ranks.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let ranks = self.ranks();
+        if ranks == 0 {
+            return Err(SimError::InvalidProgram("program has zero ranks".into()));
+        }
+        for (rank, script) in self.scripts.iter().enumerate() {
+            let mut stack: Vec<usize> = Vec::new();
+            for (i, op) in script.iter().enumerate() {
+                match op {
+                    Op::Enter(r) => {
+                        if *r >= self.regions.len() {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: unknown region {r}"
+                            )));
+                        }
+                        stack.push(*r);
+                    }
+                    Op::Exit(r) => match stack.pop() {
+                        Some(top) if top == *r => {}
+                        Some(top) => {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: exits region {r} but {top} is open"
+                            )))
+                        }
+                        None => {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: exit with empty region stack"
+                            )))
+                        }
+                    },
+                    Op::Send { to, .. } => {
+                        if *to >= ranks {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: send to unknown rank {to}"
+                            )));
+                        }
+                        if *to == rank {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: send to self"
+                            )));
+                        }
+                    }
+                    Op::Recv { from, .. } => {
+                        if *from >= ranks {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: recv from unknown rank {from}"
+                            )));
+                        }
+                        if *from == rank {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: recv from self"
+                            )));
+                        }
+                    }
+                    Op::Compute { seconds, .. } => {
+                        if !seconds.is_finite() || *seconds < 0.0 {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: bad compute duration {seconds}"
+                            )));
+                        }
+                    }
+                    Op::Collective { .. } => {}
+                    Op::ParallelCompute {
+                        seconds_per_thread, ..
+                    } => {
+                        if seconds_per_thread.len() != self.threads_per_rank {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: parallel region sized for {} threads, \
+                                 program has {}",
+                                seconds_per_thread.len(),
+                                self.threads_per_rank
+                            )));
+                        }
+                        if seconds_per_thread
+                            .iter()
+                            .any(|s| !s.is_finite() || *s < 0.0)
+                        {
+                            return Err(SimError::InvalidProgram(format!(
+                                "rank {rank} op {i}: bad per-thread durations"
+                            )));
+                        }
+                    }
+                }
+            }
+            if !stack.is_empty() {
+                return Err(SimError::InvalidProgram(format!(
+                    "rank {rank}: {} region(s) left open",
+                    stack.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> RegionInfo {
+        RegionInfo::new("main", "main.c", 1)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let mut p = Program::new("t", 2);
+        let main = p.add_region(region());
+        p.push_all(Op::Enter(main));
+        p.push(
+            0,
+            Op::Send {
+                to: 1,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        p.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        p.push_all(Op::Exit(main));
+        p.validate().unwrap();
+        assert_eq!(p.ranks(), 2);
+    }
+
+    #[test]
+    fn zero_ranks_rejected() {
+        let p = Program::new("t", 0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn unbalanced_regions_rejected() {
+        let mut p = Program::new("t", 1);
+        let main = p.add_region(region());
+        p.push(0, Op::Enter(main));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn self_messaging_rejected() {
+        let mut p = Program::new("t", 2);
+        p.push(
+            0,
+            Op::Send {
+                to: 0,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        assert!(p.validate().is_err());
+        let mut p = Program::new("t", 2);
+        p.push(
+            1,
+            Op::Recv {
+                from: 1,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_targets_rejected() {
+        let mut p = Program::new("t", 2);
+        p.push(
+            0,
+            Op::Send {
+                to: 7,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negative_compute_rejected() {
+        let mut p = Program::new("t", 1);
+        p.push(
+            0,
+            Op::Compute {
+                seconds: -1.0,
+                work: ComputeWork::default(),
+            },
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn crossed_regions_rejected() {
+        let mut p = Program::new("t", 1);
+        let a = p.add_region(RegionInfo::new("a", "f", 1));
+        let b = p.add_region(RegionInfo::new("b", "f", 2));
+        p.push(0, Op::Enter(a));
+        p.push(0, Op::Enter(b));
+        p.push(0, Op::Exit(a));
+        p.push(0, Op::Exit(b));
+        assert!(p.validate().is_err());
+    }
+}

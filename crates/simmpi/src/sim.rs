@@ -1,0 +1,583 @@
+//! The discrete-event execution engine.
+//!
+//! Ranks execute their scripts round-robin; each pass retires as many
+//! operations per rank as possible. A rank blocks on a receive whose
+//! matching send has not been posted yet, and on every collective.
+//! Collectives resolve once *all* ranks are blocked on a matching
+//! collective: everyone exits at `max(arrival) + cost + per-rank skew`,
+//! which is exactly how temporal displacement between ranks turns into
+//! measurable waiting time at synchronization points.
+
+use std::collections::{HashMap, VecDeque};
+
+use epilog::CollectiveOp;
+
+use crate::error::SimError;
+use crate::model::MachineModel;
+use crate::monitor::Monitor;
+use crate::program::{Op, Program};
+
+/// Result of an uninstrumented (or instrumented) run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Wall-clock time of the run: the latest rank finish time.
+    pub elapsed: f64,
+    /// Per-rank finish times.
+    pub rank_times: Vec<f64>,
+    /// Point-to-point messages delivered.
+    pub messages: u64,
+    /// Collective instances completed.
+    pub collectives: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingCollective {
+    op: CollectiveOp,
+    bytes: u64,
+    root: i32,
+    arrival: f64,
+}
+
+struct InFlight {
+    avail: f64,
+    send_post: f64,
+    bytes: u64,
+}
+
+/// Executes `program` under `model`, reporting observations to
+/// `monitor`.
+pub fn simulate(
+    program: &Program,
+    model: &MachineModel,
+    monitor: &mut dyn Monitor,
+) -> Result<SimReport, SimError> {
+    program.validate()?;
+    let ranks = program.ranks();
+    monitor.on_start(program);
+
+    let mut time = vec![0.0f64; ranks];
+    let mut pc = vec![0usize; ranks];
+    let mut done = vec![false; ranks];
+    let mut recv_wait_start: Vec<Option<f64>> = vec![None; ranks];
+    let mut pending_coll: Vec<Option<PendingCollective>> = vec![None; ranks];
+    let mut channels: HashMap<(usize, usize, i32), VecDeque<InFlight>> = HashMap::new();
+    let mut noise: Vec<_> = (0..ranks).map(|r| model.noise.source_for(r)).collect();
+    let mut messages = 0u64;
+    let mut collectives = 0u64;
+
+    loop {
+        let mut progress = false;
+
+        for rank in 0..ranks {
+            if done[rank] || pending_coll[rank].is_some() {
+                continue;
+            }
+            loop {
+                if pc[rank] >= program.scripts[rank].len() {
+                    if !done[rank] {
+                        done[rank] = true;
+                        monitor.on_finish(rank, time[rank]);
+                        progress = true;
+                    }
+                    break;
+                }
+                match &program.scripts[rank][pc[rank]] {
+                    Op::Enter(region) => {
+                        monitor.on_enter(rank, *region, time[rank]);
+                        pc[rank] += 1;
+                    }
+                    Op::Exit(region) => {
+                        monitor.on_exit(rank, *region, time[rank]);
+                        pc[rank] += 1;
+                    }
+                    Op::Compute { seconds, work } => {
+                        let dur = seconds * noise[rank].stretch();
+                        let start = time[rank];
+                        time[rank] = start + dur;
+                        monitor.on_compute(rank, start, time[rank], work);
+                        pc[rank] += 1;
+                    }
+                    Op::Send { to, tag, bytes } => {
+                        let start = time[rank];
+                        let end = start + model.network.send_overhead;
+                        channels
+                            .entry((rank, *to, *tag))
+                            .or_default()
+                            .push_back(InFlight {
+                                avail: start + model.network.transfer_time(*bytes),
+                                send_post: start,
+                                bytes: *bytes,
+                            });
+                        monitor.on_send(rank, start, end, *to, *tag, *bytes);
+                        time[rank] = end;
+                        pc[rank] += 1;
+                    }
+                    Op::Recv { from, tag, .. } => {
+                        let key = (*from, rank, *tag);
+                        let msg = channels.get_mut(&key).and_then(|q| q.pop_front());
+                        match msg {
+                            Some(m) => {
+                                let start = recv_wait_start[rank].take().unwrap_or(time[rank]);
+                                let end =
+                                    start.max(m.avail) + model.network.recv_overhead;
+                                monitor.on_recv(
+                                    rank, start, end, *from, *tag, m.bytes, m.send_post,
+                                );
+                                time[rank] = end;
+                                pc[rank] += 1;
+                                messages += 1;
+                            }
+                            None => {
+                                recv_wait_start[rank].get_or_insert(time[rank]);
+                                break; // blocked: matching send not posted yet
+                            }
+                        }
+                    }
+                    Op::Collective { op, bytes, root } => {
+                        pending_coll[rank] = Some(PendingCollective {
+                            op: *op,
+                            bytes: *bytes,
+                            root: *root,
+                            arrival: time[rank],
+                        });
+                        break; // blocked until everyone arrives
+                    }
+                    Op::ParallelCompute {
+                        seconds_per_thread,
+                        work,
+                    } => {
+                        let start = time[rank];
+                        let ends: Vec<f64> = seconds_per_thread
+                            .iter()
+                            .map(|s| start + s * noise[rank].stretch())
+                            .collect();
+                        let join = ends.iter().copied().fold(start, f64::max);
+                        monitor.on_parallel(rank, start, &ends, work);
+                        time[rank] = join;
+                        pc[rank] += 1;
+                    }
+                }
+                progress = true;
+            }
+        }
+
+        if done.iter().all(|&d| d) {
+            break;
+        }
+        if progress {
+            continue;
+        }
+
+        // No rank advanced. Either everyone sits in one collective — then
+        // it resolves — or the program deadlocks.
+        let all_in_collective =
+            (0..ranks).all(|r| pending_coll[r].is_some()) && !done.iter().any(|&d| d);
+        if all_in_collective {
+            let first = pending_coll[0].expect("checked above");
+            let same_kind = pending_coll
+                .iter()
+                .all(|p| p.map(|p| (p.op, p.root)) == Some((first.op, first.root)));
+            if !same_kind {
+                return Err(SimError::Deadlock {
+                    detail: format!(
+                        "ranks are blocked in different collectives: {:?}",
+                        pending_coll
+                            .iter()
+                            .map(|p| p.map(|p| p.op))
+                            .collect::<Vec<_>>()
+                    ),
+                });
+            }
+            let max_arrival = pending_coll
+                .iter()
+                .map(|p| p.expect("all set").arrival)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let max_bytes = pending_coll
+                .iter()
+                .map(|p| p.expect("all set").bytes)
+                .max()
+                .unwrap_or(0);
+            let cost = model.collective_cost(first.op, max_bytes, ranks);
+            let skew_unit = model.completion_skew_unit();
+            for rank in 0..ranks {
+                let p = pending_coll[rank].take().expect("all set");
+                let exit = max_arrival + cost + noise[rank].exit_skew(skew_unit);
+                monitor.on_collective(rank, p.op, p.arrival, exit, p.bytes, p.root);
+                time[rank] = exit;
+                pc[rank] += 1;
+            }
+            collectives += 1;
+            continue;
+        }
+
+        let detail: Vec<String> = (0..ranks)
+            .map(|r| {
+                if done[r] {
+                    format!("rank {r}: finished")
+                } else if let Some(p) = pending_coll[r] {
+                    format!("rank {r}: in {:?} since t={:.6}", p.op, p.arrival)
+                } else {
+                    match &program.scripts[r][pc[r]] {
+                        Op::Recv { from, tag, .. } => format!(
+                            "rank {r}: waiting for message from rank {from} tag {tag} since t={:.6}",
+                            recv_wait_start[r].unwrap_or(time[r])
+                        ),
+                        other => format!("rank {r}: stuck at {other:?}"),
+                    }
+                }
+            })
+            .collect();
+        return Err(SimError::Deadlock {
+            detail: detail.join("; "),
+        });
+    }
+
+    let elapsed = time.iter().copied().fold(0.0, f64::max);
+    Ok(SimReport {
+        elapsed,
+        rank_times: time,
+        messages,
+        collectives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MachineModel, NoiseModel};
+    use crate::monitor::{ComputeWork, NullMonitor};
+    use crate::program::{Op, Program, RegionInfo};
+
+    fn model() -> MachineModel {
+        MachineModel::default()
+    }
+
+    fn wrap_main(p: &mut Program) -> usize {
+        let main = p.add_region(RegionInfo::new("main", "main.c", 1));
+        for rank in 0..p.ranks() {
+            p.scripts[rank].insert(0, Op::Enter(main));
+            p.scripts[rank].push(Op::Exit(main));
+        }
+        main
+    }
+
+    #[test]
+    fn compute_advances_time() {
+        let mut p = Program::new("t", 1);
+        p.push(
+            0,
+            Op::Compute {
+                seconds: 2.0,
+                work: ComputeWork::default(),
+            },
+        );
+        wrap_main(&mut p);
+        let r = simulate(&p, &model(), &mut NullMonitor).unwrap();
+        assert!((r.elapsed - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_timing_includes_transfer() {
+        let mut p = Program::new("t", 2);
+        p.push(
+            0,
+            Op::Send {
+                to: 1,
+                tag: 5,
+                bytes: 1_000_000,
+            },
+        );
+        p.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 5,
+                bytes: 1_000_000,
+            },
+        );
+        wrap_main(&mut p);
+        let m = model();
+        let r = simulate(&p, &m, &mut NullMonitor).unwrap();
+        let expected = m.network.transfer_time(1_000_000) + m.network.recv_overhead;
+        assert!((r.rank_times[1] - expected).abs() < 1e-9);
+        assert_eq!(r.messages, 1);
+    }
+
+    #[test]
+    fn late_sender_wait_is_observable() {
+        // Rank 1 posts the recv immediately; rank 0 computes 1s first.
+        struct RecvWatch {
+            start: f64,
+            end: f64,
+            send_time: f64,
+        }
+        impl Monitor for RecvWatch {
+            fn on_recv(
+                &mut self,
+                _rank: usize,
+                start: f64,
+                end: f64,
+                _source: usize,
+                _tag: i32,
+                _bytes: u64,
+                send_time: f64,
+            ) {
+                self.start = start;
+                self.end = end;
+                self.send_time = send_time;
+            }
+        }
+        let mut p = Program::new("t", 2);
+        p.push(
+            0,
+            Op::Compute {
+                seconds: 1.0,
+                work: ComputeWork::default(),
+            },
+        );
+        p.push(
+            0,
+            Op::Send {
+                to: 1,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        p.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        wrap_main(&mut p);
+        let mut w = RecvWatch {
+            start: -1.0,
+            end: -1.0,
+            send_time: -1.0,
+        };
+        simulate(&p, &model(), &mut w).unwrap();
+        assert_eq!(w.start, 0.0); // posted immediately
+        assert!((w.send_time - 1.0).abs() < 1e-12);
+        assert!(w.end > 1.0); // waited for the late sender
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_skews_exits() {
+        struct CollWatch {
+            arrivals: Vec<f64>,
+            exits: Vec<f64>,
+        }
+        impl Monitor for CollWatch {
+            fn on_collective(
+                &mut self,
+                rank: usize,
+                _op: CollectiveOp,
+                start: f64,
+                end: f64,
+                _bytes: u64,
+                _root: i32,
+            ) {
+                self.arrivals[rank] = start;
+                self.exits[rank] = end;
+            }
+        }
+        let mut p = Program::new("t", 4);
+        for rank in 0..4 {
+            p.push(
+                rank,
+                Op::Compute {
+                    seconds: 0.25 * (rank + 1) as f64,
+                    work: ComputeWork::default(),
+                },
+            );
+        }
+        p.push_all(Op::Collective {
+            op: CollectiveOp::Barrier,
+            bytes: 0,
+            root: -1,
+        });
+        wrap_main(&mut p);
+        let mut w = CollWatch {
+            arrivals: vec![0.0; 4],
+            exits: vec![0.0; 4],
+        };
+        let m = MachineModel {
+            noise: NoiseModel {
+                amplitude: 0.0,
+                seed: 7,
+            },
+            ..model()
+        };
+        simulate(&p, &m, &mut w).unwrap();
+        // Arrivals are staggered; exits are all at/after the last arrival.
+        let last = w.arrivals.iter().copied().fold(0.0, f64::max);
+        assert!((last - 1.0).abs() < 1e-12);
+        for r in 0..4 {
+            assert!(w.exits[r] >= last);
+        }
+        // Exit skew produces different completion instants.
+        let distinct: std::collections::HashSet<u64> =
+            w.exits.iter().map(|e| e.to_bits()).collect();
+        assert!(distinct.len() > 1, "exit skew must spread completions");
+    }
+
+    #[test]
+    fn deadlock_on_missing_send_is_detected() {
+        let mut p = Program::new("t", 2);
+        p.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        wrap_main(&mut p);
+        let err = simulate(&p, &model(), &mut NullMonitor).unwrap_err();
+        match err {
+            SimError::Deadlock { detail } => {
+                assert!(detail.contains("rank 1"), "{detail}");
+                assert!(detail.contains("rank 0: finished"), "{detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_collectives_are_detected() {
+        let mut p = Program::new("t", 2);
+        p.push(
+            0,
+            Op::Collective {
+                op: CollectiveOp::Barrier,
+                bytes: 0,
+                root: -1,
+            },
+        );
+        p.push(
+            1,
+            Op::Collective {
+                op: CollectiveOp::AllReduce,
+                bytes: 8,
+                root: -1,
+            },
+        );
+        wrap_main(&mut p);
+        assert!(matches!(
+            simulate(&p, &model(), &mut NullMonitor),
+            Err(SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn messages_match_fifo_per_tag() {
+        struct Recvs(Vec<u64>);
+        impl Monitor for Recvs {
+            fn on_recv(
+                &mut self,
+                _rank: usize,
+                _start: f64,
+                _end: f64,
+                _source: usize,
+                _tag: i32,
+                bytes: u64,
+                _send_time: f64,
+            ) {
+                self.0.push(bytes);
+            }
+        }
+        let mut p = Program::new("t", 2);
+        for bytes in [10u64, 20, 30] {
+            p.push(
+                0,
+                Op::Send {
+                    to: 1,
+                    tag: 1,
+                    bytes,
+                },
+            );
+        }
+        for _ in 0..3 {
+            p.push(
+                1,
+                Op::Recv {
+                    from: 0,
+                    tag: 1,
+                    bytes: 0,
+                },
+            );
+        }
+        wrap_main(&mut p);
+        let mut w = Recvs(Vec::new());
+        simulate(&p, &model(), &mut w).unwrap();
+        assert_eq!(w.0, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn noise_changes_elapsed_time_reproducibly() {
+        let mut p = Program::new("t", 1);
+        p.push(
+            0,
+            Op::Compute {
+                seconds: 1.0,
+                work: ComputeWork::default(),
+            },
+        );
+        wrap_main(&mut p);
+        let quiet = simulate(&p, &model(), &mut NullMonitor).unwrap();
+        let noisy_model = MachineModel {
+            noise: NoiseModel {
+                amplitude: 0.2,
+                seed: 3,
+            },
+            ..model()
+        };
+        let noisy1 = simulate(&p, &noisy_model, &mut NullMonitor).unwrap();
+        let noisy2 = simulate(&p, &noisy_model, &mut NullMonitor).unwrap();
+        assert!(noisy1.elapsed > quiet.elapsed);
+        assert_eq!(noisy1.elapsed, noisy2.elapsed); // same seed
+        let other_seed = MachineModel {
+            noise: NoiseModel {
+                amplitude: 0.2,
+                seed: 4,
+            },
+            ..model()
+        };
+        let noisy3 = simulate(&p, &other_seed, &mut NullMonitor).unwrap();
+        assert_ne!(noisy1.elapsed, noisy3.elapsed);
+    }
+
+    #[test]
+    fn report_counts_operations() {
+        let mut p = Program::new("t", 2);
+        p.push(
+            0,
+            Op::Send {
+                to: 1,
+                tag: 0,
+                bytes: 64,
+            },
+        );
+        p.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                bytes: 64,
+            },
+        );
+        p.push_all(Op::Collective {
+            op: CollectiveOp::AllReduce,
+            bytes: 8,
+            root: -1,
+        });
+        wrap_main(&mut p);
+        let r = simulate(&p, &model(), &mut NullMonitor).unwrap();
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.collectives, 1);
+        assert_eq!(r.rank_times.len(), 2);
+        assert!(r.elapsed > 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Working around hardware-counter limits with the merge operator.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example counter_event_sets
+//! ```
+//!
+//! Demonstrates the paper's measurement workflow in isolation:
+//! 1. enumerate which counter pairs the (simulated POWER4) PMU can
+//!    measure together;
+//! 2. run CONE once per conflict-free event set — applying the *mean*
+//!    operator over repeated runs of each set to smooth noise;
+//! 3. merge the averaged profiles into one experiment carrying every
+//!    counter, which no single run could have measured.
+
+use cube_algebra::ops;
+use cube_model::aggregate::{metric_total, MetricSelection};
+use cube_model::Experiment;
+use cube_suite::cone::{ConeProfiler, CounterKind, EventSet};
+use cube_suite::simmpi::apps::{pescan, PescanConfig};
+use cube_suite::simmpi::{simulate, MachineModel, NoiseModel};
+
+fn cone_run(set: &EventSet, seed: u64) -> Experiment {
+    let program = pescan(&PescanConfig {
+        ranks: 8,
+        iterations: 10,
+        ..PescanConfig::default()
+    });
+    let model = MachineModel {
+        noise: NoiseModel {
+            amplitude: 0.05,
+            seed,
+        },
+        ..MachineModel::default()
+    };
+    let mut profiler = ConeProfiler::new(set.clone()).expect("valid event set");
+    simulate(&program, &model, &mut profiler).expect("simulation succeeds");
+    profiler.into_experiment().expect("valid experiment")
+}
+
+fn main() {
+    // 1. The conflict matrix.
+    println!("counter compatibility on the simulated PMU:");
+    for a in CounterKind::ALL {
+        for b in CounterKind::ALL {
+            if (a as usize) < (b as usize) {
+                let status = match EventSet::new("probe", vec![a, b]) {
+                    Ok(_) => "ok together",
+                    Err(_) => "CONFLICT — needs separate runs",
+                };
+                println!("  {:<14} + {:<14} {status}", a.papi_name(), b.papi_name());
+            }
+        }
+    }
+
+    // 2. One averaged profile per event set (3 noisy runs each).
+    let sets = [EventSet::flops(), EventSet::l1_cache()];
+    let mut averaged = Vec::new();
+    for set in &sets {
+        let runs: Vec<Experiment> = (0..3).map(|i| cone_run(set, 100 + i)).collect();
+        let refs: Vec<&Experiment> = runs.iter().collect();
+        let mean = ops::mean(&refs).expect("non-empty series");
+        println!(
+            "\nevent set {}: averaged {} runs → {}",
+            set.name,
+            runs.len(),
+            mean.provenance().label()
+        );
+        averaged.push(mean);
+    }
+
+    // 3. Merge the averaged profiles.
+    let joint = ops::merge(&averaged[0], &averaged[1]);
+    joint.validate().expect("closure");
+    println!("\njoint experiment metrics:");
+    for m in joint.metadata().metric_ids() {
+        let metric = joint.metadata().metric(m);
+        let total = metric_total(&joint, MetricSelection::inclusive(m));
+        println!("  {:<14} total {total:>14.3e} {}", metric.name, metric.unit);
+    }
+    // Both conflicting counters are now present in ONE experiment.
+    assert!(joint.metadata().find_metric("PAPI_FP_INS").is_some());
+    assert!(joint.metadata().find_metric("PAPI_L1_DCM").is_some());
+    println!("\nPAPI_FP_INS and PAPI_L1_DCM coexist — impossible in any single run.");
+}

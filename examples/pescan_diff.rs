@@ -1,0 +1,108 @@
+//! The paper's §5.1 case study: subtracting performance data.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example pescan_diff
+//! ```
+//!
+//! Pipeline:
+//! 1. simulate the unoptimized PESCAN (barriers present), tracing it;
+//! 2. EXPERT-analyze the trace → a CUBE experiment (Figure 1: the
+//!    selected Wait-at-Barrier metric carries ≈13 % of execution time);
+//! 3. repeat for the optimized version (barriers removed);
+//! 4. subtract: `difference(original, optimized)`, shown normalized to
+//!    the original version's execution time (Figure 2) — barrier-related
+//!    times are recovered (raised relief), P2P and Wait-at-NxN grow
+//!    (sunken relief), and the balance is clearly positive.
+
+use cube_algebra::ops;
+use cube_display::{BrowserState, NormalizationRef, RenderOptions, ValueMode};
+use cube_model::aggregate::{metric_total, MetricSelection};
+use cube_model::Experiment;
+use cube_suite::expert::{analyze, AnalyzeOptions};
+use cube_suite::simmpi::apps::{pescan, PescanConfig};
+use cube_suite::simmpi::{simulate, EpilogTracer, MachineModel};
+
+fn run_and_analyze(barriers: bool) -> Experiment {
+    let cfg = PescanConfig {
+        barriers,
+        ..PescanConfig::default()
+    };
+    let program = pescan(&cfg);
+    // 8 four-way SMP nodes, 16 processes on four of them — the paper's
+    // cluster layout.
+    let mut tracer = EpilogTracer::new("Pentium III Xeon cluster (simulated)", 4);
+    simulate(&program, &MachineModel::default(), &mut tracer).expect("simulation succeeds");
+    let trace = tracer.into_trace();
+    println!(
+        "traced {} ({} events from {} locations)",
+        program.name,
+        trace.events.len(),
+        trace.defs.locations.len()
+    );
+    analyze(
+        &trace,
+        &AnalyzeOptions {
+            name: Some(program.name.clone()),
+        },
+    )
+    .expect("valid trace analyzes cleanly")
+}
+
+fn metric(e: &Experiment, name: &str) -> f64 {
+    let m = e.metadata().find_metric(name).expect("pattern metric exists");
+    metric_total(e, MetricSelection::inclusive(m))
+}
+
+fn main() {
+    let original = run_and_analyze(true);
+    let optimized = run_and_analyze(false);
+
+    // --- Figure 1: browse the original version, percent mode, with the
+    // Wait-at-Barrier metric selected.
+    let mut state = BrowserState::new(&original);
+    state.expand_all(&original);
+    state.value_mode = ValueMode::Percent;
+    assert!(state.select_metric_by_name(&original, "Wait at Barrier"));
+    state.select_call_by_region(&original, "solver");
+    println!("\n=== Figure 1: unoptimized PESCAN, percent of total time ===");
+    println!(
+        "{}",
+        cube_display::render_view(&original, &state, RenderOptions::default())
+    );
+    let wab_pct = metric(&original, "Wait at Barrier") / metric(&original, "Time") * 100.0;
+    println!("Wait-at-Barrier share of execution time: {wab_pct:.1} % (paper: 13.2 %)");
+
+    // --- Figure 2: the difference experiment, normalized to the
+    // original version ("improvements in percent of the previous
+    // execution time").
+    let saved = ops::diff(&original, &optimized);
+    saved.validate().expect("closure");
+    let mut state = BrowserState::new(&saved);
+    state.expand_all(&saved);
+    state.value_mode =
+        ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
+    println!("\n=== Figure 2: difference(original, optimized), % of original time ===");
+    println!(
+        "{}",
+        cube_display::render_view(&saved, &state, RenderOptions::default())
+    );
+
+    println!("Reading the difference experiment:");
+    for name in [
+        "Wait at Barrier",
+        "Synchronization",
+        "Barrier Completion",
+        "Late Sender",
+        "P2P",
+        "Wait at N x N",
+        "Time",
+    ] {
+        let v = metric(&saved, name);
+        let pct = v / metric(&original, "Time") * 100.0;
+        let direction = if v >= 0.0 { "recovered" } else { "GREW" };
+        println!("  {name:<20} {pct:>7.2} % of original time ({direction})");
+    }
+    let gain = metric(&saved, "Time") / metric(&original, "Time") * 100.0;
+    println!("\ngross balance: {gain:.1} % of the original execution time saved");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build two experiments, apply the algebra, browse the
+//! result.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! This walks the shortest path through the library: simulate a small
+//! stencil code twice (a "slow" and a "tuned" configuration), profile
+//! both runs, subtract the experiments, and render the derived
+//! difference experiment exactly like an original one — the closure
+//! property in action.
+
+use cube_algebra::ops;
+use cube_display::{BrowserState, RenderOptions, ValueMode};
+use cube_suite::cone::{ConeProfiler, EventSet};
+use cube_suite::simmpi::apps::{stencil, StencilConfig};
+use cube_suite::simmpi::{simulate, MachineModel};
+
+fn profile(cfg: &StencilConfig) -> cube_model::Experiment {
+    let program = stencil(cfg);
+    let mut profiler = ConeProfiler::new(EventSet::flops()).expect("conflict-free event set");
+    simulate(&program, &MachineModel::default(), &mut profiler).expect("simulation succeeds");
+    profiler.into_experiment().expect("valid experiment")
+}
+
+fn main() {
+    // A deliberately imbalanced configuration ...
+    let slow = profile(&StencilConfig {
+        imbalance: 0.6,
+        ..StencilConfig::default()
+    });
+    // ... and a tuned one.
+    let tuned = profile(&StencilConfig {
+        imbalance: 0.05,
+        ..StencilConfig::default()
+    });
+
+    // The difference operator yields a full derived experiment.
+    let saved = ops::diff(&slow, &tuned);
+    saved.validate().expect("closure: operator results are valid experiments");
+
+    println!("=== the tuned run, browsed directly ===");
+    let mut state = BrowserState::new(&tuned);
+    state.expand_all(&tuned);
+    state.value_mode = ValueMode::Percent;
+    println!("{}", cube_display::render_view(&tuned, &state, RenderOptions::default()));
+
+    println!("=== what the tuning saved (difference experiment) ===");
+    let mut state = BrowserState::new(&saved);
+    state.expand_all(&saved);
+    println!("{}", cube_display::render_view(&saved, &state, RenderOptions::default()));
+
+    // Derived experiments are operands like any other: sanity-check that
+    // tuned + saved == slow (up to floating point).
+    let reconstructed = ops::sum(&[&tuned, &saved]).expect("non-empty operand list");
+    assert!(
+        reconstructed.severity().approx_eq(slow.severity(), 1e-9),
+        "tuned + (slow - tuned) must equal slow"
+    );
+    println!("closure check passed: tuned + diff == slow");
+}

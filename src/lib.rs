@@ -1,0 +1,30 @@
+//! # cube-suite — the CUBE cross-experiment performance algebra, in Rust
+//!
+//! Umbrella crate re-exporting the whole stack. See the individual
+//! crates for details:
+//!
+//! * [`model`] — the CUBE data model (metric / program / system
+//!   dimensions + severity function);
+//! * [`algebra`] — the closed operators: difference, merge, mean, and
+//!   extensions;
+//! * [`xml`] — the `.cube` file format on a self-contained XML
+//!   substrate;
+//! * [`display`] — the three-pane tree-browser display engine;
+//! * [`epilog`] — the event-trace substrate;
+//! * [`simmpi`] — the discrete-event message-passing simulator and the
+//!   paper's workloads (PESCAN, SWEEP3D, stencil);
+//! * [`expert`] — the trace analyzer (pattern search → CUBE);
+//! * [`cone`] — the call-graph profiler with PAPI-like counters and
+//!   event-set conflicts.
+//!
+//! The `examples/` directory walks through the paper's two case
+//! studies; `cube-bench` regenerates every figure.
+
+pub use cone;
+pub use cube_algebra as algebra;
+pub use cube_display as display;
+pub use cube_model as model;
+pub use cube_xml as xml;
+pub use epilog;
+pub use expert;
+pub use simmpi;

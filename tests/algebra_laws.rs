@@ -1,0 +1,297 @@
+//! Property-based tests pinning the algebraic laws of the CUBE
+//! operators over *randomly generated* experiments.
+//!
+//! The generator produces structurally diverse experiments: random
+//! metric forests (with shared name pools so that operands partially
+//! overlap), random call trees, random system sizes, and random
+//! severity values including negatives — the hard cases for metadata
+//! integration.
+
+use proptest::prelude::*;
+
+use cube_algebra::{integrate, ops, MergeOptions};
+use cube_model::builder::single_threaded_system;
+use cube_model::{Experiment, ExperimentBuilder, MetricId, RegionKind, Unit};
+
+// ---------------------------------------------------------------------------
+// generator
+// ---------------------------------------------------------------------------
+
+/// Compact description of an experiment, drawn by proptest.
+#[derive(Clone, Debug)]
+struct Spec {
+    /// Metric names drawn from a shared pool; parent index into the
+    /// prefix of already-created metrics (None = root).
+    metrics: Vec<(u8, Option<u8>)>,
+    /// Call nodes: region name index + parent index into prefix.
+    calls: Vec<(u8, Option<u8>)>,
+    ranks: u8,
+    /// Severity values in insertion order (cycled over tuples).
+    values: Vec<i32>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let metric = (0u8..6, proptest::option::of(0u8..4));
+    let call = (0u8..6, proptest::option::of(0u8..4));
+    (
+        proptest::collection::vec(metric, 1..5),
+        proptest::collection::vec(call, 1..6),
+        1u8..5,
+        proptest::collection::vec(-50i32..50, 1..20),
+    )
+        .prop_map(|(metrics, calls, ranks, values)| Spec {
+            metrics,
+            calls,
+            ranks,
+            values,
+        })
+}
+
+fn build(spec: &Spec, name: &str) -> Experiment {
+    let mut b = ExperimentBuilder::new(name);
+    let mut metric_ids: Vec<MetricId> = Vec::new();
+    for (name_idx, parent) in &spec.metrics {
+        // Parent must already exist and (for unit homogeneity) every
+        // generated metric uses seconds.
+        let parent_id = parent
+            .and_then(|p| metric_ids.get(p as usize).copied());
+        let id = b.def_metric(
+            format!("metric{name_idx}"),
+            Unit::Seconds,
+            "",
+            parent_id,
+        );
+        metric_ids.push(id);
+    }
+    let module = b.def_module("gen.rs", "/gen.rs");
+    let mut region_of_name = std::collections::HashMap::new();
+    let mut call_ids = Vec::new();
+    for (name_idx, parent) in &spec.calls {
+        let region = *region_of_name.entry(*name_idx).or_insert_with(|| {
+            b.def_region(
+                format!("region{name_idx}"),
+                module,
+                RegionKind::Function,
+                u32::from(*name_idx) + 1,
+                u32::from(*name_idx) + 1,
+            )
+        });
+        let cs = b.def_call_site("gen.rs", u32::from(*name_idx) + 1, region);
+        let parent_id = parent.and_then(|p| call_ids.get(p as usize).copied());
+        call_ids.push(b.def_call_node(cs, parent_id));
+    }
+    let threads = single_threaded_system(&mut b, spec.ranks as usize);
+    let mut vi = 0usize;
+    for &m in &metric_ids {
+        for &c in &call_ids {
+            for &t in &threads {
+                let v = spec.values[vi % spec.values.len()];
+                vi += 1;
+                if v != 0 {
+                    b.set_severity(m, c, t, f64::from(v) * 0.25);
+                }
+            }
+        }
+    }
+    b.build().expect("generated experiment is valid")
+}
+
+fn total(e: &Experiment) -> f64 {
+    e.severity().values().iter().sum()
+}
+
+// ---------------------------------------------------------------------------
+// laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Closure: every operator output is a valid experiment.
+    #[test]
+    fn operators_are_closed(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build(&sa, "a");
+        let b = build(&sb, "b");
+        ops::diff(&a, &b).validate().unwrap();
+        ops::merge(&a, &b).validate().unwrap();
+        ops::mean(&[&a, &b]).unwrap().validate().unwrap();
+        ops::min(&[&a, &b]).unwrap().validate().unwrap();
+        ops::max(&[&a, &b]).unwrap().validate().unwrap();
+        ops::sum(&[&a, &b]).unwrap().validate().unwrap();
+    }
+
+    /// diff(a, a) has a's structure and zero severity everywhere.
+    #[test]
+    fn self_difference_is_zero(s in spec_strategy()) {
+        let a = build(&s, "a");
+        let d = ops::diff(&a, &a);
+        prop_assert!(d.severity().values().iter().all(|&v| v == 0.0));
+        prop_assert_eq!(d.metadata(), a.metadata());
+    }
+
+    /// mean of k copies of a is a (values-wise).
+    #[test]
+    fn mean_of_copies_is_identity(s in spec_strategy(), k in 1usize..5) {
+        let a = build(&s, "a");
+        let copies: Vec<&Experiment> = std::iter::repeat(&a).take(k).collect();
+        let m = ops::mean(&copies).unwrap();
+        prop_assert!(m.severity().approx_eq(a.severity(), 1e-9));
+    }
+
+    /// mean is permutation-invariant.
+    #[test]
+    fn mean_is_permutation_invariant(
+        sa in spec_strategy(),
+        sb in spec_strategy(),
+        sc in spec_strategy(),
+    ) {
+        let (a, b, c) = (build(&sa, "a"), build(&sb, "b"), build(&sc, "c"));
+        let abc = ops::mean(&[&a, &b, &c]).unwrap();
+        let cba = ops::mean(&[&c, &b, &a]).unwrap();
+        // Metadata ordering may differ (entities are appended in operand
+        // order), so compare totals per *metric path* (names from the
+        // root down), which integration keeps unique.
+        let path_totals = |e: &Experiment| -> std::collections::HashMap<String, f64> {
+            let md = e.metadata();
+            let mut out = std::collections::HashMap::new();
+            for m in md.metric_ids() {
+                let mut parts = vec![md.metric(m).name.clone()];
+                let mut cur = m;
+                while let Some(p) = md.metric(cur).parent {
+                    parts.push(md.metric(p).name.clone());
+                    cur = p;
+                }
+                parts.reverse();
+                *out.entry(parts.join("/")).or_insert(0.0) += e.severity().metric_sum(m);
+            }
+            out
+        };
+        let x = path_totals(&abc);
+        let y = path_totals(&cba);
+        prop_assert_eq!(
+            x.keys().collect::<std::collections::BTreeSet<_>>(),
+            y.keys().collect::<std::collections::BTreeSet<_>>()
+        );
+        for (k, vx) in &x {
+            let vy = y[k];
+            prop_assert!((vx - vy).abs() <= 1e-9 * vx.abs().max(1.0), "{}: {} vs {}", k, vx, vy);
+        }
+    }
+
+    /// merge(a, a) is a (values-wise).
+    #[test]
+    fn merge_is_idempotent(s in spec_strategy()) {
+        let a = build(&s, "a");
+        let m = ops::merge(&a, &a);
+        prop_assert!(m.approx_eq(&a, 1e-12));
+    }
+
+    /// diff is anticommutative on the integrated domain.
+    #[test]
+    fn diff_is_anticommutative(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build(&sa, "a");
+        let b = build(&sb, "b");
+        let ab = ops::diff(&a, &b);
+        let ba = ops::diff(&b, &a);
+        // Compare via totals (metadata entity order may differ).
+        prop_assert!((total(&ab) + total(&ba)).abs() < 1e-9);
+    }
+
+    /// Zero extension conserves mass: sum(diff) = sum(a) − sum(b), and
+    /// sum(sum-op) = sum(a) + sum(b).
+    #[test]
+    fn totals_are_conserved(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build(&sa, "a");
+        let b = build(&sb, "b");
+        let d = ops::diff(&a, &b);
+        prop_assert!((total(&d) - (total(&a) - total(&b))).abs() < 1e-9);
+        let s = ops::sum(&[&a, &b]).unwrap();
+        prop_assert!((total(&s) - (total(&a) + total(&b))).abs() < 1e-9);
+    }
+
+    /// min ≤ mean ≤ max element-wise over the integrated domain.
+    #[test]
+    fn min_mean_max_ordering(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build(&sa, "a");
+        let b = build(&sb, "b");
+        let lo = ops::min(&[&a, &b]).unwrap();
+        let mid = ops::mean(&[&a, &b]).unwrap();
+        let hi = ops::max(&[&a, &b]).unwrap();
+        for ((&l, &m), &h) in lo
+            .severity()
+            .values()
+            .iter()
+            .zip(mid.severity().values())
+            .zip(hi.severity().values())
+        {
+            prop_assert!(l <= m + 1e-12 && m <= h + 1e-12);
+        }
+    }
+
+    /// Integration maps are total and consistent: every operand tuple
+    /// lands inside the integrated shape.
+    #[test]
+    fn integration_maps_are_total(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build(&sa, "a");
+        let b = build(&sb, "b");
+        let integrated = integrate(&[&a, &b], MergeOptions::default());
+        let (nm, nc, nt) = integrated.metadata.shape();
+        for (op, map) in [(&a, &integrated.maps[0]), (&b, &integrated.maps[1])] {
+            let (om, oc, ot) = op.metadata().shape();
+            prop_assert_eq!(map.metrics.len(), om);
+            prop_assert_eq!(map.call_nodes.len(), oc);
+            prop_assert_eq!(map.threads.len(), ot);
+            prop_assert!(map.metrics.iter().all(|m| m.index() < nm));
+            prop_assert!(map.call_nodes.iter().all(|c| c.index() < nc));
+            prop_assert!(map.threads.iter().all(|t| t.index() < nt));
+        }
+        integrated.metadata.validate().unwrap();
+    }
+
+    /// The composite "difference of means" (the paper's example of
+    /// operator composition) equals the mean of pairwise differences
+    /// when operands share metadata.
+    #[test]
+    fn linear_composites_commute(s in spec_strategy(), deltas in proptest::collection::vec(-10i32..10, 4)) {
+        let base = build(&s, "base");
+        let variant = |d: i32, name: &str| {
+            let mut e = build(&s, name);
+            for v in e.severity_mut().values_mut() {
+                *v += f64::from(d);
+            }
+            e
+        };
+        let a1 = variant(deltas[0], "a1");
+        let a2 = variant(deltas[1], "a2");
+        let b1 = variant(deltas[2], "b1");
+        let b2 = variant(deltas[3], "b2");
+        let diff_of_means = ops::diff(
+            &ops::mean(&[&a1, &a2]).unwrap(),
+            &ops::mean(&[&b1, &b2]).unwrap(),
+        );
+        let mean_of_diffs = ops::mean(&[&ops::diff(&a1, &b1), &ops::diff(&a2, &b2)]).unwrap();
+        prop_assert!(diff_of_means
+            .severity()
+            .approx_eq(mean_of_diffs.severity(), 1e-9));
+        let _ = base;
+    }
+
+    /// XML round-trip preserves arbitrary experiments exactly.
+    #[test]
+    fn xml_roundtrip_is_exact(s in spec_strategy()) {
+        let a = build(&s, "xml roundtrip");
+        let text = cube_xml::write_experiment(&a);
+        let back = cube_xml::read_experiment(&text).unwrap();
+        prop_assert!(back.approx_eq(&a, 0.0));
+    }
+
+    /// Derived experiments survive the XML round-trip too (closure at
+    /// the file level).
+    #[test]
+    fn derived_experiments_roundtrip(sa in spec_strategy(), sb in spec_strategy()) {
+        let d = ops::diff(&build(&sa, "a"), &build(&sb, "b"));
+        let back = cube_xml::read_experiment(&cube_xml::write_experiment(&d)).unwrap();
+        prop_assert!(back.approx_eq(&d, 0.0));
+        prop_assert_eq!(back.provenance(), d.provenance());
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-tool consistency: CONE (direct call-graph profiling) and
+//! EXPERT (post-mortem trace analysis) observe the *same* simulated run
+//! through entirely different code paths — monitor callbacks vs event
+//! replay. Their Time and Visits severities must agree per call path,
+//! which validates both implementations against each other (and is
+//! precisely why the paper's merge of the two tools' outputs is
+//! meaningful).
+
+use cube_model::aggregate::{call_value, CallSelection, MetricSelection};
+use cube_model::Experiment;
+use cube_suite::cone::{ConeProfiler, EventSet};
+use cube_suite::expert::{analyze, AnalyzeOptions};
+use cube_suite::simmpi::apps::{pescan, stencil, PescanConfig, StencilConfig};
+use cube_suite::simmpi::{simulate, EpilogTracer, Fanout, MachineModel, Program};
+
+/// Runs both tools over one simulation (simultaneously, via Fanout).
+fn both_tools(program: &Program) -> (Experiment, Experiment) {
+    let mut tracer = EpilogTracer::new("consistency", 2);
+    let mut profiler = ConeProfiler::new(EventSet::flops())
+        .unwrap()
+        .with_layout("consistency", 2);
+    {
+        let mut fan = Fanout::new().attach(&mut tracer).attach(&mut profiler);
+        simulate(program, &MachineModel::default(), &mut fan).unwrap();
+    }
+    let expert_exp = analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap();
+    let cone_exp = profiler.into_experiment().unwrap();
+    (expert_exp, cone_exp)
+}
+
+/// Inclusive Time per region name, summed over all call paths ending in
+/// that region — a representation-independent fingerprint.
+fn time_by_region(e: &Experiment) -> std::collections::BTreeMap<String, f64> {
+    let md = e.metadata();
+    let time = md.find_metric("Time").unwrap();
+    let msel = MetricSelection::inclusive(time);
+    let mut out = std::collections::BTreeMap::new();
+    for c in md.call_node_ids() {
+        let region = md.region(md.call_node_callee(c)).name.clone();
+        *out.entry(region).or_insert(0.0) +=
+            call_value(e, msel, CallSelection::exclusive(c));
+    }
+    out
+}
+
+fn assert_fingerprints_match(a: &Experiment, b: &Experiment) {
+    let fa = time_by_region(a);
+    let fb = time_by_region(b);
+    for (region, &va) in &fa {
+        let vb = fb.get(region).copied().unwrap_or(0.0);
+        assert!(
+            (va - vb).abs() <= 1e-9 * va.abs().max(1e-9),
+            "region '{region}': EXPERT {va} vs CONE {vb}"
+        );
+    }
+    // Same region set (modulo regions with zero time everywhere).
+    for region in fb.keys() {
+        assert!(fa.contains_key(region), "CONE-only region '{region}'");
+    }
+}
+
+#[test]
+fn expert_and_cone_agree_on_pescan() {
+    let program = pescan(&PescanConfig {
+        ranks: 6,
+        iterations: 5,
+        ..PescanConfig::default()
+    });
+    let (expert_exp, cone_exp) = both_tools(&program);
+    assert_fingerprints_match(&expert_exp, &cone_exp);
+}
+
+#[test]
+fn expert_and_cone_agree_on_stencil() {
+    let program = stencil(&StencilConfig::default());
+    let (expert_exp, cone_exp) = both_tools(&program);
+    assert_fingerprints_match(&expert_exp, &cone_exp);
+}
+
+#[test]
+fn visits_agree_too() {
+    let program = stencil(&StencilConfig {
+        ranks: 4,
+        iterations: 6,
+        ..StencilConfig::default()
+    });
+    let (expert_exp, cone_exp) = both_tools(&program);
+    let count = |e: &Experiment, region: &str| -> f64 {
+        let md = e.metadata();
+        let visits = md.find_metric("Visits").unwrap();
+        let msel = MetricSelection::inclusive(visits);
+        md.call_node_ids()
+            .filter(|&c| md.region(md.call_node_callee(c)).name == region)
+            .map(|c| call_value(e, msel, CallSelection::exclusive(c)))
+            .sum()
+    };
+    for region in ["main", "relax", "exchange_halo", "MPI_Send", "MPI_Recv"] {
+        assert_eq!(
+            count(&expert_exp, region),
+            count(&cone_exp, region),
+            "visit counts differ for '{region}'"
+        );
+    }
+}
+
+#[test]
+fn merging_the_two_tools_changes_nothing_about_time() {
+    // The paper's workflow merges EXPERT + CONE; the shared Time metric
+    // comes from the first operand — and since both tools agree, the
+    // choice is immaterial for Time.
+    let program = stencil(&StencilConfig::default());
+    let (expert_exp, cone_exp) = both_tools(&program);
+    let m1 = cube_algebra::ops::merge(&expert_exp, &cone_exp);
+    let m2 = cube_algebra::ops::merge(&cone_exp, &expert_exp);
+    let t1 = time_by_region(&m1);
+    let t2 = time_by_region(&m2);
+    for (region, &v1) in &t1 {
+        let v2 = t2.get(region).copied().unwrap_or(0.0);
+        assert!(
+            (v1 - v2).abs() <= 1e-9 * v1.abs().max(1e-9),
+            "merge order changed Time at '{region}'"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Display-semantics invariants over real tool output: single
+//! representation, the two aggregation mechanisms, and mode algebra —
+//! checked on an EXPERT result (original experiment) and on a derived
+//! difference, which per the closure property must behave identically.
+
+use cube_algebra::ops;
+use cube_display::{BrowserState, ProgramView, Row, ValueMode};
+use cube_model::Experiment;
+use cube_suite::expert::{analyze, AnalyzeOptions};
+use cube_suite::simmpi::apps::{pescan, PescanConfig};
+use cube_suite::simmpi::{simulate, EpilogTracer, MachineModel};
+
+fn experiments() -> (Experiment, Experiment) {
+    let run = |barriers: bool| {
+        let program = pescan(&PescanConfig {
+            ranks: 8,
+            iterations: 6,
+            barriers,
+            ..PescanConfig::default()
+        });
+        let mut tracer = EpilogTracer::new("cluster", 2);
+        simulate(&program, &MachineModel::default(), &mut tracer).unwrap();
+        analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap()
+    };
+    let original = run(true);
+    let optimized = run(false);
+    let diff = ops::diff(&original, &optimized);
+    (original, diff)
+}
+
+fn metric_rows_sum(rows: &[Row]) -> f64 {
+    rows.iter().map(|r| r.raw).sum()
+}
+
+#[test]
+fn single_representation_in_the_metric_tree() {
+    // Fully expanded, the visible (exclusive) metric values of one tree
+    // sum to the root's inclusive total: each fraction appears once.
+    for e in {
+        let (a, b) = experiments();
+        [a, b]
+    }
+    .iter()
+    {
+        let mut state = BrowserState::new(e);
+        let collapsed_total: f64 = state
+            .metric_rows(e)
+            .iter()
+            .filter(|r| matches!(r.kind, cube_display::RowKind::Metric(m)
+                if e.metadata().metric(m).parent.is_none()
+                && e.metadata().metric(m).unit == cube_model::Unit::Seconds))
+            .map(|r| r.raw)
+            .sum();
+        state.expand_all(e);
+        let expanded_total: f64 = state
+            .metric_rows(e)
+            .iter()
+            .filter(|r| matches!(r.kind, cube_display::RowKind::Metric(m)
+                if e.metadata().metric(m).unit == cube_model::Unit::Seconds))
+            .map(|r| r.raw)
+            .sum();
+        assert!(
+            (collapsed_total - expanded_total).abs() <= 1e-9 * collapsed_total.abs().max(1.0),
+            "single representation violated: {collapsed_total} vs {expanded_total}"
+        );
+    }
+}
+
+#[test]
+fn single_representation_in_the_call_tree() {
+    let (e, _) = experiments();
+    let mut state = BrowserState::new(&e);
+    let collapsed = metric_rows_sum(&state.program_rows(&e));
+    state.expand_all(&e);
+    // Expanded metric selection changes what flows right; keep the
+    // metric selection collapsed to isolate the call-tree property.
+    let mut state2 = BrowserState::new(&e);
+    for c in e.metadata().call_node_ids() {
+        state2.toggle_call(c);
+    }
+    let expanded = metric_rows_sum(&state2.program_rows(&e));
+    assert!(
+        (collapsed - expanded).abs() <= 1e-9 * collapsed.abs().max(1.0),
+        "{collapsed} vs {expanded}"
+    );
+}
+
+#[test]
+fn system_pane_conserves_the_selection_total() {
+    let (e, _) = experiments();
+    let mut state = BrowserState::new(&e);
+    // Aggregation across dimensions: the collapsed machine row equals
+    // the selected (metric, call path) total shown in the call tree.
+    let call_total = state.program_rows(&e)[0].raw;
+    let machine_row = state.system_rows(&e)[0].raw;
+    assert!((call_total - machine_row).abs() < 1e-9);
+    // Expanding the whole system keeps the sum (grouping rows show 0).
+    state.toggle_machine(cube_model::MachineId::new(0));
+    state.toggle_node(cube_model::NodeId::new(0));
+    state.toggle_node(cube_model::NodeId::new(1));
+    let total: f64 = metric_rows_sum(&state.system_rows(&e));
+    assert!((total - call_total).abs() < 1e-9);
+}
+
+#[test]
+fn percent_mode_is_a_rescaling() {
+    let (e, _) = experiments();
+    let mut state = BrowserState::new(&e);
+    state.expand_all(&e);
+    let abs: Vec<f64> = state.metric_rows(&e).iter().map(|r| r.raw).collect();
+    state.value_mode = ValueMode::Percent;
+    let rows = state.metric_rows(&e);
+    for (r, &a) in rows.iter().zip(&abs) {
+        assert_eq!(r.raw, a, "raw values unaffected by mode");
+        // Same-tree rows: value = raw / root_total * 100.
+        if let cube_display::RowKind::Metric(m) = r.kind {
+            let root = e.metadata().metric_root_of(m);
+            let denom = e.severity().metric_sum(root);
+            if denom != 0.0 {
+                assert!((r.value - a / denom * 100.0).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_profile_total_equals_call_tree_total() {
+    let (e, _) = experiments();
+    let mut state = BrowserState::new(&e);
+    let call_total = state.program_rows(&e)[0].raw; // collapsed root
+    state.program_view = ProgramView::FlatProfile;
+    let flat_total = metric_rows_sum(&state.program_rows(&e));
+    assert!((call_total - flat_total).abs() < 1e-9);
+}
+
+#[test]
+fn derived_experiment_reliefs_track_signs() {
+    let (_, diff) = experiments();
+    let mut state = BrowserState::new(&diff);
+    state.expand_all(&diff);
+    for row in state.metric_rows(&diff) {
+        let expected = if row.raw > 0.0 {
+            cube_display::Relief::Raised
+        } else if row.raw < 0.0 {
+            cube_display::Relief::Sunken
+        } else {
+            cube_display::Relief::Flat
+        };
+        assert_eq!(row.shade.relief, expected, "row {}", row.label);
+    }
+}
+
+#[test]
+fn selection_drives_right_panes() {
+    let (e, _) = experiments();
+    let mut state = BrowserState::new(&e);
+    // Select a leaf pattern; the call tree then shows only that
+    // pattern's distribution.
+    assert!(state.select_metric_by_name(&e, "Wait at Barrier"));
+    for c in e.metadata().call_node_ids() {
+        state.toggle_call(c);
+    }
+    let rows = state.program_rows(&e);
+    let nonzero: Vec<&Row> = rows.iter().filter(|r| r.raw != 0.0).collect();
+    assert!(!nonzero.is_empty());
+    // All Wait-at-Barrier severity sits at MPI_Barrier call paths.
+    for r in nonzero {
+        assert_eq!(r.label, "MPI_Barrier", "unexpected row {}", r.label);
+    }
+}

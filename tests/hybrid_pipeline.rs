@@ -1,0 +1,95 @@
+//! End-to-end pipeline for hybrid MPI + OpenMP runs: the data model's
+//! mandatory thread level, the Idle Threads pattern, and the display's
+//! thread-level handling, all through real tool output.
+
+use cube_algebra::ops;
+use cube_display::{BrowserState, RenderOptions, RowKind};
+use cube_model::aggregate::{metric_total, MetricSelection};
+use cube_model::Experiment;
+use cube_suite::expert::{analyze, AnalyzeOptions};
+use cube_suite::simmpi::apps::{hybrid, HybridConfig};
+use cube_suite::simmpi::{simulate, EpilogTracer, MachineModel};
+
+fn analyzed(cfg: &HybridConfig) -> Experiment {
+    let program = hybrid(cfg);
+    let mut tracer = EpilogTracer::new("smp cluster", 2);
+    simulate(&program, &MachineModel::default(), &mut tracer).unwrap();
+    analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap()
+}
+
+fn total(e: &Experiment, name: &str) -> f64 {
+    let m = e.metadata().find_metric(name).unwrap();
+    metric_total(e, MetricSelection::inclusive(m))
+}
+
+#[test]
+fn display_shows_thread_level_for_hybrid_runs() {
+    let e = analyzed(&HybridConfig::default());
+    let mut state = BrowserState::new(&e);
+    state.expand_all(&e);
+    let rows = state.system_rows(&e);
+    let threads = rows
+        .iter()
+        .filter(|r| matches!(r.kind, RowKind::Thread(_)))
+        .count();
+    assert_eq!(threads, 16, "4 ranks x 4 threads visible");
+    // And the full view renders without issue.
+    let text = cube_display::render_view(&e, &state, RenderOptions::default());
+    assert!(text.contains("thread 3"));
+}
+
+#[test]
+fn more_threads_more_idleness() {
+    let narrow = analyzed(&HybridConfig {
+        threads: 2,
+        ..HybridConfig::default()
+    });
+    let wide = analyzed(&HybridConfig {
+        threads: 6,
+        ..HybridConfig::default()
+    });
+    let narrow_idle = total(&narrow, "Idle Threads");
+    let wide_idle = total(&wide, "Idle Threads");
+    assert!(narrow_idle > 0.0);
+    assert!(
+        wide_idle > narrow_idle,
+        "more workers idle during the same sequential sections"
+    );
+}
+
+#[test]
+fn diff_of_hybrid_configurations_is_closed() {
+    let a = analyzed(&HybridConfig::default());
+    let b = analyzed(&HybridConfig {
+        thread_imbalance: 0.0,
+        ..HybridConfig::default()
+    });
+    let d = ops::diff(&a, &b);
+    d.validate().unwrap();
+    // Thread imbalance inflates the parallel region (join waits for the
+    // slowest thread), so the balanced version is faster.
+    assert!(total(&d, "Time") > 0.0);
+    // The difference experiment still carries the thread level.
+    assert_eq!(d.metadata().num_threads(), 16);
+}
+
+#[test]
+fn idle_threads_fraction_grows_with_serial_share() {
+    // Longer sequential (master-only) sections → larger idle share.
+    let compute_heavy = analyzed(&HybridConfig {
+        base_compute: 4e-3,
+        ..HybridConfig::default()
+    });
+    let comm_heavy = analyzed(&HybridConfig {
+        base_compute: 0.5e-3,
+        halo_bytes: 512 * 1024,
+        ..HybridConfig::default()
+    });
+    let share = |e: &Experiment| total(e, "Idle Threads") / total(e, "Time");
+    assert!(
+        share(&comm_heavy) > share(&compute_heavy),
+        "idle share {:.3} !> {:.3}",
+        share(&comm_heavy),
+        share(&compute_heavy)
+    );
+}

@@ -1,0 +1,194 @@
+//! End-to-end reproduction of the paper's §5.1 case study as a test:
+//! simulate → trace → EXPERT → difference → display, asserting the
+//! shape of Figures 1 and 2 and the speedup measurement protocol.
+
+use cube_algebra::ops;
+use cube_display::{BrowserState, NormalizationRef, RenderOptions, ValueMode};
+use cube_model::aggregate::{metric_total, MetricSelection};
+use cube_model::Experiment;
+use cube_suite::expert::{analyze, AnalyzeOptions};
+use cube_suite::simmpi::apps::{pescan, PescanConfig};
+use cube_suite::simmpi::{simulate, EpilogTracer, MachineModel, NoiseModel, NullMonitor};
+
+fn analyzed(barriers: bool) -> Experiment {
+    let program = pescan(&PescanConfig {
+        barriers,
+        ..PescanConfig::default()
+    });
+    let mut tracer = EpilogTracer::new("cluster", 4);
+    simulate(&program, &MachineModel::default(), &mut tracer).unwrap();
+    analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap()
+}
+
+fn metric(e: &Experiment, name: &str) -> f64 {
+    let m = e.metadata().find_metric(name).unwrap();
+    metric_total(e, MetricSelection::inclusive(m))
+}
+
+#[test]
+fn figure1_wait_at_barrier_share_matches_paper() {
+    let original = analyzed(true);
+    let share = metric(&original, "Wait at Barrier") / metric(&original, "Time");
+    // Paper: 13.2 %. The simulator is calibrated to the same
+    // neighbourhood; accept a band around it.
+    assert!(
+        (0.09..=0.18).contains(&share),
+        "Wait-at-Barrier share {share:.3} outside the Figure-1 band"
+    );
+}
+
+#[test]
+fn figure2_difference_shape() {
+    let original = analyzed(true);
+    let optimized = analyzed(false);
+    let diff = ops::diff(&original, &optimized);
+    diff.validate().unwrap();
+
+    // Barrier-related severities recovered (positive in the difference):
+    for gone in ["Wait at Barrier", "Synchronization", "Barrier Completion"] {
+        assert!(
+            metric(&diff, gone) > 0.0,
+            "{gone} must be recovered by the optimization"
+        );
+        // ... and the optimized version has none at all.
+        assert_eq!(metric(&optimized, gone), 0.0);
+    }
+    // Waiting migrated: P2P and Wait-at-NxN grew (negative difference).
+    for grew in ["P2P", "Late Sender", "Wait at N x N"] {
+        assert!(
+            metric(&diff, grew) < 0.0,
+            "{grew} must increase after barrier removal (migration)"
+        );
+    }
+    // The gross performance balance is clearly positive.
+    assert!(metric(&diff, "Time") > 0.0);
+
+    // The migrated amounts are far smaller than the recovered barrier
+    // time — otherwise removing barriers would not have paid off.
+    let recovered = metric(&diff, "Synchronization");
+    let migrated = -(metric(&diff, "P2P") + metric(&diff, "Wait at N x N"));
+    assert!(recovered > 3.0 * migrated);
+}
+
+#[test]
+fn figure2_renders_with_reliefs_and_normalization() {
+    let original = analyzed(true);
+    let optimized = analyzed(false);
+    let diff = ops::diff(&original, &optimized);
+
+    let mut state = BrowserState::new(&diff);
+    state.expand_all(&diff);
+    state.value_mode =
+        ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
+    let text = cube_display::render_view(&diff, &state, RenderOptions::default());
+    // Both reliefs visible: gains raised (+), losses sunken (-).
+    let metric_pane: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.contains("--- metric tree ---"))
+        .take_while(|l| !l.contains("--- system tree ---"))
+        .collect();
+    let has_plus = metric_pane.iter().any(|l| l.contains("%+"));
+    let has_minus = metric_pane.iter().any(|l| l.contains("%-"));
+    assert!(has_plus, "no raised relief in:\n{text}");
+    assert!(has_minus, "no sunken relief in:\n{text}");
+    assert!(text.contains("normalized"));
+}
+
+#[test]
+fn speedup_protocol_two_series_of_ten_minimum() {
+    // "We created two series of ten experiments for either configuration
+    // and took the minimum of each series as a representative. The
+    // speedup obtained for the solver by removing the barriers was
+    // about 16 %." — run uninstrumented with OS noise, take the min.
+    let elapsed = |barriers: bool, seed: u64| {
+        let program = pescan(&PescanConfig {
+            barriers,
+            ..PescanConfig::default()
+        });
+        let model = MachineModel {
+            noise: NoiseModel {
+                amplitude: 0.08,
+                seed,
+            },
+            ..MachineModel::default()
+        };
+        simulate(&program, &model, &mut NullMonitor).unwrap().elapsed
+    };
+    let original_min = (0..10)
+        .map(|i| elapsed(true, i))
+        .fold(f64::INFINITY, f64::min);
+    let optimized_min = (0..10)
+        .map(|i| elapsed(false, 100 + i))
+        .fold(f64::INFINITY, f64::min);
+    let speedup = (original_min - optimized_min) / original_min;
+    assert!(
+        (0.08..=0.25).contains(&speedup),
+        "speedup {:.1}% outside the §5.1 band",
+        speedup * 100.0
+    );
+}
+
+#[test]
+fn mean_operator_smooths_noisy_series() {
+    // The mean of analyzed noisy runs is closer to the noise-free
+    // analysis than the worst single run.
+    let run = |seed: u64| {
+        let program = pescan(&PescanConfig {
+            ranks: 4,
+            iterations: 5,
+            ..PescanConfig::default()
+        });
+        let model = MachineModel {
+            noise: NoiseModel {
+                amplitude: 0.3,
+                seed,
+            },
+            ..MachineModel::default()
+        };
+        let mut tracer = EpilogTracer::new("cluster", 2);
+        simulate(&program, &model, &mut tracer).unwrap();
+        analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap()
+    };
+    let quiet = {
+        let program = pescan(&PescanConfig {
+            ranks: 4,
+            iterations: 5,
+            ..PescanConfig::default()
+        });
+        let mut tracer = EpilogTracer::new("cluster", 2);
+        simulate(&program, &MachineModel::default(), &mut tracer).unwrap();
+        analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap()
+    };
+    let runs: Vec<Experiment> = (0..8).map(run).collect();
+    let refs: Vec<&Experiment> = runs.iter().collect();
+    let averaged = ops::mean(&refs).unwrap();
+
+    let quiet_time = metric(&quiet, "Time");
+    let avg_err = (metric(&averaged, "Time") - quiet_time).abs();
+    let worst_err = runs
+        .iter()
+        .map(|r| (metric(r, "Time") - quiet_time).abs())
+        .fold(0.0, f64::max);
+    assert!(
+        avg_err < worst_err,
+        "mean ({avg_err}) must be closer to quiet than the worst run ({worst_err})"
+    );
+}
+
+#[test]
+fn derived_difference_browses_like_an_original() {
+    // The closure property's user-visible payoff: the same viewer state
+    // machine drives original and derived experiments identically.
+    let original = analyzed(true);
+    let diff = ops::diff(&original, &analyzed(false));
+    for e in [&original, &diff] {
+        let mut state = BrowserState::new(e);
+        assert!(state.select_metric_by_name(e, "Wait at Barrier"));
+        assert!(state.select_call_by_region(e, "MPI_Barrier"));
+        state.expand_all(e);
+        let rows = state.metric_rows(e);
+        assert!(rows.len() >= 10, "full pattern hierarchy visible");
+        let text = cube_display::render_view(e, &state, RenderOptions::default());
+        assert!(text.contains("Wait at Barrier"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Topology information end to end: recorded with the trace (as the
+//! paper's future work proposes, "obtained from instrumented MPI
+//! topology routines"), carried into the experiment, preserved by the
+//! algebra and the XML format, and rendered as a severity heat map.
+
+use cube_algebra::ops;
+use cube_display::{render_topology, BrowserState, RenderOptions};
+use cube_model::Experiment;
+use cube_suite::expert::{analyze, AnalyzeOptions};
+use cube_suite::simmpi::apps::sweep3d::{grid_coordinates, sweep3d, Sweep3dConfig};
+use cube_suite::simmpi::{simulate, EpilogTracer, MachineModel};
+
+fn analyzed() -> Experiment {
+    let cfg = Sweep3dConfig::default();
+    let program = sweep3d(&cfg);
+    let mut tracer = EpilogTracer::new("power4", 4).with_topology(
+        "process grid",
+        vec![cfg.px as u32, cfg.py as u32],
+        vec![false, false],
+        grid_coordinates(&cfg),
+    );
+    simulate(&program, &MachineModel::default(), &mut tracer).unwrap();
+    analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap()
+}
+
+#[test]
+fn topology_flows_from_trace_to_experiment() {
+    let e = analyzed();
+    e.validate().unwrap();
+    let topos = e.metadata().topologies();
+    assert_eq!(topos.len(), 1);
+    assert_eq!(topos[0].name, "process grid");
+    assert_eq!(topos[0].dims, vec![4, 4]);
+    assert_eq!(topos[0].coords.len(), 16);
+    // Rank 5 sits at (1, 1).
+    let p5 = e.metadata().find_process_by_rank(5).unwrap();
+    assert_eq!(topos[0].coord_of(p5), Some(&[1u32, 1][..]));
+}
+
+#[test]
+fn topology_survives_xml_roundtrip() {
+    let e = analyzed();
+    let back = cube_xml::read_experiment(&cube_xml::write_experiment(&e)).unwrap();
+    assert_eq!(back.metadata().topologies(), e.metadata().topologies());
+    assert!(back.approx_eq(&e, 0.0));
+}
+
+#[test]
+fn topology_survives_the_algebra() {
+    let a = analyzed();
+    let b = analyzed();
+    let d = ops::diff(&a, &b);
+    d.validate().unwrap();
+    // Fast path (equal metadata) keeps the topology trivially; also
+    // check the slow path by merging with a topology-free experiment.
+    assert_eq!(d.metadata().topologies().len(), 1);
+
+    let mut tracer = EpilogTracer::new("other", 1);
+    let program = sweep3d(&Sweep3dConfig {
+        px: 2,
+        py: 2,
+        sweeps: 1,
+        ..Sweep3dConfig::default()
+    });
+    simulate(&program, &MachineModel::default(), &mut tracer).unwrap();
+    let plain = analyze(&tracer.into_trace(), &AnalyzeOptions::default()).unwrap();
+    let merged = ops::merge(&a, &plain);
+    merged.validate().unwrap();
+    let topos = merged.metadata().topologies();
+    assert_eq!(topos.len(), 1, "first operand's topology is carried");
+    assert_eq!(topos[0].coords.len(), 16);
+}
+
+#[test]
+fn heat_view_renders_the_wavefront() {
+    let e = analyzed();
+    let mut state = BrowserState::new(&e);
+    // Late-Sender severity over the grid: the corner rank (0,0) of the
+    // first sweep direction never waits; downstream ranks do.
+    assert!(state.select_metric_by_name(&e, "Late Sender"));
+    let view = render_topology(&e, &state, 0, RenderOptions::default()).unwrap();
+    assert!(view.contains("topology 'process grid' (4x4)"));
+    let grid: Vec<&str> = view.lines().skip(1).take(4).collect();
+    assert_eq!(grid.len(), 4);
+    // All 16 cells occupied (no '·').
+    assert!(grid.iter().all(|row| !row.contains('·')), "{view}");
+    assert!(view.contains("legend:"));
+}
