@@ -1,0 +1,33 @@
+# Developer / CI entry points. `make verify` is the tier-1 gate from
+# ROADMAP.md plus the fast-failing hygiene checks; run it before every
+# commit. Individual targets below for quicker loops.
+
+CARGO ?= cargo
+
+.PHONY: verify build test lint fmt fmt-check clippy doc bench-xml
+
+## The full gate: build, tests, formatting, lints, doc rot.
+verify: build test fmt-check clippy doc
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## Docs must build warning-free so rustdoc rot fails fast.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+## Streaming-vs-DOM serialization comparison (see EXPERIMENTS.md).
+bench-xml:
+	$(CARGO) bench -p cube-bench --bench xml_roundtrip

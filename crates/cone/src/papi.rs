@@ -93,10 +93,7 @@ pub struct EventSet {
 
 impl EventSet {
     /// Creates and validates an event set.
-    pub fn new(
-        name: impl Into<String>,
-        counters: Vec<CounterKind>,
-    ) -> Result<Self, ConeError> {
+    pub fn new(name: impl Into<String>, counters: Vec<CounterKind>) -> Result<Self, ConeError> {
         let set = Self {
             name: name.into(),
             counters,
@@ -130,7 +127,11 @@ impl EventSet {
         for &c in &self.counters {
             for &slot in c.slots() {
                 if let Some(&prev) = owner.get(&slot) {
-                    return Err(ConeError::ConflictingEventSet { a: prev, b: c, slot });
+                    return Err(ConeError::ConflictingEventSet {
+                        a: prev,
+                        b: c,
+                        slot,
+                    });
                 }
                 owner.insert(slot, c);
             }
@@ -172,7 +173,10 @@ impl CounterDeltas {
         d.add(CounterKind::TotIns, ins);
         d.add(CounterKind::FpIns, work.flops as f64);
         d.add(CounterKind::L1Dca, work.l1_accesses as f64);
-        d.add(CounterKind::L1Dcm, work.l1_accesses as f64 * work.l1_miss_rate);
+        d.add(
+            CounterKind::L1Dcm,
+            work.l1_accesses as f64 * work.l1_miss_rate,
+        );
         d
     }
 
@@ -219,11 +223,7 @@ mod tests {
 
     #[test]
     fn power4_conflict_reproduced() {
-        let err = EventSet::new(
-            "bad",
-            vec![CounterKind::FpIns, CounterKind::L1Dcm],
-        )
-        .unwrap_err();
+        let err = EventSet::new("bad", vec![CounterKind::FpIns, CounterKind::L1Dcm]).unwrap_err();
         assert!(matches!(
             err,
             ConeError::ConflictingEventSet { slot: 4, .. }
@@ -232,11 +232,7 @@ mod tests {
 
     #[test]
     fn duplicate_counter_conflicts_with_itself() {
-        let err = EventSet::new(
-            "dup",
-            vec![CounterKind::TotCyc, CounterKind::TotCyc],
-        )
-        .unwrap_err();
+        let err = EventSet::new("dup", vec![CounterKind::TotCyc, CounterKind::TotCyc]).unwrap_err();
         assert!(matches!(err, ConeError::ConflictingEventSet { .. }));
     }
 
@@ -291,11 +287,8 @@ mod tests {
         // Streaming copies have a much higher miss *rate* than dense
         // compute — the §5.2 "above-average cache miss rate in MPI calls".
         let miss_rate_msg = d.get(CounterKind::L1Dcm) / d.get(CounterKind::L1Dca);
-        let dc = CounterDeltas::for_compute(
-            0.001,
-            &simmpi::ComputeWork::flop_heavy(1_000_000),
-            1e9,
-        );
+        let dc =
+            CounterDeltas::for_compute(0.001, &simmpi::ComputeWork::flop_heavy(1_000_000), 1e9);
         let miss_rate_compute = dc.get(CounterKind::L1Dcm) / dc.get(CounterKind::L1Dca);
         assert!(miss_rate_msg > miss_rate_compute);
     }

@@ -130,14 +130,7 @@ impl ConeProfiler {
         Some(state.node(parent, NodeKind::Mpi(name)))
     }
 
-    fn attribute_mpi(
-        &mut self,
-        rank: usize,
-        name: &'static str,
-        start: f64,
-        end: f64,
-        bytes: u64,
-    ) {
+    fn attribute_mpi(&mut self, rank: usize, name: &'static str, start: f64, end: f64, bytes: u64) {
         let clock = self.clock_hz;
         if let Some(node) = self.mpi_child(rank, name) {
             let state = &mut self.ranks[rank];
@@ -170,9 +163,7 @@ impl ConeProfiler {
         // Parents must be defined before children.
         ordered.sort_by_key(|c| c.parent().is_some());
         for &c in &ordered {
-            let parent = c
-                .parent()
-                .and_then(|p| metric_of_counter.get(&p).copied());
+            let parent = c.parent().and_then(|p| metric_of_counter.get(&p).copied());
             let id = b.def_metric(c.papi_name(), Unit::Occurrences, c.description(), parent);
             metric_of_counter.insert(c, id);
         }
@@ -211,8 +202,10 @@ impl ConeProfiler {
         };
         let mut site_of_region: HashMap<cube_model::RegionId, cube_model::CallSiteId> =
             HashMap::new();
-        let mut global: HashMap<(Option<cube_model::CallNodeId>, cube_model::RegionId), cube_model::CallNodeId> =
-            HashMap::new();
+        let mut global: HashMap<
+            (Option<cube_model::CallNodeId>, cube_model::RegionId),
+            cube_model::CallNodeId,
+        > = HashMap::new();
         let mut node_maps: Vec<Vec<cube_model::CallNodeId>> = Vec::new();
         for state in &self.ranks {
             let mut map = Vec::with_capacity(state.nodes.len());
@@ -249,11 +242,7 @@ impl ConeProfiler {
             .collect();
         let threads: Vec<_> = (0..self.ranks.len())
             .map(|r| {
-                let p = b.def_process(
-                    format!("rank {r}"),
-                    r as i32,
-                    node_ids[r % node_ids.len()],
-                );
+                let p = b.def_process(format!("rank {r}"), r as i32, node_ids[r % node_ids.len()]);
                 b.def_thread(format!("rank {r} thread 0"), 0, p)
             })
             .collect();
@@ -471,7 +460,15 @@ mod tests {
             .call_node_ids()
             .map(|c| md.region(md.call_node_callee(c)).name.clone())
             .collect();
-        for expected in ["main", "solver", "fft_forward", "MPI_Alltoall", "MPI_Barrier", "MPI_Send", "MPI_Recv"] {
+        for expected in [
+            "main",
+            "solver",
+            "fft_forward",
+            "MPI_Alltoall",
+            "MPI_Barrier",
+            "MPI_Send",
+            "MPI_Recv",
+        ] {
             assert!(names.contains(expected), "missing call path {expected}");
         }
     }

@@ -81,11 +81,7 @@ pub fn performance_difference(
                     let process = md.process(thread.process);
                     out.push(DiffFocus {
                         metric: metric_path(md, m),
-                        call_path: md
-                            .call_path(c)
-                            .into_iter()
-                            .map(str::to_string)
-                            .collect(),
+                        call_path: md.call_path(c).into_iter().map(str::to_string).collect(),
                         location: (process.rank, thread.number),
                         first: va,
                         second: vb,
@@ -168,7 +164,9 @@ mod tests {
         let t1 = cube_model::ThreadId::new(1);
         b.severity_mut().set(time, root, t1, -20.0);
         let foci = performance_difference(&a, &b, 0.5);
-        assert!(foci.windows(2).all(|w| w[0].delta().abs() >= w[1].delta().abs()));
+        assert!(foci
+            .windows(2)
+            .all(|w| w[0].delta().abs() >= w[1].delta().abs()));
         assert_eq!(foci[0].location, (1, 0));
         assert_eq!(foci[0].call_path, vec!["main"]);
     }
@@ -179,7 +177,8 @@ mod tests {
         let mut b = sample(1.0);
         let mpi = b.metadata().find_metric("mpi").unwrap();
         let solve = cube_model::CallNodeId::new(1);
-        b.severity_mut().set(mpi, solve, cube_model::ThreadId::new(0), 9.0);
+        b.severity_mut()
+            .set(mpi, solve, cube_model::ThreadId::new(0), 9.0);
         let foci = performance_difference(&a, &b, 0.5);
         assert_eq!(foci.len(), 1);
         assert_eq!(foci[0].metric, "time/mpi");

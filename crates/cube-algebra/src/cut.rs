@@ -1,8 +1,15 @@
 //! Call-tree surgery: prune and reroot.
 //!
 //! These single-operand operators correspond to the `cube_cut` utility
-//! that grew out of the CUBE algebra. Both are closed like all other
-//! operators: the result is a complete derived experiment.
+//! that grew out of the CUBE algebra. Unlike the n-ary operators in
+//! [`crate::ops`] they skip metadata integration (there is only one
+//! operand) and instead rewrite the call dimension directly: [`prune`]
+//! folds a subtree's severity into its root, [`reroot`] discards
+//! everything outside a subtree. Both are closed like all other
+//! operators — the result is a complete derived experiment with
+//! consistent metadata, a re-shaped severity store, and provenance
+//! naming the operation — so cut experiments feed straight back into
+//! `diff`/`merge`/`mean` pipelines, the display, and the file format.
 
 use std::collections::HashMap;
 
@@ -21,9 +28,12 @@ pub fn prune(e: &Experiment, node: CallNodeId) -> Experiment {
     for &s in &subtree {
         redirect.insert(s, node);
     }
-    rebuild(e, |c| *redirect.get(&c).unwrap_or(&c), "prune", |c| {
-        c == node || !redirect.contains_key(&c)
-    })
+    rebuild(
+        e,
+        |c| *redirect.get(&c).unwrap_or(&c),
+        "prune",
+        |c| c == node || !redirect.contains_key(&c),
+    )
 }
 
 /// Keeps only the subtree rooted at `node`, which becomes the single
@@ -31,8 +41,7 @@ pub fn prune(e: &Experiment, node: CallNodeId) -> Experiment {
 /// discarded.
 pub fn reroot(e: &Experiment, node: CallNodeId) -> Experiment {
     let md = e.metadata();
-    let keep: std::collections::HashSet<CallNodeId> =
-        md.call_subtree(node).into_iter().collect();
+    let keep: std::collections::HashSet<CallNodeId> = md.call_subtree(node).into_iter().collect();
     rebuild(e, |c| c, "reroot", move |c| keep.contains(&c))
 }
 
@@ -150,7 +159,7 @@ mod tests {
         p.validate().unwrap();
         assert_eq!(p.metadata().num_call_nodes(), 3); // inner removed
         assert_eq!(p.severity().metric_sum(time), 15.0); // total preserved
-        // solve now carries 2 + 4.
+                                                         // solve now carries 2 + 4.
         let solve = p
             .metadata()
             .call_node_ids()
@@ -185,7 +194,9 @@ mod tests {
         assert_eq!(r.severity().metric_sum(time), 6.0); // 2 + 4
         let root = r.metadata().call_roots()[0];
         assert_eq!(
-            r.metadata().region(r.metadata().call_node_callee(root)).name,
+            r.metadata()
+                .region(r.metadata().call_node_callee(root))
+                .name,
             "solve"
         );
     }

@@ -1,4 +1,16 @@
 //! Zero-extension of operand severity onto integrated metadata.
+//!
+//! This is the bridge between the two phases of every operator (see
+//! [`crate::ops`]): after [`crate::integrate()`] has produced the
+//! integrated metadata and one [`OperandMap`] per operand, each
+//! operand's severity array is scattered through its map into a store
+//! shaped for the integrated metadata. Tuples the operand never
+//! defined — metrics, call paths, or threads contributed only by the
+//! *other* operands — stay zero, which is the paper's convention for
+//! "this experiment did not measure that": the neutral element of
+//! every element-wise operation the operators apply afterwards.
+//! Because both phases preserve completeness, the operator's result is
+//! again a full experiment — the closure property.
 
 use cube_model::{Experiment, Severity};
 
@@ -69,7 +81,10 @@ mod tests {
             threads: vec![ThreadId::new(3)],
         };
         let out = extend_severity(&e, &map, (2, 3, 4));
-        assert_eq!(out.get(MetricId::new(1), CallNodeId::new(2), ThreadId::new(3)), 2.5);
+        assert_eq!(
+            out.get(MetricId::new(1), CallNodeId::new(2), ThreadId::new(3)),
+            2.5
+        );
         assert_eq!(out.values().iter().filter(|&&v| v != 0.0).count(), 1);
     }
 
@@ -92,6 +107,9 @@ mod tests {
             threads: vec![ThreadId::new(0)],
         };
         let out = extend_severity(&e, &map, (1, 1, 1));
-        assert_eq!(out.get(MetricId::new(0), CallNodeId::new(0), ThreadId::new(0)), 3.0);
+        assert_eq!(
+            out.get(MetricId::new(0), CallNodeId::new(0), ThreadId::new(0)),
+            3.0
+        );
     }
 }

@@ -50,7 +50,7 @@ pub struct Integrated {
 pub fn integrate(operands: &[&Experiment], options: MergeOptions) -> Integrated {
     // Fast path: all metadata identical, and no forced collapse that
     // would restructure the system dimension.
-    if operands.len() >= 1 {
+    if !operands.is_empty() {
         let first = operands[0].metadata();
         let all_equal = operands.iter().all(|e| e.metadata() == first);
         let collapse_is_noop = options.system_mode != SystemMergeMode::Collapse
@@ -73,9 +73,11 @@ pub fn integrate(operands: &[&Experiment], options: MergeOptions) -> Integrated 
     // ---- metric and program dimensions: top-down structural merge ----
     for op in operands {
         let src = op.metadata();
-        let mut map = OperandMap::default();
-        map.metrics = merge_metric_forest(&mut md, src);
-        map.call_nodes = merge_call_forest(&mut md, src, options.call_site_eq);
+        let map = OperandMap {
+            metrics: merge_metric_forest(&mut md, src),
+            call_nodes: merge_call_forest(&mut md, src, options.call_site_eq),
+            ..OperandMap::default()
+        };
         maps.push(map);
     }
 
@@ -217,12 +219,7 @@ fn map_region(md: &mut Metadata, src: &Metadata, sid: RegionId) -> RegionId {
     })
 }
 
-fn map_call_site(
-    md: &mut Metadata,
-    src: &Metadata,
-    sid: CallSiteId,
-    eq: CallSiteEq,
-) -> CallSiteId {
+fn map_call_site(md: &mut Metadata, src: &Metadata, sid: CallSiteId, eq: CallSiteEq) -> CallSiteId {
     let scs = src.call_site(sid);
     for i in 0..md.call_sites().len() {
         let nid = CallSiteId::from_index(i);
@@ -564,7 +561,10 @@ mod tests {
         let i = integrate(&[&a, &b], MergeOptions::default());
         assert_eq!(i.metadata.machines().len(), 1);
         assert_eq!(i.metadata.nodes().len(), 1);
-        assert_eq!(i.metadata.machine(cube_model::MachineId::new(0)).name, "virtual machine");
+        assert_eq!(
+            i.metadata.machine(cube_model::MachineId::new(0)).name,
+            "virtual machine"
+        );
         assert_eq!(i.metadata.processes().len(), 2);
         i.metadata.validate().unwrap();
     }

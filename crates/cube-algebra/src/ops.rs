@@ -1,8 +1,26 @@
 //! The operators: difference, merge, mean, and natural extensions.
 //!
-//! All operators are *closed*: operands are experiments, results are
-//! experiments. Each runs metadata integration followed by an
-//! element-wise arithmetic phase over zero-extended severity arrays.
+//! Every operator here follows the same two-phase contract:
+//!
+//! 1. **Metadata integration** ([`crate::integrate()`]) folds the
+//!    operands' metric forests, call forests, and system hierarchies
+//!    into one integrated [`cube_model::Metadata`] by top-down
+//!    structural matching, recording where each operand entity landed.
+//! 2. **Element-wise arithmetic** zero-extends each operand's severity
+//!    array onto the integrated shape ([`crate::extend`]) and combines
+//!    the aligned arrays pointwise — subtraction for [`diff`],
+//!    first-provider selection for [`merge`], accumulation and scaling
+//!    for [`mean`], and so on.
+//!
+//! The payoff is *closure*: operands are experiments and results are
+//! complete experiments — integrated metadata, a severity function
+//! defined over it, and a derived [`cube_model::Provenance`] naming the
+//! operator and its operands. A derived experiment is stored by the
+//! same file format, rendered by the same display, and accepted as an
+//! operand of any further operator, so composite analyses (the
+//! difference of means, the merge of a minimum series, ...) are plain
+//! function composition.
+//!
 //! Element-wise loops switch to Rayon data parallelism above a size
 //! threshold — measured in the `par_elementwise` bench.
 
@@ -30,6 +48,33 @@ fn label(e: &Experiment) -> String {
 /// The difference operator: `minuend − subtrahend`, element-wise over
 /// the integrated metadata. Severity values of the result may be
 /// negative; the display renders their sign as a relief.
+///
+/// ```
+/// use cube_algebra::ops;
+/// use cube_model::builder::single_threaded_system;
+/// use cube_model::{ExperimentBuilder, RegionKind, Unit};
+///
+/// fn run(seconds: f64) -> cube_model::Experiment {
+///     let mut b = ExperimentBuilder::new("run");
+///     let t = b.def_metric("time", Unit::Seconds, "", None);
+///     let m = b.def_module("a.c", "/a.c");
+///     let r = b.def_region("main", m, RegionKind::Function, 1, 9);
+///     let cs = b.def_call_site("a.c", 1, r);
+///     let root = b.def_call_node(cs, None);
+///     let ts = single_threaded_system(&mut b, 1);
+///     b.set_severity(t, root, ts[0], seconds);
+///     b.build().unwrap()
+/// }
+///
+/// let before = run(10.0);
+/// let after = run(8.0);
+/// let saved = ops::diff(&before, &after);
+/// assert_eq!(saved.severity().values(), &[2.0]);
+/// // Closure: the result is a complete experiment, so operators compose.
+/// assert!(saved.provenance().is_derived());
+/// let zero = ops::diff(&saved, &saved);
+/// assert_eq!(zero.severity().values(), &[0.0]);
+/// ```
 pub fn diff(minuend: &Experiment, subtrahend: &Experiment) -> Experiment {
     diff_with(minuend, subtrahend, MergeOptions::default())
 }
@@ -63,6 +108,32 @@ pub fn diff_with(
 /// operand if that operand provides the metric, and from the second
 /// otherwise — the paper's "if it is provided by both experiments we
 /// take it from the first one".
+///
+/// ```
+/// use cube_algebra::ops;
+/// use cube_model::builder::single_threaded_system;
+/// use cube_model::{ExperimentBuilder, RegionKind, Unit};
+///
+/// fn run(metric: &str, unit: Unit, v: f64) -> cube_model::Experiment {
+///     let mut b = ExperimentBuilder::new(metric);
+///     let t = b.def_metric(metric, unit, "", None);
+///     let m = b.def_module("a.c", "/a.c");
+///     let r = b.def_region("main", m, RegionKind::Function, 1, 9);
+///     let cs = b.def_call_site("a.c", 1, r);
+///     let root = b.def_call_node(cs, None);
+///     let ts = single_threaded_system(&mut b, 1);
+///     b.set_severity(t, root, ts[0], v);
+///     b.build().unwrap()
+/// }
+///
+/// // Measurements that cannot share a run (conflicting counters)
+/// // integrate into one experiment with the joint metric set.
+/// let times = run("time", Unit::Seconds, 4.0);
+/// let flops = run("flops", Unit::Occurrences, 1e6);
+/// let joint = ops::merge(&times, &flops);
+/// assert_eq!(joint.metadata().shape().0, 2);
+/// assert_eq!(joint.severity().values(), &[4.0, 1e6]);
+/// ```
 pub fn merge(first: &Experiment, second: &Experiment) -> Experiment {
     merge_with(first, second, MergeOptions::default())
 }
@@ -101,6 +172,32 @@ pub fn merge_with(first: &Experiment, second: &Experiment, options: MergeOptions
 /// The mean operator: element-wise arithmetic mean of any number of
 /// experiments. Smooths the random perturbation of separate runs, or
 /// summarizes a range of execution parameters in one statement.
+///
+/// Errors when `operands` is empty — there is no neutral experiment to
+/// return.
+///
+/// ```
+/// use cube_algebra::ops;
+/// use cube_model::builder::single_threaded_system;
+/// use cube_model::{ExperimentBuilder, RegionKind, Unit};
+///
+/// fn run(seconds: f64) -> cube_model::Experiment {
+///     let mut b = ExperimentBuilder::new("noisy run");
+///     let t = b.def_metric("time", Unit::Seconds, "", None);
+///     let m = b.def_module("a.c", "/a.c");
+///     let r = b.def_region("main", m, RegionKind::Function, 1, 9);
+///     let cs = b.def_call_site("a.c", 1, r);
+///     let root = b.def_call_node(cs, None);
+///     let ts = single_threaded_system(&mut b, 1);
+///     b.set_severity(t, root, ts[0], seconds);
+///     b.build().unwrap()
+/// }
+///
+/// let (r1, r2, r3) = (run(9.0), run(10.0), run(11.0));
+/// let avg = ops::mean(&[&r1, &r2, &r3]).unwrap();
+/// assert_eq!(avg.severity().values(), &[10.0]);
+/// assert!(ops::mean(&[]).is_err());
+/// ```
 pub fn mean(operands: &[&Experiment]) -> Result<Experiment, AlgebraError> {
     mean_with(operands, MergeOptions::default())
 }
@@ -276,7 +373,11 @@ mod tests {
         let a = uniform("a", 2, 5.0);
         let b = uniform("b", 2, 3.5);
         let d = diff(&a, &b);
-        assert!(d.severity().values().iter().all(|&v| (v - 1.5).abs() < 1e-12));
+        assert!(d
+            .severity()
+            .values()
+            .iter()
+            .all(|&v| (v - 1.5).abs() < 1e-12));
     }
 
     #[test]
@@ -315,7 +416,11 @@ mod tests {
         let b = uniform("b", 2, 4.0);
         let c = uniform("c", 2, 6.0);
         let m = mean(&[&a, &b, &c]).unwrap();
-        assert!(m.severity().values().iter().all(|&v| (v - 4.0).abs() < 1e-12));
+        assert!(m
+            .severity()
+            .values()
+            .iter()
+            .all(|&v| (v - 4.0).abs() < 1e-12));
         match m.provenance() {
             Provenance::Derived { operator, operands } => {
                 assert_eq!(operator, "mean");
@@ -397,8 +502,15 @@ mod tests {
         let b2 = uniform("b2", 2, 2.0);
         let d = diff(&mean(&[&a1, &a2]).unwrap(), &mean(&[&b1, &b2]).unwrap());
         d.validate().unwrap();
-        assert!(d.severity().values().iter().all(|&v| (v - 1.5).abs() < 1e-12));
-        assert_eq!(d.provenance().label(), "difference(mean(a1, a2), mean(b1, b2))");
+        assert!(d
+            .severity()
+            .values()
+            .iter()
+            .all(|&v| (v - 1.5).abs() < 1e-12));
+        assert_eq!(
+            d.provenance().label(),
+            "difference(mean(a1, a2), mean(b1, b2))"
+        );
     }
 
     #[test]
@@ -414,7 +526,8 @@ mod tests {
             max(&[&a, &b]).unwrap(),
             scale(&a, -2.0),
         ] {
-            e.validate().expect("operator result must be a valid experiment");
+            e.validate()
+                .expect("operator result must be a valid experiment");
         }
     }
 

@@ -155,8 +155,8 @@ pub fn imbalance(e: &Experiment, selection: MetricSelection) -> ImbalanceReport 
     let nt = md.num_threads();
     let mut per_thread = vec![0.0f64; nt];
     for c in md.call_node_ids() {
-        for ti in 0..nt {
-            per_thread[ti] +=
+        for (ti, acc) in per_thread.iter_mut().enumerate() {
+            *acc +=
                 cube_model::aggregate::metric_value_at(e, selection, c, ThreadId::from_index(ti));
         }
     }

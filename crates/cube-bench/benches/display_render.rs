@@ -20,11 +20,23 @@ fn bench_render(c: &mut Criterion) {
         let mut state = BrowserState::new(&e);
         state.expand_all(&e);
         group.bench_with_input(BenchmarkId::new("full_view_expanded", n), &n, |b, _| {
-            b.iter(|| cube_display::render_view(black_box(&e), black_box(&state), RenderOptions::default()))
+            b.iter(|| {
+                cube_display::render_view(
+                    black_box(&e),
+                    black_box(&state),
+                    RenderOptions::default(),
+                )
+            })
         });
         let collapsed = BrowserState::new(&e);
         group.bench_with_input(BenchmarkId::new("full_view_collapsed", n), &n, |b, _| {
-            b.iter(|| cube_display::render_view(black_box(&e), black_box(&collapsed), RenderOptions::default()))
+            b.iter(|| {
+                cube_display::render_view(
+                    black_box(&e),
+                    black_box(&collapsed),
+                    RenderOptions::default(),
+                )
+            })
         });
     }
     group.finish();

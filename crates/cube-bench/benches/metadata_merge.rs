@@ -19,9 +19,7 @@ fn bench_integration(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("two_overlapping", call_nodes),
             &call_nodes,
-            |bench, _| {
-                bench.iter(|| integrate(black_box(&[&a, &o]), MergeOptions::default()))
-            },
+            |bench, _| bench.iter(|| integrate(black_box(&[&a, &o]), MergeOptions::default())),
         );
         group.bench_with_input(
             BenchmarkId::new("strict_call_sites", call_nodes),

@@ -14,9 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use cube_algebra::ops;
-use cube_bench::{
-    synthetic_disjoint, synthetic_experiment, synthetic_overlapping, SyntheticShape,
-};
+use cube_bench::{synthetic_disjoint, synthetic_experiment, synthetic_overlapping, SyntheticShape};
 
 fn shape(n: usize) -> SyntheticShape {
     // n scales all three dimensions; tuple count grows as ~n^3 * 160.

@@ -32,7 +32,9 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rayon", len), &len, |bench, _| {
             bench.iter(|| {
                 let mut dst = a.clone();
-                dst.par_iter_mut().zip(b.par_iter()).for_each(|(d, s)| *d -= *s);
+                dst.par_iter_mut()
+                    .zip(b.par_iter())
+                    .for_each(|(d, s)| *d -= *s);
                 black_box(dst)
             })
         });

@@ -52,7 +52,10 @@ fn bench_codec(c: &mut Criterion) {
     // Report the per-event counter blowup once (size, not time).
     let mut with_counters = trace.clone();
     for name in ["PAPI_TOT_CYC", "PAPI_FP_INS"] {
-        with_counters.defs.counters.push(CounterDef { name: name.into() });
+        with_counters
+            .defs
+            .counters
+            .push(CounterDef { name: name.into() });
     }
     for e in &mut with_counters.events {
         e.counters = vec![0, 0];

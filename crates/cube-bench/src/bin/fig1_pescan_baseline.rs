@@ -18,8 +18,7 @@ fn main() {
     let cfg = PescanConfig::default();
     let program = pescan(&cfg);
     let mut tracer = EpilogTracer::new("Pentium III Xeon 550 MHz cluster (simulated)", 4);
-    simulate(&program, &MachineModel::default(), &mut tracer)
-        .expect("simulation succeeds");
+    simulate(&program, &MachineModel::default(), &mut tracer).expect("simulation succeeds");
     let trace = tracer.into_trace();
     let experiment = analyze(
         &trace,

@@ -48,8 +48,7 @@ fn main() {
 
     let mut state = BrowserState::new(&saved);
     state.expand_all(&saved);
-    state.value_mode =
-        ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
+    state.value_mode = ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
     assert!(state.select_metric_by_name(&saved, "Wait at Barrier"));
     println!("=== Figure 2: difference(original, optimized), normalized to the original ===\n");
     println!(
@@ -69,7 +68,11 @@ fn main() {
         "Time",
     ] {
         let v = metric_total_by_name(&saved, name) / base * 100.0;
-        let relief = if v >= 0.0 { "raised (gain)" } else { "sunken (loss)" };
+        let relief = if v >= 0.0 {
+            "raised (gain)"
+        } else {
+            "sunken (loss)"
+        };
         println!("  {name:<20} {v:>7.2} %   {relief}");
     }
     println!(

@@ -11,12 +11,12 @@
 //! cargo run --release -p cube-bench --bin fig3_merge_integration
 //! ```
 
+use cone::{ConeProfiler, EventSet};
 use cube_algebra::ops;
 use cube_bench::metric_total_by_name;
 use cube_display::{BrowserState, RenderOptions, ValueMode};
 use cube_model::aggregate::{call_value, CallSelection, MetricSelection};
 use cube_model::Experiment;
-use cone::{ConeProfiler, EventSet};
 use expert::{analyze, AnalyzeOptions};
 use simmpi::apps::sweep3d::{grid_coordinates, sweep3d, Sweep3dConfig};
 use simmpi::{simulate, EpilogTracer, MachineModel};

@@ -44,8 +44,8 @@ fn main() {
                 ..PescanConfig::default()
             });
             let seed = (ci as u64) * 1000 + run as u64;
-            let report = simulate(&program, &model(seed), &mut NullMonitor)
-                .expect("simulation succeeds");
+            let report =
+                simulate(&program, &model(seed), &mut NullMonitor).expect("simulation succeeds");
             minima[ci] = minima[ci].min(report.elapsed);
             print!("{:7.4} ", report.elapsed);
         }

@@ -20,6 +20,16 @@ use cube_model::{Experiment, ExperimentBuilder, MetricId, RegionKind, Unit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Rounds a synthetic severity to microsecond resolution, mimicking
+/// real measurement data: profilers record timer ticks at finite
+/// resolution, so `.cube` files carry short decimals ("0.271828"), not
+/// 17-significant-digit doubles. Serialization benchmarks over
+/// full-precision uniform randoms would overstate the shared
+/// float-formatting cost relative to any real workload.
+fn quantize(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
 /// Shape parameters of a synthetic experiment.
 #[derive(Clone, Copy, Debug)]
 pub struct SyntheticShape {
@@ -69,12 +79,7 @@ fn synthetic_named(
         } else {
             Some(root)
         };
-        metrics.push(b.def_metric(
-            format!("{metric_prefix}{i}"),
-            Unit::Seconds,
-            "",
-            parent,
-        ));
+        metrics.push(b.def_metric(format!("{metric_prefix}{i}"), Unit::Seconds, "", parent));
     }
     let module = b.def_module("synth.rs", "/synth.rs");
     let mut cnodes = Vec::with_capacity(shape.call_nodes);
@@ -101,7 +106,7 @@ fn synthetic_named(
     for &m in &metrics {
         for &c in &cnodes {
             for &t in &threads {
-                b.set_severity(m, c, t, rng.random::<f64>() * 10.0 - 2.0);
+                b.set_severity(m, c, t, quantize(rng.random::<f64>() * 10.0 - 2.0));
             }
         }
     }
@@ -136,7 +141,13 @@ pub fn synthetic_overlapping(shape: SyntheticShape, seed: u64) -> Experiment {
         } else {
             format!("y{i}")
         };
-        let region = b.def_region(name, module, RegionKind::Function, i as u32 + 1, i as u32 + 1);
+        let region = b.def_region(
+            name,
+            module,
+            RegionKind::Function,
+            i as u32 + 1,
+            i as u32 + 1,
+        );
         let cs = b.def_call_site("synth.rs", i as u32 + 1, region);
         let parent = if i == 0 {
             None
@@ -152,7 +163,7 @@ pub fn synthetic_overlapping(shape: SyntheticShape, seed: u64) -> Experiment {
     for &m in &metrics {
         for &c in &cnodes {
             for &t in &threads {
-                b.set_severity(m, c, t, rng.random::<f64>());
+                b.set_severity(m, c, t, quantize(rng.random::<f64>()));
             }
         }
     }

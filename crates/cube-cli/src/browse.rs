@@ -28,12 +28,7 @@ use std::io::BufRead;
 use cube_display::{BrowserState, ProgramView, RenderOptions, Row, RowKind, ValueMode};
 use cube_model::Experiment;
 
-fn render_numbered(
-    exp: &Experiment,
-    state: &BrowserState,
-    opts: RenderOptions,
-    out: &mut String,
-) {
+fn render_numbered(exp: &Experiment, state: &BrowserState, opts: RenderOptions, out: &mut String) {
     let panes: [(&str, Vec<Row>); 3] = [
         ("metric tree", state.metric_rows(exp)),
         ("call tree", state.program_rows(exp)),
@@ -71,11 +66,7 @@ fn render_numbered(
 /// One step of the REPL: applies `command` to `state`. Returns `false`
 /// when the session should end, `Err` for messages shown to the user
 /// without ending the session.
-fn apply(
-    exp: &Experiment,
-    state: &mut BrowserState,
-    command: &str,
-) -> Result<bool, String> {
+fn apply(exp: &Experiment, state: &mut BrowserState, command: &str) -> Result<bool, String> {
     let words: Vec<&str> = command.split_whitespace().collect();
     let row_of = |pane: &str, idx_str: &str| -> Result<Row, String> {
         let idx: usize = idx_str
@@ -94,9 +85,11 @@ fn apply(
     match words.as_slice() {
         [] => Ok(true),
         ["q"] | ["quit"] | ["exit"] => Ok(false),
-        ["help"] | ["?"] => Err("commands: m N | c N | x m N | x c N | x s N | all | none | \
+        ["help"] | ["?"] => Err(
+            "commands: m N | c N | x m N | x c N | x s N | all | none | \
                                  mode abs|pct | flat | tree | topo N | src | q"
-            .to_string()),
+                .to_string(),
+        ),
         ["m", idx] => match row_of("m", idx)?.kind {
             RowKind::Metric(id) => {
                 state.select_metric(id);
@@ -168,7 +161,10 @@ fn apply(
                 None => Err(format!("no renderable topology {idx}")),
             }
         }
-        other => Err(format!("unknown command {:?} — try 'help'", other.join(" "))),
+        other => Err(format!(
+            "unknown command {:?} — try 'help'",
+            other.join(" ")
+        )),
     }
 }
 

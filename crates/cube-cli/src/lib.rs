@@ -205,8 +205,8 @@ fn nary_op(args: &[String], which: &str) -> Result<Outcome, String> {
         "min" => ops::min_with(&refs, opts),
         "max" => ops::max_with(&refs, opts),
         "stddev" => {
-            let mut e = cube_algebra::stats::variance_with(&refs, opts)
-                .map_err(|err| err.to_string())?;
+            let mut e =
+                cube_algebra::stats::variance_with(&refs, opts).map_err(|err| err.to_string())?;
             for v in e.severity_mut().values_mut() {
                 *v = v.sqrt();
             }
@@ -273,7 +273,11 @@ fn info(args: &[String]) -> Result<Outcome, String> {
     let _ = writeln!(
         s,
         "derived:    {}",
-        if e.provenance().is_derived() { "yes" } else { "no" }
+        if e.provenance().is_derived() {
+            "yes"
+        } else {
+            "no"
+        }
     );
     let _ = writeln!(
         s,
@@ -506,7 +510,9 @@ fn view(args: &[String]) -> Result<Outcome, String> {
     };
     let mut out = cube_display::render_view(&e, &state, opts);
     if let Some(idx) = p.value("--topology") {
-        let idx: usize = idx.parse().map_err(|_| "bad --topology index".to_string())?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| "bad --topology index".to_string())?;
         match cube_display::render_topology(&e, &state, idx, opts) {
             Some(view) => {
                 out.push('\n');
@@ -603,10 +609,22 @@ mod tests {
         run(&args(&["max", &a, &b, "-o", &hi])).unwrap();
         run(&args(&["sum", &a, &b, "-o", &s])).unwrap();
         run(&args(&["scale", &s, "0.5", "-o", &half])).unwrap();
-        assert_eq!(read_experiment_file(&lo).unwrap().severity().values()[0], 2.0);
-        assert_eq!(read_experiment_file(&hi).unwrap().severity().values()[0], 4.0);
-        assert_eq!(read_experiment_file(&s).unwrap().severity().values()[0], 6.0);
-        assert_eq!(read_experiment_file(&half).unwrap().severity().values()[0], 3.0);
+        assert_eq!(
+            read_experiment_file(&lo).unwrap().severity().values()[0],
+            2.0
+        );
+        assert_eq!(
+            read_experiment_file(&hi).unwrap().severity().values()[0],
+            4.0
+        );
+        assert_eq!(
+            read_experiment_file(&s).unwrap().severity().values()[0],
+            6.0
+        );
+        assert_eq!(
+            read_experiment_file(&half).unwrap().severity().values()[0],
+            3.0
+        );
     }
 
     #[test]

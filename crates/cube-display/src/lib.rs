@@ -33,7 +33,7 @@ pub mod view;
 
 pub use color::{ColorScale, Relief, Shade};
 pub use render::{
-    render_call_tree, render_metric_tree, render_source_pane, render_system_tree,
-    render_topology, render_view, RenderOptions,
+    render_call_tree, render_metric_tree, render_source_pane, render_system_tree, render_topology,
+    render_view, RenderOptions,
 };
 pub use view::{BrowserState, NormalizationRef, ProgramView, Row, RowKind, ValueMode};

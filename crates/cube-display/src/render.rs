@@ -106,9 +106,7 @@ pub fn render_system_tree(exp: &Experiment, state: &BrowserState, opts: RenderOp
 pub fn render_view(exp: &Experiment, state: &BrowserState, opts: RenderOptions) -> String {
     let md = exp.metadata();
     let metric_name = &md.metric(state.selected_metric()).name;
-    let call_name = &md
-        .region(md.call_node_callee(state.selected_call()))
-        .name;
+    let call_name = &md.region(md.call_node_callee(state.selected_call())).name;
     let mode = match &state.value_mode {
         ValueMode::Absolute => "absolute".to_string(),
         ValueMode::Percent => "percent of root".to_string(),
@@ -425,6 +423,9 @@ mod tests {
         let e = b.build().unwrap();
         let state = BrowserState::new(&e);
         let s = render_metric_tree(&e, &state, RenderOptions::default());
-        assert!(s.contains("e9") || s.contains("e+9") || s.contains("2.500e9"), "{s}");
+        assert!(
+            s.contains("e9") || s.contains("e+9") || s.contains("2.500e9"),
+            "{s}"
+        );
     }
 }

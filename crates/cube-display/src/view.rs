@@ -334,12 +334,8 @@ impl BrowserState {
     pub fn metric_rows(&self, exp: &Experiment) -> Vec<Row> {
         let md = exp.metadata();
         let mut rows = Vec::new();
-        let mut stack: Vec<(MetricId, usize)> = md
-            .metric_roots()
-            .iter()
-            .rev()
-            .map(|&m| (m, 0))
-            .collect();
+        let mut stack: Vec<(MetricId, usize)> =
+            md.metric_roots().iter().rev().map(|&m| (m, 0)).collect();
         while let Some((m, depth)) = stack.pop() {
             let expanded = self.metric_expanded(m);
             let has_children = !md.metric_children(m).is_empty();
@@ -515,8 +511,7 @@ impl BrowserState {
                 }
                 for &pid in md.processes_of_node(nid) {
                     let p_expanded = self.expanded_processes.contains(&pid) && show_threads;
-                    let p_has_children =
-                        show_threads && !md.threads_of_process(pid).is_empty();
+                    let p_has_children = show_threads && !md.threads_of_process(pid).is_empty();
                     let p_raw = if p_expanded && p_has_children {
                         0.0
                     } else {
@@ -754,12 +749,8 @@ mod tests {
         let mut s = BrowserState::new(&e);
         s.program_view = ProgramView::FlatProfile;
         let rows = s.program_rows(&e);
-        let by_label: Vec<(&str, f64)> =
-            rows.iter().map(|r| (r.label.as_str(), r.raw)).collect();
-        assert_eq!(
-            by_label,
-            vec![("main", 2.0), ("solve", 6.0), ("io", 2.0)]
-        );
+        let by_label: Vec<(&str, f64)> = rows.iter().map(|r| (r.label.as_str(), r.raw)).collect();
+        assert_eq!(by_label, vec![("main", 2.0), ("solve", 6.0), ("io", 2.0)]);
     }
 
     #[test]

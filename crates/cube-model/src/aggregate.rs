@@ -80,12 +80,7 @@ impl CallSelection {
 }
 
 /// Value of a metric selection at a single `(call node, thread)` tuple.
-pub fn metric_value_at(
-    exp: &Experiment,
-    sel: MetricSelection,
-    c: CallNodeId,
-    t: ThreadId,
-) -> f64 {
+pub fn metric_value_at(exp: &Experiment, sel: MetricSelection, c: CallNodeId, t: ThreadId) -> f64 {
     let sev = exp.severity();
     let mut v = sev.get(sel.metric, c, t);
     if sel.exclusive {
@@ -179,12 +174,7 @@ pub fn process_value(
 }
 
 /// Aggregated value of a system node (sum over its processes).
-pub fn node_value(
-    exp: &Experiment,
-    msel: MetricSelection,
-    csel: CallSelection,
-    n: NodeId,
-) -> f64 {
+pub fn node_value(exp: &Experiment, msel: MetricSelection, csel: CallSelection, n: NodeId) -> f64 {
     exp.metadata()
         .processes_of_node(n)
         .iter()
@@ -215,8 +205,7 @@ pub fn flat_profile(exp: &Experiment, msel: MetricSelection) -> Vec<(RegionId, f
     let mut per_region = vec![0.0f64; md.regions().len()];
     for c in md.call_node_ids() {
         let region = md.call_node_callee(c);
-        per_region[region.index()] +=
-            call_value(exp, msel, CallSelection::exclusive(c));
+        per_region[region.index()] += call_value(exp, msel, CallSelection::exclusive(c));
     }
     per_region
         .into_iter()
@@ -263,12 +252,7 @@ mod tests {
 
     /// Builds: metrics time > mpi; call tree main -> {solve -> mpi_call, io};
     /// 2 single-threaded ranks.
-    fn sample() -> (
-        Experiment,
-        [MetricId; 2],
-        [CallNodeId; 4],
-        Vec<ThreadId>,
-    ) {
+    fn sample() -> (Experiment, [MetricId; 2], [CallNodeId; 4], Vec<ThreadId>) {
         let mut b = ExperimentBuilder::new("agg");
         let time = b.def_metric("time", Unit::Seconds, "", None);
         let mpi = b.def_metric("mpi", Unit::Seconds, "", Some(time));

@@ -105,7 +105,11 @@ impl ExperimentBuilder {
     }
 
     /// Defines a call-tree node. Pass `parent = None` for a root.
-    pub fn def_call_node(&mut self, call_site: CallSiteId, parent: Option<CallNodeId>) -> CallNodeId {
+    pub fn def_call_node(
+        &mut self,
+        call_site: CallSiteId,
+        parent: Option<CallNodeId>,
+    ) -> CallNodeId {
         self.metadata.add_call_node(CallNode { call_site, parent })
     }
 
@@ -192,11 +196,7 @@ impl ExperimentBuilder {
                 severity.set(w.m, w.c, w.t, w.value);
             }
         }
-        Experiment::new(
-            self.metadata,
-            severity,
-            Provenance::original(self.name),
-        )
+        Experiment::new(self.metadata, severity, Provenance::original(self.name))
     }
 }
 

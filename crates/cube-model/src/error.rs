@@ -53,6 +53,16 @@ pub enum ModelError {
         expected: (usize, usize, usize),
         actual: (usize, usize, usize),
     },
+    /// A raw value vector's length disagrees with the product of the
+    /// requested dimensions.
+    SeverityLengthMismatch {
+        /// Requested shape `(metrics, call nodes, threads)`.
+        shape: (usize, usize, usize),
+        /// `shape.0 * shape.1 * shape.2`.
+        expected_len: usize,
+        /// Length of the supplied vector.
+        actual_len: usize,
+    },
     /// A severity value is NaN, which no operator can produce and no
     /// measurement tool may record.
     NanSeverity {
@@ -99,7 +109,10 @@ impl fmt::Display for ModelError {
                 write!(f, "call site {call_site:?} refers to a nonexistent callee")
             }
             Self::DanglingCallNodeSite { call_node } => {
-                write!(f, "call node {call_node:?} refers to a nonexistent call site")
+                write!(
+                    f,
+                    "call node {call_node:?} refers to a nonexistent call site"
+                )
             }
             Self::DanglingCallNodeParent { call_node } => {
                 write!(f, "call node {call_node:?} refers to a nonexistent parent")
@@ -119,14 +132,22 @@ impl fmt::Display for ModelError {
             Self::DuplicateRank { rank } => {
                 write!(f, "two processes share application-level rank {rank}")
             }
-            Self::DuplicateThreadNumber { process, number } => write!(
-                f,
-                "process {process:?} has two threads numbered {number}"
-            ),
+            Self::DuplicateThreadNumber { process, number } => {
+                write!(f, "process {process:?} has two threads numbered {number}")
+            }
             Self::SeverityShapeMismatch { expected, actual } => write!(
                 f,
                 "severity store shaped {actual:?} but metadata requires {expected:?} \
                  (metrics x call nodes x threads)"
+            ),
+            Self::SeverityLengthMismatch {
+                shape,
+                expected_len,
+                actual_len,
+            } => write!(
+                f,
+                "severity vector length must equal the product of the dimensions: \
+                 shape {shape:?} needs {expected_len} values, got {actual_len}"
             ),
             Self::NanSeverity {
                 metric,

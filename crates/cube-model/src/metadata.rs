@@ -650,7 +650,10 @@ mod tests {
         let mut md = tiny();
         let node = NodeId::new(0);
         md.add_process(Process::new("dup", 0, node));
-        assert!(matches!(md.validate(), Err(ModelError::DuplicateRank { rank: 0 })));
+        assert!(matches!(
+            md.validate(),
+            Err(ModelError::DuplicateRank { rank: 0 })
+        ));
     }
 
     #[test]

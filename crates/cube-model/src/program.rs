@@ -114,7 +114,11 @@ mod tests {
 
     #[test]
     fn region_kind_roundtrip() {
-        for k in [RegionKind::Function, RegionKind::Loop, RegionKind::UserRegion] {
+        for k in [
+            RegionKind::Function,
+            RegionKind::Loop,
+            RegionKind::UserRegion,
+        ] {
             assert_eq!(RegionKind::from_str_opt(k.as_str()), Some(k));
         }
         assert_eq!(RegionKind::from_str_opt("lambda"), None);

@@ -6,6 +6,7 @@
 //! giving the element-wise algebra a single contiguous `&[f64]` to
 //! operate on.
 
+use crate::error::ModelError;
 use crate::ids::{CallNodeId, MetricId, ThreadId};
 
 /// Dense three-dimensional severity array.
@@ -31,26 +32,59 @@ impl Severity {
         }
     }
 
+    /// Creates a severity store from a raw value vector, checking that
+    /// the vector length matches the product of the dimensions.
+    ///
+    /// This is the fallible counterpart of [`Severity::from_values`];
+    /// use it when the shape or the values come from an external source
+    /// (a file, a wire format) rather than from code that controls
+    /// both.
+    ///
+    /// ```
+    /// use cube_model::{ModelError, Severity};
+    ///
+    /// let s = Severity::try_from_values(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+    /// assert_eq!(s.shape(), (1, 2, 2));
+    ///
+    /// let err = Severity::try_from_values(1, 2, 2, vec![1.0]).unwrap_err();
+    /// assert!(matches!(err, ModelError::SeverityLengthMismatch { .. }));
+    /// ```
+    pub fn try_from_values(
+        num_metrics: usize,
+        num_call_nodes: usize,
+        num_threads: usize,
+        values: Vec<f64>,
+    ) -> Result<Self, ModelError> {
+        let expected_len = num_metrics * num_call_nodes * num_threads;
+        if values.len() != expected_len {
+            return Err(ModelError::SeverityLengthMismatch {
+                shape: (num_metrics, num_call_nodes, num_threads),
+                expected_len,
+                actual_len: values.len(),
+            });
+        }
+        Ok(Self {
+            num_metrics,
+            num_call_nodes,
+            num_threads,
+            values,
+        })
+    }
+
     /// Creates a severity store from a raw value vector.
     ///
     /// # Panics
     /// Panics if `values.len() != num_metrics * num_call_nodes * num_threads`.
+    /// For a fallible version see [`Severity::try_from_values`].
     pub fn from_values(
         num_metrics: usize,
         num_call_nodes: usize,
         num_threads: usize,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(
-            values.len(),
-            num_metrics * num_call_nodes * num_threads,
-            "severity vector length must equal the product of the dimensions"
-        );
-        Self {
-            num_metrics,
-            num_call_nodes,
-            num_threads,
-            values,
+        match Self::try_from_values(num_metrics, num_call_nodes, num_threads, values) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -281,6 +315,24 @@ mod tests {
     #[should_panic(expected = "length must equal")]
     fn from_values_checks_length() {
         let _ = Severity::from_values(2, 2, 2, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn try_from_values_reports_mismatch() {
+        let err = Severity::try_from_values(2, 2, 2, vec![0.0; 7]).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::SeverityLengthMismatch {
+                shape: (2, 2, 2),
+                expected_len: 8,
+                actual_len: 7,
+            }
+        );
+        assert!(err.to_string().contains("length must equal"));
+
+        let ok = Severity::try_from_values(2, 2, 2, vec![1.0; 8]).unwrap();
+        assert_eq!(ok.shape(), (2, 2, 2));
+        assert_eq!(ok.len(), 8);
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl CartTopology {
 
     /// Validates the topology against a process-table size.
     pub fn validate(&self, num_processes: usize) -> Result<(), ModelError> {
-        if self.dims.is_empty() || self.dims.iter().any(|&d| d == 0) {
+        if self.dims.is_empty() || self.dims.contains(&0) {
             return Err(ModelError::BadTopology {
                 topology: self.name.clone(),
                 reason: "dimensions must be non-empty and positive".into(),

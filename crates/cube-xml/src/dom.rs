@@ -149,10 +149,7 @@ impl Element {
             out.push_str("/>\n");
             return;
         }
-        let only_text = self
-            .children
-            .iter()
-            .all(|c| matches!(c, XmlNode::Text(_)));
+        let only_text = self.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
         if only_text {
             out.push('>');
             for c in &self.children {
@@ -160,7 +157,7 @@ impl Element {
                     out.push_str(&escape_text(t));
                 }
             }
-            let _ = write!(out, "</{}>\n", self.name);
+            let _ = writeln!(out, "</{}>", self.name);
             return;
         }
         out.push_str(">\n");
@@ -182,7 +179,7 @@ impl Element {
         for _ in 0..depth {
             out.push_str("  ");
         }
-        let _ = write!(out, "</{}>\n", self.name);
+        let _ = writeln!(out, "</{}>", self.name);
     }
 }
 
@@ -266,7 +263,10 @@ impl Document {
             ));
         }
         root.ok_or_else(|| {
-            XmlError::malformed(Position { line: 1, column: 1 }, "document has no root element")
+            XmlError::malformed(
+                Position { line: 1, column: 1 },
+                "document has no root element",
+            )
         })
         .map(|root| Self { root })
     }
@@ -284,7 +284,10 @@ impl Document {
             *root = Some(elem);
             Ok(())
         } else {
-            Err(XmlError::malformed(at, "document has multiple root elements"))
+            Err(XmlError::malformed(
+                at,
+                "document has multiple root elements",
+            ))
         }
     }
 

@@ -23,15 +23,9 @@ impl fmt::Display for Position {
 #[derive(Debug)]
 pub enum XmlError {
     /// The lexer met a character it cannot interpret.
-    Syntax {
-        position: Position,
-        message: String,
-    },
+    Syntax { position: Position, message: String },
     /// Well-formedness violation (mismatched tags, multiple roots, ...).
-    Malformed {
-        position: Position,
-        message: String,
-    },
+    Malformed { position: Position, message: String },
     /// The document is valid XML but not a valid CUBE file.
     Format { message: String },
     /// A numeric attribute failed to parse or an id is out of range.

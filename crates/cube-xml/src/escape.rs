@@ -3,11 +3,23 @@
 //! The writer escapes the five predefined XML entities; the reader
 //! additionally accepts decimal (`&#10;`) and hexadecimal (`&#x1F;`)
 //! character references, which other CUBE producers may emit.
+//!
+//! Each operation comes in two flavors: the `String`-returning
+//! functions always allocate, while the `_cow` variants return the
+//! input slice unchanged when nothing needs rewriting — the common
+//! case for CUBE files, whose names and severity rows rarely contain
+//! markup characters. The streaming reader and writer are built on the
+//! `_cow` variants so untouched data is never copied.
+
+use std::borrow::Cow;
 
 use crate::error::{Position, XmlError};
 
-/// Escapes text content (`&`, `<`, `>`).
-pub fn escape_text(s: &str) -> String {
+/// Escapes text content (`&`, `<`, `>`), borrowing when clean.
+pub fn escape_text_cow(s: &str) -> Cow<'_, str> {
+    if !s.contains(['&', '<', '>']) {
+        return Cow::Borrowed(s);
+    }
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -17,13 +29,21 @@ pub fn escape_text(s: &str) -> String {
             _ => out.push(ch),
         }
     }
-    out
+    Cow::Owned(out)
+}
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    escape_text_cow(s).into_owned()
 }
 
 /// Escapes an attribute value (text entities plus both quote kinds, and
 /// the whitespace characters that attribute-value normalization would
-/// otherwise fold into spaces).
-pub fn escape_attr(s: &str) -> String {
+/// otherwise fold into spaces), borrowing when clean.
+pub fn escape_attr_cow(s: &str) -> Cow<'_, str> {
+    if !s.contains(['&', '<', '>', '"', '\'', '\n', '\r', '\t']) {
+        return Cow::Borrowed(s);
+    }
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -38,13 +58,21 @@ pub fn escape_attr(s: &str) -> String {
             _ => out.push(ch),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
-/// Resolves entity and character references in raw text.
-pub fn unescape(s: &str, at: Position) -> Result<String, XmlError> {
+/// Escapes an attribute value (text entities plus both quote kinds, and
+/// the whitespace characters that attribute-value normalization would
+/// otherwise fold into spaces).
+pub fn escape_attr(s: &str) -> String {
+    escape_attr_cow(s).into_owned()
+}
+
+/// Resolves entity and character references in raw text, borrowing the
+/// input when it contains no references.
+pub fn unescape_cow(s: &str, at: Position) -> Result<Cow<'_, str>, XmlError> {
     if !s.contains('&') {
-        return Ok(s.to_string());
+        return Ok(Cow::Borrowed(s));
     }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
@@ -87,18 +115,27 @@ pub fn unescape(s: &str, at: Position) -> Result<String, XmlError> {
         rest = &after[semi + 1..];
     }
     out.push_str(rest);
-    Ok(out)
+    Ok(Cow::Owned(out))
+}
+
+/// Resolves entity and character references in raw text.
+pub fn unescape(s: &str, at: Position) -> Result<String, XmlError> {
+    unescape_cow(s, at).map(Cow::into_owned)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::borrow::Cow;
 
     const AT: Position = Position { line: 1, column: 1 };
 
     #[test]
     fn escape_text_basics() {
-        assert_eq!(escape_text("a < b && c > d"), "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(
+            escape_text("a < b && c > d"),
+            "a &lt; b &amp;&amp; c &gt; d"
+        );
         assert_eq!(escape_text("plain"), "plain");
     }
 
@@ -131,8 +168,32 @@ mod tests {
     }
 
     #[test]
+    fn cow_variants_borrow_clean_input() {
+        assert!(matches!(escape_text_cow("1.5 2.25 -3"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr_cow("plain name"), Cow::Borrowed(_)));
+        assert!(matches!(
+            unescape_cow("no entities", AT).unwrap(),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(escape_text_cow("a<b"), Cow::Owned(_)));
+        assert!(matches!(escape_attr_cow("a\"b"), Cow::Owned(_)));
+        assert!(matches!(
+            unescape_cow("a&amp;b", AT).unwrap(),
+            Cow::Owned(_)
+        ));
+    }
+
+    #[test]
     fn roundtrip_text() {
-        let samples = ["", "x", "<&>", "a&amp;b", "tab\there", "quote\"'", "ünïcødé 🚀"];
+        let samples = [
+            "",
+            "x",
+            "<&>",
+            "a&amp;b",
+            "tab\there",
+            "quote\"'",
+            "ünïcødé 🚀",
+        ];
         for s in samples {
             assert_eq!(unescape(&escape_text(s), AT).unwrap(), s, "text: {s:?}");
             assert_eq!(unescape(&escape_attr(s), AT).unwrap(), s, "attr: {s:?}");

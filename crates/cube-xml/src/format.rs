@@ -10,6 +10,15 @@
 //! zeros is skipped, as is a `<matrix>` with no rows. On read, missing
 //! tuples default to zero — the same zero-extension convention the
 //! algebra uses.
+//!
+//! [`read_experiment`] and [`write_experiment`] run on the streaming
+//! [`CubeReader`](crate::reader::CubeReader) /
+//! [`CubeWriter`](crate::writer::CubeWriter) layer, which never builds
+//! a DOM. The DOM-based implementations remain available as
+//! [`read_experiment_dom`] and [`write_experiment_dom`] for tooling
+//! that wants an [`Element`] tree, and as the differential-testing
+//! oracle: both pipelines must produce identical results
+//! (`tests/streaming_roundtrip.rs` checks byte equality).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -30,7 +39,27 @@ pub const FORMAT_VERSION: &str = "1.0";
 // ---------------------------------------------------------------------------
 
 /// Serializes an experiment into a `.cube` XML string.
+///
+/// Streams through [`CubeWriter`](crate::writer::CubeWriter) into one
+/// pre-sized buffer; no intermediate element tree or per-row strings
+/// are built.
 pub fn write_experiment(exp: &Experiment) -> String {
+    let (nm, nc, nt) = exp.severity().shape();
+    // Rough pre-size: ~20 bytes per severity cell covers typical
+    // shortest-float text plus markup; metadata is small next to that.
+    let hint = 4096 + nm * nc * nt * 20;
+    let bytes = crate::writer::CubeWriter::new(Vec::with_capacity(hint))
+        .write(exp)
+        .expect("writing to a Vec cannot fail");
+    String::from_utf8(bytes).expect("writer emits UTF-8 only")
+}
+
+/// Serializes an experiment into a `.cube` XML string by building a
+/// DOM [`Element`] tree first.
+///
+/// Byte-identical to [`write_experiment`]; kept for tooling that wants
+/// to post-process the tree and as the streaming writer's test oracle.
+pub fn write_experiment_dom(exp: &Experiment) -> String {
     let md = exp.metadata();
     let mut root = Element::new("cube")
         .attr("version", FORMAT_VERSION)
@@ -46,8 +75,14 @@ pub fn write_experiment(exp: &Experiment) -> String {
 }
 
 /// Writes an experiment to a file.
+///
+/// Streams directly into a buffered file handle — the document is
+/// never materialized in memory.
 pub fn write_experiment_file(exp: &Experiment, path: impl AsRef<Path>) -> Result<(), XmlError> {
-    std::fs::write(path, write_experiment(exp))?;
+    use std::io::Write as _;
+    let file = std::fs::File::create(path)?;
+    let mut out = crate::writer::CubeWriter::new(std::io::BufWriter::new(file)).write(exp)?;
+    out.flush()?;
     Ok(())
 }
 
@@ -192,11 +227,7 @@ fn topologies_element(md: &Metadata) -> Element {
             .attr("dims", dims)
             .attr("periodic", periodic);
         for (p, c) in &t.coords {
-            let coord = c
-                .iter()
-                .map(u32::to_string)
-                .collect::<Vec<_>>()
-                .join(" ");
+            let coord = c.iter().map(u32::to_string).collect::<Vec<_>>().join(" ");
             cart = cart.child(
                 Element::new("coord")
                     .attr("proc", p.raw().to_string())
@@ -226,8 +257,10 @@ fn severity_element(exp: &Experiment) -> Element {
                 if i > 0 {
                     text.push(' ');
                 }
-                // Ryū-style shortest representation via `{}` keeps the
-                // round-trip exact for f64.
+                // Deliberately std's formatter, not `fmt64`: the DOM
+                // writer is the differential oracle, and an independent
+                // formatting path makes the byte-equality tests a real
+                // cross-check of the streaming writer's fast paths.
                 let _ = write!(text, "{v}");
             }
             matrix = matrix.child(
@@ -248,7 +281,20 @@ fn severity_element(exp: &Experiment) -> Element {
 // ---------------------------------------------------------------------------
 
 /// Parses a `.cube` XML string into an experiment.
+///
+/// Runs the streaming [`CubeReader`](crate::reader::CubeReader), which
+/// falls back to [`read_experiment_dom`] only for documents that store
+/// `<severity>` before the metadata sections.
 pub fn read_experiment(input: &str) -> Result<Experiment, XmlError> {
+    crate::reader::CubeReader::new(input).read()
+}
+
+/// Parses a `.cube` XML string into an experiment through the DOM.
+///
+/// Equivalent to [`read_experiment`]; kept as the
+/// order-independent fallback and as the streaming reader's test
+/// oracle.
+pub fn read_experiment_dom(input: &str) -> Result<Experiment, XmlError> {
     let doc = Document::parse(input)?;
     if doc.root.name != "cube" {
         return Err(XmlError::format(format!(
@@ -404,22 +450,20 @@ pub fn read_experiment(input: &str) -> Result<Experiment, XmlError> {
                     .collect()
             };
             let dims = parse_list("dims")?;
-            let periodic: Vec<bool> =
-                parse_list("periodic")?.into_iter().map(|v| v != 0).collect();
-            let mut topo = cube_model::CartTopology::new(
-                cart.require_attr("name")?,
-                dims,
-                periodic,
-            );
+            let periodic: Vec<bool> = parse_list("periodic")?
+                .into_iter()
+                .map(|v| v != 0)
+                .collect();
+            let mut topo =
+                cube_model::CartTopology::new(cart.require_attr("name")?, dims, periodic);
             for coord in cart.elements("coord") {
                 let proc_id: u32 = coord.parse_attr("proc")?;
                 let c: Vec<u32> = coord
                     .text_content()
                     .split_ascii_whitespace()
                     .map(|tok| {
-                        tok.parse::<u32>().map_err(|_| {
-                            XmlError::value(format!("bad coordinate entry '{tok}'"))
-                        })
+                        tok.parse::<u32>()
+                            .map_err(|_| XmlError::value(format!("bad coordinate entry '{tok}'")))
                     })
                     .collect::<Result<_, _>>()?;
                 topo.coords.push((cube_model::ProcessId::new(proc_id), c));
@@ -435,7 +479,9 @@ pub fn read_experiment(input: &str) -> Result<Experiment, XmlError> {
         for matrix in severity.elements("matrix") {
             let m: u32 = matrix.parse_attr("metric")?;
             if m as usize >= nm {
-                return Err(XmlError::value(format!("matrix metric id {m} out of range")));
+                return Err(XmlError::value(format!(
+                    "matrix metric id {m} out of range"
+                )));
             }
             for row in matrix.elements("row") {
                 let c: u32 = row.parse_attr("cnode")?;
@@ -490,7 +536,9 @@ fn read_provenance(root: &Element) -> Result<Provenance, XmlError> {
             p.get_attr("operator").unwrap_or("unknown"),
             p.elements("operand").map(|o| o.text_content()).collect(),
         )),
-        Some(other) => Err(XmlError::value(format!("unknown provenance kind '{other}'"))),
+        Some(other) => Err(XmlError::value(format!(
+            "unknown provenance kind '{other}'"
+        ))),
     }
 }
 
@@ -511,10 +559,7 @@ fn collect_nested<'a>(
 }
 
 /// Sorts records by id and verifies the ids are exactly `0..n`.
-fn sort_dense(
-    what: &str,
-    recs: &mut [(u32, Option<u32>, &Element)],
-) -> Result<(), XmlError> {
+fn sort_dense(what: &str, recs: &mut [(u32, Option<u32>, &Element)]) -> Result<(), XmlError> {
     recs.sort_by_key(|(id, _, _)| *id);
     for (expected, (id, _, _)) in recs.iter().enumerate() {
         if *id as usize != expected {
@@ -628,7 +673,7 @@ mod tests {
         let vals = e.severity_mut().values_mut();
         vals[0] = 0.1 + 0.2; // 0.30000000000000004
         vals[1] = -1e-300;
-        vals[2] = 12345678901234.5678;
+        vals[2] = 12_345_678_901_234.568;
         let back = read_experiment(&write_experiment(&e)).unwrap();
         assert_eq!(back.severity().values(), e.severity().values());
     }
@@ -692,7 +737,7 @@ mod tests {
         let row_start = xml.find("<row cnode=\"0\">").unwrap();
         let row_end = xml[row_start..].find("</row>").unwrap() + row_start;
         let row = &xml[row_start..row_end];
-        let shortened = row.rsplitn(2, ' ').nth(1).unwrap().to_string();
+        let shortened = row.rsplit_once(' ').unwrap().0.to_string();
         let bad = format!("{}{}{}", &xml[..row_start], shortened, &xml[row_end..]);
         assert!(read_experiment(&bad).is_err());
     }

@@ -5,11 +5,61 @@
 //! sections. Not supported (not needed by the format, rejected cleanly):
 //! DOCTYPE declarations and processing instructions other than the
 //! declaration.
+//!
+//! Two APIs share one lexing core:
+//!
+//! * [`Lexer::next_event`] yields borrowed [`XmlEvent`]s whose names
+//!   and bodies are slices of the input; attribute values and text are
+//!   [`Cow`]s that only allocate when entity references must be
+//!   resolved. This is the zero-copy path the streaming CUBE reader is
+//!   built on.
+//! * [`Lexer::next_token`] yields owned [`XmlToken`]s, converting the
+//!   borrowed events; the DOM parser uses this form.
+//!
+//! Events borrow from the input string, not from the lexer, so an
+//! event may be held across subsequent `next_event` calls.
+
+use std::borrow::Cow;
 
 use crate::error::{Position, XmlError};
-use crate::escape::unescape;
+use crate::escape::unescape_cow;
 
-/// One lexical token of the document.
+/// One lexical event, borrowing from the input document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XmlEvent<'a> {
+    /// `<?xml ...?>` — contents are not interpreted.
+    Declaration,
+    /// `<name attr="v" ...>` or `<name ... />`.
+    StartTag {
+        name: &'a str,
+        attributes: Vec<(&'a str, Cow<'a, str>)>,
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag { name: &'a str },
+    /// Unescaped character data (entity references resolved; borrowed
+    /// when the raw text contains none).
+    Text(Cow<'a, str>),
+    /// `<!-- ... -->` — preserved so tools may inspect it; the DOM drops it.
+    Comment(&'a str),
+    /// `<![CDATA[ ... ]]>` — delivered as literal text.
+    CData(&'a str),
+}
+
+impl<'a> XmlEvent<'a> {
+    /// Looks up an attribute value on a start tag.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        match self {
+            XmlEvent::StartTag { attributes, .. } => attributes
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// One lexical token of the document, with owned contents.
 #[derive(Clone, Debug, PartialEq)]
 pub enum XmlToken {
     /// `<?xml ...?>` — contents are not interpreted.
@@ -28,6 +78,32 @@ pub enum XmlToken {
     Comment(String),
     /// `<![CDATA[ ... ]]>` — delivered as literal text.
     CData(String),
+}
+
+impl From<XmlEvent<'_>> for XmlToken {
+    fn from(ev: XmlEvent<'_>) -> Self {
+        match ev {
+            XmlEvent::Declaration => XmlToken::Declaration,
+            XmlEvent::StartTag {
+                name,
+                attributes,
+                self_closing,
+            } => XmlToken::StartTag {
+                name: name.to_string(),
+                attributes: attributes
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v.into_owned()))
+                    .collect(),
+                self_closing,
+            },
+            XmlEvent::EndTag { name } => XmlToken::EndTag {
+                name: name.to_string(),
+            },
+            XmlEvent::Text(t) => XmlToken::Text(t.into_owned()),
+            XmlEvent::Comment(c) => XmlToken::Comment(c.to_string()),
+            XmlEvent::CData(c) => XmlToken::CData(c.to_string()),
+        }
+    }
 }
 
 /// Tokenizer over an in-memory document.
@@ -77,8 +153,8 @@ impl<'a> Lexer<'a> {
         self.input[self.pos..].find(needle).map(|i| self.pos + i)
     }
 
-    /// Returns the next token, or `None` at end of input.
-    pub fn next_token(&mut self) -> Result<Option<XmlToken>, XmlError> {
+    /// Returns the next borrowed event, or `None` at end of input.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent<'a>>, XmlError> {
         if self.pos >= self.bytes.len() {
             return Ok(None);
         }
@@ -89,33 +165,38 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_text(&mut self) -> Result<XmlToken, XmlError> {
+    /// Returns the next owned token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<XmlToken>, XmlError> {
+        Ok(self.next_event()?.map(XmlToken::from))
+    }
+
+    fn lex_text(&mut self) -> Result<XmlEvent<'a>, XmlError> {
         let at = self.position();
         let end = self.find_from("<").unwrap_or(self.bytes.len());
         let raw = &self.input[self.pos..end];
         self.advance_over(end - self.pos);
-        Ok(XmlToken::Text(unescape(raw, at)?))
+        Ok(XmlEvent::Text(unescape_cow(raw, at)?))
     }
 
-    fn lex_markup(&mut self) -> Result<XmlToken, XmlError> {
+    fn lex_markup(&mut self) -> Result<XmlEvent<'a>, XmlError> {
         let at = self.position();
         if self.starts_with("<!--") {
             let close = self.input[self.pos + 4..]
                 .find("-->")
                 .map(|i| self.pos + 4 + i)
                 .ok_or_else(|| XmlError::syntax(at, "unterminated comment"))?;
-            let body = self.input[self.pos + 4..close].to_string();
+            let body = &self.input[self.pos + 4..close];
             self.advance_over(close + 3 - self.pos);
-            return Ok(XmlToken::Comment(body));
+            return Ok(XmlEvent::Comment(body));
         }
         if self.starts_with("<![CDATA[") {
             let close = self.input[self.pos + 9..]
                 .find("]]>")
                 .map(|i| self.pos + 9 + i)
                 .ok_or_else(|| XmlError::syntax(at, "unterminated CDATA section"))?;
-            let body = self.input[self.pos + 9..close].to_string();
+            let body = &self.input[self.pos + 9..close];
             self.advance_over(close + 3 - self.pos);
-            return Ok(XmlToken::CData(body));
+            return Ok(XmlEvent::CData(body));
         }
         if self.starts_with("<?") {
             let close = self
@@ -124,7 +205,7 @@ impl<'a> Lexer<'a> {
             let is_decl = self.starts_with("<?xml");
             self.advance_over(close + 2 - self.pos);
             if is_decl {
-                return Ok(XmlToken::Declaration);
+                return Ok(XmlEvent::Declaration);
             }
             return Err(XmlError::syntax(
                 at,
@@ -141,17 +222,17 @@ impl<'a> Lexer<'a> {
             let close = self
                 .find_from(">")
                 .ok_or_else(|| XmlError::syntax(at, "unterminated end tag"))?;
-            let name = self.input[self.pos + 2..close].trim().to_string();
+            let name = self.input[self.pos + 2..close].trim();
             if name.is_empty() {
                 return Err(XmlError::syntax(at, "end tag without a name"));
             }
             self.advance_over(close + 1 - self.pos);
-            return Ok(XmlToken::EndTag { name });
+            return Ok(XmlEvent::EndTag { name });
         }
         self.lex_start_tag(at)
     }
 
-    fn lex_start_tag(&mut self, at: Position) -> Result<XmlToken, XmlError> {
+    fn lex_start_tag(&mut self, at: Position) -> Result<XmlEvent<'a>, XmlError> {
         // Skip '<'.
         self.advance_over(1);
         let name = self.lex_name(at)?;
@@ -164,7 +245,7 @@ impl<'a> Lexer<'a> {
             match self.bytes[self.pos] {
                 b'>' => {
                     self.advance_over(1);
-                    return Ok(XmlToken::StartTag {
+                    return Ok(XmlEvent::StartTag {
                         name,
                         attributes,
                         self_closing: false,
@@ -175,7 +256,7 @@ impl<'a> Lexer<'a> {
                         return Err(XmlError::syntax(self.position(), "expected '/>'"));
                     }
                     self.advance_over(2);
-                    return Ok(XmlToken::StartTag {
+                    return Ok(XmlEvent::StartTag {
                         name,
                         attributes,
                         self_closing: true,
@@ -200,7 +281,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_name(&mut self, at: Position) -> Result<String, XmlError> {
+    fn lex_name(&mut self, at: Position) -> Result<&'a str, XmlError> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
@@ -215,12 +296,15 @@ impl<'a> Lexer<'a> {
         }
         let name = &self.input[start..self.pos];
         if name.as_bytes()[0].is_ascii_digit() {
-            return Err(XmlError::syntax(at, format!("name '{name}' starts with a digit")));
+            return Err(XmlError::syntax(
+                at,
+                format!("name '{name}' starts with a digit"),
+            ));
         }
-        Ok(name.to_string())
+        Ok(name)
     }
 
-    fn lex_attr_value(&mut self, at: Position) -> Result<String, XmlError> {
+    fn lex_attr_value(&mut self, at: Position) -> Result<Cow<'a, str>, XmlError> {
         if self.pos >= self.bytes.len() {
             return Err(XmlError::syntax(at, "missing attribute value"));
         }
@@ -238,7 +322,7 @@ impl<'a> Lexer<'a> {
             .map(|i| self.pos + i)
             .ok_or_else(|| XmlError::syntax(at, "unterminated attribute value"))?;
         let raw = &self.input[self.pos..close];
-        let value = unescape(raw, at)?;
+        let value = unescape_cow(raw, at)?;
         self.advance_over(close + 1 - self.pos);
         Ok(value)
     }
@@ -352,5 +436,44 @@ mod tests {
     fn name_rules() {
         assert!(tokenize("<1abc/>").is_err());
         assert!(tokenize("<a-b.c:d/>").is_ok());
+    }
+
+    #[test]
+    fn events_borrow_from_input() {
+        use std::borrow::Cow;
+        let input = r#"<a name="plain" descr="x &amp; y">text &lt;z</a>"#;
+        let mut lexer = Lexer::new(input);
+        let Some(XmlEvent::StartTag {
+            name, attributes, ..
+        }) = lexer.next_event().unwrap()
+        else {
+            panic!("expected a start tag");
+        };
+        assert_eq!(name, "a");
+        // Clean attribute values borrow; escaped ones allocate.
+        assert!(matches!(&attributes[0].1, Cow::Borrowed(_)));
+        assert_eq!(attributes[1], ("descr", Cow::Owned::<str>("x & y".into())));
+        let Some(XmlEvent::Text(t)) = lexer.next_event().unwrap() else {
+            panic!("expected text");
+        };
+        assert!(matches!(t, Cow::Owned(_)));
+        assert_eq!(t, "text <z");
+        assert_eq!(
+            lexer.next_event().unwrap(),
+            Some(XmlEvent::EndTag { name: "a" })
+        );
+        assert_eq!(lexer.next_event().unwrap(), None);
+    }
+
+    #[test]
+    fn events_outlive_later_calls() {
+        let input = "<a x='1'/><b/>";
+        let mut lexer = Lexer::new(input);
+        let first = lexer.next_event().unwrap().unwrap();
+        let second = lexer.next_event().unwrap().unwrap();
+        // `first` is still usable here: it borrows from `input`, not
+        // from the lexer.
+        assert_eq!(first.attr("x"), Some("1"));
+        assert!(matches!(second, XmlEvent::StartTag { name: "b", .. }));
     }
 }

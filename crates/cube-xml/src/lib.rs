@@ -10,9 +10,20 @@
 //!   needs (declaration, elements, attributes, text, comments, CDATA);
 //! * [`dom`] — a small document tree with well-formedness checks and a
 //!   pretty-printing writer;
+//! * [`reader`] — the streaming [`reader::CubeReader`]: lexer events
+//!   assembled directly into a [`cube_model::Experiment`], with
+//!   severity rows parsed straight into the dense buffer;
+//! * [`writer`] — the streaming [`writer::CubeWriter`]: an experiment
+//!   emitted to any [`std::io::Write`] without an element tree;
 //! * [`format`](mod@format) — the CUBE format layer: [`format::write_experiment`]
 //!   and [`format::read_experiment`] convert between
-//!   [`cube_model::Experiment`] and `.cube` files.
+//!   [`cube_model::Experiment`] and `.cube` files on top of the
+//!   streaming pair (the DOM pipeline stays available as
+//!   [`format::read_experiment_dom`] / [`format::write_experiment_dom`]).
+//!
+//! The format itself — element inventory, dense-id rules, the
+//! zero-omission convention, topologies, provenance — is specified
+//! normatively in `docs/FORMAT.md` at the repository root.
 //!
 //! ## File layout
 //!
@@ -55,9 +66,14 @@
 pub mod dom;
 pub mod error;
 pub mod escape;
+mod fmt64;
 pub mod format;
 pub mod lexer;
+pub mod reader;
+pub mod writer;
 
 pub use dom::{Document, Element, XmlNode};
 pub use error::XmlError;
 pub use format::{read_experiment, read_experiment_file, write_experiment, write_experiment_file};
+pub use reader::CubeReader;
+pub use writer::CubeWriter;

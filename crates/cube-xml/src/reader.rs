@@ -1,0 +1,1065 @@
+//! Streaming `.cube` reader: lexer events straight into the model.
+//!
+//! [`CubeReader`] pulls [`XmlEvent`]s from the [`Lexer`]
+//! and assembles a [`cube_model::Experiment`] without ever building a
+//! DOM tree. Metadata sections are collected into small per-entity
+//! records (names borrow from the input until the final insertion),
+//! then severity `<row>` values are parsed directly into the dense
+//! [`Severity`] buffer. The only transient allocations proportional to
+//! the file are one scratch string bounded by the longest severity row
+//! — transient memory is O(row), not O(document).
+//!
+//! The streaming pass requires the metadata sections (`<metrics>`,
+//! `<program>`, `<system>`) to precede `<severity>`, which every file
+//! this crate writes satisfies. A foreign file that orders them
+//! differently is still read correctly: [`CubeReader::read`] falls
+//! back to the DOM reader for that rare shape.
+
+use std::borrow::Cow;
+use std::str::FromStr;
+
+use cube_model::{
+    CallNode, CallNodeId, CallSite, CallSiteId, CartTopology, Experiment, Machine, MachineId,
+    Metadata, Metric, MetricId, Module, ModuleId, NodeId, Process, ProcessId, Provenance, Region,
+    RegionId, RegionKind, Severity, SystemNode, Thread, Unit,
+};
+
+use crate::error::XmlError;
+use crate::lexer::{Lexer, XmlEvent};
+
+/// Pull-based reader that streams a `.cube` document into an
+/// [`Experiment`].
+///
+/// ```
+/// use cube_xml::reader::CubeReader;
+///
+/// let xml = r#"<cube version="1.0">
+///   <metrics><metric id="0" name="time" uom="sec" descr="t"/></metrics>
+///   <program>
+///     <module id="0" name="a.c" path="/a.c"/>
+///     <region id="0" mod="0" name="main" kind="function" begin="1" end="9"/>
+///     <csite id="0" file="a.c" line="1" callee="0"/>
+///     <cnode id="0" csite="0"/>
+///   </program>
+///   <system>
+///     <machine id="0" name="m"><node id="0" name="n">
+///       <process id="0" rank="0" name="r0"><thread id="0" num="0" name="t0"/></process>
+///     </node></machine>
+///   </system>
+///   <severity><matrix metric="0"><row cnode="0">2.5</row></matrix></severity>
+/// </cube>"#;
+/// let exp = CubeReader::new(xml).read().unwrap();
+/// assert_eq!(exp.severity().values(), &[2.5]);
+/// ```
+pub struct CubeReader<'a> {
+    input: &'a str,
+}
+
+impl<'a> CubeReader<'a> {
+    /// Creates a reader over an in-memory document.
+    pub fn new(input: &'a str) -> Self {
+        Self { input }
+    }
+
+    /// Parses the document into an experiment.
+    ///
+    /// Uses the single-pass streaming parser; if the file stores
+    /// `<severity>` before its metadata sections, re-reads through the
+    /// DOM parser instead (the severity shape is unknowable until the
+    /// metadata is complete).
+    pub fn read(self) -> Result<Experiment, XmlError> {
+        match read_streaming(self.input)? {
+            Some(exp) => Ok(exp),
+            None => crate::format::read_experiment_dom(self.input),
+        }
+    }
+}
+
+/// Streaming parse. `Ok(None)` means the file is readable but stores
+/// severity before the metadata sections — the caller should use the
+/// DOM reader.
+pub(crate) fn read_streaming(input: &str) -> Result<Option<Experiment>, XmlError> {
+    let mut parser = Parser {
+        lexer: Lexer::new(input),
+        scratch: String::new(),
+    };
+    parser.read_document()
+}
+
+/// One metadata record collected before the dense-id sort. Names keep
+/// borrowing from the document until the final `Metadata` insertion.
+struct MetricRec<'a> {
+    id: u32,
+    parent: Option<u32>,
+    name: Cow<'a, str>,
+    unit: Unit,
+    descr: Cow<'a, str>,
+}
+
+struct CnodeRec {
+    id: u32,
+    parent: Option<u32>,
+    csite: u32,
+}
+
+#[derive(Default)]
+struct Sections<'a> {
+    provenance: Option<Provenance>,
+    metrics_seen: bool,
+    program_seen: bool,
+    system_seen: bool,
+    topologies_seen: bool,
+    severity_seen: bool,
+    metric_recs: Vec<MetricRec<'a>>,
+    modules: Vec<(Cow<'a, str>, Cow<'a, str>)>,
+    regions: Vec<Region>,
+    csites: Vec<CallSite>,
+    cnode_recs: Vec<CnodeRec>,
+    machines: Vec<(u32, Cow<'a, str>)>,
+    nodes: Vec<(u32, u32, Cow<'a, str>)>,
+    processes: Vec<(u32, u32, i32, Cow<'a, str>)>,
+    threads: Vec<(u32, u32, u32, Cow<'a, str>)>,
+    topologies: Vec<CartTopology>,
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    /// Reused buffer for severity rows split across several text
+    /// events (entity references, interleaved comments).
+    scratch: String,
+}
+
+/// Attributes of one start tag, consumed by name.
+struct Attrs<'a> {
+    tag: &'a str,
+    list: Vec<(&'a str, Cow<'a, str>)>,
+}
+
+impl<'a> Attrs<'a> {
+    fn take(&mut self, key: &str) -> Option<Cow<'a, str>> {
+        self.list
+            .iter()
+            .position(|(k, _)| *k == key)
+            .map(|i| self.list.swap_remove(i).1)
+    }
+
+    fn require(&mut self, key: &str) -> Result<Cow<'a, str>, XmlError> {
+        self.take(key).ok_or_else(|| {
+            XmlError::format(format!(
+                "element <{}> is missing required attribute '{key}'",
+                self.tag
+            ))
+        })
+    }
+
+    fn parse<T: FromStr>(&mut self, key: &str) -> Result<T, XmlError> {
+        let raw = self.require(key)?;
+        raw.parse().map_err(|_| {
+            XmlError::value(format!(
+                "attribute '{key}'=\"{raw}\" of <{}> does not parse as {}",
+                self.tag,
+                std::any::type_name::<T>()
+            ))
+        })
+    }
+}
+
+/// A consumed start tag: its attributes plus whether children follow.
+struct Open<'a> {
+    attrs: Attrs<'a>,
+    has_children: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn read_document(&mut self) -> Result<Option<Experiment>, XmlError> {
+        let root = self.read_prolog()?;
+        let XmlEvent::StartTag {
+            name,
+            attributes,
+            self_closing,
+        } = root
+        else {
+            unreachable!("read_prolog only returns start tags");
+        };
+        if name != "cube" {
+            return Err(XmlError::format(format!(
+                "root element is <{name}>, expected <cube>"
+            )));
+        }
+        // Root attributes (version, foreign extras) are ignored, like
+        // the DOM reader.
+        let _ = attributes;
+        let mut sections = Sections::default();
+        let mut finalized: Option<(Metadata, Severity)> = None;
+
+        if !self_closing {
+            loop {
+                let at = self.lexer.position();
+                match self.next_required("cube")? {
+                    ev @ XmlEvent::StartTag { .. } => {
+                        let open = self.reopen(ev)?;
+                        match open.attrs.tag {
+                            "provenance" if sections.provenance.is_none() => {
+                                sections.provenance = Some(self.parse_provenance(open)?);
+                            }
+                            "metrics" if !sections.metrics_seen => {
+                                sections.metrics_seen = true;
+                                self.parse_metrics(open, &mut sections)?;
+                            }
+                            "program" if !sections.program_seen => {
+                                sections.program_seen = true;
+                                self.parse_program(open, &mut sections)?;
+                            }
+                            "system" if !sections.system_seen => {
+                                sections.system_seen = true;
+                                self.parse_system(open, &mut sections)?;
+                            }
+                            "topologies" if !sections.topologies_seen => {
+                                sections.topologies_seen = true;
+                                self.parse_topologies(open, &mut sections)?;
+                            }
+                            "severity" if !sections.severity_seen => {
+                                if !(sections.metrics_seen
+                                    && sections.program_seen
+                                    && sections.system_seen)
+                                {
+                                    // Shape unknown — hand over to the
+                                    // DOM reader.
+                                    return Ok(None);
+                                }
+                                sections.severity_seen = true;
+                                let (md, mut sev) = finalize_metadata(&mut sections)?;
+                                self.parse_severity(open, &md, &mut sev)?;
+                                finalized = Some((md, sev));
+                            }
+                            _ => self.skip_element(open)?,
+                        }
+                    }
+                    XmlEvent::EndTag { name: "cube" } => break,
+                    XmlEvent::EndTag { name } => {
+                        return Err(XmlError::malformed(
+                            at,
+                            format!("<cube> closed by </{name}>"),
+                        ));
+                    }
+                    XmlEvent::Text(_)
+                    | XmlEvent::CData(_)
+                    | XmlEvent::Comment(_)
+                    | XmlEvent::Declaration => {}
+                }
+            }
+        }
+        self.read_epilog()?;
+
+        if !sections.metrics_seen {
+            return Err(missing_section("metrics"));
+        }
+        if !sections.program_seen {
+            return Err(missing_section("program"));
+        }
+        if !sections.system_seen {
+            return Err(missing_section("system"));
+        }
+        let (mut md, sev) = match finalized {
+            Some(pair) => pair,
+            None => finalize_metadata(&mut sections)?,
+        };
+        // A <topologies> section after <severity> lands here instead of
+        // in finalize_metadata — topology order is shape-independent.
+        for topo in sections.topologies.drain(..) {
+            md.add_topology(topo);
+        }
+        let provenance = sections.provenance.take().unwrap_or_default();
+        Experiment::new(md, sev, provenance)
+            .map(Some)
+            .map_err(Into::into)
+    }
+
+    /// Consumes declaration/comments/whitespace before the root and
+    /// returns the root start tag.
+    fn read_prolog(&mut self) -> Result<XmlEvent<'a>, XmlError> {
+        loop {
+            let at = self.lexer.position();
+            match self.lexer.next_event()? {
+                None => {
+                    return Err(XmlError::malformed(at, "document has no root element"));
+                }
+                Some(XmlEvent::Declaration | XmlEvent::Comment(_)) => {}
+                Some(XmlEvent::Text(t)) if t.trim().is_empty() => {}
+                Some(XmlEvent::Text(_)) => {
+                    return Err(XmlError::malformed(at, "text outside the root element"));
+                }
+                Some(XmlEvent::CData(_)) => {
+                    return Err(XmlError::malformed(at, "CDATA outside the root element"));
+                }
+                Some(XmlEvent::EndTag { name }) => {
+                    return Err(XmlError::malformed(
+                        at,
+                        format!("unexpected closing tag </{name}>"),
+                    ));
+                }
+                Some(ev @ XmlEvent::StartTag { .. }) => return Ok(ev),
+            }
+        }
+    }
+
+    /// Verifies nothing but comments and whitespace follows the root.
+    fn read_epilog(&mut self) -> Result<(), XmlError> {
+        loop {
+            let at = self.lexer.position();
+            match self.lexer.next_event()? {
+                None => return Ok(()),
+                Some(XmlEvent::Declaration | XmlEvent::Comment(_)) => {}
+                Some(XmlEvent::Text(t)) if t.trim().is_empty() => {}
+                Some(XmlEvent::StartTag { .. }) => {
+                    return Err(XmlError::malformed(
+                        at,
+                        "content after the document's root element",
+                    ));
+                }
+                Some(XmlEvent::EndTag { name }) => {
+                    return Err(XmlError::malformed(
+                        at,
+                        format!("unexpected closing tag </{name}>"),
+                    ));
+                }
+                Some(XmlEvent::Text(_) | XmlEvent::CData(_)) => {
+                    return Err(XmlError::malformed(at, "text outside the root element"));
+                }
+            }
+        }
+    }
+
+    /// Next event inside `parent`, or a malformedness error at EOF.
+    fn next_required(&mut self, parent: &str) -> Result<XmlEvent<'a>, XmlError> {
+        let at = self.lexer.position();
+        self.lexer
+            .next_event()?
+            .ok_or_else(|| XmlError::malformed(at, format!("unclosed element <{parent}>")))
+    }
+
+    /// Converts a just-read start-tag event into an [`Open`].
+    fn reopen(&mut self, ev: XmlEvent<'a>) -> Result<Open<'a>, XmlError> {
+        match ev {
+            XmlEvent::StartTag {
+                name,
+                attributes,
+                self_closing,
+            } => Ok(Open {
+                attrs: Attrs {
+                    tag: name,
+                    list: attributes,
+                },
+                has_children: !self_closing,
+            }),
+            _ => unreachable!("reopen is only called on start tags"),
+        }
+    }
+
+    /// Consumes an element's entire subtree (the start tag has already
+    /// been read), validating tag nesting along the way.
+    fn skip_element(&mut self, open: Open<'a>) -> Result<(), XmlError> {
+        if !open.has_children {
+            return Ok(());
+        }
+        self.skip_children(open.attrs.tag)
+    }
+
+    /// Consumes events until the end tag of `name`, whose start tag was
+    /// already consumed.
+    fn skip_children(&mut self, name: &'a str) -> Result<(), XmlError> {
+        let mut stack: Vec<&str> = vec![name];
+        while let Some(&top) = stack.last() {
+            let at = self.lexer.position();
+            match self.next_required(top)? {
+                XmlEvent::StartTag {
+                    name,
+                    self_closing: false,
+                    ..
+                } => stack.push(name),
+                XmlEvent::EndTag { name } => {
+                    if name != top {
+                        return Err(XmlError::malformed(
+                            at,
+                            format!("<{top}> closed by </{name}>"),
+                        ));
+                    }
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses each direct child element of an already-open parent,
+    /// dispatching on its tag; other children (text, comments, unknown
+    /// elements) are skipped, mirroring the DOM reader's tolerance.
+    fn each_child<F>(&mut self, open: Open<'a>, mut on_child: F) -> Result<(), XmlError>
+    where
+        F: FnMut(&mut Self, Open<'a>) -> Result<(), XmlError>,
+    {
+        if !open.has_children {
+            return Ok(());
+        }
+        let parent = open.attrs.tag;
+        loop {
+            let at = self.lexer.position();
+            match self.next_required(parent)? {
+                ev @ XmlEvent::StartTag { .. } => {
+                    let child = self.reopen(ev)?;
+                    on_child(self, child)?;
+                }
+                XmlEvent::EndTag { name } if name == parent => return Ok(()),
+                XmlEvent::EndTag { name } => {
+                    return Err(XmlError::malformed(
+                        at,
+                        format!("<{parent}> closed by </{name}>"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Collects the direct text content of an already-open element into
+    /// `out` while consuming its subtree (nested elements are skipped,
+    /// like [`crate::dom::Element::text_content`]).
+    fn text_content(&mut self, open: Open<'a>, out: &mut String) -> Result<(), XmlError> {
+        if !open.has_children {
+            return Ok(());
+        }
+        let parent = open.attrs.tag;
+        loop {
+            let at = self.lexer.position();
+            match self.next_required(parent)? {
+                XmlEvent::Text(t) => {
+                    // The DOM drops whitespace-only text nodes; match
+                    // that so indentation never reaches the content.
+                    if !t.trim().is_empty() {
+                        out.push_str(&t);
+                    }
+                }
+                XmlEvent::CData(t) => out.push_str(t),
+                ev @ XmlEvent::StartTag { .. } => {
+                    let child = self.reopen(ev)?;
+                    self.skip_element(child)?;
+                }
+                XmlEvent::EndTag { name } if name == parent => return Ok(()),
+                XmlEvent::EndTag { name } => {
+                    return Err(XmlError::malformed(
+                        at,
+                        format!("<{parent}> closed by </{name}>"),
+                    ));
+                }
+                XmlEvent::Comment(_) | XmlEvent::Declaration => {}
+            }
+        }
+    }
+
+    // -- sections ----------------------------------------------------------
+
+    fn parse_provenance(&mut self, mut open: Open<'a>) -> Result<Provenance, XmlError> {
+        let kind = open.attrs.take("kind");
+        let label = open.attrs.take("label");
+        let operator = open.attrs.take("operator");
+        let mut operands: Vec<String> = Vec::new();
+        self.each_child(open, |p, child| {
+            if child.attrs.tag == "operand" {
+                let mut text = String::new();
+                p.text_content(child, &mut text)?;
+                operands.push(text);
+            } else {
+                p.skip_element(child)?;
+            }
+            Ok(())
+        })?;
+        match kind.as_deref() {
+            Some("original") | None => Ok(Provenance::original(
+                label.as_deref().unwrap_or("unnamed experiment"),
+            )),
+            Some("derived") => Ok(Provenance::derived(
+                operator.as_deref().unwrap_or("unknown"),
+                operands,
+            )),
+            Some(other) => Err(XmlError::value(format!(
+                "unknown provenance kind '{other}'"
+            ))),
+        }
+    }
+
+    fn parse_metrics(
+        &mut self,
+        open: Open<'a>,
+        sections: &mut Sections<'a>,
+    ) -> Result<(), XmlError> {
+        self.each_child(open, |p, child| {
+            if child.attrs.tag == "metric" {
+                p.parse_metric_tree(child, None, &mut sections.metric_recs)
+            } else {
+                p.skip_element(child)
+            }
+        })
+    }
+
+    fn parse_metric_tree(
+        &mut self,
+        mut open: Open<'a>,
+        parent: Option<u32>,
+        out: &mut Vec<MetricRec<'a>>,
+    ) -> Result<(), XmlError> {
+        let id: u32 = open.attrs.parse("id")?;
+        let uom = open.attrs.require("uom")?;
+        let unit = Unit::from_str_opt(&uom)
+            .ok_or_else(|| XmlError::value(format!("unknown unit of measurement '{uom}'")))?;
+        out.push(MetricRec {
+            id,
+            parent,
+            name: open.attrs.require("name")?,
+            unit,
+            descr: open.attrs.take("descr").unwrap_or(Cow::Borrowed("")),
+        });
+        self.each_child(open, |p, child| {
+            if child.attrs.tag == "metric" {
+                p.parse_metric_tree(child, Some(id), out)
+            } else {
+                p.skip_element(child)
+            }
+        })
+    }
+
+    fn parse_program(
+        &mut self,
+        open: Open<'a>,
+        sections: &mut Sections<'a>,
+    ) -> Result<(), XmlError> {
+        self.each_child(open, |p, mut child| match child.attrs.tag {
+            "module" => {
+                check_dense_id(&mut child.attrs, sections.modules.len())?;
+                let name = child.attrs.require("name")?;
+                let path = child.attrs.take("path").unwrap_or(Cow::Borrowed(""));
+                sections.modules.push((name, path));
+                p.skip_element(child)
+            }
+            "region" => {
+                check_dense_id(&mut child.attrs, sections.regions.len())?;
+                let kind_raw = child.attrs.require("kind")?;
+                let kind = RegionKind::from_str_opt(&kind_raw)
+                    .ok_or_else(|| XmlError::value(format!("unknown region kind '{kind_raw}'")))?;
+                sections.regions.push(Region {
+                    name: child.attrs.require("name")?.into_owned(),
+                    module: ModuleId::new(child.attrs.parse("mod")?),
+                    kind,
+                    begin_line: child.attrs.parse("begin")?,
+                    end_line: child.attrs.parse("end")?,
+                });
+                p.skip_element(child)
+            }
+            "csite" => {
+                check_dense_id(&mut child.attrs, sections.csites.len())?;
+                sections.csites.push(CallSite {
+                    file: child.attrs.require("file")?.into_owned(),
+                    line: child.attrs.parse("line")?,
+                    callee: RegionId::new(child.attrs.parse("callee")?),
+                });
+                p.skip_element(child)
+            }
+            "cnode" => p.parse_cnode_tree(child, None, &mut sections.cnode_recs),
+            _ => p.skip_element(child),
+        })
+    }
+
+    fn parse_cnode_tree(
+        &mut self,
+        mut open: Open<'a>,
+        parent: Option<u32>,
+        out: &mut Vec<CnodeRec>,
+    ) -> Result<(), XmlError> {
+        let id: u32 = open.attrs.parse("id")?;
+        out.push(CnodeRec {
+            id,
+            parent,
+            csite: open.attrs.parse("csite")?,
+        });
+        self.each_child(open, |p, child| {
+            if child.attrs.tag == "cnode" {
+                p.parse_cnode_tree(child, Some(id), out)
+            } else {
+                p.skip_element(child)
+            }
+        })
+    }
+
+    fn parse_system(
+        &mut self,
+        open: Open<'a>,
+        sections: &mut Sections<'a>,
+    ) -> Result<(), XmlError> {
+        self.each_child(open, |p, mut machine| {
+            if machine.attrs.tag != "machine" {
+                return p.skip_element(machine);
+            }
+            let mid: u32 = machine.attrs.parse("id")?;
+            sections
+                .machines
+                .push((mid, machine.attrs.require("name")?));
+            p.each_child(machine, |p, mut node| {
+                if node.attrs.tag != "node" {
+                    return p.skip_element(node);
+                }
+                let nid: u32 = node.attrs.parse("id")?;
+                sections.nodes.push((nid, mid, node.attrs.require("name")?));
+                p.each_child(node, |p, mut process| {
+                    if process.attrs.tag != "process" {
+                        return p.skip_element(process);
+                    }
+                    let pid: u32 = process.attrs.parse("id")?;
+                    sections.processes.push((
+                        pid,
+                        nid,
+                        process.attrs.parse("rank")?,
+                        process.attrs.require("name")?,
+                    ));
+                    p.each_child(process, |p, mut thread| {
+                        if thread.attrs.tag != "thread" {
+                            return p.skip_element(thread);
+                        }
+                        sections.threads.push((
+                            thread.attrs.parse("id")?,
+                            pid,
+                            thread.attrs.parse("num")?,
+                            thread.attrs.require("name")?,
+                        ));
+                        p.skip_element(thread)
+                    })
+                })
+            })
+        })
+    }
+
+    fn parse_topologies(
+        &mut self,
+        open: Open<'a>,
+        sections: &mut Sections<'a>,
+    ) -> Result<(), XmlError> {
+        self.each_child(open, |p, mut cart| {
+            if cart.attrs.tag != "cart" {
+                return p.skip_element(cart);
+            }
+            let parse_list = |raw: &str, key: &str| -> Result<Vec<u32>, XmlError> {
+                raw.split_ascii_whitespace()
+                    .map(|tok| {
+                        tok.parse::<u32>().map_err(|_| {
+                            XmlError::value(format!("bad topology {key} entry '{tok}'"))
+                        })
+                    })
+                    .collect()
+            };
+            let name = cart.attrs.require("name")?;
+            let dims = parse_list(&cart.attrs.require("dims")?, "dims")?;
+            let periodic: Vec<bool> = parse_list(&cart.attrs.require("periodic")?, "periodic")?
+                .into_iter()
+                .map(|v| v != 0)
+                .collect();
+            let mut topo = CartTopology::new(name, dims, periodic);
+            p.each_child(cart, |p, mut coord| {
+                if coord.attrs.tag != "coord" {
+                    return p.skip_element(coord);
+                }
+                let proc_id: u32 = coord.attrs.parse("proc")?;
+                let mut text = String::new();
+                p.text_content(coord, &mut text)?;
+                let c: Vec<u32> = text
+                    .split_ascii_whitespace()
+                    .map(|tok| {
+                        tok.parse::<u32>()
+                            .map_err(|_| XmlError::value(format!("bad coordinate entry '{tok}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                topo.coords.push((ProcessId::new(proc_id), c));
+                Ok(())
+            })?;
+            sections.topologies.push(topo);
+            Ok(())
+        })
+    }
+
+    fn parse_severity(
+        &mut self,
+        open: Open<'a>,
+        md: &Metadata,
+        sev: &mut Severity,
+    ) -> Result<(), XmlError> {
+        let (nm, nc, _) = md.shape();
+        self.each_child(open, |p, mut matrix| {
+            if matrix.attrs.tag != "matrix" {
+                return p.skip_element(matrix);
+            }
+            let m: u32 = matrix.attrs.parse("metric")?;
+            if m as usize >= nm {
+                return Err(XmlError::value(format!(
+                    "matrix metric id {m} out of range"
+                )));
+            }
+            p.each_child(matrix, |p, mut row| {
+                if row.attrs.tag != "row" {
+                    return p.skip_element(row);
+                }
+                let c: u32 = row.attrs.parse("cnode")?;
+                if c as usize >= nc {
+                    return Err(XmlError::value(format!("row cnode id {c} out of range")));
+                }
+                p.parse_row(row, m, c, sev)
+            })
+        })
+    }
+
+    /// Parses one `<row>`'s numbers straight into the severity buffer.
+    ///
+    /// The common case — one borrowed text event covering the whole
+    /// row — is parsed without copying; rows fragmented by entity
+    /// references or comments are first gathered into the reused
+    /// scratch buffer.
+    fn parse_row(
+        &mut self,
+        open: Open<'a>,
+        m: u32,
+        c: u32,
+        sev: &mut Severity,
+    ) -> Result<(), XmlError> {
+        let parent = open.attrs.tag;
+        let mut first: Option<Cow<'a, str>> = None;
+        self.scratch.clear();
+        if open.has_children {
+            loop {
+                let at = self.lexer.position();
+                match self.next_required(parent)? {
+                    XmlEvent::Text(t) => match (&first, self.scratch.is_empty()) {
+                        (None, true) => first = Some(t),
+                        _ => {
+                            if let Some(f) = first.take() {
+                                self.scratch.push_str(&f);
+                            }
+                            self.scratch.push_str(&t);
+                        }
+                    },
+                    XmlEvent::CData(t) => {
+                        if let Some(f) = first.take() {
+                            self.scratch.push_str(&f);
+                        }
+                        self.scratch.push_str(t);
+                    }
+                    ev @ XmlEvent::StartTag { .. } => {
+                        let child = self.reopen(ev)?;
+                        self.skip_element(child)?;
+                    }
+                    XmlEvent::EndTag { name } if name == parent => break,
+                    XmlEvent::EndTag { name } => {
+                        return Err(XmlError::malformed(
+                            at,
+                            format!("<{parent}> closed by </{name}>"),
+                        ));
+                    }
+                    XmlEvent::Comment(_) | XmlEvent::Declaration => {}
+                }
+            }
+        }
+        let text: &str = match &first {
+            Some(f) => f,
+            None => &self.scratch,
+        };
+        let dest = sev.row_mut(MetricId::new(m), CallNodeId::new(c));
+        let mut count = 0usize;
+        for (i, tok) in text.split_ascii_whitespace().enumerate() {
+            if i >= dest.len() {
+                return Err(XmlError::value(format!(
+                    "row (metric {m}, cnode {c}) has more than {} values",
+                    dest.len()
+                )));
+            }
+            dest[i] = match parse_f64_fixed(tok) {
+                Some(v) => v,
+                None => tok.parse().map_err(|_| {
+                    XmlError::value(format!(
+                        "severity value '{tok}' in row (metric {m}, cnode {c}) is not a number"
+                    ))
+                })?,
+            };
+            count += 1;
+        }
+        if count != dest.len() {
+            return Err(XmlError::value(format!(
+                "row (metric {m}, cnode {c}) has {count} values, expected {}",
+                dest.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Fast exact parse for plain fixed-notation tokens — an optional
+/// sign, at most 15 digits, at most one decimal point. The digits fit
+/// a `u64` below 2⁵³ and the scale is an exact power of ten, so one
+/// IEEE division yields the correctly rounded value: bit-identical to
+/// `str::parse::<f64>`, which is what almost every severity token in a
+/// `.cube` file needs. Returns `None` for everything else (exponents,
+/// specials, long or malformed tokens); the caller falls back to the
+/// general parser.
+fn parse_f64_fixed(tok: &str) -> Option<f64> {
+    let b = tok.as_bytes();
+    let (neg, rest) = match b.split_first()? {
+        (b'-', rest) => (true, rest),
+        _ => (false, b),
+    };
+    let mut n: u64 = 0;
+    let mut digits = 0usize;
+    let mut frac: Option<usize> = None;
+    for (i, &c) in rest.iter().enumerate() {
+        if c.is_ascii_digit() {
+            n = n * 10 + u64::from(c - b'0');
+            digits += 1;
+        } else if c == b'.' && frac.is_none() {
+            frac = Some(rest.len() - i - 1);
+        } else {
+            return None;
+        }
+    }
+    if digits == 0 || digits > 15 {
+        return None;
+    }
+    const POW10: [f64; 16] = [
+        1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15,
+    ];
+    let mut v = n as f64;
+    if let Some(f) = frac {
+        v /= POW10[f];
+    }
+    Some(if neg { -v } else { v })
+}
+
+fn missing_section(name: &str) -> XmlError {
+    XmlError::format(format!("element <cube> is missing required child <{name}>"))
+}
+
+fn check_dense_id(attrs: &mut Attrs<'_>, expected: usize) -> Result<(), XmlError> {
+    let id: usize = attrs.parse("id")?;
+    if id != expected {
+        return Err(XmlError::format(format!(
+            "<{}> ids must be dense and in document order: found {id}, expected {expected}",
+            attrs.tag
+        )));
+    }
+    Ok(())
+}
+
+/// Sorts records by id, verifies the ids are exactly `0..n`, and
+/// checks parents precede children.
+fn sort_dense_tree<T>(
+    what: &str,
+    recs: &mut [T],
+    id_of: impl Fn(&T) -> u32,
+    parent_of: impl Fn(&T) -> Option<u32>,
+) -> Result<(), XmlError> {
+    recs.sort_by_key(&id_of);
+    for (expected, rec) in recs.iter().enumerate() {
+        let id = id_of(rec);
+        if id as usize != expected {
+            return Err(XmlError::format(format!(
+                "<{what}> ids must be dense 0..{}: found {id}, expected {expected}",
+                recs.len()
+            )));
+        }
+        if let Some(p) = parent_of(rec) {
+            if p >= id {
+                return Err(XmlError::format(format!(
+                    "{what} {id} appears before its parent {p}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sorts flat records by id and verifies density.
+fn sort_dense_flat<T>(
+    what: &str,
+    recs: &mut [T],
+    id_of: impl Fn(&T) -> u32,
+) -> Result<(), XmlError> {
+    recs.sort_by_key(&id_of);
+    for (expected, rec) in recs.iter().enumerate() {
+        if id_of(rec) as usize != expected {
+            return Err(XmlError::format(format!(
+                "<{what}> ids must be dense 0..{}: found {}, expected {expected}",
+                recs.len(),
+                id_of(rec)
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Turns the collected section records into `Metadata` plus an all-zero
+/// severity of the right shape.
+fn finalize_metadata(sections: &mut Sections<'_>) -> Result<(Metadata, Severity), XmlError> {
+    let mut md = Metadata::new();
+
+    sort_dense_tree("metric", &mut sections.metric_recs, |r| r.id, |r| r.parent)?;
+    for rec in sections.metric_recs.drain(..) {
+        md.add_metric(Metric {
+            name: rec.name.into_owned(),
+            unit: rec.unit,
+            description: rec.descr.into_owned(),
+            parent: rec.parent.map(MetricId::new),
+        });
+    }
+
+    for (name, path) in sections.modules.drain(..) {
+        md.add_module(Module::new(name, path));
+    }
+    for region in sections.regions.drain(..) {
+        md.add_region(region);
+    }
+    for csite in sections.csites.drain(..) {
+        md.add_call_site(csite);
+    }
+    sort_dense_tree("cnode", &mut sections.cnode_recs, |r| r.id, |r| r.parent)?;
+    for rec in sections.cnode_recs.drain(..) {
+        md.add_call_node(CallNode {
+            call_site: CallSiteId::new(rec.csite),
+            parent: rec.parent.map(CallNodeId::new),
+        });
+    }
+
+    sort_dense_flat("machine", &mut sections.machines, |m| m.0)?;
+    sort_dense_flat("node", &mut sections.nodes, |n| n.0)?;
+    sort_dense_flat("process", &mut sections.processes, |p| p.0)?;
+    sort_dense_flat("thread", &mut sections.threads, |t| t.0)?;
+    for (_, name) in sections.machines.drain(..) {
+        md.add_machine(Machine::new(name));
+    }
+    for (_, mid, name) in sections.nodes.drain(..) {
+        md.add_node(SystemNode::new(name, MachineId::new(mid)));
+    }
+    for (_, nid, rank, name) in sections.processes.drain(..) {
+        md.add_process(Process::new(name, rank, NodeId::new(nid)));
+    }
+    for (_, pid, num, name) in sections.threads.drain(..) {
+        md.add_thread(Thread::new(name, num, ProcessId::new(pid)));
+    }
+
+    for topo in sections.topologies.drain(..) {
+        md.add_topology(topo);
+    }
+
+    let (nm, nc, nt) = md.shape();
+    let sev = Severity::zeros(nm, nc, nt);
+    Ok((md, sev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_parse_matches_std() {
+        // Accepted tokens must agree with `str::parse` bit for bit.
+        let mut toks: Vec<String> = [
+            "0",
+            "-0",
+            "1",
+            "-1",
+            "1.",
+            ".5",
+            "-.5",
+            "0.1",
+            "0.000001",
+            "999999999999999",
+            "999999999999.999",
+            "123456.654321",
+            "-8.125",
+            "3.0",
+            "0.3333333333333",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut state = 7u64;
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+            toks.push(format!("{}", ((unit * 10.0 - 2.0) * 1e6).round() / 1e6));
+            toks.push(format!("{}", unit * 10.0 - 2.0));
+        }
+        for t in &toks {
+            if let Some(v) = parse_f64_fixed(t) {
+                assert_eq!(
+                    v.to_bits(),
+                    t.parse::<f64>().unwrap().to_bits(),
+                    "token {t:?}"
+                );
+            }
+        }
+        // Everything outside the class defers to the general parser.
+        for t in [
+            "",
+            "-",
+            ".",
+            "1e3",
+            "inf",
+            "NaN",
+            "+1",
+            "1.2.3",
+            "1234567890123456",
+            "0x10",
+        ] {
+            assert_eq!(parse_f64_fixed(t), None, "token {t:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_text_outside_root() {
+        assert!(matches!(
+            read_streaming("stray <cube/>"),
+            Err(XmlError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_second_root() {
+        let err = read_streaming("<cube><metrics/><program/><system/></cube><cube/>").unwrap_err();
+        assert!(err.to_string().contains("after the document's root"));
+    }
+
+    #[test]
+    fn severity_before_metadata_requests_dom_fallback() {
+        let xml = "<cube><severity/><metrics/><program/><system/></cube>";
+        assert!(read_streaming(xml).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_sections_give_empty_experiment_error() {
+        // No threads at all violates the data model, like the DOM path.
+        let err = read_streaming("<cube><metrics/><program/><system/></cube>").unwrap_err();
+        assert!(matches!(err, XmlError::Model(_)));
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        assert!(matches!(
+            read_streaming("<cube><metrics/>"),
+            Err(XmlError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_nesting_rejected_in_skipped_subtrees() {
+        let xml = "<cube><unknown><a><b></a></b></unknown><metrics/><program/><system/></cube>";
+        assert!(matches!(
+            read_streaming(xml),
+            Err(XmlError::Malformed { .. })
+        ));
+    }
+}

@@ -75,7 +75,12 @@ fn missing_optional_attributes_default() {
       </system>
     </cube>"#;
     let e = read_experiment(text).unwrap();
-    assert_eq!(e.metadata().metric(cube_model::MetricId::new(0)).description, "");
+    assert_eq!(
+        e.metadata()
+            .metric(cube_model::MetricId::new(0))
+            .description,
+        ""
+    );
     // No <severity> section at all: everything is zero.
     assert!(e.severity().values().iter().all(|&v| v == 0.0));
 }

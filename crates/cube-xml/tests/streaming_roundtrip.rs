@@ -1,0 +1,236 @@
+//! Differential property tests for the streaming `.cube` pipelines.
+//!
+//! The DOM reader/writer pair is the oracle: for randomly generated
+//! experiments — nested metric and call forests, processes placed
+//! round-robin over nodes (so document order differs from id order),
+//! multi-threaded processes, Cartesian topologies, negative severities,
+//! and all-zero rows that the writer must omit — the streaming pair
+//! must agree with it in both directions, and both writers must emit
+//! identical bytes.
+
+use proptest::prelude::*;
+
+use cube_model::{CartTopology, Experiment, ExperimentBuilder, RegionKind, Unit};
+use cube_xml::format::{read_experiment_dom, write_experiment_dom};
+use cube_xml::{read_experiment, write_experiment};
+
+// ---------------------------------------------------------------------------
+// generator
+// ---------------------------------------------------------------------------
+
+/// Compact description of an experiment, drawn by proptest.
+#[derive(Clone, Debug)]
+struct Spec {
+    /// Metric name index + parent index into the prefix (None = root).
+    metrics: Vec<(u8, Option<u8>)>,
+    /// Call nodes: region name index + parent index into prefix.
+    calls: Vec<(u8, Option<u8>)>,
+    /// Processes, placed round-robin over `nodes` SMP nodes.
+    ranks: u8,
+    nodes: u8,
+    threads_per_rank: u8,
+    /// Severity values cycled over all tuples; zeros leave whole rows
+    /// empty, which exercises the zero-omission rule.
+    values: Vec<i32>,
+    /// Whether to attach a Cartesian topology over the processes.
+    topology: bool,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let metric = (0u8..6, proptest::option::of(0u8..4));
+    let call = (0u8..6, proptest::option::of(0u8..4));
+    (
+        proptest::collection::vec(metric, 1..5),
+        proptest::collection::vec(call, 1..6),
+        1u8..5,
+        1u8..3,
+        1u8..3,
+        proptest::collection::vec(-50i32..50, 1..20),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(metrics, calls, ranks, nodes, threads_per_rank, values, topology)| Spec {
+                metrics,
+                calls,
+                ranks,
+                nodes,
+                threads_per_rank,
+                values,
+                topology,
+            },
+        )
+}
+
+fn build(spec: &Spec) -> Experiment {
+    let mut b = ExperimentBuilder::new("streaming roundtrip <spec> & \"friends\"");
+    let mut metric_ids = Vec::new();
+    for (name_idx, parent) in &spec.metrics {
+        let parent_id = parent.and_then(|p| metric_ids.get(p as usize).copied());
+        let id = b.def_metric(format!("metric{name_idx}"), Unit::Seconds, "", parent_id);
+        metric_ids.push(id);
+    }
+
+    let module = b.def_module("gen&meta.rs", "/src/gen.rs");
+    let mut region_of_name = std::collections::HashMap::new();
+    let mut call_ids = Vec::new();
+    for (name_idx, parent) in &spec.calls {
+        let region = *region_of_name.entry(*name_idx).or_insert_with(|| {
+            b.def_region(
+                format!("region<{name_idx}>"),
+                module,
+                RegionKind::Function,
+                u32::from(*name_idx) + 1,
+                u32::from(*name_idx) + 1,
+            )
+        });
+        let cs = b.def_call_site("gen&meta.rs", u32::from(*name_idx) + 1, region);
+        let parent_id = parent.and_then(|p| call_ids.get(p as usize).copied());
+        call_ids.push(b.def_call_node(cs, parent_id));
+    }
+
+    // Round-robin rank placement interleaves process ids between node
+    // subtrees, so the file stores system ids out of document order —
+    // the permutation case both readers must sort back.
+    let machine = b.def_machine("cluster");
+    let node_ids: Vec<_> = (0..spec.nodes)
+        .map(|n| b.def_node(format!("node{n}"), machine))
+        .collect();
+    let mut thread_ids = Vec::new();
+    let mut process_ids = Vec::new();
+    for r in 0..spec.ranks {
+        let node = node_ids[r as usize % node_ids.len()];
+        let p = b.def_process(format!("rank {r}"), i32::from(r), node);
+        process_ids.push(p);
+        for t in 0..spec.threads_per_rank {
+            thread_ids.push(b.def_thread(format!("thread {r}.{t}"), u32::from(t), p));
+        }
+    }
+
+    if spec.topology {
+        let mut topo = CartTopology::new("gen grid", vec![u32::from(spec.ranks)], vec![false]);
+        for (i, &p) in process_ids.iter().enumerate() {
+            topo.coords.push((p, vec![i as u32]));
+        }
+        b.def_topology(topo);
+    }
+
+    let mut vi = 0usize;
+    for &m in &metric_ids {
+        for &c in &call_ids {
+            for &t in &thread_ids {
+                let v = spec.values[vi % spec.values.len()];
+                vi += 1;
+                if v != 0 {
+                    b.set_severity(m, c, t, f64::from(v) * 0.125);
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Both writers emit identical bytes for any experiment.
+    #[test]
+    fn writers_agree_byte_for_byte(spec in spec_strategy()) {
+        let e = build(&spec);
+        prop_assert_eq!(write_experiment(&e), write_experiment_dom(&e));
+    }
+
+    /// DOM reader accepts and inverts the streaming writer.
+    #[test]
+    fn dom_read_of_streaming_write_is_identity(spec in spec_strategy()) {
+        let e = build(&spec);
+        let back = read_experiment_dom(&write_experiment(&e)).unwrap();
+        prop_assert!(back.approx_eq(&e, 0.0), "metadata or severity changed");
+        prop_assert_eq!(back.provenance(), e.provenance());
+    }
+
+    /// Streaming reader accepts and inverts the DOM writer.
+    #[test]
+    fn streaming_read_of_dom_write_is_identity(spec in spec_strategy()) {
+        let e = build(&spec);
+        let back = read_experiment(&write_experiment_dom(&e)).unwrap();
+        prop_assert!(back.approx_eq(&e, 0.0), "metadata or severity changed");
+        prop_assert_eq!(back.provenance(), e.provenance());
+    }
+
+    /// Both readers agree on every document the writer produces.
+    #[test]
+    fn readers_agree(spec in spec_strategy()) {
+        let e = build(&spec);
+        let xml = write_experiment(&e);
+        let a = read_experiment(&xml).unwrap();
+        let b = read_experiment_dom(&xml).unwrap();
+        prop_assert!(a.approx_eq(&b, 0.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// directed cases the generator can't hit
+// ---------------------------------------------------------------------------
+
+/// A file with `<severity>` ahead of the metadata sections: the
+/// streaming reader's DOM fallback must make both entry points agree.
+#[test]
+fn severity_before_metadata_falls_back_to_dom() {
+    let e = build(&Spec {
+        metrics: vec![(0, None), (1, Some(0))],
+        calls: vec![(0, None), (1, Some(0))],
+        ranks: 2,
+        nodes: 2,
+        threads_per_rank: 1,
+        values: vec![3, -1, 0, 7],
+        topology: true,
+    });
+    let xml = write_experiment(&e);
+
+    // Move the whole <severity> section to the front of <cube>.
+    let sev_start = xml.find("  <severity").unwrap();
+    let sev_end = xml.rfind("</severity>").unwrap() + "</severity>\n".len();
+    let section = &xml[sev_start..sev_end];
+    // End of the `<cube version="1.0">` line (the declaration's `?>`
+    // does not match `">`).
+    let open_end = xml.find("\">\n").unwrap() + "\">\n".len();
+    let reordered = format!(
+        "{}{}{}{}",
+        &xml[..open_end],
+        section,
+        &xml[open_end..sev_start],
+        &xml[sev_end..]
+    );
+
+    let streamed = read_experiment(&reordered).unwrap();
+    let dom = read_experiment_dom(&reordered).unwrap();
+    assert!(streamed.approx_eq(&e, 0.0));
+    assert!(streamed.approx_eq(&dom, 0.0));
+}
+
+/// An experiment whose severity is identically zero writes as
+/// `<severity/>` and reads back as all zeros through both pipelines.
+#[test]
+fn all_zero_experiment_roundtrips() {
+    let e = build(&Spec {
+        metrics: vec![(0, None)],
+        calls: vec![(0, None)],
+        ranks: 1,
+        nodes: 1,
+        threads_per_rank: 2,
+        values: vec![0],
+        topology: false,
+    });
+    let xml = write_experiment(&e);
+    assert!(xml.contains("<severity/>"));
+    assert_eq!(xml, write_experiment_dom(&e));
+    for parsed in [
+        read_experiment(&xml).unwrap(),
+        read_experiment_dom(&xml).unwrap(),
+    ] {
+        assert!(parsed.approx_eq(&e, 0.0));
+        assert!(parsed.severity().values().iter().all(|&v| v == 0.0));
+    }
+}

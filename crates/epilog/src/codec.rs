@@ -127,7 +127,9 @@ struct Reader {
 impl Reader {
     fn need(&self, n: usize, what: &'static str) -> Result<(), EpilogError> {
         if self.buf.remaining() < n {
-            Err(EpilogError::UnexpectedEof { while_reading: what })
+            Err(EpilogError::UnexpectedEof {
+                while_reading: what,
+            })
         } else {
             Ok(())
         }
@@ -277,8 +279,7 @@ pub fn decode_trace(bytes: Bytes) -> Result<Trace, EpilogError> {
             },
             4 => {
                 let op_tag = r.u8("collective op")?;
-                let op = CollectiveOp::from_tag(op_tag)
-                    .ok_or(EpilogError::BadEventTag(op_tag))?;
+                let op = CollectiveOp::from_tag(op_tag).ok_or(EpilogError::BadEventTag(op_tag))?;
                 EventKind::CollectiveExit {
                     op,
                     bytes: r.u64("collective bytes")?,
@@ -302,7 +303,10 @@ pub fn decode_trace(bytes: Bytes) -> Result<Trace, EpilogError> {
 }
 
 /// Writes a trace to a file.
-pub fn write_trace_file(trace: &Trace, path: impl AsRef<std::path::Path>) -> Result<(), EpilogError> {
+pub fn write_trace_file(
+    trace: &Trace,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), EpilogError> {
     std::fs::write(path, encode_trace(trace))?;
     Ok(())
 }

@@ -138,9 +138,11 @@ impl Trace {
 
     /// Summary statistics.
     pub fn stats(&self) -> TraceStats {
-        let mut s = TraceStats::default();
-        s.num_locations = self.defs.locations.len();
-        s.num_events = self.events.len();
+        let mut s = TraceStats {
+            num_locations: self.defs.locations.len(),
+            num_events: self.events.len(),
+            ..TraceStats::default()
+        };
         for e in &self.events {
             match e.kind {
                 EventKind::Enter { .. } => s.enters += 1,

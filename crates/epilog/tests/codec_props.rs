@@ -58,8 +58,11 @@ fn arb_kind(nregions: u32, ranks: i32) -> impl Strategy<Value = EventKind> {
     prop_oneof![
         (0..nregions).prop_map(|region| EventKind::Enter { region }),
         (0..nregions).prop_map(|region| EventKind::Exit { region }),
-        (0..ranks, any::<i32>(), any::<u64>())
-            .prop_map(|(dest, tag, bytes)| EventKind::MpiSend { dest, tag, bytes }),
+        (0..ranks, any::<i32>(), any::<u64>()).prop_map(|(dest, tag, bytes)| EventKind::MpiSend {
+            dest,
+            tag,
+            bytes
+        }),
         (0..ranks, any::<i32>(), any::<u64>())
             .prop_map(|(source, tag, bytes)| EventKind::MpiRecv { source, tag, bytes }),
         (arb_collective(), any::<u64>(), -1i32..8)

@@ -148,8 +148,7 @@ fn replay_location(
                 let frame = stack.last().ok_or_else(|| {
                     EpilogError::Invalid(format!("location {location}: recv outside a region"))
                 })?;
-                if let Some(send_post) =
-                    sends.get_mut(&(*source, *tag)).and_then(|q| q.pop_front())
+                if let Some(send_post) = sends.get_mut(&(*source, *tag)).and_then(|q| q.pop_front())
                 {
                     let blocked = e.time - frame.enter;
                     let wait = (send_post - frame.enter).clamp(0.0, blocked.max(0.0));
@@ -258,13 +257,16 @@ pub fn analyze(trace: &Trace, options: &AnalyzeOptions) -> Result<Experiment, Ep
     let mut instances: HashMap<(u8, usize), Vec<Member>> = HashMap::new();
     for (li, p) in profiles.iter().enumerate() {
         for c in &p.colls {
-            instances.entry((c.op.tag(), c.seq)).or_default().push(Member {
-                location: li,
-                node: c.node,
-                enter: c.enter,
-                exit: c.exit,
-                root: c.root,
-            });
+            instances
+                .entry((c.op.tag(), c.seq))
+                .or_default()
+                .push(Member {
+                    location: li,
+                    node: c.node,
+                    enter: c.enter,
+                    exit: c.exit,
+                    root: c.root,
+                });
         }
     }
     let rank_of = |li: usize| trace.defs.locations[li].rank;
@@ -278,8 +280,7 @@ pub fn analyze(trace: &Trace, options: &AnalyzeOptions) -> Result<Experiment, Ep
         match op {
             CollectiveOp::Barrier => {
                 for m in members {
-                    profiles[m.location].wait_barrier[m.node] +=
-                        (last_enter - m.enter).max(0.0);
+                    profiles[m.location].wait_barrier[m.node] += (last_enter - m.enter).max(0.0);
                     profiles[m.location].barrier_completion[m.node] +=
                         (m.exit - first_exit).max(0.0);
                 }
@@ -304,9 +305,7 @@ pub fn analyze(trace: &Trace, options: &AnalyzeOptions) -> Result<Experiment, Ep
             }
             CollectiveOp::Reduce => {
                 // A root that enters before the last sender waits for it.
-                if let Some(root_idx) =
-                    members.iter().position(|m| rank_of(m.location) == m.root)
-                {
+                if let Some(root_idx) = members.iter().position(|m| rank_of(m.location) == m.root) {
                     let last_sender_enter = members
                         .iter()
                         .enumerate()
@@ -373,9 +372,10 @@ pub fn analyze(trace: &Trace, options: &AnalyzeOptions) -> Result<Experiment, Ep
     }
 
     // Phase 3: assemble the experiment.
-    let name = options.name.clone().unwrap_or_else(|| {
-        format!("EXPERT analysis of {}", trace.defs.machine_name)
-    });
+    let name = options
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("EXPERT analysis of {}", trace.defs.machine_name));
     let mut b = ExperimentBuilder::new(name);
     let pat = PatternIds::define(&mut b);
 
@@ -387,11 +387,9 @@ pub fn analyze(trace: &Trace, options: &AnalyzeOptions) -> Result<Experiment, Ep
         let module = *module_of_file
             .entry(r.file.as_str())
             .or_insert_with(|| b.def_module(r.file.clone(), r.file.clone()));
-        let kind = if r.name.starts_with("MPI_") {
-            RegionKind::Function
-        } else {
-            RegionKind::Function
-        };
+        // EPILOG region records carry no kind distinction this analyzer
+        // uses; MPI and user regions are told apart later by name.
+        let kind = RegionKind::Function;
         region_ids.push(b.def_region(r.name.clone(), module, kind, r.line, r.line));
     }
 
@@ -453,11 +451,8 @@ pub fn analyze(trace: &Trace, options: &AnalyzeOptions) -> Result<Experiment, Ep
 
     // Topology recorded with the trace (instrumented MPI_Cart_create).
     if let Some(t) = &trace.defs.topology {
-        let mut topo = cube_model::CartTopology::new(
-            t.name.clone(),
-            t.dims.clone(),
-            t.periodic.clone(),
-        );
+        let mut topo =
+            cube_model::CartTopology::new(t.name.clone(), t.dims.clone(), t.periodic.clone());
         for (rank, c) in &t.coords {
             if let Some(p) = process_of_rank.get(rank) {
                 topo.coords.push((*p, c.clone()));
@@ -602,7 +597,11 @@ mod tests {
         assert!(ls > 0.0, "wavefront must produce Late Sender");
         assert!(p2p >= ls);
         // Late Sender should dominate P2P time in a pipeline fill.
-        assert!(ls / p2p > 0.3, "Late Sender only {:.1}% of P2P", ls / p2p * 100.0);
+        assert!(
+            ls / p2p > 0.3,
+            "Late Sender only {:.1}% of P2P",
+            ls / p2p * 100.0
+        );
     }
 
     #[test]
@@ -711,11 +710,7 @@ mod tests {
         // Late Broadcast severity sits at MPI_Bcast call paths only.
         let md = e.metadata();
         let m = md.find_metric("Late Broadcast").unwrap();
-        for (_, c, _, v) in e
-            .severity()
-            .iter_nonzero()
-            .filter(|(mm, _, _, _)| *mm == m)
-        {
+        for (_, c, _, v) in e.severity().iter_nonzero().filter(|(mm, _, _, _)| *mm == m) {
             assert!(v > 0.0);
             assert_eq!(md.region(md.call_node_callee(c)).name, "MPI_Bcast");
         }
@@ -731,11 +726,7 @@ mod tests {
         let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
         let md = e.metadata();
         let m = md.find_metric("Early Reduce").unwrap();
-        for (_, _, t_id, v) in e
-            .severity()
-            .iter_nonzero()
-            .filter(|(mm, _, _, _)| *mm == m)
-        {
+        for (_, _, t_id, v) in e.severity().iter_nonzero().filter(|(mm, _, _, _)| *mm == m) {
             assert!(v > 0.0);
             let rank = md.process(md.thread(t_id).process).rank;
             assert_eq!(rank, 0, "early reduce belongs to the reduction root");
@@ -832,11 +823,8 @@ mod tests {
             iterations: 1,
             ..PescanConfig::default()
         }));
-        t.events.push(epilog::Event::new(
-            0.0,
-            0,
-            EventKind::Enter { region: 0 },
-        ));
+        t.events
+            .push(epilog::Event::new(0.0, 0, EventKind::Enter { region: 0 }));
         assert!(analyze(&t, &AnalyzeOptions::default()).is_err());
     }
 }

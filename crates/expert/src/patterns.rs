@@ -47,12 +47,7 @@ impl PatternIds {
     /// Defines the full pattern hierarchy on a builder and returns the
     /// identifiers.
     pub fn define(b: &mut ExperimentBuilder) -> Self {
-        let time = b.def_metric(
-            "Time",
-            Unit::Seconds,
-            "Total wall-clock time",
-            None,
-        );
+        let time = b.def_metric("Time", Unit::Seconds, "Total wall-clock time", None);
         let execution = b.def_metric(
             "Execution",
             Unit::Seconds,
@@ -65,7 +60,12 @@ impl PatternIds {
             "Worker threads idling outside parallel regions",
             Some(time),
         );
-        let mpi = b.def_metric("MPI", Unit::Seconds, "Time spent in MPI routines", Some(execution));
+        let mpi = b.def_metric(
+            "MPI",
+            Unit::Seconds,
+            "Time spent in MPI routines",
+            Some(execution),
+        );
         let communication = b.def_metric(
             "Communication",
             Unit::Seconds,
@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(md.metric(ids.execution).parent, Some(ids.time));
         assert_eq!(md.metric(ids.wait_at_nxn).parent, Some(ids.collective));
         assert_eq!(md.metric(ids.late_sender).parent, Some(ids.p2p));
-        assert_eq!(md.metric(ids.barrier_completion).parent, Some(ids.synchronization));
+        assert_eq!(
+            md.metric(ids.barrier_completion).parent,
+            Some(ids.synchronization)
+        );
         // Units: everything under Time is seconds, Visits is occurrences.
         assert_eq!(md.metric(ids.wait_at_barrier).unit, Unit::Seconds);
         assert_eq!(md.metric(ids.visits).unit, Unit::Occurrences);

@@ -130,7 +130,11 @@ fn barrier_waits_and_completion_are_exact() {
     let exits = [7.0, 6.5, 6.25];
     for loc in 0..3u32 {
         t.push(ev(0.0, loc, EventKind::Enter { region: MAIN }));
-        t.push(ev(enters[loc as usize], loc, EventKind::Enter { region: BARRIER }));
+        t.push(ev(
+            enters[loc as usize],
+            loc,
+            EventKind::Enter { region: BARRIER },
+        ));
         t.push(ev(
             exits[loc as usize],
             loc,
@@ -140,7 +144,11 @@ fn barrier_waits_and_completion_are_exact() {
                 root: -1,
             },
         ));
-        t.push(ev(exits[loc as usize], loc, EventKind::Exit { region: BARRIER }));
+        t.push(ev(
+            exits[loc as usize],
+            loc,
+            EventKind::Exit { region: BARRIER },
+        ));
         t.push(ev(8.0, loc, EventKind::Exit { region: MAIN }));
     }
     let e = analyze(&t, &AnalyzeOptions::default()).unwrap();
@@ -198,7 +206,11 @@ fn late_broadcast_and_early_reduce_are_exact() {
             },
         ));
         t.push(ev(5.5, loc, EventKind::Exit { region: BCAST }));
-        t.push(ev(reduce_enters[i], loc, EventKind::Enter { region: REDUCE }));
+        t.push(ev(
+            reduce_enters[i],
+            loc,
+            EventKind::Enter { region: REDUCE },
+        ));
         t.push(ev(
             9.5,
             loc,

@@ -157,8 +157,7 @@ pub fn pescan(cfg: &PescanConfig) -> Program {
             // flight — the paper's antipodal-displacement effect.
             script.push(Op::Enter(precond));
             script.push(Op::Compute {
-                seconds: cfg.base_compute
-                    * (1.0 - cfg.imbalance * cfg.cancellation * x),
+                seconds: cfg.base_compute * (1.0 - cfg.imbalance * cfg.cancellation * x),
                 work: ComputeWork::flop_heavy(3_000_000),
             });
             script.push(Op::Exit(precond));
@@ -242,10 +241,7 @@ mod tests {
             assert!(phases.iter().cloned().fold(f64::NEG_INFINITY, f64::max) >= 0.99);
         }
         // Rotation: the slow rank differs between iterations.
-        assert_ne!(
-            imbalance_phase(0, 0, ranks),
-            imbalance_phase(0, 1, ranks)
-        );
+        assert_ne!(imbalance_phase(0, 0, ranks), imbalance_phase(0, 1, ranks));
     }
 
     #[test]
@@ -287,10 +283,7 @@ mod tests {
         )
         .unwrap();
         // per iteration: alltoall + allreduce (+ 2 barriers).
-        assert_eq!(
-            with.collectives,
-            (cfg.iterations * 4) as u64
-        );
+        assert_eq!(with.collectives, (cfg.iterations * 4) as u64);
         assert_eq!(without.collectives, (cfg.iterations * 2) as u64);
     }
 

@@ -109,8 +109,7 @@ pub fn sweep3d(cfg: &Sweep3dConfig) -> Program {
                 }
                 // Memory-bound per-stage computation with a static
                 // per-rank imbalance.
-                let factor =
-                    1.0 + cfg.imbalance * (rank as f64 / (ranks - 1).max(1) as f64 - 0.5);
+                let factor = 1.0 + cfg.imbalance * (rank as f64 / (ranks - 1).max(1) as f64 - 0.5);
                 script.push(Op::Compute {
                     seconds: cfg.base_compute * factor,
                     work: ComputeWork::memory_bound(4_000_000),

@@ -38,6 +38,8 @@ mod tests {
             detail: "rank 0 waits on rank 1".into(),
         };
         assert!(e.to_string().contains("deadlock"));
-        assert!(SimError::InvalidProgram("x".into()).to_string().contains('x'));
+        assert!(SimError::InvalidProgram("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -129,9 +129,7 @@ impl MachineModel {
             // dissemination barriers of the paper's era cost on the
             // order of 100 µs at 16 ranks.
             CollectiveOp::Barrier => 3.0 * (n.latency + n.send_overhead) * log_p,
-            CollectiveOp::AllToAll => {
-                n.latency * log_p + (bytes as f64 * (p - 1.0)) / n.bandwidth
-            }
+            CollectiveOp::AllToAll => n.latency * log_p + (bytes as f64 * (p - 1.0)) / n.bandwidth,
             CollectiveOp::AllReduce => (n.latency + bytes as f64 / n.bandwidth) * log_p,
             CollectiveOp::Broadcast | CollectiveOp::Reduce => {
                 (n.latency + bytes as f64 / n.bandwidth) * log_p

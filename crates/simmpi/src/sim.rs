@@ -118,10 +118,15 @@ pub fn simulate(
                         match msg {
                             Some(m) => {
                                 let start = recv_wait_start[rank].take().unwrap_or(time[rank]);
-                                let end =
-                                    start.max(m.avail) + model.network.recv_overhead;
+                                let end = start.max(m.avail) + model.network.recv_overhead;
                                 monitor.on_recv(
-                                    rank, start, end, *from, *tag, m.bytes, m.send_post,
+                                    rank,
+                                    start,
+                                    end,
+                                    *from,
+                                    *tag,
+                                    m.bytes,
+                                    m.send_post,
                                 );
                                 time[rank] = end;
                                 pc[rank] += 1;

@@ -15,9 +15,7 @@
 //!   *Wait at N x N* / *Barrier Completion* from the instance's
 //!   enter/exit spread.
 
-use epilog::{
-    CollectiveOp, Event, EventKind, Location, RegionDef, Trace, TraceDefs,
-};
+use epilog::{CollectiveOp, Event, EventKind, Location, RegionDef, Trace, TraceDefs};
 
 use crate::monitor::{ComputeWork, Monitor};
 use crate::program::Program;
@@ -327,7 +325,7 @@ mod tests {
         assert_eq!(s.sends, 1);
         assert_eq!(s.recvs, 1);
         assert_eq!(s.collectives, 2); // one barrier instance, two ranks
-        // main + work + MPI_Send/Recv/Barrier wrappers per rank.
+                                      // main + work + MPI_Send/Recv/Barrier wrappers per rank.
         assert_eq!(s.enters, s.exits);
     }
 
@@ -339,14 +337,16 @@ mod tests {
             .events
             .iter()
             .find(|e| {
-                e.location == 1 && matches!(e.kind, EventKind::Enter { region } if region == recv_region)
+                e.location == 1
+                    && matches!(e.kind, EventKind::Enter { region } if region == recv_region)
             })
             .expect("recv enter event");
         let exit = t
             .events
             .iter()
             .find(|e| {
-                e.location == 1 && matches!(e.kind, EventKind::Exit { region } if region == recv_region)
+                e.location == 1
+                    && matches!(e.kind, EventKind::Exit { region } if region == recv_region)
             })
             .expect("recv exit event");
         // Rank 1 posted immediately (t=0) and waited for rank 0's send at 0.5.

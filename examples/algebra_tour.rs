@@ -9,8 +9,8 @@
 
 use cube_algebra::baseline::performance_difference;
 use cube_algebra::stats::{hotspots, imbalance, stddev};
-use cube_model::aggregate::MetricSelection;
 use cube_algebra::{cut, ops};
+use cube_model::aggregate::MetricSelection;
 use cube_model::Experiment;
 use cube_suite::expert::{analyze, AnalyzeOptions};
 use cube_suite::simmpi::apps::{stencil, StencilConfig};
@@ -41,10 +41,7 @@ fn run(seed: u64, imbalance: f64) -> Experiment {
 
 fn total(e: &Experiment, name: &str) -> f64 {
     let m = e.metadata().find_metric(name).expect("metric exists");
-    cube_model::aggregate::metric_total(
-        e,
-        cube_model::aggregate::MetricSelection::inclusive(m),
-    )
+    cube_model::aggregate::metric_total(e, cube_model::aggregate::MetricSelection::inclusive(m))
 }
 
 fn main() {
@@ -62,7 +59,10 @@ fn main() {
     println!("  mean(Time)   = {:.4} s", total(&avg, "Time"));
     println!("  min(Time)    = {:.4} s", total(&best, "Time"));
     println!("  max(Time)    = {:.4} s", total(&worst, "Time"));
-    println!("  stddev(Time) = {:.4} s  <- itself a browsable experiment", total(&spread, "Time"));
+    println!(
+        "  stddev(Time) = {:.4} s  <- itself a browsable experiment",
+        total(&spread, "Time")
+    );
 
     // --- the composite the paper highlights: difference of averages.
     let saved = ops::diff(&avg, &tuned);

@@ -50,7 +50,10 @@ fn run_and_analyze(barriers: bool) -> Experiment {
 }
 
 fn metric(e: &Experiment, name: &str) -> f64 {
-    let m = e.metadata().find_metric(name).expect("pattern metric exists");
+    let m = e
+        .metadata()
+        .find_metric(name)
+        .expect("pattern metric exists");
     metric_total(e, MetricSelection::inclusive(m))
 }
 
@@ -80,8 +83,7 @@ fn main() {
     saved.validate().expect("closure");
     let mut state = BrowserState::new(&saved);
     state.expand_all(&saved);
-    state.value_mode =
-        ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
+    state.value_mode = ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
     println!("\n=== Figure 2: difference(original, optimized), % of original time ===");
     println!(
         "{}",

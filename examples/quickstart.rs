@@ -39,18 +39,26 @@ fn main() {
 
     // The difference operator yields a full derived experiment.
     let saved = ops::diff(&slow, &tuned);
-    saved.validate().expect("closure: operator results are valid experiments");
+    saved
+        .validate()
+        .expect("closure: operator results are valid experiments");
 
     println!("=== the tuned run, browsed directly ===");
     let mut state = BrowserState::new(&tuned);
     state.expand_all(&tuned);
     state.value_mode = ValueMode::Percent;
-    println!("{}", cube_display::render_view(&tuned, &state, RenderOptions::default()));
+    println!(
+        "{}",
+        cube_display::render_view(&tuned, &state, RenderOptions::default())
+    );
 
     println!("=== what the tuning saved (difference experiment) ===");
     let mut state = BrowserState::new(&saved);
     state.expand_all(&saved);
-    println!("{}", cube_display::render_view(&saved, &state, RenderOptions::default()));
+    println!(
+        "{}",
+        cube_display::render_view(&saved, &state, RenderOptions::default())
+    );
 
     // Derived experiments are operands like any other: sanity-check that
     // tuned + saved == slow (up to floating point).

@@ -34,10 +34,7 @@ fn cone_run(set: EventSet) -> Experiment {
 
 fn main() {
     // The counter combination the analysis needs is impossible in one run:
-    let forbidden = EventSet::new(
-        "FP+L1",
-        vec![CounterKind::FpIns, CounterKind::L1Dcm],
-    );
+    let forbidden = EventSet::new("FP+L1", vec![CounterKind::FpIns, CounterKind::L1Dcm]);
     match forbidden {
         Err(e @ ConeError::ConflictingEventSet { .. }) => {
             println!("hardware restriction reproduced: {e}\n")

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the bench-definition API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`criterion_group!`],
+//! [`criterion_main!`] — on a deliberately simple wall-clock harness:
+//! a short warm-up, then timed batches until a fixed measurement
+//! budget, reporting the per-iteration mean and derived throughput to
+//! stdout. No statistics, plots, or saved baselines; the numbers are
+//! honest medians-of-means good enough for before/after comparisons.
+
+use std::time::{Duration, Instant};
+
+/// How units of work relate to wall time, for derived throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id that is just the displayed parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Measured mean time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: warms up briefly, then runs timed batches until
+    /// the measurement budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one run, at most ~50 ms.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget || warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+
+        // Measurement: batches sized to ~10 ms, total budget ~200 ms.
+        let budget = Duration::from_millis(200);
+        let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.elapsed_per_iter = total / iters.max(1) as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Ignored knob kept for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored knob kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&id.name, bencher.elapsed_per_iter);
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&id.name, bencher.elapsed_per_iter);
+    }
+
+    fn report(&self, name: &str, per_iter: Duration) {
+        let ns = per_iter.as_nanos().max(1);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                let mib_s = b as f64 * 1e9 / ns as f64 / (1024.0 * 1024.0);
+                format!("  ({mib_s:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(e)) => {
+                let me_s = e as f64 * 1e9 / ns as f64 / 1e6;
+                format!("  ({me_s:.2} Melem/s)")
+            }
+            None => String::new(),
+        };
+        println!("{}/{name:<28} {ns:>12} ns/iter{rate}", self.name);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export kept for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut group = Criterion::default();
+        let mut g = group.benchmark_group("selftest");
+        g.throughput(Throughput::Elements(100));
+        let mut measured = false;
+        g.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, _| {
+            b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+            measured = true;
+        });
+        g.finish();
+        assert!(measured);
+    }
+}

@@ -1,0 +1,766 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests
+//! use: a generation-based [`strategy::Strategy`] trait (ranges,
+//! tuples, string patterns, `Just`, [`collection::vec`],
+//! [`option::of`], `prop_map`, `boxed`), the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!` and
+//! `prop_assert_eq!` macros, and a deterministic per-test runner.
+//!
+//! Differences from real proptest: no shrinking (a failing case
+//! reports the generated inputs as-is), no persisted regression seeds
+//! (`.proptest-regressions` files are ignored), and string strategies
+//! accept only the simple regex subset `[class]`, literal characters,
+//! and `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+
+pub mod strategy {
+    //! The generation-based [`Strategy`] trait and combinators.
+
+    use std::fmt::Debug;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking:
+    /// `generate` draws one value from the given RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Wraps a generation closure as a strategy. Used by the
+    /// `prop_compose!` expansion.
+    pub struct FnGen<F>(pub F);
+
+    impl<T: Debug, F: Fn(&mut StdRng) -> T> Strategy for FnGen<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives. Built by
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Creates a union over the given alternatives.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "empty range strategy");
+                    ((*self.start() as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            self.start + rng.random::<f64>() * (self.end - self.start)
+        }
+    }
+
+    // -- string patterns ---------------------------------------------------
+
+    enum Atom {
+        Lit(char),
+        /// Inclusive character ranges; single characters are `(c, c)`.
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated [class] in pattern");
+            match c {
+                ']' => {
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    return ranges;
+                }
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = prev.take().expect("checked above");
+                    let hi = chars.next().expect("checked above");
+                    assert!(lo <= hi, "inverted range in [class]");
+                    ranges.push((lo, hi));
+                }
+                '\\' => {
+                    if let Some(p) = prev.replace(chars.next().expect("dangling escape")) {
+                        ranges.push((p, p));
+                    }
+                }
+                _ => {
+                    if let Some(p) = prev.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Lit(chars.next().expect("dangling escape in pattern")),
+                '.' | '(' | ')' | '|' => {
+                    panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+                }
+                _ => Atom::Lit(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        body.push(c);
+                    }
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad {m,n} quantifier"),
+                            hi.parse().expect("bad {m,n} quantifier"),
+                        ),
+                        None => {
+                            let n = body.parse().expect("bad {n} quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let span = (piece.max - piece.min + 1) as u64;
+                let n = piece.min + (rng.next_u64() % span) as usize;
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let total: u64 = ranges
+                                .iter()
+                                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                                .sum();
+                            let mut pick = rng.next_u64() % total;
+                            for &(lo, hi) in ranges {
+                                let width = hi as u64 - lo as u64 + 1;
+                                if pick < width {
+                                    out.push(
+                                        char::from_u32(lo as u32 + pick as u32)
+                                            .expect("class range stays in scalar values"),
+                                    );
+                                    break;
+                                }
+                                pick -= width;
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$i:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — default strategies per type.
+
+    use std::fmt::Debug;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical default strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// See [`fn@vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let n = self.size.min + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Match real proptest's default 1-in-4 chance of `None`.
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `None` about a quarter of the time, otherwise `Some` of `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::arbitrary::Arbitrary;
+
+    /// An arbitrary index into a collection whose size is only known
+    /// at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this index into `0..size`.
+        ///
+        /// # Panics
+        /// Panics if `size` is zero.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case runner used by the `proptest!` expansion.
+
+    use std::fmt;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Controls how many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed property case (from `prop_assert!` and friends).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-property, per-case RNG: same test name and
+    /// case number always replay the same inputs.
+    pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+        // FNV-1a over the test path, mixed with the case number.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+
+    /// Mirror of the crate root so tests can say `prop::sample::Index`.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy};
+    }
+}
+
+/// Defines property tests. Each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($binding:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $binding =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    // Render inputs up front: the body may consume them.
+                    let rendered_inputs: ::std::string::String = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($binding));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", &$binding));
+                            s.push_str("\n");
+                        )*
+                        s
+                    };
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} for {} failed: {}\ninputs:\n{}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            err,
+                            rendered_inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Defines a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($args:tt)*)
+            ($($binding:ident in $strategy:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnGen(move |rng: &mut ::rand::rngs::StdRng| -> $ret {
+                $(
+                    let $binding =
+                        $crate::strategy::Strategy::generate(&($strategy), rng);
+                )+
+                $body
+            })
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($args:tt)*)
+            ($($binding1:ident in $strategy1:expr),+ $(,)?)
+            ($($binding2:ident in $strategy2:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnGen(move |rng: &mut ::rand::rngs::StdRng| -> $ret {
+                $(
+                    let $binding1 =
+                        $crate::strategy::Strategy::generate(&($strategy1), rng);
+                )+
+                $(
+                    let $binding2 =
+                        $crate::strategy::Strategy::generate(&($strategy2), rng);
+                )+
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_strings_stay_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("selftest", 0);
+        for _ in 0..200 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let s = "[a-c]{2,4}x?".generate(&mut rng);
+            assert!(s.len() >= 2 && s.len() <= 5, "unexpected {s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == 'x'));
+        }
+    }
+
+    #[test]
+    fn determinism_per_name_and_case() {
+        let a = crate::collection::vec(0u32..100, 1..10)
+            .generate(&mut crate::test_runner::rng_for("t", 3));
+        let b = crate::collection::vec(0u32..100, 1..10)
+            .generate(&mut crate::test_runner::rng_for("t", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_pipeline_works(
+            xs in crate::collection::vec(0i32..10, 0..5),
+            flag in any::<bool>(),
+            which in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!(xs.len() < 5);
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert_eq!(u8::from(which == 1) + u8::from(which == 2), 1);
+        }
+    }
+}

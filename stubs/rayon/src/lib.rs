@@ -1,0 +1,91 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crate registry, so this stub provides
+//! the `par_iter`/`par_iter_mut`/`into_par_iter` entry points the
+//! workspace uses and executes them **serially**: each entry point
+//! simply returns the corresponding standard-library iterator, so all
+//! adapters (`zip`, `map`, `for_each`, `collect`, ...) come from
+//! [`std::iter::Iterator`] unchanged.
+//!
+//! Semantics are identical to data-parallel execution for the pure
+//! element-wise kernels this workspace runs; only the speedup is gone.
+//! When a real registry is available again, point the workspace
+//! dependency back at upstream `rayon` and nothing else changes.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+
+    /// Serial stand-in for `rayon::prelude::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns this collection's ordinary sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Serial stand-in for `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The sequential iterator type standing in for the parallel one.
+        type Iter: Iterator;
+        /// Returns a sequential shared-reference iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+    impl<'data, T: ?Sized + 'data> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Serial stand-in for `rayon::prelude::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The sequential iterator type standing in for the parallel one.
+        type Iter: Iterator;
+        /// Returns a sequential mutable-reference iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+    impl<'data, T: ?Sized + 'data> IntoParallelRefMutIterator<'data> for T
+    where
+        &'data mut T: IntoIterator,
+    {
+        type Iter = <&'data mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Serial stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_behave_like_std_iterators() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+
+        let mut dst = [1.0, 2.0, 3.0];
+        let src = [0.5, 0.5, 0.5];
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(d, s)| *d -= *s);
+        assert_eq!(dst, [0.5, 1.5, 2.5]);
+
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

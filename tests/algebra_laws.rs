@@ -53,14 +53,8 @@ fn build(spec: &Spec, name: &str) -> Experiment {
     for (name_idx, parent) in &spec.metrics {
         // Parent must already exist and (for unit homogeneity) every
         // generated metric uses seconds.
-        let parent_id = parent
-            .and_then(|p| metric_ids.get(p as usize).copied());
-        let id = b.def_metric(
-            format!("metric{name_idx}"),
-            Unit::Seconds,
-            "",
-            parent_id,
-        );
+        let parent_id = parent.and_then(|p| metric_ids.get(p as usize).copied());
+        let id = b.def_metric(format!("metric{name_idx}"), Unit::Seconds, "", parent_id);
         metric_ids.push(id);
     }
     let module = b.def_module("gen.rs", "/gen.rs");
@@ -133,7 +127,7 @@ proptest! {
     #[test]
     fn mean_of_copies_is_identity(s in spec_strategy(), k in 1usize..5) {
         let a = build(&s, "a");
-        let copies: Vec<&Experiment> = std::iter::repeat(&a).take(k).collect();
+        let copies: Vec<&Experiment> = std::iter::repeat_n(&a, k).collect();
         let m = ops::mean(&copies).unwrap();
         prop_assert!(m.severity().approx_eq(a.severity(), 1e-9));
     }

@@ -100,7 +100,10 @@ fn series_min_matches_library_result() {
     let min_path = workdir().join("min.cube").to_string_lossy().into_owned();
     cube(&["min", &files[0], &files[1], &files[2], "-o", &min_path]);
 
-    let runs: Vec<_> = files.iter().map(|f| read_experiment_file(f).unwrap()).collect();
+    let runs: Vec<_> = files
+        .iter()
+        .map(|f| read_experiment_file(f).unwrap())
+        .collect();
     let expected = cube_algebra::ops::min(&runs.iter().collect::<Vec<_>>()).unwrap();
     let got = read_experiment_file(&min_path).unwrap();
     assert!(got.approx_eq(&expected, 1e-12));

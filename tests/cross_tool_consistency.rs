@@ -37,8 +37,7 @@ fn time_by_region(e: &Experiment) -> std::collections::BTreeMap<String, f64> {
     let mut out = std::collections::BTreeMap::new();
     for c in md.call_node_ids() {
         let region = md.region(md.call_node_callee(c)).name.clone();
-        *out.entry(region).or_insert(0.0) +=
-            call_value(e, msel, CallSelection::exclusive(c));
+        *out.entry(region).or_insert(0.0) += call_value(e, msel, CallSelection::exclusive(c));
     }
     out
 }

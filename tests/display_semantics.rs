@@ -46,17 +46,21 @@ fn single_representation_in_the_metric_tree() {
         let collapsed_total: f64 = state
             .metric_rows(e)
             .iter()
-            .filter(|r| matches!(r.kind, cube_display::RowKind::Metric(m)
+            .filter(|r| {
+                matches!(r.kind, cube_display::RowKind::Metric(m)
                 if e.metadata().metric(m).parent.is_none()
-                && e.metadata().metric(m).unit == cube_model::Unit::Seconds))
+                && e.metadata().metric(m).unit == cube_model::Unit::Seconds)
+            })
             .map(|r| r.raw)
             .sum();
         state.expand_all(e);
         let expanded_total: f64 = state
             .metric_rows(e)
             .iter()
-            .filter(|r| matches!(r.kind, cube_display::RowKind::Metric(m)
-                if e.metadata().metric(m).unit == cube_model::Unit::Seconds))
+            .filter(|r| {
+                matches!(r.kind, cube_display::RowKind::Metric(m)
+                if e.metadata().metric(m).unit == cube_model::Unit::Seconds)
+            })
             .map(|r| r.raw)
             .sum();
         assert!(

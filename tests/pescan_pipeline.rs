@@ -78,8 +78,7 @@ fn figure2_renders_with_reliefs_and_normalization() {
 
     let mut state = BrowserState::new(&diff);
     state.expand_all(&diff);
-    state.value_mode =
-        ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
+    state.value_mode = ValueMode::PercentNormalized(NormalizationRef::from_experiment(&original));
     let text = cube_display::render_view(&diff, &state, RenderOptions::default());
     // Both reliefs visible: gains raised (+), losses sunken (-).
     let metric_pane: Vec<&str> = text
@@ -112,7 +111,9 @@ fn speedup_protocol_two_series_of_ten_minimum() {
             },
             ..MachineModel::default()
         };
-        simulate(&program, &model, &mut NullMonitor).unwrap().elapsed
+        simulate(&program, &model, &mut NullMonitor)
+            .unwrap()
+            .elapsed
     };
     let original_min = (0..10)
         .map(|i| elapsed(true, i))
