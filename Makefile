@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint fmt fmt-check clippy doc bench-xml
+.PHONY: verify build test lint fmt fmt-check clippy doc bench-xml bench-batch
 
 ## The full gate: build, tests, formatting, lints, doc rot.
 verify: build test fmt-check clippy doc
@@ -31,3 +31,7 @@ doc:
 ## Streaming-vs-DOM serialization comparison (see EXPERIMENTS.md).
 bench-xml:
 	$(CARGO) bench -p cube-bench --bench xml_roundtrip
+
+## Batch-vs-pairwise n-ary reduction scaling (see EXPERIMENTS.md).
+bench-batch:
+	$(CARGO) bench -p cube-bench --bench batch_reduce

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# CI gate. The first two steps are the tier-1 gate from ROADMAP.md,
+# verbatim — a red run there must mean a red tier-1. The rest is the
+# full hygiene sweep: every workspace test (including the batch
+# differential suite and the property laws), formatting, clippy, docs.
+#
+# Benches are compiled (clippy --all-targets) but never *run* here, so
+# adding benches cannot slow this gate; run them explicitly with
+# `make bench-batch` / `make bench-xml`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== workspace tests"
+cargo test --workspace -q
+
+echo "== hygiene: fmt, clippy -D warnings, doc -D warnings"
+make fmt-check clippy doc
+
+echo "== ci/check.sh: all green"

@@ -1,0 +1,1103 @@
+//! Batch evaluation engine: integrate once, reduce k operands in one pass.
+//!
+//! The paper's closure property makes derived experiments operands of
+//! further operators, so real cross-experiment studies apply reductions
+//! over *series* — the §5.1 speedup table takes the minimum of two
+//! ten-run series, and parameter sweeps average dozens of runs per
+//! figure. Folding such a series through repeated **pairwise** merges
+//! re-runs metadata integration and re-allocates zero-extended severity
+//! arrays once per operand: O(k) structural merges and O(k) full-size
+//! allocations for one answer.
+//!
+//! A [`BatchPlan`] does the work once:
+//!
+//! 1. **Integrate once.** All k operands' metric forests, call forests,
+//!    and system hierarchies are folded into one integrated
+//!    [`Metadata`] by a single call to [`crate::integrate()`], and the
+//!    per-operand [`OperandMap`]s (source id → integrated id) are
+//!    cached on the plan.
+//! 2. **Cache gather tables.** Each operand's mapping is inverted into
+//!    per-dimension gather tables (integrated id → source id, or
+//!    *absent*), so an operand's value at any integrated tuple is three
+//!    table lookups — no zero-extended copy of the operand is ever
+//!    materialized. Operands whose mapping is the identity are read
+//!    directly; the rare operand with structurally equal siblings
+//!    (a non-injective mapping) falls back to one cached zero-extended
+//!    copy.
+//! 3. **Reduce in one pass.** [`BatchPlan::reduce`] evaluates an n-ary
+//!    [`Reduction`] — `sum`, `mean`, `min`, `max`, `variance`,
+//!    `stddev` — by streaming over the integrated severity rows once,
+//!    accumulating across all operands per row. Row blocks are
+//!    distributed over Rayon above the same element-count threshold the
+//!    element-wise kernels in [`crate::ops`] use.
+//!
+//! Composite expressions — the paper's "difference of averaged data" —
+//! are evaluated by [`BatchPlan::eval`] over an [`Expr`] tree on the
+//! *same* integrated metadata, so `diff(mean(A…), mean(B…))` costs one
+//! integration total instead of three.
+//!
+//! The pre-batch evaluation path is kept verbatim in [`pairwise`] as a
+//! differential oracle: `BatchPlan` results are tested value-identical
+//! against it.
+//!
+//! # Worked example: a k-experiment study
+//!
+//! Three noisy runs, averaged, then compared against a two-run
+//! baseline — one integration for the whole expression:
+//!
+//! ```
+//! use cube_algebra::batch::{BatchPlan, Expr, Reduction};
+//! # use cube_model::builder::single_threaded_system;
+//! # use cube_model::{ExperimentBuilder, RegionKind, Unit};
+//! # fn run(name: &str, v: f64) -> cube_model::Experiment {
+//! #     let mut b = ExperimentBuilder::new(name);
+//! #     let t = b.def_metric("time", Unit::Seconds, "", None);
+//! #     let m = b.def_module("a", "a");
+//! #     let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+//! #     let cs = b.def_call_site("a", 1, r);
+//! #     let root = b.def_call_node(cs, None);
+//! #     let ts = single_threaded_system(&mut b, 1);
+//! #     b.set_severity(t, root, ts[0], v);
+//! #     b.build().unwrap()
+//! # }
+//! let (a1, a2, a3) = (run("a1", 9.0), run("a2", 10.0), run("a3", 11.0));
+//! let (b1, b2) = (run("b1", 7.0), run("b2", 9.0));
+//!
+//! // One plan over all five operands: metadata integration runs once.
+//! let plan = BatchPlan::new(&[&a1, &a2, &a3, &b1, &b2]);
+//!
+//! // Plain n-ary reduction over a subset of the series…
+//! let avg = plan
+//!     .eval(&Expr::reduce(Reduction::Mean, 0..3))
+//!     .unwrap();
+//! assert_eq!(avg.severity().values(), &[10.0]);
+//!
+//! // …and the paper's composite, still on the one integrated schema.
+//! let saved = plan
+//!     .eval(&Expr::diff(
+//!         Expr::reduce(Reduction::Mean, 0..3),
+//!         Expr::reduce(Reduction::Mean, 3..5),
+//!     ))
+//!     .unwrap();
+//! assert_eq!(saved.severity().values(), &[2.0]);
+//! assert_eq!(
+//!     saved.provenance().label(),
+//!     "difference(mean(a1, a2, a3), mean(b1, b2))"
+//! );
+//! // Closure: the result is a full experiment, usable as an operand.
+//! saved.validate().unwrap();
+//! ```
+
+use rayon::prelude::*;
+
+use cube_model::{Experiment, Metadata, Provenance, Severity};
+
+use crate::error::AlgebraError;
+use crate::extend::extend_severity;
+use crate::integrate::{integrate, Integrated};
+use crate::mapping::OperandMap;
+use crate::ops::PAR_THRESHOLD;
+use crate::options::MergeOptions;
+
+/// Sentinel in gather tables: this integrated id has no preimage in the
+/// operand, so the operand's zero-extended value there is 0.0.
+const ABSENT: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// reductions and expressions
+// ---------------------------------------------------------------------------
+
+/// An n-ary element-wise reduction over a series of experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduction {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise arithmetic mean.
+    Mean,
+    /// Element-wise minimum (the paper's §5.1 series selection).
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise population variance.
+    Variance,
+    /// Element-wise population standard deviation.
+    Stddev,
+}
+
+impl Reduction {
+    /// The operator name used in derived provenance, matching the names
+    /// the [`crate::ops`] / [`crate::stats`] entry points have always
+    /// written.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Sum => "sum",
+            Self::Mean => "mean",
+            Self::Min => "min",
+            Self::Max => "max",
+            Self::Variance => "variance",
+            Self::Stddev => "stddev",
+        }
+    }
+}
+
+/// A composite expression over the operands of one [`BatchPlan`].
+///
+/// Every node evaluates to a severity-shaped value over the plan's
+/// integrated metadata, so arbitrary nesting needs no further
+/// integration — that is the closure property, collapsed onto a single
+/// schema.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// The zero-extended severity of one operand (by plan index).
+    Operand(usize),
+    /// An n-ary reduction over a set of operands (by plan index).
+    Reduce(Reduction, Vec<usize>),
+    /// Element-wise difference of two sub-expressions.
+    Diff(Box<Expr>, Box<Expr>),
+    /// Scalar multiple of a sub-expression.
+    Scale(Box<Expr>, f64),
+}
+
+impl Expr {
+    /// A reduction over the operand indices in `range` (convenience for
+    /// the common "contiguous slice of the series" case).
+    pub fn reduce(r: Reduction, range: impl IntoIterator<Item = usize>) -> Self {
+        Self::Reduce(r, range.into_iter().collect())
+    }
+
+    /// `minuend − subtrahend`, element-wise.
+    pub fn diff(minuend: Expr, subtrahend: Expr) -> Self {
+        Self::Diff(Box::new(minuend), Box::new(subtrahend))
+    }
+
+    /// `factor ×` the sub-expression, element-wise.
+    pub fn scale(inner: Expr, factor: f64) -> Self {
+        Self::Scale(Box::new(inner), factor)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cached operand sources
+// ---------------------------------------------------------------------------
+
+/// Per-dimension inverse of an [`OperandMap`]: integrated id → source
+/// id, with [`ABSENT`] where the operand defines nothing.
+#[derive(Debug)]
+struct GatherMap {
+    metric: Vec<u32>,
+    call: Vec<u32>,
+    thread: Vec<u32>,
+    /// `Some(n)` when the thread table is the identity on `0..n` and
+    /// absent beyond — the dominant rank-matched union case, where a
+    /// source row is one contiguous prefix of the integrated row.
+    thread_prefix: Option<usize>,
+}
+
+impl GatherMap {
+    /// Inverts a mapping; `None` when two source ids collide on one
+    /// integrated id (non-injective — the structurally-equal-siblings
+    /// case, which needs accumulating extension instead of gathering).
+    fn invert(ids: impl Iterator<Item = usize>, dst_len: usize) -> Option<Vec<u32>> {
+        let mut inv = vec![ABSENT; dst_len];
+        for (src, dst) in ids.enumerate() {
+            if inv[dst] != ABSENT {
+                return None;
+            }
+            inv[dst] = src as u32;
+        }
+        Some(inv)
+    }
+
+    fn try_build(map: &OperandMap, shape: (usize, usize, usize)) -> Option<Self> {
+        let metric = Self::invert(map.metrics.iter().map(|m| m.index()), shape.0)?;
+        let call = Self::invert(map.call_nodes.iter().map(|c| c.index()), shape.1)?;
+        let thread = Self::invert(map.threads.iter().map(|t| t.index()), shape.2)?;
+        let n = map.threads.len();
+        let identity_prefix = thread
+            .iter()
+            .take(n)
+            .enumerate()
+            .all(|(i, &v)| v == i as u32)
+            && thread.iter().skip(n).all(|&v| v == ABSENT);
+        Some(Self {
+            metric,
+            call,
+            thread,
+            thread_prefix: identity_prefix.then_some(n),
+        })
+    }
+}
+
+/// How one operand's values are read at integrated coordinates.
+#[derive(Debug)]
+enum Source {
+    /// Mapping is the identity and shapes agree: read the operand's
+    /// severity slice directly.
+    Direct,
+    /// Injective mapping: translate coordinates through cached gather
+    /// tables (no copy of the operand's data).
+    Gather(GatherMap),
+    /// Non-injective mapping: one zero-extended (accumulating) copy,
+    /// materialized at plan build time and reused by every evaluation.
+    Extended(Severity),
+}
+
+/// One operand's contribution to an integrated `(metric, call node)`
+/// row.
+enum RowRef<'p> {
+    /// A full integrated-width slice.
+    Dense(&'p [f64]),
+    /// The leading values of the row; positions beyond are zero.
+    Prefix(&'p [f64]),
+    /// Per-thread gather: `idx[t]` indexes into `src`, [`ABSENT`] = 0.
+    Gather { src: &'p [f64], idx: &'p [u32] },
+    /// The operand defines nothing on this row: all zeros.
+    Zero,
+}
+
+/// `dst = row`, materializing zero-extension.
+fn assign_row(dst: &mut [f64], row: &RowRef<'_>) {
+    match row {
+        RowRef::Dense(s) => dst.copy_from_slice(s),
+        RowRef::Prefix(s) => {
+            dst[..s.len()].copy_from_slice(s);
+            dst[s.len()..].fill(0.0);
+        }
+        RowRef::Gather { src, idx } => {
+            for (d, &j) in dst.iter_mut().zip(idx.iter()) {
+                *d = if j == ABSENT { 0.0 } else { src[j as usize] };
+            }
+        }
+        RowRef::Zero => dst.fill(0.0),
+    }
+}
+
+/// `dst[t] = f(dst[t], row[t])` with `row`'s zero-extension applied —
+/// absent positions combine with 0.0 (they must, for selections like
+/// `min`, where a missing measurement still competes as zero).
+fn combine_row(dst: &mut [f64], row: &RowRef<'_>, f: impl Fn(f64, f64) -> f64) {
+    match row {
+        RowRef::Dense(s) => {
+            for (d, &v) in dst.iter_mut().zip(s.iter()) {
+                *d = f(*d, v);
+            }
+        }
+        RowRef::Prefix(s) => {
+            let (head, tail) = dst.split_at_mut(s.len());
+            for (d, &v) in head.iter_mut().zip(s.iter()) {
+                *d = f(*d, v);
+            }
+            for d in tail {
+                *d = f(*d, 0.0);
+            }
+        }
+        RowRef::Gather { src, idx } => {
+            for (d, &j) in dst.iter_mut().zip(idx.iter()) {
+                let v = if j == ABSENT { 0.0 } else { src[j as usize] };
+                *d = f(*d, v);
+            }
+        }
+        RowRef::Zero => {
+            for d in dst {
+                *d = f(*d, 0.0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the plan
+// ---------------------------------------------------------------------------
+
+/// A reusable batch-evaluation plan over k operand experiments.
+///
+/// Construction integrates the operands' metadata **once** and caches
+/// per-operand id translations; every subsequent [`BatchPlan::reduce`]
+/// or [`BatchPlan::eval`] call is pure element-wise arithmetic over the
+/// cached schema. See the [module documentation](self) for the worked
+/// example.
+pub struct BatchPlan<'a> {
+    operands: Vec<&'a Experiment>,
+    metadata: Metadata,
+    maps: Vec<OperandMap>,
+    shape: (usize, usize, usize),
+    sources: Vec<Source>,
+}
+
+impl<'a> BatchPlan<'a> {
+    /// Builds a plan with default [`MergeOptions`].
+    pub fn new(operands: &[&'a Experiment]) -> Self {
+        Self::with_options(operands, MergeOptions::default())
+    }
+
+    /// Builds a plan with explicit integration switches.
+    pub fn with_options(operands: &[&'a Experiment], options: MergeOptions) -> Self {
+        if operands.is_empty() {
+            // Nothing to integrate; every reduction over this plan
+            // reports `EmptyOperandList`.
+            return Self {
+                operands: Vec::new(),
+                metadata: Metadata::new(),
+                maps: Vec::new(),
+                shape: (0, 0, 0),
+                sources: Vec::new(),
+            };
+        }
+        let Integrated { metadata, maps } = integrate(operands, options);
+        let shape = metadata.shape();
+        let sources = operands
+            .iter()
+            .zip(&maps)
+            .map(|(op, map)| {
+                if op.severity().shape() == shape && map.is_identity() {
+                    Source::Direct
+                } else if let Some(g) = GatherMap::try_build(map, shape) {
+                    Source::Gather(g)
+                } else {
+                    Source::Extended(extend_severity(op, map, shape))
+                }
+            })
+            .collect();
+        Self {
+            operands: operands.to_vec(),
+            metadata,
+            maps,
+            shape,
+            sources,
+        }
+    }
+
+    /// The integrated metadata all evaluations are defined over.
+    pub fn metadata(&self) -> &Metadata {
+        &self.metadata
+    }
+
+    /// The cached per-operand id mappings, in operand order.
+    pub fn maps(&self) -> &[OperandMap] {
+        &self.maps
+    }
+
+    /// The integrated severity shape `(metrics, call nodes, threads)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+
+    /// Number of operands in the plan.
+    pub fn num_operands(&self) -> usize {
+        self.operands.len()
+    }
+
+    /// Whether the plan has no operands (every reduction then errors).
+    pub fn is_empty(&self) -> bool {
+        self.operands.is_empty()
+    }
+
+    /// Evaluates a reduction over **all** operands of the plan.
+    pub fn reduce(&self, r: Reduction) -> Result<Experiment, AlgebraError> {
+        self.eval(&Expr::reduce(r, 0..self.operands.len()))
+    }
+
+    /// Evaluates a composite expression into a full derived experiment
+    /// over the integrated metadata.
+    pub fn eval(&self, expr: &Expr) -> Result<Experiment, AlgebraError> {
+        let values = self.eval_values(expr)?;
+        let severity = Severity::from_values(self.shape.0, self.shape.1, self.shape.2, values);
+        Ok(Experiment::new_unchecked(
+            self.metadata.clone(),
+            severity,
+            self.provenance_of(expr),
+        ))
+    }
+
+    // -- expression evaluation ---------------------------------------------
+
+    fn check_index(&self, i: usize) -> Result<(), AlgebraError> {
+        if i >= self.operands.len() {
+            return Err(AlgebraError::OperandOutOfRange {
+                index: i,
+                len: self.operands.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn eval_values(&self, expr: &Expr) -> Result<Vec<f64>, AlgebraError> {
+        match expr {
+            Expr::Operand(i) => {
+                self.check_index(*i)?;
+                let mut out = self.zeroed();
+                self.for_each_row(&mut out, |m, c, row| {
+                    assign_row(row, &self.operand_row(*i, m, c));
+                });
+                Ok(out)
+            }
+            Expr::Reduce(r, idxs) => self.reduce_values(*r, idxs),
+            Expr::Diff(a, b) => {
+                let mut x = self.eval_values(a)?;
+                let y = self.eval_values(b)?;
+                zip_sub(&mut x, &y);
+                Ok(x)
+            }
+            Expr::Scale(inner, factor) => {
+                let mut x = self.eval_values(inner)?;
+                let f = *factor;
+                map_values(&mut x, |v| v * f);
+                Ok(x)
+            }
+        }
+    }
+
+    fn reduce_values(&self, r: Reduction, idxs: &[usize]) -> Result<Vec<f64>, AlgebraError> {
+        let Some((&first, rest)) = idxs.split_first() else {
+            return Err(AlgebraError::EmptyOperandList { operator: r.name() });
+        };
+        for &i in idxs {
+            self.check_index(i)?;
+        }
+        let k = idxs.len() as f64;
+        let mut out = self.zeroed();
+        match r {
+            Reduction::Sum | Reduction::Mean => {
+                let scale = if r == Reduction::Mean { 1.0 / k } else { 1.0 };
+                self.fold_rows(&mut out, first, rest, |x, y| x + y, scale);
+            }
+            Reduction::Min => self.fold_rows(&mut out, first, rest, f64::min, 1.0),
+            Reduction::Max => self.fold_rows(&mut out, first, rest, f64::max, 1.0),
+            Reduction::Variance | Reduction::Stddev => {
+                // Two blocked passes: the element-wise mean, then the
+                // averaged squared deviations against it. Divisions (not
+                // reciprocal multiplies) keep results bit-identical to
+                // the pairwise oracle.
+                let mut mean = self.zeroed();
+                self.fold_rows(&mut mean, first, rest, |x, y| x + y, 1.0);
+                map_values(&mut mean, |v| v / k);
+                if self.all_dense(idxs) {
+                    for &i in idxs {
+                        let src = self.dense_values(i).expect("checked dense");
+                        accumulate_sqdev_dense(&mut out, src, &mean);
+                    }
+                } else {
+                    let nt = self.shape.2;
+                    self.for_each_row(&mut out, |m, c, row| {
+                        let r0 = m * self.shape.1 + c;
+                        let mrow = &mean[r0 * nt..(r0 + 1) * nt];
+                        for &i in idxs {
+                            accumulate_sqdev(row, &self.operand_row(i, m, c), mrow);
+                        }
+                    });
+                }
+                map_values(&mut out, |v| v / k);
+                if r == Reduction::Stddev {
+                    map_values(&mut out, f64::sqrt);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copy-first fold: `out = op_first`, then `out = f(out, op_i)` per
+    /// remaining operand, one blocked pass over the integrated rows,
+    /// finally multiplied by `scale` (1.0 = untouched). Generic in `f`
+    /// so the per-element combine inlines (a `dyn` closure here costs a
+    /// dynamic call per element and dominates the whole reduction).
+    fn fold_rows(
+        &self,
+        out: &mut [f64],
+        first: usize,
+        rest: &[usize],
+        f: impl Fn(f64, f64) -> f64 + Sync + Copy,
+        scale: f64,
+    ) {
+        // Dense fast path: when no operand needs gathering, the fold is
+        // a straight sweep over contiguous full-size arrays — no
+        // per-row source dispatch (which otherwise dominates at small
+        // thread counts). Same fold order, so results are identical.
+        if self.all_dense(&[first]) && self.all_dense(rest) {
+            out.copy_from_slice(self.dense_values(first).expect("checked dense"));
+            // Two operands per sweep halve the accumulator traffic;
+            // per element the applications stay in operand order, so
+            // the result is bit-identical to a one-by-one fold.
+            for pair in rest.chunks(2) {
+                let s1 = self.dense_values(pair[0]).expect("checked dense");
+                if let Some(&i2) = pair.get(1) {
+                    let s2 = self.dense_values(i2).expect("checked dense");
+                    if out.len() >= PAR_THRESHOLD {
+                        out.par_iter_mut()
+                            .zip(s1.par_iter().zip(s2.par_iter()))
+                            .for_each(|(d, (a, b))| *d = f(f(*d, *a), *b));
+                    } else {
+                        for (d, (a, b)) in out.iter_mut().zip(s1.iter().zip(s2)) {
+                            *d = f(f(*d, *a), *b);
+                        }
+                    }
+                } else if out.len() >= PAR_THRESHOLD {
+                    out.par_iter_mut()
+                        .zip(s1.par_iter())
+                        .for_each(|(d, s)| *d = f(*d, *s));
+                } else {
+                    for (d, s) in out.iter_mut().zip(s1) {
+                        *d = f(*d, *s);
+                    }
+                }
+            }
+            if scale != 1.0 {
+                map_values(out, |v| v * scale);
+            }
+            return;
+        }
+        self.for_each_row(out, |m, c, row| {
+            assign_row(row, &self.operand_row(first, m, c));
+            for &i in rest {
+                combine_row(row, &self.operand_row(i, m, c), f);
+            }
+            if scale != 1.0 {
+                for v in row {
+                    *v *= scale;
+                }
+            }
+        });
+    }
+
+    /// Whole-array view of an operand whose source needs no gathering.
+    fn dense_values(&self, i: usize) -> Option<&[f64]> {
+        match &self.sources[i] {
+            Source::Direct => Some(self.operands[i].severity().values()),
+            Source::Extended(s) => Some(s.values()),
+            Source::Gather(_) => None,
+        }
+    }
+
+    fn all_dense(&self, idxs: &[usize]) -> bool {
+        idxs.iter().all(|&i| self.dense_values(i).is_some())
+    }
+
+    fn zeroed(&self) -> Vec<f64> {
+        vec![0.0; self.shape.0 * self.shape.1 * self.shape.2]
+    }
+
+    /// Runs `f(metric, call, row)` for every integrated row, in blocks
+    /// of rows distributed over Rayon above the element threshold.
+    fn for_each_row(&self, values: &mut [f64], f: impl Fn(usize, usize, &mut [f64]) + Sync) {
+        let (_, nc, nt) = self.shape;
+        if values.is_empty() || nt == 0 {
+            return;
+        }
+        let run = |start_row: usize, block: &mut [f64]| {
+            for (i, row) in block.chunks_mut(nt).enumerate() {
+                let r = start_row + i;
+                f(r / nc, r % nc, row);
+            }
+        };
+        if values.len() >= PAR_THRESHOLD {
+            let rows_per_block = (PAR_THRESHOLD / nt).max(1);
+            values
+                .par_chunks_mut(rows_per_block * nt)
+                .enumerate()
+                .for_each(|(bi, block)| run(bi * rows_per_block, block));
+        } else {
+            run(0, values);
+        }
+    }
+
+    /// The operand's contribution to integrated row `(m, c)`, read
+    /// through the cached source — no allocation, no copies.
+    fn operand_row(&self, i: usize, m: usize, c: usize) -> RowRef<'_> {
+        match &self.sources[i] {
+            Source::Direct => {
+                let sev = self.operands[i].severity();
+                RowRef::Dense(sev.row_at(m * self.shape.1 + c))
+            }
+            Source::Extended(sev) => RowRef::Dense(sev.row_at(m * self.shape.1 + c)),
+            Source::Gather(g) => {
+                let (im, ic) = (g.metric[m], g.call[c]);
+                if im == ABSENT || ic == ABSENT {
+                    return RowRef::Zero;
+                }
+                let sev = self.operands[i].severity();
+                let (_, onc, _) = sev.shape();
+                let src = sev.row_at(im as usize * onc + ic as usize);
+                match g.thread_prefix {
+                    Some(_) => RowRef::Prefix(src),
+                    None => RowRef::Gather {
+                        src,
+                        idx: &g.thread,
+                    },
+                }
+            }
+        }
+    }
+
+    // -- provenance ---------------------------------------------------------
+
+    fn expr_label(&self, expr: &Expr) -> String {
+        self.provenance_of(expr).label()
+    }
+
+    fn provenance_of(&self, expr: &Expr) -> Provenance {
+        match expr {
+            Expr::Operand(i) => self.operands[*i].provenance().clone(),
+            Expr::Reduce(r, idxs) => Provenance::derived(
+                r.name(),
+                idxs.iter()
+                    .map(|&i| self.operands[i].provenance().label())
+                    .collect(),
+            ),
+            Expr::Diff(a, b) => {
+                Provenance::derived("difference", vec![self.expr_label(a), self.expr_label(b)])
+            }
+            Expr::Scale(inner, factor) => {
+                Provenance::derived("scale", vec![self.expr_label(inner), format!("{factor}")])
+            }
+        }
+    }
+}
+
+/// `dst[i] = f(dst[i])`, parallel above the element threshold.
+fn map_values(dst: &mut [f64], f: impl Fn(f64) -> f64 + Sync) {
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut().for_each(|v| *v = f(*v));
+    } else {
+        for v in dst {
+            *v = f(*v);
+        }
+    }
+}
+
+fn zip_sub(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(d, s)| *d -= *s);
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d -= *s;
+        }
+    }
+}
+
+/// `dst[i] += (src[i] − mean[i])²` over whole dense arrays, parallel
+/// above the element threshold.
+fn accumulate_sqdev_dense(dst: &mut [f64], src: &[f64], mean: &[f64]) {
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(src.par_iter().zip(mean.par_iter()))
+            .for_each(|(d, (&v, &m))| *d += (v - m) * (v - m));
+    } else {
+        for (d, (&v, &m)) in dst.iter_mut().zip(src.iter().zip(mean)) {
+            *d += (v - m) * (v - m);
+        }
+    }
+}
+
+/// `dst[t] += (row[t] − mean[t])²` with zero-extension applied.
+fn accumulate_sqdev(dst: &mut [f64], row: &RowRef<'_>, mean: &[f64]) {
+    match row {
+        RowRef::Dense(s) => {
+            for ((d, &v), &m) in dst.iter_mut().zip(s.iter()).zip(mean) {
+                *d += (v - m) * (v - m);
+            }
+        }
+        RowRef::Prefix(s) => {
+            for ((d, &v), &m) in dst.iter_mut().zip(s.iter()).zip(mean) {
+                *d += (v - m) * (v - m);
+            }
+            for (d, &m) in dst.iter_mut().zip(mean).skip(s.len()) {
+                *d += m * m;
+            }
+        }
+        RowRef::Gather { src, idx } => {
+            for ((d, &j), &m) in dst.iter_mut().zip(idx.iter()).zip(mean) {
+                let v = if j == ABSENT { 0.0 } else { src[j as usize] };
+                *d += (v - m) * (v - m);
+            }
+        }
+        RowRef::Zero => {
+            for (d, &m) in dst.iter_mut().zip(mean) {
+                *d += m * m;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the pairwise oracle
+// ---------------------------------------------------------------------------
+
+pub mod pairwise {
+    //! The pre-batch evaluation path, kept as a **differential
+    //! oracle**: every n-ary reduction here is the literal pairwise
+    //! fold (or, for the moments, the extend-everything reference),
+    //! re-running metadata integration at each step. `BatchPlan`
+    //! results are tested value-identical against these functions; the
+    //! `batch_reduce` bench in `cube-bench` measures the gap.
+
+    use cube_model::{Experiment, Provenance, Severity};
+
+    use crate::error::AlgebraError;
+    use crate::extend::extend_severity;
+    use crate::integrate::integrate;
+    use crate::options::MergeOptions;
+
+    fn labels(operands: &[&Experiment]) -> Vec<String> {
+        operands.iter().map(|e| e.provenance().label()).collect()
+    }
+
+    /// Left fold of a binary element-wise operation, integrating the
+    /// accumulator with the next operand at every step — the O(k)
+    /// integrations the batch engine exists to avoid.
+    fn fold(
+        name: &'static str,
+        operands: &[&Experiment],
+        options: MergeOptions,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Experiment, AlgebraError> {
+        let Some((&head, rest)) = operands.split_first() else {
+            return Err(AlgebraError::EmptyOperandList { operator: name });
+        };
+        let mut acc = head.clone();
+        for op in rest {
+            let integrated = integrate(&[&acc, op], options);
+            let shape = integrated.metadata.shape();
+            let mut a = extend_severity(&acc, &integrated.maps[0], shape);
+            let b = extend_severity(op, &integrated.maps[1], shape);
+            for (d, s) in a.values_mut().iter_mut().zip(b.values()) {
+                *d = f(*d, *s);
+            }
+            acc = Experiment::new_unchecked(integrated.metadata, a, Provenance::default());
+        }
+        acc.set_provenance(Provenance::derived(name, labels(operands)));
+        Ok(acc)
+    }
+
+    /// Pairwise-fold sum.
+    pub fn sum(
+        operands: &[&Experiment],
+        options: MergeOptions,
+    ) -> Result<Experiment, AlgebraError> {
+        fold("sum", operands, options, |x, y| x + y)
+    }
+
+    /// Pairwise-fold mean: fold the sum, then scale by `1/k`.
+    pub fn mean(
+        operands: &[&Experiment],
+        options: MergeOptions,
+    ) -> Result<Experiment, AlgebraError> {
+        let mut e = fold("mean", operands, options, |x, y| x + y)?;
+        let factor = 1.0 / operands.len() as f64;
+        for v in e.severity_mut().values_mut() {
+            *v *= factor;
+        }
+        Ok(e)
+    }
+
+    /// Pairwise-fold minimum.
+    pub fn min(
+        operands: &[&Experiment],
+        options: MergeOptions,
+    ) -> Result<Experiment, AlgebraError> {
+        fold("min", operands, options, f64::min)
+    }
+
+    /// Pairwise-fold maximum.
+    pub fn max(
+        operands: &[&Experiment],
+        options: MergeOptions,
+    ) -> Result<Experiment, AlgebraError> {
+        fold("max", operands, options, f64::max)
+    }
+
+    /// Reference population variance: integrates once but materializes
+    /// every operand's zero-extended array (the pre-batch
+    /// `stats::variance` implementation, verbatim).
+    pub fn variance(
+        operands: &[&Experiment],
+        options: MergeOptions,
+    ) -> Result<Experiment, AlgebraError> {
+        if operands.is_empty() {
+            return Err(AlgebraError::EmptyOperandList {
+                operator: "variance",
+            });
+        }
+        let integrated = integrate(operands, options);
+        let shape = integrated.metadata.shape();
+        let extended: Vec<_> = operands
+            .iter()
+            .zip(&integrated.maps)
+            .map(|(op, map)| extend_severity(op, map, shape))
+            .collect();
+        let k = operands.len() as f64;
+        let mut mean = extended[0].values().to_vec();
+        for e in &extended[1..] {
+            for (m, v) in mean.iter_mut().zip(e.values()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= k;
+        }
+        let mut var = Severity::zeros(shape.0, shape.1, shape.2);
+        for e in &extended {
+            for ((out, &v), &m) in var.values_mut().iter_mut().zip(e.values()).zip(&mean) {
+                *out += (v - m) * (v - m);
+            }
+        }
+        for v in var.values_mut() {
+            *v /= k;
+        }
+        Ok(Experiment::new_unchecked(
+            integrated.metadata,
+            var,
+            Provenance::derived("variance", labels(operands)),
+        ))
+    }
+
+    /// Reference population standard deviation (square root of
+    /// [`variance`]).
+    pub fn stddev(
+        operands: &[&Experiment],
+        options: MergeOptions,
+    ) -> Result<Experiment, AlgebraError> {
+        let mut e = variance(operands, options)?;
+        for v in e.severity_mut().values_mut() {
+            *v = v.sqrt();
+        }
+        e.set_provenance(Provenance::derived("stddev", labels(operands)));
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{ExperimentBuilder, RegionKind, Unit};
+
+    /// One metric, one call node, `ranks` ranks, value `v` everywhere.
+    fn uniform(name: &str, ranks: usize, v: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new(name);
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, ranks);
+        for &tid in &ts {
+            b.set_severity(t, root, tid, v);
+        }
+        b.build().unwrap()
+    }
+
+    /// A structurally different experiment (disjoint metric/region
+    /// names) so integration exercises the gather path.
+    fn disjoint(name: &str, ranks: usize, v: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new(name);
+        let t = b.def_metric("cycles", Unit::Occurrences, "", None);
+        let m = b.def_module("z", "z");
+        let r = b.def_region("other", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("z", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, ranks);
+        for &tid in &ts {
+            b.set_severity(t, root, tid, v);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_metadata_uses_direct_sources() {
+        let a = uniform("a", 3, 1.0);
+        let b = uniform("b", 3, 2.0);
+        let plan = BatchPlan::new(&[&a, &b]);
+        assert!(plan.sources.iter().all(|s| matches!(s, Source::Direct)));
+        let m = plan.reduce(Reduction::Mean).unwrap();
+        assert!(m.severity().values().iter().all(|&v| v == 1.5));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn differing_thread_counts_use_prefix_gather() {
+        let a = uniform("a", 2, 4.0);
+        let b = uniform("b", 4, 2.0);
+        let plan = BatchPlan::new(&[&a, &b]);
+        assert_eq!(plan.shape().2, 4);
+        // a has fewer threads → gather with a contiguous prefix.
+        assert!(matches!(
+            &plan.sources[0],
+            Source::Gather(g) if g.thread_prefix == Some(2)
+        ));
+        let s = plan.reduce(Reduction::Sum).unwrap();
+        assert_eq!(s.severity().values(), &[6.0, 6.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn non_injective_mapping_falls_back_to_extension() {
+        // Two structurally equal sibling roots collapse onto one
+        // integrated node → non-injective call mapping.
+        let mut b = ExperimentBuilder::new("dup");
+        let t = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+        let cs = b.def_call_site("a", 1, r);
+        let c0 = b.def_call_node(cs, None);
+        let c1 = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, 1);
+        b.set_severity(t, c0, ts[0], 1.0);
+        b.set_severity(t, c1, ts[0], 2.0);
+        let dup = b.build().unwrap();
+        let other = uniform("o", 1, 5.0);
+        let plan = BatchPlan::new(&[&dup, &other]);
+        assert!(matches!(&plan.sources[0], Source::Extended(_)));
+        // The duplicate siblings accumulate (1 + 2) before the sum.
+        let s = plan.reduce(Reduction::Sum).unwrap();
+        assert_eq!(s.severity().values(), &[8.0]);
+    }
+
+    #[test]
+    fn empty_plan_reductions_error() {
+        let plan = BatchPlan::new(&[]);
+        assert!(plan.is_empty());
+        assert!(matches!(
+            plan.reduce(Reduction::Mean),
+            Err(AlgebraError::EmptyOperandList { operator: "mean" })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_operand_errors() {
+        let a = uniform("a", 1, 1.0);
+        let plan = BatchPlan::new(&[&a]);
+        assert!(matches!(
+            plan.eval(&Expr::Operand(3)),
+            Err(AlgebraError::OperandOutOfRange { index: 3, len: 1 })
+        ));
+        assert!(matches!(
+            plan.eval(&Expr::reduce(Reduction::Sum, [0, 9])),
+            Err(AlgebraError::OperandOutOfRange { index: 9, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn composite_diff_of_means_single_integration() {
+        let a1 = uniform("a1", 2, 2.0);
+        let a2 = uniform("a2", 2, 4.0);
+        let b1 = uniform("b1", 2, 1.0);
+        let b2 = uniform("b2", 2, 2.0);
+        let plan = BatchPlan::new(&[&a1, &a2, &b1, &b2]);
+        let d = plan
+            .eval(&Expr::diff(
+                Expr::reduce(Reduction::Mean, 0..2),
+                Expr::reduce(Reduction::Mean, 2..4),
+            ))
+            .unwrap();
+        assert!(d
+            .severity()
+            .values()
+            .iter()
+            .all(|&v| (v - 1.5).abs() < 1e-12));
+        assert_eq!(
+            d.provenance().label(),
+            "difference(mean(a1, a2), mean(b1, b2))"
+        );
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn scale_and_operand_expressions() {
+        let a = uniform("a", 1, 3.0);
+        let b = disjoint("b", 1, 9.0);
+        let plan = BatchPlan::new(&[&a, &b]);
+        // Operand 0 zero-extended onto the union shape.
+        let e = plan.eval(&Expr::Operand(0)).unwrap();
+        assert_eq!(e.metadata(), plan.metadata());
+        assert_eq!(
+            e.severity()
+                .metric_sum(plan.metadata().find_metric("time").unwrap()),
+            3.0
+        );
+        let doubled = plan.eval(&Expr::scale(Expr::Operand(0), 2.0)).unwrap();
+        assert_eq!(
+            doubled
+                .severity()
+                .metric_sum(plan.metadata().find_metric("time").unwrap()),
+            6.0
+        );
+        assert!(doubled.provenance().label().starts_with("scale(a, 2"));
+    }
+
+    #[test]
+    fn variance_and_stddev_over_disjoint_metadata() {
+        // Values 1 and 3 where both define the tuple → variance 1; at
+        // tuples only one operand defines, the other counts as zero.
+        let a = uniform("a", 1, 1.0);
+        let b = uniform("b", 1, 3.0);
+        let plan = BatchPlan::new(&[&a, &b]);
+        let v = plan.reduce(Reduction::Variance).unwrap();
+        assert!((v.severity().values()[0] - 1.0).abs() < 1e-12);
+        let s = plan.reduce(Reduction::Stddev).unwrap();
+        assert!((s.severity().values()[0] - 1.0).abs() < 1e-12);
+        assert_eq!(s.provenance().label(), "stddev(a, b)");
+    }
+
+    #[test]
+    fn nan_policy_through_batch_reductions() {
+        // NaN injected through the unchecked path: additive reductions
+        // poison the element; min/max (Rust semantics) drop the single
+        // NaN operand. Pinned here per the documented Severity policy.
+        let mut a = uniform("a", 1, 1.0);
+        a.severity_mut().values_mut()[0] = f64::NAN;
+        let b = uniform("b", 1, 3.0);
+        let plan = BatchPlan::new(&[&a, &b]);
+        assert!(plan.reduce(Reduction::Sum).unwrap().severity().values()[0].is_nan());
+        assert!(plan.reduce(Reduction::Mean).unwrap().severity().values()[0].is_nan());
+        assert!(plan
+            .reduce(Reduction::Variance)
+            .unwrap()
+            .severity()
+            .values()[0]
+            .is_nan());
+        assert_eq!(
+            plan.reduce(Reduction::Min).unwrap().severity().values()[0],
+            3.0
+        );
+        assert_eq!(
+            plan.reduce(Reduction::Max).unwrap().severity().values()[0],
+            3.0
+        );
+    }
+
+    #[test]
+    fn pairwise_oracle_agrees_on_a_small_series() {
+        let a = uniform("a", 2, 2.0);
+        let b = uniform("b", 3, 4.0);
+        let c = disjoint("c", 2, 6.0);
+        let ops: [&Experiment; 3] = [&a, &b, &c];
+        let plan = BatchPlan::new(&ops);
+        for r in [
+            Reduction::Sum,
+            Reduction::Mean,
+            Reduction::Min,
+            Reduction::Max,
+            Reduction::Variance,
+            Reduction::Stddev,
+        ] {
+            let fast = plan.reduce(r).unwrap();
+            let slow = match r {
+                Reduction::Sum => pairwise::sum(&ops, MergeOptions::default()),
+                Reduction::Mean => pairwise::mean(&ops, MergeOptions::default()),
+                Reduction::Min => pairwise::min(&ops, MergeOptions::default()),
+                Reduction::Max => pairwise::max(&ops, MergeOptions::default()),
+                Reduction::Variance => pairwise::variance(&ops, MergeOptions::default()),
+                Reduction::Stddev => pairwise::stddev(&ops, MergeOptions::default()),
+            }
+            .unwrap();
+            assert_eq!(fast.metadata(), slow.metadata(), "{r:?} metadata");
+            assert_eq!(
+                fast.severity().values(),
+                slow.severity().values(),
+                "{r:?} values"
+            );
+            assert_eq!(fast.provenance(), slow.provenance(), "{r:?} provenance");
+        }
+    }
+}

@@ -17,6 +17,14 @@ pub enum AlgebraError {
         /// Operator name for the message.
         operator: &'static str,
     },
+    /// A batch expression referenced an operand index outside the plan
+    /// (see [`crate::batch::Expr::Operand`]).
+    OperandOutOfRange {
+        /// The offending operand index.
+        index: usize,
+        /// Number of operands in the plan.
+        len: usize,
+    },
 }
 
 impl fmt::Display for AlgebraError {
@@ -24,6 +32,12 @@ impl fmt::Display for AlgebraError {
         match self {
             Self::EmptyOperandList { operator } => {
                 write!(f, "operator '{operator}' requires at least one operand")
+            }
+            Self::OperandOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "operand index {index} out of range for a plan over {len} operands"
+                )
             }
         }
     }
@@ -39,5 +53,12 @@ mod tests {
     fn display_names_operator() {
         let e = AlgebraError::EmptyOperandList { operator: "mean" };
         assert!(e.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn display_names_offending_index() {
+        let e = AlgebraError::OperandOutOfRange { index: 7, len: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains('3'));
     }
 }

@@ -63,6 +63,7 @@
 //! ```
 
 pub mod baseline;
+pub mod batch;
 pub mod cut;
 pub mod error;
 pub mod extend;
@@ -72,6 +73,7 @@ pub mod ops;
 pub mod options;
 pub mod stats;
 
+pub use batch::{BatchPlan, Expr, Reduction};
 pub use error::AlgebraError;
 pub use integrate::{integrate, Integrated};
 pub use mapping::OperandMap;

@@ -28,6 +28,7 @@ use rayon::prelude::*;
 
 use cube_model::{Experiment, Provenance, Severity};
 
+use crate::batch::{BatchPlan, Reduction};
 use crate::error::AlgebraError;
 use crate::extend::extend_severity;
 use crate::integrate::integrate;
@@ -35,7 +36,7 @@ use crate::options::MergeOptions;
 
 /// Below this element count the element-wise loops stay serial; the
 /// fork/join overhead would dominate (see the `par_elementwise` bench).
-const PAR_THRESHOLD: usize = 1 << 16;
+pub(crate) const PAR_THRESHOLD: usize = 1 << 16;
 
 fn label(e: &Experiment) -> String {
     e.provenance().label()
@@ -167,6 +168,11 @@ pub fn merge_with(first: &Experiment, second: &Experiment, options: MergeOptions
 
 // ---------------------------------------------------------------------------
 // n-ary reductions: mean, sum, min, max
+//
+// These delegate to the batch engine: one metadata integration across
+// all k operands, one pass over the integrated rows. The pre-batch
+// pairwise fold survives in `crate::batch::pairwise` as the
+// differential oracle these entry points are tested against.
 // ---------------------------------------------------------------------------
 
 /// The mean operator: element-wise arithmetic mean of any number of
@@ -207,10 +213,7 @@ pub fn mean_with(
     operands: &[&Experiment],
     options: MergeOptions,
 ) -> Result<Experiment, AlgebraError> {
-    let mut e = reduce("mean", operands, options, |x, y| x + y)?;
-    let k = operands.len() as f64;
-    scale_in_place(e.severity_mut().values_mut(), 1.0 / k);
-    Ok(e)
+    BatchPlan::with_options(operands, options).reduce(Reduction::Mean)
 }
 
 /// Element-wise sum of any number of experiments.
@@ -223,7 +226,7 @@ pub fn sum_with(
     operands: &[&Experiment],
     options: MergeOptions,
 ) -> Result<Experiment, AlgebraError> {
-    reduce("sum", operands, options, |x, y| x + y)
+    BatchPlan::with_options(operands, options).reduce(Reduction::Sum)
 }
 
 /// Element-wise minimum — the selection the paper's §5.1 applies to a
@@ -237,7 +240,7 @@ pub fn min_with(
     operands: &[&Experiment],
     options: MergeOptions,
 ) -> Result<Experiment, AlgebraError> {
-    reduce("min", operands, options, f64::min)
+    BatchPlan::with_options(operands, options).reduce(Reduction::Min)
 }
 
 /// Element-wise maximum.
@@ -250,30 +253,7 @@ pub fn max_with(
     operands: &[&Experiment],
     options: MergeOptions,
 ) -> Result<Experiment, AlgebraError> {
-    reduce("max", operands, options, f64::max)
-}
-
-fn reduce(
-    name: &'static str,
-    operands: &[&Experiment],
-    options: MergeOptions,
-    f: impl Fn(f64, f64) -> f64 + Sync,
-) -> Result<Experiment, AlgebraError> {
-    if operands.is_empty() {
-        return Err(AlgebraError::EmptyOperandList { operator: name });
-    }
-    let integrated = integrate(operands, options);
-    let shape = integrated.metadata.shape();
-    let mut acc = extend_severity(operands[0], &integrated.maps[0], shape);
-    for (op, map) in operands.iter().zip(&integrated.maps).skip(1) {
-        let ext = extend_severity(op, map, shape);
-        zip_in_place(acc.values_mut(), ext.values(), &f);
-    }
-    Ok(Experiment::new_unchecked(
-        integrated.metadata,
-        acc,
-        Provenance::derived(name, operands.iter().map(|e| label(e)).collect()),
-    ))
+    BatchPlan::with_options(operands, options).reduce(Reduction::Max)
 }
 
 // ---------------------------------------------------------------------------

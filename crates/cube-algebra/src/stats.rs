@@ -16,15 +16,19 @@
 //!   load-imbalance view the paper's §5.1 closes with.
 
 use cube_model::aggregate::MetricSelection;
-use cube_model::{CallNodeId, Experiment, MetricId, Provenance, ThreadId};
+use cube_model::{CallNodeId, Experiment, MetricId, ThreadId};
 
+use crate::batch::{BatchPlan, Reduction};
 use crate::error::AlgebraError;
-use crate::extend::extend_severity;
-use crate::integrate::integrate;
 use crate::options::MergeOptions;
 
 /// Element-wise population variance of a series, as a derived
 /// experiment over the integrated metadata.
+///
+/// Delegates to the batch engine — one metadata integration, two
+/// blocked passes (mean, then averaged squared deviations). The
+/// pre-batch extend-everything implementation survives verbatim in
+/// [`crate::batch::pairwise::variance`] as its differential oracle.
 pub fn variance(operands: &[&Experiment]) -> Result<Experiment, AlgebraError> {
     variance_with(operands, MergeOptions::default())
 }
@@ -34,60 +38,21 @@ pub fn variance_with(
     operands: &[&Experiment],
     options: MergeOptions,
 ) -> Result<Experiment, AlgebraError> {
-    if operands.is_empty() {
-        return Err(AlgebraError::EmptyOperandList {
-            operator: "variance",
-        });
-    }
-    let integrated = integrate(operands, options);
-    let shape = integrated.metadata.shape();
-    let extended: Vec<_> = operands
-        .iter()
-        .zip(&integrated.maps)
-        .map(|(op, map)| extend_severity(op, map, shape))
-        .collect();
-    let k = operands.len() as f64;
-    let mut mean = vec![0.0f64; extended[0].len()];
-    for e in &extended {
-        for (m, v) in mean.iter_mut().zip(e.values()) {
-            *m += v;
-        }
-    }
-    for m in &mut mean {
-        *m /= k;
-    }
-    let mut var = cube_model::Severity::zeros(shape.0, shape.1, shape.2);
-    for e in &extended {
-        for ((out, &v), &m) in var.values_mut().iter_mut().zip(e.values()).zip(&mean) {
-            *out += (v - m) * (v - m);
-        }
-    }
-    for v in var.values_mut() {
-        *v /= k;
-    }
-    Ok(Experiment::new_unchecked(
-        integrated.metadata,
-        var,
-        Provenance::derived(
-            "variance",
-            operands.iter().map(|e| e.provenance().label()).collect(),
-        ),
-    ))
+    BatchPlan::with_options(operands, options).reduce(Reduction::Variance)
 }
 
 /// Element-wise population standard deviation of a series, as a derived
 /// experiment.
 pub fn stddev(operands: &[&Experiment]) -> Result<Experiment, AlgebraError> {
-    let mut e = variance(operands)?;
-    for v in e.severity_mut().values_mut() {
-        *v = v.sqrt();
-    }
-    let label = match e.provenance() {
-        Provenance::Derived { operands, .. } => operands.clone(),
-        _ => vec![],
-    };
-    e.set_provenance(Provenance::derived("stddev", label));
-    Ok(e)
+    stddev_with(operands, MergeOptions::default())
+}
+
+/// [`stddev`] with explicit integration switches.
+pub fn stddev_with(
+    operands: &[&Experiment],
+    options: MergeOptions,
+) -> Result<Experiment, AlgebraError> {
+    BatchPlan::with_options(operands, options).reduce(Reduction::Stddev)
 }
 
 /// One severity tuple in a hotspot listing.

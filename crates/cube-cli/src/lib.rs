@@ -12,6 +12,8 @@
 //! cube cut   A.cube --prune REGION -o OUT.cube # call-tree surgery
 //! cube cut   A.cube --reroot REGION -o OUT.cube
 //! cube stddev R1.cube R2.cube … -o OUT.cube    # series variability
+//! cube stats OUT.cube R1.cube R2.cube …        # batch reduction
+//!            [--op mean|sum|min|max|variance|stddev] [--minus K]
 //! cube info  A.cube                            # summary
 //! cube stat  A.cube                            # per-metric totals
 //! cube calltree A.cube [--metric M]            # call tree with values
@@ -31,7 +33,7 @@ pub mod browse;
 
 use std::fmt::Write as _;
 
-use cube_algebra::{ops, CallSiteEq, MergeOptions, SystemMergeMode};
+use cube_algebra::{ops, BatchPlan, CallSiteEq, Expr, MergeOptions, Reduction, SystemMergeMode};
 use cube_display::{BrowserState, NormalizationRef, ProgramView, RenderOptions, ValueMode};
 use cube_model::aggregate::{metric_total, MetricSelection};
 use cube_model::Experiment;
@@ -62,6 +64,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "diff" => binary_op(rest, "diff"),
         "merge" => binary_op(rest, "merge"),
         "mean" | "sum" | "min" | "max" | "stddev" => nary_op(rest, cmd),
+        "stats" => stats_cmd(rest),
         "scale" => scale(rest),
         "cut" => cut(rest),
         "info" => info(rest),
@@ -77,7 +80,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 }
 
 fn usage() -> String {
-    "usage: cube <diff|merge|mean|sum|min|max|stddev|scale|cut|info|stat|calltree|hotspots|cmp|view|browse|help> ...\n\
+    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|view|browse|help> ...\n\
      see the crate documentation for per-subcommand flags"
         .to_string()
 }
@@ -102,6 +105,8 @@ const VALUED_FLAGS: &[&str] = &[
     "--reroot",
     "--top",
     "--topology",
+    "--op",
+    "--minus",
 ];
 
 fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -204,19 +209,60 @@ fn nary_op(args: &[String], which: &str) -> Result<Outcome, String> {
         "sum" => ops::sum_with(&refs, opts),
         "min" => ops::min_with(&refs, opts),
         "max" => ops::max_with(&refs, opts),
-        "stddev" => {
-            let mut e =
-                cube_algebra::stats::variance_with(&refs, opts).map_err(|err| err.to_string())?;
-            for v in e.severity_mut().values_mut() {
-                *v = v.sqrt();
-            }
-            Ok(e)
-        }
+        "stddev" => cube_algebra::stats::stddev_with(&refs, opts),
         _ => unreachable!("nary_op called with {which}"),
     }
     .map_err(|e| e.to_string())?;
     let out = p.output.ok_or("missing -o OUTPUT")?;
     store(&result, &out)?;
+    ok(format!("wrote {out}: {}\n", result.provenance().label()))
+}
+
+/// `cube stats OUT IN...` — evaluate a batch reduction over a whole
+/// series of experiments with one metadata integration
+/// ([`cube_algebra::batch::BatchPlan`]).
+///
+/// `--op` selects the reduction (default `mean`); `--minus K` turns the
+/// run into the paper's composite "difference of reduced series": the
+/// *last* K inputs form a baseline group, and the output is
+/// `diff(op(first n−K), op(last K))` — still a single integration.
+fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() < 2 {
+        return Err("cube stats takes OUTPUT followed by at least one input file".into());
+    }
+    let (out, inputs) = p.positional.split_first().expect("len checked above");
+    let exps: Vec<Experiment> = inputs.iter().map(|f| load(f)).collect::<Result<_, _>>()?;
+    let refs: Vec<&Experiment> = exps.iter().collect();
+    let reduction = match p.value("--op").unwrap_or("mean") {
+        "mean" => Reduction::Mean,
+        "sum" => Reduction::Sum,
+        "min" => Reduction::Min,
+        "max" => Reduction::Max,
+        "variance" => Reduction::Variance,
+        "stddev" => Reduction::Stddev,
+        other => return Err(format!("unknown --op '{other}'")),
+    };
+    let n = refs.len();
+    let expr = match p.value("--minus") {
+        Some(v) => {
+            let k: usize = v.parse().map_err(|_| "bad --minus value".to_string())?;
+            if k == 0 || k >= n {
+                return Err(format!(
+                    "--minus {k} needs 1..{} baseline inputs out of {n}",
+                    n - 1
+                ));
+            }
+            Expr::diff(
+                Expr::reduce(reduction, 0..n - k),
+                Expr::reduce(reduction, n - k..n),
+            )
+        }
+        None => Expr::reduce(reduction, 0..n),
+    };
+    let plan = BatchPlan::with_options(&refs, p.merge_options());
+    let result = plan.eval(&expr).map_err(|e| e.to_string())?;
+    store(&result, out)?;
     ok(format!("wrote {out}: {}\n", result.provenance().label()))
 }
 
@@ -714,11 +760,54 @@ mod tests {
     }
 
     #[test]
+    fn stats_default_op_is_mean() {
+        let a = write_sample("bs1.cube", 2.0);
+        let b = write_sample("bs2.cube", 4.0);
+        let out = tmp("bs_mean.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["stats", &out, &a, &b])).unwrap();
+        assert!(r.stdout.contains("mean"));
+        let e = read_experiment_file(&out).unwrap();
+        assert_eq!(e.severity().values(), &[3.0, 3.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn stats_op_selection_matches_nary_subcommands() {
+        let a = write_sample("bo1.cube", 2.0);
+        let b = write_sample("bo2.cube", 4.0);
+        for op in ["mean", "sum", "min", "max", "variance", "stddev"] {
+            let out = tmp(&format!("bo_{op}.cube")).to_string_lossy().into_owned();
+            run(&args(&["stats", &out, &a, &b, "--op", op])).unwrap();
+            let e = read_experiment_file(&out).unwrap();
+            e.validate().unwrap();
+            assert!(e.provenance().label().starts_with(op), "{op}");
+        }
+        assert!(run(&args(&["stats", "x.cube", &a, "--op", "median"])).is_err());
+    }
+
+    #[test]
+    fn stats_minus_computes_difference_of_group_reductions() {
+        let a1 = write_sample("g1.cube", 4.0);
+        let a2 = write_sample("g2.cube", 6.0);
+        let b1 = write_sample("g3.cube", 2.0);
+        let out = tmp("g_diff.cube").to_string_lossy().into_owned();
+        // diff(mean(a1, a2), mean(b1)): 5 − 2 = 3 on root rows.
+        let r = run(&args(&["stats", &out, &a1, &a2, &b1, "--minus", "1"])).unwrap();
+        assert!(r.stdout.contains("difference(mean("));
+        let e = read_experiment_file(&out).unwrap();
+        assert_eq!(e.severity().values(), &[3.0, 3.0, 6.0, 6.0]);
+        // The baseline group must be a proper, nonempty split.
+        assert!(run(&args(&["stats", &out, &a1, &b1, "--minus", "2"])).is_err());
+        assert!(run(&args(&["stats", &out, &a1, &b1, "--minus", "0"])).is_err());
+        assert!(run(&args(&["stats", &out, &a1, &b1, "--minus", "x"])).is_err());
+    }
+
+    #[test]
     fn usage_errors() {
         assert!(run(&[]).is_err());
         assert!(run(&args(&["frobnicate"])).is_err());
         assert!(run(&args(&["diff", "only-one.cube"])).is_err());
         assert!(run(&args(&["mean"])).is_err());
+        assert!(run(&args(&["stats", "only-output.cube"])).is_err());
         assert!(run(&args(&["scale", "a.cube", "not-a-number", "-o", "x"])).is_err());
         let help = run(&args(&["help"])).unwrap();
         assert!(help.stdout.contains("usage"));

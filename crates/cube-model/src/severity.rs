@@ -5,6 +5,21 @@
 //! the XML format's "matrix per metric, row per call node" structure and
 //! giving the element-wise algebra a single contiguous `&[f64]` to
 //! operate on.
+//!
+//! ## NaN policy
+//!
+//! A severity value of a *valid* experiment is never NaN:
+//! [`Experiment::validate`](crate::Experiment::validate) rejects stores
+//! containing one, and [`Severity::find_nan`] is the diagnostic that
+//! locates the offender. Code operating on unvalidated stores (anything
+//! assembled through `new_unchecked` or raw `values_mut` writes) must
+//! assume IEEE semantics instead: addition-based reductions (`sum`,
+//! `mean`, `variance`) *poison* the affected element with NaN, while
+//! `min`/`max` follow Rust's [`f64::min`]/[`f64::max`] and return the
+//! other operand, so a single NaN operand is dropped from the
+//! selection. The batch engine in `cube-algebra` pins exactly these
+//! semantics in its tests rather than paying for per-element checks on
+//! the hot path.
 
 use crate::error::ModelError;
 use crate::ids::{CallNodeId, MetricId, ThreadId};
@@ -135,6 +150,34 @@ impl Severity {
     /// The contiguous row of thread values for `(metric, call node)`.
     pub fn row(&self, m: MetricId, c: CallNodeId) -> &[f64] {
         let start = (m.index() * self.num_call_nodes + c.index()) * self.num_threads;
+        &self.values[start..start + self.num_threads]
+    }
+
+    /// Number of `(metric, call node)` rows in the store.
+    ///
+    /// Together with [`Severity::row_at`] this lets batch evaluators
+    /// iterate rows by flat index without re-deriving the layout.
+    pub fn num_rows(&self) -> usize {
+        self.num_metrics * self.num_call_nodes
+    }
+
+    /// Flat row index of `(metric, call node)`:
+    /// `row_at(row_index(m, c)) == row(m, c)`.
+    #[inline]
+    pub fn row_index(&self, m: MetricId, c: CallNodeId) -> usize {
+        debug_assert!(m.index() < self.num_metrics, "metric out of range");
+        debug_assert!(c.index() < self.num_call_nodes, "call node out of range");
+        m.index() * self.num_call_nodes + c.index()
+    }
+
+    /// The thread row at a flat row index (see [`Severity::row_index`]).
+    ///
+    /// This is the mapping-reuse hook for the `cube-algebra` batch
+    /// engine: a cached `(metric, call node)` translation yields a flat
+    /// row index, and the row is then read as one contiguous slice.
+    #[inline]
+    pub fn row_at(&self, row: usize) -> &[f64] {
+        let start = row * self.num_threads;
         &self.values[start..start + self.num_threads]
     }
 
@@ -341,5 +384,80 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.max_abs(), 0.0);
         assert_eq!(s.iter_nonzero().count(), 0);
+    }
+
+    #[test]
+    fn row_hooks_agree_with_coordinate_access() {
+        let mut s = Severity::zeros(2, 3, 4);
+        s.set(m(1), c(2), t(3), 9.0);
+        assert_eq!(s.num_rows(), 6);
+        for mi in 0..2u32 {
+            for ci in 0..3u32 {
+                let r = s.row_index(m(mi), c(ci));
+                assert_eq!(s.row_at(r), s.row(m(mi), c(ci)));
+            }
+        }
+        assert_eq!(s.row_at(s.row_index(m(1), c(2)))[3], 9.0);
+    }
+
+    #[test]
+    fn row_hooks_on_empty_store() {
+        let s = Severity::zeros(0, 0, 0);
+        assert_eq!(s.num_rows(), 0);
+        // Degenerate shapes with zero threads still enumerate rows.
+        let z = Severity::zeros(2, 2, 0);
+        assert_eq!(z.num_rows(), 4);
+        assert_eq!(z.row_at(3), &[] as &[f64]);
+    }
+
+    #[test]
+    fn iter_nonzero_on_empty_and_all_zero_stores() {
+        assert_eq!(Severity::zeros(0, 0, 0).iter_nonzero().count(), 0);
+        assert_eq!(Severity::zeros(3, 1, 2).iter_nonzero().count(), 0);
+        // Negative zero compares equal to zero and is skipped too — the
+        // scatter path of the algebra's zero-extension relies on this.
+        let mut s = Severity::zeros(1, 1, 2);
+        s.set(m(0), c(0), t(0), -0.0);
+        assert_eq!(s.iter_nonzero().count(), 0);
+    }
+
+    #[test]
+    fn iter_nonzero_yields_nan_tuples() {
+        // NaN != 0.0, so the iterator must surface it — this is what
+        // lets scatter-based extension carry a NaN forward instead of
+        // silently dropping it.
+        let mut s = Severity::zeros(1, 2, 1);
+        s.set(m(0), c(1), t(0), f64::NAN);
+        let all: Vec<_> = s.iter_nonzero().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!((all[0].0, all[0].1, all[0].2), (m(0), c(1), t(0)));
+        assert!(all[0].3.is_nan());
+    }
+
+    #[test]
+    fn find_nan_on_empty_store_and_first_position() {
+        assert_eq!(Severity::zeros(0, 0, 0).find_nan(), None);
+        let mut s = Severity::zeros(2, 2, 2);
+        s.set(m(0), c(0), t(0), f64::NAN);
+        s.set(m(1), c(1), t(1), f64::NAN);
+        // Reports the first offender in layout order.
+        assert_eq!(s.find_nan(), Some((m(0), c(0), t(0))));
+    }
+
+    #[test]
+    fn row_sum_edge_cases() {
+        // Zero-thread row: empty sum is 0.0.
+        let z = Severity::zeros(1, 1, 0);
+        assert_eq!(z.row_sum(m(0), c(0)), 0.0);
+        // NaN poisons the row sum (IEEE addition semantics).
+        let mut s = Severity::zeros(1, 1, 3);
+        s.set(m(0), c(0), t(0), 1.0);
+        s.set(m(0), c(0), t(1), f64::NAN);
+        assert!(s.row_sum(m(0), c(0)).is_nan());
+        // Opposite values cancel exactly.
+        let mut p = Severity::zeros(1, 1, 2);
+        p.set(m(0), c(0), t(0), 7.5);
+        p.set(m(0), c(0), t(1), -7.5);
+        assert_eq!(p.row_sum(m(0), c(0)), 0.0);
     }
 }

@@ -41,6 +41,17 @@ pub mod prelude {
         }
     }
 
+    /// Serial stand-in for `rayon::prelude::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Returns the ordinary sequential `chunks_mut` iterator.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
     /// Serial stand-in for `rayon::prelude::IntoParallelRefMutIterator`.
     pub trait IntoParallelRefMutIterator<'data> {
         /// The sequential iterator type standing in for the parallel one.
@@ -87,5 +98,11 @@ mod tests {
 
         let sum: i32 = (0..5).into_par_iter().sum();
         assert_eq!(sum, 10);
+
+        let mut xs = [1, 2, 3, 4, 5];
+        xs.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x += i as i32 * 10));
+        assert_eq!(xs, [1, 2, 13, 14, 25]);
     }
 }

@@ -9,7 +9,8 @@
 
 use proptest::prelude::*;
 
-use cube_algebra::{integrate, ops, MergeOptions};
+use cube_algebra::batch::pairwise;
+use cube_algebra::{integrate, ops, stats, MergeOptions};
 use cube_model::builder::single_threaded_system;
 use cube_model::{Experiment, ExperimentBuilder, MetricId, RegionKind, Unit};
 
@@ -48,13 +49,20 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
 }
 
 fn build(spec: &Spec, name: &str) -> Experiment {
+    build_with_metric_prefix(spec, name, "metric")
+}
+
+/// Like [`build`], but metric names start with `prefix` — two specs
+/// built with different prefixes have guaranteed-disjoint metric sets,
+/// which some laws (merge commutativity) need.
+fn build_with_metric_prefix(spec: &Spec, name: &str, prefix: &str) -> Experiment {
     let mut b = ExperimentBuilder::new(name);
     let mut metric_ids: Vec<MetricId> = Vec::new();
     for (name_idx, parent) in &spec.metrics {
         // Parent must already exist and (for unit homogeneity) every
         // generated metric uses seconds.
         let parent_id = parent.and_then(|p| metric_ids.get(p as usize).copied());
-        let id = b.def_metric(format!("metric{name_idx}"), Unit::Seconds, "", parent_id);
+        let id = b.def_metric(format!("{prefix}{name_idx}"), Unit::Seconds, "", parent_id);
         metric_ids.push(id);
     }
     let module = b.def_module("gen.rs", "/gen.rs");
@@ -92,6 +100,81 @@ fn build(spec: &Spec, name: &str) -> Experiment {
 
 fn total(e: &Experiment) -> f64 {
     e.severity().values().iter().sum()
+}
+
+/// Totals per *metric path* (names from the root down), which
+/// integration keeps unique. Entity ids may be remapped between two
+/// equivalent integrations, so laws that mix operand orders compare
+/// these maps instead of raw arrays.
+fn metric_path_totals(e: &Experiment) -> std::collections::HashMap<String, f64> {
+    let md = e.metadata();
+    let mut out = std::collections::HashMap::new();
+    for m in md.metric_ids() {
+        let mut parts = vec![md.metric(m).name.clone()];
+        let mut cur = m;
+        while let Some(p) = md.metric(cur).parent {
+            parts.push(md.metric(p).name.clone());
+            cur = p;
+        }
+        parts.reverse();
+        *out.entry(parts.join("/")).or_insert(0.0) += e.severity().metric_sum(m);
+    }
+    out
+}
+
+/// Severity accumulated per `(metric path, call path, rank, thread)`.
+/// Duplicate-named siblings fold into one key, so this is a
+/// remapping-invariant view of the full severity tensor.
+fn canonical_totals(e: &Experiment) -> std::collections::BTreeMap<(String, String, i32, u32), f64> {
+    let md = e.metadata();
+    let mut metric_path = Vec::new();
+    for m in md.metric_ids() {
+        let mut parts = vec![md.metric(m).name.clone()];
+        let mut cur = m;
+        while let Some(p) = md.metric(cur).parent {
+            parts.push(md.metric(p).name.clone());
+            cur = p;
+        }
+        parts.reverse();
+        metric_path.push(parts.join("/"));
+    }
+    let mut out = std::collections::BTreeMap::new();
+    for m in md.metric_ids() {
+        for c in md.call_node_ids() {
+            let call_path = md.call_path(c).join("/");
+            for t in md.thread_ids() {
+                let thread = md.thread(t);
+                let rank = md.process(thread.process).rank;
+                *out.entry((
+                    metric_path[m.index()].clone(),
+                    call_path.clone(),
+                    rank,
+                    thread.number,
+                ))
+                .or_insert(0.0) += e.severity().get(m, c, t);
+            }
+        }
+    }
+    out
+}
+
+fn assert_same_totals<K: Ord + std::fmt::Debug>(
+    x: &std::collections::BTreeMap<K, f64>,
+    y: &std::collections::BTreeMap<K, f64>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        x.keys().collect::<Vec<_>>(),
+        y.keys().collect::<Vec<_>>(),
+        "canonical domains diverged"
+    );
+    for (k, vx) in x {
+        let vy = y[k];
+        prop_assert!(
+            (vx - vy).abs() <= 1e-9 * vx.abs().max(1.0),
+            "{k:?}: {vx} vs {vy}"
+        );
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -143,25 +226,9 @@ proptest! {
         let abc = ops::mean(&[&a, &b, &c]).unwrap();
         let cba = ops::mean(&[&c, &b, &a]).unwrap();
         // Metadata ordering may differ (entities are appended in operand
-        // order), so compare totals per *metric path* (names from the
-        // root down), which integration keeps unique.
-        let path_totals = |e: &Experiment| -> std::collections::HashMap<String, f64> {
-            let md = e.metadata();
-            let mut out = std::collections::HashMap::new();
-            for m in md.metric_ids() {
-                let mut parts = vec![md.metric(m).name.clone()];
-                let mut cur = m;
-                while let Some(p) = md.metric(cur).parent {
-                    parts.push(md.metric(p).name.clone());
-                    cur = p;
-                }
-                parts.reverse();
-                *out.entry(parts.join("/")).or_insert(0.0) += e.severity().metric_sum(m);
-            }
-            out
-        };
-        let x = path_totals(&abc);
-        let y = path_totals(&cba);
+        // order), so compare totals per metric path.
+        let x = metric_path_totals(&abc);
+        let y = metric_path_totals(&cba);
         prop_assert_eq!(
             x.keys().collect::<std::collections::BTreeSet<_>>(),
             y.keys().collect::<std::collections::BTreeSet<_>>()
@@ -178,6 +245,35 @@ proptest! {
         let a = build(&s, "a");
         let m = ops::merge(&a, &a);
         prop_assert!(m.approx_eq(&a, 1e-12));
+    }
+
+    /// Closure round-trip: merging b in and subtracting it back out is
+    /// a no-op. With equal metadata, merge takes every metric from a,
+    /// so diff(merge(a, b), b) = diff(a, b) exactly.
+    #[test]
+    fn merge_then_diff_round_trips(s in spec_strategy(), delta in -10i32..10) {
+        let a = build(&s, "a");
+        let mut b = build(&s, "b");
+        for v in b.severity_mut().values_mut() {
+            *v += f64::from(delta);
+        }
+        let round = ops::diff(&ops::merge(&a, &b), &b);
+        let direct = ops::diff(&a, &b);
+        prop_assert_eq!(round.metadata(), direct.metadata());
+        prop_assert!(round.severity().approx_eq(direct.severity(), 1e-12));
+        round.validate().unwrap();
+    }
+
+    /// merge is commutative up to id remapping when the operands
+    /// provide disjoint metric sets: each metric's values come from its
+    /// sole provider regardless of operand order.
+    #[test]
+    fn merge_commutes_up_to_remapping(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build_with_metric_prefix(&sa, "a", "left");
+        let b = build_with_metric_prefix(&sb, "b", "right");
+        let ab = ops::merge(&a, &b);
+        let ba = ops::merge(&b, &a);
+        assert_same_totals(&canonical_totals(&ab), &canonical_totals(&ba))?;
     }
 
     /// diff is anticommutative on the integrated domain.
@@ -219,6 +315,33 @@ proptest! {
             .zip(hi.severity().values())
         {
             prop_assert!(l <= m + 1e-12 && m <= h + 1e-12);
+        }
+    }
+
+    /// The batch engine behind the public n-ary entry points agrees
+    /// with the legacy pairwise fold on every reduction, for arbitrary
+    /// partially-overlapping operands — compared on the canonical
+    /// (remapping-invariant) severity view, since the two evaluation
+    /// orders may lay out the integrated metadata differently.
+    #[test]
+    fn batch_matches_pairwise_fold(
+        sa in spec_strategy(),
+        sb in spec_strategy(),
+        sc in spec_strategy(),
+    ) {
+        let (a, b, c) = (build(&sa, "a"), build(&sb, "b"), build(&sc, "c"));
+        let refs: [&Experiment; 3] = [&a, &b, &c];
+        let o = MergeOptions::default;
+        let cases = [
+            (ops::sum(&refs).unwrap(), pairwise::sum(&refs, o()).unwrap()),
+            (ops::mean(&refs).unwrap(), pairwise::mean(&refs, o()).unwrap()),
+            (ops::min(&refs).unwrap(), pairwise::min(&refs, o()).unwrap()),
+            (ops::max(&refs).unwrap(), pairwise::max(&refs, o()).unwrap()),
+            (stats::variance(&refs).unwrap(), pairwise::variance(&refs, o()).unwrap()),
+            (stats::stddev(&refs).unwrap(), pairwise::stddev(&refs, o()).unwrap()),
+        ];
+        for (fast, slow) in &cases {
+            assert_same_totals(&canonical_totals(fast), &canonical_totals(slow))?;
         }
     }
 
