@@ -23,4 +23,36 @@ cargo test --workspace -q
 echo "== hygiene: fmt, clippy -D warnings, doc -D warnings"
 make fmt-check clippy doc
 
+echo "== lint gate: valid fixtures pass --deny warnings"
+# The tier-1 build covers the umbrella crate only; the `cube` binary
+# needs an explicit package build.
+cargo build --release -q -p cube-cli
+./target/release/cube lint --deny warnings tests/fixtures/valid/*.cube
+
+echo "== lint gate: derived experiments pass --deny warnings (closure)"
+lint_tmp="$(mktemp -d)"
+trap 'rm -rf "$lint_tmp"' EXIT
+./target/release/cube diff tests/fixtures/valid/full.cube \
+    tests/fixtures/valid/minimal.cube -o "$lint_tmp/derived.cube"
+./target/release/cube lint --deny warnings "$lint_tmp/derived.cube"
+
+echo "== lint gate: malformed corpus reports its documented codes"
+for cube in tests/fixtures/malformed/*.cube; do
+    expect="${cube%.cube}.expect"
+    if out="$(./target/release/cube lint --deny warnings "$cube")"; then
+        echo "lint accepted malformed file $cube" >&2
+        exit 1
+    fi
+    for code in $(cat "$expect"); do
+        case "$out" in
+        *"$code"*) ;;
+        *)
+            echo "lint output for $cube is missing code $code:" >&2
+            echo "$out" >&2
+            exit 1
+            ;;
+        esac
+    done
+done
+
 echo "== ci/check.sh: all green"

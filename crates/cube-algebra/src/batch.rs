@@ -402,11 +402,10 @@ impl<'a> BatchPlan<'a> {
     pub fn eval(&self, expr: &Expr) -> Result<Experiment, AlgebraError> {
         let values = self.eval_values(expr)?;
         let severity = Severity::from_values(self.shape.0, self.shape.1, self.shape.2, values);
-        Ok(Experiment::new_unchecked(
-            self.metadata.clone(),
-            severity,
-            self.provenance_of(expr),
-        ))
+        let result =
+            Experiment::new_unchecked(self.metadata.clone(), severity, self.provenance_of(expr));
+        crate::invariant::debug_assert_closed(&result, "batch eval");
+        Ok(result)
     }
 
     // -- expression evaluation ---------------------------------------------
@@ -767,6 +766,7 @@ pub mod pairwise {
             acc = Experiment::new_unchecked(integrated.metadata, a, Provenance::default());
         }
         acc.set_provenance(Provenance::derived(name, labels(operands)));
+        crate::invariant::debug_assert_closed(&acc, name);
         Ok(acc)
     }
 
@@ -845,11 +845,13 @@ pub mod pairwise {
         for v in var.values_mut() {
             *v /= k;
         }
-        Ok(Experiment::new_unchecked(
+        let result = Experiment::new_unchecked(
             integrated.metadata,
             var,
             Provenance::derived("variance", labels(operands)),
-        ))
+        );
+        crate::invariant::debug_assert_closed(&result, "variance");
+        Ok(result)
     }
 
     /// Reference population standard deviation (square root of

@@ -112,11 +112,13 @@ fn rebuild(
         }
     }
 
-    Experiment::new_unchecked(
+    let result = Experiment::new_unchecked(
         new_md,
         sev,
         Provenance::derived(op_name, vec![e.provenance().label()]),
-    )
+    );
+    crate::invariant::debug_assert_closed(&result, op_name);
+    result
 }
 
 #[cfg(test)]

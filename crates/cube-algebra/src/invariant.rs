@@ -1,0 +1,91 @@
+//! Debug-build postcondition: every experiment an operator constructs
+//! must lint clean of errors.
+//!
+//! The paper's closure property says the algebra maps valid experiments
+//! to valid experiments. Operators rely on it by calling
+//! `Experiment::new_unchecked` — this module is the machine check
+//! backing that trust: in debug builds (tests, CI) each constructed
+//! result is run through the full rule engine of [`cube_model::lint`]
+//! and the process aborts with the offending diagnostics if the closure
+//! is violated. Release builds compile the check away.
+
+use cube_model::Experiment;
+
+/// Asserts (debug builds only) that `exp`, just produced by `op`, has
+/// no error-level lint findings.
+///
+/// `E016 SeverityNan` is exempt: NaN severities only appear in an
+/// operator's output when an *input* already carried NaN (the
+/// documented poisoning policy of sum/mean/variance) — operators never
+/// introduce NaN from valid inputs, so the closure statement is
+/// conditional on NaN-free operands. Warnings are also not asserted:
+/// they flag suspicious measurements (e.g. an unreferenced region) that
+/// operators legitimately propagate from their inputs.
+#[inline]
+pub(crate) fn debug_assert_closed(exp: &Experiment, op: &str) {
+    #[cfg(debug_assertions)]
+    {
+        use cube_model::RuleCode;
+        let violations: Vec<String> = exp
+            .lint()
+            .errors()
+            .filter(|d| d.code != RuleCode::SeverityNan)
+            .map(|d| d.to_string())
+            .collect();
+        assert!(
+            violations.is_empty(),
+            "closure violated: operator '{op}' produced an invalid experiment:\n{}",
+            violations.join("\n")
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (exp, op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::{ExperimentBuilder, RegionKind, Unit};
+
+    fn build_one() -> Experiment {
+        let mut b = ExperimentBuilder::new("x");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a", "/a");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 2);
+        let cs = b.def_call_site("a", 1, r);
+        let root = b.def_call_node(cs, None);
+        let mach = b.def_machine("m");
+        let node = b.def_node("n", mach);
+        let p = b.def_process("p", 0, node);
+        let t = b.def_thread("t", 0, p);
+        b.set_severity(time, root, t, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_experiment_passes() {
+        debug_assert_closed(&build_one(), "test");
+    }
+
+    #[test]
+    fn nan_is_exempt() {
+        let mut e = build_one();
+        e.severity_mut().values_mut()[0] = f64::NAN;
+        // Must not panic: NaN poisoning is the documented policy.
+        debug_assert_closed(&e, "test");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "closure violated")]
+    fn invalid_experiment_panics() {
+        let e = Experiment::new_unchecked(
+            cube_model::Metadata::new(),
+            cube_model::Severity::zeros(0, 0, 0),
+            cube_model::Provenance::default(),
+        );
+        debug_assert_closed(&e, "test");
+    }
+}

@@ -68,6 +68,7 @@ pub mod cut;
 pub mod error;
 pub mod extend;
 pub mod integrate;
+mod invariant;
 pub mod mapping;
 pub mod ops;
 pub mod options;

@@ -91,11 +91,13 @@ pub fn diff_with(
     let mut a = extend_severity(minuend, &integrated.maps[0], shape);
     let b = extend_severity(subtrahend, &integrated.maps[1], shape);
     zip_in_place(a.values_mut(), b.values(), |x, y| x - y);
-    Experiment::new_unchecked(
+    let result = Experiment::new_unchecked(
         integrated.metadata,
         a,
         Provenance::derived("difference", vec![label(minuend), label(subtrahend)]),
-    )
+    );
+    crate::invariant::debug_assert_closed(&result, "difference");
+    result
 }
 
 // ---------------------------------------------------------------------------
@@ -159,11 +161,13 @@ pub fn merge_with(first: &Experiment, second: &Experiment, options: MergeOptions
         out.values_mut()[mi * block..(mi + 1) * block]
             .copy_from_slice(&src[mi * block..(mi + 1) * block]);
     }
-    Experiment::new_unchecked(
+    let result = Experiment::new_unchecked(
         integrated.metadata,
         out,
         Provenance::derived("merge", vec![label(first), label(second)]),
-    )
+    );
+    crate::invariant::debug_assert_closed(&result, "merge");
+    result
 }
 
 // ---------------------------------------------------------------------------
@@ -267,11 +271,13 @@ pub fn max_with(
 pub fn scale(e: &Experiment, factor: f64) -> Experiment {
     let mut sev = e.severity().clone();
     scale_in_place(sev.values_mut(), factor);
-    Experiment::new_unchecked(
+    let result = Experiment::new_unchecked(
         e.metadata().clone(),
         sev,
         Provenance::derived("scale", vec![label(e), format!("{factor}")]),
-    )
+    );
+    crate::invariant::debug_assert_closed(&result, "scale");
+    result
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,8 @@
 //! cube calltree A.cube [--metric M]            # call tree with values
 //! cube hotspots A.cube [--metric M] [--top K]  # top-k severity tuples
 //! cube cmp   A.cube B.cube [--tol 1e-9]        # compare (exit code)
+//! cube lint  A.cube [B.cube …] [--format json] # static diagnostics
+//!            [--deny warnings]                  #   (exit 1 on findings)
 //! cube browse A.cube [--ansi]                  # interactive browser
 //! cube view  A.cube [--metric M] [--call R] [--percent]
 //!            [--normalize REF.cube] [--expand-all] [--flat] [--ansi]
@@ -72,6 +74,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "calltree" => calltree(rest),
         "hotspots" => hotspots_cmd(rest),
         "cmp" => cmp(rest),
+        "lint" => lint_cmd(rest),
         "view" => view(rest),
         "browse" => browse_cmd(rest),
         "help" | "--help" | "-h" => ok(usage()),
@@ -80,7 +83,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 }
 
 fn usage() -> String {
-    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|view|browse|help> ...\n\
+    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|view|browse|help> ...\n\
      see the crate documentation for per-subcommand flags"
         .to_string()
 }
@@ -107,6 +110,8 @@ const VALUED_FLAGS: &[&str] = &[
     "--topology",
     "--op",
     "--minus",
+    "--format",
+    "--deny",
 ];
 
 fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -521,6 +526,124 @@ fn cmp(args: &[String]) -> Result<Outcome, String> {
     }
 }
 
+/// `cube lint FILE...` — run the static diagnostics engine over each
+/// file and report every finding with its stable rule code.
+///
+/// Exit code 0 means all files are acceptable, 1 means at least one
+/// finding was denied: error-level diagnostics always are, and
+/// `--deny warnings` promotes warnings too (the CI mode). Hard usage
+/// errors keep the tool-wide exit code 2.
+fn lint_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.is_empty() {
+        return Err("cube lint needs at least one input file".into());
+    }
+    let deny_warnings = match p.value("--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("unknown --deny class '{other}' (try 'warnings')")),
+    };
+    let json = match p.value("--format") {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(format!(
+                "unknown --format '{other}' (try 'human' or 'json')"
+            ))
+        }
+    };
+
+    let reports: Vec<(&String, cube_model::Report)> = p
+        .positional
+        .iter()
+        .map(|path| (path, cube_xml::lint_file(path)))
+        .collect();
+    let total_errors: usize = reports.iter().map(|(_, r)| r.num_errors()).sum();
+    let total_warnings: usize = reports.iter().map(|(_, r)| r.num_warnings()).sum();
+    let denied = total_errors > 0 || (deny_warnings && total_warnings > 0);
+
+    let mut s = String::new();
+    if json {
+        s.push_str("{\"files\":[");
+        for (i, (path, report)) in reports.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"path\":{},\"diagnostics\":[", json_string(path));
+            for (j, d) in report.diagnostics().iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"code\":\"{}\",\"level\":\"{}\",\"location\":{},\"message\":{}}}",
+                    d.code,
+                    d.level(),
+                    json_string(&d.location.to_string()),
+                    json_string(&d.message)
+                );
+            }
+            let _ = write!(
+                s,
+                "],\"errors\":{},\"warnings\":{}}}",
+                report.num_errors(),
+                report.num_warnings()
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"errors\":{total_errors},\"warnings\":{total_warnings},\"ok\":{}}}",
+            !denied
+        );
+        s.push('\n');
+    } else {
+        for (path, report) in &reports {
+            if report.is_clean() {
+                let _ = writeln!(s, "{path}: clean");
+            } else {
+                let _ = writeln!(s, "{path}: {}", report.summary());
+                for d in report.diagnostics() {
+                    let _ = writeln!(s, "  {d}");
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "{} file{} checked: {total_errors} error{}, {total_warnings} warning{}",
+            reports.len(),
+            if reports.len() == 1 { "" } else { "s" },
+            if total_errors == 1 { "" } else { "s" },
+            if total_warnings == 1 { "" } else { "s" },
+        );
+    }
+    Ok(Outcome {
+        code: i32::from(denied),
+        stdout: s,
+    })
+}
+
+/// Minimal JSON string encoder (the format has no other JSON needs, so
+/// no serializer dependency).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn view(args: &[String]) -> Result<Outcome, String> {
     let p = parse(args)?;
     if p.positional.len() != 1 {
@@ -799,6 +922,72 @@ mod tests {
         assert!(run(&args(&["stats", &out, &a1, &b1, "--minus", "2"])).is_err());
         assert!(run(&args(&["stats", &out, &a1, &b1, "--minus", "0"])).is_err());
         assert!(run(&args(&["stats", &out, &a1, &b1, "--minus", "x"])).is_err());
+    }
+
+    #[test]
+    fn lint_clean_file_exits_zero() {
+        let a = write_sample("lint_ok.cube", 1.0);
+        let r = run(&args(&["lint", &a])).unwrap();
+        assert_eq!(r.code, 0);
+        assert!(r.stdout.contains("clean"), "{}", r.stdout);
+        assert!(r.stdout.contains("0 errors, 0 warnings"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn lint_reports_errors_and_exits_one() {
+        let a = write_sample("lint_nan_src.cube", 1.0);
+        let text = std::fs::read_to_string(&a)
+            .unwrap()
+            .replace("1</row>", "NaN</row>");
+        let bad = tmp("lint_nan.cube");
+        std::fs::write(&bad, text).unwrap();
+        let bad = bad.to_string_lossy().into_owned();
+        let r = run(&args(&["lint", &bad])).unwrap();
+        assert_eq!(r.code, 1);
+        assert!(r.stdout.contains("error[E016]"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn lint_deny_warnings_promotes_exit_code() {
+        let a = write_sample("lint_warn_src.cube", 1.0);
+        let text = std::fs::read_to_string(&a).unwrap().replace(
+            "</program>",
+            "<module id=\"1\" name=\"dead.c\" path=\"/dead.c\"/></program>",
+        );
+        let warn = tmp("lint_warn.cube");
+        std::fs::write(&warn, text).unwrap();
+        let warn = warn.to_string_lossy().into_owned();
+        let r = run(&args(&["lint", &warn])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+        assert!(r.stdout.contains("warning[W003]"), "{}", r.stdout);
+        let r = run(&args(&["lint", &warn, "--deny", "warnings"])).unwrap();
+        assert_eq!(r.code, 1);
+    }
+
+    #[test]
+    fn lint_json_output() {
+        let a = write_sample("lint_json_ok.cube", 1.0);
+        let missing = "/nonexistent/lint.cube";
+        let r = run(&args(&["lint", &a, missing, "--format", "json"])).unwrap();
+        assert_eq!(r.code, 1);
+        assert!(r.stdout.starts_with("{\"files\":["), "{}", r.stdout);
+        assert!(r.stdout.contains("\"code\":\"E100\""), "{}", r.stdout);
+        assert!(r.stdout.contains("\"ok\":false"), "{}", r.stdout);
+        assert!(r.stdout.trim_end().ends_with('}'), "{}", r.stdout);
+    }
+
+    #[test]
+    fn lint_usage_errors() {
+        assert!(run(&args(&["lint"])).is_err());
+        let a = write_sample("lint_flag.cube", 1.0);
+        assert!(run(&args(&["lint", &a, "--deny", "everything"])).is_err());
+        assert!(run(&args(&["lint", &a, "--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]

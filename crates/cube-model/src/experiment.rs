@@ -97,6 +97,13 @@ impl Experiment {
         Ok(())
     }
 
+    /// Runs every lint rule over this experiment and reports all
+    /// findings, warnings included. See [`mod@crate::lint`] for the rule
+    /// catalogue; [`validate`](Self::validate) is the yes/no subset.
+    pub fn lint(&self) -> crate::lint::Report {
+        crate::lint::lint(self)
+    }
+
     /// Structural equality up to floating-point tolerance: identical
     /// metadata and severity values within `tol`. Provenance is ignored —
     /// it is informational only.

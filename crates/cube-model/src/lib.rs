@@ -60,6 +60,7 @@ pub mod builder;
 pub mod error;
 pub mod experiment;
 pub mod ids;
+pub mod lint;
 pub mod metadata;
 pub mod metric;
 pub mod program;
@@ -74,6 +75,7 @@ pub use experiment::Experiment;
 pub use ids::{
     CallNodeId, CallSiteId, MachineId, MetricId, ModuleId, NodeId, ProcessId, RegionId, ThreadId,
 };
+pub use lint::{lint, Diagnostic, Level, Location, Report, RuleCode};
 pub use metadata::Metadata;
 pub use metric::{Metric, Unit};
 pub use program::{CallNode, CallSite, Module, Region, RegionKind};

@@ -1,0 +1,1514 @@
+//! Static diagnostics for experiments: the `cube lint` rule engine.
+//!
+//! [`Experiment::validate`](crate::Experiment::validate) answers the
+//! yes/no question "is this a valid instance of the data model?" and
+//! stops at the first violation. This module answers the analyst's
+//! question instead: *everything* that is wrong or suspicious about an
+//! experiment, each finding tagged with a stable [`RuleCode`], a
+//! [`Level`], and a precise [`Location`].
+//!
+//! ## Rule codes
+//!
+//! * `E0xx` — structural **errors**: violations of the data model.
+//!   The E0xx rules are exactly the checks of
+//!   [`Experiment::validate`]: an experiment validates if and only if
+//!   [`lint`] reports no error (see [`Report::has_errors`]). That
+//!   alignment is what lets `cube-algebra` enforce the paper's closure
+//!   theorem with a lint in debug builds.
+//! * `E1xx` — **parse-level errors**. Never produced by [`lint`]
+//!   itself; the `cube-xml` crate maps I/O and parse failures onto
+//!   these codes so file diagnostics and model diagnostics share one
+//!   report type.
+//! * `W0xx` — semantic **warnings**: constructs that are legal but
+//!   almost certainly wrong (an unreferenced region, a gap in thread
+//!   numbers, a negative severity in an *original* experiment).
+//!
+//! Orphan subtrees need no rule of their own: with dense identifiers a
+//! node is unreachable from the roots exactly when its parent chain
+//! dangles (`E001`/`E008`) or cycles (`E002`/`E009`). Duplicate
+//! identifiers are likewise unrepresentable in [`Metadata`]'s dense
+//! tables; a file that writes them is rejected at parse level (`E103`).
+//!
+//! Value-scanning rules cap their output at [`MAX_PER_RULE`]
+//! diagnostics per rule and append one summary diagnostic with the
+//! suppressed count, so linting a gigabyte of NaN stays readable.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::experiment::Experiment;
+use crate::ids::{
+    CallNodeId, CallSiteId, MachineId, MetricId, ModuleId, NodeId, ProcessId, RegionId, ThreadId,
+};
+use crate::metadata::Metadata;
+use crate::provenance::Provenance;
+use crate::severity::Severity;
+
+/// Maximum diagnostics reported per rule before truncation.
+pub const MAX_PER_RULE: usize = 8;
+
+/// Severity level of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The experiment violates the data model.
+    Error,
+    /// Legal but suspicious; tools should still accept the experiment.
+    Warning,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Error => "error",
+            Self::Warning => "warning",
+        })
+    }
+}
+
+/// Stable identifier of one lint rule.
+///
+/// Codes are append-only: a code, once published, keeps its meaning
+/// forever (CI configurations reference them textually).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleCode {
+    // -- E0xx: data-model violations (mirrors Experiment::validate) --
+    /// A metric's parent identifier does not exist.
+    DanglingMetricParent,
+    /// The metric parent chain contains a cycle.
+    MetricCycle,
+    /// A metric's unit differs from its tree root's unit.
+    MixedUnitsInMetricTree,
+    /// A region's module does not exist.
+    DanglingRegionModule,
+    /// A region's begin line is after its end line.
+    InvertedRegionLines,
+    /// A call site's callee region does not exist.
+    DanglingCallSiteCallee,
+    /// A call-tree node's call site does not exist.
+    DanglingCallNodeSite,
+    /// A call-tree node's parent does not exist.
+    DanglingCallNodeParent,
+    /// The call-tree parent chain contains a cycle.
+    CallNodeCycle,
+    /// A system node's machine does not exist.
+    DanglingNodeMachine,
+    /// A process's system node does not exist.
+    DanglingProcessNode,
+    /// A thread's process does not exist.
+    DanglingThreadProcess,
+    /// Two processes share one application-level rank.
+    DuplicateRank,
+    /// Two threads of one process share one thread number.
+    DuplicateThreadNumber,
+    /// Severity store shape disagrees with the metadata tables.
+    SeverityShapeMismatch,
+    /// A severity value is NaN.
+    SeverityNan,
+    /// The experiment defines no thread.
+    NoThreads,
+    /// A Cartesian topology violates its structural constraints.
+    BadTopology,
+
+    // -- E1xx: parse-level errors (produced by cube-xml) --
+    /// The file could not be read (I/O failure).
+    Io,
+    /// The lexer met a character it cannot interpret.
+    XmlSyntax,
+    /// XML well-formedness violation (mismatched tags, two roots, ...).
+    XmlMalformed,
+    /// Valid XML, but not a valid CUBE document (missing sections,
+    /// missing attributes, non-dense identifiers).
+    FormatViolation,
+    /// An attribute or severity value failed to parse or referenced an
+    /// out-of-range identifier.
+    BadValue,
+
+    // -- W0xx: semantic warnings --
+    /// Two sibling metrics share name and unit; metadata integration
+    /// matches metrics by `(name, unit)` under their parent, so such
+    /// siblings can never both survive a merge as distinct metrics.
+    DuplicateSiblingMetric,
+    /// A region is not the callee of any call site.
+    UnreferencedRegion,
+    /// A module contains no region.
+    EmptyModule,
+    /// A severity value is infinite.
+    InfiniteSeverity,
+    /// A severity value is negative although the experiment's
+    /// provenance is *original*: measurement tools accumulate
+    /// non-negative quantities, only derived (difference) experiments
+    /// may legitimately go negative.
+    NegativeOriginalSeverity,
+    /// A process's thread numbers are not contiguous from 0.
+    ThreadNumberGap,
+    /// Process ranks are not contiguous from 0.
+    RankGap,
+    /// A machine without nodes, a node without processes, or a process
+    /// without threads.
+    EmptySystemBranch,
+    /// A topology declares a grid but places no process on it.
+    EmptyTopology,
+    /// A call site is not used by any call-tree node.
+    UnreferencedCallSite,
+}
+
+impl RuleCode {
+    /// The stable textual code, e.g. `"E016"` or `"W004"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::DanglingMetricParent => "E001",
+            Self::MetricCycle => "E002",
+            Self::MixedUnitsInMetricTree => "E003",
+            Self::DanglingRegionModule => "E004",
+            Self::InvertedRegionLines => "E005",
+            Self::DanglingCallSiteCallee => "E006",
+            Self::DanglingCallNodeSite => "E007",
+            Self::DanglingCallNodeParent => "E008",
+            Self::CallNodeCycle => "E009",
+            Self::DanglingNodeMachine => "E010",
+            Self::DanglingProcessNode => "E011",
+            Self::DanglingThreadProcess => "E012",
+            Self::DuplicateRank => "E013",
+            Self::DuplicateThreadNumber => "E014",
+            Self::SeverityShapeMismatch => "E015",
+            Self::SeverityNan => "E016",
+            Self::NoThreads => "E017",
+            Self::BadTopology => "E018",
+            Self::Io => "E100",
+            Self::XmlSyntax => "E101",
+            Self::XmlMalformed => "E102",
+            Self::FormatViolation => "E103",
+            Self::BadValue => "E104",
+            Self::DuplicateSiblingMetric => "W001",
+            Self::UnreferencedRegion => "W002",
+            Self::EmptyModule => "W003",
+            Self::InfiniteSeverity => "W004",
+            Self::NegativeOriginalSeverity => "W005",
+            Self::ThreadNumberGap => "W006",
+            Self::RankGap => "W007",
+            Self::EmptySystemBranch => "W008",
+            Self::EmptyTopology => "W009",
+            Self::UnreferencedCallSite => "W010",
+        }
+    }
+
+    /// Parses a textual code produced by [`RuleCode::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// The severity level of this rule.
+    pub fn level(self) -> Level {
+        if self.as_str().starts_with('E') {
+            Level::Error
+        } else {
+            Level::Warning
+        }
+    }
+
+    /// One-line description of what the rule checks.
+    pub fn description(self) -> &'static str {
+        match self {
+            Self::DanglingMetricParent => "metric refers to a nonexistent parent",
+            Self::MetricCycle => "metric parent chain contains a cycle",
+            Self::MixedUnitsInMetricTree => "metric unit differs from its tree root's unit",
+            Self::DanglingRegionModule => "region refers to a nonexistent module",
+            Self::InvertedRegionLines => "region begin line is after its end line",
+            Self::DanglingCallSiteCallee => "call site refers to a nonexistent callee region",
+            Self::DanglingCallNodeSite => "call-tree node refers to a nonexistent call site",
+            Self::DanglingCallNodeParent => "call-tree node refers to a nonexistent parent",
+            Self::CallNodeCycle => "call-tree parent chain contains a cycle",
+            Self::DanglingNodeMachine => "system node refers to a nonexistent machine",
+            Self::DanglingProcessNode => "process refers to a nonexistent system node",
+            Self::DanglingThreadProcess => "thread refers to a nonexistent process",
+            Self::DuplicateRank => "two processes share one application-level rank",
+            Self::DuplicateThreadNumber => "two threads of one process share one thread number",
+            Self::SeverityShapeMismatch => "severity store shape disagrees with the metadata",
+            Self::SeverityNan => "severity value is NaN",
+            Self::NoThreads => "experiment defines no thread",
+            Self::BadTopology => "Cartesian topology violates its structural constraints",
+            Self::Io => "file could not be read",
+            Self::XmlSyntax => "XML syntax error",
+            Self::XmlMalformed => "XML well-formedness violation",
+            Self::FormatViolation => "valid XML but not a valid CUBE document",
+            Self::BadValue => "attribute or severity value failed to parse or is out of range",
+            Self::DuplicateSiblingMetric => "two sibling metrics share name and unit",
+            Self::UnreferencedRegion => "region is not the callee of any call site",
+            Self::EmptyModule => "module contains no region",
+            Self::InfiniteSeverity => "severity value is infinite",
+            Self::NegativeOriginalSeverity => "negative severity in an original experiment",
+            Self::ThreadNumberGap => "thread numbers of a process are not contiguous from 0",
+            Self::RankGap => "process ranks are not contiguous from 0",
+            Self::EmptySystemBranch => "machine, node, or process without children",
+            Self::EmptyTopology => "topology declares a grid but places no process",
+            Self::UnreferencedCallSite => "call site is not used by any call-tree node",
+        }
+    }
+
+    /// Every rule code, in code order (for documentation and tests).
+    pub const ALL: [RuleCode; 33] = [
+        Self::DanglingMetricParent,
+        Self::MetricCycle,
+        Self::MixedUnitsInMetricTree,
+        Self::DanglingRegionModule,
+        Self::InvertedRegionLines,
+        Self::DanglingCallSiteCallee,
+        Self::DanglingCallNodeSite,
+        Self::DanglingCallNodeParent,
+        Self::CallNodeCycle,
+        Self::DanglingNodeMachine,
+        Self::DanglingProcessNode,
+        Self::DanglingThreadProcess,
+        Self::DuplicateRank,
+        Self::DuplicateThreadNumber,
+        Self::SeverityShapeMismatch,
+        Self::SeverityNan,
+        Self::NoThreads,
+        Self::BadTopology,
+        Self::Io,
+        Self::XmlSyntax,
+        Self::XmlMalformed,
+        Self::FormatViolation,
+        Self::BadValue,
+        Self::DuplicateSiblingMetric,
+        Self::UnreferencedRegion,
+        Self::EmptyModule,
+        Self::InfiniteSeverity,
+        Self::NegativeOriginalSeverity,
+        Self::ThreadNumberGap,
+        Self::RankGap,
+        Self::EmptySystemBranch,
+        Self::EmptyTopology,
+        Self::UnreferencedCallSite,
+    ];
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points.
+///
+/// Model-level rules use the entity variants; `cube-xml` uses
+/// [`Location::Source`] with the streaming lexer's line/column so parse
+/// errors and lint findings share one location type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// The experiment as a whole.
+    Experiment,
+    /// A position in the source document (1-based line and column).
+    Source { line: u32, column: u32 },
+    /// A metric.
+    Metric(MetricId),
+    /// A module.
+    Module(ModuleId),
+    /// A region.
+    Region(RegionId),
+    /// A call site.
+    CallSite(CallSiteId),
+    /// A call-tree node.
+    CallNode(CallNodeId),
+    /// A machine.
+    Machine(MachineId),
+    /// A system node.
+    Node(NodeId),
+    /// A process.
+    Process(ProcessId),
+    /// A thread.
+    Thread(ThreadId),
+    /// One severity tuple.
+    Tuple {
+        metric: MetricId,
+        call_node: CallNodeId,
+        thread: ThreadId,
+    },
+    /// A Cartesian topology, by index in the topology table.
+    Topology(usize),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Experiment => f.write_str("experiment"),
+            Self::Source { line, column } => write!(f, "{line}:{column}"),
+            Self::Metric(id) => write!(f, "metric {id:?}"),
+            Self::Module(id) => write!(f, "module {id:?}"),
+            Self::Region(id) => write!(f, "region {id:?}"),
+            Self::CallSite(id) => write!(f, "call site {id:?}"),
+            Self::CallNode(id) => write!(f, "call node {id:?}"),
+            Self::Machine(id) => write!(f, "machine {id:?}"),
+            Self::Node(id) => write!(f, "node {id:?}"),
+            Self::Process(id) => write!(f, "process {id:?}"),
+            Self::Thread(id) => write!(f, "thread {id:?}"),
+            Self::Tuple {
+                metric,
+                call_node,
+                thread,
+            } => write!(f, "severity ({metric:?}, {call_node:?}, {thread:?})"),
+            Self::Topology(i) => write!(f, "topology #{i}"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: RuleCode,
+    /// Where it fired.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(code: RuleCode, location: Location, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// The level of the rule that fired.
+    pub fn level(&self) -> Level {
+        self.code.level()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {}",
+            self.level(),
+            self.code,
+            self.location,
+            self.message
+        )
+    }
+}
+
+/// The result of linting one experiment (or one file).
+///
+/// Errors sort before warnings; within a level, diagnostics keep the
+/// deterministic rule-scan order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps pre-built diagnostics into a report (errors-first order is
+    /// established here).
+    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by_key(|d| d.level());
+        Self { diagnostics }
+    }
+
+    /// All diagnostics, errors first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// No findings at all — the experiment is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// At least one error-level finding.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.level() == Level::Error)
+    }
+
+    /// Error-level diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level() == Level::Error)
+    }
+
+    /// Warning-level diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level() == Level::Warning)
+    }
+
+    /// Number of error-level diagnostics.
+    pub fn num_errors(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warning-level diagnostics.
+    pub fn num_warnings(&self) -> usize {
+        self.warnings().count()
+    }
+
+    /// The distinct rule codes that fired, in code order.
+    pub fn codes(&self) -> Vec<RuleCode> {
+        let mut codes: Vec<RuleCode> = self.diagnostics.iter().map(|d| d.code).collect();
+        codes.sort();
+        codes.dedup();
+        codes
+    }
+
+    /// `"2 errors, 1 warning"`-style summary.
+    pub fn summary(&self) -> String {
+        fn count(n: usize, what: &str) -> String {
+            format!("{n} {what}{}", if n == 1 { "" } else { "s" })
+        }
+        format!(
+            "{}, {}",
+            count(self.num_errors(), "error"),
+            count(self.num_warnings(), "warning")
+        )
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{}", self.summary())
+    }
+}
+
+/// Collects diagnostics while enforcing the per-rule cap.
+struct Collector {
+    diagnostics: Vec<Diagnostic>,
+    counts: BTreeMap<RuleCode, usize>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Self {
+            diagnostics: Vec::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn push(&mut self, code: RuleCode, location: Location, message: impl Into<String>) {
+        let n = self.counts.entry(code).or_insert(0);
+        *n += 1;
+        if *n <= MAX_PER_RULE {
+            self.diagnostics
+                .push(Diagnostic::new(code, location, message));
+        }
+    }
+
+    fn finish(mut self) -> Report {
+        for (&code, &n) in &self.counts {
+            if n > MAX_PER_RULE {
+                self.diagnostics.push(Diagnostic::new(
+                    code,
+                    Location::Experiment,
+                    format!("{} further {code} diagnostics suppressed", n - MAX_PER_RULE),
+                ));
+            }
+        }
+        Report::from_diagnostics(self.diagnostics)
+    }
+}
+
+/// Lints an experiment: runs every rule and reports all findings.
+pub fn lint(exp: &Experiment) -> Report {
+    lint_parts(exp.metadata(), exp.severity(), exp.provenance())
+}
+
+/// Lints the parts of a (possibly not yet validated) experiment.
+///
+/// Unlike [`lint`] this does not require assembling an [`Experiment`]
+/// first, so a reader can diagnose structures that
+/// [`Experiment::new`](crate::Experiment::new) would reject — and
+/// report *all* of their violations, not just the first.
+pub fn lint_parts(md: &Metadata, sev: &Severity, prov: &Provenance) -> Report {
+    let mut c = Collector::new();
+    lint_metric_dimension(md, &mut c);
+    lint_program_dimension(md, &mut c);
+    lint_system_dimension(md, &mut c);
+    lint_topologies(md, &mut c);
+    lint_severity(md, sev, prov, &mut c);
+    c.finish()
+}
+
+/// Walks the parent chain from `start`; returns the root index, or
+/// `None` when the chain dangles (reported elsewhere) or cycles.
+fn chain_root(
+    parent_of: impl Fn(usize) -> Option<usize>,
+    len: usize,
+    start: usize,
+) -> Option<usize> {
+    let mut cur = start;
+    let mut hops = 0usize;
+    loop {
+        match parent_of(cur) {
+            Some(p) if p < len => {
+                cur = p;
+                hops += 1;
+                if hops > len {
+                    return None; // cycle
+                }
+            }
+            Some(_) => return None, // dangling
+            None => return Some(cur),
+        }
+    }
+}
+
+fn lint_metric_dimension(md: &Metadata, c: &mut Collector) {
+    let metrics = md.metrics();
+    let n = metrics.len();
+    let parent_of = |i: usize| metrics[i].parent.map(|p| p.index());
+
+    for (i, m) in metrics.iter().enumerate() {
+        let id = MetricId::from_index(i);
+        if let Some(p) = m.parent {
+            if p.index() >= n {
+                c.push(
+                    RuleCode::DanglingMetricParent,
+                    Location::Metric(id),
+                    format!("metric '{}' refers to nonexistent parent {p:?}", m.name),
+                );
+            }
+        }
+    }
+    for (i, m) in metrics.iter().enumerate() {
+        let id = MetricId::from_index(i);
+        // Dangling chains were reported above; only flag true cycles.
+        let dangles = |j: usize| matches!(parent_of(j), Some(p) if p >= n);
+        let mut cur = i;
+        let mut hops = 0usize;
+        let cycles = loop {
+            if dangles(cur) {
+                break false;
+            }
+            match parent_of(cur) {
+                Some(p) => {
+                    cur = p;
+                    hops += 1;
+                    if hops > n {
+                        break true;
+                    }
+                }
+                None => break false,
+            }
+        };
+        if cycles {
+            c.push(
+                RuleCode::MetricCycle,
+                Location::Metric(id),
+                format!("metric '{}' participates in a parent cycle", m.name),
+            );
+        }
+    }
+    for (i, m) in metrics.iter().enumerate() {
+        let id = MetricId::from_index(i);
+        if let Some(root) = chain_root(parent_of, n, i) {
+            let root_unit = metrics[root].unit;
+            if m.unit != root_unit {
+                c.push(
+                    RuleCode::MixedUnitsInMetricTree,
+                    Location::Metric(id),
+                    format!(
+                        "metric '{}' has unit '{}' but its tree root '{}' has unit '{}'",
+                        m.name, m.unit, metrics[root].name, root_unit
+                    ),
+                );
+            }
+        }
+    }
+    // W001: sibling metrics sharing (name, unit) can never both survive
+    // metadata integration — the merge would silently fold them.
+    let mut seen: HashMap<(Option<u32>, &str, crate::metric::Unit), usize> = HashMap::new();
+    for (i, m) in metrics.iter().enumerate() {
+        let key = (m.parent.map(|p| p.raw()), m.name.as_str(), m.unit);
+        match seen.get(&key) {
+            Some(&first) => {
+                c.push(
+                    RuleCode::DuplicateSiblingMetric,
+                    Location::Metric(MetricId::from_index(i)),
+                    format!(
+                        "metric '{}' duplicates sibling {:?} (same name and unit)",
+                        m.name,
+                        MetricId::from_index(first)
+                    ),
+                );
+            }
+            None => {
+                seen.insert(key, i);
+            }
+        }
+    }
+}
+
+fn lint_program_dimension(md: &Metadata, c: &mut Collector) {
+    let modules = md.modules();
+    let regions = md.regions();
+    let csites = md.call_sites();
+    let cnodes = md.call_nodes();
+
+    let mut module_used = vec![false; modules.len()];
+    for (i, r) in regions.iter().enumerate() {
+        let id = RegionId::from_index(i);
+        if r.module.index() >= modules.len() {
+            c.push(
+                RuleCode::DanglingRegionModule,
+                Location::Region(id),
+                format!(
+                    "region '{}' refers to nonexistent module {:?}",
+                    r.name, r.module
+                ),
+            );
+        } else {
+            module_used[r.module.index()] = true;
+        }
+        if r.begin_line > r.end_line {
+            c.push(
+                RuleCode::InvertedRegionLines,
+                Location::Region(id),
+                format!(
+                    "region '{}' begins at line {} but ends at line {}",
+                    r.name, r.begin_line, r.end_line
+                ),
+            );
+        }
+    }
+    for (i, used) in module_used.iter().enumerate() {
+        if !used {
+            c.push(
+                RuleCode::EmptyModule,
+                Location::Module(ModuleId::from_index(i)),
+                format!("module '{}' contains no region", modules[i].name),
+            );
+        }
+    }
+
+    let mut region_used = vec![false; regions.len()];
+    for (i, cs) in csites.iter().enumerate() {
+        if cs.callee.index() >= regions.len() {
+            c.push(
+                RuleCode::DanglingCallSiteCallee,
+                Location::CallSite(CallSiteId::from_index(i)),
+                format!(
+                    "call site at {}:{} refers to nonexistent callee {:?}",
+                    cs.file, cs.line, cs.callee
+                ),
+            );
+        } else {
+            region_used[cs.callee.index()] = true;
+        }
+    }
+    for (i, used) in region_used.iter().enumerate() {
+        if !used {
+            c.push(
+                RuleCode::UnreferencedRegion,
+                Location::Region(RegionId::from_index(i)),
+                format!(
+                    "region '{}' is not the callee of any call site",
+                    regions[i].name
+                ),
+            );
+        }
+    }
+
+    let n = cnodes.len();
+    let parent_of = |i: usize| cnodes[i].parent.map(|p| p.index());
+    let mut csite_used = vec![false; csites.len()];
+    for (i, cn) in cnodes.iter().enumerate() {
+        let id = CallNodeId::from_index(i);
+        if cn.call_site.index() >= csites.len() {
+            c.push(
+                RuleCode::DanglingCallNodeSite,
+                Location::CallNode(id),
+                format!(
+                    "call node refers to nonexistent call site {:?}",
+                    cn.call_site
+                ),
+            );
+        } else {
+            csite_used[cn.call_site.index()] = true;
+        }
+        if let Some(p) = cn.parent {
+            if p.index() >= n {
+                c.push(
+                    RuleCode::DanglingCallNodeParent,
+                    Location::CallNode(id),
+                    format!("call node refers to nonexistent parent {p:?}"),
+                );
+            }
+        }
+    }
+    for i in 0..n {
+        let dangles = |j: usize| matches!(parent_of(j), Some(p) if p >= n);
+        let mut cur = i;
+        let mut hops = 0usize;
+        let cycles = loop {
+            if dangles(cur) {
+                break false;
+            }
+            match parent_of(cur) {
+                Some(p) => {
+                    cur = p;
+                    hops += 1;
+                    if hops > n {
+                        break true;
+                    }
+                }
+                None => break false,
+            }
+        };
+        if cycles {
+            c.push(
+                RuleCode::CallNodeCycle,
+                Location::CallNode(CallNodeId::from_index(i)),
+                "call node participates in a parent cycle".to_string(),
+            );
+        }
+    }
+    for (i, used) in csite_used.iter().enumerate() {
+        if !used {
+            c.push(
+                RuleCode::UnreferencedCallSite,
+                Location::CallSite(CallSiteId::from_index(i)),
+                format!(
+                    "call site at {}:{} is not used by any call-tree node",
+                    csites[i].file, csites[i].line
+                ),
+            );
+        }
+    }
+}
+
+fn lint_system_dimension(md: &Metadata, c: &mut Collector) {
+    let machines = md.machines();
+    let nodes = md.nodes();
+    let processes = md.processes();
+    let threads = md.threads();
+
+    for (i, n) in nodes.iter().enumerate() {
+        if n.machine.index() >= machines.len() {
+            c.push(
+                RuleCode::DanglingNodeMachine,
+                Location::Node(NodeId::from_index(i)),
+                format!(
+                    "node '{}' refers to nonexistent machine {:?}",
+                    n.name, n.machine
+                ),
+            );
+        }
+    }
+    let mut first_rank: HashMap<i32, usize> = HashMap::new();
+    for (i, p) in processes.iter().enumerate() {
+        let id = ProcessId::from_index(i);
+        if p.node.index() >= nodes.len() {
+            c.push(
+                RuleCode::DanglingProcessNode,
+                Location::Process(id),
+                format!(
+                    "process '{}' refers to nonexistent node {:?}",
+                    p.name, p.node
+                ),
+            );
+        }
+        match first_rank.get(&p.rank) {
+            Some(&first) => {
+                c.push(
+                    RuleCode::DuplicateRank,
+                    Location::Process(id),
+                    format!(
+                        "process '{}' shares rank {} with {:?}",
+                        p.name,
+                        p.rank,
+                        ProcessId::from_index(first)
+                    ),
+                );
+            }
+            None => {
+                first_rank.insert(p.rank, i);
+            }
+        }
+    }
+    let mut first_number: HashMap<(u32, u32), usize> = HashMap::new();
+    for (i, t) in threads.iter().enumerate() {
+        let id = ThreadId::from_index(i);
+        if t.process.index() >= processes.len() {
+            c.push(
+                RuleCode::DanglingThreadProcess,
+                Location::Thread(id),
+                format!(
+                    "thread '{}' refers to nonexistent process {:?}",
+                    t.name, t.process
+                ),
+            );
+            continue;
+        }
+        match first_number.get(&(t.process.raw(), t.number)) {
+            Some(&first) => {
+                c.push(
+                    RuleCode::DuplicateThreadNumber,
+                    Location::Thread(id),
+                    format!(
+                        "thread '{}' shares number {} of {:?} with {:?}",
+                        t.name,
+                        t.number,
+                        t.process,
+                        ThreadId::from_index(first)
+                    ),
+                );
+            }
+            None => {
+                first_number.insert((t.process.raw(), t.number), i);
+            }
+        }
+    }
+    if threads.is_empty() {
+        c.push(
+            RuleCode::NoThreads,
+            Location::Experiment,
+            "experiment defines no thread; the thread level is mandatory".to_string(),
+        );
+    }
+
+    // W006: per-process thread numbers must be 0..k.
+    for (i, _) in processes.iter().enumerate() {
+        let id = ProcessId::from_index(i);
+        let mut numbers: Vec<u32> = md
+            .threads_of_process(id)
+            .iter()
+            .map(|&t| threads[t.index()].number)
+            .collect();
+        numbers.sort_unstable();
+        numbers.dedup();
+        if !numbers.is_empty() && numbers != (0..numbers.len() as u32).collect::<Vec<_>>() {
+            c.push(
+                RuleCode::ThreadNumberGap,
+                Location::Process(id),
+                format!(
+                    "thread numbers of process '{}' are {:?}, expected 0..{}",
+                    processes[i].name,
+                    numbers,
+                    numbers.len()
+                ),
+            );
+        }
+    }
+    // W007: ranks must be 0..n.
+    let mut ranks: Vec<i32> = processes.iter().map(|p| p.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    if !ranks.is_empty() && ranks != (0..ranks.len() as i32).collect::<Vec<_>>() {
+        c.push(
+            RuleCode::RankGap,
+            Location::Experiment,
+            format!("process ranks are {ranks:?}, expected 0..{}", ranks.len()),
+        );
+    }
+    // W008: empty branches.
+    for (i, m) in machines.iter().enumerate() {
+        let id = MachineId::from_index(i);
+        if md.nodes_of_machine(id).is_empty() {
+            c.push(
+                RuleCode::EmptySystemBranch,
+                Location::Machine(id),
+                format!("machine '{}' has no nodes", m.name),
+            );
+        }
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        let id = NodeId::from_index(i);
+        if md.processes_of_node(id).is_empty() {
+            c.push(
+                RuleCode::EmptySystemBranch,
+                Location::Node(id),
+                format!("node '{}' has no processes", n.name),
+            );
+        }
+    }
+    for (i, p) in processes.iter().enumerate() {
+        let id = ProcessId::from_index(i);
+        if md.threads_of_process(id).is_empty() {
+            c.push(
+                RuleCode::EmptySystemBranch,
+                Location::Process(id),
+                format!("process '{}' has no threads", p.name),
+            );
+        }
+    }
+}
+
+fn lint_topologies(md: &Metadata, c: &mut Collector) {
+    for (i, t) in md.topologies().iter().enumerate() {
+        if let Err(e) = t.validate(md.processes().len()) {
+            c.push(RuleCode::BadTopology, Location::Topology(i), e.to_string());
+        }
+        if t.coords.is_empty() && !md.processes().is_empty() {
+            c.push(
+                RuleCode::EmptyTopology,
+                Location::Topology(i),
+                format!(
+                    "topology '{}' declares a grid but places no process",
+                    t.name
+                ),
+            );
+        }
+    }
+}
+
+fn lint_severity(md: &Metadata, sev: &Severity, prov: &Provenance, c: &mut Collector) {
+    let expected = md.shape();
+    let actual = sev.shape();
+    if expected != actual {
+        c.push(
+            RuleCode::SeverityShapeMismatch,
+            Location::Experiment,
+            format!(
+                "severity store shaped {actual:?} but metadata requires {expected:?} \
+                 (metrics x call nodes x threads); value rules skipped"
+            ),
+        );
+        // Flat indices cannot be mapped onto tuples; skip value rules.
+        return;
+    }
+    let (_, nc, nt) = actual;
+    let original = !prov.is_derived();
+    for (i, &v) in sev.values().iter().enumerate() {
+        if v.is_finite() && !(original && v < 0.0) {
+            continue;
+        }
+        let tuple = Location::Tuple {
+            metric: MetricId::from_index(i / (nt * nc)),
+            call_node: CallNodeId::from_index((i / nt) % nc),
+            thread: ThreadId::from_index(i % nt),
+        };
+        if v.is_nan() {
+            c.push(
+                RuleCode::SeverityNan,
+                tuple,
+                "severity value is NaN".to_string(),
+            );
+        } else if v.is_infinite() {
+            c.push(
+                RuleCode::InfiniteSeverity,
+                tuple,
+                format!("severity value is {v}"),
+            );
+        } else {
+            c.push(
+                RuleCode::NegativeOriginalSeverity,
+                tuple,
+                format!(
+                    "severity value {v} is negative although the experiment is original \
+                     (provenance '{prov}')"
+                ),
+            );
+        }
+    }
+}
+
+/// The rule code corresponding to a [`ModelError`].
+///
+/// This is the bridge between the first-violation [`Experiment::validate`]
+/// API and the exhaustive lint: both report the same constraint set.
+pub fn code_of_model_error(e: &ModelError) -> RuleCode {
+    match e {
+        ModelError::DanglingMetricParent { .. } => RuleCode::DanglingMetricParent,
+        ModelError::MixedUnitsInMetricTree { .. } => RuleCode::MixedUnitsInMetricTree,
+        ModelError::MetricCycle { .. } => RuleCode::MetricCycle,
+        ModelError::DanglingRegionModule { .. } => RuleCode::DanglingRegionModule,
+        ModelError::InvertedRegionLines { .. } => RuleCode::InvertedRegionLines,
+        ModelError::DanglingCallSiteCallee { .. } => RuleCode::DanglingCallSiteCallee,
+        ModelError::DanglingCallNodeSite { .. } => RuleCode::DanglingCallNodeSite,
+        ModelError::DanglingCallNodeParent { .. } => RuleCode::DanglingCallNodeParent,
+        ModelError::CallNodeCycle { .. } => RuleCode::CallNodeCycle,
+        ModelError::DanglingNodeMachine { .. } => RuleCode::DanglingNodeMachine,
+        ModelError::DanglingProcessNode { .. } => RuleCode::DanglingProcessNode,
+        ModelError::DanglingThreadProcess { .. } => RuleCode::DanglingThreadProcess,
+        ModelError::DuplicateRank { .. } => RuleCode::DuplicateRank,
+        ModelError::DuplicateThreadNumber { .. } => RuleCode::DuplicateThreadNumber,
+        ModelError::SeverityShapeMismatch { .. } | ModelError::SeverityLengthMismatch { .. } => {
+            RuleCode::SeverityShapeMismatch
+        }
+        ModelError::NanSeverity { .. } => RuleCode::SeverityNan,
+        ModelError::NoThreads => RuleCode::NoThreads,
+        ModelError::BadTopology { .. } => RuleCode::BadTopology,
+    }
+}
+
+/// Converts a [`ModelError`] into a single [`Diagnostic`] with the best
+/// available location.
+pub fn diagnostic_of_model_error(e: &ModelError) -> Diagnostic {
+    let location = match e {
+        ModelError::DanglingMetricParent { metric }
+        | ModelError::MixedUnitsInMetricTree { metric, .. }
+        | ModelError::MetricCycle { metric } => Location::Metric(*metric),
+        ModelError::DanglingRegionModule { region }
+        | ModelError::InvertedRegionLines { region } => Location::Region(*region),
+        ModelError::DanglingCallSiteCallee { call_site } => Location::CallSite(*call_site),
+        ModelError::DanglingCallNodeSite { call_node }
+        | ModelError::DanglingCallNodeParent { call_node }
+        | ModelError::CallNodeCycle { call_node } => Location::CallNode(*call_node),
+        ModelError::DanglingNodeMachine { node } => Location::Node(*node),
+        ModelError::DanglingProcessNode { process }
+        | ModelError::DuplicateThreadNumber { process, .. } => Location::Process(*process),
+        ModelError::DanglingThreadProcess { thread } => Location::Thread(*thread),
+        ModelError::NanSeverity {
+            metric,
+            call_node,
+            thread,
+        } => Location::Tuple {
+            metric: *metric,
+            call_node: *call_node,
+            thread: *thread,
+        },
+        ModelError::DuplicateRank { .. }
+        | ModelError::SeverityShapeMismatch { .. }
+        | ModelError::SeverityLengthMismatch { .. }
+        | ModelError::NoThreads
+        | ModelError::BadTopology { .. } => Location::Experiment,
+    };
+    Diagnostic::new(code_of_model_error(e), location, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ExperimentBuilder;
+    use crate::metric::{Metric, Unit};
+    use crate::program::{CallNode, CallSite, Module, Region, RegionKind};
+    use crate::system::{Machine, Process, SystemNode, Thread};
+    use crate::topology::CartTopology;
+
+    fn build_clean() -> Experiment {
+        let mut b = ExperimentBuilder::new("clean");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let m = b.def_module("a.c", "/a.c");
+        let main_r = b.def_region("main", m, RegionKind::Function, 1, 9);
+        let cs = b.def_call_site("a.c", 1, main_r);
+        let root = b.def_call_node(cs, None);
+        let mach = b.def_machine("mach");
+        let node = b.def_node("n0", mach);
+        let p = b.def_process("p0", 0, node);
+        let t = b.def_thread("t0", 0, p);
+        b.set_severity(time, root, t, 2.5);
+        b.build().unwrap()
+    }
+
+    /// Metadata like `build_clean`'s but assembled raw, for mutation.
+    fn clean_metadata() -> Metadata {
+        build_clean().metadata().clone()
+    }
+
+    #[test]
+    fn clean_experiment_is_clean() {
+        let r = lint(&build_clean());
+        assert!(r.is_clean(), "unexpected diagnostics: {r}");
+        assert_eq!(r.summary(), "0 errors, 0 warnings");
+    }
+
+    #[test]
+    fn lint_errors_iff_validate_rejects() {
+        // The E0xx rule set and Experiment::validate must agree.
+        let cases: Vec<Experiment> = vec![
+            build_clean(),
+            {
+                let mut e = build_clean();
+                e.severity_mut().values_mut()[0] = f64::NAN;
+                e
+            },
+            Experiment::new_unchecked(
+                clean_metadata(),
+                Severity::zeros(2, 1, 1),
+                Provenance::default(),
+            ),
+            Experiment::new_unchecked(
+                Metadata::new(),
+                Severity::zeros(0, 0, 0),
+                Provenance::default(),
+            ),
+        ];
+        for e in &cases {
+            assert_eq!(
+                e.validate().is_ok(),
+                !lint(e).has_errors(),
+                "validate/lint disagree: {:?} vs {}",
+                e.validate(),
+                lint(e)
+            );
+        }
+    }
+
+    #[test]
+    fn validate_error_code_appears_in_lint() {
+        let mut e = build_clean();
+        e.severity_mut().values_mut()[0] = f64::NAN;
+        let err = e.validate().unwrap_err();
+        let report = lint(&e);
+        assert!(report.codes().contains(&code_of_model_error(&err)));
+        let d = diagnostic_of_model_error(&err);
+        assert_eq!(d.code, RuleCode::SeverityNan);
+        assert!(matches!(d.location, Location::Tuple { .. }));
+    }
+
+    // ---- codes unreachable from files still fire on raw metadata ----
+
+    #[test]
+    fn dangling_metric_parent_and_unit_mix() {
+        let mut md = clean_metadata();
+        md.add_metric(Metric::child("x", Unit::Seconds, "", MetricId::new(99)));
+        md.add_metric(Metric::child("b", Unit::Bytes, "", MetricId::new(0)));
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        let codes = r.codes();
+        assert!(codes.contains(&RuleCode::DanglingMetricParent), "{r}");
+        assert!(codes.contains(&RuleCode::MixedUnitsInMetricTree), "{r}");
+        // The dangling chain must not also be reported as a cycle.
+        assert!(!codes.contains(&RuleCode::MetricCycle), "{r}");
+    }
+
+    #[test]
+    fn lint_reports_all_violations_not_just_first() {
+        let mut md = clean_metadata();
+        md.add_metric(Metric::child("x", Unit::Seconds, "", MetricId::new(99)));
+        md.add_region(Region {
+            name: "inv".into(),
+            module: ModuleId::new(0),
+            kind: RegionKind::Function,
+            begin_line: 9,
+            end_line: 1,
+        });
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        assert!(r.num_errors() >= 2, "{r}");
+    }
+
+    #[test]
+    fn call_tree_rules_fire() {
+        let mut md = clean_metadata();
+        md.add_call_node(CallNode {
+            call_site: CallSiteId::new(42),
+            parent: Some(CallNodeId::new(42)),
+        });
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        let codes = r.codes();
+        assert!(codes.contains(&RuleCode::DanglingCallNodeSite), "{r}");
+        assert!(codes.contains(&RuleCode::DanglingCallNodeParent), "{r}");
+        assert!(!codes.contains(&RuleCode::CallNodeCycle), "{r}");
+    }
+
+    #[test]
+    fn system_dangling_rules_fire() {
+        let mut md = Metadata::new();
+        md.add_metric(Metric::root("time", Unit::Seconds, ""));
+        let m = md.add_module(Module::new("a", "a"));
+        let r0 = md.add_region(Region {
+            name: "main".into(),
+            module: m,
+            kind: RegionKind::Function,
+            begin_line: 1,
+            end_line: 2,
+        });
+        let cs = md.add_call_site(CallSite {
+            file: "a".into(),
+            line: 1,
+            callee: r0,
+        });
+        md.add_call_node(CallNode {
+            call_site: cs,
+            parent: None,
+        });
+        md.add_node(SystemNode::new("n", MachineId::new(7)));
+        md.add_process(Process::new("p", 0, NodeId::new(9)));
+        md.add_thread(Thread::new("t", 0, ProcessId::new(5)));
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        let codes = r.codes();
+        assert!(codes.contains(&RuleCode::DanglingNodeMachine), "{r}");
+        assert!(codes.contains(&RuleCode::DanglingProcessNode), "{r}");
+        assert!(codes.contains(&RuleCode::DanglingThreadProcess), "{r}");
+    }
+
+    #[test]
+    fn duplicate_rank_and_thread_number() {
+        let mut md = clean_metadata();
+        let p = md.add_process(Process::new("dup", 0, NodeId::new(0)));
+        md.add_thread(Thread::new("t", 0, p));
+        md.add_thread(Thread::new("t'", 0, p));
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        let codes = r.codes();
+        assert!(codes.contains(&RuleCode::DuplicateRank), "{r}");
+        assert!(codes.contains(&RuleCode::DuplicateThreadNumber), "{r}");
+    }
+
+    #[test]
+    fn warning_rules_fire() {
+        let mut md = clean_metadata();
+        // Unreferenced region + empty module.
+        md.add_module(Module::new("empty.c", "/empty.c"));
+        md.add_region(Region {
+            name: "orphan".into(),
+            module: ModuleId::new(0),
+            kind: RegionKind::Function,
+            begin_line: 1,
+            end_line: 2,
+        });
+        // Unreferenced call site.
+        md.add_call_site(CallSite {
+            file: "a.c".into(),
+            line: 5,
+            callee: RegionId::new(0),
+        });
+        // Thread-number gap and rank gap.
+        let p = md.add_process(Process::new("p9", 9, NodeId::new(0)));
+        md.add_thread(Thread::new("t3", 3, p));
+        // Empty topology.
+        md.add_topology(CartTopology::new("empty", vec![2], vec![false]));
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        let codes = r.codes();
+        assert!(!r.has_errors(), "{r}");
+        for want in [
+            RuleCode::UnreferencedRegion,
+            RuleCode::EmptyModule,
+            RuleCode::UnreferencedCallSite,
+            RuleCode::ThreadNumberGap,
+            RuleCode::RankGap,
+            RuleCode::EmptyTopology,
+        ] {
+            assert!(codes.contains(&want), "missing {want}: {r}");
+        }
+    }
+
+    #[test]
+    fn empty_system_branch_fires_per_level() {
+        let mut md = clean_metadata();
+        md.add_machine(Machine::new("bare"));
+        let mach0 = MachineId::new(0);
+        md.add_node(SystemNode::new("empty-node", mach0));
+        md.add_process(Process::new("no-threads", 1, NodeId::new(0)));
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        let branch: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == RuleCode::EmptySystemBranch)
+            .collect();
+        assert_eq!(branch.len(), 3, "{r}");
+    }
+
+    #[test]
+    fn duplicate_sibling_metric_warns_but_distinct_trees_ok() {
+        let mut md = clean_metadata();
+        md.add_metric(Metric::root("time", Unit::Seconds, "dup"));
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        assert!(r.codes().contains(&RuleCode::DuplicateSiblingMetric), "{r}");
+
+        // Same name but different unit (what a merge legitimately
+        // produces) must stay clean.
+        let mut md = clean_metadata();
+        md.add_metric(Metric::root("time", Unit::Bytes, ""));
+        // Reference nothing new; shape grows by one metric.
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        assert!(
+            !r.codes().contains(&RuleCode::DuplicateSiblingMetric),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn severity_value_rules() {
+        let mut e = build_clean();
+        e.severity_mut().values_mut()[0] = f64::INFINITY;
+        let r = lint(&e);
+        assert_eq!(r.codes(), vec![RuleCode::InfiniteSeverity]);
+
+        let mut e = build_clean();
+        e.severity_mut().values_mut()[0] = -1.0;
+        let r = lint(&e);
+        assert_eq!(r.codes(), vec![RuleCode::NegativeOriginalSeverity]);
+
+        // Negative severities are fine for derived experiments.
+        let mut e = build_clean();
+        e.severity_mut().values_mut()[0] = -1.0;
+        e.set_provenance(Provenance::derived(
+            "difference",
+            vec!["a".into(), "b".into()],
+        ));
+        assert!(lint(&e).is_clean());
+    }
+
+    #[test]
+    fn shape_mismatch_skips_value_rules() {
+        let e = Experiment::new_unchecked(
+            clean_metadata(),
+            Severity::from_values(1, 1, 2, vec![f64::NAN, -1.0]),
+            Provenance::default(),
+        );
+        let r = lint(&e);
+        assert_eq!(r.codes(), vec![RuleCode::SeverityShapeMismatch]);
+    }
+
+    #[test]
+    fn per_rule_cap_truncates_with_summary() {
+        let mut e = build_clean();
+        let mut md = e.metadata().clone();
+        md.add_metric(Metric::root("t2", Unit::Seconds, ""));
+        for i in 0..20 {
+            md.add_metric(Metric::child(
+                format!("m{i}"),
+                Unit::Seconds,
+                "",
+                MetricId::new(1),
+            ));
+        }
+        let (nm, nc, nt) = md.shape();
+        let mut values = vec![f64::NAN; nm * nc * nt];
+        values[0] = 1.0;
+        e = Experiment::new_unchecked(
+            md,
+            Severity::from_values(nm, nc, nt, values),
+            Provenance::default(),
+        );
+        let r = lint(&e);
+        let nans = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == RuleCode::SeverityNan)
+            .count();
+        // MAX_PER_RULE tuple diagnostics plus one summary.
+        assert_eq!(nans, MAX_PER_RULE + 1, "{r}");
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.message.contains("suppressed")));
+    }
+
+    #[test]
+    fn bad_topology_reported_with_index() {
+        let mut md = clean_metadata();
+        md.add_topology(CartTopology::new("bad", vec![0], vec![false]));
+        let sev = Severity::zeros(md.shape().0, md.shape().1, md.shape().2);
+        let r = lint_parts(&md, &sev, &Provenance::default());
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == RuleCode::BadTopology)
+            .unwrap();
+        assert_eq!(d.location, Location::Topology(0));
+    }
+
+    #[test]
+    fn code_table_is_consistent() {
+        let mut seen = std::collections::HashSet::new();
+        for code in RuleCode::ALL {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            assert_eq!(RuleCode::from_str_opt(code.as_str()), Some(code));
+            let is_error = code.as_str().starts_with('E');
+            assert_eq!(code.level() == Level::Error, is_error);
+            assert!(!code.description().is_empty());
+        }
+        assert_eq!(RuleCode::from_str_opt("E999"), None);
+    }
+
+    #[test]
+    fn report_display_and_ordering() {
+        let report = Report::from_diagnostics(vec![
+            Diagnostic::new(
+                RuleCode::UnreferencedRegion,
+                Location::Region(RegionId::new(0)),
+                "w",
+            ),
+            Diagnostic::new(RuleCode::NoThreads, Location::Experiment, "e"),
+        ]);
+        // Errors sort before warnings.
+        assert_eq!(report.diagnostics()[0].code, RuleCode::NoThreads);
+        let text = report.to_string();
+        assert!(text.contains("error[E017]: experiment: e"), "{text}");
+        assert!(text.contains("warning[W002]: region reg0: w"), "{text}");
+        assert!(text.ends_with("1 error, 1 warning"), "{text}");
+    }
+
+    #[test]
+    fn every_model_error_maps_to_a_code() {
+        use ModelError as M;
+        let samples: Vec<ModelError> = vec![
+            M::DanglingMetricParent {
+                metric: MetricId::new(0),
+            },
+            M::MixedUnitsInMetricTree {
+                metric: MetricId::new(0),
+                unit: Unit::Bytes,
+                root_unit: Unit::Seconds,
+            },
+            M::MetricCycle {
+                metric: MetricId::new(0),
+            },
+            M::DanglingRegionModule {
+                region: RegionId::new(0),
+            },
+            M::InvertedRegionLines {
+                region: RegionId::new(0),
+            },
+            M::DanglingCallSiteCallee {
+                call_site: CallSiteId::new(0),
+            },
+            M::DanglingCallNodeSite {
+                call_node: CallNodeId::new(0),
+            },
+            M::DanglingCallNodeParent {
+                call_node: CallNodeId::new(0),
+            },
+            M::CallNodeCycle {
+                call_node: CallNodeId::new(0),
+            },
+            M::DanglingNodeMachine {
+                node: NodeId::new(0),
+            },
+            M::DanglingProcessNode {
+                process: ProcessId::new(0),
+            },
+            M::DanglingThreadProcess {
+                thread: ThreadId::new(0),
+            },
+            M::DuplicateRank { rank: 0 },
+            M::DuplicateThreadNumber {
+                process: ProcessId::new(0),
+                number: 0,
+            },
+            M::SeverityShapeMismatch {
+                expected: (1, 1, 1),
+                actual: (1, 1, 2),
+            },
+            M::SeverityLengthMismatch {
+                shape: (1, 1, 1),
+                expected_len: 1,
+                actual_len: 2,
+            },
+            M::NanSeverity {
+                metric: MetricId::new(0),
+                call_node: CallNodeId::new(0),
+                thread: ThreadId::new(0),
+            },
+            M::NoThreads,
+            M::BadTopology {
+                topology: "t".into(),
+                reason: "r".into(),
+            },
+        ];
+        for e in &samples {
+            let d = diagnostic_of_model_error(e);
+            assert_eq!(d.code.level(), Level::Error);
+            assert_eq!(d.message, e.to_string());
+        }
+    }
+}

@@ -26,10 +26,20 @@ pub enum XmlError {
     Syntax { position: Position, message: String },
     /// Well-formedness violation (mismatched tags, multiple roots, ...).
     Malformed { position: Position, message: String },
-    /// The document is valid XML but not a valid CUBE file.
-    Format { message: String },
+    /// The document is valid XML but not a valid CUBE file. The
+    /// position, when known, is that of the offending element's start
+    /// tag.
+    Format {
+        position: Option<Position>,
+        message: String,
+    },
     /// A numeric attribute failed to parse or an id is out of range.
-    Value { message: String },
+    /// The position, when known, is that of the enclosing element's
+    /// start tag.
+    Value {
+        position: Option<Position>,
+        message: String,
+    },
     /// The experiment read from the file violates the data model.
     Model(cube_model::ModelError),
     /// Underlying I/O failure when reading or writing a file.
@@ -53,13 +63,38 @@ impl XmlError {
 
     pub(crate) fn format(message: impl Into<String>) -> Self {
         Self::Format {
+            position: None,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn format_at(position: Position, message: impl Into<String>) -> Self {
+        Self::Format {
+            position: Some(position),
             message: message.into(),
         }
     }
 
     pub(crate) fn value(message: impl Into<String>) -> Self {
         Self::Value {
+            position: None,
             message: message.into(),
+        }
+    }
+
+    pub(crate) fn value_at(position: Position, message: impl Into<String>) -> Self {
+        Self::Value {
+            position: Some(position),
+            message: message.into(),
+        }
+    }
+
+    /// The source position this error points at, when one is known.
+    pub fn position(&self) -> Option<Position> {
+        match self {
+            Self::Syntax { position, .. } | Self::Malformed { position, .. } => Some(*position),
+            Self::Format { position, .. } | Self::Value { position, .. } => *position,
+            Self::Model(_) | Self::Io(_) => None,
         }
     }
 }
@@ -73,8 +108,22 @@ impl fmt::Display for XmlError {
             Self::Malformed { position, message } => {
                 write!(f, "malformed XML at {position}: {message}")
             }
-            Self::Format { message } => write!(f, "not a valid CUBE file: {message}"),
-            Self::Value { message } => write!(f, "invalid value in CUBE file: {message}"),
+            Self::Format {
+                position: Some(p),
+                message,
+            } => write!(f, "not a valid CUBE file at {p}: {message}"),
+            Self::Format {
+                position: None,
+                message,
+            } => write!(f, "not a valid CUBE file: {message}"),
+            Self::Value {
+                position: Some(p),
+                message,
+            } => write!(f, "invalid value in CUBE file at {p}: {message}"),
+            Self::Value {
+                position: None,
+                message,
+            } => write!(f, "invalid value in CUBE file: {message}"),
             Self::Model(e) => write!(f, "experiment violates the data model: {e}"),
             Self::Io(e) => write!(f, "I/O error: {e}"),
         }

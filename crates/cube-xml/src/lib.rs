@@ -69,11 +69,13 @@ pub mod escape;
 mod fmt64;
 pub mod format;
 pub mod lexer;
+pub mod lint;
 pub mod reader;
 pub mod writer;
 
 pub use dom::{Document, Element, XmlNode};
 pub use error::XmlError;
 pub use format::{read_experiment, read_experiment_file, write_experiment, write_experiment_file};
+pub use lint::{lint_file, lint_read, lint_str, read_experiment_strict};
 pub use reader::CubeReader;
 pub use writer::CubeWriter;

@@ -24,7 +24,7 @@ use cube_model::{
     RegionId, RegionKind, Severity, SystemNode, Thread, Unit,
 };
 
-use crate::error::XmlError;
+use crate::error::{Position, XmlError};
 use crate::lexer::{Lexer, XmlEvent};
 
 /// Pull-based reader that streams a `.cube` document into an
@@ -79,11 +79,26 @@ impl<'a> CubeReader<'a> {
 /// severity before the metadata sections — the caller should use the
 /// DOM reader.
 pub(crate) fn read_streaming(input: &str) -> Result<Option<Experiment>, XmlError> {
+    match read_streaming_parts(input)? {
+        Some((md, sev, provenance)) => Experiment::new(md, sev, provenance)
+            .map(Some)
+            .map_err(Into::into),
+        None => Ok(None),
+    }
+}
+
+/// Like [`read_streaming`], but returns the raw parts without the final
+/// [`Experiment::new`] validation, so a linter can diagnose *all* model
+/// violations of a well-formed file instead of the first one.
+pub(crate) fn read_streaming_parts(
+    input: &str,
+) -> Result<Option<(Metadata, Severity, Provenance)>, XmlError> {
     let mut parser = Parser {
         lexer: Lexer::new(input),
         scratch: String::new(),
+        last_at: Position { line: 1, column: 1 },
     };
-    parser.read_document()
+    parser.read_document_parts()
 }
 
 /// One metadata record collected before the dense-id sort. Names keep
@@ -127,11 +142,17 @@ struct Parser<'a> {
     /// Reused buffer for severity rows split across several text
     /// events (entity references, interleaved comments).
     scratch: String,
+    /// Position of the most recent event from [`Parser::next_required`];
+    /// stamped onto [`Attrs`] so attribute errors can point at the
+    /// element's start tag.
+    last_at: Position,
 }
 
 /// Attributes of one start tag, consumed by name.
 struct Attrs<'a> {
     tag: &'a str,
+    /// Position of the start tag in the source document.
+    at: Position,
     list: Vec<(&'a str, Cow<'a, str>)>,
 }
 
@@ -145,21 +166,27 @@ impl<'a> Attrs<'a> {
 
     fn require(&mut self, key: &str) -> Result<Cow<'a, str>, XmlError> {
         self.take(key).ok_or_else(|| {
-            XmlError::format(format!(
-                "element <{}> is missing required attribute '{key}'",
-                self.tag
-            ))
+            XmlError::format_at(
+                self.at,
+                format!(
+                    "element <{}> is missing required attribute '{key}'",
+                    self.tag
+                ),
+            )
         })
     }
 
     fn parse<T: FromStr>(&mut self, key: &str) -> Result<T, XmlError> {
         let raw = self.require(key)?;
         raw.parse().map_err(|_| {
-            XmlError::value(format!(
-                "attribute '{key}'=\"{raw}\" of <{}> does not parse as {}",
-                self.tag,
-                std::any::type_name::<T>()
-            ))
+            XmlError::value_at(
+                self.at,
+                format!(
+                    "attribute '{key}'=\"{raw}\" of <{}> does not parse as {}",
+                    self.tag,
+                    std::any::type_name::<T>()
+                ),
+            )
         })
     }
 }
@@ -171,7 +198,9 @@ struct Open<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn read_document(&mut self) -> Result<Option<Experiment>, XmlError> {
+    fn read_document_parts(
+        &mut self,
+    ) -> Result<Option<(Metadata, Severity, Provenance)>, XmlError> {
         let root = self.read_prolog()?;
         let XmlEvent::StartTag {
             name,
@@ -270,9 +299,7 @@ impl<'a> Parser<'a> {
             md.add_topology(topo);
         }
         let provenance = sections.provenance.take().unwrap_or_default();
-        Experiment::new(md, sev, provenance)
-            .map(Some)
-            .map_err(Into::into)
+        Ok(Some((md, sev, provenance)))
     }
 
     /// Consumes declaration/comments/whitespace before the root and
@@ -331,8 +358,10 @@ impl<'a> Parser<'a> {
     }
 
     /// Next event inside `parent`, or a malformedness error at EOF.
+    /// Records the event's start position for [`Parser::reopen`].
     fn next_required(&mut self, parent: &str) -> Result<XmlEvent<'a>, XmlError> {
         let at = self.lexer.position();
+        self.last_at = at;
         self.lexer
             .next_event()?
             .ok_or_else(|| XmlError::malformed(at, format!("unclosed element <{parent}>")))
@@ -348,6 +377,7 @@ impl<'a> Parser<'a> {
             } => Ok(Open {
                 attrs: Attrs {
                     tag: name,
+                    at: self.last_at,
                     list: attributes,
                 },
                 has_children: !self_closing,
@@ -510,8 +540,12 @@ impl<'a> Parser<'a> {
     ) -> Result<(), XmlError> {
         let id: u32 = open.attrs.parse("id")?;
         let uom = open.attrs.require("uom")?;
-        let unit = Unit::from_str_opt(&uom)
-            .ok_or_else(|| XmlError::value(format!("unknown unit of measurement '{uom}'")))?;
+        let unit = Unit::from_str_opt(&uom).ok_or_else(|| {
+            XmlError::value_at(
+                open.attrs.at,
+                format!("unknown unit of measurement '{uom}'"),
+            )
+        })?;
         out.push(MetricRec {
             id,
             parent,
@@ -544,8 +578,9 @@ impl<'a> Parser<'a> {
             "region" => {
                 check_dense_id(&mut child.attrs, sections.regions.len())?;
                 let kind_raw = child.attrs.require("kind")?;
-                let kind = RegionKind::from_str_opt(&kind_raw)
-                    .ok_or_else(|| XmlError::value(format!("unknown region kind '{kind_raw}'")))?;
+                let kind = RegionKind::from_str_opt(&kind_raw).ok_or_else(|| {
+                    XmlError::value_at(child.attrs.at, format!("unknown region kind '{kind_raw}'"))
+                })?;
                 sections.regions.push(Region {
                     name: child.attrs.require("name")?.into_owned(),
                     module: ModuleId::new(child.attrs.parse("mod")?),
@@ -697,9 +732,10 @@ impl<'a> Parser<'a> {
             }
             let m: u32 = matrix.attrs.parse("metric")?;
             if m as usize >= nm {
-                return Err(XmlError::value(format!(
-                    "matrix metric id {m} out of range"
-                )));
+                return Err(XmlError::value_at(
+                    matrix.attrs.at,
+                    format!("matrix metric id {m} out of range"),
+                ));
             }
             p.each_child(matrix, |p, mut row| {
                 if row.attrs.tag != "row" {
@@ -707,7 +743,10 @@ impl<'a> Parser<'a> {
                 }
                 let c: u32 = row.attrs.parse("cnode")?;
                 if c as usize >= nc {
-                    return Err(XmlError::value(format!("row cnode id {c} out of range")));
+                    return Err(XmlError::value_at(
+                        row.attrs.at,
+                        format!("row cnode id {c} out of range"),
+                    ));
                 }
                 p.parse_row(row, m, c, sev)
             })
@@ -728,6 +767,7 @@ impl<'a> Parser<'a> {
         sev: &mut Severity,
     ) -> Result<(), XmlError> {
         let parent = open.attrs.tag;
+        let row_at = open.attrs.at;
         let mut first: Option<Cow<'a, str>> = None;
         self.scratch.clear();
         if open.has_children {
@@ -772,26 +812,35 @@ impl<'a> Parser<'a> {
         let mut count = 0usize;
         for (i, tok) in text.split_ascii_whitespace().enumerate() {
             if i >= dest.len() {
-                return Err(XmlError::value(format!(
-                    "row (metric {m}, cnode {c}) has more than {} values",
-                    dest.len()
-                )));
+                return Err(XmlError::value_at(
+                    row_at,
+                    format!(
+                        "row (metric {m}, cnode {c}) has more than {} values",
+                        dest.len()
+                    ),
+                ));
             }
             dest[i] = match parse_f64_fixed(tok) {
                 Some(v) => v,
                 None => tok.parse().map_err(|_| {
-                    XmlError::value(format!(
-                        "severity value '{tok}' in row (metric {m}, cnode {c}) is not a number"
-                    ))
+                    XmlError::value_at(
+                        row_at,
+                        format!(
+                            "severity value '{tok}' in row (metric {m}, cnode {c}) is not a number"
+                        ),
+                    )
                 })?,
             };
             count += 1;
         }
         if count != dest.len() {
-            return Err(XmlError::value(format!(
-                "row (metric {m}, cnode {c}) has {count} values, expected {}",
-                dest.len()
-            )));
+            return Err(XmlError::value_at(
+                row_at,
+                format!(
+                    "row (metric {m}, cnode {c}) has {count} values, expected {}",
+                    dest.len()
+                ),
+            ));
         }
         Ok(())
     }
@@ -844,10 +893,13 @@ fn missing_section(name: &str) -> XmlError {
 fn check_dense_id(attrs: &mut Attrs<'_>, expected: usize) -> Result<(), XmlError> {
     let id: usize = attrs.parse("id")?;
     if id != expected {
-        return Err(XmlError::format(format!(
-            "<{}> ids must be dense and in document order: found {id}, expected {expected}",
-            attrs.tag
-        )));
+        return Err(XmlError::format_at(
+            attrs.at,
+            format!(
+                "<{}> ids must be dense and in document order: found {id}, expected {expected}",
+                attrs.tag
+            ),
+        ));
     }
     Ok(())
 }

@@ -98,6 +98,59 @@ fn build_with_metric_prefix(spec: &Spec, name: &str, prefix: &str) -> Experiment
     b.build().expect("generated experiment is valid")
 }
 
+/// Builds a *lint-clean* experiment from the spec: severity values are
+/// made non-negative (negative values in an `original` experiment draw
+/// W005) and duplicate sibling metrics fold into one definition (W001).
+/// The structural diversity of [`build`] is otherwise preserved.
+fn build_clean(spec: &Spec, name: &str) -> Experiment {
+    let mut sanitized = spec.clone();
+    for v in &mut sanitized.values {
+        *v = v.abs();
+    }
+    let mut b = ExperimentBuilder::new(name);
+    let mut metric_ids: Vec<MetricId> = Vec::new();
+    let mut seen: std::collections::HashMap<(u8, Option<MetricId>), MetricId> =
+        std::collections::HashMap::new();
+    for (name_idx, parent) in &sanitized.metrics {
+        let parent_id = parent.and_then(|p| metric_ids.get(p as usize).copied());
+        let id = *seen.entry((*name_idx, parent_id)).or_insert_with(|| {
+            b.def_metric(format!("metric{name_idx}"), Unit::Seconds, "", parent_id)
+        });
+        metric_ids.push(id);
+    }
+    let module = b.def_module("gen.rs", "/gen.rs");
+    let mut region_of_name = std::collections::HashMap::new();
+    let mut call_ids = Vec::new();
+    for (name_idx, parent) in &sanitized.calls {
+        let region = *region_of_name.entry(*name_idx).or_insert_with(|| {
+            b.def_region(
+                format!("region{name_idx}"),
+                module,
+                RegionKind::Function,
+                u32::from(*name_idx) + 1,
+                u32::from(*name_idx) + 1,
+            )
+        });
+        let cs = b.def_call_site("gen.rs", u32::from(*name_idx) + 1, region);
+        let parent_id = parent.and_then(|p| call_ids.get(p as usize).copied());
+        call_ids.push(b.def_call_node(cs, parent_id));
+    }
+    let threads = single_threaded_system(&mut b, sanitized.ranks as usize);
+    let mut vi = 0usize;
+    for &m in &metric_ids {
+        for &c in &call_ids {
+            for &t in &threads {
+                let v = sanitized.values[vi % sanitized.values.len()];
+                vi += 1;
+                if v != 0 {
+                    b.set_severity(m, c, t, f64::from(v) * 0.25);
+                }
+            }
+        }
+    }
+    b.build().expect("generated experiment is valid")
+}
+
 fn total(e: &Experiment) -> f64 {
     e.severity().values().iter().sum()
 }
@@ -410,5 +463,55 @@ proptest! {
         let back = cube_xml::read_experiment(&cube_xml::write_experiment(&d)).unwrap();
         prop_assert!(back.approx_eq(&d, 0.0));
         prop_assert_eq!(back.provenance(), d.provenance());
+    }
+
+    /// The closure theorem as a lint property: operators applied to
+    /// lint-clean operands produce lint-clean results — no errors *and*
+    /// no warnings — for the binary ops, the n-ary reductions, and the
+    /// statistical composites.
+    #[test]
+    fn operators_preserve_lint_cleanliness(
+        sa in spec_strategy(),
+        sb in spec_strategy(),
+        sc in spec_strategy(),
+    ) {
+        let (a, b, c) = (
+            build_clean(&sa, "a"),
+            build_clean(&sb, "b"),
+            build_clean(&sc, "c"),
+        );
+        for (name, e) in [("a", &a), ("b", &b), ("c", &c)] {
+            prop_assert!(e.lint().is_clean(), "operand {name} not clean:\n{}", e.lint());
+        }
+        let refs: [&Experiment; 3] = [&a, &b, &c];
+        let results = [
+            ("diff", ops::diff(&a, &b)),
+            ("merge", ops::merge(&a, &b)),
+            ("mean", ops::mean(&refs).unwrap()),
+            ("sum", ops::sum(&refs).unwrap()),
+            ("min", ops::min(&refs).unwrap()),
+            ("max", ops::max(&refs).unwrap()),
+            ("scale", ops::scale(&a, -1.5)),
+            ("variance", stats::variance(&refs).unwrap()),
+            ("stddev", stats::stddev(&refs).unwrap()),
+        ];
+        for (op, e) in &results {
+            let report = e.lint();
+            prop_assert!(report.is_clean(), "{op} result not clean:\n{report}");
+        }
+    }
+
+    /// Lint-cleanliness survives the file format: writing a clean
+    /// experiment (original or derived, including negative derived
+    /// severities) and strict-reading it back reports no diagnostics.
+    #[test]
+    fn roundtrip_preserves_lint_cleanliness(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build_clean(&sa, "a");
+        let d = ops::diff(&a, &build_clean(&sb, "b"));
+        for (name, e) in [("original", &a), ("derived", &d)] {
+            let (back, report) = cube_xml::lint_read(&cube_xml::write_experiment(e));
+            prop_assert!(report.is_clean(), "{name} round-trip not clean:\n{report}");
+            prop_assert!(back.is_some_and(|x| x.approx_eq(e, 0.0)));
+        }
     }
 }
