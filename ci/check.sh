@@ -55,4 +55,42 @@ for cube in tests/fixtures/malformed/*.cube; do
     done
 done
 
+echo "== recovery gate: corrupt corpus salvages to its documented prefixes"
+for cube in tests/fixtures/corrupt/*.cube; do
+    expect="${cube%.cube}.expect"
+    out_file="$lint_tmp/$(basename "$cube")"
+    rm -f "$out_file"
+    set +e
+    ./target/release/cube repair "$cube" "$out_file"
+    status=$?
+    set -e
+    if [ -f "$expect" ]; then
+        # Partial recovery: documented exit code 1 and a byte-exact
+        # prefix snapshot.
+        if [ "$status" -ne 1 ]; then
+            echo "cube repair $cube exited $status, expected 1" >&2
+            exit 1
+        fi
+        if ! cmp -s "$out_file" "$expect"; then
+            echo "repaired output for $cube diverges from $expect" >&2
+            exit 1
+        fi
+        # The repaired prefix must be strictly readable and lint-clean.
+        ./target/release/cube lint --deny warnings "$out_file" >/dev/null
+    else
+        # Unrecoverable: documented exit code 2 and no output written.
+        if [ "$status" -ne 2 ]; then
+            echo "cube repair $cube exited $status, expected 2" >&2
+            exit 1
+        fi
+        if [ -e "$out_file" ]; then
+            echo "cube repair $cube wrote output despite failing" >&2
+            exit 1
+        fi
+    fi
+done
+
+echo "== recovery gate: intact files repair with exit 0"
+./target/release/cube repair tests/fixtures/valid/full.cube "$lint_tmp/intact.cube"
+
 echo "== ci/check.sh: all green"

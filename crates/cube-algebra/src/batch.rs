@@ -97,7 +97,7 @@ use crate::extend::extend_severity;
 use crate::integrate::{integrate, Integrated};
 use crate::mapping::OperandMap;
 use crate::ops::PAR_THRESHOLD;
-use crate::options::MergeOptions;
+use crate::options::{FailurePolicy, MergeOptions};
 
 /// Sentinel in gather tables: this integrated id has no preimage in the
 /// operand, so the operand's zero-extended value there is 0.0.
@@ -306,6 +306,52 @@ fn combine_row(dst: &mut [f64], row: &RowRef<'_>, f: impl Fn(f64, f64) -> f64) {
 }
 
 // ---------------------------------------------------------------------------
+// degraded evaluation
+// ---------------------------------------------------------------------------
+
+/// One operand of a degraded k-ary evaluation: either a usable
+/// experiment or the reason it could not be loaded.
+///
+/// Callers that read operands from disk translate each load failure
+/// into [`PartialOperand::Broken`] so the index positions of the
+/// original argument list are preserved in the error report.
+#[derive(Clone, Copy, Debug)]
+pub enum PartialOperand<'a> {
+    /// The operand loaded fine.
+    Ok(&'a Experiment),
+    /// The operand is unusable; the string says why.
+    Broken(&'a str),
+}
+
+impl<'a> PartialOperand<'a> {
+    /// `true` for a usable operand.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Self::Ok(_))
+    }
+}
+
+/// A skipped operand of a [`BatchPlan::evaluate_partial`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OperandError {
+    /// Zero-based index in the original operand list.
+    pub index: usize,
+    /// Why the operand was skipped.
+    pub reason: String,
+}
+
+/// Result of a degraded k-ary evaluation: the reduction over the
+/// surviving operands plus the per-operand failure report.
+#[derive(Debug)]
+pub struct PartialEvaluation {
+    /// The reduction over the survivors.
+    pub result: Experiment,
+    /// How many operands actually contributed.
+    pub used: usize,
+    /// The operands that were skipped, in argument order.
+    pub skipped: Vec<OperandError>,
+}
+
+// ---------------------------------------------------------------------------
 // the plan
 // ---------------------------------------------------------------------------
 
@@ -395,6 +441,57 @@ impl<'a> BatchPlan<'a> {
     /// Evaluates a reduction over **all** operands of the plan.
     pub fn reduce(&self, r: Reduction) -> Result<Experiment, AlgebraError> {
         self.eval(&Expr::reduce(r, 0..self.operands.len()))
+    }
+
+    /// Degraded k-ary evaluation: reduces over the operands that could
+    /// be loaded, skipping the broken ones.
+    ///
+    /// Under [`FailurePolicy::Abort`] the first broken operand fails
+    /// the evaluation with [`AlgebraError::OperandFailed`]. Under
+    /// [`FailurePolicy::KeepGoing`] the plan is built over the
+    /// survivors only, so `mean` renormalizes over them by
+    /// construction — a k-ary mean with one broken operand equals the
+    /// (k−1)-ary mean of the survivors — and every skipped operand is
+    /// recorded in the returned [`PartialEvaluation::skipped`] report.
+    /// All operands broken is still an error: there is nothing to
+    /// reduce over.
+    pub fn evaluate_partial(
+        operands: &[PartialOperand<'a>],
+        reduction: Reduction,
+        options: MergeOptions,
+        policy: FailurePolicy,
+    ) -> Result<PartialEvaluation, AlgebraError> {
+        let mut survivors: Vec<&'a Experiment> = Vec::with_capacity(operands.len());
+        let mut skipped: Vec<OperandError> = Vec::new();
+        for (index, op) in operands.iter().enumerate() {
+            match *op {
+                PartialOperand::Ok(exp) => survivors.push(exp),
+                PartialOperand::Broken(reason) => match policy {
+                    FailurePolicy::Abort => {
+                        return Err(AlgebraError::OperandFailed {
+                            index,
+                            reason: reason.to_string(),
+                        });
+                    }
+                    FailurePolicy::KeepGoing => skipped.push(OperandError {
+                        index,
+                        reason: reason.to_string(),
+                    }),
+                },
+            }
+        }
+        if survivors.is_empty() {
+            return Err(AlgebraError::EmptyOperandList {
+                operator: reduction.name(),
+            });
+        }
+        let plan = BatchPlan::with_options(&survivors, options);
+        let result = plan.reduce(reduction)?;
+        Ok(PartialEvaluation {
+            result,
+            used: survivors.len(),
+            skipped,
+        })
     }
 
     /// Evaluates a composite expression into a full derived experiment
@@ -1101,5 +1198,84 @@ mod tests {
             );
             assert_eq!(fast.provenance(), slow.provenance(), "{r:?} provenance");
         }
+    }
+
+    #[test]
+    fn keep_going_mean_equals_survivor_mean() {
+        // The differential property: a k-ary mean with one broken
+        // operand under KeepGoing is the (k−1)-ary mean of the
+        // survivors, bit for bit.
+        let a = uniform("a", 2, 2.0);
+        let b = uniform("b", 3, 4.0);
+        let c = disjoint("c", 2, 6.0);
+        let degraded = BatchPlan::evaluate_partial(
+            &[
+                PartialOperand::Ok(&a),
+                PartialOperand::Broken("truncated mid-row"),
+                PartialOperand::Ok(&c),
+            ],
+            Reduction::Mean,
+            MergeOptions::default(),
+            FailurePolicy::KeepGoing,
+        )
+        .unwrap();
+        let oracle = BatchPlan::new(&[&a, &c]).reduce(Reduction::Mean).unwrap();
+        assert_eq!(degraded.result.metadata(), oracle.metadata());
+        assert_eq!(
+            degraded.result.severity().values(),
+            oracle.severity().values()
+        );
+        assert_eq!(degraded.result.provenance(), oracle.provenance());
+        assert_eq!(degraded.used, 2);
+        assert_eq!(
+            degraded.skipped,
+            vec![OperandError {
+                index: 1,
+                reason: "truncated mid-row".into()
+            }]
+        );
+        // Sanity: the broken operand really would have changed the mean.
+        let full = BatchPlan::new(&[&a, &b, &c])
+            .reduce(Reduction::Mean)
+            .unwrap();
+        assert_ne!(full.severity().values(), oracle.severity().values());
+    }
+
+    #[test]
+    fn abort_policy_fails_on_first_broken_operand() {
+        let a = uniform("a", 1, 1.0);
+        let err = BatchPlan::evaluate_partial(
+            &[
+                PartialOperand::Ok(&a),
+                PartialOperand::Broken("no such file"),
+            ],
+            Reduction::Sum,
+            MergeOptions::default(),
+            FailurePolicy::Abort,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AlgebraError::OperandFailed {
+                index: 1,
+                reason: "no such file".into()
+            }
+        );
+    }
+
+    #[test]
+    fn all_operands_broken_is_still_an_error() {
+        let err = BatchPlan::evaluate_partial(
+            &[
+                PartialOperand::Broken("gone"),
+                PartialOperand::Broken("also gone"),
+            ],
+            Reduction::Mean,
+            MergeOptions::default(),
+            FailurePolicy::KeepGoing,
+        )
+        .unwrap_err();
+        assert_eq!(err, AlgebraError::EmptyOperandList { operator: "mean" });
+        assert!(!PartialOperand::Broken("gone").is_ok());
     }
 }

@@ -25,6 +25,14 @@ pub enum AlgebraError {
         /// Number of operands in the plan.
         len: usize,
     },
+    /// An operand of a partial evaluation was broken and the policy was
+    /// [`Abort`](crate::options::FailurePolicy::Abort).
+    OperandFailed {
+        /// Zero-based index of the operand in the argument list.
+        index: usize,
+        /// Why it could not be used (parse error, I/O failure, ...).
+        reason: String,
+    },
 }
 
 impl fmt::Display for AlgebraError {
@@ -38,6 +46,9 @@ impl fmt::Display for AlgebraError {
                     f,
                     "operand index {index} out of range for a plan over {len} operands"
                 )
+            }
+            Self::OperandFailed { index, reason } => {
+                write!(f, "operand {index} is unusable: {reason}")
             }
         }
     }

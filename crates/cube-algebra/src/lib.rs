@@ -74,8 +74,8 @@ pub mod ops;
 pub mod options;
 pub mod stats;
 
-pub use batch::{BatchPlan, Expr, Reduction};
+pub use batch::{BatchPlan, Expr, OperandError, PartialEvaluation, PartialOperand, Reduction};
 pub use error::AlgebraError;
 pub use integrate::{integrate, Integrated};
 pub use mapping::OperandMap;
-pub use options::{CallSiteEq, MergeOptions, SystemMergeMode};
+pub use options::{CallSiteEq, FailurePolicy, MergeOptions, SystemMergeMode};

@@ -21,6 +21,8 @@
 //! cube cmp   A.cube B.cube [--tol 1e-9]        # compare (exit code)
 //! cube lint  A.cube [B.cube …] [--format json] # static diagnostics
 //!            [--deny warnings]                  #   (exit 1 on findings)
+//! cube repair IN.cube OUT.cube                 # salvage a damaged file
+//!            # exit 0 = full recovery, 1 = partial, 2 = unrecoverable
 //! cube browse A.cube [--ansi]                  # interactive browser
 //! cube view  A.cube [--metric M] [--call R] [--percent]
 //!            [--normalize REF.cube] [--expand-all] [--flat] [--ansi]
@@ -30,16 +32,25 @@
 //! Because the algebra is closed, outputs of any subcommand are valid
 //! inputs of any other — composite operations are shell pipelines over
 //! files.
+//!
+//! The n-ary subcommands (`mean`, `sum`, `min`, `max`, `stddev`,
+//! `stats`, `merge`) accept `--keep-going`: unreadable operands are
+//! skipped with a per-operand summary instead of failing the whole
+//! run, and `mean` renormalizes over the survivors
+//! ([`cube_algebra::FailurePolicy::KeepGoing`]).
 
 pub mod browse;
 
 use std::fmt::Write as _;
 
-use cube_algebra::{ops, BatchPlan, CallSiteEq, Expr, MergeOptions, Reduction, SystemMergeMode};
+use cube_algebra::{
+    ops, BatchPlan, CallSiteEq, Expr, FailurePolicy, MergeOptions, PartialOperand, Reduction,
+    SystemMergeMode,
+};
 use cube_display::{BrowserState, NormalizationRef, ProgramView, RenderOptions, ValueMode};
 use cube_model::aggregate::{metric_total, MetricSelection};
 use cube_model::Experiment;
-use cube_xml::{read_experiment_file, write_experiment_file};
+use cube_xml::{read_experiment_file, write_experiment_file, XmlError};
 
 /// Outcome of a CLI invocation: process exit code plus captured stdout.
 #[derive(Debug)]
@@ -75,6 +86,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "hotspots" => hotspots_cmd(rest),
         "cmp" => cmp(rest),
         "lint" => lint_cmd(rest),
+        "repair" => repair_cmd(rest),
         "view" => view(rest),
         "browse" => browse_cmd(rest),
         "help" | "--help" | "-h" => ok(usage()),
@@ -83,7 +95,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 }
 
 fn usage() -> String {
-    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|view|browse|help> ...\n\
+    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|repair|view|browse|help> ...\n\
      see the crate documentation for per-subcommand flags"
         .to_string()
 }
@@ -167,12 +179,46 @@ impl Parsed {
     }
 }
 
+/// Prefixes the path unless the error already carries it (the I/O
+/// variant does since the reader started reporting offending paths).
+fn path_error(path: &str, e: XmlError) -> String {
+    match &e {
+        XmlError::Io { path: Some(_), .. } => e.to_string(),
+        _ => format!("{path}: {e}"),
+    }
+}
+
 fn load(path: &str) -> Result<Experiment, String> {
-    read_experiment_file(path).map_err(|e| format!("{path}: {e}"))
+    read_experiment_file(path).map_err(|e| path_error(path, e))
 }
 
 fn store(exp: &Experiment, path: &str) -> Result<(), String> {
-    write_experiment_file(exp, path).map_err(|e| format!("{path}: {e}"))
+    write_experiment_file(exp, path).map_err(|e| path_error(path, e))
+}
+
+/// Loads every input for a degraded k-ary run: broken operands become
+/// their error message instead of failing the whole command. Reasons
+/// use the bare [`XmlError`] rendering — the caller prints them next
+/// to the operand's path.
+fn load_partial(paths: &[String]) -> Vec<Result<Experiment, String>> {
+    paths
+        .iter()
+        .map(|f| read_experiment_file(f).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Renders the skipped-operand summary lines of a `--keep-going` run.
+fn skipped_summary(
+    skipped: &[cube_algebra::OperandError],
+    paths: &[String],
+    used: usize,
+) -> String {
+    let mut s = String::new();
+    for e in skipped {
+        let _ = writeln!(s, "skipped {}: {}", paths[e.index], e.reason);
+    }
+    let _ = writeln!(s, "used {used} of {} inputs", paths.len());
+    s
 }
 
 // ---------------------------------------------------------------------------
@@ -184,17 +230,62 @@ fn binary_op(args: &[String], which: &str) -> Result<Outcome, String> {
     if p.positional.len() != 2 {
         return Err(format!("cube {which} takes exactly two input files"));
     }
+    let opts = p.merge_options();
+    let out = p.output.clone().ok_or("missing -o OUTPUT")?;
+    if which == "merge" && p.flag("--keep-going") {
+        // Degraded merge: a broken operand degrades to a pass-through
+        // of the survivor instead of failing the run.
+        let loaded = load_partial(&p.positional);
+        let (result, summary) = match (&loaded[0], &loaded[1]) {
+            (Ok(a), Ok(b)) => (ops::merge_with(a, b, opts), String::new()),
+            (Ok(a), Err(reason)) => (
+                a.clone(),
+                format!(
+                    "skipped {}: {reason}\nused 1 of 2 inputs\n",
+                    p.positional[1]
+                ),
+            ),
+            (Err(reason), Ok(b)) => (
+                b.clone(),
+                format!(
+                    "skipped {}: {reason}\nused 1 of 2 inputs\n",
+                    p.positional[0]
+                ),
+            ),
+            (Err(ra), Err(rb)) => {
+                return Err(format!(
+                    "both operands are unusable: {}: {ra}; {}: {rb}",
+                    p.positional[0], p.positional[1]
+                ))
+            }
+        };
+        store(&result, &out)?;
+        return ok(format!(
+            "{summary}wrote {out}: {}\n",
+            result.provenance().label()
+        ));
+    }
     let a = load(&p.positional[0])?;
     let b = load(&p.positional[1])?;
-    let opts = p.merge_options();
     let result = match which {
         "diff" => ops::diff_with(&a, &b, opts),
         "merge" => ops::merge_with(&a, &b, opts),
         _ => unreachable!("binary_op called with {which}"),
     };
-    let out = p.output.ok_or("missing -o OUTPUT")?;
     store(&result, &out)?;
     ok(format!("wrote {out}: {}\n", result.provenance().label()))
+}
+
+fn reduction_of(name: &str) -> Option<Reduction> {
+    Some(match name {
+        "mean" => Reduction::Mean,
+        "sum" => Reduction::Sum,
+        "min" => Reduction::Min,
+        "max" => Reduction::Max,
+        "variance" => Reduction::Variance,
+        "stddev" => Reduction::Stddev,
+        _ => return None,
+    })
 }
 
 fn nary_op(args: &[String], which: &str) -> Result<Outcome, String> {
@@ -202,13 +293,33 @@ fn nary_op(args: &[String], which: &str) -> Result<Outcome, String> {
     if p.positional.is_empty() {
         return Err(format!("cube {which} needs at least one input file"));
     }
+    let opts = p.merge_options();
+    let out = p.output.clone().ok_or("missing -o OUTPUT")?;
+    if p.flag("--keep-going") {
+        let loaded = load_partial(&p.positional);
+        let operands: Vec<PartialOperand<'_>> = loaded
+            .iter()
+            .map(|r| match r {
+                Ok(e) => PartialOperand::Ok(e),
+                Err(reason) => PartialOperand::Broken(reason),
+            })
+            .collect();
+        let reduction = reduction_of(which).expect("nary_op reductions all have names");
+        let pe = BatchPlan::evaluate_partial(&operands, reduction, opts, FailurePolicy::KeepGoing)
+            .map_err(|e| e.to_string())?;
+        store(&pe.result, &out)?;
+        return ok(format!(
+            "{}wrote {out}: {}\n",
+            skipped_summary(&pe.skipped, &p.positional, pe.used),
+            pe.result.provenance().label()
+        ));
+    }
     let exps: Vec<Experiment> = p
         .positional
         .iter()
         .map(|f| load(f))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&Experiment> = exps.iter().collect();
-    let opts = p.merge_options();
     let result = match which {
         "mean" => ops::mean_with(&refs, opts),
         "sum" => ops::sum_with(&refs, opts),
@@ -218,7 +329,6 @@ fn nary_op(args: &[String], which: &str) -> Result<Outcome, String> {
         _ => unreachable!("nary_op called with {which}"),
     }
     .map_err(|e| e.to_string())?;
-    let out = p.output.ok_or("missing -o OUTPUT")?;
     store(&result, &out)?;
     ok(format!("wrote {out}: {}\n", result.provenance().label()))
 }
@@ -237,18 +347,30 @@ fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
         return Err("cube stats takes OUTPUT followed by at least one input file".into());
     }
     let (out, inputs) = p.positional.split_first().expect("len checked above");
-    let exps: Vec<Experiment> = inputs.iter().map(|f| load(f)).collect::<Result<_, _>>()?;
-    let refs: Vec<&Experiment> = exps.iter().collect();
-    let reduction = match p.value("--op").unwrap_or("mean") {
-        "mean" => Reduction::Mean,
-        "sum" => Reduction::Sum,
-        "min" => Reduction::Min,
-        "max" => Reduction::Max,
-        "variance" => Reduction::Variance,
-        "stddev" => Reduction::Stddev,
-        other => return Err(format!("unknown --op '{other}'")),
+    let keep_going = p.flag("--keep-going");
+    let mut exps: Vec<Option<Experiment>> = Vec::with_capacity(inputs.len());
+    let mut skipped: Vec<cube_algebra::OperandError> = Vec::new();
+    for (index, f) in inputs.iter().enumerate() {
+        match read_experiment_file(f) {
+            Ok(e) => exps.push(Some(e)),
+            Err(e) if keep_going => {
+                skipped.push(cube_algebra::OperandError {
+                    index,
+                    reason: e.to_string(),
+                });
+                exps.push(None);
+            }
+            Err(e) => return Err(path_error(f, e)),
+        }
+    }
+    let reduction = {
+        let name = p.value("--op").unwrap_or("mean");
+        reduction_of(name).ok_or_else(|| format!("unknown --op '{name}'"))?
     };
-    let n = refs.len();
+    let n = inputs.len();
+    // Survivor counts per group: `--minus K` splits the *original*
+    // argument list, so a skipped operand shrinks its own group only.
+    let refs: Vec<&Experiment> = exps.iter().flatten().collect();
     let expr = match p.value("--minus") {
         Some(v) => {
             let k: usize = v.parse().map_err(|_| "bad --minus value".to_string())?;
@@ -258,17 +380,41 @@ fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
                     n - 1
                 ));
             }
+            let head = exps[..n - k].iter().flatten().count();
+            let base = exps[n - k..].iter().flatten().count();
+            if head == 0 {
+                return Err("--minus: no usable inputs left in the reduced group".into());
+            }
+            if base == 0 {
+                return Err("--minus: no usable inputs left in the baseline group".into());
+            }
             Expr::diff(
-                Expr::reduce(reduction, 0..n - k),
-                Expr::reduce(reduction, n - k..n),
+                Expr::reduce(reduction, 0..head),
+                Expr::reduce(reduction, head..head + base),
             )
         }
-        None => Expr::reduce(reduction, 0..n),
+        None => {
+            if refs.is_empty() {
+                return Err(format!(
+                    "operator '{}' requires at least one operand",
+                    reduction.name()
+                ));
+            }
+            Expr::reduce(reduction, 0..refs.len())
+        }
     };
     let plan = BatchPlan::with_options(&refs, p.merge_options());
     let result = plan.eval(&expr).map_err(|e| e.to_string())?;
     store(&result, out)?;
-    ok(format!("wrote {out}: {}\n", result.provenance().label()))
+    let summary = if keep_going {
+        skipped_summary(&skipped, inputs, refs.len())
+    } else {
+        String::new()
+    };
+    ok(format!(
+        "{summary}wrote {out}: {}\n",
+        result.provenance().label()
+    ))
 }
 
 fn scale(args: &[String]) -> Result<Outcome, String> {
@@ -622,6 +768,54 @@ fn lint_cmd(args: &[String]) -> Result<Outcome, String> {
     })
 }
 
+/// `cube repair IN OUT` — salvage a damaged `.cube` file, relint the
+/// recovered experiment, and atomically rewrite it.
+///
+/// Exit codes distinguish the recovery grades: 0 = the input was fully
+/// intact (the output is a clean rewrite), 1 = partial recovery (the
+/// longest valid prefix was written, provenance marks it `recovered`),
+/// 2 = unrecoverable (no complete metadata; nothing written).
+fn repair_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 2 {
+        return Err("cube repair takes INPUT and OUTPUT".into());
+    }
+    let (input, output) = (&p.positional[0], &p.positional[1]);
+    let (exp, report) = match cube_xml::read_experiment_salvage_file(input) {
+        Ok(pair) => pair,
+        // Not being able to read the file at all is a usage-level
+        // failure; "unrecoverable" is reserved for files we read but
+        // whose metadata cannot be completed.
+        Err(e @ XmlError::Io { .. }) => return Err(path_error(input, e)),
+        Err(e) => {
+            return Ok(Outcome {
+                code: 2,
+                stdout: format!("{input}: unrecoverable: {e}\n"),
+            })
+        }
+    };
+    let relint = exp.lint();
+    store(&exp, output)?;
+    let mut s = String::new();
+    if report.complete {
+        let _ = writeln!(s, "{input}: fully recovered; wrote {output}");
+    } else {
+        let _ = writeln!(s, "{input}: partial recovery; wrote {output}");
+        if let Some(loss) = &report.loss {
+            let _ = writeln!(s, "  loss: {loss}");
+        }
+        let _ = writeln!(s, "  severity rows recovered: {}", report.rows_recovered);
+        if report.checksum.is_mismatch() {
+            let _ = writeln!(s, "  checksum: recorded footer does not match the document");
+        }
+    }
+    let _ = writeln!(s, "  relint: {}", relint.summary());
+    Ok(Outcome {
+        code: i32::from(!report.complete),
+        stdout: s,
+    })
+}
+
 /// Minimal JSON string encoder (the format has no other JSON needs, so
 /// no serializer dependency).
 fn json_string(s: &str) -> String {
@@ -732,6 +926,15 @@ mod tests {
         let path = tmp(name);
         write_experiment_file(&sample(value), &path).unwrap();
         path.to_string_lossy().into_owned()
+    }
+
+    /// Drops the checksum footer so a hand-edited document is judged
+    /// on its content instead of failing with E204.
+    fn strip_footer(text: &str) -> String {
+        match text.find("<!-- cube:crc32") {
+            Some(i) => text[..i].to_string(),
+            None => text.to_string(),
+        }
     }
 
     #[test]
@@ -936,9 +1139,8 @@ mod tests {
     #[test]
     fn lint_reports_errors_and_exits_one() {
         let a = write_sample("lint_nan_src.cube", 1.0);
-        let text = std::fs::read_to_string(&a)
-            .unwrap()
-            .replace("1</row>", "NaN</row>");
+        let text =
+            strip_footer(&std::fs::read_to_string(&a).unwrap()).replace("1</row>", "NaN</row>");
         let bad = tmp("lint_nan.cube");
         std::fs::write(&bad, text).unwrap();
         let bad = bad.to_string_lossy().into_owned();
@@ -950,7 +1152,7 @@ mod tests {
     #[test]
     fn lint_deny_warnings_promotes_exit_code() {
         let a = write_sample("lint_warn_src.cube", 1.0);
-        let text = std::fs::read_to_string(&a).unwrap().replace(
+        let text = strip_footer(&std::fs::read_to_string(&a).unwrap()).replace(
             "</program>",
             "<module id=\"1\" name=\"dead.c\" path=\"/dead.c\"/></program>",
         );
@@ -1025,5 +1227,144 @@ mod tests {
         .unwrap();
         let e = read_experiment_file(&out).unwrap();
         assert_eq!(e.metadata().machines().len(), 1);
+    }
+
+    /// Writes a sample file, then truncates it shortly after the last
+    /// `<row` so salvage recovers a proper prefix.
+    fn write_truncated(name: &str, value: f64) -> String {
+        let src = write_sample(&format!("{name}_src.cube"), value);
+        let text = std::fs::read_to_string(&src).unwrap();
+        let cut = text.rfind("<row").unwrap() + 6;
+        let path = tmp(name);
+        std::fs::write(&path, &text[..cut]).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn repair_intact_file_exits_zero() {
+        let a = write_sample("rep_ok.cube", 1.0);
+        let out = tmp("rep_ok_out.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["repair", &a, &out])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+        assert!(r.stdout.contains("fully recovered"), "{}", r.stdout);
+        let e = read_experiment_file(&out).unwrap();
+        assert!(e.provenance().is_original());
+    }
+
+    #[test]
+    fn repair_truncated_file_exits_one_and_marks_provenance() {
+        let bad = write_truncated("rep_cut.cube", 2.0);
+        let out = tmp("rep_cut_out.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["repair", &bad, &out])).unwrap();
+        assert_eq!(r.code, 1, "{}", r.stdout);
+        assert!(r.stdout.contains("partial recovery"), "{}", r.stdout);
+        assert!(r.stdout.contains("relint:"), "{}", r.stdout);
+        let e = read_experiment_file(&out).unwrap();
+        assert!(e.provenance().is_recovered());
+        // The repaired file itself lints clean.
+        let lint = run(&args(&["lint", &out])).unwrap();
+        assert_eq!(lint.code, 0, "{}", lint.stdout);
+    }
+
+    #[test]
+    fn repair_headless_file_exits_two() {
+        let src = write_sample("rep_headless_src.cube", 1.0);
+        let text = std::fs::read_to_string(&src).unwrap();
+        let cut = text.find("<program").unwrap();
+        let headless = tmp("rep_headless.cube");
+        std::fs::write(&headless, &text[..cut]).unwrap();
+        let headless = headless.to_string_lossy().into_owned();
+        let out = tmp("rep_headless_out.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["repair", &headless, &out])).unwrap();
+        assert_eq!(r.code, 2, "{}", r.stdout);
+        assert!(r.stdout.contains("unrecoverable"), "{}", r.stdout);
+        assert!(!std::path::Path::new(&out).exists());
+        // An unreadable input is a hard usage-level error (exit 2 via Err).
+        assert!(run(&args(&["repair", "/nonexistent/in.cube", &out])).is_err());
+        assert!(run(&args(&["repair", &headless])).is_err());
+    }
+
+    #[test]
+    fn keep_going_mean_matches_mean_of_survivors() {
+        let a = write_sample("kg1.cube", 2.0);
+        let b = write_sample("kg2.cube", 4.0);
+        let broken = write_truncated("kg_broken.cube", 9.0);
+        let degraded = tmp("kg_deg.cube").to_string_lossy().into_owned();
+        let oracle = tmp("kg_oracle.cube").to_string_lossy().into_owned();
+        let r = run(&args(&[
+            "mean",
+            &a,
+            &broken,
+            &b,
+            "--keep-going",
+            "-o",
+            &degraded,
+        ]))
+        .unwrap();
+        assert!(r.stdout.contains("skipped"), "{}", r.stdout);
+        assert!(r.stdout.contains("used 2 of 3 inputs"), "{}", r.stdout);
+        run(&args(&["mean", &a, &b, "-o", &oracle])).unwrap();
+        let cmp = run(&args(&["cmp", &degraded, &oracle])).unwrap();
+        assert_eq!(cmp.code, 0, "{}", cmp.stdout);
+        // Without the flag the same run fails.
+        assert!(run(&args(&["mean", &a, &broken, &b, "-o", &degraded])).is_err());
+        // All operands broken is still an error.
+        assert!(run(&args(&["mean", &broken, "--keep-going", "-o", &degraded])).is_err());
+    }
+
+    #[test]
+    fn keep_going_merge_passes_through_survivor() {
+        let a = write_sample("kgm.cube", 3.0);
+        let broken = write_truncated("kgm_broken.cube", 1.0);
+        let out = tmp("kgm_out.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["merge", &a, &broken, "--keep-going", "-o", &out])).unwrap();
+        assert!(r.stdout.contains("used 1 of 2 inputs"), "{}", r.stdout);
+        let cmp = run(&args(&["cmp", &out, &a])).unwrap();
+        assert_eq!(cmp.code, 0, "{}", cmp.stdout);
+        assert!(run(&args(&[
+            "merge",
+            &broken,
+            &broken,
+            "--keep-going",
+            "-o",
+            &out
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn keep_going_stats_minus_tracks_groups() {
+        let a1 = write_sample("kgs1.cube", 4.0);
+        let a2 = write_sample("kgs2.cube", 6.0);
+        let broken = write_truncated("kgs_broken.cube", 8.0);
+        let b1 = write_sample("kgs3.cube", 2.0);
+        let out = tmp("kgs_out.cube").to_string_lossy().into_owned();
+        // Head group loses the broken operand: diff(mean(a1, a2), mean(b1)).
+        let r = run(&args(&[
+            "stats",
+            &out,
+            &a1,
+            &broken,
+            &a2,
+            &b1,
+            "--minus",
+            "1",
+            "--keep-going",
+        ]))
+        .unwrap();
+        assert!(r.stdout.contains("used 3 of 4 inputs"), "{}", r.stdout);
+        let e = read_experiment_file(&out).unwrap();
+        assert_eq!(e.severity().values(), &[3.0, 3.0, 6.0, 6.0]);
+        // A group emptied by skipping is an error, not a silent zero.
+        assert!(run(&args(&[
+            "stats",
+            &out,
+            &a1,
+            &broken,
+            "--minus",
+            "1",
+            "--keep-going"
+        ]))
+        .is_err());
     }
 }

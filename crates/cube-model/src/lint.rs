@@ -125,6 +125,19 @@ pub enum RuleCode {
     /// out-of-range identifier.
     BadValue,
 
+    // -- E2xx: resource limits and integrity (produced by cube-xml) --
+    /// The document exceeds the configured maximum input size.
+    InputTooLarge,
+    /// Element nesting exceeds the configured maximum depth.
+    NestingTooDeep,
+    /// A metadata dimension defines more entities than the configured
+    /// maximum.
+    TooManyEntities,
+    /// A severity row's text exceeds the configured maximum length.
+    RowTooLong,
+    /// The document's checksum footer does not match its bytes.
+    ChecksumMismatch,
+
     // -- W0xx: semantic warnings --
     /// Two sibling metrics share name and unit; metadata integration
     /// matches metrics by `(name, unit)` under their parent, so such
@@ -181,6 +194,11 @@ impl RuleCode {
             Self::XmlMalformed => "E102",
             Self::FormatViolation => "E103",
             Self::BadValue => "E104",
+            Self::InputTooLarge => "E200",
+            Self::NestingTooDeep => "E201",
+            Self::TooManyEntities => "E202",
+            Self::RowTooLong => "E203",
+            Self::ChecksumMismatch => "E204",
             Self::DuplicateSiblingMetric => "W001",
             Self::UnreferencedRegion => "W002",
             Self::EmptyModule => "W003",
@@ -234,6 +252,11 @@ impl RuleCode {
             Self::XmlMalformed => "XML well-formedness violation",
             Self::FormatViolation => "valid XML but not a valid CUBE document",
             Self::BadValue => "attribute or severity value failed to parse or is out of range",
+            Self::InputTooLarge => "document exceeds the maximum input size",
+            Self::NestingTooDeep => "element nesting exceeds the maximum depth",
+            Self::TooManyEntities => "a metadata dimension defines too many entities",
+            Self::RowTooLong => "severity row text exceeds the maximum length",
+            Self::ChecksumMismatch => "checksum footer does not match the document bytes",
             Self::DuplicateSiblingMetric => "two sibling metrics share name and unit",
             Self::UnreferencedRegion => "region is not the callee of any call site",
             Self::EmptyModule => "module contains no region",
@@ -248,7 +271,7 @@ impl RuleCode {
     }
 
     /// Every rule code, in code order (for documentation and tests).
-    pub const ALL: [RuleCode; 33] = [
+    pub const ALL: [RuleCode; 38] = [
         Self::DanglingMetricParent,
         Self::MetricCycle,
         Self::MixedUnitsInMetricTree,
@@ -272,6 +295,11 @@ impl RuleCode {
         Self::XmlMalformed,
         Self::FormatViolation,
         Self::BadValue,
+        Self::InputTooLarge,
+        Self::NestingTooDeep,
+        Self::TooManyEntities,
+        Self::RowTooLong,
+        Self::ChecksumMismatch,
         Self::DuplicateSiblingMetric,
         Self::UnreferencedRegion,
         Self::EmptyModule,
@@ -977,7 +1005,10 @@ fn lint_severity(md: &Metadata, sev: &Severity, prov: &Provenance, c: &mut Colle
         return;
     }
     let (_, nc, nt) = actual;
-    let original = !prov.is_derived();
+    // Only unmodified measurements promise non-negative severities;
+    // derived experiments (differences) and recovered ones (whose
+    // source may have been derived) are exempt.
+    let original = prov.is_original();
     for (i, &v) in sev.values().iter().enumerate() {
         if v.is_finite() && !(original && v < 0.0) {
             continue;

@@ -23,6 +23,18 @@ pub enum Provenance {
         /// Descriptions of the operand experiments, in operand order.
         operands: Vec<String>,
     },
+    /// Data reconstructed by the salvage reader from a damaged file.
+    ///
+    /// The severity function is the longest valid prefix of the stored
+    /// one, zero-extended; downstream operators see the lineage through
+    /// [`Provenance::label`] like any other operand.
+    Recovered {
+        /// Label the damaged file recorded for itself (its provenance,
+        /// as far as it was readable).
+        source: String,
+        /// What was lost, e.g. `"truncated at 120:7; 5 rows recovered"`.
+        note: String,
+    },
 }
 
 impl Provenance {
@@ -39,6 +51,14 @@ impl Provenance {
         }
     }
 
+    /// Provenance for an experiment salvaged from a damaged file.
+    pub fn recovered(source: impl Into<String>, note: impl Into<String>) -> Self {
+        Self::Recovered {
+            source: source.into(),
+            note: note.into(),
+        }
+    }
+
     /// A short label suitable for window titles or CLI output.
     pub fn label(&self) -> String {
         self.to_string()
@@ -47,6 +67,19 @@ impl Provenance {
     /// Whether this experiment is the result of an operator.
     pub fn is_derived(&self) -> bool {
         matches!(self, Self::Derived { .. })
+    }
+
+    /// Whether this experiment was salvaged from a damaged file.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, Self::Recovered { .. })
+    }
+
+    /// Whether this experiment is an unmodified measurement: neither
+    /// derived by an operator nor reconstructed by salvage. Lint rules
+    /// that assume measurement-tool invariants (non-negative
+    /// severities) apply only to original experiments.
+    pub fn is_original(&self) -> bool {
+        matches!(self, Self::Original { .. })
     }
 }
 
@@ -70,6 +103,7 @@ impl fmt::Display for Provenance {
                 }
                 write!(f, ")")
             }
+            Self::Recovered { source, .. } => write!(f, "recovered({source})"),
         }
     }
 }
@@ -90,6 +124,17 @@ mod tests {
         let p = Provenance::derived("difference", vec!["old".into(), "new".into()]);
         assert_eq!(p.label(), "difference(old, new)");
         assert!(p.is_derived());
+    }
+
+    #[test]
+    fn recovered_label_and_predicates() {
+        let p = Provenance::recovered("run 1", "truncated at 3:1; 2 rows recovered");
+        assert_eq!(p.label(), "recovered(run 1)");
+        assert!(p.is_recovered());
+        assert!(!p.is_derived());
+        assert!(!p.is_original());
+        assert!(Provenance::original("x").is_original());
+        assert!(!Provenance::derived("mean", vec![]).is_original());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Position in the input, 1-based.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,6 +18,24 @@ impl fmt::Display for Position {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.line, self.column)
     }
+}
+
+/// Which resource limit a document exceeded.
+///
+/// Limits are configured through
+/// [`ReadLimits`](crate::reader::ReadLimits); each kind maps to one
+/// `E2xx` lint code so bounded-resource refusals are diagnosable like
+/// any other defect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimitKind {
+    /// Total input size in bytes (`E200`).
+    InputBytes,
+    /// Element nesting depth (`E201`).
+    Depth,
+    /// Entities defined in one metadata dimension (`E202`).
+    Entities,
+    /// Byte length of a single severity row's text (`E203`).
+    RowBytes,
 }
 
 /// Errors raised while lexing, parsing, or interpreting a `.cube` file.
@@ -42,8 +61,22 @@ pub enum XmlError {
     },
     /// The experiment read from the file violates the data model.
     Model(cube_model::ModelError),
-    /// Underlying I/O failure when reading or writing a file.
-    Io(std::io::Error),
+    /// The document exceeds a configured resource limit. The position,
+    /// when known, is where the limit was crossed.
+    Limit {
+        position: Option<Position>,
+        kind: LimitKind,
+        message: String,
+    },
+    /// The checksum footer does not match the document bytes: the file
+    /// was corrupted after it was written.
+    Checksum { expected: u32, actual: u32 },
+    /// Underlying I/O failure when reading or writing a file. `path` is
+    /// the file involved, when the operation had one.
+    Io {
+        path: Option<PathBuf>,
+        source: std::io::Error,
+    },
 }
 
 impl XmlError {
@@ -89,12 +122,42 @@ impl XmlError {
         }
     }
 
+    pub(crate) fn limit_at(
+        position: Position,
+        kind: LimitKind,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::Limit {
+            position: Some(position),
+            kind,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn limit(kind: LimitKind, message: impl Into<String>) -> Self {
+        Self::Limit {
+            position: None,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// An I/O error tagged with the file it occurred on.
+    pub(crate) fn io_at(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        Self::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+
     /// The source position this error points at, when one is known.
     pub fn position(&self) -> Option<Position> {
         match self {
             Self::Syntax { position, .. } | Self::Malformed { position, .. } => Some(*position),
-            Self::Format { position, .. } | Self::Value { position, .. } => *position,
-            Self::Model(_) | Self::Io(_) => None,
+            Self::Format { position, .. }
+            | Self::Value { position, .. }
+            | Self::Limit { position, .. } => *position,
+            Self::Model(_) | Self::Io { .. } | Self::Checksum { .. } => None,
         }
     }
 }
@@ -125,7 +188,25 @@ impl fmt::Display for XmlError {
                 message,
             } => write!(f, "invalid value in CUBE file: {message}"),
             Self::Model(e) => write!(f, "experiment violates the data model: {e}"),
-            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Limit {
+                position: Some(p),
+                message,
+                ..
+            } => write!(f, "resource limit exceeded at {p}: {message}"),
+            Self::Limit {
+                position: None,
+                message,
+                ..
+            } => write!(f, "resource limit exceeded: {message}"),
+            Self::Checksum { expected, actual } => write!(
+                f,
+                "checksum mismatch: footer records crc32 {expected:08x}, document bytes hash to {actual:08x}"
+            ),
+            Self::Io {
+                path: Some(p),
+                source,
+            } => write!(f, "I/O error on {}: {source}", p.display()),
+            Self::Io { path: None, source } => write!(f, "I/O error: {source}"),
         }
     }
 }
@@ -134,7 +215,7 @@ impl Error for XmlError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Model(e) => Some(e),
-            Self::Io(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -148,7 +229,10 @@ impl From<cube_model::ModelError> for XmlError {
 
 impl From<std::io::Error> for XmlError {
     fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
+        Self::Io {
+            path: None,
+            source: e,
+        }
     }
 }
 
@@ -166,5 +250,32 @@ mod tests {
     fn model_error_chains_source() {
         let e: XmlError = cube_model::ModelError::NoThreads.into();
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn io_error_display_includes_path() {
+        let e = XmlError::io_at(
+            "/tmp/x.cube",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("/tmp/x.cube"), "{e}");
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn limit_and_checksum_display() {
+        let e = XmlError::limit_at(
+            Position { line: 2, column: 1 },
+            LimitKind::Depth,
+            "nesting depth 300 exceeds the limit of 256",
+        );
+        assert!(e.to_string().contains("2:1"), "{e}");
+        assert_eq!(e.position(), Some(Position { line: 2, column: 1 }));
+        let c = XmlError::Checksum {
+            expected: 0xdeadbeef,
+            actual: 0x12345678,
+        };
+        assert!(c.to_string().contains("deadbeef"), "{c}");
+        assert!(c.to_string().contains("12345678"), "{c}");
     }
 }

@@ -29,7 +29,9 @@ use cube_model::{
 };
 
 use crate::dom::{Document, Element};
-use crate::error::XmlError;
+use crate::error::{Position, XmlError};
+use crate::footer::{check_footer, footer_line, Crc32Writer, FooterStatus};
+use crate::reader::ReadLimits;
 
 /// Current format version written by this crate.
 pub const FORMAT_VERSION: &str = "1.0";
@@ -74,15 +76,100 @@ pub fn write_experiment_dom(exp: &Experiment) -> String {
     root.to_document_string()
 }
 
-/// Writes an experiment to a file.
+/// How [`write_experiment_file_with`] commits an experiment to disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Write through a same-directory temporary file, `sync_all`, then
+    /// atomically rename over the target — a crash at any point leaves
+    /// the pre-existing target byte-identical. Default `true`.
+    pub durable: bool,
+    /// Append the CRC-32 checksum footer (`docs/FORMAT.md` §10) so
+    /// readers can detect silent corruption. Default `true`.
+    pub checksum: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        Self {
+            durable: true,
+            checksum: true,
+        }
+    }
+}
+
+/// Writes an experiment to a file: atomic, durable, and checksummed.
 ///
 /// Streams directly into a buffered file handle — the document is
-/// never materialized in memory.
+/// never materialized in memory. Equivalent to
+/// [`write_experiment_file_with`] with [`WriteOptions::default`]: the
+/// document is written to a temporary file in the target's directory,
+/// synced, and renamed into place, so a crash mid-write never corrupts
+/// a pre-existing target.
 pub fn write_experiment_file(exp: &Experiment, path: impl AsRef<Path>) -> Result<(), XmlError> {
+    write_experiment_file_with(exp, path, WriteOptions::default())
+}
+
+/// Writes an experiment to a file with explicit [`WriteOptions`].
+///
+/// I/O errors carry `path` (or the temporary path while staging).
+pub fn write_experiment_file_with(
+    exp: &Experiment,
+    path: impl AsRef<Path>,
+    options: WriteOptions,
+) -> Result<(), XmlError> {
+    let path = path.as_ref();
+    if !options.durable {
+        return write_file_direct(exp, path, options.checksum);
+    }
+    // Stage in the same directory so the final rename cannot cross a
+    // filesystem boundary (cross-device renames are not atomic).
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path
+        .file_name()
+        .ok_or_else(|| {
+            XmlError::io_at(
+                path,
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "target path has no file name",
+                ),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let res = (|| -> Result<(), XmlError> {
+        write_file_direct(exp, &tmp, options.checksum)?;
+        std::fs::rename(&tmp, path).map_err(|e| XmlError::io_at(path, e))
+    })();
+    if res.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    res
+}
+
+/// Streams the document into `path` directly (no staging), flushing
+/// and syncing before returning so no buffered block can be silently
+/// dropped at [`std::io::BufWriter`] drop time.
+fn write_file_direct(exp: &Experiment, path: &Path, checksum: bool) -> Result<(), XmlError> {
     use std::io::Write as _;
-    let file = std::fs::File::create(path)?;
-    let mut out = crate::writer::CubeWriter::new(std::io::BufWriter::new(file)).write(exp)?;
-    out.flush()?;
+    let err = |e: std::io::Error| XmlError::io_at(path, e);
+    let file = std::fs::File::create(path).map_err(err)?;
+    let out = Crc32Writer::new(std::io::BufWriter::new(file));
+    let mut out = match crate::writer::CubeWriter::new(out).write(exp) {
+        Ok(out) => out,
+        Err(XmlError::Io { source, .. }) => return Err(err(source)),
+        Err(e) => return Err(e),
+    };
+    if checksum {
+        let line = footer_line(out.crc(), out.len());
+        // The footer itself is outside the checksummed region.
+        out.get_mut().write_all(line.as_bytes()).map_err(err)?;
+    }
+    let mut buf = out.into_inner();
+    buf.flush().map_err(err)?;
+    let file = buf.into_inner().map_err(|e| err(e.into_error()))?;
+    file.sync_all().map_err(err)?;
     Ok(())
 }
 
@@ -100,6 +187,10 @@ fn provenance_element(p: &Provenance) -> Element {
             }
             e
         }
+        Provenance::Recovered { source, note } => Element::new("provenance")
+            .attr("kind", "recovered")
+            .attr("label", source.clone())
+            .attr("note", note.clone()),
     }
 }
 
@@ -284,9 +375,20 @@ fn severity_element(exp: &Experiment) -> Element {
 ///
 /// Runs the streaming [`CubeReader`](crate::reader::CubeReader), which
 /// falls back to [`read_experiment_dom`] only for documents that store
-/// `<severity>` before the metadata sections.
+/// `<severity>` before the metadata sections. When the document carries
+/// a checksum footer (`docs/FORMAT.md` §10), it is verified first —
+/// silent corruption that would still parse is refused with
+/// [`XmlError::Checksum`].
 pub fn read_experiment(input: &str) -> Result<Experiment, XmlError> {
+    verify_footer(input)?;
     crate::reader::CubeReader::new(input).read()
+}
+
+fn verify_footer(input: &str) -> Result<(), XmlError> {
+    match check_footer(input) {
+        FooterStatus::Mismatch { expected, actual } => Err(XmlError::Checksum { expected, actual }),
+        FooterStatus::Absent | FooterStatus::Valid => Ok(()),
+    }
 }
 
 /// Parses a `.cube` XML string into an experiment through the DOM.
@@ -518,10 +620,107 @@ pub fn read_experiment_dom(input: &str) -> Result<Experiment, XmlError> {
     Experiment::new(md, sev, provenance).map_err(Into::into)
 }
 
-/// Reads an experiment from a file.
+/// Reads an experiment from a file. I/O errors carry `path`.
 pub fn read_experiment_file(path: impl AsRef<Path>) -> Result<Experiment, XmlError> {
-    let input = std::fs::read_to_string(path)?;
+    let path = path.as_ref();
+    let input = std::fs::read_to_string(path).map_err(|e| XmlError::io_at(path, e))?;
     read_experiment(&input)
+}
+
+// ---------------------------------------------------------------------------
+// Salvage
+// ---------------------------------------------------------------------------
+
+/// What [`read_experiment_salvage`] managed to recover, and what not.
+#[derive(Clone, Debug)]
+pub struct SalvageReport {
+    /// `true` when the document read cleanly end to end with a valid or
+    /// absent checksum — the result equals what [`read_experiment`]
+    /// would return, and the provenance is left untouched.
+    pub complete: bool,
+    /// Severity rows recovered intact (each committed atomically; a row
+    /// torn mid-number is dropped whole).
+    pub rows_recovered: usize,
+    /// Description of the first unrecoverable defect, when any.
+    pub loss: Option<String>,
+    /// Position of that defect, when known.
+    pub position: Option<Position>,
+    /// Outcome of the checksum footer verification.
+    pub checksum: FooterStatus,
+}
+
+/// Reads the longest valid prefix of a damaged `.cube` document.
+///
+/// The metadata sections must be complete — without them there is no
+/// shape to recover into, and the result is an error. Past that point
+/// the reader keeps everything assembled before the first defect:
+/// complete metadata, every intact severity row (zero-extension covers
+/// the rest, mirroring the algebra's convention), and the stored
+/// provenance. When anything was lost — or the checksum footer proves
+/// the bytes were altered — the experiment's provenance is rewrapped as
+/// [`Provenance::Recovered`] so the damage stays visible through any
+/// downstream algebra.
+///
+/// Documents that store `<severity>` before the metadata fall back to
+/// the DOM reader and recover only when they parse completely.
+pub fn read_experiment_salvage(input: &str) -> Result<(Experiment, SalvageReport), XmlError> {
+    read_experiment_salvage_with(input, ReadLimits::default())
+}
+
+/// [`read_experiment_salvage`] with explicit [`ReadLimits`].
+pub fn read_experiment_salvage_with(
+    input: &str,
+    limits: ReadLimits,
+) -> Result<(Experiment, SalvageReport), XmlError> {
+    let checksum = check_footer(input);
+    let (mut exp, report) = match crate::reader::read_streaming_salvage(input, limits)? {
+        Some((md, sev, prov, info)) => {
+            let exp = Experiment::new(md, sev, prov)?;
+            let report = SalvageReport {
+                complete: info.loss.is_none() && !checksum.is_mismatch(),
+                rows_recovered: info.rows_recovered,
+                loss: info.loss,
+                position: info.position,
+                checksum,
+            };
+            (exp, report)
+        }
+        // Severity stored before the metadata: the salvage pass cannot
+        // size the matrix either, so only a full DOM parse recovers.
+        None => {
+            let exp = read_experiment_dom(input)?;
+            let report = SalvageReport {
+                complete: !checksum.is_mismatch(),
+                rows_recovered: 0,
+                loss: None,
+                position: None,
+                checksum,
+            };
+            (exp, report)
+        }
+    };
+    if !report.complete {
+        let what = match (&report.loss, report.position) {
+            (Some(_), Some(p)) => format!("damaged at {p}"),
+            (Some(_), None) => "damaged".to_string(),
+            (None, _) => "checksum mismatch".to_string(),
+        };
+        let note = format!("{what}; {} rows recovered", report.rows_recovered);
+        let source = exp.provenance().label();
+        exp.set_provenance(Provenance::recovered(source, note));
+    }
+    Ok((exp, report))
+}
+
+/// Reads and salvages a `.cube` file on disk. I/O errors carry `path`.
+pub fn read_experiment_salvage_file(
+    path: impl AsRef<Path>,
+) -> Result<(Experiment, SalvageReport), XmlError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| XmlError::io_at(path, e))?;
+    // Damaged files may be torn mid-UTF-8-sequence; lossy conversion
+    // keeps the valid prefix readable.
+    read_experiment_salvage(&String::from_utf8_lossy(&bytes))
 }
 
 fn read_provenance(root: &Element) -> Result<Provenance, XmlError> {
@@ -535,6 +734,10 @@ fn read_provenance(root: &Element) -> Result<Provenance, XmlError> {
         Some("derived") => Ok(Provenance::derived(
             p.get_attr("operator").unwrap_or("unknown"),
             p.elements("operand").map(|o| o.text_content()).collect(),
+        )),
+        Some("recovered") => Ok(Provenance::recovered(
+            p.get_attr("label").unwrap_or("unnamed experiment"),
+            p.get_attr("note").unwrap_or(""),
         )),
         Some(other) => Err(XmlError::value(format!(
             "unknown provenance kind '{other}'"
@@ -760,6 +963,142 @@ mod tests {
         let back = read_experiment_file(&path).unwrap();
         assert!(back.approx_eq(&e, 0.0));
         std::fs::remove_file(path).ok();
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cube_xml_test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn written_file_carries_valid_footer() {
+        let e = sample();
+        let dir = tmp_dir("footer");
+        let path = dir.join("footer.cube");
+        write_experiment_file(&e, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(check_footer(&text), FooterStatus::Valid);
+        // Old readers must still parse: the DOM path ignores the
+        // trailing comment.
+        assert!(read_experiment_dom(&text).unwrap().approx_eq(&e, 0.0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn no_checksum_option_omits_footer() {
+        let e = sample();
+        let dir = tmp_dir("nofooter");
+        let path = dir.join("plain.cube");
+        write_experiment_file_with(
+            &e,
+            &path,
+            WriteOptions {
+                durable: false,
+                checksum: false,
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(check_footer(&text), FooterStatus::Absent);
+        assert_eq!(text, write_experiment(&e));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_checksummed_file_is_refused() {
+        let e = sample();
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("bad.cube");
+        write_experiment_file(&e, &path).unwrap();
+        // Flip one severity digit: the document still parses, only the
+        // checksum can tell.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bad = text.replacen("2 2 2", "2 9 2", 1);
+        assert_ne!(bad, text);
+        let err = read_experiment(&bad).unwrap_err();
+        assert!(matches!(err, XmlError::Checksum { .. }), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn failed_write_leaves_existing_target_untouched() {
+        let e = sample();
+        let dir = tmp_dir("atomic");
+        let path = dir.join("target.cube");
+        std::fs::write(&path, b"precious bytes").unwrap();
+        // Writing into a directory that does not exist fails while
+        // staging; the target must be byte-identical afterwards.
+        let missing = dir.join("no_such_subdir").join("x.cube");
+        assert!(write_experiment_file(&e, &missing).is_err());
+        // A same-directory failure: make the temp location collide with
+        // a directory so File::create fails.
+        let tmp_collision = dir.join(format!(".target.cube.tmp.{}", std::process::id()));
+        std::fs::create_dir_all(&tmp_collision).unwrap();
+        assert!(write_experiment_file(&e, &path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"precious bytes");
+        std::fs::remove_dir(&tmp_collision).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn io_errors_carry_the_path() {
+        let e = sample();
+        let missing = Path::new("/nonexistent/definitely/not/here.cube");
+        let err = write_experiment_file(&e, missing).unwrap_err();
+        assert!(err.to_string().contains("here.cube"), "{err}");
+        let err = read_experiment_file(missing).unwrap_err();
+        assert!(err.to_string().contains("here.cube"), "{err}");
+    }
+
+    #[test]
+    fn salvage_of_intact_document_is_complete() {
+        let e = sample();
+        let xml = write_experiment(&e);
+        let (back, report) = read_experiment_salvage(&xml).unwrap();
+        assert!(report.complete, "{report:?}");
+        assert!(back.approx_eq(&e, 0.0));
+        assert_eq!(back.provenance(), e.provenance());
+        assert_eq!(report.checksum, FooterStatus::Absent);
+    }
+
+    #[test]
+    fn salvage_of_truncated_document_recovers_prefix() {
+        let e = sample();
+        let xml = write_experiment(&e);
+        let cut = xml.rfind("<row").unwrap() + 4;
+        let (back, report) = read_experiment_salvage(&xml[..cut]).unwrap();
+        assert!(!report.complete);
+        assert!(report.loss.is_some());
+        assert!(back.provenance().is_recovered(), "{:?}", back.provenance());
+        assert_eq!(back.metadata(), e.metadata());
+        // The recovered experiment must itself round-trip and lint.
+        let rexml = write_experiment(&back);
+        let again = read_experiment(&rexml).unwrap();
+        assert_eq!(again.provenance(), back.provenance());
+    }
+
+    #[test]
+    fn salvage_flags_checksum_mismatch_as_incomplete() {
+        let e = sample();
+        let dir = tmp_dir("salvage_crc");
+        let path = dir.join("s.cube");
+        write_experiment_file(&e, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bad = text.replacen("2 2 2", "2 9 2", 1);
+        let (back, report) = read_experiment_salvage(&bad).unwrap();
+        assert!(!report.complete);
+        assert!(report.checksum.is_mismatch());
+        assert!(back.provenance().is_recovered());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn salvage_fails_without_complete_metadata() {
+        let e = sample();
+        let xml = write_experiment(&e);
+        let cut = xml.find("<system>").unwrap();
+        assert!(read_experiment_salvage(&xml[..cut]).is_err());
     }
 
     #[test]

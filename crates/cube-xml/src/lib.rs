@@ -67,6 +67,7 @@ pub mod dom;
 pub mod error;
 pub mod escape;
 mod fmt64;
+pub mod footer;
 pub mod format;
 pub mod lexer;
 pub mod lint;
@@ -74,8 +75,13 @@ pub mod reader;
 pub mod writer;
 
 pub use dom::{Document, Element, XmlNode};
-pub use error::XmlError;
-pub use format::{read_experiment, read_experiment_file, write_experiment, write_experiment_file};
+pub use error::{LimitKind, XmlError};
+pub use footer::FooterStatus;
+pub use format::{
+    read_experiment, read_experiment_file, read_experiment_salvage, read_experiment_salvage_file,
+    read_experiment_salvage_with, write_experiment, write_experiment_file,
+    write_experiment_file_with, SalvageReport, WriteOptions,
+};
 pub use lint::{lint_file, lint_read, lint_str, read_experiment_strict};
-pub use reader::CubeReader;
+pub use reader::{CubeReader, ReadLimits};
 pub use writer::CubeWriter;

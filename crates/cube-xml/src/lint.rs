@@ -18,18 +18,25 @@ use std::path::Path;
 use cube_model::lint::{diagnostic_of_model_error, lint_parts, Diagnostic, Location, Report};
 use cube_model::{Experiment, RuleCode};
 
-use crate::error::XmlError;
+use crate::error::{LimitKind, XmlError};
 use crate::reader::read_streaming_parts;
 
 /// Converts a parse/IO error into a single diagnostic with the best
 /// available location.
 pub fn diagnostic_of_xml_error(e: &XmlError) -> Diagnostic {
     let code = match e {
-        XmlError::Io(_) => RuleCode::Io,
+        XmlError::Io { .. } => RuleCode::Io,
         XmlError::Syntax { .. } => RuleCode::XmlSyntax,
         XmlError::Malformed { .. } => RuleCode::XmlMalformed,
         XmlError::Format { .. } => RuleCode::FormatViolation,
         XmlError::Value { .. } => RuleCode::BadValue,
+        XmlError::Limit { kind, .. } => match kind {
+            LimitKind::InputBytes => RuleCode::InputTooLarge,
+            LimitKind::Depth => RuleCode::NestingTooDeep,
+            LimitKind::Entities => RuleCode::TooManyEntities,
+            LimitKind::RowBytes => RuleCode::RowTooLong,
+        },
+        XmlError::Checksum { .. } => RuleCode::ChecksumMismatch,
         XmlError::Model(m) => return diagnostic_of_model_error(m),
     };
     let location = match e.position() {
@@ -49,6 +56,17 @@ pub fn diagnostic_of_xml_error(e: &XmlError) -> Diagnostic {
 /// resulting structure satisfies the data model (no error-level
 /// diagnostics); warnings do not prevent assembly.
 pub fn lint_read(input: &str) -> (Option<Experiment>, Report) {
+    if let crate::footer::FooterStatus::Mismatch { expected, actual } =
+        crate::footer::check_footer(input)
+    {
+        return (
+            None,
+            Report::from_diagnostics(vec![diagnostic_of_xml_error(&XmlError::Checksum {
+                expected,
+                actual,
+            })]),
+        );
+    }
     match read_streaming_parts(input) {
         Ok(Some((md, sev, prov))) => {
             let report = lint_parts(&md, &sev, &prov);
@@ -92,7 +110,10 @@ pub fn lint_str(input: &str) -> Report {
 pub fn lint_file(path: impl AsRef<Path>) -> Report {
     match std::fs::read_to_string(path.as_ref()) {
         Ok(text) => lint_str(&text),
-        Err(e) => Report::from_diagnostics(vec![diagnostic_of_xml_error(&XmlError::Io(e))]),
+        Err(e) => Report::from_diagnostics(vec![diagnostic_of_xml_error(&XmlError::Io {
+            path: Some(path.as_ref().to_path_buf()),
+            source: e,
+        })]),
     }
 }
 

@@ -24,8 +24,55 @@ use cube_model::{
     RegionId, RegionKind, Severity, SystemNode, Thread, Unit,
 };
 
-use crate::error::{Position, XmlError};
+use crate::error::{LimitKind, Position, XmlError};
 use crate::lexer::{Lexer, XmlEvent};
+
+/// Resource limits enforced while parsing untrusted documents.
+///
+/// The defaults are generous — far beyond anything a real measurement
+/// produces — but finite, so an adversarial file cannot drive the
+/// reader into unbounded recursion or allocation. Each limit maps to
+/// one `E2xx` lint code when exceeded (see `docs/FORMAT.md` §9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadLimits {
+    /// Maximum total input size in bytes (`E200`). Default 1 GiB.
+    pub max_input_bytes: usize,
+    /// Maximum element nesting depth (`E201`). Bounds both malicious
+    /// nesting and the parser's own recursion (metric and call-node
+    /// trees recurse once per level). Default 256.
+    pub max_depth: usize,
+    /// Maximum entities defined in any one metadata dimension —
+    /// metrics, modules, regions, call sites, call nodes, machines,
+    /// nodes, processes, threads, topology coordinates (`E202`).
+    /// Default 4 194 304.
+    pub max_entities: usize,
+    /// Maximum byte length of one severity row's text (`E203`).
+    /// Default 64 MiB.
+    pub max_row_bytes: usize,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        Self {
+            max_input_bytes: 1 << 30,
+            max_depth: 256,
+            max_entities: 1 << 22,
+            max_row_bytes: 64 << 20,
+        }
+    }
+}
+
+impl ReadLimits {
+    /// No limits at all — the pre-limits behavior, for trusted inputs.
+    pub fn unlimited() -> Self {
+        Self {
+            max_input_bytes: usize::MAX,
+            max_depth: usize::MAX,
+            max_entities: usize::MAX,
+            max_row_bytes: usize::MAX,
+        }
+    }
+}
 
 /// Pull-based reader that streams a `.cube` document into an
 /// [`Experiment`].
@@ -53,12 +100,22 @@ use crate::lexer::{Lexer, XmlEvent};
 /// ```
 pub struct CubeReader<'a> {
     input: &'a str,
+    limits: ReadLimits,
 }
 
 impl<'a> CubeReader<'a> {
-    /// Creates a reader over an in-memory document.
+    /// Creates a reader over an in-memory document with the default
+    /// [`ReadLimits`].
     pub fn new(input: &'a str) -> Self {
-        Self { input }
+        Self {
+            input,
+            limits: ReadLimits::default(),
+        }
+    }
+
+    /// Creates a reader with explicit resource limits.
+    pub fn with_limits(input: &'a str, limits: ReadLimits) -> Self {
+        Self { input, limits }
     }
 
     /// Parses the document into an experiment.
@@ -68,18 +125,26 @@ impl<'a> CubeReader<'a> {
     /// DOM parser instead (the severity shape is unknowable until the
     /// metadata is complete).
     pub fn read(self) -> Result<Experiment, XmlError> {
-        match read_streaming(self.input)? {
+        match read_streaming_limited(self.input, self.limits)? {
             Some(exp) => Ok(exp),
             None => crate::format::read_experiment_dom(self.input),
         }
     }
 }
 
-/// Streaming parse. `Ok(None)` means the file is readable but stores
-/// severity before the metadata sections — the caller should use the
-/// DOM reader.
+/// Streaming parse with default limits. `Ok(None)` means the file is
+/// readable but stores severity before the metadata sections — the
+/// caller should use the DOM reader.
+#[cfg(test)]
 pub(crate) fn read_streaming(input: &str) -> Result<Option<Experiment>, XmlError> {
-    match read_streaming_parts(input)? {
+    read_streaming_limited(input, ReadLimits::default())
+}
+
+pub(crate) fn read_streaming_limited(
+    input: &str,
+    limits: ReadLimits,
+) -> Result<Option<Experiment>, XmlError> {
+    match read_streaming_parts_limited(input, limits)? {
         Some((md, sev, provenance)) => Experiment::new(md, sev, provenance)
             .map(Some)
             .map_err(Into::into),
@@ -93,12 +158,62 @@ pub(crate) fn read_streaming(input: &str) -> Result<Option<Experiment>, XmlError
 pub(crate) fn read_streaming_parts(
     input: &str,
 ) -> Result<Option<(Metadata, Severity, Provenance)>, XmlError> {
-    let mut parser = Parser {
-        lexer: Lexer::new(input),
-        scratch: String::new(),
-        last_at: Position { line: 1, column: 1 },
-    };
+    read_streaming_parts_limited(input, ReadLimits::default())
+}
+
+pub(crate) fn read_streaming_parts_limited(
+    input: &str,
+    limits: ReadLimits,
+) -> Result<Option<(Metadata, Severity, Provenance)>, XmlError> {
+    check_input_size(input, &limits)?;
+    let mut parser = Parser::new(input, limits);
     parser.read_document_parts()
+}
+
+/// What the salvage pass could not recover, alongside what it could.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SalvageInfo {
+    /// Severity rows committed to the buffer (each parsed completely
+    /// before being stored, so a torn row is never half-applied).
+    pub rows_recovered: usize,
+    /// Description of the first unrecoverable defect, when the document
+    /// could not be read to the end.
+    pub loss: Option<String>,
+    /// Position of that defect, when known.
+    pub position: Option<Position>,
+}
+
+/// Salvage parse: reads the longest valid prefix of a damaged document.
+///
+/// Strict until the three metadata sections are complete (without them
+/// there is no experiment to recover); after that, the first error
+/// stops the scan and everything already assembled — complete metadata
+/// plus every intact severity row, the rest zero-extended — is
+/// returned with the loss recorded in [`SalvageInfo`]. `Ok(None)` has
+/// the same meaning as in [`read_streaming`]: severity stored before
+/// metadata, caller should fall back to the DOM reader (full parses
+/// only — salvage cannot size the matrix either).
+pub(crate) fn read_streaming_salvage(
+    input: &str,
+    limits: ReadLimits,
+) -> Result<Option<(Metadata, Severity, Provenance, SalvageInfo)>, XmlError> {
+    check_input_size(input, &limits)?;
+    let mut parser = Parser::new(input, limits);
+    parser.read_document_salvage()
+}
+
+fn check_input_size(input: &str, limits: &ReadLimits) -> Result<(), XmlError> {
+    if input.len() > limits.max_input_bytes {
+        return Err(XmlError::limit(
+            LimitKind::InputBytes,
+            format!(
+                "document is {} bytes, limit is {}",
+                input.len(),
+                limits.max_input_bytes
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// One metadata record collected before the dense-id sort. Names keep
@@ -146,6 +261,13 @@ struct Parser<'a> {
     /// stamped onto [`Attrs`] so attribute errors can point at the
     /// element's start tag.
     last_at: Position,
+    /// Resource limits enforced during the parse.
+    limits: ReadLimits,
+    /// Current element nesting depth; every in-root event flows through
+    /// [`Parser::next_required`], which keeps this current. Bounding it
+    /// also bounds the parser's own recursion (metric/cnode trees and
+    /// [`Parser::skip_children`] recurse or stack per level).
+    depth: usize,
 }
 
 /// Attributes of one start tag, consumed by name.
@@ -198,6 +320,16 @@ struct Open<'a> {
 }
 
 impl<'a> Parser<'a> {
+    fn new(input: &'a str, limits: ReadLimits) -> Self {
+        Self {
+            lexer: Lexer::new(input),
+            scratch: String::new(),
+            last_at: Position { line: 1, column: 1 },
+            limits,
+            depth: 0,
+        }
+    }
+
     fn read_document_parts(
         &mut self,
     ) -> Result<Option<(Metadata, Severity, Provenance)>, XmlError> {
@@ -222,6 +354,7 @@ impl<'a> Parser<'a> {
         let mut finalized: Option<(Metadata, Severity)> = None;
 
         if !self_closing {
+            self.depth = 1;
             loop {
                 let at = self.lexer.position();
                 match self.next_required("cube")? {
@@ -358,13 +491,52 @@ impl<'a> Parser<'a> {
     }
 
     /// Next event inside `parent`, or a malformedness error at EOF.
-    /// Records the event's start position for [`Parser::reopen`].
+    /// Records the event's start position for [`Parser::reopen`] and
+    /// tracks nesting depth against [`ReadLimits::max_depth`].
     fn next_required(&mut self, parent: &str) -> Result<XmlEvent<'a>, XmlError> {
         let at = self.lexer.position();
         self.last_at = at;
-        self.lexer
+        let ev = self
+            .lexer
             .next_event()?
-            .ok_or_else(|| XmlError::malformed(at, format!("unclosed element <{parent}>")))
+            .ok_or_else(|| XmlError::malformed(at, format!("unclosed element <{parent}>")))?;
+        match &ev {
+            XmlEvent::StartTag {
+                self_closing: false,
+                ..
+            } => {
+                self.depth += 1;
+                if self.depth > self.limits.max_depth {
+                    return Err(XmlError::limit_at(
+                        at,
+                        LimitKind::Depth,
+                        format!(
+                            "element nesting depth {} exceeds the limit of {}",
+                            self.depth, self.limits.max_depth
+                        ),
+                    ));
+                }
+            }
+            XmlEvent::EndTag { .. } => self.depth = self.depth.saturating_sub(1),
+            _ => {}
+        }
+        Ok(ev)
+    }
+
+    /// Fails with an `E202` limit error when a metadata dimension has
+    /// collected more than [`ReadLimits::max_entities`] records.
+    fn check_entity_cap(&self, len: usize, what: &str, at: Position) -> Result<(), XmlError> {
+        if len > self.limits.max_entities {
+            return Err(XmlError::limit_at(
+                at,
+                LimitKind::Entities,
+                format!(
+                    "more than {} <{what}> entities defined",
+                    self.limits.max_entities
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Converts a just-read start-tag event into an [`Open`].
@@ -493,6 +665,7 @@ impl<'a> Parser<'a> {
         let kind = open.attrs.take("kind");
         let label = open.attrs.take("label");
         let operator = open.attrs.take("operator");
+        let note = open.attrs.take("note");
         let mut operands: Vec<String> = Vec::new();
         self.each_child(open, |p, child| {
             if child.attrs.tag == "operand" {
@@ -511,6 +684,10 @@ impl<'a> Parser<'a> {
             Some("derived") => Ok(Provenance::derived(
                 operator.as_deref().unwrap_or("unknown"),
                 operands,
+            )),
+            Some("recovered") => Ok(Provenance::recovered(
+                label.as_deref().unwrap_or("unnamed experiment"),
+                note.as_deref().unwrap_or(""),
             )),
             Some(other) => Err(XmlError::value(format!(
                 "unknown provenance kind '{other}'"
@@ -553,6 +730,7 @@ impl<'a> Parser<'a> {
             unit,
             descr: open.attrs.take("descr").unwrap_or(Cow::Borrowed("")),
         });
+        self.check_entity_cap(out.len(), "metric", open.attrs.at)?;
         self.each_child(open, |p, child| {
             if child.attrs.tag == "metric" {
                 p.parse_metric_tree(child, Some(id), out)
@@ -573,6 +751,7 @@ impl<'a> Parser<'a> {
                 let name = child.attrs.require("name")?;
                 let path = child.attrs.take("path").unwrap_or(Cow::Borrowed(""));
                 sections.modules.push((name, path));
+                p.check_entity_cap(sections.modules.len(), "module", child.attrs.at)?;
                 p.skip_element(child)
             }
             "region" => {
@@ -588,6 +767,7 @@ impl<'a> Parser<'a> {
                     begin_line: child.attrs.parse("begin")?,
                     end_line: child.attrs.parse("end")?,
                 });
+                p.check_entity_cap(sections.regions.len(), "region", child.attrs.at)?;
                 p.skip_element(child)
             }
             "csite" => {
@@ -597,6 +777,7 @@ impl<'a> Parser<'a> {
                     line: child.attrs.parse("line")?,
                     callee: RegionId::new(child.attrs.parse("callee")?),
                 });
+                p.check_entity_cap(sections.csites.len(), "csite", child.attrs.at)?;
                 p.skip_element(child)
             }
             "cnode" => p.parse_cnode_tree(child, None, &mut sections.cnode_recs),
@@ -616,6 +797,7 @@ impl<'a> Parser<'a> {
             parent,
             csite: open.attrs.parse("csite")?,
         });
+        self.check_entity_cap(out.len(), "cnode", open.attrs.at)?;
         self.each_child(open, |p, child| {
             if child.attrs.tag == "cnode" {
                 p.parse_cnode_tree(child, Some(id), out)
@@ -638,12 +820,14 @@ impl<'a> Parser<'a> {
             sections
                 .machines
                 .push((mid, machine.attrs.require("name")?));
+            p.check_entity_cap(sections.machines.len(), "machine", machine.attrs.at)?;
             p.each_child(machine, |p, mut node| {
                 if node.attrs.tag != "node" {
                     return p.skip_element(node);
                 }
                 let nid: u32 = node.attrs.parse("id")?;
                 sections.nodes.push((nid, mid, node.attrs.require("name")?));
+                p.check_entity_cap(sections.nodes.len(), "node", node.attrs.at)?;
                 p.each_child(node, |p, mut process| {
                     if process.attrs.tag != "process" {
                         return p.skip_element(process);
@@ -655,6 +839,7 @@ impl<'a> Parser<'a> {
                         process.attrs.parse("rank")?,
                         process.attrs.require("name")?,
                     ));
+                    p.check_entity_cap(sections.processes.len(), "process", process.attrs.at)?;
                     p.each_child(process, |p, mut thread| {
                         if thread.attrs.tag != "thread" {
                             return p.skip_element(thread);
@@ -665,6 +850,7 @@ impl<'a> Parser<'a> {
                             thread.attrs.parse("num")?,
                             thread.attrs.require("name")?,
                         ));
+                        p.check_entity_cap(sections.threads.len(), "thread", thread.attrs.at)?;
                         p.skip_element(thread)
                     })
                 })
@@ -702,6 +888,7 @@ impl<'a> Parser<'a> {
                     return p.skip_element(coord);
                 }
                 let proc_id: u32 = coord.attrs.parse("proc")?;
+                let coord_at = coord.attrs.at;
                 let mut text = String::new();
                 p.text_content(coord, &mut text)?;
                 let c: Vec<u32> = text
@@ -712,6 +899,7 @@ impl<'a> Parser<'a> {
                     })
                     .collect::<Result<_, _>>()?;
                 topo.coords.push((ProcessId::new(proc_id), c));
+                p.check_entity_cap(topo.coords.len(), "coord", coord_at)?;
                 Ok(())
             })?;
             sections.topologies.push(topo);
@@ -766,6 +954,23 @@ impl<'a> Parser<'a> {
         c: u32,
         sev: &mut Severity,
     ) -> Result<(), XmlError> {
+        let row_at = open.attrs.at;
+        let first = self.gather_row_text(open)?;
+        let text: &str = match &first {
+            Some(f) => f,
+            None => &self.scratch,
+        };
+        let dest = sev.row_mut(MetricId::new(m), CallNodeId::new(c));
+        parse_row_values(text, dest, m, c, row_at)
+    }
+
+    /// Gathers one `<row>`'s direct text, consuming its subtree.
+    ///
+    /// Returns `Some(text)` when a single text event covered the whole
+    /// row (the fast, borrowed path); `None` when the text was
+    /// fragmented and assembled in `self.scratch`. Enforces
+    /// [`ReadLimits::max_row_bytes`].
+    fn gather_row_text(&mut self, open: Open<'a>) -> Result<Option<Cow<'a, str>>, XmlError> {
         let parent = open.attrs.tag;
         let row_at = open.attrs.at;
         let mut first: Option<Cow<'a, str>> = None;
@@ -802,48 +1007,270 @@ impl<'a> Parser<'a> {
                     }
                     XmlEvent::Comment(_) | XmlEvent::Declaration => {}
                 }
+                let gathered = first.as_deref().map_or(0, str::len) + self.scratch.len();
+                if gathered > self.limits.max_row_bytes {
+                    return Err(XmlError::limit_at(
+                        row_at,
+                        LimitKind::RowBytes,
+                        format!(
+                            "severity row text exceeds the limit of {} bytes",
+                            self.limits.max_row_bytes
+                        ),
+                    ));
+                }
             }
         }
-        let text: &str = match &first {
-            Some(f) => f,
-            None => &self.scratch,
+        Ok(first)
+    }
+
+    // -- salvage ------------------------------------------------------------
+
+    /// Like [`Parser::read_document_parts`], but recovers the longest
+    /// valid prefix once the metadata sections are complete. See
+    /// [`read_streaming_salvage`].
+    fn read_document_salvage(
+        &mut self,
+    ) -> Result<Option<(Metadata, Severity, Provenance, SalvageInfo)>, XmlError> {
+        let root = self.read_prolog()?;
+        let XmlEvent::StartTag {
+            name,
+            attributes: _,
+            self_closing,
+        } = root
+        else {
+            unreachable!("read_prolog only returns start tags");
         };
-        let dest = sev.row_mut(MetricId::new(m), CallNodeId::new(c));
-        let mut count = 0usize;
-        for (i, tok) in text.split_ascii_whitespace().enumerate() {
-            if i >= dest.len() {
+        if name != "cube" {
+            return Err(XmlError::format(format!(
+                "root element is <{name}>, expected <cube>"
+            )));
+        }
+        let mut sections = Sections::default();
+        let mut finalized: Option<(Metadata, Severity)> = None;
+        let mut info = SalvageInfo::default();
+        let mut rowbuf: Vec<f64> = Vec::new();
+
+        if !self_closing {
+            self.depth = 1;
+            loop {
+                // Computed *before* the step so an error inside, say,
+                // <system> (whose seen-flag is set before its body is
+                // parsed) still counts as unrecoverable.
+                let recoverable =
+                    sections.metrics_seen && sections.program_seen && sections.system_seen;
+                match self.salvage_step(&mut sections, &mut finalized, &mut info, &mut rowbuf) {
+                    Ok(SalvageStep::Continue) => {}
+                    Ok(SalvageStep::Done) => break,
+                    Ok(SalvageStep::DomFallback) => return Ok(None),
+                    Err(e) if recoverable => {
+                        info.position = e.position().or(Some(self.last_at));
+                        info.loss = Some(e.to_string());
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if info.loss.is_none() {
+            if let Err(e) = self.read_epilog() {
+                info.position = e.position();
+                info.loss = Some(e.to_string());
+            }
+        }
+
+        if !sections.metrics_seen {
+            return Err(missing_section("metrics"));
+        }
+        if !sections.program_seen {
+            return Err(missing_section("program"));
+        }
+        if !sections.system_seen {
+            return Err(missing_section("system"));
+        }
+        let (mut md, sev) = match finalized {
+            Some(pair) => pair,
+            None => finalize_metadata(&mut sections)?,
+        };
+        for topo in sections.topologies.drain(..) {
+            md.add_topology(topo);
+        }
+        let provenance = sections.provenance.take().unwrap_or_default();
+        Ok(Some((md, sev, provenance, info)))
+    }
+
+    /// One iteration of the salvage loop: reads and dispatches a single
+    /// top-level event under `<cube>`.
+    fn salvage_step(
+        &mut self,
+        sections: &mut Sections<'a>,
+        finalized: &mut Option<(Metadata, Severity)>,
+        info: &mut SalvageInfo,
+        rowbuf: &mut Vec<f64>,
+    ) -> Result<SalvageStep, XmlError> {
+        let at = self.lexer.position();
+        match self.next_required("cube")? {
+            ev @ XmlEvent::StartTag { .. } => {
+                let open = self.reopen(ev)?;
+                match open.attrs.tag {
+                    "provenance" if sections.provenance.is_none() => {
+                        sections.provenance = Some(self.parse_provenance(open)?);
+                    }
+                    "metrics" if !sections.metrics_seen => {
+                        sections.metrics_seen = true;
+                        self.parse_metrics(open, sections)?;
+                    }
+                    "program" if !sections.program_seen => {
+                        sections.program_seen = true;
+                        self.parse_program(open, sections)?;
+                    }
+                    "system" if !sections.system_seen => {
+                        sections.system_seen = true;
+                        self.parse_system(open, sections)?;
+                    }
+                    "topologies" if !sections.topologies_seen => {
+                        sections.topologies_seen = true;
+                        self.parse_topologies(open, sections)?;
+                    }
+                    "severity" if !sections.severity_seen => {
+                        if !(sections.metrics_seen && sections.program_seen && sections.system_seen)
+                        {
+                            return Ok(SalvageStep::DomFallback);
+                        }
+                        sections.severity_seen = true;
+                        let (md, mut sev) = finalize_metadata(sections)?;
+                        // Commit the partially-filled buffer *before*
+                        // propagating a mid-severity error: every row
+                        // already copied in is intact.
+                        let res = self.parse_severity_salvage(
+                            open,
+                            &md,
+                            &mut sev,
+                            &mut info.rows_recovered,
+                            rowbuf,
+                        );
+                        *finalized = Some((md, sev));
+                        res?;
+                    }
+                    _ => self.skip_element(open)?,
+                }
+                Ok(SalvageStep::Continue)
+            }
+            XmlEvent::EndTag { name: "cube" } => Ok(SalvageStep::Done),
+            XmlEvent::EndTag { name } => Err(XmlError::malformed(
+                at,
+                format!("<cube> closed by </{name}>"),
+            )),
+            XmlEvent::Text(_)
+            | XmlEvent::CData(_)
+            | XmlEvent::Comment(_)
+            | XmlEvent::Declaration => Ok(SalvageStep::Continue),
+        }
+    }
+
+    /// Severity parsing with per-row atomic commit: each `<row>` is
+    /// parsed into a temporary buffer and only copied into `sev` when
+    /// complete, so a row torn by truncation never half-applies.
+    fn parse_severity_salvage(
+        &mut self,
+        open: Open<'a>,
+        md: &Metadata,
+        sev: &mut Severity,
+        rows: &mut usize,
+        rowbuf: &mut Vec<f64>,
+    ) -> Result<(), XmlError> {
+        let (nm, nc, nt) = md.shape();
+        self.each_child(open, |p, mut matrix| {
+            if matrix.attrs.tag != "matrix" {
+                return p.skip_element(matrix);
+            }
+            let m: u32 = matrix.attrs.parse("metric")?;
+            if m as usize >= nm {
                 return Err(XmlError::value_at(
-                    row_at,
-                    format!(
-                        "row (metric {m}, cnode {c}) has more than {} values",
-                        dest.len()
-                    ),
+                    matrix.attrs.at,
+                    format!("matrix metric id {m} out of range"),
                 ));
             }
-            dest[i] = match parse_f64_fixed(tok) {
-                Some(v) => v,
-                None => tok.parse().map_err(|_| {
-                    XmlError::value_at(
-                        row_at,
-                        format!(
-                            "severity value '{tok}' in row (metric {m}, cnode {c}) is not a number"
-                        ),
-                    )
-                })?,
-            };
-            count += 1;
-        }
-        if count != dest.len() {
+            p.each_child(matrix, |p, mut row| {
+                if row.attrs.tag != "row" {
+                    return p.skip_element(row);
+                }
+                let c: u32 = row.attrs.parse("cnode")?;
+                if c as usize >= nc {
+                    return Err(XmlError::value_at(
+                        row.attrs.at,
+                        format!("row cnode id {c} out of range"),
+                    ));
+                }
+                let row_at = row.attrs.at;
+                let first = p.gather_row_text(row)?;
+                rowbuf.clear();
+                rowbuf.resize(nt, 0.0);
+                {
+                    let text: &str = match &first {
+                        Some(f) => f,
+                        None => &p.scratch,
+                    };
+                    parse_row_values(text, rowbuf, m, c, row_at)?;
+                }
+                sev.row_mut(MetricId::new(m), CallNodeId::new(c))
+                    .copy_from_slice(rowbuf);
+                *rows += 1;
+                Ok(())
+            })
+        })
+    }
+}
+
+/// Outcome of one [`Parser::salvage_step`].
+enum SalvageStep {
+    Continue,
+    Done,
+    DomFallback,
+}
+
+/// Parses a row's whitespace-separated numbers into `dest`, requiring
+/// exactly `dest.len()` values.
+fn parse_row_values(
+    text: &str,
+    dest: &mut [f64],
+    m: u32,
+    c: u32,
+    row_at: Position,
+) -> Result<(), XmlError> {
+    let mut count = 0usize;
+    for (i, tok) in text.split_ascii_whitespace().enumerate() {
+        if i >= dest.len() {
             return Err(XmlError::value_at(
                 row_at,
                 format!(
-                    "row (metric {m}, cnode {c}) has {count} values, expected {}",
+                    "row (metric {m}, cnode {c}) has more than {} values",
                     dest.len()
                 ),
             ));
         }
-        Ok(())
+        dest[i] = match parse_f64_fixed(tok) {
+            Some(v) => v,
+            None => tok.parse().map_err(|_| {
+                XmlError::value_at(
+                    row_at,
+                    format!(
+                        "severity value '{tok}' in row (metric {m}, cnode {c}) is not a number"
+                    ),
+                )
+            })?,
+        };
+        count += 1;
     }
+    if count != dest.len() {
+        return Err(XmlError::value_at(
+            row_at,
+            format!(
+                "row (metric {m}, cnode {c}) has {count} values, expected {}",
+                dest.len()
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Fast exact parse for plain fixed-notation tokens — an optional
@@ -1113,5 +1540,150 @@ mod tests {
             read_streaming(xml),
             Err(XmlError::Malformed { .. })
         ));
+    }
+
+    fn sample_doc() -> String {
+        use cube_model::{ExperimentBuilder, Unit};
+        let mut b = ExperimentBuilder::new("salvage sample");
+        let time = b.def_metric("time", Unit::Seconds, "", None);
+        let visits = b.def_metric("visits", Unit::Occurrences, "", None);
+        let m = b.def_module("a.c", "/a.c");
+        let r = b.def_region("main", m, cube_model::RegionKind::Function, 1, 9);
+        let cs = b.def_call_site("a.c", 1, r);
+        let root = b.def_call_node(cs, None);
+        let cs2 = b.def_call_site("a.c", 3, r);
+        let inner = b.def_call_node(cs2, Some(root));
+        let ts = cube_model::builder::single_threaded_system(&mut b, 2);
+        for (i, &t) in ts.iter().enumerate() {
+            b.set_severity(time, root, t, 1.5 + i as f64);
+            b.set_severity(time, inner, t, 0.5);
+            b.set_severity(visits, inner, t, 3.0);
+        }
+        crate::format::write_experiment(&b.build().unwrap())
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let xml = "<cube><a><b><c><d><e/></d></c></b></a><metrics/><program/><system/></cube>";
+        let limits = ReadLimits {
+            max_depth: 3,
+            ..ReadLimits::default()
+        };
+        let err = read_streaming_limited(xml, limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                XmlError::Limit {
+                    kind: LimitKind::Depth,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // The same document passes with the default limits.
+        assert!(matches!(read_streaming(xml), Err(XmlError::Model(_))));
+    }
+
+    #[test]
+    fn entity_limit_is_enforced() {
+        let doc = sample_doc();
+        let limits = ReadLimits {
+            max_entities: 1,
+            ..ReadLimits::default()
+        };
+        let err = read_streaming_limited(&doc, limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                XmlError::Limit {
+                    kind: LimitKind::Entities,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn input_size_limit_is_enforced() {
+        let doc = sample_doc();
+        let limits = ReadLimits {
+            max_input_bytes: 16,
+            ..ReadLimits::default()
+        };
+        let err = read_streaming_limited(&doc, limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                XmlError::Limit {
+                    kind: LimitKind::InputBytes,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn row_byte_limit_is_enforced() {
+        let doc = sample_doc();
+        let limits = ReadLimits {
+            max_row_bytes: 2,
+            ..ReadLimits::default()
+        };
+        let err = read_streaming_limited(&doc, limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                XmlError::Limit {
+                    kind: LimitKind::RowBytes,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(read_streaming(&doc).unwrap().is_some());
+    }
+
+    #[test]
+    fn salvage_of_intact_document_is_lossless() {
+        let doc = sample_doc();
+        let (md, sev, _prov, info) = read_streaming_salvage(&doc, ReadLimits::default())
+            .unwrap()
+            .unwrap();
+        assert!(info.loss.is_none(), "{info:?}");
+        assert!(info.rows_recovered > 0);
+        let strict = read_streaming(&doc).unwrap().unwrap();
+        assert_eq!(md, *strict.metadata());
+        assert_eq!(sev.values(), strict.severity().values());
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_document() {
+        let doc = sample_doc();
+        // Cut inside the last <row>: metadata and the earlier rows must
+        // survive, the torn row must not half-apply.
+        let cut = doc.rfind("<row").unwrap() + 6;
+        let (md, sev, _prov, info) = read_streaming_salvage(&doc[..cut], ReadLimits::default())
+            .unwrap()
+            .unwrap();
+        assert!(info.loss.is_some(), "{info:?}");
+        let strict = read_streaming(&doc).unwrap().unwrap();
+        assert_eq!(md, *strict.metadata());
+        // Every recovered value is either the original or zero.
+        let full = strict.severity().values();
+        let got = sev.values();
+        assert_eq!(got.len(), full.len());
+        for (g, f) in got.iter().zip(full) {
+            assert!(*g == *f || *g == 0.0, "recovered {g}, original {f}");
+        }
+        assert!(info.rows_recovered >= 1);
+    }
+
+    #[test]
+    fn salvage_without_complete_metadata_is_fatal() {
+        let doc = sample_doc();
+        let cut = doc.find("<system>").unwrap() + 10;
+        assert!(read_streaming_salvage(&doc[..cut], ReadLimits::default()).is_err());
     }
 }

@@ -149,6 +149,11 @@ impl<W: io::Write> CubeWriter<W> {
                 }
                 self.close(1, "provenance")
             }
+            Provenance::Recovered { source, note } => self.empty(
+                1,
+                "provenance",
+                &[("kind", "recovered"), ("label", source), ("note", note)],
+            ),
         }
     }
 
@@ -478,7 +483,24 @@ mod tests {
         let e = tiny();
         assert!(matches!(
             CubeWriter::new(Fail).write(&e),
-            Err(XmlError::Io(_))
+            Err(XmlError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn recovered_provenance_writes_and_reads_back() {
+        let mut e = tiny();
+        e.set_provenance(Provenance::recovered(
+            "run 1",
+            "damaged at 3:1; 0 rows recovered",
+        ));
+        let out = CubeWriter::new(Vec::new()).write(&e).unwrap();
+        let xml = String::from_utf8(out).unwrap();
+        assert!(xml.contains("kind=\"recovered\""), "{xml}");
+        assert_eq!(xml, crate::format::write_experiment_dom(&e));
+        let back = crate::format::read_experiment(&xml).unwrap();
+        assert_eq!(back.provenance(), e.provenance());
+        let dom_back = crate::format::read_experiment_dom(&xml).unwrap();
+        assert_eq!(dom_back.provenance(), e.provenance());
     }
 }

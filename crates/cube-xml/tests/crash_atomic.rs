@@ -1,0 +1,146 @@
+//! Crash injection for the atomic write path.
+//!
+//! A child process (this test binary re-executed with a marker
+//! environment variable) writes a large experiment to a target file in
+//! a tight loop; the parent kills it after a randomized delay and then
+//! checks the target. The durability contract of
+//! [`write_experiment_file`]: at every instant the target is either
+//! the previous complete file or the new complete file — never a torn
+//! intermediate — because the write goes to a same-directory temp file
+//! that is fsynced and renamed over the target.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use cube_model::builder::single_threaded_system;
+use cube_model::{Experiment, ExperimentBuilder, RegionKind, Unit};
+use cube_xml::{read_experiment, write_experiment_file};
+
+const CHILD_ENV: &str = "CUBE_CRASH_WRITER_TARGET";
+
+/// Deterministic LCG for the kill delays (reproducible schedule).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A few-megabyte experiment so a single write takes long enough that
+/// kills land mid-write with high probability.
+fn large_experiment() -> Experiment {
+    let mut b = ExperimentBuilder::new("crash target");
+    let time = b.def_metric("time", Unit::Seconds, "", None);
+    let visits = b.def_metric("visits", Unit::Occurrences, "", None);
+    let m = b.def_module("main.c", "/src/main.c");
+    let mut parent = None;
+    let mut calls = Vec::new();
+    for i in 0..200 {
+        let r = b.def_region(format!("f{i}"), m, RegionKind::Function, 1, 2);
+        let cs = b.def_call_site("main.c", i as u32 + 1, r);
+        let c = b.def_call_node(cs, parent);
+        parent = Some(c);
+        calls.push(c);
+    }
+    let ts = single_threaded_system(&mut b, 64);
+    for (ci, &c) in calls.iter().enumerate() {
+        for (ti, &t) in ts.iter().enumerate() {
+            b.set_severity(time, c, t, (ci * 64 + ti) as f64 * 0.5);
+            b.set_severity(visits, c, t, 1.0);
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Child mode: loop-write the experiment to the target until killed.
+fn run_child(target: &str) -> ! {
+    let exp = large_experiment();
+    loop {
+        // Failures are expected once the parent starts killing us
+        // mid-syscall on some platforms; only tearing would be a bug,
+        // and the parent checks for that.
+        let _ = write_experiment_file(&exp, target);
+    }
+}
+
+#[test]
+fn killing_the_writer_never_tears_the_target() {
+    if let Ok(target) = std::env::var(CHILD_ENV) {
+        run_child(&target);
+    }
+
+    let dir = std::env::temp_dir().join(format!("cube_crash_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let target: PathBuf = dir.join("victim.cube");
+
+    // Seed the target with a *different* valid experiment so "old
+    // complete file" and "new complete file" are distinguishable.
+    let mut b = ExperimentBuilder::new("previous generation");
+    let t = b.def_metric("time", Unit::Seconds, "", None);
+    let m = b.def_module("a.c", "/a.c");
+    let r = b.def_region("main", m, RegionKind::Function, 1, 1);
+    let cs = b.def_call_site("a.c", 1, r);
+    let root = b.def_call_node(cs, None);
+    let ts = single_threaded_system(&mut b, 1);
+    b.set_severity(t, root, ts[0], 42.0);
+    let seed = b.build().unwrap();
+    write_experiment_file(&seed, &target).unwrap();
+    let seed_bytes = std::fs::read(&target).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut rng = Lcg(0xc4a5_4b17);
+
+    for round in 0..6 {
+        let mut child = Command::new(&exe)
+            .arg("--exact")
+            .arg("killing_the_writer_never_tears_the_target")
+            .env(CHILD_ENV, &target)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5 + rng.next() % 120));
+        child.kill().unwrap();
+        child.wait().unwrap();
+
+        let bytes = std::fs::read(&target).unwrap();
+        if bytes != seed_bytes {
+            // Not the old file, so it must be a *new complete* file:
+            // the target only ever changes by an atomic rename of a
+            // fully written, fsynced, checksummed temp — a kill can
+            // therefore never expose a torn intermediate.
+            let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+                panic!("round {round}: target is not valid UTF-8 — torn write")
+            });
+            assert!(
+                text.contains("cube:crc32"),
+                "round {round}: replaced target lacks the checksum footer"
+            );
+            read_experiment(&text)
+                .unwrap_or_else(|e| panic!("round {round}: target is unreadable after kill: {e}"));
+        }
+
+        // A SIGKILLed writer cannot unlink its in-flight temp file;
+        // what matters is that every leftover *is* a temp file (the
+        // documented `.NAME.tmp.PID` convention) and the target is
+        // never one of them. Clean them like a crash-recovery sweep.
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name != "victim.cube" {
+                assert!(
+                    name.starts_with(".victim.cube.tmp."),
+                    "round {round}: unexpected stray file {name}"
+                );
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,7 @@
 //! valid document — reproducible without any external fuzzing engine.
 
 use cube_model::{ExperimentBuilder, RegionKind, Unit};
-use cube_xml::{lint_str, write_experiment};
+use cube_xml::{lint_str, read_experiment_salvage, write_experiment};
 
 /// Minimal linear congruential generator (Numerical Recipes constants);
 /// deterministic so every failure is a stable regression test.
@@ -113,5 +113,84 @@ fn truncation_at_every_char_boundary_never_panics() {
         let report = lint_str(&doc[..i]);
         // An empty prefix is "no document"; everything else must lint.
         let _ = report.is_clean();
+    }
+}
+
+/// The salvage reader's contract over the whole truncation space: it
+/// never panics, and whenever it does recover an experiment, that
+/// prefix experiment is lint-clean — salvage must not manufacture
+/// inconsistent metadata or severity.
+#[test]
+fn salvage_at_every_truncation_point_never_panics_and_recovers_clean_prefixes() {
+    let doc = seed_document();
+    let mut recovered = 0usize;
+    for (i, _) in doc.char_indices() {
+        // Before the metadata completes, salvage is fatal — only the
+        // Ok cases carry obligations.
+        if let Ok((exp, report)) = read_experiment_salvage(&doc[..i]) {
+            recovered += 1;
+            exp.validate().unwrap_or_else(|e| {
+                panic!("salvage at byte {i} returned an invalid experiment: {e}")
+            });
+            let relint = exp.lint();
+            assert!(
+                relint.num_errors() == 0,
+                "salvage at byte {i} is not lint-clean: {relint}"
+            );
+            // A "complete" claim must coincide with the strict reader
+            // accepting the same bytes (e.g. a cut that only dropped
+            // trailing whitespace).
+            if report.complete {
+                assert!(
+                    cube_xml::read_experiment(&doc[..i]).is_ok(),
+                    "byte {i} claimed complete but the strict reader refuses it"
+                );
+            }
+        }
+    }
+    // The metadata of the seed completes well before the end, so a
+    // healthy share of truncation points must be recoverable.
+    assert!(recovered > 0, "no truncation point was recoverable");
+    // The untruncated document is a complete, lossless recovery.
+    let (full, report) = read_experiment_salvage(&doc).unwrap();
+    assert!(report.complete);
+    assert!(full.provenance().is_original());
+}
+
+/// Salvage under the byte-mutation fuzzer: arbitrary corruption may be
+/// unrecoverable, but it must never panic, and recovered experiments
+/// must always validate.
+#[test]
+fn mutated_documents_never_panic_the_salvage_reader() {
+    let seed_doc = seed_document();
+    let bytes = seed_doc.as_bytes();
+    let mut rng = Lcg(0xdead_50f7);
+    for _ in 0..400 {
+        let mut cur = bytes.to_vec();
+        for _ in 0..=rng.below(3) {
+            match rng.below(4) {
+                0 => {
+                    if !cur.is_empty() {
+                        let i = rng.below(cur.len());
+                        cur[i] = b' ' + (rng.below(94) as u8);
+                    }
+                }
+                1 => cur.truncate(rng.below(cur.len())),
+                2 => {
+                    let i = rng.below(cur.len());
+                    let frag = SPLICES[rng.below(SPLICES.len())];
+                    cur.splice(i..i, frag.bytes());
+                }
+                _ => {
+                    let i = rng.below(cur.len());
+                    let j = (i + 1 + rng.below(24)).min(cur.len());
+                    cur.drain(i..j);
+                }
+            }
+        }
+        let input = String::from_utf8_lossy(&cur).into_owned();
+        if let Ok((exp, _report)) = read_experiment_salvage(&input) {
+            exp.validate().expect("salvaged experiment must validate");
+        }
     }
 }
