@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint fmt fmt-check clippy doc bench-xml bench-batch
+.PHONY: verify build test lint fmt fmt-check clippy doc bench-xml bench-batch bench-json
 
 ## The full gate: build, tests, formatting, lints, doc rot.
 verify: build test fmt-check clippy doc
@@ -35,3 +35,15 @@ bench-xml:
 ## Batch-vs-pairwise n-ary reduction scaling (see EXPERIMENTS.md).
 bench-batch:
 	$(CARGO) bench -p cube-bench --bench batch_reduce
+
+## Measurement session for the CI perf gate: runs the tracked benches
+## (batch reduction, XML round-trip, parallel kernels incl. the
+## thread-scaling sweep) with the raw BENCH_JSON sink, then assembles
+## the BENCH_5.json metrics document at the repo root. ci/bench_gate.sh
+## compares it against the committed ci/bench_baseline.json.
+bench-json:
+	rm -f target/bench_raw.tsv
+	BENCH_JSON=$(CURDIR)/target/bench_raw.tsv $(CARGO) bench -p cube-bench \
+		--bench batch_reduce --bench xml_roundtrip --bench par_elementwise
+	$(CARGO) run -q -p cube-bench --bin bench_gate -- \
+		assemble BENCH_5.json target/bench_raw.tsv

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI perf-regression gate.
+#
+# Runs the tracked benchmark set in JSON mode (`make bench-json`, which
+# writes BENCH_5.json at the repo root) and fails when any tracked
+# metric is more than 15% slower than the committed baseline in
+# ci/bench_baseline.json, or has disappeared from the run.
+#
+# The baseline is a measurement on one reference machine, not a law of
+# nature: after an intentional performance change (or a hardware move),
+# re-baseline with
+#
+#     make bench-json && cp BENCH_5.json ci/bench_baseline.json
+#
+# and commit both files with a note on what moved and why. Never
+# re-baseline to silence a regression you cannot explain.
+set -eu
+cd "$(dirname "$0")/.."
+
+make bench-json
+
+cargo run -q -p cube-bench --bin bench_gate -- \
+  compare BENCH_5.json ci/bench_baseline.json --max-regression 0.15

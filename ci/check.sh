@@ -18,7 +18,9 @@ echo "== tier-1: cargo test -q"
 cargo test -q
 
 echo "== workspace tests"
-cargo test --workspace -q
+# The tier-1 step above already ran the umbrella crate (the root
+# package); exclude it here so its integration suites don't run twice.
+cargo test --workspace --exclude cube-suite -q
 
 echo "== hygiene: fmt, clippy -D warnings, doc -D warnings"
 make fmt-check clippy doc
@@ -92,5 +94,66 @@ done
 
 echo "== recovery gate: intact files repair with exit 0"
 ./target/release/cube repair tests/fixtures/valid/full.cube "$lint_tmp/intact.cube"
+
+echo "== recovery gate: salvage is unchanged under a busy worker pool"
+# The salvage path shares the pool with everything else; repairs must
+# produce the same prefixes whether the pool has 1 worker or 8.
+CUBE_THREADS=8 cargo test -q --test recovery_corpus
+
+echo "== determinism gate: derived files are thread-count-independent"
+# Generate a corpus large enough to cross the parallel threshold
+# (153,600 severity values per file), evaluate the three pipeline
+# operations at 1, 2, and 8 threads, and require byte-identical
+# outputs. This is the end-to-end check behind the facade's
+# "results never depend on the pool size" contract.
+cargo build --release -q -p cube-bench --bins
+det="$lint_tmp/det"
+./target/release/gen_corpus "$det/corpus" 6 >/dev/null
+for t in 1 2 8; do
+    ./target/release/cube --threads "$t" stats "$det/mean.t$t.cube" \
+        "$det"/corpus/*.cube --op mean >/dev/null
+    ./target/release/cube --threads "$t" diff \
+        "$det/corpus/run0.cube" "$det/corpus/run1.cube" \
+        -o "$det/diff.t$t.cube" >/dev/null
+    ./target/release/cube --threads "$t" merge \
+        "$det/corpus/run0.cube" "$det/corpus/run1.cube" \
+        -o "$det/merge.t$t.cube" >/dev/null
+done
+for op in mean diff merge; do
+    for t in 2 8; do
+        if ! cmp "$det/$op.t1.cube" "$det/$op.t$t.cube"; then
+            echo "cube $op output differs between --threads 1 and --threads $t" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "== speedup gate: stats --op mean, 4 threads vs 1"
+# Wall-clock acceptance check; only meaningful with real cores to
+# spread over, so skip (with a note) on smaller machines.
+if [ "$(nproc)" -ge 4 ]; then
+    best_ns() {
+        best=""
+        for _ in 1 2 3; do
+            start=$(date +%s%N)
+            ./target/release/cube --threads "$1" stats "$det/speed.cube" \
+                "$det"/corpus/*.cube --op mean >/dev/null
+            end=$(date +%s%N)
+            ns=$((end - start))
+            if [ -z "$best" ] || [ "$ns" -lt "$best" ]; then best=$ns; fi
+        done
+        echo "$best"
+    }
+    best_ns 1 >/dev/null # warm the page cache
+    t1=$(best_ns 1)
+    t4=$(best_ns 4)
+    echo "stats --op mean: ${t1} ns at 1 thread, ${t4} ns at 4 threads"
+    if ! awk "BEGIN{exit !($t1 >= 2.0 * $t4)}"; then
+        echo "speedup gate failed: expected >=2x at 4 threads" >&2
+        exit 1
+    fi
+else
+    echo "skipped: $(nproc) core(s) < 4 (needs real parallelism to measure)"
+fi
 
 echo "== ci/check.sh: all green"

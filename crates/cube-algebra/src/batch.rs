@@ -529,9 +529,13 @@ impl<'a> BatchPlan<'a> {
             }
             Expr::Reduce(r, idxs) => self.reduce_values(*r, idxs),
             Expr::Diff(a, b) => {
-                let mut x = self.eval_values(a)?;
-                let y = self.eval_values(b)?;
-                zip_sub(&mut x, &y);
+                // The two sides are independent whole-plan evaluations
+                // (e.g. `diff(mean(A…), mean(B…))`), so fork them; each
+                // side's own kernels are deterministic, and the results
+                // land positionally, so the fork cannot change values.
+                let (x, y) = rayon::join(|| self.eval_values(a), || self.eval_values(b));
+                let mut x = x?;
+                zip_sub(&mut x, &y?);
                 Ok(x)
             }
             Expr::Scale(inner, factor) => {

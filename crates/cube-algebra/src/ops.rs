@@ -88,8 +88,12 @@ pub fn diff_with(
 ) -> Experiment {
     let integrated = integrate(&[minuend, subtrahend], options);
     let shape = integrated.metadata.shape();
-    let mut a = extend_severity(minuend, &integrated.maps[0], shape);
-    let b = extend_severity(subtrahend, &integrated.maps[1], shape);
+    // The two zero-extensions touch disjoint data; fork them. Each is
+    // computed exactly as before, so values cannot change.
+    let (mut a, b) = rayon::join(
+        || extend_severity(minuend, &integrated.maps[0], shape),
+        || extend_severity(subtrahend, &integrated.maps[1], shape),
+    );
     zip_in_place(a.values_mut(), b.values(), |x, y| x - y);
     let result = Experiment::new_unchecked(
         integrated.metadata,
@@ -145,8 +149,11 @@ pub fn merge(first: &Experiment, second: &Experiment) -> Experiment {
 pub fn merge_with(first: &Experiment, second: &Experiment, options: MergeOptions) -> Experiment {
     let integrated = integrate(&[first, second], options);
     let shape = integrated.metadata.shape();
-    let a = extend_severity(first, &integrated.maps[0], shape);
-    let b = extend_severity(second, &integrated.maps[1], shape);
+    // Independent zero-extensions, forked as in `diff_with`.
+    let (a, b) = rayon::join(
+        || extend_severity(first, &integrated.maps[0], shape),
+        || extend_severity(second, &integrated.maps[1], shape),
+    );
 
     // Which result metrics does the first operand provide?
     let mut provided_by_first = vec![false; shape.0];

@@ -63,5 +63,52 @@ fn bench_operator_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_operator_path);
+/// Thread-count scaling of the parallel kernels: the same `mean` and
+/// element-wise subtraction workloads timed with the worker pool pinned
+/// to 1, 2, 4, and 8 threads (`rayon::set_threads`, the facade behind
+/// `cube --threads N`). Results are byte-identical across the sweep —
+/// only the wall clock moves — so this group is the EXPERIMENTS.md
+/// scaling table and the data behind the CI speedup check.
+fn bench_pool_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_scaling");
+    // The largest metadata_merge shape: 12 × 800 × 16 = 153,600
+    // elements per operand, comfortably above the parallel threshold.
+    let shape = SyntheticShape {
+        metrics: 12,
+        call_nodes: 800,
+        threads: 16,
+    };
+    let runs: Vec<cube_model::Experiment> =
+        (0..8u64).map(|i| synthetic_experiment(shape, i)).collect();
+    let refs: Vec<&cube_model::Experiment> = runs.iter().collect();
+    let elems = (shape.metrics * shape.call_nodes * shape.threads) as u64;
+    for t in [1usize, 2, 4, 8] {
+        rayon::set_threads(t);
+        group.throughput(Throughput::Elements(elems));
+        group.bench_with_input(BenchmarkId::new("mean", t), &t, |bench, _| {
+            bench.iter(|| ops::mean(black_box(&refs)).unwrap())
+        });
+        let a: Vec<f64> = (0..1usize << 20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1usize << 20).map(|i| (i * 7 % 13) as f64).collect();
+        group.throughput(Throughput::Elements(1 << 20));
+        group.bench_with_input(BenchmarkId::new("sub_1m", t), &t, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                dst.par_iter_mut()
+                    .zip(b.par_iter())
+                    .for_each(|(d, s)| *d -= *s);
+                black_box(dst)
+            })
+        });
+    }
+    rayon::set_threads(1);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_operator_path,
+    bench_pool_scaling
+);
 criterion_main!(benches);

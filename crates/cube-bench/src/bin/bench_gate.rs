@@ -1,0 +1,228 @@
+//! Assembles and compares the benchmark metrics document behind the CI
+//! perf-regression gate (`ci/bench_gate.sh`).
+//!
+//! ```text
+//! bench_gate assemble OUT.json RAW.tsv [RAW.tsv ...]
+//! bench_gate compare CURRENT.json BASELINE.json [--max-regression 0.15]
+//! ```
+//!
+//! `assemble` turns the raw `group/bench\tnanoseconds` lines appended
+//! by the criterion harness (`BENCH_JSON=file cargo bench ...`) into a
+//! sorted metrics document:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "metrics": {
+//!     "batch_mean/batch/16": 123456
+//!   }
+//! }
+//! ```
+//!
+//! `compare` checks every baseline metric against the current run and
+//! fails when any is slower than `baseline × (1 + max-regression)` or
+//! missing entirely. Faster-than-baseline results always pass; commit a
+//! fresh document (`cp BENCH_5.json ci/bench_baseline.json`) to
+//! re-baseline after intentional performance changes.
+//!
+//! Exit codes: 0 = within budget, 1 = regression or missing metric,
+//! 2 = usage or parse error. The document format is produced and
+//! consumed only by this tool, so the parser is a small line-based
+//! scanner rather than a JSON dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        Some((cmd, rest)) if cmd == "assemble" => assemble(rest),
+        Some((cmd, rest)) if cmd == "compare" => compare(rest),
+        _ => {
+            eprintln!(
+                "usage: bench_gate assemble OUT.json RAW.tsv [RAW.tsv ...]\n\
+                 \x20      bench_gate compare CURRENT.json BASELINE.json [--max-regression R]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Reads raw `name\tns` lines into a sorted map; on duplicate names the
+/// last measurement wins (a rerun within one session supersedes).
+fn read_raw(path: &str, metrics: &mut BTreeMap<String, u64>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = line
+            .split_once('\t')
+            .and_then(|(name, ns)| ns.trim().parse::<u64>().ok().map(|ns| (name, ns)));
+        match parsed {
+            Some((name, ns)) => {
+                metrics.insert(name.to_string(), ns);
+            }
+            None => {
+                return Err(format!(
+                    "{path}:{}: expected 'name\\tnanoseconds', got '{line}'",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn assemble(args: &[String]) -> i32 {
+    let Some((out, raws)) = args.split_first() else {
+        eprintln!("bench_gate assemble: missing OUT.json");
+        return 2;
+    };
+    if raws.is_empty() {
+        eprintln!("bench_gate assemble: missing RAW.tsv inputs");
+        return 2;
+    }
+    let mut metrics = BTreeMap::new();
+    for raw in raws {
+        if let Err(e) = read_raw(raw, &mut metrics) {
+            eprintln!("bench_gate assemble: {e}");
+            return 2;
+        }
+    }
+    if metrics.is_empty() {
+        eprintln!("bench_gate assemble: no measurements in {raws:?}");
+        return 2;
+    }
+    let mut doc = String::from("{\n  \"schema\": 1,\n  \"metrics\": {\n");
+    for (i, (name, ns)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(doc, "    \"{name}\": {ns}{comma}");
+    }
+    doc.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(out, doc) {
+        eprintln!("bench_gate assemble: cannot write {out}: {e}");
+        return 2;
+    }
+    println!("wrote {out}: {} metrics", metrics.len());
+    0
+}
+
+/// Parses a metrics document produced by [`assemble`]: scans for
+/// `"name": value` member lines inside the `metrics` object.
+fn parse_doc(path: &str) -> Result<BTreeMap<String, u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !text.contains("\"schema\": 1") {
+        return Err(format!("{path}: missing '\"schema\": 1' marker"));
+    }
+    let mut metrics = BTreeMap::new();
+    let mut in_metrics = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("\"metrics\"") {
+            in_metrics = true;
+            continue;
+        }
+        if !in_metrics {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        let member = line
+            .strip_prefix('"')
+            .and_then(|rest| rest.split_once("\": "))
+            .and_then(|(name, value)| {
+                value
+                    .trim_end_matches(',')
+                    .parse::<u64>()
+                    .ok()
+                    .map(|ns| (name, ns))
+            });
+        match member {
+            Some((name, ns)) => {
+                metrics.insert(name.to_string(), ns);
+            }
+            None => return Err(format!("{path}: unparseable metric line '{line}'")),
+        }
+    }
+    if metrics.is_empty() {
+        return Err(format!("{path}: no metrics found"));
+    }
+    Ok(metrics)
+}
+
+fn compare(args: &[String]) -> i32 {
+    let mut paths = Vec::new();
+    let mut max_regression = 0.15f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regression" {
+            let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("bench_gate compare: bad --max-regression value");
+                return 2;
+            };
+            max_regression = v;
+        } else {
+            paths.push(a.as_str());
+        }
+    }
+    let &[current_path, baseline_path] = paths.as_slice() else {
+        eprintln!("bench_gate compare: need CURRENT.json and BASELINE.json");
+        return 2;
+    };
+    let (current, baseline) = match (parse_doc(current_path), parse_doc(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate compare: {e}");
+            return 2;
+        }
+    };
+    let mut failures = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict (budget +{:.0}%)",
+        "metric",
+        "baseline",
+        "current",
+        "ratio",
+        max_regression * 100.0
+    );
+    for (name, &base_ns) in &baseline {
+        match current.get(name) {
+            None => {
+                println!("{name:<44} {base_ns:>12} {:>12} {:>8}  MISSING", "-", "-");
+                failures += 1;
+            }
+            Some(&cur_ns) => {
+                let ratio = cur_ns as f64 / base_ns.max(1) as f64;
+                let regressed = ratio > 1.0 + max_regression;
+                println!(
+                    "{name:<44} {base_ns:>12} {cur_ns:>12} {ratio:>7.2}x  {}",
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+                failures += usize::from(regressed);
+            }
+        }
+    }
+    for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!(
+            "{name:<44} {:>12} {:>12} {:>8}  new (untracked)",
+            "-", "-", "-"
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} metric(s) regressed beyond {:.0}% or went missing \
+             (re-baseline intentional changes: cp BENCH_5.json ci/bench_baseline.json)",
+            max_regression * 100.0
+        );
+        1
+    } else {
+        println!(
+            "bench_gate: all {} tracked metrics within budget",
+            baseline.len()
+        );
+        0
+    }
+}

@@ -1,0 +1,51 @@
+//! Generates the synthetic `.cube` corpus used by the CI determinism
+//! gate (`ci/check.sh`).
+//!
+//! ```text
+//! gen_corpus OUTDIR [COUNT]
+//! ```
+//!
+//! Writes `COUNT` (default 6) dense experiments with shared metadata at
+//! the largest `metadata_merge` bench shape — 12 metrics × 800 call
+//! nodes × 16 threads = 153,600 severity values per file, above the
+//! operators' parallel threshold — so `cube stats`/`diff`/`merge` over
+//! the corpus actually exercise the worker pool. Values are seeded by
+//! file index: the corpus is bit-identical on every run.
+
+use cube_bench::{synthetic_experiment, SyntheticShape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(outdir) = args.first() else {
+        eprintln!("usage: gen_corpus OUTDIR [COUNT]");
+        std::process::exit(2);
+    };
+    let count: usize = match args.get(1) {
+        None => 6,
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("gen_corpus: COUNT must be a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Err(e) = std::fs::create_dir_all(outdir) {
+        eprintln!("gen_corpus: cannot create {outdir}: {e}");
+        std::process::exit(2);
+    }
+    let shape = SyntheticShape {
+        metrics: 12,
+        call_nodes: 800,
+        threads: 16,
+    };
+    for i in 0..count {
+        let exp = synthetic_experiment(shape, i as u64);
+        let path = format!("{outdir}/run{i}.cube");
+        if let Err(e) = cube_xml::write_experiment_file(&exp, &path) {
+            eprintln!("gen_corpus: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("{path}");
+    }
+}

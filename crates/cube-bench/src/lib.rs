@@ -10,10 +10,16 @@
 //! | `fig3_merge_integration` | Figure 3 — merge of EXPERT + two CONE event sets |
 //! | `tab_speedup_series` | §5.1 — two series of ten runs, min; ≈ 16 % speedup |
 //!
+//! Plus two CI support binaries: `gen_corpus` (deterministic `.cube`
+//! corpus for the thread-count determinism gate in `ci/check.sh`) and
+//! `bench_gate` (assembles/compares the `BENCH_5.json` metrics
+//! document for the perf-regression gate in `ci/bench_gate.sh`).
+//!
 //! Benches: `operators` (element-wise phase + fast/slow metadata paths),
 //! `metadata_merge` (structural merge scaling), `xml_roundtrip`,
 //! `trace_analysis` (EXPERT throughput + the per-event counter
-//! trace-size blowup), `par_elementwise` (Rayon ablation).
+//! trace-size blowup), `par_elementwise` (Rayon ablation + the
+//! `pool_scaling` thread-count sweep behind EXPERIMENTS.md).
 
 use cube_model::builder::single_threaded_system;
 use cube_model::{Experiment, ExperimentBuilder, MetricId, RegionKind, Unit};

@@ -38,6 +38,11 @@
 //! skipped with a per-operand summary instead of failing the whole
 //! run, and `mean` renormalizes over the survivors
 //! ([`cube_algebra::FailurePolicy::KeepGoing`]).
+//!
+//! The global `--threads N` flag (valid anywhere on the command line,
+//! also settable via the `CUBE_THREADS` environment variable) sizes the
+//! worker pool used for operand loading and kernel evaluation. Outputs
+//! are byte-identical for every thread count.
 
 pub mod browse;
 
@@ -51,6 +56,7 @@ use cube_display::{BrowserState, NormalizationRef, ProgramView, RenderOptions, V
 use cube_model::aggregate::{metric_total, MetricSelection};
 use cube_model::Experiment;
 use cube_xml::{read_experiment_file, write_experiment_file, XmlError};
+use rayon::prelude::*;
 
 /// Outcome of a CLI invocation: process exit code plus captured stdout.
 #[derive(Debug)]
@@ -70,6 +76,7 @@ fn ok(stdout: String) -> Result<Outcome, String> {
 /// Returns `Err` with a message for usage errors and I/O failures; the
 /// binary prints it to stderr and exits nonzero.
 pub fn run(args: &[String]) -> Result<Outcome, String> {
+    let args = apply_threads_flag(args)?;
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
@@ -96,8 +103,35 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 
 fn usage() -> String {
     "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|repair|view|browse|help> ...\n\
+     global flags: --threads N (pool size; default CUBE_THREADS or all cores)\n\
      see the crate documentation for per-subcommand flags"
         .to_string()
+}
+
+/// Drains the global `--threads N` flag — valid anywhere on the command
+/// line, before or after the subcommand — and retargets the worker pool
+/// before dispatch. Returns the remaining arguments.
+///
+/// The flag wins over the `CUBE_THREADS` / `RAYON_NUM_THREADS`
+/// environment variables ([`rayon::set_threads`]). Results never depend
+/// on the pool size, only wall-clock time does.
+fn apply_threads_flag(args: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it.next().ok_or("missing value after --threads")?;
+            let n: usize = v
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--threads needs a positive integer, got '{v}'"))?;
+            rayon::set_threads(n);
+        } else {
+            out.push(a.clone());
+        }
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -200,9 +234,14 @@ fn store(exp: &Experiment, path: &str) -> Result<(), String> {
 /// their error message instead of failing the whole command. Reasons
 /// use the bare [`XmlError`] rendering — the caller prints them next
 /// to the operand's path.
+///
+/// Operands load on the worker pool; results stay in argument order
+/// (positional collect), so the per-operand `--keep-going` reports are
+/// index-accurate regardless of thread count.
 fn load_partial(paths: &[String]) -> Vec<Result<Experiment, String>> {
     paths
-        .iter()
+        .par_iter()
+        .with_min_len(1)
         .map(|f| read_experiment_file(f).map_err(|e| e.to_string()))
         .collect()
 }
@@ -265,8 +304,9 @@ fn binary_op(args: &[String], which: &str) -> Result<Outcome, String> {
             result.provenance().label()
         ));
     }
-    let a = load(&p.positional[0])?;
-    let b = load(&p.positional[1])?;
+    // The two operands are independent files — fork the loads.
+    let (a, b) = rayon::join(|| load(&p.positional[0]), || load(&p.positional[1]));
+    let (a, b) = (a?, b?);
     let result = match which {
         "diff" => ops::diff_with(&a, &b, opts),
         "merge" => ops::merge_with(&a, &b, opts),
@@ -314,9 +354,12 @@ fn nary_op(args: &[String], which: &str) -> Result<Outcome, String> {
             pe.result.provenance().label()
         ));
     }
+    // Parallel load; the leftmost failure wins, matching the order a
+    // sequential loop would have reported.
     let exps: Vec<Experiment> = p
         .positional
-        .iter()
+        .par_iter()
+        .with_min_len(1)
         .map(|f| load(f))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&Experiment> = exps.iter().collect();
@@ -348,10 +391,18 @@ fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
     }
     let (out, inputs) = p.positional.split_first().expect("len checked above");
     let keep_going = p.flag("--keep-going");
+    // Parallel load, then a sequential classification pass so the
+    // skipped-operand report keeps argument order and the non-degraded
+    // mode reports the leftmost failure, exactly like a serial loop.
+    let loaded: Vec<Result<Experiment, XmlError>> = inputs
+        .par_iter()
+        .with_min_len(1)
+        .map(read_experiment_file)
+        .collect();
     let mut exps: Vec<Option<Experiment>> = Vec::with_capacity(inputs.len());
     let mut skipped: Vec<cube_algebra::OperandError> = Vec::new();
-    for (index, f) in inputs.iter().enumerate() {
-        match read_experiment_file(f) {
+    for (index, (f, r)) in inputs.iter().zip(loaded).enumerate() {
+        match r {
             Ok(e) => exps.push(Some(e)),
             Err(e) if keep_going => {
                 skipped.push(cube_algebra::OperandError {
@@ -1190,6 +1241,28 @@ mod tests {
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn threads_flag_is_global_and_validated() {
+        let prev = rayon::current_num_threads();
+        let a = write_sample("thr_a.cube", 2.0);
+        let b = write_sample("thr_b.cube", 4.0);
+        let out = tmp("thr_out.cube").to_string_lossy().into_owned();
+        // Accepted before or after the subcommand; result is unchanged.
+        let r = run(&args(&["--threads", "2", "mean", &a, &b, "-o", &out])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+        assert_eq!(rayon::current_num_threads(), 2);
+        let r = run(&args(&["mean", &a, &b, "--threads", "1", "-o", &out])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+        assert_eq!(rayon::current_num_threads(), 1);
+        let e = read_experiment_file(&out).unwrap();
+        assert_eq!(e.severity().values(), &[3.0, 3.0, 6.0, 6.0]);
+        // Bad values are usage errors.
+        assert!(run(&args(&["mean", &a, &b, "--threads", "0", "-o", &out])).is_err());
+        assert!(run(&args(&["mean", &a, &b, "--threads", "lots", "-o", &out])).is_err());
+        assert!(run(&args(&["mean", &a, &b, "-o", &out, "--threads"])).is_err());
+        rayon::set_threads(prev);
     }
 
     #[test]

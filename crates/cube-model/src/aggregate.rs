@@ -138,14 +138,25 @@ pub fn call_value(exp: &Experiment, msel: MetricSelection, csel: CallSelection) 
         vec![csel.node]
     };
     let sev = exp.severity();
-    let mut v: f64 = nodes.iter().map(|&c| sev.row_sum(msel.metric, c)).sum();
+    // Parallel over subtree nodes for deep inclusive selections; the
+    // reduction tree is fixed by the node count (never by the thread
+    // count), so the floating-point result is deterministic.
+    let mut v: f64 = subtree_sum(sev, msel.metric, &nodes);
     if msel.exclusive {
         for &child in exp.metadata().metric_children(msel.metric) {
-            let s: f64 = nodes.iter().map(|&c| sev.row_sum(child, c)).sum();
-            v -= s;
+            v -= subtree_sum(sev, child, &nodes);
         }
     }
     v
+}
+
+/// Sum of `row_sum(m, c)` over `nodes`, parallel above 256 nodes.
+fn subtree_sum(sev: &crate::severity::Severity, m: MetricId, nodes: &[CallNodeId]) -> f64 {
+    nodes
+        .par_iter()
+        .with_min_len(256)
+        .map(|&c| sev.row_sum(m, c))
+        .sum()
 }
 
 /// Value at one thread — the number shown next to a thread in the system
@@ -202,10 +213,19 @@ pub fn machine_value(
 /// profile as one trivial call tree per region.
 pub fn flat_profile(exp: &Experiment, msel: MetricSelection) -> Vec<(RegionId, f64)> {
     let md = exp.metadata();
+    // Per-node contributions in parallel (each one is a whole-row
+    // scan), then a sequential accumulation *in call-node order* — the
+    // same fold order as a plain loop, so results are bit-identical to
+    // the serial form for any thread count.
+    let ids: Vec<CallNodeId> = md.call_node_ids().collect();
+    let contributions: Vec<f64> = ids
+        .par_iter()
+        .with_min_len(64)
+        .map(|&c| call_value(exp, msel, CallSelection::exclusive(c)))
+        .collect();
     let mut per_region = vec![0.0f64; md.regions().len()];
-    for c in md.call_node_ids() {
-        let region = md.call_node_callee(c);
-        per_region[region.index()] += call_value(exp, msel, CallSelection::exclusive(c));
+    for (&c, v) in ids.iter().zip(contributions) {
+        per_region[md.call_node_callee(c).index()] += v;
     }
     per_region
         .into_iter()
@@ -226,6 +246,9 @@ pub fn thread_distribution(
     let n = exp.metadata().num_threads();
     (0..n)
         .into_par_iter()
+        // Each item scans a whole call subtree, so split well below the
+        // default leaf size — 64 threads of slack per piece.
+        .with_min_len(64)
         .map(|t| value_at_thread(exp, msel, csel, ThreadId::from_index(t)))
         .collect()
 }

@@ -1,0 +1,712 @@
+//! Splittable parallel iterators with **length-driven** chunking.
+//!
+//! The central invariant: how an input is split into pieces is a pure
+//! function of its *length* (recursive halving down to [`min_len`]),
+//! never of the thread count or of runtime timing. Pieces may execute
+//! on any thread in any order, but element-wise effects are disjoint
+//! and every reduction ([`ParallelIterator::sum`], `collect`) combines
+//! piece results positionally along the same fixed tree — so outputs,
+//! including floating-point sums, are byte-identical whether the pool
+//! runs 1 thread or 64.
+//!
+//! [`min_len`]: ParallelIterator::min_len
+//!
+//! Only the API subset this workspace uses is implemented: slice
+//! `par_iter` / `par_iter_mut` / `par_chunks_mut`, integer-range
+//! `into_par_iter`, the `map` / `zip` / `enumerate` / `with_min_len`
+//! adapters, and the `for_each` / `collect` / `sum` consumers.
+
+/// Pieces smaller than this many items are not split further (unless a
+/// call site overrides it with [`ParallelIterator::with_min_len`]).
+///
+/// The value trades dispatch overhead against parallel slack: at the
+/// workspace's `PAR_THRESHOLD` of 64 Ki elements this still yields
+/// eight leaves, enough to keep 4–8 threads busy.
+pub const DEFAULT_MIN_LEN: usize = 8 * 1024;
+
+/// A finite, splittable, exactly-sized parallel iterator.
+///
+/// Implementors describe *data*; the provided consumers drive it over
+/// the global pool via `join`, splitting by recursive halving until
+/// pieces reach [`ParallelIterator::min_len`] items.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item;
+    /// The sequential iterator a leaf piece collapses into.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the first `index` items and the rest.
+    /// `index` must be `<= self.len()`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Collapses this (leaf) piece into a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Smallest piece the drivers will split down to, in items.
+    fn min_len(&self) -> usize {
+        DEFAULT_MIN_LEN
+    }
+
+    // -- adapters -----------------------------------------------------------
+
+    /// Maps each item through `f` (cloned into each piece when split).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs this iterator with another, truncating to the shorter.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        let n = self.len().min(other.len());
+        Zip {
+            a: truncate(self, n),
+            b: truncate(other, n),
+        }
+    }
+
+    /// Attaches each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: 0,
+            inner: self,
+        }
+    }
+
+    /// Overrides the smallest piece size. Use `1` when each item is
+    /// itself a coarse unit of work (a file read, a whole-array scan).
+    /// The value is part of the call site, so it cannot break the
+    /// determinism guarantee — only shift the overhead/parallelism
+    /// trade-off.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: min.max(1),
+        }
+    }
+
+    // -- consumers ----------------------------------------------------------
+
+    /// Calls `f` on every item, in parallel above the split threshold.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_for_each(self, &f);
+    }
+
+    /// Collects into `C`, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items along the fixed, length-driven reduction tree.
+    ///
+    /// The tree is walked even when the pool is limited to one thread
+    /// (the forks just run inline), so floating-point results never
+    /// depend on the thread count.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive_sum(self)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] by value (integer ranges).
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()`: borrowing parallel iterator over `&T` items.
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// `par_iter_mut()`: borrowing parallel iterator over `&mut T` items.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item;
+    /// Mutably borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+/// `par_chunks_mut()`: parallel iterator over disjoint mutable chunks.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of `chunk_size` (last may be
+    /// shorter), each a coarse parallel item. Panics if `chunk_size`
+    /// is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T>;
+}
+
+/// Types constructible from a parallel iterator ([`Vec`], and
+/// `Result<Vec<T>, E>` with a deterministic *leftmost* error).
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds `Self` from the iterator, preserving item order.
+    fn from_par_iter<P>(iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>;
+}
+
+// ---------------------------------------------------------------------------
+// producers
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    type Seq = std::slice::Iter<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(index);
+        (Self { slice: left }, Self { slice: right })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct SliceIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for SliceIterMut<'data, T> {
+    type Item = &'data mut T;
+    type Seq = std::slice::IterMut<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at_mut(index);
+        (Self { slice: left }, Self { slice: right })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> SliceIterMut<'data, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+///
+/// Items are whole chunks, so the default smallest piece is a *single*
+/// chunk — the chunk size chosen at the call site already sets the
+/// grain.
+pub struct SliceChunksMut<'data, T> {
+    slice: &'data mut [T],
+    chunk: usize,
+}
+
+impl<'data, T: Send> ParallelIterator for SliceChunksMut<'data, T> {
+    type Item = &'data mut [T];
+    type Seq = std::slice::ChunksMut<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk).min(self.slice.len());
+        let (left, right) = self.slice.split_at_mut(elems);
+        (
+            Self {
+                slice: left,
+                chunk: self.chunk,
+            },
+            Self {
+                slice: right,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        SliceChunksMut {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),+) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+    )+};
+}
+
+range_par_iter!(usize, u32, u64, i32, i64);
+
+// ---------------------------------------------------------------------------
+// adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Clone + Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            Self {
+                base: left,
+                f: self.f.clone(),
+            },
+            Self {
+                base: right,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::zip`]. Both sides always hold equal lengths.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+fn truncate<P: ParallelIterator>(iter: P, n: usize) -> P {
+    if iter.len() > n {
+        iter.split_at(n).0
+    } else {
+        iter
+    }
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.a.min_len().max(self.b.min_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Self { a: al, b: bl }, Self { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: usize,
+    inner: P,
+}
+
+impl<P> ParallelIterator for Enumerate<P>
+where
+    P: ParallelIterator,
+{
+    type Item = (usize, P::Item);
+    type Seq = std::iter::Zip<std::ops::Range<usize>, P::Seq>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.inner.split_at(index);
+        (
+            Self {
+                base: self.base,
+                inner: left,
+            },
+            Self {
+                base: self.base + index,
+                inner: right,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        let end = self.base + self.inner.len();
+        (self.base..end).zip(self.inner.into_seq())
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    type Seq = P::Seq;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.min
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            Self {
+                base: left,
+                min: self.min,
+            },
+            Self {
+                base: right,
+                min: self.min,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// drivers
+// ---------------------------------------------------------------------------
+
+fn drive_for_each<P, F>(iter: P, f: &F)
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) + Sync,
+{
+    let len = iter.len();
+    if crate::pool::current_num_threads() <= 1 || len <= iter.min_len().max(1) {
+        iter.into_seq().for_each(f);
+        return;
+    }
+    let (a, b) = iter.split_at(len / 2);
+    crate::pool::join(|| drive_for_each(a, f), || drive_for_each(b, f));
+}
+
+/// Walks the fixed reduction tree unconditionally — no thread-count
+/// check — so floating-point association never varies; `join` itself
+/// collapses to inline calls on a single-thread pool.
+fn drive_sum<P, S>(iter: P) -> S
+where
+    P: ParallelIterator,
+    S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+{
+    let len = iter.len();
+    if len <= iter.min_len().max(1) {
+        return iter.into_seq().sum();
+    }
+    let (a, b) = iter.split_at(len / 2);
+    let (sa, sb) = crate::pool::join(|| drive_sum::<P, S>(a), || drive_sum::<P, S>(b));
+    [sa, sb].into_iter().sum()
+}
+
+fn drive_collect_vec<P>(iter: P, out: &mut Vec<P::Item>)
+where
+    P: ParallelIterator,
+    P::Item: Send,
+{
+    let len = iter.len();
+    if crate::pool::current_num_threads() <= 1 || len <= iter.min_len().max(1) {
+        out.extend(iter.into_seq());
+        return;
+    }
+    let (a, b) = iter.split_at(len / 2);
+    let ((), mut right) = crate::pool::join(
+        || drive_collect_vec(a, out),
+        || {
+            let mut v = Vec::with_capacity(b.len());
+            drive_collect_vec(b, &mut v);
+            v
+        },
+    );
+    out.append(&mut right);
+}
+
+fn drive_try_collect<P, T, E>(iter: P) -> Result<Vec<T>, E>
+where
+    P: ParallelIterator<Item = Result<T, E>>,
+    T: Send,
+    E: Send,
+{
+    let len = iter.len();
+    if crate::pool::current_num_threads() <= 1 || len <= iter.min_len().max(1) {
+        return iter.into_seq().collect();
+    }
+    let (a, b) = iter.split_at(len / 2);
+    let (ra, rb) = crate::pool::join(|| drive_try_collect(a), || drive_try_collect(b));
+    match (ra, rb) {
+        (Ok(mut va), Ok(mut vb)) => {
+            va.append(&mut vb);
+            Ok(va)
+        }
+        // The *leftmost* error wins regardless of which half finished
+        // first, so the failure value is deterministic too.
+        (Err(e), _) | (_, Err(e)) => Err(e),
+    }
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P>(iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>,
+    {
+        let mut out = Vec::with_capacity(iter.len());
+        drive_collect_vec(iter, &mut out);
+        out
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<P>(iter: P) -> Self
+    where
+        P: ParallelIterator<Item = Result<T, E>>,
+    {
+        drive_try_collect(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::test_support::with_threads;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0..10_000u64)
+            .into_par_iter()
+            .with_min_len(16)
+            .map(|x| x * 2)
+            .collect();
+        let expect: Vec<u64> = (0..10_000u64).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zip_truncates_to_the_shorter_side() {
+        let long = [1i64; 100];
+        let short = [2i64; 7];
+        let out: Vec<i64> = long
+            .par_iter()
+            .zip(short.par_iter())
+            .with_min_len(1)
+            .map(|(a, b)| a + b)
+            .collect();
+        assert_eq!(out, vec![3i64; 7]);
+    }
+
+    #[test]
+    fn par_iter_mut_reaches_every_element() {
+        let mut xs = vec![0u32; 50_000];
+        xs.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert!(xs.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn chunks_mut_covers_the_slice_with_correct_indices() {
+        let mut xs = [1, 2, 3, 4, 5];
+        xs.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x += i as i32 * 10));
+        assert_eq!(xs, [1, 2, 13, 14, 25]);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: [f64; 0] = [];
+        let collected: Vec<f64> = empty.par_iter().map(|&x| x).collect();
+        assert!(collected.is_empty());
+        let sum: f64 = empty.par_iter().map(|&x| x).sum();
+        assert_eq!(sum, 0.0);
+        let mut none: Vec<u8> = Vec::new();
+        none.par_iter_mut().for_each(|x| *x += 1);
+        let chunks = none.par_chunks_mut(4).len();
+        assert_eq!(chunks, 0);
+    }
+
+    #[test]
+    fn single_element_inputs_are_fine() {
+        let one = [42.0f64];
+        let collected: Vec<f64> = one.par_iter().map(|&x| x).collect();
+        assert_eq!(collected, vec![42.0]);
+        let sum: f64 = one.par_iter().map(|&x| x).sum();
+        assert_eq!(sum, 42.0);
+    }
+
+    #[test]
+    fn float_sum_is_bitwise_identical_across_thread_counts() {
+        // A sum whose result is association-sensitive: if the reduction
+        // tree varied with the thread count, these would differ in the
+        // low bits.
+        let xs: Vec<f64> = (0..100_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let at = |threads: usize| -> f64 {
+            let _guard = with_threads(threads);
+            xs.par_iter().map(|&x| x).sum()
+        };
+        let one = at(1);
+        assert_eq!(one.to_bits(), at(2).to_bits());
+        assert_eq!(one.to_bits(), at(8).to_bits());
+    }
+
+    #[test]
+    fn result_collect_reports_the_leftmost_error() {
+        for threads in [1, 4] {
+            let _guard = with_threads(threads);
+            let out: Result<Vec<u32>, u32> = (0..1000u32)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| if i % 7 == 3 { Err(i) } else { Ok(i) })
+                .collect();
+            assert_eq!(out, Err(3));
+        }
+    }
+
+    #[test]
+    fn sum_splits_respect_with_min_len() {
+        // min_len 1 forces a maximal tree even on 3 elements; the value
+        // must still be the plain sum.
+        let xs = [1.5f64, 2.25, 3.75];
+        let total: f64 = xs.par_iter().map(|&x| x).with_min_len(1).sum();
+        assert_eq!(total, 7.5);
+    }
+}

@@ -151,6 +151,20 @@ fn build_clean(spec: &Spec, name: &str) -> Experiment {
     b.build().expect("generated experiment is valid")
 }
 
+/// Serializes tests that retarget the global worker pool
+/// ([`rayon::set_threads`]); the limit is process-wide, so sweeps over
+/// thread counts must not interleave.
+fn threads_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The severity array as raw bits — the unit of "byte-identical".
+fn severity_bits(e: &Experiment) -> Vec<u64> {
+    e.severity().values().iter().map(|v| v.to_bits()).collect()
+}
+
 fn total(e: &Experiment) -> f64 {
     e.severity().values().iter().sum()
 }
@@ -398,6 +412,57 @@ proptest! {
         }
     }
 
+    /// Thread-count invariance of the batch engine: over random shapes
+    /// and a sweep of pool sizes, every reduction is *bit-identical*
+    /// to its 1-thread evaluation, and on an equal-metadata series the
+    /// order-insensitive reductions (`sum`, `min`, `max`) reproduce
+    /// the sequential pairwise oracle bit-for-bit as well.
+    #[test]
+    fn batch_is_bit_identical_across_thread_counts(
+        s in spec_strategy(),
+        factors in proptest::collection::vec(-4i32..=4, 1..4),
+    ) {
+        let base = build(&s, "base");
+        // Scaling preserves metadata exactly, so the series shares one
+        // layout and severity arrays are directly comparable.
+        let scaled: Vec<Experiment> = factors
+            .iter()
+            .map(|&f| ops::scale(&base, f64::from(f) / 2.0))
+            .collect();
+        let mut refs: Vec<&Experiment> = vec![&base];
+        refs.extend(scaled.iter());
+
+        let _lock = threads_lock();
+        let prev = rayon::current_num_threads();
+        let mut reference: Option<Vec<Vec<u64>>> = None;
+        for t in [1usize, 2, 4] {
+            rayon::set_threads(t);
+            let results = vec![
+                severity_bits(&ops::sum(&refs).unwrap()),
+                severity_bits(&ops::min(&refs).unwrap()),
+                severity_bits(&ops::max(&refs).unwrap()),
+                severity_bits(&ops::mean(&refs).unwrap()),
+                severity_bits(&stats::stddev(&refs).unwrap()),
+                severity_bits(&ops::diff(&base, refs[refs.len() - 1])),
+            ];
+            match &reference {
+                None => reference = Some(results),
+                Some(r) => prop_assert_eq!(r, &results, "thread count {} diverged", t),
+            }
+        }
+        rayon::set_threads(prev);
+
+        let o = MergeOptions::default;
+        let oracles = [
+            (ops::sum(&refs).unwrap(), pairwise::sum(&refs, o()).unwrap()),
+            (ops::min(&refs).unwrap(), pairwise::min(&refs, o()).unwrap()),
+            (ops::max(&refs).unwrap(), pairwise::max(&refs, o()).unwrap()),
+        ];
+        for (fast, slow) in &oracles {
+            prop_assert_eq!(severity_bits(fast), severity_bits(slow));
+        }
+    }
+
     /// Integration maps are total and consistent: every operand tuple
     /// lands inside the integrated shape.
     #[test]
@@ -514,4 +579,70 @@ proptest! {
             prop_assert!(back.is_some_and(|x| x.approx_eq(e, 0.0)));
         }
     }
+}
+
+/// A dense experiment big enough to cross the operators' parallel
+/// threshold: 4 metrics × 64 call nodes × 300 ranks = 76,800 severity
+/// values, pseudo-random including negatives.
+fn big_experiment(seed: u64) -> Experiment {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut b = ExperimentBuilder::new(format!("big {seed}"));
+    let root = b.def_metric("time", Unit::Seconds, "", None);
+    let mut metrics = vec![root];
+    for i in 1..4 {
+        metrics.push(b.def_metric(format!("m{i}"), Unit::Seconds, "", Some(root)));
+    }
+    let module = b.def_module("big.rs", "/big.rs");
+    let mut calls = Vec::new();
+    let mut parent = None;
+    for i in 0..64u32 {
+        let region = b.def_region(format!("r{i}"), module, RegionKind::Function, i + 1, i + 1);
+        let site = b.def_call_site("big.rs", i + 1, region);
+        let node = b.def_call_node(site, parent);
+        // Alternate chain and sibling so the tree has depth and fanout.
+        if i % 2 == 0 {
+            parent = Some(node);
+        }
+        calls.push(node);
+    }
+    let threads = single_threaded_system(&mut b, 300);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &m in &metrics {
+        for &c in &calls {
+            for &t in &threads {
+                b.set_severity(m, c, t, rng.random::<f64>() * 200.0 - 100.0);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The non-property companion to the shape-randomized invariance law:
+/// arrays large enough that the worker pool genuinely splits them
+/// (above the 2^16-element parallel threshold), checked bit-for-bit
+/// across pool sizes for the whole operator set the CLI exposes.
+#[test]
+fn large_batch_reduction_is_bit_identical_across_thread_counts() {
+    let runs: Vec<Experiment> = (0..5).map(big_experiment).collect();
+    let refs: Vec<&Experiment> = runs.iter().collect();
+
+    let _lock = threads_lock();
+    let prev = rayon::current_num_threads();
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for t in [1usize, 2, 4, 8] {
+        rayon::set_threads(t);
+        let results = vec![
+            severity_bits(&ops::mean(&refs).unwrap()),
+            severity_bits(&ops::sum(&refs).unwrap()),
+            severity_bits(&stats::stddev(&refs).unwrap()),
+            severity_bits(&ops::diff(&runs[0], &runs[1])),
+            severity_bits(&ops::merge(&runs[0], &runs[1])),
+        ];
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(r, &results, "thread count {t} diverged"),
+        }
+    }
+    rayon::set_threads(prev);
 }
