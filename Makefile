@@ -44,6 +44,7 @@ bench-batch:
 bench-json:
 	rm -f target/bench_raw.tsv
 	BENCH_JSON=$(CURDIR)/target/bench_raw.tsv $(CARGO) bench -p cube-bench \
-		--bench batch_reduce --bench xml_roundtrip --bench par_elementwise
+		--bench batch_reduce --bench xml_roundtrip --bench par_elementwise \
+		--bench store_io
 	$(CARGO) run -q -p cube-bench --bin bench_gate -- \
 		assemble BENCH_5.json target/bench_raw.tsv

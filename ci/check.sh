@@ -58,8 +58,8 @@ for cube in tests/fixtures/malformed/*.cube; do
 done
 
 echo "== recovery gate: corrupt corpus salvages to its documented prefixes"
-for cube in tests/fixtures/corrupt/*.cube; do
-    expect="${cube%.cube}.expect"
+for cube in tests/fixtures/corrupt/*.cube tests/fixtures/corrupt/*.cubec; do
+    expect="${cube%.*}.expect"
     out_file="$lint_tmp/$(basename "$cube")"
     rm -f "$out_file"
     set +e
@@ -127,6 +127,38 @@ for op in mean diff merge; do
         fi
     done
 done
+
+echo "== store gate: .cubec backend matches the XML path byte-for-byte"
+# Pack the 153K-value determinism corpus, re-run the reductions over
+# the columnar backend at every tracked thread count, and require the
+# outputs to be byte-identical to the XML-path outputs produced above.
+# (cold-open latency is tracked separately: ci/bench_gate.sh holds the
+# store/cold_open/* metrics to the committed baseline.)
+for f in "$det"/corpus/*.cube; do
+    ./target/release/cube pack "$f" "${f%.cube}.cubec" >/dev/null
+done
+for t in 1 2 8; do
+    ./target/release/cube --threads "$t" stats "$det/mean.store.t$t.cube" \
+        "$det"/corpus/*.cubec --op mean >/dev/null
+    if ! cmp "$det/mean.t1.cube" "$det/mean.store.t$t.cube"; then
+        echo "cube stats over .cubec differs from the XML path at --threads $t" >&2
+        exit 1
+    fi
+    ./target/release/cube --threads "$t" diff \
+        "$det/corpus/run0.cubec" "$det/corpus/run1.cubec" \
+        -o "$det/diff.store.t$t.cube" >/dev/null
+    if ! cmp "$det/diff.t1.cube" "$det/diff.store.t$t.cube"; then
+        echo "cube diff over .cubec differs from the XML path at --threads $t" >&2
+        exit 1
+    fi
+done
+
+echo "== store gate: pack/unpack round-trip is byte-exact"
+./target/release/cube unpack "$det/corpus/run0.cubec" "$det/run0.back.cube" >/dev/null
+if ! cmp "$det/corpus/run0.cube" "$det/run0.back.cube"; then
+    echo "unpack(pack(x)) diverged from x" >&2
+    exit 1
+fi
 
 echo "== speedup gate: stats --op mean, 4 threads vs 1"
 # Wall-clock acceptance check; only meaningful with real cores to

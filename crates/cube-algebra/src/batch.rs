@@ -93,8 +93,8 @@ use rayon::prelude::*;
 use cube_model::{Experiment, Metadata, Provenance, Severity};
 
 use crate::error::AlgebraError;
-use crate::extend::extend_severity;
-use crate::integrate::{integrate, Integrated};
+use crate::extend::extend_severity_values;
+use crate::integrate::{integrate_metadata, Integrated};
 use crate::mapping::OperandMap;
 use crate::ops::PAR_THRESHOLD;
 use crate::options::{FailurePolicy, MergeOptions};
@@ -102,6 +102,77 @@ use crate::options::{FailurePolicy, MergeOptions};
 /// Sentinel in gather tables: this integrated id has no preimage in the
 /// operand, so the operand's zero-extended value there is 0.0.
 const ABSENT: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// operand sources
+// ---------------------------------------------------------------------------
+
+/// A severity source a [`BatchPlan`] can gather from.
+///
+/// The plan only ever needs three things from an operand: its metadata
+/// (for the one-time integration), its provenance (for derived labels),
+/// and a dense severity slice in the canonical layout (thread fastest,
+/// metric slowest). [`Experiment`] implements this trivially; storage
+/// backends — e.g. the `.cubec` columnar store's lazy handle — implement
+/// it by lending their decoded pages, so a reduction over on-disk
+/// operands never materializes intermediate `Experiment`s.
+///
+/// `Sync` is required because plans fork evaluation across the worker
+/// pool; implementations must tolerate concurrent reads.
+pub trait BatchOperand: Sync {
+    /// The operand's metadata (integration input).
+    fn metadata(&self) -> &Metadata;
+    /// The operand's provenance (used for derived labels).
+    fn provenance(&self) -> &Provenance;
+    /// The severity shape `(metrics, call nodes, threads)`.
+    fn severity_shape(&self) -> (usize, usize, usize);
+    /// The dense severity values, length = product of the shape, in the
+    /// canonical `(metric, call node, thread)` row-major layout.
+    fn severity_values(&self) -> &[f64];
+}
+
+impl BatchOperand for Experiment {
+    fn metadata(&self) -> &Metadata {
+        Experiment::metadata(self)
+    }
+
+    fn provenance(&self) -> &Provenance {
+        Experiment::provenance(self)
+    }
+
+    fn severity_shape(&self) -> (usize, usize, usize) {
+        self.severity().shape()
+    }
+
+    fn severity_values(&self) -> &[f64] {
+        self.severity().values()
+    }
+}
+
+/// Borrowed severity pages of one operand, resolved once at plan build
+/// so the per-row hot paths index plain slices instead of re-entering
+/// the trait object on every row.
+#[derive(Clone, Copy)]
+struct OperandView<'a> {
+    values: &'a [f64],
+    shape: (usize, usize, usize),
+}
+
+impl<'a> OperandView<'a> {
+    fn of(op: &'a dyn BatchOperand) -> Self {
+        Self {
+            values: op.severity_values(),
+            shape: op.severity_shape(),
+        }
+    }
+
+    /// The thread row at flat row index `r` (`m * nc + c` in the
+    /// operand's own shape).
+    fn row(&self, r: usize) -> &'a [f64] {
+        let nt = self.shape.2;
+        &self.values[r * nt..(r + 1) * nt]
+    }
+}
 
 // ---------------------------------------------------------------------------
 // reductions and expressions
@@ -363,7 +434,8 @@ pub struct PartialEvaluation {
 /// cached schema. See the [module documentation](self) for the worked
 /// example.
 pub struct BatchPlan<'a> {
-    operands: Vec<&'a Experiment>,
+    operands: Vec<&'a dyn BatchOperand>,
+    views: Vec<OperandView<'a>>,
     metadata: Metadata,
     maps: Vec<OperandMap>,
     shape: (usize, usize, usize),
@@ -378,34 +450,46 @@ impl<'a> BatchPlan<'a> {
 
     /// Builds a plan with explicit integration switches.
     pub fn with_options(operands: &[&'a Experiment], options: MergeOptions) -> Self {
+        let ops: Vec<&'a dyn BatchOperand> =
+            operands.iter().map(|e| *e as &dyn BatchOperand).collect();
+        Self::from_operands(&ops, options)
+    }
+
+    /// Builds a plan over any [`BatchOperand`] sources — full
+    /// experiments, lazy storage handles, or a mix.
+    pub fn from_operands(operands: &[&'a dyn BatchOperand], options: MergeOptions) -> Self {
         if operands.is_empty() {
             // Nothing to integrate; every reduction over this plan
             // reports `EmptyOperandList`.
             return Self {
                 operands: Vec::new(),
+                views: Vec::new(),
                 metadata: Metadata::new(),
                 maps: Vec::new(),
                 shape: (0, 0, 0),
                 sources: Vec::new(),
             };
         }
-        let Integrated { metadata, maps } = integrate(operands, options);
+        let mds: Vec<&Metadata> = operands.iter().map(|op| op.metadata()).collect();
+        let Integrated { metadata, maps } = integrate_metadata(&mds, options);
         let shape = metadata.shape();
-        let sources = operands
+        let views: Vec<OperandView<'a>> = operands.iter().map(|op| OperandView::of(*op)).collect();
+        let sources = views
             .iter()
             .zip(&maps)
-            .map(|(op, map)| {
-                if op.severity().shape() == shape && map.is_identity() {
+            .map(|(view, map)| {
+                if view.shape == shape && map.is_identity() {
                     Source::Direct
                 } else if let Some(g) = GatherMap::try_build(map, shape) {
                     Source::Gather(g)
                 } else {
-                    Source::Extended(extend_severity(op, map, shape))
+                    Source::Extended(extend_severity_values(view.values, view.shape, map, shape))
                 }
             })
             .collect();
         Self {
             operands: operands.to_vec(),
+            views,
             metadata,
             maps,
             shape,
@@ -661,7 +745,7 @@ impl<'a> BatchPlan<'a> {
     /// Whole-array view of an operand whose source needs no gathering.
     fn dense_values(&self, i: usize) -> Option<&[f64]> {
         match &self.sources[i] {
-            Source::Direct => Some(self.operands[i].severity().values()),
+            Source::Direct => Some(self.views[i].values),
             Source::Extended(s) => Some(s.values()),
             Source::Gather(_) => None,
         }
@@ -703,19 +787,16 @@ impl<'a> BatchPlan<'a> {
     /// through the cached source — no allocation, no copies.
     fn operand_row(&self, i: usize, m: usize, c: usize) -> RowRef<'_> {
         match &self.sources[i] {
-            Source::Direct => {
-                let sev = self.operands[i].severity();
-                RowRef::Dense(sev.row_at(m * self.shape.1 + c))
-            }
+            Source::Direct => RowRef::Dense(self.views[i].row(m * self.shape.1 + c)),
             Source::Extended(sev) => RowRef::Dense(sev.row_at(m * self.shape.1 + c)),
             Source::Gather(g) => {
                 let (im, ic) = (g.metric[m], g.call[c]);
                 if im == ABSENT || ic == ABSENT {
                     return RowRef::Zero;
                 }
-                let sev = self.operands[i].severity();
-                let (_, onc, _) = sev.shape();
-                let src = sev.row_at(im as usize * onc + ic as usize);
+                let view = &self.views[i];
+                let onc = view.shape.1;
+                let src = view.row(im as usize * onc + ic as usize);
                 match g.thread_prefix {
                     Some(_) => RowRef::Prefix(src),
                     None => RowRef::Gather {

@@ -34,14 +34,35 @@ pub fn extend_severity(
     if exp.severity().shape() == shape && map.is_identity() {
         return exp.severity().clone();
     }
+    extend_severity_values(exp.severity().values(), exp.severity().shape(), map, shape)
+}
+
+/// [`extend_severity`] over a bare value slice in severity layout
+/// (thread fastest, metric slowest) with the given source shape.
+///
+/// This is the scatter entry point for operands that are not full
+/// [`Experiment`]s — the batch engine's trait-object sources hand their
+/// borrowed severity pages straight in.
+pub fn extend_severity_values(
+    values: &[f64],
+    src_shape: (usize, usize, usize),
+    map: &OperandMap,
+    shape: (usize, usize, usize),
+) -> Severity {
+    if src_shape == shape && map.is_identity() {
+        return Severity::from_values(shape.0, shape.1, shape.2, values.to_vec());
+    }
+    let (_, nc, nt) = src_shape;
     let mut out = Severity::zeros(shape.0, shape.1, shape.2);
-    for (m, c, t, v) in exp.severity().iter_nonzero() {
-        out.add(
-            map.metrics[m.index()],
-            map.call_nodes[c.index()],
-            map.threads[t.index()],
-            v,
-        );
+    // Walk thread rows: one (metric, call node) translation per row,
+    // plain slice iteration inside.
+    for (r, row) in values.chunks_exact(nt).enumerate() {
+        let (m, c) = (r / nc, r % nc);
+        for (t, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                out.add(map.metrics[m], map.call_nodes[c], map.threads[t], v);
+            }
+        }
     }
     out
 }

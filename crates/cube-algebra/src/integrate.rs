@@ -48,11 +48,22 @@ pub struct Integrated {
 /// a single operand and default options the result is (structurally)
 /// that operand's metadata.
 pub fn integrate(operands: &[&Experiment], options: MergeOptions) -> Integrated {
+    let mds: Vec<&Metadata> = operands.iter().map(|e| e.metadata()).collect();
+    integrate_metadata(&mds, options)
+}
+
+/// [`integrate`] over bare [`Metadata`] references.
+///
+/// Integration is purely structural — severity never participates — so
+/// operands that are not full [`Experiment`]s (a lazy columnar handle,
+/// a metadata-only probe) integrate through this entry point. The
+/// batch engine's [`crate::batch::BatchOperand`] sources route here.
+pub fn integrate_metadata(operands: &[&Metadata], options: MergeOptions) -> Integrated {
     // Fast path: all metadata identical, and no forced collapse that
     // would restructure the system dimension.
     if !operands.is_empty() {
-        let first = operands[0].metadata();
-        let all_equal = operands.iter().all(|e| e.metadata() == first);
+        let first = operands[0];
+        let all_equal = operands.iter().all(|md| *md == first);
         let collapse_is_noop = options.system_mode != SystemMergeMode::Collapse
             || (first.machines().len() <= 1 && first.nodes().len() <= 1);
         if all_equal && collapse_is_noop {
@@ -71,8 +82,7 @@ pub fn integrate(operands: &[&Experiment], options: MergeOptions) -> Integrated 
     let mut maps: Vec<OperandMap> = Vec::with_capacity(operands.len());
 
     // ---- metric and program dimensions: top-down structural merge ----
-    for op in operands {
-        let src = op.metadata();
+    for src in operands {
         let map = OperandMap {
             metrics: merge_metric_forest(&mut md, src),
             call_nodes: merge_call_forest(&mut md, src, options.call_site_eq),
@@ -87,8 +97,7 @@ pub fn integrate(operands: &[&Experiment], options: MergeOptions) -> Integrated 
     // placement onto the integrated process table via the rank (the
     // system equality key). Later operands' topologies are ignored —
     // the same first-wins rule the merge operator uses for metrics.
-    if let Some(first) = operands.first() {
-        let src = first.metadata();
+    if let Some(src) = operands.first() {
         for topo in src.topologies() {
             let mut copy = cube_model::CartTopology::new(
                 topo.name.clone(),
@@ -104,8 +113,7 @@ pub fn integrate(operands: &[&Experiment], options: MergeOptions) -> Integrated 
             md.add_topology(copy);
         }
     }
-    for (op, map) in operands.iter().zip(maps.iter_mut()) {
-        let src = op.metadata();
+    for (src, map) in operands.iter().zip(maps.iter_mut()) {
         map.threads = src
             .threads()
             .iter()
@@ -285,7 +293,7 @@ fn merge_call_node(
 /// `(rank, thread number) → integrated thread id`.
 fn build_system(
     md: &mut Metadata,
-    operands: &[&Experiment],
+    operands: &[&Metadata],
     mode: SystemMergeMode,
 ) -> HashMap<(i32, u32), cube_model::ThreadId> {
     let collapse = match mode {
@@ -305,8 +313,7 @@ fn build_system(
     }
     let mut order: Vec<i32> = Vec::new();
     let mut procs: HashMap<i32, ProcInfo> = HashMap::new();
-    for op in operands {
-        let src = op.metadata();
+    for src in operands {
         for (pi, p) in src.processes().iter().enumerate() {
             let info = procs.entry(p.rank).or_insert_with(|| {
                 order.push(p.rank);
@@ -350,7 +357,7 @@ fn build_system(
         }
     } else {
         // Copy the first operand's machine/node hierarchy.
-        let first = operands[0].metadata();
+        let first = operands[0];
         for m in first.machines() {
             md.add_machine(Machine::new(m.name.clone()));
         }
@@ -384,11 +391,10 @@ fn build_system(
 /// Whether all operands agree on the machine/node structure and on the
 /// placement of common ranks, so that copying the first operand's
 /// hierarchy is faithful for every operand.
-fn partitions_compatible(operands: &[&Experiment]) -> bool {
-    let Some((first, rest)) = operands.split_first() else {
+fn partitions_compatible(operands: &[&Metadata]) -> bool {
+    let Some((f, rest)) = operands.split_first() else {
         return true;
     };
-    let f = first.metadata();
     let f_machines: Vec<&str> = f.machines().iter().map(|m| m.name.as_str()).collect();
     let f_nodes: Vec<(&str, usize)> = f
         .nodes()
@@ -400,8 +406,7 @@ fn partitions_compatible(operands: &[&Experiment]) -> bool {
         .iter()
         .map(|p| (p.rank, p.node.index()))
         .collect();
-    for op in rest {
-        let o = op.metadata();
+    for o in rest {
         let o_machines: Vec<&str> = o.machines().iter().map(|m| m.name.as_str()).collect();
         let o_nodes: Vec<(&str, usize)> = o
             .nodes()

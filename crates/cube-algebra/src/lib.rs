@@ -74,8 +74,10 @@ pub mod ops;
 pub mod options;
 pub mod stats;
 
-pub use batch::{BatchPlan, Expr, OperandError, PartialEvaluation, PartialOperand, Reduction};
+pub use batch::{
+    BatchOperand, BatchPlan, Expr, OperandError, PartialEvaluation, PartialOperand, Reduction,
+};
 pub use error::AlgebraError;
-pub use integrate::{integrate, Integrated};
+pub use integrate::{integrate, integrate_metadata, Integrated};
 pub use mapping::OperandMap;
 pub use options::{CallSiteEq, FailurePolicy, MergeOptions, SystemMergeMode};

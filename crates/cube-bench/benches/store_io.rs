@@ -1,0 +1,94 @@
+//! Throughput of the `.cubec` columnar store pipelines.
+//!
+//! Three tracked shapes mirror the `xml_roundtrip` bench exactly, so
+//! the store's speedups read directly as cross-group ratios:
+//!
+//! * `store/roundtrip/*` — encode + strict decode in memory, the
+//!   analogue of an XML write + read pair.
+//! * `store/cold_open/*` — [`cube_store::ColumnarExperiment::open`] on
+//!   a file on disk: header, metadata and chunk-CRC table only, no
+//!   severity pages. This is the number the lazy design exists for;
+//!   the CI gate holds it an order of magnitude under
+//!   `xml/read-stream/large`.
+//! * `store/batch_from_store/*` — a batch mean gathered straight from
+//!   pre-opened store handles ([`cube_algebra::BatchPlan`] over
+//!   [`cube_algebra::BatchOperand`]s), the serving-path workload.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cube_algebra::{BatchOperand, BatchPlan, Expr, MergeOptions, Reduction};
+use cube_bench::{synthetic_experiment, SyntheticShape};
+use cube_store::ColumnarExperiment;
+
+const SIZES: [(&str, usize); 3] = [("small", 1), ("medium", 4), ("large", 8)];
+
+fn shape(n: usize) -> SyntheticShape {
+    SyntheticShape {
+        metrics: 2 * n,
+        call_nodes: 20 * n,
+        threads: 4 * n,
+    }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("cube_bench_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("store");
+    for (label, n) in SIZES {
+        let e = synthetic_experiment(shape(n), 1);
+        let bytes = cube_store::write_store(&e);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("roundtrip", label), &n, |bench, _| {
+            bench.iter(|| {
+                let encoded = cube_store::write_store(black_box(&e));
+                cube_store::read_store(black_box(&encoded), &cube_xml::ReadLimits::default())
+                    .unwrap()
+            })
+        });
+
+        let path = dir.join(format!("{label}.cubec"));
+        cube_store::write_store_file(&e, &path).unwrap();
+        group.bench_with_input(BenchmarkId::new("cold_open", label), &n, |bench, _| {
+            bench.iter(|| ColumnarExperiment::open(black_box(&path)).unwrap())
+        });
+
+        // Four runs of the same shape, packed, lazily opened, severity
+        // pages loaded once outside the timed loop: the loop measures
+        // the integrate-and-gather work alone, as `cube stats` over
+        // `.cubec` operands runs it.
+        let handles: Vec<ColumnarExperiment> = (0..4)
+            .map(|i| {
+                let run = synthetic_experiment(shape(n), i);
+                let p = dir.join(format!("{label}_run{i}.cubec"));
+                cube_store::write_store_file(&run, &p).unwrap();
+                let h = ColumnarExperiment::open(&p).unwrap();
+                h.severity().unwrap();
+                h
+            })
+            .collect();
+        let expr = Expr::reduce(Reduction::Mean, 0..handles.len());
+        group.bench_with_input(
+            BenchmarkId::new("batch_from_store", label),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let ops: Vec<&dyn BatchOperand> =
+                        handles.iter().map(|h| h as &dyn BatchOperand).collect();
+                    BatchPlan::from_operands(black_box(&ops), MergeOptions::default())
+                        .eval(black_box(&expr))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

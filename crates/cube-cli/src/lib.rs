@@ -23,6 +23,8 @@
 //!            [--deny warnings]                  #   (exit 1 on findings)
 //! cube repair IN.cube OUT.cube                 # salvage a damaged file
 //!            # exit 0 = full recovery, 1 = partial, 2 = unrecoverable
+//! cube pack   IN.cube OUT.cubec                # re-encode as columnar store
+//! cube unpack IN.cubec OUT.cube                # re-encode as CUBE XML
 //! cube browse A.cube [--ansi]                  # interactive browser
 //! cube view  A.cube [--metric M] [--call R] [--percent]
 //!            [--normalize REF.cube] [--expand-all] [--flat] [--ansi]
@@ -32,6 +34,13 @@
 //! Because the algebra is closed, outputs of any subcommand are valid
 //! inputs of any other — composite operations are shell pipelines over
 //! files.
+//!
+//! Every subcommand accepts the `.cubec` columnar store (see
+//! `docs/STORE.md`) wherever it takes a `.cube` path, for inputs and
+//! outputs alike; the format is chosen by file extension. `stats` over
+//! `.cubec` operands gathers straight from the store's severity pages
+//! ([`cube_store::ColumnarExperiment`]) without materializing
+//! intermediate experiments.
 //!
 //! The n-ary subcommands (`mean`, `sum`, `min`, `max`, `stddev`,
 //! `stats`, `merge`) accept `--keep-going`: unreadable operands are
@@ -49,13 +58,14 @@ pub mod browse;
 use std::fmt::Write as _;
 
 use cube_algebra::{
-    ops, BatchPlan, CallSiteEq, Expr, FailurePolicy, MergeOptions, PartialOperand, Reduction,
-    SystemMergeMode,
+    ops, BatchOperand, BatchPlan, CallSiteEq, Expr, FailurePolicy, MergeOptions, PartialOperand,
+    Reduction, SystemMergeMode,
 };
 use cube_display::{BrowserState, NormalizationRef, ProgramView, RenderOptions, ValueMode};
 use cube_model::aggregate::{metric_total, MetricSelection};
 use cube_model::Experiment;
-use cube_xml::{read_experiment_file, write_experiment_file, XmlError};
+use cube_store::{ColumnarExperiment, StoreError};
+use cube_xml::{read_experiment_file, write_experiment_file, ReadLimits, XmlError};
 use rayon::prelude::*;
 
 /// Outcome of a CLI invocation: process exit code plus captured stdout.
@@ -94,6 +104,8 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "cmp" => cmp(rest),
         "lint" => lint_cmd(rest),
         "repair" => repair_cmd(rest),
+        "pack" => pack_cmd(rest),
+        "unpack" => unpack_cmd(rest),
         "view" => view(rest),
         "browse" => browse_cmd(rest),
         "help" | "--help" | "-h" => ok(usage()),
@@ -102,8 +114,9 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 }
 
 fn usage() -> String {
-    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|repair|view|browse|help> ...\n\
+    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|repair|pack|unpack|view|browse|help> ...\n\
      global flags: --threads N (pool size; default CUBE_THREADS or all cores)\n\
+     paths ending in .cubec use the columnar store format (docs/STORE.md)\n\
      see the crate documentation for per-subcommand flags"
         .to_string()
 }
@@ -213,27 +226,70 @@ impl Parsed {
     }
 }
 
-/// Prefixes the path unless the error already carries it (the I/O
-/// variant does since the reader started reporting offending paths).
-fn path_error(path: &str, e: XmlError) -> String {
-    match &e {
-        XmlError::Io { path: Some(_), .. } => e.to_string(),
-        _ => format!("{path}: {e}"),
+/// True when the path names a `.cubec` columnar store (case-insensitive
+/// extension check); everything else is treated as CUBE XML.
+fn is_cubec(path: &str) -> bool {
+    std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("cubec"))
+}
+
+/// A reader error from either backend, kept structured so the caller
+/// can decide how much path context to attach.
+enum AnyError {
+    Xml(XmlError),
+    Store(StoreError),
+}
+
+impl AnyError {
+    /// The backend's own rendering, for reports that already print the
+    /// operand's path next to the reason.
+    fn bare(&self) -> String {
+        match self {
+            AnyError::Xml(e) => e.to_string(),
+            AnyError::Store(e) => e.to_string(),
+        }
+    }
+
+    /// Prefixes the path unless the error already carries it (the I/O
+    /// variants do since the readers started reporting offending paths).
+    fn with_path(&self, path: &str) -> String {
+        match self {
+            AnyError::Xml(e @ XmlError::Io { path: Some(_), .. }) => e.to_string(),
+            AnyError::Store(e @ StoreError::Io { path: Some(_), .. }) => e.to_string(),
+            _ => format!("{path}: {}", self.bare()),
+        }
     }
 }
 
+fn path_error(path: &str, e: XmlError) -> String {
+    AnyError::Xml(e).with_path(path)
+}
+
+fn store_path_error(path: &str, e: StoreError) -> String {
+    AnyError::Store(e).with_path(path)
+}
+
 fn load(path: &str) -> Result<Experiment, String> {
-    read_experiment_file(path).map_err(|e| path_error(path, e))
+    if is_cubec(path) {
+        cube_store::read_store_file(path).map_err(|e| store_path_error(path, e))
+    } else {
+        read_experiment_file(path).map_err(|e| path_error(path, e))
+    }
 }
 
 fn store(exp: &Experiment, path: &str) -> Result<(), String> {
-    write_experiment_file(exp, path).map_err(|e| path_error(path, e))
+    if is_cubec(path) {
+        cube_store::write_store_file(exp, path).map_err(|e| store_path_error(path, e))
+    } else {
+        write_experiment_file(exp, path).map_err(|e| path_error(path, e))
+    }
 }
 
 /// Loads every input for a degraded k-ary run: broken operands become
 /// their error message instead of failing the whole command. Reasons
-/// use the bare [`XmlError`] rendering — the caller prints them next
-/// to the operand's path.
+/// use the bare error rendering — the caller prints them next to the
+/// operand's path.
 ///
 /// Operands load on the worker pool; results stay in argument order
 /// (positional collect), so the per-operand `--keep-going` reports are
@@ -242,8 +298,46 @@ fn load_partial(paths: &[String]) -> Vec<Result<Experiment, String>> {
     paths
         .par_iter()
         .with_min_len(1)
-        .map(|f| read_experiment_file(f).map_err(|e| e.to_string()))
+        .map(|f| {
+            if is_cubec(f) {
+                cube_store::read_store_file(f).map_err(|e| e.to_string())
+            } else {
+                read_experiment_file(f).map_err(|e| e.to_string())
+            }
+        })
         .collect()
+}
+
+/// A loaded `stats` operand: XML inputs materialize an [`Experiment`];
+/// `.cubec` inputs stay as lazy [`ColumnarExperiment`] handles whose
+/// severity pages the batch engine gathers from directly.
+enum Operand {
+    Xml(Experiment),
+    Store(ColumnarExperiment),
+}
+
+impl Operand {
+    fn as_batch(&self) -> &dyn BatchOperand {
+        match self {
+            Operand::Xml(e) => e,
+            Operand::Store(c) => c,
+        }
+    }
+}
+
+/// Loads one `stats` operand from either backend. `.cubec` severity
+/// pages are touched (and CRC-checked) here so page damage surfaces as
+/// a per-operand load error, not a panic inside the gather.
+fn load_operand(path: &str) -> Result<Operand, AnyError> {
+    if is_cubec(path) {
+        let c = ColumnarExperiment::open(path).map_err(AnyError::Store)?;
+        c.severity().map_err(AnyError::Store)?;
+        Ok(Operand::Store(c))
+    } else {
+        read_experiment_file(path)
+            .map(Operand::Xml)
+            .map_err(AnyError::Xml)
+    }
 }
 
 /// Renders the skipped-operand summary lines of a `--keep-going` run.
@@ -394,12 +488,12 @@ fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
     // Parallel load, then a sequential classification pass so the
     // skipped-operand report keeps argument order and the non-degraded
     // mode reports the leftmost failure, exactly like a serial loop.
-    let loaded: Vec<Result<Experiment, XmlError>> = inputs
+    let loaded: Vec<Result<Operand, AnyError>> = inputs
         .par_iter()
         .with_min_len(1)
-        .map(read_experiment_file)
+        .map(|f| load_operand(f))
         .collect();
-    let mut exps: Vec<Option<Experiment>> = Vec::with_capacity(inputs.len());
+    let mut exps: Vec<Option<Operand>> = Vec::with_capacity(inputs.len());
     let mut skipped: Vec<cube_algebra::OperandError> = Vec::new();
     for (index, (f, r)) in inputs.iter().zip(loaded).enumerate() {
         match r {
@@ -407,11 +501,11 @@ fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
             Err(e) if keep_going => {
                 skipped.push(cube_algebra::OperandError {
                     index,
-                    reason: e.to_string(),
+                    reason: e.bare(),
                 });
                 exps.push(None);
             }
-            Err(e) => return Err(path_error(f, e)),
+            Err(e) => return Err(e.with_path(f)),
         }
     }
     let reduction = {
@@ -421,7 +515,7 @@ fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
     let n = inputs.len();
     // Survivor counts per group: `--minus K` splits the *original*
     // argument list, so a skipped operand shrinks its own group only.
-    let refs: Vec<&Experiment> = exps.iter().flatten().collect();
+    let refs: Vec<&dyn BatchOperand> = exps.iter().flatten().map(Operand::as_batch).collect();
     let expr = match p.value("--minus") {
         Some(v) => {
             let k: usize = v.parse().map_err(|_| "bad --minus value".to_string())?;
@@ -454,7 +548,7 @@ fn stats_cmd(args: &[String]) -> Result<Outcome, String> {
             Expr::reduce(reduction, 0..refs.len())
         }
     };
-    let plan = BatchPlan::with_options(&refs, p.merge_options());
+    let plan = BatchPlan::from_operands(&refs, p.merge_options());
     let result = plan.eval(&expr).map_err(|e| e.to_string())?;
     store(&result, out)?;
     let summary = if keep_going {
@@ -753,7 +847,14 @@ fn lint_cmd(args: &[String]) -> Result<Outcome, String> {
     let reports: Vec<(&String, cube_model::Report)> = p
         .positional
         .iter()
-        .map(|path| (path, cube_xml::lint_file(path)))
+        .map(|path| {
+            let report = if is_cubec(path) {
+                cube_store::lint_file(path)
+            } else {
+                cube_xml::lint_file(path)
+            };
+            (path, report)
+        })
         .collect();
     let total_errors: usize = reports.iter().map(|(_, r)| r.num_errors()).sum();
     let total_warnings: usize = reports.iter().map(|(_, r)| r.num_warnings()).sum();
@@ -832,6 +933,9 @@ fn repair_cmd(args: &[String]) -> Result<Outcome, String> {
         return Err("cube repair takes INPUT and OUTPUT".into());
     }
     let (input, output) = (&p.positional[0], &p.positional[1]);
+    if is_cubec(input) {
+        return repair_store(input, output);
+    }
     let (exp, report) = match cube_xml::read_experiment_salvage_file(input) {
         Ok(pair) => pair,
         // Not being able to read the file at all is a usage-level
@@ -855,6 +959,9 @@ fn repair_cmd(args: &[String]) -> Result<Outcome, String> {
         if let Some(loss) = &report.loss {
             let _ = writeln!(s, "  loss: {loss}");
         }
+        if let Some(ctx) = &report.context {
+            let _ = writeln!(s, "  context: {ctx}");
+        }
         let _ = writeln!(s, "  severity rows recovered: {}", report.rows_recovered);
         if report.checksum.is_mismatch() {
             let _ = writeln!(s, "  checksum: recorded footer does not match the document");
@@ -865,6 +972,76 @@ fn repair_cmd(args: &[String]) -> Result<Outcome, String> {
         code: i32::from(!report.complete),
         stdout: s,
     })
+}
+
+/// The `.cubec` arm of `cube repair`: same exit-code grades, but loss
+/// is counted in severity chunks (the store's recovery unit) instead
+/// of rows.
+fn repair_store(input: &str, output: &str) -> Result<Outcome, String> {
+    let (exp, report) = match cube_store::salvage_store_file(input, &ReadLimits::default()) {
+        Ok(pair) => pair,
+        Err(e @ StoreError::Io { .. }) => return Err(store_path_error(input, e)),
+        Err(e) => {
+            return Ok(Outcome {
+                code: 2,
+                stdout: format!("{input}: unrecoverable: {e}\n"),
+            })
+        }
+    };
+    let relint = exp.lint();
+    store(&exp, output)?;
+    let mut s = String::new();
+    if report.complete {
+        let _ = writeln!(s, "{input}: fully recovered; wrote {output}");
+    } else {
+        let _ = writeln!(s, "{input}: partial recovery; wrote {output}");
+        if let Some(loss) = &report.loss {
+            let _ = writeln!(s, "  loss: {loss}");
+        }
+        if let Some(ctx) = &report.context {
+            let _ = writeln!(s, "  context: {ctx}");
+        }
+        let _ = writeln!(
+            s,
+            "  severity chunks recovered: {} of {}",
+            report.chunks_recovered, report.chunks_total
+        );
+        if report.checksum.is_mismatch() {
+            let _ = writeln!(s, "  checksum: recorded footer does not match the file");
+        }
+    }
+    let _ = writeln!(s, "  relint: {}", relint.summary());
+    Ok(Outcome {
+        code: i32::from(!report.complete),
+        stdout: s,
+    })
+}
+
+/// `cube pack IN OUT` — re-encode an experiment (either format) into
+/// the `.cubec` columnar store, whatever OUT's extension says.
+fn pack_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 2 {
+        return Err("cube pack takes INPUT and OUTPUT".into());
+    }
+    let (input, output) = (&p.positional[0], &p.positional[1]);
+    let e = load(input)?;
+    cube_store::write_store_file(&e, output).map_err(|err| store_path_error(output, err))?;
+    ok(format!("wrote {output}: {}\n", e.provenance().label()))
+}
+
+/// `cube unpack IN OUT` — re-encode a `.cubec` store as CUBE XML,
+/// whatever OUT's extension says. Strict read: a damaged store is an
+/// error here (use `cube repair` to salvage).
+fn unpack_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if p.positional.len() != 2 {
+        return Err("cube unpack takes INPUT and OUTPUT".into());
+    }
+    let (input, output) = (&p.positional[0], &p.positional[1]);
+    let e = cube_store::read_store_file(input).map_err(|err| store_path_error(input, err))?;
+    write_experiment_file(&e, output).map_err(|err| path_error(output, err))?;
+    ok(format!("wrote {output}: {}\n", e.provenance().label()))
 }
 
 /// Minimal JSON string encoder (the format has no other JSON needs, so
@@ -1403,6 +1580,129 @@ mod tests {
             &out
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_preserves_experiment() {
+        let a = write_sample("pk.cube", 5.0);
+        let packed = tmp("pk.cubec").to_string_lossy().into_owned();
+        let unpacked = tmp("pk_back.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["pack", &a, &packed])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+        let r = run(&args(&["unpack", &packed, &unpacked])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+        // The XML -> cubec -> XML roundtrip is byte-identical: both
+        // writers are canonical.
+        assert_eq!(
+            std::fs::read(&a).unwrap(),
+            std::fs::read(&unpacked).unwrap()
+        );
+        assert!(run(&args(&["pack", &a])).is_err());
+        assert!(run(&args(&["unpack", &a, &unpacked])).is_err());
+    }
+
+    #[test]
+    fn cubec_accepted_everywhere_a_cube_is() {
+        let a = write_sample("cc_a.cube", 2.0);
+        let b = write_sample("cc_b.cube", 4.0);
+        let ac = tmp("cc_a.cubec").to_string_lossy().into_owned();
+        let bc = tmp("cc_b.cubec").to_string_lossy().into_owned();
+        run(&args(&["pack", &a, &ac])).unwrap();
+        run(&args(&["pack", &b, &bc])).unwrap();
+        // info/stat/lint read the store directly.
+        let r = run(&args(&["info", &ac])).unwrap();
+        assert!(r.stdout.contains("2 processes"), "{}", r.stdout);
+        let r = run(&args(&["lint", &ac])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+        // Operators mix backends and write either format.
+        let out_xml = tmp("cc_mean.cube").to_string_lossy().into_owned();
+        let out_store = tmp("cc_mean.cubec").to_string_lossy().into_owned();
+        run(&args(&["mean", &ac, &b, "-o", &out_xml])).unwrap();
+        run(&args(&["mean", &a, &bc, "-o", &out_store])).unwrap();
+        let cmp = run(&args(&["cmp", &out_xml, &out_store])).unwrap();
+        assert_eq!(cmp.code, 0, "{}", cmp.stdout);
+        let e = read_experiment_file(&out_xml).unwrap();
+        assert_eq!(e.severity().values(), &[3.0, 3.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn stats_gathers_from_cubec_operands() {
+        let a = write_sample("sg_a.cube", 2.0);
+        let b = write_sample("sg_b.cube", 4.0);
+        let ac = tmp("sg_a.cubec").to_string_lossy().into_owned();
+        let bc = tmp("sg_b.cubec").to_string_lossy().into_owned();
+        run(&args(&["pack", &a, &ac])).unwrap();
+        run(&args(&["pack", &b, &bc])).unwrap();
+        let from_xml = tmp("sg_xml.cube").to_string_lossy().into_owned();
+        let from_store = tmp("sg_store.cube").to_string_lossy().into_owned();
+        run(&args(&["stats", &from_xml, &a, &b])).unwrap();
+        run(&args(&["stats", &from_store, &ac, &bc])).unwrap();
+        // Same reduction from either backend, byte-identical output.
+        assert_eq!(
+            std::fs::read(&from_xml).unwrap(),
+            std::fs::read(&from_store).unwrap()
+        );
+        // --keep-going skips a missing store operand like an XML one.
+        let r = run(&args(&[
+            "stats",
+            &from_store,
+            &ac,
+            "/nonexistent/gone.cubec",
+            &bc,
+            "--keep-going",
+        ]))
+        .unwrap();
+        assert!(r.stdout.contains("used 2 of 3 inputs"), "{}", r.stdout);
+    }
+
+    #[test]
+    fn repair_cubec_zeroes_damaged_chunk_and_exits_one() {
+        let a = write_sample("rs.cube", 3.0);
+        let packed = tmp("rs.cubec").to_string_lossy().into_owned();
+        run(&args(&["pack", &a, &packed])).unwrap();
+        // Flip one byte in the severity pages (the last section before
+        // the 16-byte footer).
+        let mut bytes = std::fs::read(&packed).unwrap();
+        let n = bytes.len();
+        bytes[n - 24] ^= 0xff;
+        std::fs::write(&packed, &bytes).unwrap();
+        let out = tmp("rs_out.cubec").to_string_lossy().into_owned();
+        let r = run(&args(&["repair", &packed, &out])).unwrap();
+        assert_eq!(r.code, 1, "{}", r.stdout);
+        assert!(r.stdout.contains("partial recovery"), "{}", r.stdout);
+        assert!(
+            r.stdout.contains("severity chunks recovered: 0 of 1"),
+            "{}",
+            r.stdout
+        );
+        assert!(
+            r.stdout.contains("context: severity chunk 0"),
+            "{}",
+            r.stdout
+        );
+        let e = load(&out).unwrap();
+        assert!(e.provenance().is_recovered());
+        assert!(e.severity().values().iter().all(|&v| v == 0.0));
+        // An intact store repairs to exit 0.
+        let ok_in = tmp("rs_ok.cubec").to_string_lossy().into_owned();
+        let ok_out = tmp("rs_ok_out.cubec").to_string_lossy().into_owned();
+        run(&args(&["pack", &a, &ok_in])).unwrap();
+        let r = run(&args(&["repair", &ok_in, &ok_out])).unwrap();
+        assert_eq!(r.code, 0, "{}", r.stdout);
+    }
+
+    #[test]
+    fn repair_xml_reports_damage_context() {
+        let bad = write_truncated("ctx_cut.cube", 2.0);
+        let out = tmp("ctx_out.cube").to_string_lossy().into_owned();
+        let r = run(&args(&["repair", &bad, &out])).unwrap();
+        assert_eq!(r.code, 1, "{}", r.stdout);
+        assert!(
+            r.stdout
+                .contains("context: severity matrix for metric 'time'"),
+            "{}",
+            r.stdout
+        );
     }
 
     #[test]

@@ -645,6 +645,12 @@ pub struct SalvageReport {
     pub loss: Option<String>,
     /// Position of that defect, when known.
     pub position: Option<Position>,
+    /// The structure being parsed when the defect hit (e.g.
+    /// `severity matrix for metric 'time' (id 0), cnode 3`), so
+    /// recovery messages can name the metric and row, not just a byte
+    /// offset. The message format is documented in `docs/FORMAT.md`
+    /// §10.
+    pub context: Option<String>,
     /// Outcome of the checksum footer verification.
     pub checksum: FooterStatus,
 }
@@ -681,6 +687,7 @@ pub fn read_experiment_salvage_with(
                 rows_recovered: info.rows_recovered,
                 loss: info.loss,
                 position: info.position,
+                context: info.context,
                 checksum,
             };
             (exp, report)
@@ -694,17 +701,26 @@ pub fn read_experiment_salvage_with(
                 rows_recovered: 0,
                 loss: None,
                 position: None,
+                context: None,
                 checksum,
             };
             (exp, report)
         }
     };
     if !report.complete {
-        let what = match (&report.loss, report.position) {
+        // Recovery-note format (normative, docs/FORMAT.md §10):
+        //   "damaged[ at L:C][ in CONTEXT]; N rows recovered"
+        // or "checksum mismatch; N rows recovered".
+        let mut what = match (&report.loss, report.position) {
             (Some(_), Some(p)) => format!("damaged at {p}"),
             (Some(_), None) => "damaged".to_string(),
             (None, _) => "checksum mismatch".to_string(),
         };
+        if report.loss.is_some() {
+            if let Some(ctx) = &report.context {
+                what = format!("{what} in {ctx}");
+            }
+        }
         let note = format!("{what}; {} rows recovered", report.rows_recovered);
         let source = exp.provenance().label();
         exp.set_provenance(Provenance::recovered(source, note));

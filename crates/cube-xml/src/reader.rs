@@ -181,6 +181,10 @@ pub(crate) struct SalvageInfo {
     pub loss: Option<String>,
     /// Position of that defect, when known.
     pub position: Option<Position>,
+    /// The structure being parsed when the defect hit, e.g.
+    /// `severity matrix for metric 'time' (id 0), cnode 3` — byte
+    /// offsets say *where*, this says *what*.
+    pub context: Option<String>,
 }
 
 /// Salvage parse: reads the longest valid prefix of a damaged document.
@@ -1111,6 +1115,10 @@ impl<'a> Parser<'a> {
         match self.next_required("cube")? {
             ev @ XmlEvent::StartTag { .. } => {
                 let open = self.reopen(ev)?;
+                // Record which structure is being parsed so the report
+                // can name it when this step's error propagates;
+                // cleared again once the section completes.
+                info.context = Some(format!("{} section", open.attrs.tag));
                 match open.attrs.tag {
                     "provenance" if sections.provenance.is_none() => {
                         sections.provenance = Some(self.parse_provenance(open)?);
@@ -1141,18 +1149,13 @@ impl<'a> Parser<'a> {
                         // Commit the partially-filled buffer *before*
                         // propagating a mid-severity error: every row
                         // already copied in is intact.
-                        let res = self.parse_severity_salvage(
-                            open,
-                            &md,
-                            &mut sev,
-                            &mut info.rows_recovered,
-                            rowbuf,
-                        );
+                        let res = self.parse_severity_salvage(open, &md, &mut sev, info, rowbuf);
                         *finalized = Some((md, sev));
                         res?;
                     }
                     _ => self.skip_element(open)?,
                 }
+                info.context = None;
                 Ok(SalvageStep::Continue)
             }
             XmlEvent::EndTag { name: "cube" } => Ok(SalvageStep::Done),
@@ -1175,7 +1178,7 @@ impl<'a> Parser<'a> {
         open: Open<'a>,
         md: &Metadata,
         sev: &mut Severity,
-        rows: &mut usize,
+        info: &mut SalvageInfo,
         rowbuf: &mut Vec<f64>,
     ) -> Result<(), XmlError> {
         let (nm, nc, nt) = md.shape();
@@ -1190,6 +1193,10 @@ impl<'a> Parser<'a> {
                     format!("matrix metric id {m} out of range"),
                 ));
             }
+            let metric_name = md.metric(MetricId::new(m)).name.clone();
+            info.context = Some(format!(
+                "severity matrix for metric '{metric_name}' (id {m})"
+            ));
             p.each_child(matrix, |p, mut row| {
                 if row.attrs.tag != "row" {
                     return p.skip_element(row);
@@ -1201,6 +1208,9 @@ impl<'a> Parser<'a> {
                         format!("row cnode id {c} out of range"),
                     ));
                 }
+                info.context = Some(format!(
+                    "severity matrix for metric '{metric_name}' (id {m}), cnode {c}"
+                ));
                 let row_at = row.attrs.at;
                 let first = p.gather_row_text(row)?;
                 rowbuf.clear();
@@ -1214,7 +1224,7 @@ impl<'a> Parser<'a> {
                 }
                 sev.row_mut(MetricId::new(m), CallNodeId::new(c))
                     .copy_from_slice(rowbuf);
-                *rows += 1;
+                info.rows_recovered += 1;
                 Ok(())
             })
         })

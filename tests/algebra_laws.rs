@@ -566,6 +566,62 @@ proptest! {
         }
     }
 
+    /// Columnar-store round-trip is exact *and* canonical: decoding a
+    /// store and re-encoding it reproduces the original bytes —
+    /// `pack(unpack(x)) == x` — for arbitrary experiments, original or
+    /// derived.
+    #[test]
+    fn store_roundtrip_is_canonical(sa in spec_strategy(), sb in spec_strategy()) {
+        let a = build(&sa, "store roundtrip");
+        let d = ops::diff(&a, &build(&sb, "b"));
+        for e in [&a, &d] {
+            let bytes = cube_store::write_store(e);
+            let back = cube_store::read_store(&bytes, &cube_xml::ReadLimits::default()).unwrap();
+            prop_assert!(back.approx_eq(e, 0.0));
+            prop_assert_eq!(back.provenance(), e.provenance());
+            prop_assert_eq!(cube_store::write_store(&back), bytes);
+        }
+    }
+
+    /// Backend equivalence: a batch reduction gathered from lazily
+    /// opened `.cubec` stores is *bit-identical* to the same reduction
+    /// over the in-memory experiments.
+    #[test]
+    fn batch_agrees_across_backends(sa in spec_strategy(), sb in spec_strategy()) {
+        use cube_algebra::{BatchOperand, BatchPlan, Expr, Reduction};
+        static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("cube_laws_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let exps = [build(&sa, "a"), build(&sb, "b")];
+        let handles: Vec<cube_store::ColumnarExperiment> = exps
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let path = dir.join(format!("case{case}_{i}.cubec"));
+                cube_store::write_store_file(e, &path).unwrap();
+                let h = cube_store::ColumnarExperiment::open(&path).unwrap();
+                h.severity().unwrap();
+                h
+            })
+            .collect();
+
+        let expr = Expr::reduce(Reduction::Mean, 0..exps.len());
+        let from_memory = {
+            let refs: Vec<&Experiment> = exps.iter().collect();
+            BatchPlan::new(&refs).eval(&expr).unwrap()
+        };
+        let from_store = {
+            let ops: Vec<&dyn BatchOperand> = handles.iter().map(|h| h as _).collect();
+            BatchPlan::from_operands(&ops, MergeOptions::default()).eval(&expr).unwrap()
+        };
+        prop_assert_eq!(from_memory.metadata(), from_store.metadata());
+        prop_assert_eq!(severity_bits(&from_memory), severity_bits(&from_store));
+        prop_assert_eq!(from_memory.provenance(), from_store.provenance());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Lint-cleanliness survives the file format: writing a clean
     /// experiment (original or derived, including negative derived
     /// severities) and strict-reading it back reports no diagnostics.

@@ -1,14 +1,18 @@
 //! Golden corpus for the salvage/repair pipeline.
 //!
 //! Every file under `tests/fixtures/corrupt/` is a damaged `.cube`
-//! document. Fixtures with a sibling `.expect` file must repair
-//! *partially* (`cube repair` exit code 1) and the repaired output
-//! must be byte-identical to the snapshot — the longest valid prefix,
-//! checksummed and marked `recovered`. Fixtures without a snapshot are
-//! unrecoverable (exit code 2, nothing written). The same corpus
-//! drives the recovery gate in `ci/check.sh`.
+//! XML document or `.cubec` columnar store. Fixtures with a sibling
+//! `.expect` file must repair *partially* (`cube repair` exit code 1)
+//! and the repaired output must be byte-identical to the snapshot —
+//! the longest valid prefix (XML) or the intact pages with damaged
+//! chunks zeroed (store), checksummed and marked `recovered`. Fixtures
+//! without a snapshot are unrecoverable (exit code 2, nothing
+//! written). The same corpus drives the recovery gate in
+//! `ci/check.sh`.
 
 use std::path::{Path, PathBuf};
+
+use cube_model::Experiment;
 
 fn corrupt_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corrupt")
@@ -18,11 +22,22 @@ fn cube_files(dir: &Path) -> Vec<PathBuf> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
         .map(|entry| entry.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|x| x == "cube"))
+        .filter(|p| p.extension().is_some_and(|x| x == "cube" || x == "cubec"))
         .collect();
     files.sort();
     assert!(!files.is_empty(), "no fixtures in {}", dir.display());
     files
+}
+
+/// Strict read of a repaired output in whichever format its extension
+/// names — repairs must survive the unforgiving reader of their own
+/// backend.
+fn read_strict(path: &Path) -> Experiment {
+    if path.extension().is_some_and(|x| x == "cubec") {
+        cube_store::read_store_file(path).unwrap()
+    } else {
+        cube_xml::read_experiment_file(path).unwrap()
+    }
 }
 
 fn repair(input: &Path, output: &Path) -> cube_cli::Outcome {
@@ -59,7 +74,7 @@ fn corrupt_corpus_repairs_to_the_documented_prefixes() {
             );
             // The repaired prefix must itself be a clean, strictly
             // readable experiment with recovered provenance.
-            let exp = cube_xml::read_experiment_file(&out).unwrap();
+            let exp = read_strict(&out);
             assert!(exp.provenance().is_recovered(), "{}", cube.display());
             assert_eq!(exp.lint().num_errors(), 0, "{}", cube.display());
         } else {
