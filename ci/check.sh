@@ -188,4 +188,94 @@ else
     echo "skipped: $(nproc) core(s) < 4 (needs real parallelism to measure)"
 fi
 
+echo "== serve gate: /eval bytes match the CLI at every thread count"
+# Boot the analysis server on an ephemeral port over a fresh repository,
+# ingest the determinism corpus through the HTTP API (both formats),
+# and require every /eval response — cache miss and cache hit — to be
+# byte-identical to what `cube stats` writes from the same objects at
+# --threads 1, 2, and 8. Then SIGTERM must drain and exit 0.
+sdir="$lint_tmp/serve"
+mkdir -p "$sdir"
+./target/release/cube serve --repo "$sdir/repo" --port 0 --workers 2 \
+    >"$sdir/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$lint_tmp"' EXIT
+addr=""
+tries=0
+while [ -z "$addr" ]; do
+    addr="$(sed -n 's/^listening on //p' "$sdir/serve.log")"
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "cube serve did not report its address:" >&2
+        cat "$sdir/serve.log" >&2
+        exit 1
+    fi
+    [ -n "$addr" ] || sleep 0.1
+done
+
+ids=""
+for f in run0.cube run1.cube run2.cubec run3.cubec; do
+    reply="$(curl -sS -H 'Expect:' -X PUT \
+        --data-binary @"$det/corpus/$f" "http://$addr/experiments")"
+    id="$(printf '%s' "$reply" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')"
+    if [ -z "$id" ]; then
+        echo "ingest of $f returned no id: $reply" >&2
+        exit 1
+    fi
+    ids="$ids $id"
+done
+set -- $ids
+objects=""
+for id in "$@"; do
+    objects="$objects $sdir/repo/objects/$(printf '%s' "$id" | cut -c1-2)/$id.cubec"
+done
+mean_expr="mean($1,$2,$3,$4)"
+diff_expr="diff(mean($1,$2),mean($3,$4))"
+
+round=0
+for t in 1 2 8; do
+    # shellcheck disable=SC2086
+    ./target/release/cube --threads "$t" stats "$sdir/cli.mean.t$t.cube" \
+        $objects --op mean >/dev/null
+    # shellcheck disable=SC2086
+    ./target/release/cube --threads "$t" stats "$sdir/cli.diff.t$t.cube" \
+        $objects --minus 2 >/dev/null
+    for kind in mean diff; do
+        case "$kind" in
+        mean) expr="$mean_expr" ;;
+        *) expr="$diff_expr" ;;
+        esac
+        curl -sS -H 'Expect:' -X POST --data "$expr" \
+            -D "$sdir/hdr.$kind.t$t" -o "$sdir/srv.$kind.t$t.cube" \
+            "http://$addr/eval"
+        if ! cmp -s "$sdir/cli.$kind.t$t.cube" "$sdir/srv.$kind.t$t.cube"; then
+            echo "/eval '$expr' differs from the CLI at --threads $t" >&2
+            exit 1
+        fi
+        if [ "$round" -eq 0 ]; then
+            want=miss
+        else
+            want=hit
+        fi
+        if ! grep -qi "x-cache: $want" "$sdir/hdr.$kind.t$t"; then
+            echo "/eval '$expr' round $round expected X-Cache: $want" >&2
+            cat "$sdir/hdr.$kind.t$t" >&2
+            exit 1
+        fi
+    done
+    round=$((round + 1))
+done
+
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+serve_status=$?
+set -e
+if [ "$serve_status" -ne 0 ]; then
+    echo "cube serve exited $serve_status after SIGTERM:" >&2
+    cat "$sdir/serve.log" >&2
+    exit 1
+fi
+grep -q "shutdown complete" "$sdir/serve.log"
+
 echo "== ci/check.sh: all green"

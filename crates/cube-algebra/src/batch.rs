@@ -88,6 +88,8 @@
 //! saved.validate().unwrap();
 //! ```
 
+use std::sync::Arc;
+
 use rayon::prelude::*;
 
 use cube_model::{Experiment, Metadata, Provenance, Severity};
@@ -426,6 +428,93 @@ pub struct PartialEvaluation {
 // the plan
 // ---------------------------------------------------------------------------
 
+/// The cacheable product of building a [`BatchPlan`]: the integrated
+/// metadata, per-operand id mappings, and gather tables.
+///
+/// Building these is the expensive half of a plan (one metadata
+/// integration plus one gather-table inversion per operand); the
+/// evaluation half is pure arithmetic. Long-running services cache
+/// `PlanTables` keyed by the *identity of the operand list* — e.g. the
+/// content hashes of the operands in order — and rebuild a cheap
+/// [`BatchPlan`] around the cached tables with
+/// [`BatchPlan::from_tables`] on every request.
+///
+/// # Reuse contract
+///
+/// Tables are only valid for an operand list whose metadata (and, for
+/// the rare non-injective operand, severity values) is identical to
+/// the list they were built from. [`BatchPlan::from_tables`] verifies
+/// the operand count and severity shapes and reports
+/// [`AlgebraError::PlanMismatch`] on disagreement; metadata equality
+/// beyond the shape is the caller's key discipline (content-addressed
+/// stores get it for free).
+pub struct PlanTables {
+    metadata: Metadata,
+    maps: Vec<OperandMap>,
+    shape: (usize, usize, usize),
+    sources: Vec<Source>,
+    /// Severity shapes the operands had at build time, revalidated on
+    /// reuse by [`BatchPlan::from_tables`].
+    operand_shapes: Vec<(usize, usize, usize)>,
+}
+
+impl PlanTables {
+    /// Integrates the operands' metadata and builds the per-operand
+    /// gather tables.
+    pub fn build(operands: &[&dyn BatchOperand], options: MergeOptions) -> Self {
+        if operands.is_empty() {
+            // Nothing to integrate; every reduction over this plan
+            // reports `EmptyOperandList`.
+            return Self {
+                metadata: Metadata::new(),
+                maps: Vec::new(),
+                shape: (0, 0, 0),
+                sources: Vec::new(),
+                operand_shapes: Vec::new(),
+            };
+        }
+        let mds: Vec<&Metadata> = operands.iter().map(|op| op.metadata()).collect();
+        let Integrated { metadata, maps } = integrate_metadata(&mds, options);
+        let shape = metadata.shape();
+        let views: Vec<OperandView<'_>> = operands.iter().map(|op| OperandView::of(*op)).collect();
+        let sources = views
+            .iter()
+            .zip(&maps)
+            .map(|(view, map)| {
+                if view.shape == shape && map.is_identity() {
+                    Source::Direct
+                } else if let Some(g) = GatherMap::try_build(map, shape) {
+                    Source::Gather(g)
+                } else {
+                    Source::Extended(extend_severity_values(view.values, view.shape, map, shape))
+                }
+            })
+            .collect();
+        Self {
+            metadata,
+            maps,
+            shape,
+            sources,
+            operand_shapes: views.iter().map(|v| v.shape).collect(),
+        }
+    }
+
+    /// The integrated metadata all evaluations are defined over.
+    pub fn metadata(&self) -> &Metadata {
+        &self.metadata
+    }
+
+    /// The integrated severity shape `(metrics, call nodes, threads)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+
+    /// Number of operands the tables were built over.
+    pub fn num_operands(&self) -> usize {
+        self.operand_shapes.len()
+    }
+}
+
 /// A reusable batch-evaluation plan over k operand experiments.
 ///
 /// Construction integrates the operands' metadata **once** and caches
@@ -436,10 +525,7 @@ pub struct PartialEvaluation {
 pub struct BatchPlan<'a> {
     operands: Vec<&'a dyn BatchOperand>,
     views: Vec<OperandView<'a>>,
-    metadata: Metadata,
-    maps: Vec<OperandMap>,
-    shape: (usize, usize, usize),
-    sources: Vec<Source>,
+    tables: Arc<PlanTables>,
 }
 
 impl<'a> BatchPlan<'a> {
@@ -458,58 +544,69 @@ impl<'a> BatchPlan<'a> {
     /// Builds a plan over any [`BatchOperand`] sources — full
     /// experiments, lazy storage handles, or a mix.
     pub fn from_operands(operands: &[&'a dyn BatchOperand], options: MergeOptions) -> Self {
-        if operands.is_empty() {
-            // Nothing to integrate; every reduction over this plan
-            // reports `EmptyOperandList`.
-            return Self {
-                operands: Vec::new(),
-                views: Vec::new(),
-                metadata: Metadata::new(),
-                maps: Vec::new(),
-                shape: (0, 0, 0),
-                sources: Vec::new(),
-            };
+        let tables = Arc::new(PlanTables::build(operands, options));
+        Self::from_tables(operands, tables).expect("freshly built tables match their operands")
+    }
+
+    /// Rebuilds a plan around cached [`PlanTables`], skipping metadata
+    /// integration and gather-table construction entirely.
+    ///
+    /// This is the plan-cache hook for long-running evaluators: the
+    /// tables carry no borrow of the operands, so they can be held in
+    /// an LRU across requests and combined with freshly opened operand
+    /// handles here. Fails with [`AlgebraError::PlanMismatch`] when the
+    /// operand count or any severity shape disagrees with the list the
+    /// tables were built from.
+    pub fn from_tables(
+        operands: &[&'a dyn BatchOperand],
+        tables: Arc<PlanTables>,
+    ) -> Result<Self, AlgebraError> {
+        if operands.len() != tables.operand_shapes.len() {
+            return Err(AlgebraError::PlanMismatch {
+                reason: format!(
+                    "tables were built over {} operands, got {}",
+                    tables.operand_shapes.len(),
+                    operands.len()
+                ),
+            });
         }
-        let mds: Vec<&Metadata> = operands.iter().map(|op| op.metadata()).collect();
-        let Integrated { metadata, maps } = integrate_metadata(&mds, options);
-        let shape = metadata.shape();
         let views: Vec<OperandView<'a>> = operands.iter().map(|op| OperandView::of(*op)).collect();
-        let sources = views
-            .iter()
-            .zip(&maps)
-            .map(|(view, map)| {
-                if view.shape == shape && map.is_identity() {
-                    Source::Direct
-                } else if let Some(g) = GatherMap::try_build(map, shape) {
-                    Source::Gather(g)
-                } else {
-                    Source::Extended(extend_severity_values(view.values, view.shape, map, shape))
-                }
-            })
-            .collect();
-        Self {
+        for (i, (view, built)) in views.iter().zip(&tables.operand_shapes).enumerate() {
+            if view.shape != *built {
+                return Err(AlgebraError::PlanMismatch {
+                    reason: format!(
+                        "operand {i} has severity shape {:?}, tables were built over {:?}",
+                        view.shape, built
+                    ),
+                });
+            }
+        }
+        Ok(Self {
             operands: operands.to_vec(),
             views,
-            metadata,
-            maps,
-            shape,
-            sources,
-        }
+            tables,
+        })
+    }
+
+    /// The cached tables behind this plan, shareable across plans over
+    /// equal operand lists.
+    pub fn tables(&self) -> &Arc<PlanTables> {
+        &self.tables
     }
 
     /// The integrated metadata all evaluations are defined over.
     pub fn metadata(&self) -> &Metadata {
-        &self.metadata
+        &self.tables.metadata
     }
 
     /// The cached per-operand id mappings, in operand order.
     pub fn maps(&self) -> &[OperandMap] {
-        &self.maps
+        &self.tables.maps
     }
 
     /// The integrated severity shape `(metrics, call nodes, threads)`.
     pub fn shape(&self) -> (usize, usize, usize) {
-        self.shape
+        self.tables.shape
     }
 
     /// Number of operands in the plan.
@@ -582,9 +679,17 @@ impl<'a> BatchPlan<'a> {
     /// over the integrated metadata.
     pub fn eval(&self, expr: &Expr) -> Result<Experiment, AlgebraError> {
         let values = self.eval_values(expr)?;
-        let severity = Severity::from_values(self.shape.0, self.shape.1, self.shape.2, values);
-        let result =
-            Experiment::new_unchecked(self.metadata.clone(), severity, self.provenance_of(expr));
+        let severity = Severity::from_values(
+            self.tables.shape.0,
+            self.tables.shape.1,
+            self.tables.shape.2,
+            values,
+        );
+        let result = Experiment::new_unchecked(
+            self.tables.metadata.clone(),
+            severity,
+            self.provenance_of(expr),
+        );
         crate::invariant::debug_assert_closed(&result, "batch eval");
         Ok(result)
     }
@@ -661,9 +766,9 @@ impl<'a> BatchPlan<'a> {
                         accumulate_sqdev_dense(&mut out, src, &mean);
                     }
                 } else {
-                    let nt = self.shape.2;
+                    let nt = self.tables.shape.2;
                     self.for_each_row(&mut out, |m, c, row| {
-                        let r0 = m * self.shape.1 + c;
+                        let r0 = m * self.tables.shape.1 + c;
                         let mrow = &mean[r0 * nt..(r0 + 1) * nt];
                         for &i in idxs {
                             accumulate_sqdev(row, &self.operand_row(i, m, c), mrow);
@@ -744,7 +849,7 @@ impl<'a> BatchPlan<'a> {
 
     /// Whole-array view of an operand whose source needs no gathering.
     fn dense_values(&self, i: usize) -> Option<&[f64]> {
-        match &self.sources[i] {
+        match &self.tables.sources[i] {
             Source::Direct => Some(self.views[i].values),
             Source::Extended(s) => Some(s.values()),
             Source::Gather(_) => None,
@@ -756,13 +861,13 @@ impl<'a> BatchPlan<'a> {
     }
 
     fn zeroed(&self) -> Vec<f64> {
-        vec![0.0; self.shape.0 * self.shape.1 * self.shape.2]
+        vec![0.0; self.tables.shape.0 * self.tables.shape.1 * self.tables.shape.2]
     }
 
     /// Runs `f(metric, call, row)` for every integrated row, in blocks
     /// of rows distributed over Rayon above the element threshold.
     fn for_each_row(&self, values: &mut [f64], f: impl Fn(usize, usize, &mut [f64]) + Sync) {
-        let (_, nc, nt) = self.shape;
+        let (_, nc, nt) = self.tables.shape;
         if values.is_empty() || nt == 0 {
             return;
         }
@@ -786,9 +891,9 @@ impl<'a> BatchPlan<'a> {
     /// The operand's contribution to integrated row `(m, c)`, read
     /// through the cached source — no allocation, no copies.
     fn operand_row(&self, i: usize, m: usize, c: usize) -> RowRef<'_> {
-        match &self.sources[i] {
-            Source::Direct => RowRef::Dense(self.views[i].row(m * self.shape.1 + c)),
-            Source::Extended(sev) => RowRef::Dense(sev.row_at(m * self.shape.1 + c)),
+        match &self.tables.sources[i] {
+            Source::Direct => RowRef::Dense(self.views[i].row(m * self.tables.shape.1 + c)),
+            Source::Extended(sev) => RowRef::Dense(sev.row_at(m * self.tables.shape.1 + c)),
             Source::Gather(g) => {
                 let (im, ic) = (g.metric[m], g.call[c]);
                 if im == ABSENT || ic == ABSENT {
@@ -1093,10 +1198,44 @@ mod tests {
         let a = uniform("a", 3, 1.0);
         let b = uniform("b", 3, 2.0);
         let plan = BatchPlan::new(&[&a, &b]);
-        assert!(plan.sources.iter().all(|s| matches!(s, Source::Direct)));
+        assert!(plan
+            .tables
+            .sources
+            .iter()
+            .all(|s| matches!(s, Source::Direct)));
         let m = plan.reduce(Reduction::Mean).unwrap();
         assert!(m.severity().values().iter().all(|&v| v == 1.5));
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn cached_tables_rebuild_identical_plans() {
+        let a = uniform("a", 3, 1.0);
+        let b = disjoint("b", 2, 2.0);
+        let ops: Vec<&dyn BatchOperand> = vec![&a, &b];
+        let first = BatchPlan::from_operands(&ops, MergeOptions::default());
+        let tables = Arc::clone(first.tables());
+        let fresh = first.reduce(Reduction::Mean).unwrap();
+        drop(first);
+        // Same operand list through the cached tables: no integration,
+        // identical result bits.
+        let reused = BatchPlan::from_tables(&ops, Arc::clone(&tables)).unwrap();
+        let again = reused.reduce(Reduction::Mean).unwrap();
+        assert_eq!(fresh.severity().values(), again.severity().values());
+        assert_eq!(fresh.metadata(), again.metadata());
+        assert_eq!(fresh.provenance().label(), again.provenance().label());
+        // A mismatched operand list is rejected, not miscomputed.
+        let short: Vec<&dyn BatchOperand> = vec![&a];
+        assert!(matches!(
+            BatchPlan::from_tables(&short, Arc::clone(&tables)),
+            Err(AlgebraError::PlanMismatch { .. })
+        ));
+        let c = uniform("c", 5, 1.0);
+        let wrong_shape: Vec<&dyn BatchOperand> = vec![&a, &c];
+        assert!(matches!(
+            BatchPlan::from_tables(&wrong_shape, tables),
+            Err(AlgebraError::PlanMismatch { .. })
+        ));
     }
 
     #[test]
@@ -1107,7 +1246,7 @@ mod tests {
         assert_eq!(plan.shape().2, 4);
         // a has fewer threads → gather with a contiguous prefix.
         assert!(matches!(
-            &plan.sources[0],
+            &plan.tables.sources[0],
             Source::Gather(g) if g.thread_prefix == Some(2)
         ));
         let s = plan.reduce(Reduction::Sum).unwrap();
@@ -1131,7 +1270,7 @@ mod tests {
         let dup = b.build().unwrap();
         let other = uniform("o", 1, 5.0);
         let plan = BatchPlan::new(&[&dup, &other]);
-        assert!(matches!(&plan.sources[0], Source::Extended(_)));
+        assert!(matches!(&plan.tables.sources[0], Source::Extended(_)));
         // The duplicate siblings accumulate (1 + 2) before the sum.
         let s = plan.reduce(Reduction::Sum).unwrap();
         assert_eq!(s.severity().values(), &[8.0]);

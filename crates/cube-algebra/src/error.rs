@@ -33,6 +33,12 @@ pub enum AlgebraError {
         /// Why it could not be used (parse error, I/O failure, ...).
         reason: String,
     },
+    /// Cached [`PlanTables`](crate::batch::PlanTables) were combined
+    /// with an operand list they were not built from.
+    PlanMismatch {
+        /// What disagreed (operand count or a severity shape).
+        reason: String,
+    },
 }
 
 impl fmt::Display for AlgebraError {
@@ -49,6 +55,12 @@ impl fmt::Display for AlgebraError {
             }
             Self::OperandFailed { index, reason } => {
                 write!(f, "operand {index} is unusable: {reason}")
+            }
+            Self::PlanMismatch { reason } => {
+                write!(
+                    f,
+                    "cached plan tables do not match the operand list: {reason}"
+                )
             }
         }
     }

@@ -72,12 +72,15 @@ mod invariant;
 pub mod mapping;
 pub mod ops;
 pub mod options;
+pub mod parse;
 pub mod stats;
 
 pub use batch::{
-    BatchOperand, BatchPlan, Expr, OperandError, PartialEvaluation, PartialOperand, Reduction,
+    BatchOperand, BatchPlan, Expr, OperandError, PartialEvaluation, PartialOperand, PlanTables,
+    Reduction,
 };
 pub use error::AlgebraError;
 pub use integrate::{integrate, integrate_metadata, Integrated};
 pub use mapping::OperandMap;
 pub use options::{CallSiteEq, FailurePolicy, MergeOptions, SystemMergeMode};
+pub use parse::{parse_expr, ExprParseError, ParsedExpr};

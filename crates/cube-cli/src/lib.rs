@@ -104,6 +104,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "cmp" => cmp(rest),
         "lint" => lint_cmd(rest),
         "repair" => repair_cmd(rest),
+        "serve" => serve_cmd(rest),
         "pack" => pack_cmd(rest),
         "unpack" => unpack_cmd(rest),
         "view" => view(rest),
@@ -114,7 +115,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 }
 
 fn usage() -> String {
-    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|repair|pack|unpack|view|browse|help> ...\n\
+    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|repair|serve|pack|unpack|view|browse|help> ...\n\
      global flags: --threads N (pool size; default CUBE_THREADS or all cores)\n\
      paths ending in .cubec use the columnar store format (docs/STORE.md)\n\
      see the crate documentation for per-subcommand flags"
@@ -171,6 +172,16 @@ const VALUED_FLAGS: &[&str] = &[
     "--minus",
     "--format",
     "--deny",
+    "--repo",
+    "--addr",
+    "--port",
+    "--workers",
+    "--queue",
+    "--cache-results",
+    "--cache-plans",
+    "--cache-handles",
+    "--max-body",
+    "--delay-ms",
 ];
 
 fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -936,7 +947,11 @@ fn repair_cmd(args: &[String]) -> Result<Outcome, String> {
     if is_cubec(input) {
         return repair_store(input, output);
     }
-    let (exp, report) = match cube_xml::read_experiment_salvage_file(input) {
+    // Inside a serve repository, recovery provenance names the stable
+    // repository-relative object path instead of whatever absolute or
+    // temporary path the file was read from.
+    let origin = cube_serve::repo_relative_origin(std::path::Path::new(input));
+    let (exp, report) = match cube_xml::read_experiment_salvage_file_as(input, origin.as_deref()) {
         Ok(pair) => pair,
         // Not being able to read the file at all is a usage-level
         // failure; "unrecoverable" is reserved for files we read but
@@ -978,16 +993,18 @@ fn repair_cmd(args: &[String]) -> Result<Outcome, String> {
 /// is counted in severity chunks (the store's recovery unit) instead
 /// of rows.
 fn repair_store(input: &str, output: &str) -> Result<Outcome, String> {
-    let (exp, report) = match cube_store::salvage_store_file(input, &ReadLimits::default()) {
-        Ok(pair) => pair,
-        Err(e @ StoreError::Io { .. }) => return Err(store_path_error(input, e)),
-        Err(e) => {
-            return Ok(Outcome {
-                code: 2,
-                stdout: format!("{input}: unrecoverable: {e}\n"),
-            })
-        }
-    };
+    let origin = cube_serve::repo_relative_origin(std::path::Path::new(input));
+    let (exp, report) =
+        match cube_store::salvage_store_file_as(input, origin.as_deref(), &ReadLimits::default()) {
+            Ok(pair) => pair,
+            Err(e @ StoreError::Io { .. }) => return Err(store_path_error(input, e)),
+            Err(e) => {
+                return Ok(Outcome {
+                    code: 2,
+                    stdout: format!("{input}: unrecoverable: {e}\n"),
+                })
+            }
+        };
     let relint = exp.lint();
     store(&exp, output)?;
     let mut s = String::new();
@@ -1015,6 +1032,68 @@ fn repair_store(input: &str, output: &str) -> Result<Outcome, String> {
         code: i32::from(!report.complete),
         stdout: s,
     })
+}
+
+/// `cube serve --repo DIR [--addr A] [--port P] [--workers N]
+/// [--queue N] [--cache-results N] [--cache-plans N]
+/// [--cache-handles N] [--max-body BYTES] [--delay-ms MS]` — run the
+/// analysis server over a sharded experiment repository until SIGTERM
+/// or SIGINT, then drain in-flight requests and exit 0.
+///
+/// Prints `listening on ADDR:PORT` (flushed) as soon as the socket is
+/// bound, so scripts using `--port 0` can discover the ephemeral port.
+/// `--delay-ms` is a test hook that stalls each request, letting the
+/// stress harness fill the admission queue deterministically.
+fn serve_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    if !p.positional.is_empty() {
+        return Err("cube serve takes no positional arguments".into());
+    }
+    if let Some(flag) = p.flags.first() {
+        return Err(format!("unknown flag {flag} for cube serve"));
+    }
+    let mut config = cube_serve::ServeConfig::default();
+    let mut repo: Option<String> = None;
+    let num = |flag: &str, value: &str| -> Result<usize, String> {
+        value
+            .parse::<usize>()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got '{value}'"))
+    };
+    for (flag, value) in &p.valued {
+        match flag.as_str() {
+            "--repo" => repo = Some(value.clone()),
+            "--addr" => config.addr = value.clone(),
+            "--port" => {
+                config.port = value
+                    .parse()
+                    .map_err(|_| format!("--port needs a port number, got '{value}'"))?;
+            }
+            "--workers" => config.workers = num(flag, value)?.max(1),
+            "--queue" => config.queue_depth = num(flag, value)?.max(1),
+            "--cache-results" => config.result_cache = num(flag, value)?,
+            "--cache-plans" => config.plan_cache = num(flag, value)?,
+            "--cache-handles" => config.handle_cache = num(flag, value)?,
+            "--max-body" => config.max_body = num(flag, value)?,
+            "--delay-ms" => config.delay_ms = num(flag, value)? as u64,
+            other => return Err(format!("unknown flag {other} for cube serve")),
+        }
+    }
+    let repo = repo.ok_or("cube serve needs --repo DIR")?;
+    cube_serve::install_signal_handlers();
+    let server =
+        cube_serve::start(config, std::path::Path::new(&repo)).map_err(|e| e.to_string())?;
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "listening on {}", server.local_addr());
+        let _ = out.flush();
+    }
+    while !cube_serve::signaled() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.shutdown();
+    server.join();
+    ok("shutdown complete; drained in-flight requests\n".to_string())
 }
 
 /// `cube pack IN OUT` — re-encode an experiment (either format) into
@@ -1689,6 +1768,61 @@ mod tests {
         run(&args(&["pack", &a, &ok_in])).unwrap();
         let r = run(&args(&["repair", &ok_in, &ok_out])).unwrap();
         assert_eq!(r.code, 0, "{}", r.stdout);
+    }
+
+    #[test]
+    fn repair_in_repository_reports_relative_origin() {
+        // An object damaged inside a serve repository salvages with the
+        // stable repository-relative path in its recovery note, not the
+        // absolute path the repair happened to read.
+        let root = tmp("origin_repo");
+        let repo = cube_serve::Repository::open_or_init(&root, cube_xml::ReadLimits::default(), 4)
+            .unwrap();
+        let ingested = repo.ingest(&cube_store::write_store(&sample(5.0))).unwrap();
+        let object = repo.object_path(&ingested.id);
+        let mut bytes = std::fs::read(&object).unwrap();
+        let n = bytes.len();
+        bytes[n - 24] ^= 0xff;
+        std::fs::write(&object, &bytes).unwrap();
+
+        let out = tmp("origin_out.cubec").to_string_lossy().into_owned();
+        let object_str = object.to_string_lossy().into_owned();
+        let r = run(&args(&["repair", &object_str, &out])).unwrap();
+        assert_eq!(r.code, 1, "{}", r.stdout);
+        let repaired = load(&out).unwrap();
+        let cube_model::Provenance::Recovered { note, .. } = repaired.provenance() else {
+            panic!(
+                "expected recovered provenance, got {:?}",
+                repaired.provenance()
+            );
+        };
+        let relative = cube_serve::Repository::relative_object_path(&ingested.id);
+        assert!(
+            note.starts_with(&format!("{relative}: ")),
+            "note should lead with the repository-relative path: {note}"
+        );
+        assert!(
+            !note.contains(&object_str),
+            "note must not leak the absolute path: {note}"
+        );
+
+        // Outside a repository the note keeps its unprefixed form.
+        let plain = tmp("origin_plain.cubec").to_string_lossy().into_owned();
+        std::fs::write(&plain, std::fs::read(&object).unwrap()).unwrap();
+        let out2 = tmp("origin_plain_out.cubec").to_string_lossy().into_owned();
+        let r = run(&args(&["repair", &plain, &out2])).unwrap();
+        assert_eq!(r.code, 1, "{}", r.stdout);
+        let cube_model::Provenance::Recovered {
+            note: plain_note, ..
+        } = load(&out2).unwrap().provenance().clone()
+        else {
+            panic!("expected recovered provenance");
+        };
+        assert_eq!(
+            format!("{relative}: {plain_note}"),
+            *note,
+            "origin must be a pure prefix over the default note"
+        );
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Route table and request handlers.
+//!
+//! | Method | Path                       | Body            | Returns |
+//! |--------|----------------------------|-----------------|---------|
+//! | PUT    | `/experiments`             | `.cube`/`.cubec`| JSON id |
+//! | GET    | `/experiments/{id}/stats`  | —               | JSON    |
+//! | GET    | `/experiments/{id}/lint`   | —               | JSON    |
+//! | POST   | `/eval`                    | expr text/JSON  | `.cube` |
+//! | GET    | `/stats`                   | —               | JSON    |
+//! | GET    | `/healthz`                 | —               | JSON    |
+//!
+//! `/eval` responses are byte-identical to the files `cube stats` /
+//! `cube diff` write: the CUBE body followed by the checksum footer
+//! line. That identity is what the CI serve gate diffs, and it holds
+//! on cache hits too — the `X-Cache` header says which path produced
+//! the bytes.
+
+use crate::error::ServeError;
+use crate::http::{Request, Response};
+use crate::json::{extract_string_field, json_string};
+use crate::server::Shared;
+use cube_algebra::{parse_expr, BatchOperand, BatchPlan, MergeOptions, ParsedExpr, PlanTables};
+use cube_model::Provenance;
+use cube_store::ColumnarExperiment;
+use cube_xml::footer::{crc32, footer_line};
+use cube_xml::write_experiment;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Dispatches one request, converting every failure into its JSON
+/// error body. Never panics the worker: unknown routes are 404, wrong
+/// methods 405.
+pub fn handle(shared: &Shared, req: &Request) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let result = match (req.method.as_str(), segments.as_slice()) {
+        ("PUT", ["experiments"]) => ingest(shared, req),
+        ("GET", ["experiments", id, "stats"]) => experiment_stats(shared, id),
+        ("GET", ["experiments", id, "lint"]) => experiment_lint(shared, id),
+        ("POST", ["eval"]) => eval(shared, req),
+        ("GET", ["stats"]) => Ok(server_stats(shared)),
+        ("GET", ["healthz"]) => Ok(Response::json(200, "{\"ok\":true}".to_string())),
+        (_, ["experiments"]) | (_, ["eval"]) | (_, ["experiments", _, "stats" | "lint"]) => {
+            Err(ServeError {
+                status: 405,
+                code: "method_not_allowed".to_string(),
+                message: format!("{} is not supported on {path}", req.method),
+            })
+        }
+        _ => Err(ServeError::not_found(
+            "no_such_route",
+            format!("no route for {path}"),
+        )),
+    };
+    result.unwrap_or_else(|e| error_response(&e))
+}
+
+/// Renders a [`ServeError`] as its JSON wire form.
+pub fn error_response(e: &ServeError) -> Response {
+    Response::json(
+        e.status,
+        format!(
+            "{{\"error\":{},\"code\":{}}}",
+            json_string(&e.message),
+            json_string(&e.code)
+        ),
+    )
+}
+
+fn ingest(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
+    let outcome = shared.repo.ingest(&req.body)?;
+    let status = if outcome.created { 201 } else { 200 };
+    Ok(Response::json(
+        status,
+        format!(
+            "{{\"id\":\"{}\",\"created\":{},\"label\":{}}}",
+            outcome.id,
+            outcome.created,
+            json_string(&outcome.label)
+        ),
+    ))
+}
+
+fn provenance_kind(p: &Provenance) -> &'static str {
+    match p {
+        Provenance::Original { .. } => "original",
+        Provenance::Derived { .. } => "derived",
+        Provenance::Recovered { .. } => "recovered",
+    }
+}
+
+fn experiment_stats(shared: &Shared, id: &str) -> Result<Response, ServeError> {
+    let handle = shared.repo.open(id)?;
+    let md = handle.metadata();
+    let values = handle.severity()?;
+    let nonzero = values.iter().filter(|v| **v != 0.0).count();
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"id\":\"{id}\",\"label\":{},\"kind\":\"{}\",\
+             \"metrics\":{},\"modules\":{},\"regions\":{},\"call_sites\":{},\
+             \"call_nodes\":{},\"machines\":{},\"nodes\":{},\"processes\":{},\
+             \"threads\":{},\"values\":{},\"nonzero\":{}}}",
+            json_string(&handle.provenance().label()),
+            provenance_kind(handle.provenance()),
+            md.num_metrics(),
+            md.modules().len(),
+            md.regions().len(),
+            md.call_sites().len(),
+            md.num_call_nodes(),
+            md.machines().len(),
+            md.nodes().len(),
+            md.processes().len(),
+            md.num_threads(),
+            values.len(),
+            nonzero,
+        ),
+    ))
+}
+
+fn experiment_lint(shared: &Shared, id: &str) -> Result<Response, ServeError> {
+    let path = shared.repo.locate(id)?;
+    let report = cube_store::lint_file(&path);
+    let mut s = format!("{{\"id\":\"{id}\",\"diagnostics\":[");
+    for (i, d) in report.diagnostics().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"code\":\"{}\",\"level\":\"{}\",\"location\":{},\"message\":{}}}",
+            d.code,
+            d.level(),
+            json_string(&d.location.to_string()),
+            json_string(&d.message)
+        );
+    }
+    let _ = write!(
+        s,
+        "],\"errors\":{},\"warnings\":{},\"ok\":{}}}",
+        report.num_errors(),
+        report.num_warnings(),
+        !report.has_errors()
+    );
+    Ok(Response::json(200, s))
+}
+
+fn server_stats(shared: &Shared) -> Response {
+    let (result_hits, result_misses, result_entries) = {
+        let c = shared.results.lock().expect("result cache lock poisoned");
+        (c.hits(), c.misses(), c.len())
+    };
+    let (plan_hits, plan_misses, plan_entries) = {
+        let c = shared.plans.lock().expect("plan cache lock poisoned");
+        (c.hits(), c.misses(), c.len())
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"experiments\":{},\"requests\":{},\"evals\":{},\"rejected\":{},\
+             \"result_cache\":{{\"hits\":{result_hits},\"misses\":{result_misses},\"entries\":{result_entries}}},\
+             \"plan_cache\":{{\"hits\":{plan_hits},\"misses\":{plan_misses},\"entries\":{plan_entries}}}}}",
+            shared.repo.count(),
+            shared.requests.load(Ordering::Relaxed),
+            shared.evals.load(Ordering::Relaxed),
+            shared.rejected.load(Ordering::Relaxed),
+        ),
+    )
+}
+
+/// The expression text from a `/eval` body: either a flat JSON object
+/// with an `expr` field, or the expression itself as plain text.
+fn body_expr(req: &Request) -> Result<String, ServeError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::bad_request("bad_encoding", "request body is not UTF-8"))?;
+    let trimmed = text.trim();
+    if trimmed.starts_with('{') {
+        extract_string_field(trimmed, "expr").ok_or_else(|| {
+            ServeError::bad_request("missing_expr", "JSON body has no string \"expr\" field")
+        })
+    } else if trimmed.is_empty() {
+        Err(ServeError::bad_request(
+            "missing_expr",
+            "empty body; send an expression or {\"expr\": \"...\"}",
+        ))
+    } else {
+        Ok(trimmed.to_string())
+    }
+}
+
+/// Renders a derived experiment exactly as `write_experiment_file`
+/// commits it to disk: the CUBE body followed by the checksum footer.
+fn render_cube_bytes(exp: &cube_model::Experiment) -> Vec<u8> {
+    let body = write_experiment(exp);
+    let mut bytes = body.into_bytes();
+    let line = footer_line(crc32(&bytes), bytes.len() as u64);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes
+}
+
+fn plan_for<'a>(
+    shared: &Shared,
+    parsed: &ParsedExpr,
+    ops: &[&'a dyn BatchOperand],
+) -> Result<BatchPlan<'a>, ServeError> {
+    let plan_key = parsed.operands.join(",");
+    if let Some(tables) = shared
+        .plans
+        .lock()
+        .expect("plan cache lock poisoned")
+        .get(&plan_key)
+    {
+        // Content ids key the cache, so cached tables can only mismatch
+        // if an object was replaced underneath us; rebuild in that case.
+        if let Ok(plan) = BatchPlan::from_tables(ops, tables) {
+            return Ok(plan);
+        }
+    }
+    let tables = Arc::new(PlanTables::build(ops, MergeOptions::default()));
+    shared
+        .plans
+        .lock()
+        .expect("plan cache lock poisoned")
+        .insert(plan_key, Arc::clone(&tables));
+    BatchPlan::from_tables(ops, tables).map_err(ServeError::from)
+}
+
+fn eval(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
+    shared.evals.fetch_add(1, Ordering::Relaxed);
+    let text = body_expr(req)?;
+    let parsed = parse_expr(&text)?;
+    let key = parsed.canonical();
+    if let Some(bytes) = shared
+        .results
+        .lock()
+        .expect("result cache lock poisoned")
+        .get(&key)
+    {
+        return Ok(
+            Response::bytes(200, "application/cube+xml", bytes.as_ref().clone())
+                .with_header("x-cache", "hit"),
+        );
+    }
+    let handles: Vec<Arc<ColumnarExperiment>> = parsed
+        .operands
+        .iter()
+        .map(|id| shared.repo.open(id))
+        .collect::<Result<_, _>>()?;
+    let ops: Vec<&dyn BatchOperand> = handles
+        .iter()
+        .map(|h| h.as_ref() as &dyn BatchOperand)
+        .collect();
+    let plan = plan_for(shared, &parsed, &ops)?;
+    let exp = plan.eval(&parsed.expr)?;
+    let bytes = Arc::new(render_cube_bytes(&exp));
+    shared
+        .results
+        .lock()
+        .expect("result cache lock poisoned")
+        .insert(key, Arc::clone(&bytes));
+    Ok(
+        Response::bytes(200, "application/cube+xml", bytes.as_ref().clone())
+            .with_header("x-cache", "miss"),
+    )
+}

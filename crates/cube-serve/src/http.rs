@@ -1,0 +1,268 @@
+//! Minimal HTTP/1.1 framing over a [`std::net::TcpStream`].
+//!
+//! The server speaks exactly the subset its API needs: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies only (no chunked encoding), ASCII request lines. Hand-rolling
+//! this keeps the dependency count at zero and the attack surface
+//! auditable: the parser below is the *entire* network-facing input
+//! path ahead of the format readers, which carry their own
+//! [`cube_xml::ReadLimits`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `PUT`, `POST`).
+    pub method: String,
+    /// Request path, e.g. `/experiments/0123456789abcdef/stats`.
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before sending a complete request.
+    Closed,
+    /// The bytes are not a request this server understands.
+    Malformed(String),
+    /// The declared body exceeds the configured maximum.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured cap.
+        limit: usize,
+    },
+    /// Transport failure (includes read timeouts).
+    Io(std::io::Error),
+}
+
+/// Reads one request from `stream`, enforcing [`MAX_HEAD_BYTES`] and
+/// the caller's body cap *before* buffering the body.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let body_start = loop {
+        if let Some(end) = find_head_end(&head) {
+            break end;
+        }
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return if head.is_empty() {
+                Err(HttpError::Closed)
+            } else {
+                Err(HttpError::Malformed("connection closed mid-request".into()))
+            };
+        }
+        head.extend_from_slice(&chunk[..n]);
+    };
+
+    let (method, path, headers) = parse_head(&head[..body_start - 4])?;
+    let declared = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
+        None => 0,
+    };
+    if declared > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+
+    let mut body = head[body_start..].to_vec();
+    if body.len() > declared {
+        return Err(HttpError::Malformed(
+            "more body bytes than content-length declares".into(),
+        ));
+    }
+    while body.len() < declared {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > declared {
+            return Err(HttpError::Malformed(
+                "more body bytes than content-length declares".into(),
+            ));
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parsed request line + headers: `(method, path, headers)`.
+type Head = (String, String, Vec<(String, String)>);
+
+fn parse_head(head: &[u8]) -> Result<Head, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line '{request_line}'"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("bad version '{version}'")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), path.to_string(), headers))
+}
+
+/// A response ready to serialize: status, content type, extra headers,
+/// body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Additional headers (e.g. `X-Cache`).
+    pub extra: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A response with explicit content type and raw bytes.
+    pub fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type,
+            extra: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra.push((name, value.into()));
+        self
+    }
+}
+
+/// Serializes `resp` onto `stream` with `Connection: close`.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_method_path_headers() {
+        let (m, p, h) =
+            parse_head(b"PUT /experiments HTTP/1.1\r\nContent-Length: 3\r\nX-Foo: bar").unwrap();
+        assert_eq!(m, "PUT");
+        assert_eq!(p, "/experiments");
+        assert_eq!(h[0], ("content-length".into(), "3".into()));
+        assert_eq!(h[1], ("x-foo".into(), "bar".into()));
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        assert!(parse_head(b"nonsense").is_err());
+        assert!(parse_head(b"GET HTTP/1.1").is_err());
+        assert!(parse_head(b"GET noslash HTTP/1.1").is_err());
+        assert!(parse_head(b"GET / SPDY/99").is_err());
+    }
+
+    #[test]
+    fn finds_head_end_only_on_blank_line() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,374 @@
+//! Content-addressed, hash-sharded experiment repository.
+//!
+//! Every ingested experiment — whether uploaded as `.cube` XML or as a
+//! `.cubec` binary container — is re-encoded to its canonical `.cubec`
+//! bytes and stored under the FNV-1a 64-bit hash of those bytes:
+//!
+//! ```text
+//! <root>/CUBEREPO               # marker: "this directory is a repository"
+//! <root>/objects/<hh>/<16 hex>.cubec
+//! ```
+//!
+//! where `<hh>` is the first two hex digits of the id. Canonicalizing
+//! before hashing means the same experiment uploaded in either format
+//! (or twice) lands on the same object exactly once, and the id doubles
+//! as an integrity check: the bytes on disk hash to their own name.
+//!
+//! The marker file lets tools that are handed a bare object path —
+//! `cube repair` in particular — recognize the repository above it and
+//! report the stable repository-relative path (`objects/ab/….cubec`)
+//! in recovery provenance instead of whatever absolute or temporary
+//! path the file happened to be read from.
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+use cube_store::{read_store, write_store, ColumnarExperiment};
+use cube_xml::footer::check_footer;
+use cube_xml::{CubeReader, ReadLimits};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Name of the marker file that identifies a repository root.
+pub const REPO_MARKER: &str = "CUBEREPO";
+
+/// Magic prefix of a `.cubec` container, re-exported for sniffing.
+const STORE_MAGIC: [u8; 8] = [0x89, b'C', b'U', b'B', b'E', b'C', 0x0D, 0x0A];
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// FNV-1a 64-bit content id of canonical `.cubec` bytes, rendered as
+/// 16 lowercase hex digits.
+pub fn content_id(canonical: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in canonical {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+fn valid_id(id: &str) -> bool {
+    id.len() == 16
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// What [`Repository::ingest`] did with an upload.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// Content id the experiment is stored under.
+    pub id: String,
+    /// `true` when the object was new, `false` when it already existed.
+    pub created: bool,
+    /// Provenance label of the ingested experiment.
+    pub label: String,
+}
+
+/// An on-disk experiment repository plus a shared cache of open
+/// [`ColumnarExperiment`] handles.
+///
+/// The handle cache is the server's third cache (besides derived
+/// results and plan tables): opening a `.cubec` lazily decodes only
+/// metadata, but even that is worth sharing across the requests that
+/// hit the same operands. Handles are `Arc`-shared; severity pages
+/// load on first touch and are then reused by every holder.
+pub struct Repository {
+    root: PathBuf,
+    limits: ReadLimits,
+    handles: Mutex<LruCache<String, Arc<ColumnarExperiment>>>,
+}
+
+impl Repository {
+    /// Opens `root` as a repository, creating the directory layout and
+    /// `CUBEREPO` marker if needed. Refuses a non-empty directory that
+    /// is not already a repository, so a typo cannot scribble objects
+    /// into an unrelated tree.
+    pub fn open_or_init(
+        root: impl Into<PathBuf>,
+        limits: ReadLimits,
+        handle_cache: usize,
+    ) -> Result<Self, ServeError> {
+        let root = root.into();
+        let marker = root.join(REPO_MARKER);
+        if root.exists() && !marker.exists() {
+            let occupied = std::fs::read_dir(&root)
+                .map_err(|e| ServeError::internal(format!("{}: {e}", root.display())))?
+                .next()
+                .is_some();
+            if occupied {
+                return Err(ServeError::bad_request(
+                    "not_a_repository",
+                    format!(
+                        "{} is non-empty and has no {REPO_MARKER} marker",
+                        root.display()
+                    ),
+                ));
+            }
+        }
+        std::fs::create_dir_all(root.join("objects"))
+            .map_err(|e| ServeError::internal(format!("{}: {e}", root.display())))?;
+        if !marker.exists() {
+            std::fs::write(&marker, "cube experiment repository v1\n")
+                .map_err(|e| ServeError::internal(format!("{}: {e}", marker.display())))?;
+        }
+        Ok(Self {
+            root,
+            limits,
+            handles: Mutex::new(LruCache::new(handle_cache)),
+        })
+    }
+
+    /// The repository root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Absolute path of the object `id` would be stored at.
+    pub fn object_path(&self, id: &str) -> PathBuf {
+        self.root.join(Self::relative_object_path(id))
+    }
+
+    /// Repository-relative object path with `/` separators — the
+    /// stable name used in recovery provenance.
+    pub fn relative_object_path(id: &str) -> String {
+        format!("objects/{}/{id}.cubec", &id[..2])
+    }
+
+    /// Ingests an uploaded experiment in either wire format, returning
+    /// its content id. Uploads are parsed under the repository's
+    /// [`ReadLimits`], canonicalized to `.cubec` bytes, and committed
+    /// atomically (write-temp, rename) so a crashed upload can never
+    /// leave a half-written object under a valid name.
+    pub fn ingest(&self, bytes: &[u8]) -> Result<IngestOutcome, ServeError> {
+        let exp = if bytes.starts_with(&STORE_MAGIC) {
+            read_store(bytes, &self.limits)?
+        } else {
+            let text = std::str::from_utf8(bytes).map_err(|_| {
+                ServeError::bad_request(
+                    "bad_encoding",
+                    "upload is neither a .cubec container nor UTF-8 XML",
+                )
+            })?;
+            if check_footer(text).is_mismatch() {
+                return Err(ServeError::bad_request(
+                    "footer_mismatch",
+                    "checksum footer does not match the document bytes",
+                ));
+            }
+            CubeReader::with_limits(text, self.limits).read()?
+        };
+        let canonical = write_store(&exp);
+        let id = content_id(&canonical);
+        let label = exp.provenance().label();
+        let path = self.object_path(&id);
+        if path.exists() {
+            return Ok(IngestOutcome {
+                id,
+                created: false,
+                label,
+            });
+        }
+        let shard = path.parent().expect("object path has a shard directory");
+        std::fs::create_dir_all(shard)
+            .map_err(|e| ServeError::internal(format!("{}: {e}", shard.display())))?;
+        let tmp = shard.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let commit = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&canonical)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = commit {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(ServeError::internal(format!("{}: {e}", path.display())));
+        }
+        Ok(IngestOutcome {
+            id,
+            created: true,
+            label,
+        })
+    }
+
+    /// Opens the experiment stored under `id`, sharing handles through
+    /// the LRU cache. Unknown ids are a 404, malformed ids a 400.
+    pub fn open(&self, id: &str) -> Result<Arc<ColumnarExperiment>, ServeError> {
+        let mut handles = self.handles.lock().expect("handle cache lock poisoned");
+        if let Some(handle) = handles.get(&id.to_string()) {
+            return Ok(handle);
+        }
+        let path = self.locate(id)?;
+        let handle = Arc::new(ColumnarExperiment::open_with(&path, &self.limits)?);
+        handles.insert(id.to_string(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Validates `id` and returns the object's path if it exists —
+    /// without opening it, so callers like the lint endpoint can
+    /// inspect objects too damaged for [`Repository::open`].
+    pub fn locate(&self, id: &str) -> Result<PathBuf, ServeError> {
+        if !valid_id(id) {
+            return Err(ServeError::bad_request(
+                "bad_id",
+                format!("'{id}' is not a 16-digit lowercase hex experiment id"),
+            ));
+        }
+        let path = self.object_path(id);
+        if !path.exists() {
+            return Err(ServeError::not_found(
+                "unknown_experiment",
+                format!("no experiment {id} in the repository"),
+            ));
+        }
+        Ok(path)
+    }
+
+    /// Number of objects currently stored.
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        let Ok(shards) = std::fs::read_dir(self.root.join("objects")) else {
+            return 0;
+        };
+        for shard in shards.flatten() {
+            if let Ok(objects) = std::fs::read_dir(shard.path()) {
+                n += objects
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "cubec"))
+                    .count();
+            }
+        }
+        n
+    }
+}
+
+/// If `path` lies inside a repository (an ancestor directory holds the
+/// `CUBEREPO` marker), returns its repository-relative path with `/`
+/// separators — e.g. `objects/ab/abcd0123….cubec`. `cube repair` uses
+/// this as the recovery-provenance origin so salvage notes name the
+/// stable object, not the absolute path of whatever mount or temp copy
+/// was read.
+pub fn repo_relative_origin(path: &Path) -> Option<String> {
+    for ancestor in path.ancestors().skip(1) {
+        if ancestor.join(REPO_MARKER).is_file() {
+            let rel = path.strip_prefix(ancestor).ok()?;
+            let parts: Vec<&str> = rel
+                .components()
+                .map(|c| c.as_os_str().to_str())
+                .collect::<Option<_>>()?;
+            return Some(parts.join("/"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cube_model::builder::single_threaded_system;
+    use cube_model::{Experiment, ExperimentBuilder, RegionKind, Unit};
+
+    fn sample(value: f64) -> Experiment {
+        let mut b = ExperimentBuilder::new(format!("sample {value}"));
+        let t = b.def_metric("time", Unit::Seconds, "total time", None);
+        let m = b.def_module("main.c", "/src/main.c");
+        let r = b.def_region("main", m, RegionKind::Function, 1, 9);
+        let cs = b.def_call_site("main.c", 1, r);
+        let root = b.def_call_node(cs, None);
+        let ts = single_threaded_system(&mut b, 1);
+        b.set_severity(t, root, ts[0], value);
+        b.build().unwrap()
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cube-serve-repo-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ingest_is_content_addressed_across_formats() {
+        let root = temp_root("xfmt");
+        let repo = Repository::open_or_init(&root, ReadLimits::default(), 8).unwrap();
+        let exp = sample(4.0);
+
+        let xml = cube_xml::write_experiment(&exp);
+        let a = repo.ingest(xml.as_bytes()).unwrap();
+        assert!(a.created);
+        assert!(valid_id(&a.id));
+
+        let cubec = write_store(&exp);
+        let b = repo.ingest(&cubec).unwrap();
+        assert_eq!(a.id, b.id, "same experiment, same id in either format");
+        assert!(!b.created);
+        assert_eq!(repo.count(), 1);
+
+        // the object's bytes hash to their own name
+        let on_disk = std::fs::read(repo.object_path(&a.id)).unwrap();
+        assert_eq!(content_id(&on_disk), a.id);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_shares_handles_and_404s_unknown_ids() {
+        let root = temp_root("open");
+        let repo = Repository::open_or_init(&root, ReadLimits::default(), 8).unwrap();
+        let got = repo.ingest(&write_store(&sample(2.0))).unwrap();
+        let h1 = repo.open(&got.id).unwrap();
+        let h2 = repo.open(&got.id).unwrap();
+        assert!(Arc::ptr_eq(&h1, &h2), "second open hits the handle cache");
+        assert_eq!(h1.severity().unwrap()[0], 2.0);
+
+        let missing = match repo.open("0123456789abcdef") {
+            Ok(_) => panic!("expected a 404"),
+            Err(e) => e,
+        };
+        assert_eq!(missing.status, 404);
+        assert_eq!(missing.code, "unknown_experiment");
+        let bad = match repo.open("nope") {
+            Ok(_) => panic!("expected a 400"),
+            Err(e) => e,
+        };
+        assert_eq!(bad.status, 400);
+        assert_eq!(bad.code, "bad_id");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn refuses_non_empty_non_repository_directory() {
+        let root = temp_root("busy");
+        std::fs::write(root.join("unrelated.txt"), "hands off").unwrap();
+        let err = match Repository::open_or_init(&root, ReadLimits::default(), 8) {
+            Ok(_) => panic!("expected a refusal"),
+            Err(e) => e,
+        };
+        assert_eq!(err.code, "not_a_repository");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn repo_relative_origin_walks_to_the_marker() {
+        let root = temp_root("origin");
+        let repo = Repository::open_or_init(&root, ReadLimits::default(), 8).unwrap();
+        let got = repo.ingest(&write_store(&sample(7.0))).unwrap();
+        let path = repo.object_path(&got.id);
+        assert_eq!(
+            repo_relative_origin(&path).unwrap(),
+            Repository::relative_object_path(&got.id)
+        );
+        assert_eq!(
+            repo_relative_origin(Path::new("/no/marker/here.cubec")),
+            None
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

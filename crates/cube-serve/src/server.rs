@@ -1,0 +1,356 @@
+//! The threaded server: acceptor, bounded admission queue, worker
+//! pool, and graceful shutdown.
+//!
+//! One `std::thread` acceptor polls a nonblocking listener and admits
+//! connections into a bounded queue; `workers` long-lived threads
+//! drain it. When the queue is full the *acceptor* answers 429
+//! immediately — overload sheds load in microseconds instead of
+//! stacking latency, and a client can always distinguish "busy" from
+//! "hung". Inside a worker, evaluation fans out over the shared
+//! `rayon` pool, whose length-driven splitting keeps every response
+//! byte-identical at any thread count — which is also what makes the
+//! result cache sound (docs/SERVE.md).
+//!
+//! Shutdown is cooperative: [`RunningServer::shutdown`] (or SIGTERM /
+//! SIGINT via [`install_signal_handlers`]) stops the acceptor, then
+//! workers drain every already-admitted connection before exiting, so
+//! an accepted request is never dropped on the floor.
+
+use crate::api;
+use crate::cache::LruCache;
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, HttpError};
+use crate::repo::Repository;
+use cube_algebra::PlanTables;
+use cube_xml::ReadLimits;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Everything `cube serve` can tune.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1`.
+    pub addr: String,
+    /// Port to bind; `0` picks an ephemeral port.
+    pub port: u16,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admitted-but-unserved connections the queue holds before the
+    /// acceptor starts answering 429.
+    pub queue_depth: usize,
+    /// Entries in the derived-result byte cache (0 disables).
+    pub result_cache: usize,
+    /// Entries in the plan-table cache (0 disables).
+    pub plan_cache: usize,
+    /// Entries in the open-handle cache (0 disables).
+    pub handle_cache: usize,
+    /// Maximum request-body size in bytes; also caps the parse limits
+    /// applied to uploaded documents.
+    pub max_body: usize,
+    /// Test hook: sleep this long at the start of every request, so
+    /// the stress harness can fill the queue deterministically.
+    pub delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 4,
+            queue_depth: 64,
+            result_cache: 64,
+            plan_cache: 16,
+            handle_cache: 64,
+            max_body: 256 << 20,
+            delay_ms: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The per-request [`ReadLimits`] this configuration implies:
+    /// defaults, tightened so no parsed document may exceed the body
+    /// cap.
+    pub fn read_limits(&self) -> ReadLimits {
+        let mut limits = ReadLimits::default();
+        limits.max_input_bytes = limits.max_input_bytes.min(self.max_body);
+        limits
+    }
+}
+
+struct Queue {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// State shared by the acceptor, the workers, and the API handlers.
+pub struct Shared {
+    /// The experiment repository.
+    pub repo: Repository,
+    /// The configuration the server was started with.
+    pub config: ServeConfig,
+    /// Derived-result bytes keyed by canonical expression.
+    pub results: Mutex<LruCache<String, Arc<Vec<u8>>>>,
+    /// Plan tables keyed by the ordered operand-id list.
+    pub plans: Mutex<LruCache<String, Arc<PlanTables>>>,
+    /// Requests fully read and dispatched.
+    pub requests: AtomicU64,
+    /// `/eval` requests dispatched.
+    pub evals: AtomicU64,
+    /// Connections answered 429 at admission.
+    pub rejected: AtomicU64,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn new(repo: Repository, config: ServeConfig) -> Self {
+        Self {
+            repo,
+            results: Mutex::new(LruCache::new(config.result_cache)),
+            plans: Mutex::new(LruCache::new(config.plan_cache)),
+            requests: AtomicU64::new(0),
+            evals: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue: Mutex::new(Queue {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            config,
+        }
+    }
+}
+
+/// A started server: its bound address plus the handles needed to stop
+/// it. Dropping without [`RunningServer::join`] still signals the
+/// threads to stop; `join` additionally waits for the drain.
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Binds, spawns the acceptor and workers, and returns immediately.
+/// `root` is the repository directory (created if needed).
+pub fn start(config: ServeConfig, root: &Path) -> Result<RunningServer, ServeError> {
+    let repo = Repository::open_or_init(root, config.read_limits(), config.handle_cache)?;
+    let listener = TcpListener::bind((config.addr.as_str(), config.port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared::new(repo, config));
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cube-serve-accept".to_string())
+            .spawn(move || accept_loop(&shared, &listener))
+            .map_err(|e| ServeError::internal(format!("spawning acceptor: {e}")))?
+    };
+    let workers = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("cube-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| ServeError::internal(format!("spawning worker {i}: {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(RunningServer {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+impl RunningServer {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for tests and stats reporting.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Asks the acceptor and workers to stop. Already-admitted
+    /// connections are still served; new ones are no longer accepted.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.ready_all();
+    }
+
+    fn ready_all(&self) {
+        // Wake parked workers so they observe the closed queue.
+        let _guard = self.shared.queue.lock().expect("queue lock poisoned");
+        self.shared.ready.notify_all();
+    }
+
+    /// Waits for the acceptor to stop and the workers to drain the
+    /// queue. Call [`RunningServer::shutdown`] first (or rely on a
+    /// signal); `join` alone would wait forever.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || signaled() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    queue.closed = true;
+    drop(queue);
+    shared.ready.notify_all();
+}
+
+fn admit(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    if queue.conns.len() >= shared.config.queue_depth {
+        drop(queue);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        let resp = api::error_response(&ServeError {
+            status: 429,
+            code: "queue_full".to_string(),
+            message: format!(
+                "admission queue is full ({} waiting); retry",
+                shared.config.queue_depth
+            ),
+        });
+        let _ = write_response(&mut stream, &resp);
+        // The client may still be mid-send; closing with unread bytes
+        // in the socket buffer raises RST and discards the 429 in
+        // flight. Drain (briefly, bounded) until the client finishes,
+        // so the rejection actually arrives.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = [0u8; 4096];
+        for _ in 0..256 {
+            match std::io::Read::read(&mut stream, &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        return;
+    }
+    queue.conns.push_back(stream);
+    drop(queue);
+    shared.ready.notify_one();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(conn) = queue.conns.pop_front() {
+                    break Some(conn);
+                }
+                if queue.closed {
+                    break None;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .expect("queue lock poisoned while waiting");
+            }
+        };
+        match conn {
+            Some(mut stream) => serve_connection(shared, &mut stream),
+            None => break,
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
+    if shared.config.delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(shared.config.delay_ms));
+    }
+    let response = match read_request(stream, shared.config.max_body) {
+        Ok(request) => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            api::handle(shared, &request)
+        }
+        Err(HttpError::Closed) => return,
+        Err(HttpError::Malformed(message)) => {
+            api::error_response(&ServeError::bad_request("bad_http", message))
+        }
+        Err(HttpError::BodyTooLarge { declared, limit }) => api::error_response(&ServeError {
+            status: 413,
+            code: "body_too_large".to_string(),
+            message: format!("declared body of {declared} bytes exceeds the {limit}-byte cap"),
+        }),
+        Err(HttpError::Io(e)) => {
+            // Read timeout or reset mid-request: answer if the peer is
+            // still there, otherwise the write fails harmlessly.
+            api::error_response(&ServeError::bad_request(
+                "read_failed",
+                format!("could not read request: {e}"),
+            ))
+        }
+    };
+    let _ = write_response(stream, &response);
+}
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM and SIGINT handlers that flip the flag
+/// [`signaled`] reads. Process-global; the CLI installs them once
+/// before serving. `std` already links libc, so the raw `signal(2)`
+/// binding adds no dependency.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// True once SIGTERM or SIGINT has been delivered. The acceptor also
+/// polls this, so a signal alone (without [`RunningServer::shutdown`])
+/// begins a graceful drain.
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}

@@ -77,6 +77,6 @@ pub use error::StoreError;
 pub use lint::{diagnostic_of_store_error, lint_file};
 pub use read::{
     check_store_footer, read_store, read_store_file, read_store_file_with, read_store_parts,
-    salvage_store_file, ColumnarExperiment, StoreReport,
+    salvage_store_file, salvage_store_file_as, ColumnarExperiment, StoreReport,
 };
 pub use write::{write_store, write_store_file};

@@ -529,6 +529,22 @@ pub fn salvage_store_file(
     path: impl AsRef<Path>,
     limits: &ReadLimits,
 ) -> Result<(Experiment, StoreReport), StoreError> {
+    salvage_store_file_as(path, None, limits)
+}
+
+/// [`salvage_store_file`] with an explicit *origin* — the name the
+/// recovery provenance note should call the damaged store.
+///
+/// When the bytes live inside a hash-sharded repository (or pass
+/// through a staging temp file), the transient filesystem path is the
+/// wrong name for the lineage record; the caller passes the durable
+/// one — e.g. the repository-relative `objects/ab/….cubec`. With
+/// `origin: None` the note format is unchanged.
+pub fn salvage_store_file_as(
+    path: impl AsRef<Path>,
+    origin: Option<&str>,
+    limits: &ReadLimits,
+) -> Result<(Experiment, StoreReport), StoreError> {
     let path = path.as_ref();
     let bytes = read_limited(path, limits)?;
     let checksum = check_store_footer(&bytes);
@@ -626,10 +642,13 @@ pub fn salvage_store_file(
             (Some(w), None) => w.clone(),
             (None, _) => "checksum mismatch".to_string(),
         };
-        let note = format!(
+        let mut note = format!(
             "{what}; {} of {} chunks recovered",
             report.chunks_recovered, report.chunks_total
         );
+        if let Some(origin) = origin {
+            note = format!("{origin}: {note}");
+        }
         let source = exp.provenance().label();
         exp.set_provenance(Provenance::recovered(source, note));
     }

@@ -678,6 +678,24 @@ pub fn read_experiment_salvage_with(
     input: &str,
     limits: ReadLimits,
 ) -> Result<(Experiment, SalvageReport), XmlError> {
+    read_experiment_salvage_as(input, None, limits)
+}
+
+/// [`read_experiment_salvage_with`] with an explicit *origin* — the
+/// name the recovery provenance note should call the damaged document.
+///
+/// Salvage often runs over bytes that no longer sit where the user
+/// thinks of them: a staging temp file, or an object inside a
+/// hash-sharded repository. The note is the one place the damage stays
+/// visible downstream, so it should name the document by its durable
+/// identity — e.g. the repository-relative path `objects/ab/….cubec` —
+/// not whatever transient path the bytes were read from. With
+/// `origin: None` the note format is unchanged.
+pub fn read_experiment_salvage_as(
+    input: &str,
+    origin: Option<&str>,
+    limits: ReadLimits,
+) -> Result<(Experiment, SalvageReport), XmlError> {
     let checksum = check_footer(input);
     let (mut exp, report) = match crate::reader::read_streaming_salvage(input, limits)? {
         Some((md, sev, prov, info)) => {
@@ -709,8 +727,8 @@ pub fn read_experiment_salvage_with(
     };
     if !report.complete {
         // Recovery-note format (normative, docs/FORMAT.md §10):
-        //   "damaged[ at L:C][ in CONTEXT]; N rows recovered"
-        // or "checksum mismatch; N rows recovered".
+        //   "[ORIGIN: ]damaged[ at L:C][ in CONTEXT]; N rows recovered"
+        // or "[ORIGIN: ]checksum mismatch; N rows recovered".
         let mut what = match (&report.loss, report.position) {
             (Some(_), Some(p)) => format!("damaged at {p}"),
             (Some(_), None) => "damaged".to_string(),
@@ -721,7 +739,10 @@ pub fn read_experiment_salvage_with(
                 what = format!("{what} in {ctx}");
             }
         }
-        let note = format!("{what}; {} rows recovered", report.rows_recovered);
+        let mut note = format!("{what}; {} rows recovered", report.rows_recovered);
+        if let Some(origin) = origin {
+            note = format!("{origin}: {note}");
+        }
         let source = exp.provenance().label();
         exp.set_provenance(Provenance::recovered(source, note));
     }
@@ -732,11 +753,25 @@ pub fn read_experiment_salvage_with(
 pub fn read_experiment_salvage_file(
     path: impl AsRef<Path>,
 ) -> Result<(Experiment, SalvageReport), XmlError> {
+    read_experiment_salvage_file_as(path, None)
+}
+
+/// [`read_experiment_salvage_file`] with an explicit *origin* for the
+/// recovery provenance note (see [`read_experiment_salvage_as`]);
+/// `None` keeps the note unprefixed.
+pub fn read_experiment_salvage_file_as(
+    path: impl AsRef<Path>,
+    origin: Option<&str>,
+) -> Result<(Experiment, SalvageReport), XmlError> {
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| XmlError::io_at(path, e))?;
     // Damaged files may be torn mid-UTF-8-sequence; lossy conversion
     // keeps the valid prefix readable.
-    read_experiment_salvage(&String::from_utf8_lossy(&bytes))
+    read_experiment_salvage_as(
+        &String::from_utf8_lossy(&bytes),
+        origin,
+        ReadLimits::default(),
+    )
 }
 
 fn read_provenance(root: &Element) -> Result<Provenance, XmlError> {

@@ -1,0 +1,78 @@
+//! Golden corpus for the `/eval` expression parser.
+//!
+//! Every `tests/fixtures/expr/*.expr` file is parsed and the outcome
+//! compared byte-exactly against its `.expect` snapshot: accepted
+//! expressions pin their canonical rendering and operand interning
+//! order (the server's cache key), rejected ones pin the stable
+//! `P00x` code, byte offset, and rendered message (the server's error
+//! body). Set `CUBE_REGEN_EXPR=1` to rewrite the snapshots after an
+//! intentional parser change.
+
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/expr")
+}
+
+fn render(input: &str) -> String {
+    match cube_algebra::parse_expr(input) {
+        Ok(p) => format!("ok {}\noperands {}\n", p.canonical(), p.operands.join(",")),
+        Err(e) => format!("error {} {}\n{e}\n", e.code, e.offset),
+    }
+}
+
+#[test]
+fn expression_corpus_matches_snapshots() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(fixture_dir())
+        .expect("expression fixture directory exists")
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "expr"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .expr fixtures found");
+
+    let regen = std::env::var_os("CUBE_REGEN_EXPR").is_some();
+    let (mut oks, mut errors) = (0usize, 0usize);
+    for file in &files {
+        let input = std::fs::read_to_string(file).unwrap();
+        let got = render(&input);
+        if got.starts_with("ok ") {
+            oks += 1;
+        } else {
+            errors += 1;
+        }
+        let expect = file.with_extension("expect");
+        if regen {
+            std::fs::write(&expect, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&expect)
+            .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", expect.display()));
+        assert_eq!(got, want, "{} drifted from its snapshot", file.display());
+    }
+    // The corpus must keep exercising both sides of the contract.
+    assert!(oks >= 2, "corpus needs accepted expressions, found {oks}");
+    assert!(errors >= 8, "corpus needs rejections, found {errors}");
+}
+
+#[test]
+fn every_documented_error_code_is_covered() {
+    // P001..P009 is the parser's full, stable error vocabulary; the
+    // corpus must witness each one so a code can never silently vanish
+    // or change meaning.
+    let mut seen: Vec<String> = std::fs::read_dir(fixture_dir())
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "expr"))
+        .filter_map(|p| {
+            let input = std::fs::read_to_string(&p).unwrap();
+            cube_algebra::parse_expr(&input)
+                .err()
+                .map(|e| e.code.to_string())
+        })
+        .collect();
+    seen.sort();
+    seen.dedup();
+    let expected: Vec<String> = (1..=9).map(|i| format!("P00{i}")).collect();
+    assert_eq!(seen, expected, "corpus does not cover every P00x code");
+}

@@ -1,0 +1,260 @@
+//! Concurrency harness for `cube serve`: many clients hammering
+//! overlapping `/eval` requests must always see the same bytes for the
+//! same expression (hit or miss), the bounded admission queue must
+//! answer 429 immediately instead of hanging when full, and a
+//! graceful shutdown must drain every admitted request.
+
+#[path = "serve_util/mod.rs"]
+mod serve_util;
+
+use serve_util::{json_field, json_number, request, Reply};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cube_model::builder::single_threaded_system;
+use cube_model::{Experiment, ExperimentBuilder, RegionKind, Unit};
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cube_serve_stress_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small synthetic experiment; `seed` varies the severity values so
+/// distinct uploads get distinct content ids.
+fn sample(seed: u64) -> Experiment {
+    let mut b = ExperimentBuilder::new(format!("stress run {seed}"));
+    let time = b.def_metric("time", Unit::Seconds, "total time", None);
+    let m = b.def_module("a.c", "/a.c");
+    let main_r = b.def_region("main", m, RegionKind::Function, 1, 9);
+    let solve_r = b.def_region("solve", m, RegionKind::Function, 2, 8);
+    let cs0 = b.def_call_site("a.c", 1, main_r);
+    let cs1 = b.def_call_site("a.c", 3, solve_r);
+    let root = b.def_call_node(cs0, None);
+    let solve = b.def_call_node(cs1, Some(root));
+    let ts = single_threaded_system(&mut b, 4);
+    for (i, &t) in ts.iter().enumerate() {
+        b.set_severity(time, root, t, (seed * 7 + i as u64) as f64 * 0.5);
+        b.set_severity(time, solve, t, (seed * 3 + i as u64) as f64 * 0.25);
+    }
+    b.build().unwrap()
+}
+
+fn boot(tag: &str, config: cube_serve::ServeConfig) -> (cube_serve::RunningServer, Vec<String>) {
+    let dir = workdir(tag);
+    let server = cube_serve::start(config, &dir.join("repo")).expect("server starts");
+    let addr = server.local_addr();
+    let ids: Vec<String> = (1..=3)
+        .map(|seed| {
+            let reply = request(
+                addr,
+                "PUT",
+                "/experiments",
+                &cube_store::write_store(&sample(seed)),
+            );
+            assert_eq!(reply.status, 201, "{}", reply.text());
+            json_field(&reply.text(), "id").expect("ingest returns an id")
+        })
+        .collect();
+    (server, ids)
+}
+
+/// The deterministic LCG the fuzz harnesses use (`fuzz_lint.rs`).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[test]
+fn overlapping_clients_see_identical_bytes() {
+    let (server, ids) = boot(
+        "overlap",
+        cube_serve::ServeConfig {
+            workers: 4,
+            ..cube_serve::ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let exprs: Arc<Vec<String>> = Arc::new(vec![
+        format!("mean({},{},{})", ids[0], ids[1], ids[2]),
+        format!("diff(mean({},{}),{})", ids[0], ids[1], ids[2]),
+        format!("scale(sum({},{}),0.5)", ids[1], ids[2]),
+    ]);
+
+    const CLIENTS: usize = 12;
+    const ROUNDS: usize = 6;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let exprs = Arc::clone(&exprs);
+            std::thread::spawn(move || {
+                let mut rng = Lcg(0x5eed + client as u64);
+                let mut seen: Vec<(usize, Vec<u8>)> = Vec::new();
+                for _ in 0..ROUNDS {
+                    let which = rng.below(exprs.len());
+                    let reply = request(addr, "POST", "/eval", exprs[which].as_bytes());
+                    assert_eq!(reply.status, 200, "{}", reply.text());
+                    assert!(
+                        matches!(reply.header("x-cache"), Some("hit" | "miss")),
+                        "x-cache must always be present"
+                    );
+                    seen.push((which, reply.body));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Collect every response; the reference bytes for each expression
+    // are whatever the server said — all 72 responses must agree
+    // per-expression, across cache hits, misses, and worker threads.
+    let mut reference: Vec<Option<Vec<u8>>> = vec![None; exprs.len()];
+    for handle in handles {
+        for (which, body) in handle.join().expect("client thread must not panic") {
+            match &reference[which] {
+                None => reference[which] = Some(body),
+                Some(expected) => assert_eq!(
+                    &body, expected,
+                    "response bytes diverged for expression {which}"
+                ),
+            }
+        }
+    }
+    for (which, bytes) in reference.iter().enumerate() {
+        assert!(bytes.is_some(), "expression {which} was never exercised");
+    }
+
+    // The cache did real work: some hits, and at most one miss per
+    // expression per... rebuild race; misses stay tiny next to hits.
+    let stats = request(addr, "GET", "/stats", b"").text();
+    let hits = json_number(&stats, "hits").expect("result cache hits");
+    assert!(hits > 0, "no cache hits under overlap: {stats}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn full_queue_answers_429_immediately_never_hangs() {
+    let (server, ids) = boot(
+        "queue",
+        cube_serve::ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            delay_ms: 400,
+            ..cube_serve::ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let expr = format!("mean({},{})", ids[0], ids[1]);
+
+    const CLIENTS: usize = 8;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let expr = expr.clone();
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let reply = request(addr, "POST", "/eval", expr.as_bytes());
+                (reply, t0.elapsed())
+            })
+        })
+        .collect();
+
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for handle in handles {
+        let (reply, elapsed): (Reply, Duration) =
+            handle.join().expect("client thread must not panic");
+        match reply.status {
+            200 => ok += 1,
+            429 => {
+                rejected += 1;
+                assert_eq!(
+                    json_field(&reply.text(), "code").as_deref(),
+                    Some("queue_full")
+                );
+                // A rejection is immediate — it must not wait out the
+                // worker's 400 ms stall even once.
+                assert!(
+                    elapsed < Duration::from_millis(350),
+                    "429 took {elapsed:?}; overload must shed instantly"
+                );
+            }
+            other => panic!("unexpected status {other}: {}", reply.text()),
+        }
+    }
+    // One in service + one queued are guaranteed to succeed; with all
+    // eight fired into a 400 ms stall, at least one must bounce.
+    assert!(ok >= 2, "expected at least two successes, got {ok}");
+    assert!(rejected >= 1, "expected at least one 429, got {rejected}");
+    assert_eq!(ok + rejected, CLIENTS);
+    // "Never hangs": every client got *some* answer well inside the
+    // worst case of eight serial stalls.
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "queue test stalled: {:?}",
+        started.elapsed()
+    );
+
+    let stats = request(addr, "GET", "/stats", b"").text();
+    assert_eq!(json_number(&stats, "rejected"), Some(rejected as u64));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let (server, ids) = boot(
+        "drain",
+        cube_serve::ServeConfig {
+            workers: 1,
+            queue_depth: 16,
+            delay_ms: 200,
+            ..cube_serve::ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let expr = format!("sum({},{},{})", ids[0], ids[1], ids[2]);
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let expr = expr.clone();
+            std::thread::spawn(move || request(addr, "POST", "/eval", expr.as_bytes()))
+        })
+        .collect();
+    // Give the acceptor time to admit all four, then stop the server
+    // while three are still queued behind the 200 ms stalls.
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+    server.join();
+
+    // Every admitted request was still answered — drained, not dropped.
+    let mut bodies = Vec::new();
+    for handle in handles {
+        let reply = handle.join().expect("client thread must not panic");
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        bodies.push(reply.body);
+    }
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "drained responses must match");
+    }
+
+    // The listener is gone: new connections are refused, not queued.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "socket should be closed after shutdown"
+    );
+}
