@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint fmt fmt-check clippy doc bench-xml bench-batch bench-json
+.PHONY: verify build test lint fmt fmt-check clippy doc miri tsan bench-xml bench-batch bench-json
 
 ## The full gate: build, tests, formatting, lints, doc rot.
 verify: build test fmt-check clippy doc
@@ -27,6 +27,26 @@ clippy:
 ## Docs must build warning-free so rustdoc rot fails fast.
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+## Undefined-behavior check of the concurrency-bearing leaf crates:
+## the rayon pool facade and the server's cache/lock layer. Needs the
+## Miri component (`rustup +nightly component add miri`); ci/check.sh
+## invokes this only when `cargo miri --version` works and skips
+## cleanly otherwise, so a toolchain without Miri stays green.
+miri:
+	$(CARGO) miri test -p rayon
+	$(CARGO) miri test -p cube-serve --lib cache
+
+## Data-race check under ThreadSanitizer. Not wired into CI (needs a
+## nightly toolchain with rust-src and real wall-clock time); run
+## manually when touching the pool or the server's locking:
+##   rustup toolchain install nightly --component rust-src
+##   make tsan
+tsan:
+	RUSTFLAGS="-Z sanitizer=thread" \
+	cargo +nightly test -Z build-std \
+		--target x86_64-unknown-linux-gnu \
+		-p rayon -p cube-serve --lib
 
 ## Streaming-vs-DOM serialization comparison (see EXPERIMENTS.md).
 bench-xml:

@@ -25,6 +25,16 @@ cargo test --workspace --exclude cube-suite -q
 echo "== hygiene: fmt, clippy -D warnings, doc -D warnings"
 make fmt-check clippy doc
 
+echo "== hygiene: server request paths are panic-free (ci/lint_source.sh)"
+./ci/lint_source.sh
+
+echo "== miri gate: pool facade and server cache (when available)"
+if cargo miri --version >/dev/null 2>&1; then
+    make miri
+else
+    echo "skipped: the miri component is not installed on this toolchain"
+fi
+
 echo "== lint gate: valid fixtures pass --deny warnings"
 # The tier-1 build covers the umbrella crate only; the `cube` binary
 # needs an explicit package build.
@@ -160,6 +170,39 @@ if ! cmp "$det/corpus/run0.cube" "$det/run0.back.cube"; then
     exit 1
 fi
 
+echo "== check gate: warning-free expressions pass --deny warnings"
+# Mixed .cube/.cubec operands from the generated corpus share one
+# shape, so reductions over them are statically clean; the .cubec
+# side exercises the metadata-only open path.
+./target/release/cube check "mean(run0,run1,run2)" \
+    "$det/corpus/run0.cube" "$det/corpus/run1.cube" "$det/corpus/run2.cubec" \
+    --deny warnings >/dev/null
+./target/release/cube check "diff(mean(run0,run1),mean(run2,run3))" \
+    "$det/corpus/run0.cubec" "$det/corpus/run1.cubec" \
+    "$det/corpus/run2.cubec" "$det/corpus/run3.cubec" \
+    --deny warnings >/dev/null
+
+echo "== check gate: golden fixtures report their documented codes"
+for expr_file in tests/fixtures/check/a*.expr; do
+    # a001-unresolved.expr documents code A001, and so on.
+    code="$(basename "$expr_file" | cut -c1-4 | tr 'a' 'A')"
+    set +e
+    out="$(./target/release/cube check "$(cat "$expr_file")" \
+        tests/fixtures/valid/full.cube tests/fixtures/valid/minimal.cube \
+        tests/fixtures/check/operands/twin.cube \
+        tests/fixtures/check/operands/disjoint.cube \
+        --format json)"
+    set -e
+    case "$out" in
+    *"\"$code\""*) ;;
+    *)
+        echo "cube check output for $expr_file is missing code $code:" >&2
+        echo "$out" >&2
+        exit 1
+        ;;
+    esac
+done
+
 echo "== speedup gate: stats --op mean, 4 threads vs 1"
 # Wall-clock acceptance check; only meaningful with real cores to
 # spread over, so skip (with a note) on smaller machines.
@@ -265,6 +308,37 @@ for t in 1 2 8; do
     done
     round=$((round + 1))
 done
+
+echo "== serve gate: /eval pre-flight rejects invalid expressions"
+# A missing operand id must come back as the checker's stable A001
+# code with a structured diagnostics array — and must not grow the
+# result cache (nothing is evaluated, nothing is inserted).
+cache_entries() {
+    curl -sS "http://$addr/stats" \
+        | sed -n 's/.*"result_cache":{[^}]*"entries":\([0-9]*\).*/\1/p'
+}
+entries_before="$(cache_entries)"
+status="$(curl -sS -o "$sdir/preflight.json" -w '%{http_code}' -H 'Expect:' \
+    -X POST --data 'mean(00000000deadbeef)' "http://$addr/eval")"
+if [ "$status" != "404" ]; then
+    echo "/eval with a missing id answered $status, expected 404:" >&2
+    cat "$sdir/preflight.json" >&2
+    exit 1
+fi
+grep -q '"code":"A001"' "$sdir/preflight.json"
+grep -q '"diagnostics":\[' "$sdir/preflight.json"
+entries_after="$(cache_entries)"
+if [ "$entries_before" != "$entries_after" ]; then
+    echo "pre-flight rejection changed the result cache" \
+        "($entries_before -> $entries_after entries)" >&2
+    exit 1
+fi
+# /check exposes the same analysis: a statically-zero diff reports
+# A008 and the zero() rewrite without evaluating anything.
+curl -sS -H 'Expect:' -X POST --data "diff($1,$1)" \
+    "http://$addr/check" >"$sdir/check.json"
+grep -q '"A008"' "$sdir/check.json"
+grep -q '"rewritten":"zero()"' "$sdir/check.json"
 
 kill -TERM "$serve_pid"
 set +e

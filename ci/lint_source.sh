@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Source-level lint for the server's request-handling paths.
+#
+# cube-serve promises that no request can panic a worker: a panicking
+# worker poisons the shared caches and strands queued connections, so
+# the crate recovers poisoned locks (cache::lock_recover) and routes
+# every failure through ServeError instead of unwinding. This script
+# keeps that promise greppable. Rules (stable ids, used in CI output):
+#
+#   SL001  `.unwrap()` is banned in cube-serve non-test code
+#   SL002  `.expect(`  is banned in cube-serve non-test code
+#   SL003  `panic!`    is banned in cube-serve non-test code
+#   SL004  cache.rs and repo.rs must document the lock-acquisition
+#          order (a "LOCK ORDER" comment) next to their mutexes
+#   SL005  no line may acquire two locks (every cube-serve mutex is a
+#          leaf lock; two `.lock(` on one line would break that)
+#
+# Everything from the first `#[cfg(test)]` line to the end of a file
+# is test code and exempt: tests may unwrap freely.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Non-test prefix of a source file (everything before `#[cfg(test)]`),
+# with `file:line:` prefixes for findings.
+nontest() {
+    awk '/#\[cfg\(test\)\]/{exit} {print FILENAME ":" FNR ":" $0}' "$1"
+}
+
+for f in crates/cube-serve/src/*.rs; do
+    if out="$(nontest "$f" | grep -F '.unwrap()')"; then
+        echo "SL001: .unwrap() in server request path:" >&2
+        echo "$out" >&2
+        fail=1
+    fi
+    if out="$(nontest "$f" | grep -F '.expect(')"; then
+        echo "SL002: .expect( in server request path:" >&2
+        echo "$out" >&2
+        fail=1
+    fi
+    if out="$(nontest "$f" | grep -F 'panic!')"; then
+        echo "SL003: panic! in server request path:" >&2
+        echo "$out" >&2
+        fail=1
+    fi
+    if out="$(nontest "$f" | grep -c '\.lock(' )" && [ "$out" -gt 0 ]; then
+        if two="$(nontest "$f" | grep '\.lock(.*\.lock(')"; then
+            echo "SL005: two lock acquisitions on one line (leaf-lock rule):" >&2
+            echo "$two" >&2
+            fail=1
+        fi
+    fi
+done
+
+for f in crates/cube-serve/src/cache.rs crates/cube-serve/src/repo.rs; do
+    if ! grep -q 'LOCK ORDER' "$f"; then
+        echo "SL004: $f does not document the lock-acquisition order" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "ci/lint_source.sh: failed" >&2
+    exit 1
+fi
+echo "ci/lint_source.sh: all clean"

@@ -229,6 +229,12 @@ pub enum Expr {
     Diff(Box<Expr>, Box<Expr>),
     /// Scalar multiple of a sub-expression.
     Scale(Box<Expr>, f64),
+    /// The additive identity: severity zero at every position of the
+    /// integrated metadata. Not produced by the parser — the rewrite
+    /// pass ([`crate::check::rewrite`]) folds statically-zero trees
+    /// (`diff(X,X)`) into this node so evaluation skips their severity
+    /// reads entirely.
+    Zero,
 }
 
 impl Expr {
@@ -733,6 +739,7 @@ impl<'a> BatchPlan<'a> {
                 map_values(&mut x, |v| v * f);
                 Ok(x)
             }
+            Expr::Zero => Ok(self.zeroed()),
         }
     }
 
@@ -934,6 +941,7 @@ impl<'a> BatchPlan<'a> {
             Expr::Scale(inner, factor) => {
                 Provenance::derived("scale", vec![self.expr_label(inner), format!("{factor}")])
             }
+            Expr::Zero => Provenance::derived("zero", Vec::new()),
         }
     }
 }

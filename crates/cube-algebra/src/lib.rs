@@ -64,6 +64,7 @@
 
 pub mod baseline;
 pub mod batch;
+pub mod check;
 pub mod cut;
 pub mod error;
 pub mod extend;
@@ -79,8 +80,12 @@ pub use batch::{
     BatchOperand, BatchPlan, Expr, OperandError, PartialEvaluation, PartialOperand, PlanTables,
     Reduction,
 };
+pub use check::{
+    check, check_expr, rewrite, CheckDiagnostic, CheckLevel, CheckReport, CostEstimate,
+    OperandFacts, RewriteNote,
+};
 pub use error::AlgebraError;
 pub use integrate::{integrate, integrate_metadata, Integrated};
 pub use mapping::OperandMap;
 pub use options::{CallSiteEq, FailurePolicy, MergeOptions, SystemMergeMode};
-pub use parse::{parse_expr, ExprParseError, ParsedExpr};
+pub use parse::{parse_expr, render_expr, ExprParseError, ParsedExpr, Span, SpanNode};

@@ -82,6 +82,59 @@ impl fmt::Display for ExprParseError {
 
 impl std::error::Error for ExprParseError {}
 
+/// Byte range `[start, end)` of one token or sub-expression in the
+/// source text. Offsets index the same bytes as [`ExprParseError`]'s,
+/// so parse errors and semantic diagnostics point into one coordinate
+/// system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes (synthetic nodes).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Source spans mirroring the shape of a parsed [`Expr`] tree, built
+/// alongside it so semantic analysis ([`crate::check()`]) can point
+/// diagnostics at the offending token rather than at the whole
+/// expression. Each variant carries the span of the full construct
+/// first, then the spans of its parts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpanNode {
+    /// A bare operand reference.
+    Operand(Span),
+    /// A reducer call: the whole call, then one span per argument name
+    /// (aligned with the index list of [`Expr::Reduce`]).
+    Reduce(Span, Vec<Span>),
+    /// A `diff` call: the whole call, then both sides.
+    Diff(Span, Box<SpanNode>, Box<SpanNode>),
+    /// A `scale` call: the whole call, the inner expression, the factor.
+    Scale(Span, Box<SpanNode>, Span),
+}
+
+impl SpanNode {
+    /// The span of the construct as a whole.
+    pub fn span(&self) -> Span {
+        match self {
+            Self::Operand(s) | Self::Reduce(s, _) | Self::Diff(s, _, _) | Self::Scale(s, _, _) => {
+                *s
+            }
+        }
+    }
+}
+
 /// A parsed expression: the index tree plus the operand names it
 /// references, in first-appearance order. A name used twice maps to
 /// one index — `diff(A,A)` references one operand.
@@ -91,6 +144,8 @@ pub struct ParsedExpr {
     pub expr: Expr,
     /// Distinct operand names, in order of first appearance.
     pub operands: Vec<String>,
+    /// Source spans, same tree shape as [`ParsedExpr::expr`].
+    pub spans: SpanNode,
 }
 
 impl ParsedExpr {
@@ -98,39 +153,49 @@ impl ParsedExpr {
     /// names substituted) — equal inputs parse to equal renderings, so
     /// this is a usable cache key.
     pub fn canonical(&self) -> String {
-        fn go(e: &Expr, names: &[String], out: &mut String) {
-            match e {
-                Expr::Operand(i) => out.push_str(&names[*i]),
-                Expr::Reduce(r, idxs) => {
-                    out.push_str(r.name());
-                    out.push('(');
-                    for (k, &i) in idxs.iter().enumerate() {
-                        if k > 0 {
-                            out.push(',');
-                        }
-                        out.push_str(&names[i]);
-                    }
-                    out.push(')');
-                }
-                Expr::Diff(a, b) => {
-                    out.push_str("diff(");
-                    go(a, names, out);
-                    out.push(',');
-                    go(b, names, out);
-                    out.push(')');
-                }
-                Expr::Scale(inner, f) => {
-                    out.push_str("scale(");
-                    go(inner, names, out);
-                    let _ = fmt::Write::write_fmt(out, format_args!(",{f}"));
-                    out.push(')');
-                }
-            }
-        }
-        let mut s = String::new();
-        go(&self.expr, &self.operands, &mut s);
-        s
+        render_expr(&self.expr, &self.operands)
     }
+}
+
+/// Renders an expression tree to canonical text (no whitespace, operand
+/// indices substituted with their names). This is the inverse of
+/// [`parse_expr`] up to whitespace for every tree the parser produces;
+/// the rewrite engine's synthetic [`Expr::Zero`] renders as `zero()`,
+/// which is *not* part of the input grammar.
+pub fn render_expr(expr: &Expr, names: &[String]) -> String {
+    fn go(e: &Expr, names: &[String], out: &mut String) {
+        match e {
+            Expr::Operand(i) => out.push_str(&names[*i]),
+            Expr::Reduce(r, idxs) => {
+                out.push_str(r.name());
+                out.push('(');
+                for (k, &i) in idxs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&names[i]);
+                }
+                out.push(')');
+            }
+            Expr::Diff(a, b) => {
+                out.push_str("diff(");
+                go(a, names, out);
+                out.push(',');
+                go(b, names, out);
+                out.push(')');
+            }
+            Expr::Scale(inner, f) => {
+                out.push_str("scale(");
+                go(inner, names, out);
+                let _ = fmt::Write::write_fmt(out, format_args!(",{f}"));
+                out.push(')');
+            }
+            Expr::Zero => out.push_str("zero()"),
+        }
+    }
+    let mut s = String::new();
+    go(expr, names, &mut s);
+    s
 }
 
 fn reduction_named(name: &str) -> Option<Reduction> {
@@ -231,7 +296,7 @@ impl<'s> Parser<'s> {
         }
     }
 
-    fn expr(&mut self, depth: usize) -> Result<Expr, ExprParseError> {
+    fn expr(&mut self, depth: usize) -> Result<(Expr, SpanNode), ExprParseError> {
         if depth > MAX_DEPTH {
             return Err(ExprParseError::new(
                 "P008",
@@ -240,6 +305,7 @@ impl<'s> Parser<'s> {
             ));
         }
         let (word, word_at) = self.name()?;
+        let word_end = self.pos;
         self.skip_ws();
         // Function words are reserved: a bare `diff` or `mean` is a
         // missing call, not an operand reference. Content-addressed
@@ -257,38 +323,60 @@ impl<'s> Parser<'s> {
                 ));
             }
             let i = self.operand_index(word);
-            return Ok(Expr::Operand(i));
+            let span = Span {
+                start: word_at,
+                end: word_end,
+            };
+            return Ok((Expr::Operand(i), SpanNode::Operand(span)));
         }
         match word.as_str() {
             "diff" => {
                 self.expect(b'(', "P003", "'('")?;
-                let a = self.expr(depth + 1)?;
+                let (a, sa) = self.expr(depth + 1)?;
                 self.expect(b',', "P004", "','")?;
-                let b = self.expr(depth + 1)?;
+                let (b, sb) = self.expr(depth + 1)?;
                 self.expect(b')', "P004", "')'")?;
-                Ok(Expr::diff(a, b))
+                let span = Span {
+                    start: word_at,
+                    end: self.pos,
+                };
+                Ok((
+                    Expr::diff(a, b),
+                    SpanNode::Diff(span, Box::new(sa), Box::new(sb)),
+                ))
             }
             "scale" => {
                 self.expect(b'(', "P003", "'('")?;
-                let inner = self.expr(depth + 1)?;
+                let (inner, si) = self.expr(depth + 1)?;
                 self.expect(b',', "P004", "','")?;
-                let factor = self.number()?;
+                let (factor, sf) = self.number()?;
                 self.expect(b')', "P004", "')'")?;
-                Ok(Expr::scale(inner, factor))
+                let span = Span {
+                    start: word_at,
+                    end: self.pos,
+                };
+                Ok((
+                    Expr::scale(inner, factor),
+                    SpanNode::Scale(span, Box::new(si), sf),
+                ))
             }
             _ => {
                 let r =
                     reduction_named(&word).expect("function words are diff, scale, or reducers");
                 self.expect(b'(', "P003", "'('")?;
-                let idxs = self.name_list()?;
-                Ok(Expr::Reduce(r, idxs))
+                let (idxs, arg_spans) = self.name_list()?;
+                let span = Span {
+                    start: word_at,
+                    end: self.pos,
+                };
+                Ok((Expr::Reduce(r, idxs), SpanNode::Reduce(span, arg_spans)))
             }
         }
     }
 
     /// `name ("," name)* ")"` — the argument list of a reducer. Empty
     /// lists are rejected with `P009`.
-    fn name_list(&mut self) -> Result<Vec<usize>, ExprParseError> {
+    fn name_list(&mut self) -> Result<(Vec<usize>, Vec<Span>), ExprParseError> {
         self.skip_ws();
         if self.peek() == Some(b')') {
             return Err(ExprParseError::new(
@@ -298,8 +386,10 @@ impl<'s> Parser<'s> {
             ));
         }
         let mut idxs = Vec::new();
+        let mut spans = Vec::new();
         loop {
             let (name, at) = self.name()?;
+            let name_end = self.pos;
             self.skip_ws();
             if self.peek() == Some(b'(') {
                 return Err(ExprParseError::new(
@@ -312,13 +402,17 @@ impl<'s> Parser<'s> {
                 ));
             }
             idxs.push(self.operand_index(name));
+            spans.push(Span {
+                start: at,
+                end: name_end,
+            });
             match self.peek() {
                 Some(b',') => {
                     self.pos += 1;
                 }
                 Some(b')') => {
                     self.pos += 1;
-                    return Ok(idxs);
+                    return Ok((idxs, spans));
                 }
                 Some(b) => {
                     return Err(ExprParseError::new(
@@ -336,7 +430,7 @@ impl<'s> Parser<'s> {
     /// float parser; NaN/infinity are rejected (the algebra's NaN
     /// policy treats stored NaNs as data, but a *requested* non-finite
     /// factor is always a mistake).
-    fn number(&mut self) -> Result<f64, ExprParseError> {
+    fn number(&mut self) -> Result<(f64, Span), ExprParseError> {
         self.skip_ws();
         let start = self.pos;
         while self
@@ -346,8 +440,12 @@ impl<'s> Parser<'s> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.input[start..self.pos]).expect("number bytes");
+        let span = Span {
+            start,
+            end: self.pos,
+        };
         match text.parse::<f64>() {
-            Ok(f) if f.is_finite() => Ok(f),
+            Ok(f) if f.is_finite() => Ok((f, span)),
             _ => Err(ExprParseError::new(
                 "P007",
                 start,
@@ -386,7 +484,7 @@ pub fn parse_expr(input: &str) -> Result<ParsedExpr, ExprParseError> {
         pos: 0,
         operands: Vec::new(),
     };
-    let expr = p.expr(0)?;
+    let (expr, spans) = p.expr(0)?;
     p.skip_ws();
     if p.pos != p.input.len() {
         return Err(ExprParseError::new(
@@ -398,6 +496,7 @@ pub fn parse_expr(input: &str) -> Result<ParsedExpr, ExprParseError> {
     Ok(ParsedExpr {
         expr,
         operands: p.operands,
+        spans,
     })
 }
 
@@ -437,6 +536,32 @@ mod tests {
         let p = parse_expr("run-3.cubec").unwrap();
         assert_eq!(p.expr, Expr::Operand(0));
         assert_eq!(p.operands, ["run-3.cubec"]);
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let src = " diff( mean(a, b) , scale( c , 2.5 ) ) ";
+        let p = parse_expr(src).unwrap();
+        let SpanNode::Diff(all, left, right) = &p.spans else {
+            panic!("expected a diff span");
+        };
+        assert_eq!(
+            &src[all.start..all.end],
+            "diff( mean(a, b) , scale( c , 2.5 ) )"
+        );
+        let SpanNode::Reduce(call, args) = left.as_ref() else {
+            panic!("expected a reduce span");
+        };
+        assert_eq!(&src[call.start..call.end], "mean(a, b)");
+        assert_eq!(&src[args[0].start..args[0].end], "a");
+        assert_eq!(&src[args[1].start..args[1].end], "b");
+        let SpanNode::Scale(call, inner, factor) = right.as_ref() else {
+            panic!("expected a scale span");
+        };
+        assert_eq!(&src[call.start..call.end], "scale( c , 2.5 )");
+        assert_eq!(inner.span().len(), 1);
+        assert_eq!(&src[factor.start..factor.end], "2.5");
+        assert!(!factor.is_empty());
     }
 
     #[test]

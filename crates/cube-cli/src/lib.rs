@@ -21,6 +21,8 @@
 //! cube cmp   A.cube B.cube [--tol 1e-9]        # compare (exit code)
 //! cube lint  A.cube [B.cube …] [--format json] # static diagnostics
 //!            [--deny warnings]                  #   (exit 1 on findings)
+//! cube check EXPR A.cubec [B.cubec …]          # static expression analysis
+//!            [--format json] [--deny warnings]  #   (metadata only; docs/CHECK.md)
 //! cube repair IN.cube OUT.cube                 # salvage a damaged file
 //!            # exit 0 = full recovery, 1 = partial, 2 = unrecoverable
 //! cube pack   IN.cube OUT.cubec                # re-encode as columnar store
@@ -103,6 +105,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "hotspots" => hotspots_cmd(rest),
         "cmp" => cmp(rest),
         "lint" => lint_cmd(rest),
+        "check" => check_cmd(rest),
         "repair" => repair_cmd(rest),
         "serve" => serve_cmd(rest),
         "pack" => pack_cmd(rest),
@@ -115,7 +118,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 }
 
 fn usage() -> String {
-    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|repair|serve|pack|unpack|view|browse|help> ...\n\
+    "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|check|repair|serve|pack|unpack|view|browse|help> ...\n\
      global flags: --threads N (pool size; default CUBE_THREADS or all cores)\n\
      paths ending in .cubec use the columnar store format (docs/STORE.md)\n\
      see the crate documentation for per-subcommand flags"
@@ -923,6 +926,202 @@ fn lint_cmd(args: &[String]) -> Result<Outcome, String> {
             if reports.len() == 1 { "" } else { "s" },
             if total_errors == 1 { "" } else { "s" },
             if total_warnings == 1 { "" } else { "s" },
+        );
+    }
+    Ok(Outcome {
+        code: i32::from(denied),
+        stdout: s,
+    })
+}
+
+/// One operand of `cube check`, opened for metadata only: `.cubec`
+/// stores lazily (no severity pages touched), `.cube` XML fully (the
+/// text format has no partial read path).
+enum CheckedInput {
+    Store(ColumnarExperiment),
+    Xml(Experiment),
+}
+
+impl CheckedInput {
+    fn metadata(&self) -> &cube_model::Metadata {
+        match self {
+            Self::Store(c) => c.metadata(),
+            Self::Xml(e) => e.metadata(),
+        }
+    }
+}
+
+/// Whether expression operand `name` refers to operand file `file`:
+/// exact path, file name, or file stem (`A` matches `runs/A.cubec`).
+fn name_binds_file(name: &str, file: &str) -> bool {
+    if name == file {
+        return true;
+    }
+    let path = std::path::Path::new(file);
+    path.file_name().is_some_and(|f| f == name) || path.file_stem().is_some_and(|s| s == name)
+}
+
+/// `cube check EXPR [OPERAND...]` — static semantic analysis of an
+/// algebra expression against **metadata-only** opens of its operand
+/// files ([`cube_algebra::check`]). No severity value is read; for
+/// `.cubec` operands not a single severity page is touched.
+///
+/// Expression names bind to the operand files by exact path, file
+/// name, or file stem. Diagnostics carry stable `A0xx` codes with byte
+/// offsets into the expression (`docs/CHECK.md`); the report includes
+/// the canonicalized rewrite and a cost estimate. Flags and exit codes
+/// mirror `cube lint`: `--format json`, `--deny warnings`; exit 0 =
+/// clean, 1 = findings denied (errors always, warnings only under
+/// `--deny warnings`; parse errors count as errors), 2 = usage.
+fn check_cmd(args: &[String]) -> Result<Outcome, String> {
+    let p = parse(args)?;
+    let Some((expr_src, files)) = p.positional.split_first() else {
+        return Err("cube check needs an expression (and its operand files)".into());
+    };
+    let deny_warnings = match p.value("--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("unknown --deny class '{other}' (try 'warnings')")),
+    };
+    let json = match p.value("--format") {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(format!(
+                "unknown --format '{other}' (try 'human' or 'json')"
+            ))
+        }
+    };
+
+    let parsed = match cube_algebra::parse_expr(expr_src) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            // A parse failure is a finding (exit 1), not a usage error:
+            // render it in the requested format with its stable P-code.
+            let s = if json {
+                format!(
+                    "{{\"expr\":{},\"diagnostics\":[{{\"code\":\"{}\",\"level\":\"error\",\
+                     \"offset\":{},\"len\":0,\"message\":{}}}],\
+                     \"errors\":1,\"warnings\":0,\"ok\":false}}\n",
+                    json_string(expr_src),
+                    e.code,
+                    e.offset,
+                    json_string(&e.message)
+                )
+            } else {
+                format!("{expr_src}: {e}\n1 expression checked: 1 error, 0 warnings\n")
+            };
+            return Ok(Outcome { code: 1, stdout: s });
+        }
+    };
+
+    // Bind each expression operand to at most one provided file.
+    let mut bound: Vec<Option<&String>> = Vec::with_capacity(parsed.operands.len());
+    for name in &parsed.operands {
+        let matches: Vec<&String> = files.iter().filter(|f| name_binds_file(name, f)).collect();
+        if matches.len() > 1 {
+            return Err(format!(
+                "operand '{name}' matches more than one provided file ({})",
+                matches
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        bound.push(matches.first().copied());
+    }
+
+    // Metadata-only opens of the bound files, one per file.
+    let loaded: Vec<Option<Result<CheckedInput, String>>> = files
+        .iter()
+        .map(|file| {
+            bound.contains(&Some(file)).then(|| {
+                if is_cubec(file) {
+                    ColumnarExperiment::open(file)
+                        .map(CheckedInput::Store)
+                        .map_err(|e| e.to_string())
+                } else {
+                    read_experiment_file(file)
+                        .map(CheckedInput::Xml)
+                        .map_err(|e| e.to_string())
+                }
+            })
+        })
+        .collect();
+
+    let mut facts: Vec<cube_algebra::OperandFacts<'_>> = Vec::new();
+    for (name, b) in parsed.operands.iter().zip(&bound) {
+        let fact = match b {
+            Some(file) => {
+                let i = files.iter().position(|f| &f == file).unwrap_or(0);
+                match &loaded[i] {
+                    Some(Ok(input)) => cube_algebra::OperandFacts::known(name, input.metadata()),
+                    Some(Err(e)) => cube_algebra::OperandFacts::unknown(name, e.clone()),
+                    None => cube_algebra::OperandFacts::unknown(name, "not opened"),
+                }
+            }
+            None => {
+                cube_algebra::OperandFacts::unknown(name, "not among the provided operand files")
+            }
+        };
+        facts.push(fact);
+    }
+    // Provided files no expression name binds to become dead operands.
+    for file in files {
+        if !bound.contains(&Some(file)) {
+            facts.push(cube_algebra::OperandFacts {
+                name: file.clone(),
+                metadata: None,
+                note: None,
+            });
+        }
+    }
+
+    let report = cube_algebra::check(&parsed, &facts);
+    let denied = report.denied(deny_warnings);
+    let mut s = String::new();
+    if json {
+        s.push_str(&report.to_json(expr_src));
+        s.push('\n');
+    } else {
+        if report.diagnostics.is_empty() {
+            let _ = writeln!(s, "{expr_src}: clean");
+        } else {
+            let _ = writeln!(
+                s,
+                "{expr_src}: {} error{}, {} warning{}",
+                report.num_errors(),
+                if report.num_errors() == 1 { "" } else { "s" },
+                report.num_warnings(),
+                if report.num_warnings() == 1 { "" } else { "s" },
+            );
+            for d in &report.diagnostics {
+                let _ = writeln!(s, "  {d}");
+            }
+        }
+        if report.rewritten_text != report.canonical {
+            let rules: Vec<&str> = report.rewrites.iter().map(|n| n.rule).collect();
+            let _ = writeln!(
+                s,
+                "rewritten: {} [{}]",
+                report.rewritten_text,
+                rules.join(", ")
+            );
+        }
+        let c = &report.cost;
+        let _ = writeln!(
+            s,
+            "cost: operands={} resolved={} nodes={} reductions={} values={} pages={}",
+            c.operands, c.known, c.nodes, c.reductions, c.values, c.pages
+        );
+        let _ = writeln!(
+            s,
+            "1 expression checked: {} error{}, {} warning{}",
+            report.num_errors(),
+            if report.num_errors() == 1 { "" } else { "s" },
+            report.num_warnings(),
+            if report.num_warnings() == 1 { "" } else { "s" },
         );
     }
     Ok(Outcome {

@@ -5,6 +5,7 @@
 //! | PUT    | `/experiments`             | `.cube`/`.cubec`| JSON id |
 //! | GET    | `/experiments/{id}/stats`  | —               | JSON    |
 //! | GET    | `/experiments/{id}/lint`   | —               | JSON    |
+//! | POST   | `/check`                   | expr text/JSON  | JSON    |
 //! | POST   | `/eval`                    | expr text/JSON  | `.cube` |
 //! | GET    | `/stats`                   | —               | JSON    |
 //! | GET    | `/healthz`                 | —               | JSON    |
@@ -14,12 +15,24 @@
 //! line. That identity is what the CI serve gate diffs, and it holds
 //! on cache hits too — the `X-Cache` header says which path produced
 //! the bytes.
+//!
+//! Every `/eval` runs the static checker ([`cube_algebra::check()`]) as
+//! a mandatory pre-flight after the cache lookup: operands are opened
+//! metadata-only (the lazy `.cubec` path — no severity pages are read)
+//! and a statically-invalid expression is rejected with its `A0xx`
+//! code and full diagnostics array *before* any evaluation work or
+//! cache insertion. `/check` exposes the same analysis directly,
+//! returning the full report (diagnostics, rewrite, cost estimate) in
+//! the same JSON shape `cube check --format json` prints.
 
+use crate::cache::lock_recover;
 use crate::error::ServeError;
 use crate::http::{Request, Response};
 use crate::json::{extract_string_field, json_string};
 use crate::server::Shared;
-use cube_algebra::{parse_expr, BatchOperand, BatchPlan, MergeOptions, ParsedExpr, PlanTables};
+use cube_algebra::{
+    check, parse_expr, BatchOperand, BatchPlan, MergeOptions, OperandFacts, ParsedExpr, PlanTables,
+};
 use cube_model::Provenance;
 use cube_store::ColumnarExperiment;
 use cube_xml::footer::{crc32, footer_line};
@@ -38,16 +51,18 @@ pub fn handle(shared: &Shared, req: &Request) -> Response {
         ("PUT", ["experiments"]) => ingest(shared, req),
         ("GET", ["experiments", id, "stats"]) => experiment_stats(shared, id),
         ("GET", ["experiments", id, "lint"]) => experiment_lint(shared, id),
+        ("POST", ["check"]) => check_endpoint(shared, req),
         ("POST", ["eval"]) => eval(shared, req),
         ("GET", ["stats"]) => Ok(server_stats(shared)),
         ("GET", ["healthz"]) => Ok(Response::json(200, "{\"ok\":true}".to_string())),
-        (_, ["experiments"]) | (_, ["eval"]) | (_, ["experiments", _, "stats" | "lint"]) => {
-            Err(ServeError {
-                status: 405,
-                code: "method_not_allowed".to_string(),
-                message: format!("{} is not supported on {path}", req.method),
-            })
-        }
+        (_, ["experiments"])
+        | (_, ["check"])
+        | (_, ["eval"])
+        | (_, ["experiments", _, "stats" | "lint"]) => Err(ServeError::with_status(
+            405,
+            "method_not_allowed",
+            format!("{} is not supported on {path}", req.method),
+        )),
         _ => Err(ServeError::not_found(
             "no_such_route",
             format!("no route for {path}"),
@@ -56,16 +71,19 @@ pub fn handle(shared: &Shared, req: &Request) -> Response {
     result.unwrap_or_else(|e| error_response(&e))
 }
 
-/// Renders a [`ServeError`] as its JSON wire form.
+/// Renders a [`ServeError`] as its JSON wire form. Errors carrying
+/// checker details gain a `"diagnostics"` array of `A0xx` findings.
 pub fn error_response(e: &ServeError) -> Response {
-    Response::json(
-        e.status,
-        format!(
-            "{{\"error\":{},\"code\":{}}}",
-            json_string(&e.message),
-            json_string(&e.code)
-        ),
-    )
+    let mut body = format!(
+        "{{\"error\":{},\"code\":{}",
+        json_string(&e.message),
+        json_string(&e.code)
+    );
+    if let Some(details) = &e.details {
+        let _ = write!(body, ",\"diagnostics\":{details}");
+    }
+    body.push('}');
+    Response::json(e.status, body)
 }
 
 fn ingest(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
@@ -148,11 +166,11 @@ fn experiment_lint(shared: &Shared, id: &str) -> Result<Response, ServeError> {
 
 fn server_stats(shared: &Shared) -> Response {
     let (result_hits, result_misses, result_entries) = {
-        let c = shared.results.lock().expect("result cache lock poisoned");
+        let c = lock_recover(&shared.results);
         (c.hits(), c.misses(), c.len())
     };
     let (plan_hits, plan_misses, plan_entries) = {
-        let c = shared.plans.lock().expect("plan cache lock poisoned");
+        let c = lock_recover(&shared.plans);
         (c.hits(), c.misses(), c.len())
     };
     Response::json(
@@ -205,12 +223,7 @@ fn plan_for<'a>(
     ops: &[&'a dyn BatchOperand],
 ) -> Result<BatchPlan<'a>, ServeError> {
     let plan_key = parsed.operands.join(",");
-    if let Some(tables) = shared
-        .plans
-        .lock()
-        .expect("plan cache lock poisoned")
-        .get(&plan_key)
-    {
+    if let Some(tables) = lock_recover(&shared.plans).get(&plan_key) {
         // Content ids key the cache, so cached tables can only mismatch
         // if an object was replaced underneath us; rebuild in that case.
         if let Ok(plan) = BatchPlan::from_tables(ops, tables) {
@@ -218,12 +231,61 @@ fn plan_for<'a>(
         }
     }
     let tables = Arc::new(PlanTables::build(ops, MergeOptions::default()));
-    shared
-        .plans
-        .lock()
-        .expect("plan cache lock poisoned")
-        .insert(plan_key, Arc::clone(&tables));
+    lock_recover(&shared.plans).insert(plan_key, Arc::clone(&tables));
     BatchPlan::from_tables(ops, tables).map_err(ServeError::from)
+}
+
+/// Opens each operand id metadata-only, keeping per-operand outcomes
+/// so resolution failures become `A001` facts instead of aborting the
+/// whole request before the checker can report them all.
+fn open_operands(
+    shared: &Shared,
+    pairs: &[(String, String)],
+) -> Vec<(String, Result<Arc<ColumnarExperiment>, ServeError>)> {
+    pairs
+        .iter()
+        .map(|(name, id)| (name.clone(), shared.repo.open(id)))
+        .collect()
+}
+
+/// Operand facts for the checker, borrowing metadata from the opened
+/// handles. Only metadata is consulted — severity pages stay unread.
+fn facts_of(
+    opened: &[(String, Result<Arc<ColumnarExperiment>, ServeError>)],
+) -> Vec<OperandFacts<'_>> {
+    opened
+        .iter()
+        .map(|(name, res)| match res {
+            Ok(handle) => OperandFacts::known(name.clone(), handle.metadata()),
+            Err(e) => OperandFacts::unknown(name.clone(), e.message.clone()),
+        })
+        .collect()
+}
+
+/// Mandatory `/eval` pre-flight: statically checks the expression
+/// against metadata-only operand facts and converts a failing report
+/// into the structured wire error — status 404 when an operand does
+/// not resolve, 422 for other static errors, with the full `A0xx`
+/// diagnostics array attached. Runs before any plan construction,
+/// evaluation, or cache insertion.
+fn preflight(
+    parsed: &ParsedExpr,
+    opened: &[(String, Result<Arc<ColumnarExperiment>, ServeError>)],
+) -> Result<(), ServeError> {
+    let facts = facts_of(opened);
+    let report = check(parsed, &facts);
+    if report.num_errors() == 0 {
+        return Ok(());
+    }
+    let unresolved = report.diagnostics.iter().any(|d| d.code == "A001");
+    let (code, message) = report.first_error().map_or_else(
+        || ("A000", "static check failed".to_string()),
+        |d| (d.code, format!("static check failed: {}", d.message)),
+    );
+    Err(
+        ServeError::with_status(if unresolved { 404 } else { 422 }, code, message)
+            .with_details(report.diagnostics_json()),
+    )
 }
 
 fn eval(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
@@ -231,21 +293,22 @@ fn eval(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
     let text = body_expr(req)?;
     let parsed = parse_expr(&text)?;
     let key = parsed.canonical();
-    if let Some(bytes) = shared
-        .results
-        .lock()
-        .expect("result cache lock poisoned")
-        .get(&key)
-    {
+    if let Some(bytes) = lock_recover(&shared.results).get(&key) {
         return Ok(
             Response::bytes(200, "application/cube+xml", bytes.as_ref().clone())
                 .with_header("x-cache", "hit"),
         );
     }
-    let handles: Vec<Arc<ColumnarExperiment>> = parsed
+    let pairs: Vec<(String, String)> = parsed
         .operands
         .iter()
-        .map(|id| shared.repo.open(id))
+        .map(|id| (id.clone(), id.clone()))
+        .collect();
+    let opened = open_operands(shared, &pairs);
+    preflight(&parsed, &opened)?;
+    let handles: Vec<Arc<ColumnarExperiment>> = opened
+        .into_iter()
+        .map(|(_, res)| res)
         .collect::<Result<_, _>>()?;
     let ops: Vec<&dyn BatchOperand> = handles
         .iter()
@@ -254,13 +317,80 @@ fn eval(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
     let plan = plan_for(shared, &parsed, &ops)?;
     let exp = plan.eval(&parsed.expr)?;
     let bytes = Arc::new(render_cube_bytes(&exp));
-    shared
-        .results
-        .lock()
-        .expect("result cache lock poisoned")
-        .insert(key, Arc::clone(&bytes));
+    lock_recover(&shared.results).insert(key, Arc::clone(&bytes));
     Ok(
         Response::bytes(200, "application/cube+xml", bytes.as_ref().clone())
             .with_header("x-cache", "miss"),
     )
+}
+
+/// Parses the optional flat `bind` field (`"A=id,B=id"`) of a
+/// `/check` body into (name, id) pairs.
+fn parse_bindings(bind: Option<&str>) -> Result<Vec<(String, String)>, ServeError> {
+    let Some(bind) = bind else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for pair in bind.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let Some((name, id)) = pair.split_once('=') else {
+            return Err(ServeError::bad_request(
+                "bad_bind",
+                format!("binding '{pair}' is not of the form name=id"),
+            ));
+        };
+        out.push((name.trim().to_string(), id.trim().to_string()));
+    }
+    Ok(out)
+}
+
+/// `POST /check`: the static checker as an endpoint. The body is the
+/// expression as plain text, or a flat JSON object with `expr` and an
+/// optional `bind` field mapping expression names to repository ids
+/// (`"A=<id>,B=<id>"`); without a binding each operand name must be a
+/// repository id itself, exactly as `/eval` resolves them. Returns the
+/// full report — the same JSON `cube check --format json` prints —
+/// with status 200 even when diagnostics contain errors; only a body
+/// that fails to parse is a 4xx.
+fn check_endpoint(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::bad_request("bad_encoding", "request body is not UTF-8"))?;
+    let trimmed = text.trim();
+    let (expr_text, bind) = if trimmed.starts_with('{') {
+        let expr = extract_string_field(trimmed, "expr").ok_or_else(|| {
+            ServeError::bad_request("missing_expr", "JSON body has no string \"expr\" field")
+        })?;
+        (expr, extract_string_field(trimmed, "bind"))
+    } else if trimmed.is_empty() {
+        return Err(ServeError::bad_request(
+            "missing_expr",
+            "empty body; send an expression or {\"expr\":\"...\",\"bind\":\"name=id,...\"}",
+        ));
+    } else {
+        (trimmed.to_string(), None)
+    };
+    let parsed = parse_expr(&expr_text)?;
+    let bindings = parse_bindings(bind.as_deref())?;
+    let mut pairs: Vec<(String, String)> = parsed
+        .operands
+        .iter()
+        .map(|name| {
+            let id = bindings
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(name.as_str(), |(_, id)| id.as_str());
+            (name.clone(), id.to_string())
+        })
+        .collect();
+    // Bindings that name no operand of the expression still become
+    // facts, so the checker reports them as dead operands (A005) —
+    // the same behavior as unused file arguments on the CLI.
+    for (name, id) in &bindings {
+        if !parsed.operands.contains(name) {
+            pairs.push((name.clone(), id.clone()));
+        }
+    }
+    let opened = open_operands(shared, &pairs);
+    let facts = facts_of(&opened);
+    let report = check(&parsed, &facts);
+    Ok(Response::json(200, report.to_json(&expr_text)))
 }

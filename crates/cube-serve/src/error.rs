@@ -20,34 +20,43 @@ pub struct ServeError {
     pub code: String,
     /// Human-readable description.
     pub message: String,
+    /// Optional pre-rendered JSON fragment appended to the wire body
+    /// as a `"diagnostics"` field — the static checker's `A0xx` array
+    /// for `/eval` pre-flight rejections. `None` for ordinary errors.
+    pub details: Option<String>,
 }
 
 impl ServeError {
-    /// A 400 with an explicit code.
-    pub fn bad_request(code: &str, message: impl Into<String>) -> Self {
+    /// An error with an explicit status and code.
+    pub fn with_status(status: u16, code: &str, message: impl Into<String>) -> Self {
         Self {
-            status: 400,
+            status,
             code: code.to_string(),
             message: message.into(),
+            details: None,
         }
+    }
+
+    /// A 400 with an explicit code.
+    pub fn bad_request(code: &str, message: impl Into<String>) -> Self {
+        Self::with_status(400, code, message)
     }
 
     /// A 404 for a missing experiment or route.
     pub fn not_found(code: &str, message: impl Into<String>) -> Self {
-        Self {
-            status: 404,
-            code: code.to_string(),
-            message: message.into(),
-        }
+        Self::with_status(404, code, message)
     }
 
     /// A 500 for repository or I/O failures.
     pub fn internal(message: impl Into<String>) -> Self {
-        Self {
-            status: 500,
-            code: "internal".to_string(),
-            message: message.into(),
-        }
+        Self::with_status(500, "internal", message)
+    }
+
+    /// Attaches a pre-rendered JSON `diagnostics` array to the error.
+    #[must_use]
+    pub fn with_details(mut self, details: String) -> Self {
+        self.details = Some(details);
+        self
     }
 }
 
@@ -68,11 +77,7 @@ impl From<StoreError> for ServeError {
             StoreError::Model(_) => (422, "model"),
             StoreError::Io { .. } => (500, "io"),
         };
-        Self {
-            status,
-            code: code.to_string(),
-            message: e.to_string(),
-        }
+        Self::with_status(status, code, e.to_string())
     }
 }
 
@@ -84,31 +89,19 @@ impl From<XmlError> for ServeError {
             XmlError::Io { .. } => (500, "io"),
             _ => (400, "bad_xml"),
         };
-        Self {
-            status,
-            code: code.to_string(),
-            message: e.to_string(),
-        }
+        Self::with_status(status, code, e.to_string())
     }
 }
 
 impl From<ExprParseError> for ServeError {
     fn from(e: ExprParseError) -> Self {
-        Self {
-            status: 400,
-            code: e.code.to_string(),
-            message: e.to_string(),
-        }
+        Self::with_status(400, e.code, e.to_string())
     }
 }
 
 impl From<AlgebraError> for ServeError {
     fn from(e: AlgebraError) -> Self {
-        Self {
-            status: 422,
-            code: "algebra".to_string(),
-            message: e.to_string(),
-        }
+        Self::with_status(422, "algebra", e.to_string())
     }
 }
 

@@ -20,7 +20,7 @@
 //! in recovery provenance instead of whatever absolute or temporary
 //! path the file happened to be read from.
 
-use crate::cache::LruCache;
+use crate::cache::{lock_recover, LruCache};
 use crate::error::ServeError;
 use cube_store::{read_store, write_store, ColumnarExperiment};
 use cube_xml::footer::check_footer;
@@ -171,7 +171,14 @@ impl Repository {
                 label,
             });
         }
-        let shard = path.parent().expect("object path has a shard directory");
+        // object_path always nests objects/<hh>/ under the root, but a
+        // worker must not die on the impossible case either.
+        let Some(shard) = path.parent() else {
+            return Err(ServeError::internal(format!(
+                "object path {} has no parent directory",
+                path.display()
+            )));
+        };
         std::fs::create_dir_all(shard)
             .map_err(|e| ServeError::internal(format!("{}: {e}", shard.display())))?;
         let tmp = shard.join(format!(
@@ -199,7 +206,11 @@ impl Repository {
     /// Opens the experiment stored under `id`, sharing handles through
     /// the LRU cache. Unknown ids are a 404, malformed ids a 400.
     pub fn open(&self, id: &str) -> Result<Arc<ColumnarExperiment>, ServeError> {
-        let mut handles = self.handles.lock().expect("handle cache lock poisoned");
+        // LOCK ORDER: `handles` is a leaf lock (see cache::lock_recover)
+        // — held only across cache bookkeeping, never while another
+        // lock is taken. The open_with call below runs with the guard
+        // held but touches only the filesystem, no other shared state.
+        let mut handles = lock_recover(&self.handles);
         if let Some(handle) = handles.get(&id.to_string()) {
             return Ok(handle);
         }

@@ -17,7 +17,7 @@
 //! an accepted request is never dropped on the floor.
 
 use crate::api;
-use crate::cache::LruCache;
+use crate::cache::{lock_recover, LruCache};
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, HttpError};
 use crate::repo::Repository;
@@ -194,7 +194,7 @@ impl RunningServer {
 
     fn ready_all(&self) {
         // Wake parked workers so they observe the closed queue.
-        let _guard = self.shared.queue.lock().expect("queue lock poisoned");
+        let _guard = lock_recover(&self.shared.queue);
         self.shared.ready.notify_all();
     }
 
@@ -230,7 +230,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
             Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
-    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    let mut queue = lock_recover(&shared.queue);
     queue.closed = true;
     drop(queue);
     shared.ready.notify_all();
@@ -239,18 +239,18 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
 fn admit(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    let mut queue = lock_recover(&shared.queue);
     if queue.conns.len() >= shared.config.queue_depth {
         drop(queue);
         shared.rejected.fetch_add(1, Ordering::Relaxed);
-        let resp = api::error_response(&ServeError {
-            status: 429,
-            code: "queue_full".to_string(),
-            message: format!(
+        let resp = api::error_response(&ServeError::with_status(
+            429,
+            "queue_full",
+            format!(
                 "admission queue is full ({} waiting); retry",
                 shared.config.queue_depth
             ),
-        });
+        ));
         let _ = write_response(&mut stream, &resp);
         // The client may still be mid-send; closing with unread bytes
         // in the socket buffer raises RST and discards the 429 in
@@ -275,7 +275,7 @@ fn admit(shared: &Shared, mut stream: TcpStream) {
 fn worker_loop(shared: &Shared) {
     loop {
         let conn = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(conn) = queue.conns.pop_front() {
                     break Some(conn);
@@ -286,7 +286,7 @@ fn worker_loop(shared: &Shared) {
                 queue = shared
                     .ready
                     .wait(queue)
-                    .expect("queue lock poisoned while waiting");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         match conn {
@@ -309,11 +309,13 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
         Err(HttpError::Malformed(message)) => {
             api::error_response(&ServeError::bad_request("bad_http", message))
         }
-        Err(HttpError::BodyTooLarge { declared, limit }) => api::error_response(&ServeError {
-            status: 413,
-            code: "body_too_large".to_string(),
-            message: format!("declared body of {declared} bytes exceeds the {limit}-byte cap"),
-        }),
+        Err(HttpError::BodyTooLarge { declared, limit }) => {
+            api::error_response(&ServeError::with_status(
+                413,
+                "body_too_large",
+                format!("declared body of {declared} bytes exceeds the {limit}-byte cap"),
+            ))
+        }
         Err(HttpError::Io(e)) => {
             // Read timeout or reset mid-request: answer if the peer is
             // still there, otherwise the write fails harmlessly.

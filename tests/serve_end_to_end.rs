@@ -176,22 +176,97 @@ fn eval_matches_cli_bytes_across_threads_and_cache_states() {
     assert_eq!(reply.status, 200);
     assert_eq!(reply.header("x-cache"), Some("hit"));
 
-    // Error surface: unknown operand, parse error with its stable code,
-    // unknown route.
+    // Error surface: an unknown operand is now caught by the static
+    // pre-flight, which answers with the checker's stable A001 code
+    // and a structured diagnostics array instead of a bare message.
     let reply = request(addr, "POST", "/eval", b"mean(0123456789abcdef)");
     assert_eq!(reply.status, 404, "{}", reply.text());
-    assert!(reply.text().contains("unknown_experiment"));
+    let body = reply.text();
+    assert_eq!(json_field(&body, "code").as_deref(), Some("A001"));
+    assert!(body.contains("\"diagnostics\":["), "{body}");
     let reply = request(addr, "POST", "/eval", b"mean(");
     assert_eq!(reply.status, 400, "{}", reply.text());
     assert_eq!(json_field(&reply.text(), "code").as_deref(), Some("P001"));
     let reply = request(addr, "GET", "/no/such/route", b"");
     assert_eq!(reply.status, 404);
 
+    // The /check endpoint runs the same analysis without evaluating:
+    // a clean expression reports ok with a cost estimate...
+    let reply = request(addr, "POST", "/check", mean_expr.as_bytes());
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    let body = reply.text();
+    assert!(body.contains("\"ok\":true"), "{body}");
+    assert!(body.contains("\"cost\":{"), "{body}");
+    // ... and a statically-zero diff earns its A008 warning plus the
+    // zero() rewrite, still with status 200 (the report is the answer).
+    let zero_expr = format!("diff({},{})", ids[0], ids[0]);
+    let reply = request(addr, "POST", "/check", zero_expr.as_bytes());
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    let body = reply.text();
+    assert!(body.contains("\"A008\""), "{body}");
+    assert_eq!(json_field(&body, "rewritten").as_deref(), Some("zero()"));
+
     // Server counters saw all of it.
     let stats = request(addr, "GET", "/stats", b"");
     let body = stats.text();
     assert_eq!(json_number(&body, "experiments"), Some(4));
     assert!(json_number(&body, "evals").unwrap() >= 9);
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: `/eval` with a missing experiment id must fail early
+/// with a structured 404-class JSON error — before any evaluation
+/// work, without inserting into the result cache, and without reading
+/// severity pages of the operands that *do* resolve.
+#[test]
+fn eval_rejects_missing_experiment_before_any_work() {
+    let dir = workdir("preflight");
+    let server = cube_serve::start(
+        cube_serve::ServeConfig {
+            workers: 1,
+            ..cube_serve::ServeConfig::default()
+        },
+        &dir.join("repo"),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let bytes = cube_store::write_store(&produce(2, 3, true));
+    let reply = request(addr, "PUT", "/experiments", &bytes);
+    assert_eq!(reply.status, 201, "{}", reply.text());
+    let good = json_field(&reply.text(), "id").expect("ingest returns an id");
+
+    // One resolvable operand, one missing: the pre-flight reports the
+    // missing one with its A001 diagnostic and a 404 status.
+    let expr = format!("mean({good},ffffffffffffffff)");
+    let reply = request(addr, "POST", "/eval", expr.as_bytes());
+    assert_eq!(reply.status, 404, "{}", reply.text());
+    let body = reply.text();
+    assert_eq!(json_field(&body, "code").as_deref(), Some("A001"));
+    assert!(
+        body.contains("ffffffffffffffff"),
+        "diagnostics name the missing operand: {body}"
+    );
+
+    // Nothing was evaluated: the result cache holds no entry, so the
+    // rejected expression can never be served from cache later.
+    let stats = request(addr, "GET", "/stats", b"");
+    let stats_body = stats.text();
+    assert!(
+        stats_body.contains("\"result_cache\":{\"hits\":0,\"misses\":1,\"entries\":0}"),
+        "{stats_body}"
+    );
+
+    // The resolvable operand was opened metadata-only: its cached
+    // handle never pulled severity pages into memory.
+    let handle = server.shared().repo.open(&good).expect("handle cached");
+    assert!(
+        !handle.is_loaded(),
+        "pre-flight must not touch severity pages"
+    );
 
     server.shutdown();
     server.join();
