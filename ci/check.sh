@@ -352,4 +352,139 @@ if [ "$serve_status" -ne 0 ]; then
 fi
 grep -q "shutdown complete" "$sdir/serve.log"
 
+echo "== chaos gate: /eval under a fixed fault schedule stays sound"
+# Boot a fault-free reference server with all caches off (so every
+# request drives real disk reads), record the canonical /eval bytes,
+# then re-boot the same repository under a fixed CUBE_FAULTS seed and
+# require: every status within the fault model (200/206/503/504),
+# every 200 byte-identical to the reference, and a clean SIGTERM
+# drain while faults are still firing. The driver is single-threaded,
+# so the seeded schedule makes this gate exactly reproducible.
+cdir="$lint_tmp/chaos"
+mkdir -p "$cdir"
+serve_addr() {
+    # Scrapes `listening on HOST:PORT` from the log file in $1.
+    addr=""
+    tries=0
+    while [ -z "$addr" ]; do
+        addr="$(sed -n 's/^listening on //p' "$1")"
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "cube serve did not report its address:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        [ -n "$addr" ] || sleep 0.1
+    done
+}
+# The EXIT trap kills "$serve_pid"; keep it pointed at whichever
+# server is currently running.
+./target/release/cube serve --repo "$cdir/repo" --port 0 --workers 2 \
+    --cache-results 0 --cache-plans 0 --cache-handles 0 \
+    >"$cdir/ref.log" 2>&1 &
+serve_pid=$!
+serve_addr "$cdir/ref.log"
+ids=""
+for f in run0.cube run1.cube run2.cubec run3.cubec; do
+    reply="$(curl -sS -H 'Expect:' -X PUT \
+        --data-binary @"$det/corpus/$f" "http://$addr/experiments")"
+    id="$(printf '%s' "$reply" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')"
+    if [ -z "$id" ]; then
+        echo "chaos ingest of $f returned no id: $reply" >&2
+        exit 1
+    fi
+    ids="$ids $id"
+done
+set -- $ids
+chaos_mean="mean($1,$2,$3,$4)"
+chaos_diff="diff(mean($1,$2),mean($3,$4))"
+for kind in mean diff; do
+    case "$kind" in
+    mean) expr="$chaos_mean" ;;
+    *) expr="$chaos_diff" ;;
+    esac
+    status="$(curl -sS -H 'Expect:' -X POST --data "$expr" \
+        -o "$cdir/ref.$kind.cube" -w '%{http_code}' "http://$addr/eval")"
+    if [ "$status" != "200" ]; then
+        echo "fault-free reference /eval '$expr' answered $status" >&2
+        exit 1
+    fi
+done
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+
+CUBE_FAULTS='seed=20260808,read_error=0.15,torn_read=0.08,checksum_flip=0.08,latency=2@0.25' \
+    ./target/release/cube serve --repo "$cdir/repo" --port 0 --workers 2 \
+    --cache-results 0 --cache-plans 0 --cache-handles 0 \
+    --retries 3 --backoff-ms 1 --breaker 4 \
+    >"$cdir/chaos.log" 2>&1 &
+serve_pid=$!
+serve_addr "$cdir/chaos.log"
+successes=0
+round=0
+while [ "$round" -lt 6 ]; do
+    for kind in mean diff; do
+        case "$kind" in
+        mean) expr="$chaos_mean" ;;
+        *) expr="$chaos_diff" ;;
+        esac
+        # Odd rounds opt into degraded mode; 200s must still be
+        # byte-identical either way.
+        if [ $((round % 2)) -eq 1 ]; then
+            path="/eval?keep_going=1"
+        else
+            path="/eval"
+        fi
+        status="$(curl -sS -H 'Expect:' -X POST --data "$expr" \
+            -o "$cdir/got.$kind" -w '%{http_code}' "http://$addr$path")"
+        case "$status" in
+        200)
+            if ! cmp -s "$cdir/ref.$kind.cube" "$cdir/got.$kind"; then
+                echo "faulted 200 for '$expr' diverged from the fault-free run" >&2
+                exit 1
+            fi
+            successes=$((successes + 1))
+            ;;
+        206)
+            grep -q '"status":"degraded"' "$cdir/got.$kind"
+            grep -q '"omitted_operands":\[{' "$cdir/got.$kind"
+            ;;
+        503 | 504)
+            grep -q '"code":"' "$cdir/got.$kind"
+            ;;
+        *)
+            echo "status $status outside the fault model for '$expr':" >&2
+            cat "$cdir/got.$kind" >&2
+            exit 1
+            ;;
+        esac
+    done
+    round=$((round + 1))
+done
+if [ "$successes" -eq 0 ]; then
+    echo "no /eval ever succeeded under the CI fault seed" >&2
+    exit 1
+fi
+curl -sS "http://$addr/healthz" | grep -q '"ok":true'
+curl -sS "http://$addr/stats" | grep -q '"faults":{'
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+chaos_status=$?
+set -e
+if [ "$chaos_status" -ne 0 ]; then
+    echo "cube serve exited $chaos_status after SIGTERM under faults:" >&2
+    cat "$cdir/chaos.log" >&2
+    exit 1
+fi
+grep -q "shutdown complete" "$cdir/chaos.log"
+
+echo "== chaos gate: fsck passes over the served repository"
+# In-memory fault injection never touches the disk: the repository
+# the chaos server just hammered must still verify clean.
+./target/release/cube fsck "$cdir/repo" >/dev/null
+
+echo "== chaos gate: serve_chaos harness"
+cargo test -q --test serve_chaos
+
 echo "== ci/check.sh: all green"

@@ -27,34 +27,38 @@
 
 use crate::cache::lock_recover;
 use crate::error::ServeError;
-use crate::http::{Request, Response};
+use crate::http::{Deadline, Request, Response};
 use crate::json::{extract_string_field, json_string};
 use crate::server::Shared;
 use cube_algebra::{
-    check, parse_expr, BatchOperand, BatchPlan, MergeOptions, OperandFacts, ParsedExpr, PlanTables,
+    check, parse_expr, render_expr, BatchOperand, BatchPlan, Expr, MergeOptions, OperandFacts,
+    ParsedExpr, PlanTables,
 };
 use cube_model::Provenance;
 use cube_store::ColumnarExperiment;
 use cube_xml::footer::{crc32, footer_line};
 use cube_xml::write_experiment;
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Dispatches one request, converting every failure into its JSON
 /// error body. Never panics the worker: unknown routes are 404, wrong
-/// methods 405.
-pub fn handle(shared: &Shared, req: &Request) -> Response {
+/// methods 405. `deadline` is the request's remaining time budget;
+/// handlers doing repository work check it at phase boundaries and
+/// surface expiry as `504 deadline_exceeded`.
+pub fn handle(shared: &Shared, req: &Request, deadline: &Deadline) -> Response {
     let path = req.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let result = match (req.method.as_str(), segments.as_slice()) {
         ("PUT", ["experiments"]) => ingest(shared, req),
-        ("GET", ["experiments", id, "stats"]) => experiment_stats(shared, id),
+        ("GET", ["experiments", id, "stats"]) => experiment_stats(shared, id, deadline),
         ("GET", ["experiments", id, "lint"]) => experiment_lint(shared, id),
         ("POST", ["check"]) => check_endpoint(shared, req),
-        ("POST", ["eval"]) => eval(shared, req),
+        ("POST", ["eval"]) => eval(shared, req, deadline),
         ("GET", ["stats"]) => Ok(server_stats(shared)),
-        ("GET", ["healthz"]) => Ok(Response::json(200, "{\"ok\":true}".to_string())),
+        ("GET", ["healthz"]) => Ok(healthz(shared)),
         (_, ["experiments"])
         | (_, ["check"])
         | (_, ["eval"])
@@ -108,8 +112,13 @@ fn provenance_kind(p: &Provenance) -> &'static str {
     }
 }
 
-fn experiment_stats(shared: &Shared, id: &str) -> Result<Response, ServeError> {
-    let handle = shared.repo.open(id)?;
+fn experiment_stats(
+    shared: &Shared,
+    id: &str,
+    deadline: &Deadline,
+) -> Result<Response, ServeError> {
+    let handle = shared.repo.open_within(id, deadline)?;
+    shared.repo.ensure_severity(id, &handle, deadline)?;
     let md = handle.metadata();
     let values = handle.severity()?;
     let nonzero = values.iter().filter(|v| **v != 0.0).count();
@@ -173,16 +182,49 @@ fn server_stats(shared: &Shared) -> Response {
         let c = lock_recover(&shared.plans);
         (c.hits(), c.misses(), c.len())
     };
+    let faults = crate::faults::counters();
     Response::json(
         200,
         format!(
             "{{\"experiments\":{},\"requests\":{},\"evals\":{},\"rejected\":{},\
              \"result_cache\":{{\"hits\":{result_hits},\"misses\":{result_misses},\"entries\":{result_entries}}},\
-             \"plan_cache\":{{\"hits\":{plan_hits},\"misses\":{plan_misses},\"entries\":{plan_entries}}}}}",
+             \"plan_cache\":{{\"hits\":{plan_hits},\"misses\":{plan_misses},\"entries\":{plan_entries}}},\
+             \"deadline_expirations\":{},\"degraded_evals\":{},\"retries\":{},\"read_failures\":{},\
+             \"quarantined\":{},\"swept_temp_files\":{},\
+             \"faults\":{{\"io_errors\":{},\"torn_reads\":{},\"checksum_flips\":{},\"latencies\":{}}}}}",
             shared.repo.count(),
             shared.requests.load(Ordering::Relaxed),
             shared.evals.load(Ordering::Relaxed),
             shared.rejected.load(Ordering::Relaxed),
+            shared.deadline_expirations.load(Ordering::Relaxed),
+            shared.degraded_evals.load(Ordering::Relaxed),
+            shared.repo.retries_performed.load(Ordering::Relaxed),
+            shared.repo.read_failures.load(Ordering::Relaxed),
+            shared.repo.open_breakers(),
+            shared.repo.swept_temp_files(),
+            faults.io_errors,
+            faults.torn_reads,
+            faults.checksum_flips,
+            faults.latencies,
+        ),
+    )
+}
+
+/// `GET /healthz`: liveness plus a coarse degradation signal. The
+/// server reports `degraded` while any object id is quarantined by the
+/// circuit breaker — it is still serving, but some operands answer
+/// `503` (or are omitted under `keep_going`). `ok` stays `true` either
+/// way: the process is alive and making progress.
+fn healthz(shared: &Shared) -> Response {
+    let quarantined = shared.repo.open_breakers();
+    Response::json(
+        200,
+        format!(
+            "{{\"ok\":true,\"status\":\"{}\",\"quarantined\":{quarantined},\
+             \"read_failures\":{},\"deadline_expirations\":{}}}",
+            if quarantined > 0 { "degraded" } else { "ok" },
+            shared.repo.read_failures.load(Ordering::Relaxed),
+            shared.deadline_expirations.load(Ordering::Relaxed),
         ),
     )
 }
@@ -288,8 +330,135 @@ fn preflight(
     )
 }
 
-fn eval(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
+/// Fails with `504 deadline_exceeded` if the request budget is gone.
+fn check_deadline(deadline: &Deadline, phase: &str) -> Result<(), ServeError> {
+    if deadline.expired() {
+        Err(ServeError::deadline(phase))
+    } else {
+        Ok(())
+    }
+}
+
+/// Whether the request's query string sets `name` truthily
+/// (`?name=1`, `?name=true`, or bare `?name`).
+fn query_flag(req: &Request, name: &str) -> bool {
+    let Some(query) = req.path.split_once('?').map(|(_, q)| q) else {
+        return false;
+    };
+    query.split('&').any(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        k == name && matches!(v, "" | "1" | "true")
+    })
+}
+
+/// Rewrites `expr` without the operands in `failed`: a failed index
+/// simply leaves every reduction list it appears in. A failed operand
+/// anywhere else (a diff side, a scale argument, a bare operand) has
+/// no meaning-preserving removal, so the expression cannot be
+/// degraded and the caller reports the underlying failure instead.
+/// This generalizes [`cube_algebra::FailurePolicy::KeepGoing`] — the
+/// CLI's `--keep-going` over one reduction — to arbitrary trees.
+fn degrade_expr(expr: &Expr, failed: &HashSet<usize>) -> Option<Expr> {
+    match expr {
+        Expr::Operand(i) => (!failed.contains(i)).then_some(Expr::Operand(*i)),
+        Expr::Zero => Some(Expr::Zero),
+        Expr::Reduce(r, idxs) => {
+            let kept: Vec<usize> = idxs
+                .iter()
+                .copied()
+                .filter(|i| !failed.contains(i))
+                .collect();
+            (!kept.is_empty()).then_some(Expr::Reduce(*r, kept))
+        }
+        Expr::Diff(a, b) => Some(Expr::diff(
+            degrade_expr(a, failed)?,
+            degrade_expr(b, failed)?,
+        )),
+        Expr::Scale(inner, f) => Some(Expr::scale(degrade_expr(inner, failed)?, *f)),
+    }
+}
+
+/// Renumbers operand indices through `remap` (old index → new index
+/// over the surviving operand list).
+fn remap_expr(expr: &Expr, remap: &[usize]) -> Expr {
+    match expr {
+        Expr::Operand(i) => Expr::Operand(remap[*i]),
+        Expr::Zero => Expr::Zero,
+        Expr::Reduce(r, idxs) => Expr::Reduce(*r, idxs.iter().map(|i| remap[*i]).collect()),
+        Expr::Diff(a, b) => Expr::diff(remap_expr(a, remap), remap_expr(b, remap)),
+        Expr::Scale(inner, f) => Expr::scale(remap_expr(inner, remap), *f),
+    }
+}
+
+/// Answers a degraded `/eval`: evaluates the expression over the
+/// surviving operands only and reports the omitted ones. `206` with a
+/// JSON envelope (not raw CUBE bytes — the `omitted_operands` report
+/// is part of the answer); never cached, because the result does not
+/// correspond to the canonical expression.
+fn degraded_response(
+    shared: &Shared,
+    parsed: &ParsedExpr,
+    handles: Vec<Option<Arc<ColumnarExperiment>>>,
+    failures: &[(usize, String, ServeError)],
+) -> Result<Response, ServeError> {
+    let failed: HashSet<usize> = failures.iter().map(|(i, _, _)| *i).collect();
+    let Some(degraded) = degrade_expr(&parsed.expr, &failed) else {
+        let (_, _, e) = &failures[0];
+        let mut e = e.clone();
+        e.message = format!(
+            "{} (operand is structurally required; keep_going cannot omit it)",
+            e.message
+        );
+        return Err(e);
+    };
+    let mut remap = vec![usize::MAX; handles.len()];
+    let mut survivors: Vec<Arc<ColumnarExperiment>> = Vec::new();
+    for (i, slot) in handles.into_iter().enumerate() {
+        if let Some(handle) = slot {
+            remap[i] = survivors.len();
+            survivors.push(handle);
+        }
+    }
+    let ops: Vec<&dyn BatchOperand> = survivors
+        .iter()
+        .map(|h| h.as_ref() as &dyn BatchOperand)
+        .collect();
+    // Degraded plans are built fresh, not cached: their operand set is
+    // an accident of which reads failed, not a stable key.
+    let tables = Arc::new(PlanTables::build(&ops, MergeOptions::default()));
+    let plan = BatchPlan::from_tables(&ops, tables)?;
+    let exp = plan.eval(&remap_expr(&degraded, &remap))?;
+    let bytes = render_cube_bytes(&exp);
+    shared.degraded_evals.fetch_add(1, Ordering::Relaxed);
+
+    let mut body = format!(
+        "{{\"status\":\"degraded\",\"expr\":{},\"used\":{},\"omitted_operands\":[",
+        json_string(&render_expr(&degraded, &parsed.operands)),
+        survivors.len(),
+    );
+    for (k, (index, id, e)) in failures.iter().enumerate() {
+        if k > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"index\":{index},\"id\":{},\"code\":{},\"reason\":{}}}",
+            json_string(id),
+            json_string(&e.code),
+            json_string(&e.message)
+        );
+    }
+    let _ = write!(
+        body,
+        "],\"result\":{}}}",
+        json_string(&String::from_utf8_lossy(&bytes))
+    );
+    Ok(Response::json(206, body).with_header("x-cache", "degraded"))
+}
+
+fn eval(shared: &Shared, req: &Request, deadline: &Deadline) -> Result<Response, ServeError> {
     shared.evals.fetch_add(1, Ordering::Relaxed);
+    let keep_going = query_flag(req, "keep_going");
     let text = body_expr(req)?;
     let parsed = parse_expr(&text)?;
     let key = parsed.canonical();
@@ -299,17 +468,60 @@ fn eval(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
                 .with_header("x-cache", "hit"),
         );
     }
+    check_deadline(deadline, "resolving operands")?;
     let pairs: Vec<(String, String)> = parsed
         .operands
         .iter()
         .map(|id| (id.clone(), id.clone()))
         .collect();
-    let opened = open_operands(shared, &pairs);
-    preflight(&parsed, &opened)?;
-    let handles: Vec<Arc<ColumnarExperiment>> = opened
-        .into_iter()
-        .map(|(_, res)| res)
-        .collect::<Result<_, _>>()?;
+    let opened: Vec<(String, Result<Arc<ColumnarExperiment>, ServeError>)> = pairs
+        .iter()
+        .map(|(name, id)| (name.clone(), shared.repo.open_within(id, deadline)))
+        .collect();
+    // Static resolution failures (bad/unknown ids) go through the
+    // checker so the client gets the full A0xx diagnostics; transient
+    // availability failures (503/504) are *not* static facts and take
+    // the retry/degrade path below instead — when some operands are
+    // unavailable the checker is skipped and plan-level validation
+    // covers the survivors.
+    let any_static = opened
+        .iter()
+        .any(|(_, r)| matches!(r, Err(e) if e.status < 500));
+    if any_static || opened.iter().all(|(_, r)| r.is_ok()) {
+        preflight(&parsed, &opened)?;
+    }
+
+    // Guarded severity loads — the second disk boundary an /eval
+    // crosses. Failures here and open failures above both feed the
+    // degraded path when the client opted in.
+    let mut handles: Vec<Option<Arc<ColumnarExperiment>>> = Vec::with_capacity(opened.len());
+    let mut failures: Vec<(usize, String, ServeError)> = Vec::new();
+    for (index, (id, res)) in opened.into_iter().enumerate() {
+        match res {
+            Ok(handle) => match shared.repo.ensure_severity(&id, &handle, deadline) {
+                Ok(()) => handles.push(Some(handle)),
+                Err(e) if e.status == 504 => return Err(e),
+                Err(e) => {
+                    handles.push(None);
+                    failures.push((index, id, e));
+                }
+            },
+            Err(e) => {
+                handles.push(None);
+                failures.push((index, id, e));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        if !keep_going {
+            let (_, _, e) = failures.swap_remove(0);
+            return Err(e);
+        }
+        return degraded_response(shared, &parsed, handles, &failures);
+    }
+
+    check_deadline(deadline, "evaluating the expression")?;
+    let handles: Vec<Arc<ColumnarExperiment>> = handles.into_iter().flatten().collect();
     let ops: Vec<&dyn BatchOperand> = handles
         .iter()
         .map(|h| h.as_ref() as &dyn BatchOperand)

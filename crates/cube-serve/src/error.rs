@@ -52,6 +52,24 @@ impl ServeError {
         Self::with_status(500, "internal", message)
     }
 
+    /// A 503 `unavailable`-family error: the object (or the whole
+    /// repository) could not be read even after retries, or is
+    /// quarantined by the circuit breaker. Clients should back off and
+    /// retry later.
+    pub fn unavailable(code: &str, message: impl Into<String>) -> Self {
+        Self::with_status(503, code, message)
+    }
+
+    /// A 504 `deadline_exceeded`: the request's time budget ran out
+    /// during the named phase. The work was abandoned, not completed.
+    pub fn deadline(phase: &str) -> Self {
+        Self::with_status(
+            504,
+            "deadline_exceeded",
+            format!("request deadline expired while {phase}"),
+        )
+    }
+
     /// Attaches a pre-rendered JSON `diagnostics` array to the error.
     #[must_use]
     pub fn with_details(mut self, details: String) -> Self {

@@ -10,9 +10,81 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line plus headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// An absolute time budget a request must finish within.
+///
+/// [`Deadline::none`] never expires; everything else is an
+/// [`Instant`] after which [`Deadline::expired`] turns true and the
+/// server answers `504 deadline_exceeded` instead of working on. The
+/// budget is *checked* at phase boundaries (header read, body read,
+/// operand open, evaluation) and *enforced* against stalled sockets by
+/// re-arming the read timeout to the remaining budget.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now; `0` means unlimited.
+    pub fn after_ms(ms: u64) -> Self {
+        Self {
+            at: (ms > 0).then(|| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// The deadline that never expires.
+    pub fn none() -> Self {
+        Self { at: None }
+    }
+
+    /// The earlier of the two deadlines.
+    pub fn sooner(self, other: Deadline) -> Deadline {
+        Self {
+            at: match (self.at, other.at) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// Budget left: `None` for unlimited, `Some(ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the budget is gone.
+    pub fn expired(&self) -> bool {
+        matches!(self.remaining(), Some(d) if d.is_zero())
+    }
+}
+
+/// Arms the socket read timeout to the remaining budget (so a stalled
+/// peer wakes the worker exactly at expiry) or fails fast when the
+/// budget is already gone.
+fn arm_read(stream: &TcpStream, d: &Deadline, phase: &'static str) -> Result<(), HttpError> {
+    match d.remaining() {
+        None => Ok(()),
+        Some(rem) if rem.is_zero() => Err(HttpError::Deadline(phase)),
+        Some(rem) => {
+            let _ = stream.set_read_timeout(Some(rem));
+            Ok(())
+        }
+    }
+}
+
+/// Whether an I/O error is a socket-timeout wakeup (either kind,
+/// depending on platform) rather than a real transport failure.
+fn timed_out(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// A parsed request: method, path, lower-cased headers, raw body.
 #[derive(Debug)]
@@ -53,11 +125,26 @@ pub enum HttpError {
     },
     /// Transport failure (includes read timeouts).
     Io(std::io::Error),
+    /// A request deadline expired during the named phase; renders as
+    /// `504 deadline_exceeded`.
+    Deadline(&'static str),
 }
 
 /// Reads one request from `stream`, enforcing [`MAX_HEAD_BYTES`] and
 /// the caller's body cap *before* buffering the body.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+///
+/// `head_deadline` bounds the header phase (the slow-loris cap: a peer
+/// trickling header bytes is cut off when it expires), `total` bounds
+/// the whole read. Both are re-armed onto the socket's read timeout so
+/// a peer that stalls entirely wakes the worker at expiry rather than
+/// at the coarse per-socket timeout.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    head_deadline: &Deadline,
+    total: &Deadline,
+) -> Result<Request, HttpError> {
+    let head_budget = head_deadline.sooner(*total);
     let mut head = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
     let body_start = loop {
@@ -69,7 +156,14 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        arm_read(stream, &head_budget, "reading request head")?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if timed_out(&e) && head_budget.expired() => {
+                return Err(HttpError::Deadline("reading request head"));
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
         if n == 0 {
             return if head.is_empty() {
                 Err(HttpError::Closed)
@@ -101,7 +195,14 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         ));
     }
     while body.len() < declared {
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        arm_read(stream, total, "reading request body")?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if timed_out(&e) && total.expired() => {
+                return Err(HttpError::Deadline("reading request body"));
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-body".into()));
         }
@@ -226,6 +327,7 @@ pub fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
         201 => "Created",
+        206 => "Partial Content",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -234,6 +336,7 @@ pub fn status_text(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -264,5 +367,24 @@ mod tests {
     fn finds_head_end_only_on_blank_line() {
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn deadline_budget_arithmetic() {
+        let unlimited = Deadline::none();
+        assert!(!unlimited.expired());
+        assert!(unlimited.remaining().is_none());
+        assert!(!Deadline::after_ms(0).expired(), "0 means unlimited");
+
+        let tight = Deadline::after_ms(1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(tight.expired());
+        assert_eq!(tight.remaining(), Some(Duration::ZERO));
+
+        // sooner() keeps the finite side, and the earlier of two.
+        assert!(tight.sooner(unlimited).expired());
+        assert!(unlimited.sooner(tight).expired());
+        assert!(!unlimited.sooner(Deadline::none()).expired());
+        assert!(!Deadline::after_ms(60_000).sooner(unlimited).expired());
     }
 }

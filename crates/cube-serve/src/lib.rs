@@ -40,6 +40,7 @@
 pub mod api;
 pub mod cache;
 pub mod error;
+pub mod faults;
 pub mod http;
 pub mod json;
 pub mod repo;
@@ -47,5 +48,6 @@ pub mod server;
 
 pub use cache::LruCache;
 pub use error::ServeError;
+pub use faults::{FaultCounters, FaultPlan};
 pub use repo::{content_id, repo_relative_origin, IngestOutcome, Repository, REPO_MARKER};
 pub use server::{install_signal_handlers, signaled, start, RunningServer, ServeConfig, Shared};

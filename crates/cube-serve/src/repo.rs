@@ -22,13 +22,17 @@
 
 use crate::cache::{lock_recover, LruCache};
 use crate::error::ServeError;
-use cube_store::{read_store, write_store, ColumnarExperiment};
+use crate::faults;
+use crate::http::Deadline;
+use cube_store::{read_store, write_store, ColumnarExperiment, StoreError};
 use cube_xml::footer::check_footer;
 use cube_xml::{CubeReader, ReadLimits};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Name of the marker file that identifies a repository root.
 pub const REPO_MARKER: &str = "CUBEREPO";
@@ -79,7 +83,38 @@ pub struct Repository {
     root: PathBuf,
     limits: ReadLimits,
     handles: Mutex<LruCache<String, Arc<ColumnarExperiment>>>,
+    /// Attempts per object read before a transient failure counts as
+    /// persistent (1 = no retry).
+    retries: u32,
+    /// Base of the exponential retry backoff in milliseconds.
+    backoff_base_ms: u64,
+    /// Consecutive failures before an id is quarantined (0 = off).
+    breaker_threshold: u32,
+    /// Per-object circuit-breaker state.
+    breakers: Mutex<HashMap<String, Breaker>>,
+    /// Orphaned ingest temp files removed by the startup sweep.
+    swept: u64,
+    /// Retry sleeps performed (for `/stats`).
+    pub retries_performed: AtomicU64,
+    /// Failed object-read attempts, including those later retried
+    /// successfully (for `/stats` and `/healthz`).
+    pub read_failures: AtomicU64,
 }
+
+/// Per-object breaker state: `consecutive` read failures trip the
+/// quarantine; while tripped, every [`PROBE_EVERY`]-th arrival is let
+/// through as a probe so recovery is detected without wall-clock
+/// dependence (which would break deterministic chaos runs).
+#[derive(Default)]
+struct Breaker {
+    consecutive: u32,
+    arrivals: u32,
+}
+
+/// While an id is quarantined, one arrival in this many probes the
+/// object; the rest are rejected `503 quarantined` without touching
+/// the disk.
+const PROBE_EVERY: u32 = 4;
 
 impl Repository {
     /// Opens `root` as a repository, creating the directory layout and
@@ -114,11 +149,47 @@ impl Repository {
             std::fs::write(&marker, "cube experiment repository v1\n")
                 .map_err(|e| ServeError::internal(format!("{}: {e}", marker.display())))?;
         }
+        let swept = sweep_temp_files(&root);
         Ok(Self {
             root,
             limits,
             handles: Mutex::new(LruCache::new(handle_cache)),
+            retries: 1,
+            backoff_base_ms: 0,
+            breaker_threshold: 0,
+            breakers: Mutex::new(HashMap::new()),
+            swept,
+            retries_performed: AtomicU64::new(0),
+            read_failures: AtomicU64::new(0),
         })
+    }
+
+    /// Configures the retry/backoff policy and circuit breaker the
+    /// guarded read paths use. The library default (`1, 0, 0`) means
+    /// no retries and no breaker — plain PR-7 behavior; the server
+    /// applies its [`crate::ServeConfig`] here at startup.
+    pub fn set_resilience(&mut self, retries: u32, backoff_base_ms: u64, breaker_threshold: u32) {
+        self.retries = retries.max(1);
+        self.backoff_base_ms = backoff_base_ms;
+        self.breaker_threshold = breaker_threshold;
+    }
+
+    /// Orphaned ingest temp files removed by the startup sweep.
+    pub fn swept_temp_files(&self) -> u64 {
+        self.swept
+    }
+
+    /// Number of object ids currently quarantined by the breaker.
+    pub fn open_breakers(&self) -> usize {
+        if self.breaker_threshold == 0 {
+            return 0;
+        }
+        // LOCK ORDER: `breakers` is a leaf lock — held only across the
+        // count, never while another lock is taken.
+        lock_recover(&self.breakers)
+            .values()
+            .filter(|b| b.consecutive >= self.breaker_threshold)
+            .count()
     }
 
     /// The repository root directory.
@@ -205,19 +276,156 @@ impl Repository {
 
     /// Opens the experiment stored under `id`, sharing handles through
     /// the LRU cache. Unknown ids are a 404, malformed ids a 400.
+    /// Equivalent to [`Repository::open_within`] with no deadline.
     pub fn open(&self, id: &str) -> Result<Arc<ColumnarExperiment>, ServeError> {
-        // LOCK ORDER: `handles` is a leaf lock (see cache::lock_recover)
-        // — held only across cache bookkeeping, never while another
-        // lock is taken. The open_with call below runs with the guard
-        // held but touches only the filesystem, no other shared state.
-        let mut handles = lock_recover(&self.handles);
-        if let Some(handle) = handles.get(&id.to_string()) {
-            return Ok(handle);
+        self.open_within(id, &Deadline::none())
+    }
+
+    /// Opens `id` under the repository's resilience policy: a
+    /// quarantined id is rejected `503` up front, transient read
+    /// failures (I/O errors, checksum mismatches) are retried with
+    /// jittered exponential backoff inside `deadline`, and persistent
+    /// transient failure maps to `503 object_unreadable` instead of a
+    /// one-off `500`.
+    pub fn open_within(
+        &self,
+        id: &str,
+        deadline: &Deadline,
+    ) -> Result<Arc<ColumnarExperiment>, ServeError> {
+        {
+            // LOCK ORDER: `handles` is a leaf lock (see
+            // cache::lock_recover) — held only across cache
+            // bookkeeping, dropped before any disk work or other lock.
+            let mut handles = lock_recover(&self.handles);
+            if let Some(handle) = handles.get(&id.to_string()) {
+                return Ok(handle);
+            }
         }
         let path = self.locate(id)?;
-        let handle = Arc::new(ColumnarExperiment::open_with(&path, &self.limits)?);
-        handles.insert(id.to_string(), Arc::clone(&handle));
+        self.admit_read(id)?;
+        let handle = self
+            .with_retries(id, &format!("opening experiment {id}"), deadline, || {
+                ColumnarExperiment::open_with(&path, &self.limits)
+            })
+            .map(Arc::new)?;
+        lock_recover(&self.handles).insert(id.to_string(), Arc::clone(&handle));
         Ok(handle)
+    }
+
+    /// Loads (and caches) `handle`'s severity pages under the same
+    /// resilience policy as [`Repository::open_within`]. The lazy
+    /// severity read is the other disk boundary an `/eval` crosses;
+    /// guarding it here keeps the batch engine's infallible
+    /// `severity_values()` from ever seeing an unloaded operand.
+    pub fn ensure_severity(
+        &self,
+        id: &str,
+        handle: &ColumnarExperiment,
+        deadline: &Deadline,
+    ) -> Result<(), ServeError> {
+        if handle.is_loaded() {
+            return Ok(());
+        }
+        self.admit_read(id)?;
+        self.with_retries(id, &format!("reading severity of {id}"), deadline, || {
+            handle.severity().map(|_| ())
+        })
+    }
+
+    /// Breaker admission: lets the read through unless `id` is
+    /// quarantined, in which case only every [`PROBE_EVERY`]-th
+    /// arrival proceeds (as the probe that can close the breaker).
+    fn admit_read(&self, id: &str) -> Result<(), ServeError> {
+        if self.breaker_threshold == 0 {
+            return Ok(());
+        }
+        // LOCK ORDER: `breakers` is a leaf lock — bookkeeping only.
+        let mut breakers = lock_recover(&self.breakers);
+        let state = breakers.entry(id.to_string()).or_default();
+        if state.consecutive < self.breaker_threshold {
+            return Ok(());
+        }
+        state.arrivals = state.arrivals.wrapping_add(1);
+        if state.arrivals.is_multiple_of(PROBE_EVERY) {
+            return Ok(());
+        }
+        Err(ServeError::unavailable(
+            "quarantined",
+            format!(
+                "experiment {id} is quarantined after {} consecutive read failures; retry later",
+                state.consecutive
+            ),
+        ))
+    }
+
+    /// Records a read outcome for the breaker: success closes it,
+    /// failure counts toward (or extends) the quarantine.
+    fn record_read(&self, id: &str, ok: bool) {
+        if self.breaker_threshold == 0 {
+            return;
+        }
+        // LOCK ORDER: `breakers` is a leaf lock — bookkeeping only.
+        let mut breakers = lock_recover(&self.breakers);
+        let state = breakers.entry(id.to_string()).or_default();
+        if ok {
+            state.consecutive = 0;
+        } else {
+            state.consecutive = state.consecutive.saturating_add(1);
+        }
+    }
+
+    /// Runs `read` with the retry/backoff policy: transient failures
+    /// (I/O, checksum) are retried up to the configured attempt count
+    /// with exponential backoff plus deterministic jitter, never
+    /// sleeping past `deadline`. Outcomes feed the breaker.
+    fn with_retries<T>(
+        &self,
+        id: &str,
+        what: &str,
+        deadline: &Deadline,
+        mut read: impl FnMut() -> Result<T, StoreError>,
+    ) -> Result<T, ServeError> {
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let e = match read() {
+                Ok(v) => {
+                    self.record_read(id, true);
+                    return Ok(v);
+                }
+                Err(e) => e,
+            };
+            self.read_failures.fetch_add(1, Ordering::Relaxed);
+            let transient = matches!(e, StoreError::Io { .. } | StoreError::Checksum { .. });
+            if !transient {
+                // Structural damage does not heal on retry; surface it
+                // with its ordinary mapping (400/413/422).
+                self.record_read(id, false);
+                return Err(e.into());
+            }
+            if deadline.expired() {
+                self.record_read(id, false);
+                return Err(ServeError::deadline(what));
+            }
+            if attempt >= self.retries {
+                self.record_read(id, false);
+                return Err(ServeError::unavailable(
+                    "object_unreadable",
+                    format!("{what} failed after {attempt} attempts: {e}"),
+                ));
+            }
+            self.retries_performed.fetch_add(1, Ordering::Relaxed);
+            let base = self
+                .backoff_base_ms
+                .saturating_mul(1 << (attempt - 1).min(6));
+            let mut pause = Duration::from_millis(base + faults::jitter_ms(attempt.into(), base));
+            if let Some(remaining) = deadline.remaining() {
+                pause = pause.min(remaining);
+            }
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
     }
 
     /// Validates `id` and returns the object's path if it exists —
@@ -256,6 +464,30 @@ impl Repository {
         }
         n
     }
+}
+
+/// Removes `.tmp-*` files under `objects/` — the leftovers of uploads
+/// that crashed between temp-write and rename. Runs once at startup
+/// (a live server's temps are always renamed or removed by the same
+/// request that created them), returns how many were swept.
+fn sweep_temp_files(root: &Path) -> u64 {
+    let mut swept = 0u64;
+    let Ok(shards) = std::fs::read_dir(root.join("objects")) else {
+        return 0;
+    };
+    for shard in shards.flatten() {
+        let Ok(entries) = std::fs::read_dir(shard.path()) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_temp = name.to_str().is_some_and(|n| n.starts_with(".tmp-"));
+            if is_temp && std::fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+    }
+    swept
 }
 
 /// If `path` lies inside a repository (an ancestor directory holds the
@@ -363,6 +595,79 @@ mod tests {
             Err(e) => e,
         };
         assert_eq!(err.code, "not_a_repository");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn startup_sweep_removes_orphaned_temp_files() {
+        let root = temp_root("sweep");
+        {
+            let repo = Repository::open_or_init(&root, ReadLimits::default(), 8).unwrap();
+            assert_eq!(repo.swept_temp_files(), 0);
+            repo.ingest(&write_store(&sample(3.0))).unwrap();
+        }
+        // Simulate two crashed uploads: temps that never got renamed.
+        let shard = std::fs::read_dir(root.join("objects"))
+            .unwrap()
+            .flatten()
+            .next()
+            .unwrap()
+            .path();
+        std::fs::write(shard.join(".tmp-999-0"), b"half an upload").unwrap();
+        std::fs::write(shard.join(".tmp-999-1"), b"").unwrap();
+
+        let repo = Repository::open_or_init(&root, ReadLimits::default(), 8).unwrap();
+        assert_eq!(repo.swept_temp_files(), 2);
+        assert!(!shard.join(".tmp-999-0").exists());
+        assert_eq!(repo.count(), 1, "real objects are untouched");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    fn open_err(repo: &Repository, id: &str) -> ServeError {
+        match repo.open(id) {
+            Ok(_) => panic!("expected {id} to fail to open"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn breaker_quarantines_after_consecutive_failures() {
+        let root = temp_root("breaker");
+        let mut repo = Repository::open_or_init(&root, ReadLimits::default(), 0).unwrap();
+        repo.set_resilience(1, 0, 2);
+        // A validly named object whose bytes are not a .cubec: every
+        // open fails structurally (non-transient, so no retries).
+        let id = "00aabbccddeeff00";
+        let path = repo.object_path(id);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"not a store file").unwrap();
+
+        for _ in 0..2 {
+            assert_eq!(open_err(&repo, id).code, "bad_store");
+        }
+        assert_eq!(repo.open_breakers(), 1);
+        // Tripped: arrivals 1..3 are rejected without touching disk,
+        // the 4th probes (and fails structurally again).
+        for _ in 0..3 {
+            let e = open_err(&repo, id);
+            assert_eq!(e.status, 503);
+            assert_eq!(e.code, "quarantined");
+        }
+        assert_eq!(
+            open_err(&repo, id).code,
+            "bad_store",
+            "every 4th arrival probes"
+        );
+
+        // Repair the object in place; the next probe closes the
+        // breaker and normal service resumes.
+        std::fs::write(&path, write_store(&sample(6.0))).unwrap();
+        for _ in 0..3 {
+            assert_eq!(open_err(&repo, id).code, "quarantined");
+        }
+        assert!(repo.open(id).is_ok(), "the probe closes the breaker");
+        assert_eq!(repo.open_breakers(), 0);
+        assert!(repo.open(id).is_ok());
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -19,7 +19,8 @@
 use crate::api;
 use crate::cache::{lock_recover, LruCache};
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, HttpError};
+use crate::faults::FaultPlan;
+use crate::http::{read_request, write_response, Deadline, HttpError};
 use crate::repo::Repository;
 use cube_algebra::PlanTables;
 use cube_xml::ReadLimits;
@@ -54,6 +55,28 @@ pub struct ServeConfig {
     /// Test hook: sleep this long at the start of every request, so
     /// the stress harness can fill the queue deterministically.
     pub delay_ms: u64,
+    /// Total per-request deadline in milliseconds (read + handle);
+    /// expiry answers `504 deadline_exceeded`. `0` disables.
+    pub request_deadline_ms: u64,
+    /// Header-read deadline in milliseconds — the slow-loris cap: a
+    /// peer trickling header bytes is cut off when it expires. `0`
+    /// disables (the total deadline still applies).
+    pub header_deadline_ms: u64,
+    /// Per-socket read/write timeout in milliseconds, the coarse
+    /// transport-level backstop beneath the deadlines. `0` disables.
+    pub socket_timeout_ms: u64,
+    /// Attempts per repository read before a transient failure is
+    /// treated as persistent (1 = no retry).
+    pub read_retries: u32,
+    /// Base of the exponential retry backoff, in milliseconds; jitter
+    /// is added deterministically (see `faults::jitter_ms`).
+    pub backoff_base_ms: u64,
+    /// Consecutive read failures after which the circuit breaker
+    /// quarantines an object id. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// Fault-injection spec (`CUBE_FAULTS` grammar, docs/FAULTS.md);
+    /// `None` means no faults and a zero-cost read path.
+    pub faults: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +91,13 @@ impl Default for ServeConfig {
             handle_cache: 64,
             max_body: 256 << 20,
             delay_ms: 0,
+            request_deadline_ms: 30_000,
+            header_deadline_ms: 5_000,
+            socket_timeout_ms: 30_000,
+            read_retries: 3,
+            backoff_base_ms: 5,
+            breaker_threshold: 3,
+            faults: None,
         }
     }
 }
@@ -104,6 +134,10 @@ pub struct Shared {
     pub evals: AtomicU64,
     /// Connections answered 429 at admission.
     pub rejected: AtomicU64,
+    /// Requests answered `504 deadline_exceeded`.
+    pub deadline_expirations: AtomicU64,
+    /// `/eval` requests answered degraded (206 with omitted operands).
+    pub degraded_evals: AtomicU64,
     queue: Mutex<Queue>,
     ready: Condvar,
     stop: AtomicBool,
@@ -118,6 +152,8 @@ impl Shared {
             requests: AtomicU64::new(0),
             evals: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_expirations: AtomicU64::new(0),
+            degraded_evals: AtomicU64::new(0),
             queue: Mutex::new(Queue {
                 conns: VecDeque::new(),
                 closed: false,
@@ -137,12 +173,26 @@ pub struct RunningServer {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    faults_active: bool,
 }
 
 /// Binds, spawns the acceptor and workers, and returns immediately.
 /// `root` is the repository directory (created if needed).
 pub fn start(config: ServeConfig, root: &Path) -> Result<RunningServer, ServeError> {
-    let repo = Repository::open_or_init(root, config.read_limits(), config.handle_cache)?;
+    let faults_active = match &config.faults {
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec)
+                .map_err(|e| ServeError::bad_request("bad_faults", format!("CUBE_FAULTS: {e}")))?;
+            crate::faults::activate(plan)
+        }
+        None => false,
+    };
+    let mut repo = Repository::open_or_init(root, config.read_limits(), config.handle_cache)?;
+    repo.set_resilience(
+        config.read_retries,
+        config.backoff_base_ms,
+        config.breaker_threshold,
+    );
     let listener = TcpListener::bind((config.addr.as_str(), config.port))?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -171,6 +221,7 @@ pub fn start(config: ServeConfig, root: &Path) -> Result<RunningServer, ServeErr
         shared,
         acceptor: Some(acceptor),
         workers,
+        faults_active,
     })
 }
 
@@ -214,6 +265,12 @@ impl RunningServer {
 impl Drop for RunningServer {
     fn drop(&mut self) {
         self.shutdown();
+        if self.faults_active {
+            // This server owned the fault schedule; make the hook
+            // inert again so later servers in the same process (other
+            // tests in the binary) see a clean read path.
+            crate::faults::deactivate();
+        }
     }
 }
 
@@ -237,12 +294,18 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
 }
 
 fn admit(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    if shared.config.socket_timeout_ms > 0 {
+        let t = Duration::from_millis(shared.config.socket_timeout_ms);
+        let _ = stream.set_read_timeout(Some(t));
+        let _ = stream.set_write_timeout(Some(t));
+    }
     let mut queue = lock_recover(&shared.queue);
     if queue.conns.len() >= shared.config.queue_depth {
         drop(queue);
         shared.rejected.fetch_add(1, Ordering::Relaxed);
+        // Retry-After tells a well-behaved client how long to back off
+        // before re-sending; the contract is documented in
+        // docs/SERVE.md ("Overload and the client retry contract").
         let resp = api::error_response(&ServeError::with_status(
             429,
             "queue_full",
@@ -250,7 +313,8 @@ fn admit(shared: &Shared, mut stream: TcpStream) {
                 "admission queue is full ({} waiting); retry",
                 shared.config.queue_depth
             ),
-        ));
+        ))
+        .with_header("retry-after", "1");
         let _ = write_response(&mut stream, &resp);
         // The client may still be mid-send; closing with unread bytes
         // in the socket buffer raises RST and discards the 429 in
@@ -300,10 +364,15 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
     if shared.config.delay_ms > 0 {
         std::thread::sleep(Duration::from_millis(shared.config.delay_ms));
     }
-    let response = match read_request(stream, shared.config.max_body) {
+    // The total budget starts when a worker picks the connection up,
+    // so queue wait does not eat into it; the header budget is the
+    // tighter slow-loris cap.
+    let total = Deadline::after_ms(shared.config.request_deadline_ms);
+    let head = Deadline::after_ms(shared.config.header_deadline_ms);
+    let response = match read_request(stream, shared.config.max_body, &head, &total) {
         Ok(request) => {
             shared.requests.fetch_add(1, Ordering::Relaxed);
-            api::handle(shared, &request)
+            api::handle(shared, &request, &total)
         }
         Err(HttpError::Closed) => return,
         Err(HttpError::Malformed(message)) => {
@@ -324,7 +393,18 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
                 format!("could not read request: {e}"),
             ))
         }
+        Err(HttpError::Deadline(phase)) => api::error_response(&ServeError::deadline(phase)),
     };
+    if response.status == 504 {
+        shared.deadline_expirations.fetch_add(1, Ordering::Relaxed);
+    }
+    // Arming the read timeout to a near-expired deadline leaves the
+    // socket with a tiny timeout; restore the coarse one so writing
+    // the response itself is not starved.
+    if shared.config.socket_timeout_ms > 0 {
+        let t = Duration::from_millis(shared.config.socket_timeout_ms);
+        let _ = stream.set_write_timeout(Some(t));
+    }
     let _ = write_response(stream, &response);
 }
 

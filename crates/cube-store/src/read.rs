@@ -281,12 +281,18 @@ pub fn read_store_file_with(
 }
 
 /// Reads a file after checking its size against the input limit, so an
-/// oversized file is refused before its bytes are pulled in.
+/// oversized file is refused before its bytes are pulled in. The bytes
+/// pass through the [`cube_xml::faults`] seam (site `store.file`) so a
+/// fault harness can exercise the strict-read and salvage paths.
 fn read_limited(path: &Path, limits: &ReadLimits) -> Result<Vec<u8>, StoreError> {
     let err = |e: std::io::Error| StoreError::io_at(path, e);
     let len = std::fs::metadata(path).map_err(err)?.len();
     check_input_len(len, limits)?;
-    std::fs::read(path).map_err(err)
+    let mut bytes = std::fs::read(path).map_err(err)?;
+    if let Some(e) = cube_xml::faults::inject("store.file", &mut bytes) {
+        return Err(StoreError::io_at(path, e));
+    }
+    Ok(bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -357,12 +363,18 @@ impl ColumnarExperiment {
         let table = read_at(&mut f, table_off, table_len, path)?;
         let sections = parse_sections(&table, count, file_len - FOOTER_LEN as u64)?;
 
-        let meta_bytes = read_at(
+        let mut meta_bytes = read_at(
             &mut f,
             sections.meta.offset,
             sections.meta.length as usize,
             path,
         )?;
+        // Fault seam at the repository-open boundary: an injected byte
+        // flip here is caught by the section CRC check below, i.e. the
+        // production corruption path, not a synthetic error.
+        if let Some(e) = cube_xml::faults::inject("store.open", &mut meta_bytes) {
+            return Err(StoreError::io_at(path, e));
+        }
         verify_section(&meta_bytes, &sections.meta, "metadata")?;
         let (metadata, provenance) = decode_metadata(&meta_bytes, limits)?;
 
@@ -434,7 +446,13 @@ impl ColumnarExperiment {
 
     fn load_severity(&self) -> Result<Vec<f64>, StoreError> {
         let mut f = File::open(&self.path).map_err(|e| StoreError::io_at(&self.path, e))?;
-        let bytes = read_at(&mut f, self.sev_offset, self.sev_len, &self.path)?;
+        let mut bytes = read_at(&mut f, self.sev_offset, self.sev_len, &self.path)?;
+        // Fault seam at the severity-page boundary: corruption injected
+        // here trips the per-chunk CRC loop below. A failed load does
+        // not poison the OnceLock cache, so a later retry can succeed.
+        if let Some(e) = cube_xml::faults::inject("store.severity", &mut bytes) {
+            return Err(StoreError::io_at(&self.path, e));
+        }
         for (k, chunk) in bytes.chunks(self.chunk_values * 8).enumerate() {
             let actual = crc32(chunk);
             if actual != self.chunk_crcs[k] {

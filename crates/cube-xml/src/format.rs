@@ -621,9 +621,18 @@ pub fn read_experiment_dom(input: &str) -> Result<Experiment, XmlError> {
 }
 
 /// Reads an experiment from a file. I/O errors carry `path`.
+///
+/// The raw bytes pass through the [`crate::faults`] seam (site
+/// `xml.file`) before decoding, so a fault harness can exercise the
+/// parse-error and checksum paths with real corruption.
 pub fn read_experiment_file(path: impl AsRef<Path>) -> Result<Experiment, XmlError> {
     let path = path.as_ref();
-    let input = std::fs::read_to_string(path).map_err(|e| XmlError::io_at(path, e))?;
+    let mut bytes = std::fs::read(path).map_err(|e| XmlError::io_at(path, e))?;
+    if let Some(e) = crate::faults::inject("xml.file", &mut bytes) {
+        return Err(XmlError::io_at(path, e));
+    }
+    let input = String::from_utf8(bytes)
+        .map_err(|_| XmlError::value(format!("{}: file is not UTF-8", path.display())))?;
     read_experiment(&input)
 }
 

@@ -66,6 +66,7 @@
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod faults;
 mod fmt64;
 pub mod footer;
 pub mod format;

@@ -216,6 +216,107 @@ fn full_queue_answers_429_immediately_never_hangs() {
 }
 
 #[test]
+fn slow_loris_is_reaped_within_the_header_deadline() {
+    use std::io::{Read as _, Write as _};
+
+    let (server, _ids) = boot(
+        "loris",
+        cube_serve::ServeConfig {
+            workers: 2,
+            header_deadline_ms: 400,
+            ..cube_serve::ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // A client that sends part of a request head and then stalls
+    // forever. Without the header deadline this would park a worker
+    // until the coarse socket timeout (30 s by default).
+    let started = Instant::now();
+    let loris = std::thread::spawn(move || {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        s.write_all(b"GET /stats HTTP/1.1\r\nhost: t").unwrap();
+        s.flush().unwrap();
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw);
+        raw
+    });
+
+    // While the loris stalls one worker, the server keeps answering.
+    let reply = request(addr, "GET", "/healthz", b"");
+    assert_eq!(reply.status, 200, "{}", reply.text());
+
+    let raw = loris.join().expect("loris thread must not panic");
+    let elapsed = started.elapsed();
+    // Reaped at the 400 ms header deadline, not the 30 s socket
+    // timeout — generous slack for a loaded CI machine.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "slow-loris connection held a worker for {elapsed:?}"
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.contains("504") && text.contains("deadline_exceeded"),
+        "stalled head should answer 504 deadline_exceeded, got: {text}"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn half_closed_body_is_answered_not_hung() {
+    use std::io::{Read as _, Write as _};
+
+    let (server, ids) = boot(
+        "halfclose",
+        cube_serve::ServeConfig {
+            workers: 2,
+            ..cube_serve::ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let expr = format!("mean({},{})", ids[0], ids[1]);
+
+    // Declare a body, send a fragment of it, then half-close the write
+    // side: the server sees EOF mid-body and must answer right away
+    // instead of waiting out any timeout.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let head = format!(
+        "POST /eval HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        expr.len() + 10
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(&expr.as_bytes()[..4]).unwrap();
+    s.flush().unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let started = Instant::now();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw)
+        .expect("server answers the half-closed peer");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "half-closed request took {:?}",
+        started.elapsed()
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.contains("400") && text.contains("mid-body"),
+        "EOF mid-body should answer 400, got: {text}"
+    );
+
+    // The worker is free again: a well-formed request still succeeds.
+    let reply = request(addr, "POST", "/eval", expr.as_bytes());
+    assert_eq!(reply.status, 200, "{}", reply.text());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn shutdown_drains_admitted_requests() {
     let (server, ids) = boot(
         "drain",
