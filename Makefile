@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint fmt fmt-check clippy doc miri tsan bench-xml bench-batch bench-json
+.PHONY: verify build test lint fmt fmt-check clippy doc miri tsan bench-xml bench-batch bench-fused bench-json
 
 ## The full gate: build, tests, formatting, lints, doc rot.
 verify: build test fmt-check clippy doc
@@ -29,13 +29,16 @@ doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
 
 ## Undefined-behavior check of the concurrency-bearing leaf crates:
-## the rayon pool facade and the server's cache/lock layer. Needs the
-## Miri component (`rustup +nightly component add miri`); ci/check.sh
-## invokes this only when `cargo miri --version` works and skips
-## cleanly otherwise, so a toolchain without Miri stays green.
+## the rayon pool facade, the server's cache/lock layer, and the fused
+## SIMD kernels (tile executor + register borrow juggling; sizes shrink
+## automatically under cfg(miri)). Needs the Miri component
+## (`rustup +nightly component add miri`); ci/check.sh invokes this
+## only when `cargo miri --version` works and skips cleanly otherwise,
+## so a toolchain without Miri stays green.
 miri:
 	$(CARGO) miri test -p rayon
 	$(CARGO) miri test -p cube-serve --lib cache
+	$(CARGO) miri test -p cube-algebra --test kernel_props
 
 ## Data-race check under ThreadSanitizer. Not wired into CI (needs a
 ## nightly toolchain with rust-src and real wall-clock time); run
@@ -56,15 +59,20 @@ bench-xml:
 bench-batch:
 	$(CARGO) bench -p cube-bench --bench batch_reduce
 
+## Fused-vs-unfused-vs-per-operator kernel comparison (EXPERIMENTS.md).
+bench-fused:
+	$(CARGO) bench -p cube-bench --bench fused_kernels
+
 ## Measurement session for the CI perf gate: runs the tracked benches
 ## (batch reduction, XML round-trip, parallel kernels incl. the
-## thread-scaling sweep) with the raw BENCH_JSON sink, then assembles
-## the BENCH_5.json metrics document at the repo root. ci/bench_gate.sh
-## compares it against the committed ci/bench_baseline.json.
+## thread-scaling sweep, fused kernels) with the raw BENCH_JSON sink,
+## then assembles the BENCH_5.json metrics document at the repo root.
+## ci/bench_gate.sh runs this 3 times and compares the per-metric
+## median against the committed ci/bench_baseline.json.
 bench-json:
 	rm -f target/bench_raw.tsv
 	BENCH_JSON=$(CURDIR)/target/bench_raw.tsv $(CARGO) bench -p cube-bench \
 		--bench batch_reduce --bench xml_roundtrip --bench par_elementwise \
-		--bench store_io
+		--bench store_io --bench fused_kernels
 	$(CARGO) run -q -p cube-bench --bin bench_gate -- \
 		assemble BENCH_5.json target/bench_raw.tsv

@@ -1,23 +1,48 @@
 #!/usr/bin/env sh
-# CI perf-regression gate.
+# CI perf-regression gate, median-of-3.
 #
-# Runs the tracked benchmark set in JSON mode (`make bench-json`, which
-# writes BENCH_5.json at the repo root) and fails when any tracked
-# metric is more than 15% slower than the committed baseline in
-# ci/bench_baseline.json, or has disappeared from the run.
+# Runs the tracked benchmark set in JSON mode (`make bench-json`) three
+# times, folds the runs into per-metric medians (`bench_gate median` →
+# BENCH_5.json at the repo root), and fails when any tracked metric's
+# median is more than 15% slower than the committed baseline in
+# ci/bench_baseline.json, or has disappeared from the run. Comparing
+# medians keeps one noisy run — a scheduler hiccup, a thermal dip — from
+# tripping the threshold; a real regression shifts all three runs.
+#
+# The comparison prints a signed delta per metric and a closing summary
+# of everything over budget, so the log tail names every casualty.
 #
 # The baseline is a measurement on one reference machine, not a law of
 # nature: after an intentional performance change (or a hardware move),
 # re-baseline with
 #
-#     make bench-json && cp BENCH_5.json ci/bench_baseline.json
+#     sh ci/bench_gate.sh --rebaseline   # or: cp BENCH_5.json ci/bench_baseline.json
 #
 # and commit both files with a note on what moved and why. Never
 # re-baseline to silence a regression you cannot explain.
 set -eu
 cd "$(dirname "$0")/.."
 
-make bench-json
+RUNS="${BENCH_GATE_RUNS:-3}"
+
+i=1
+run_files=""
+while [ "$i" -le "$RUNS" ]; do
+  echo "== bench run $i/$RUNS"
+  make bench-json
+  cp BENCH_5.json "target/bench_run_$i.json"
+  run_files="$run_files target/bench_run_$i.json"
+  i=$((i + 1))
+done
+
+# shellcheck disable=SC2086  # run_files is a deliberate word list
+cargo run -q -p cube-bench --bin bench_gate -- median BENCH_5.json $run_files
+
+if [ "${1:-}" = "--rebaseline" ]; then
+  cp BENCH_5.json ci/bench_baseline.json
+  echo "bench_gate: re-baselined ci/bench_baseline.json from median of $RUNS runs"
+  exit 0
+fi
 
 cargo run -q -p cube-bench --bin bench_gate -- \
   compare BENCH_5.json ci/bench_baseline.json --max-regression 0.15

@@ -97,6 +97,7 @@ use cube_model::{Experiment, Metadata, Provenance, Severity};
 use crate::error::AlgebraError;
 use crate::extend::extend_severity_values;
 use crate::integrate::{integrate_metadata, Integrated};
+use crate::kernel;
 use crate::mapping::OperandMap;
 use crate::ops::PAR_THRESHOLD;
 use crate::options::{FailurePolicy, MergeOptions};
@@ -713,6 +714,9 @@ impl<'a> BatchPlan<'a> {
     }
 
     fn eval_values(&self, expr: &Expr) -> Result<Vec<f64>, AlgebraError> {
+        if let Some(out) = self.eval_fused(expr) {
+            return Ok(out);
+        }
         match expr {
             Expr::Operand(i) => {
                 self.check_index(*i)?;
@@ -741,6 +745,42 @@ impl<'a> BatchPlan<'a> {
             }
             Expr::Zero => Ok(self.zeroed()),
         }
+    }
+
+    /// Fused single-pass evaluation ([`crate::kernel`]): lowers the
+    /// whole tree into one kernel program and runs it in one traversal
+    /// of the operand arrays. Returns `None` — falling back to the
+    /// unfused tree walk — when fusion is switched off, when the tree
+    /// fails to compile (the unfused walk then re-diagnoses the same
+    /// error), or when a referenced operand needs gathering; in the
+    /// last case the `Diff`/`Scale` recursion still retries fusion on
+    /// each gather-free subtree. Results are byte-identical to the
+    /// unfused path at every thread count (see `docs/KERNELS.md`).
+    fn eval_fused(&self, expr: &Expr) -> Option<Vec<f64>> {
+        if !kernel::fusion_enabled() {
+            return None;
+        }
+        let prog = kernel::KernelProgram::compile(expr, self.operands.len()).ok()?;
+        let sources = prog
+            .slots()
+            .iter()
+            .map(|&i| self.dense_values(i))
+            .collect::<Option<Vec<_>>>()?;
+        let mut out = self.zeroed();
+        kernel::eval_fused(&prog, &sources, &mut out);
+        Some(out)
+    }
+
+    /// Whether [`Self::eval`] would route `expr` through the fused
+    /// single-pass kernel program at the top level: fusion is enabled,
+    /// the tree compiles, and every referenced operand is gather-free.
+    /// Exposed so tests and CI gates can assert which path an
+    /// evaluation takes.
+    pub fn fusible(&self, expr: &Expr) -> bool {
+        kernel::fusion_enabled()
+            && kernel::KernelProgram::compile(expr, self.operands.len())
+                .map(|p| p.slots().iter().all(|&i| self.dense_values(i).is_some()))
+                .unwrap_or(false)
     }
 
     fn reduce_values(&self, r: Reduction, idxs: &[usize]) -> Result<Vec<f64>, AlgebraError> {

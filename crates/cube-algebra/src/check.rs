@@ -180,6 +180,25 @@ pub struct CostEstimate {
     /// Gather-table reuse key: plans are cached per operand list, so
     /// two expressions with equal keys share one metadata integration.
     pub plan_key: String,
+    /// Shape of the fused kernel program ([`crate::kernel`]) the
+    /// evaluator runs for this tree when every operand is gather-free:
+    /// `None` when the tree does not compile (an error-level finding
+    /// explains why).
+    pub fused: Option<FusedCost>,
+}
+
+/// Static shape of a fused kernel program: with fusion on, the
+/// [`CostEstimate::reductions`]-many blocked severity passes collapse
+/// into **one** traversal running this program per element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedCost {
+    /// Program steps per element.
+    pub instrs: usize,
+    /// Virtual registers (peak live values per element).
+    pub regs: usize,
+    /// Distinct operand streams loaded — repeated references are
+    /// deduplicated, so this may be fewer than the operand mentions.
+    pub loads: usize,
 }
 
 /// The analyzer's output: diagnostics, the rewritten tree with its
@@ -295,7 +314,7 @@ impl CheckReport {
         let _ = write!(
             s,
             "],\"cost\":{{\"operands\":{},\"known\":{},\"nodes\":{},\"reductions\":{},\
-             \"values\":{},\"bytes\":{},\"pages\":{},\"plan_key\":{}}}}}",
+             \"values\":{},\"bytes\":{},\"pages\":{},\"plan_key\":{},\"fused\":",
             c.operands,
             c.known,
             c.nodes,
@@ -305,6 +324,17 @@ impl CheckReport {
             c.pages,
             json_str(&c.plan_key)
         );
+        match &c.fused {
+            Some(f) => {
+                let _ = write!(
+                    s,
+                    "{{\"instrs\":{},\"regs\":{},\"loads\":{}}}",
+                    f.instrs, f.regs, f.loads
+                );
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str("}}");
         s
     }
 }
@@ -890,6 +920,13 @@ fn estimate(expr: &Expr, operands: &[String], resolved: &[Option<&Metadata>]) ->
             pages += v.div_ceil(PAGE_VALUES);
         }
     }
+    let fused = crate::kernel::KernelProgram::compile(expr, operands.len())
+        .ok()
+        .map(|p| FusedCost {
+            instrs: p.instrs().len(),
+            regs: p.num_regs(),
+            loads: p.slots().len(),
+        });
     CostEstimate {
         operands: referenced.len(),
         known,
@@ -899,6 +936,7 @@ fn estimate(expr: &Expr, operands: &[String], resolved: &[Option<&Metadata>]) ->
         bytes: values * 8,
         pages,
         plan_key: operands.join(","),
+        fused,
     }
 }
 

@@ -70,6 +70,7 @@ pub mod error;
 pub mod extend;
 pub mod integrate;
 mod invariant;
+pub mod kernel;
 pub mod mapping;
 pub mod ops;
 pub mod options;
@@ -81,11 +82,12 @@ pub use batch::{
     Reduction,
 };
 pub use check::{
-    check, check_expr, rewrite, CheckDiagnostic, CheckLevel, CheckReport, CostEstimate,
+    check, check_expr, rewrite, CheckDiagnostic, CheckLevel, CheckReport, CostEstimate, FusedCost,
     OperandFacts, RewriteNote,
 };
 pub use error::AlgebraError;
 pub use integrate::{integrate, integrate_metadata, Integrated};
+pub use kernel::{fusion_enabled, set_fusion, KernelProgram};
 pub use mapping::OperandMap;
 pub use options::{CallSiteEq, FailurePolicy, MergeOptions, SystemMergeMode};
 pub use parse::{parse_expr, render_expr, ExprParseError, ParsedExpr, Span, SpanNode};

@@ -94,7 +94,14 @@ pub fn diff_with(
         || extend_severity(minuend, &integrated.maps[0], shape),
         || extend_severity(subtrahend, &integrated.maps[1], shape),
     );
-    zip_in_place(a.values_mut(), b.values(), |x, y| x - y);
+    // The element-wise subtraction goes through the lane kernels when
+    // fusion is on, the scalar zip when it is off; both are
+    // bit-identical (the CI kernel stage byte-compares them).
+    if crate::kernel::fusion_enabled() {
+        crate::kernel::sub_in_place(a.values_mut(), b.values());
+    } else {
+        zip_in_place(a.values_mut(), b.values(), |x, y| x - y);
+    }
     let result = Experiment::new_unchecked(
         integrated.metadata,
         a,
@@ -277,7 +284,11 @@ pub fn max_with(
 /// operators by hand.
 pub fn scale(e: &Experiment, factor: f64) -> Experiment {
     let mut sev = e.severity().clone();
-    scale_in_place(sev.values_mut(), factor);
+    if crate::kernel::fusion_enabled() {
+        crate::kernel::scale_in_place(sev.values_mut(), factor);
+    } else {
+        scale_in_place(sev.values_mut(), factor);
+    }
     let result = Experiment::new_unchecked(
         e.metadata().clone(),
         sev,

@@ -1,0 +1,360 @@
+//! Unit-level properties of the fused SIMD kernels (`cube_algebra::kernel`).
+//!
+//! Three layers of pinning, all **bitwise** (`f64::to_bits`, never an
+//! epsilon):
+//!
+//! 1. program level — [`kernel::eval_fused`] (tiled lane kernels)
+//!    against [`kernel::eval_scalar`] (the per-element oracle), across
+//!    every reduction, composite trees, and the SIMD tail lengths
+//!    `0 / 1 / LANE−1 / LANE / LANE+1` plus tile boundaries;
+//! 2. NaN policy — additive reductions propagate NaN, `min`/`max` drop
+//!    it (Rust `f64::min`/`max` semantics), fused and scalar agreeing
+//!    bit for bit;
+//! 3. plan level — [`BatchPlan::eval`] with fusion on vs off over real
+//!    experiments (dense and gather-fallback operands alike).
+//!
+//! The CI kernel stage runs this suite directly and `make miri` runs it
+//! under the interpreter (sizes shrink under miri; the borrow juggling
+//! in the tile executor is what miri is there to check).
+
+use std::sync::Mutex;
+
+use cube_algebra::batch::BatchOperand;
+use cube_algebra::kernel::{self, KernelProgram, BLOCK_VALUES, LANE, TILE};
+use cube_algebra::{BatchPlan, Expr, MergeOptions, Reduction};
+use cube_model::builder::single_threaded_system;
+use cube_model::{Experiment, ExperimentBuilder, RegionKind, Unit};
+
+/// Serializes the tests that toggle the process-wide fusion switch.
+static FUSION_LOCK: Mutex<()> = Mutex::new(());
+
+/// Elements for the parallel-path test: above the 64Ki threshold so
+/// `eval_fused` splits into [`BLOCK_VALUES`] blocks (shrunk under miri,
+/// where the interpreter makes big sweeps prohibitively slow and the
+/// serial tile loop exercises the same borrows).
+const BIG: usize = if cfg!(miri) { 3 * TILE + 7 } else { 80_000 };
+
+const ALL_REDUCTIONS: [Reduction; 6] = [
+    Reduction::Sum,
+    Reduction::Mean,
+    Reduction::Min,
+    Reduction::Max,
+    Reduction::Variance,
+    Reduction::Stddev,
+];
+
+/// Deterministic value stream with sign changes and magnitude spread.
+fn values(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mantissa = (state >> 11) as f64 / (1u64 << 53) as f64;
+            (mantissa - 0.5) * 1e6
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: element {i} differs bitwise: {x:?} vs {y:?}"
+        );
+    }
+}
+
+/// Runs `prog` through both interpreters and asserts bit-equality.
+fn pin(prog: &KernelProgram, data: &[Vec<f64>], what: &str) -> Vec<f64> {
+    let n = data.first().map_or(0, Vec::len);
+    let sources: Vec<&[f64]> = prog.slots().iter().map(|&i| data[i].as_slice()).collect();
+    let mut fused = vec![0.0; n];
+    let mut scalar = vec![0.0; n];
+    kernel::eval_fused(prog, &sources, &mut fused);
+    kernel::eval_scalar(prog, &sources, &mut scalar);
+    assert_bits_eq(&fused, &scalar, what);
+    fused
+}
+
+// ---------------------------------------------------------------------------
+// program level: fused == scalar oracle, bitwise
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_reduction_matches_the_scalar_oracle() {
+    let n = 2 * TILE + LANE + 1;
+    let data: Vec<Vec<f64>> = (0..4).map(|s| values(n, s + 1)).collect();
+    for r in ALL_REDUCTIONS {
+        for k in 1..=4usize {
+            let expr = Expr::reduce(r, 0..k);
+            let prog = KernelProgram::compile(&expr, 4).unwrap();
+            pin(&prog, &data, &format!("{}/{k}", r.name()));
+        }
+    }
+}
+
+#[test]
+fn simd_tails_at_lane_and_tile_boundaries() {
+    // The lengths the tail rules must get right: empty, sub-lane, the
+    // exact lane, lane+1, and the same around the interpreter tile and
+    // a parallel block boundary.
+    let lengths = [
+        0,
+        1,
+        LANE - 1,
+        LANE,
+        LANE + 1,
+        TILE - 1,
+        TILE,
+        TILE + 1,
+        BLOCK_VALUES - 1,
+        BLOCK_VALUES,
+        BLOCK_VALUES + 1,
+    ];
+    let expr = Expr::diff(
+        Expr::reduce(Reduction::Mean, [0, 1, 2]),
+        Expr::scale(Expr::reduce(Reduction::Stddev, [1, 3]), -0.25),
+    );
+    let prog = KernelProgram::compile(&expr, 4).unwrap();
+    for n in lengths {
+        let data: Vec<Vec<f64>> = (0..4).map(|s| values(n, s + 11)).collect();
+        pin(&prog, &data, &format!("composite at n={n}"));
+    }
+}
+
+#[test]
+fn parallel_blocks_are_bit_identical_to_the_oracle() {
+    let data: Vec<Vec<f64>> = (0..3).map(|s| values(BIG, s + 21)).collect();
+    let expr = Expr::diff(
+        Expr::reduce(Reduction::Variance, [0, 1, 2]),
+        Expr::reduce(Reduction::Max, [0, 2]),
+    );
+    let prog = KernelProgram::compile(&expr, 3).unwrap();
+    pin(&prog, &data, "parallel blocks");
+}
+
+#[test]
+fn operand_loads_are_deduplicated() {
+    // stats-style bundle referencing the same operands repeatedly: the
+    // program binds each operand stream once.
+    let expr = Expr::diff(
+        Expr::reduce(Reduction::Mean, [0, 1]),
+        Expr::diff(
+            Expr::reduce(Reduction::Min, [0, 1]),
+            Expr::reduce(Reduction::Stddev, [1, 0]),
+        ),
+    );
+    let prog = KernelProgram::compile(&expr, 2).unwrap();
+    assert_eq!(prog.slots(), &[0, 1]);
+    let data: Vec<Vec<f64>> = (0..2).map(|s| values(TILE + 3, s + 31)).collect();
+    pin(&prog, &data, "dedup bundle");
+}
+
+// ---------------------------------------------------------------------------
+// NaN policy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nan_policy_additive_propagates_minmax_drops() {
+    let n = LANE + 1;
+    let mut a = values(n, 41);
+    let b = values(n, 42);
+    let c = values(n, 43);
+    a[0] = f64::NAN;
+    a[LANE] = f64::NAN; // one NaN in the lanes, one in the scalar tail
+    let data = vec![a, b, c];
+    for r in ALL_REDUCTIONS {
+        let expr = Expr::reduce(r, 0..3);
+        let prog = KernelProgram::compile(&expr, 3).unwrap();
+        let out = pin(&prog, &data, &format!("NaN {}", r.name()));
+        for &i in &[0, LANE] {
+            match r {
+                // `f64::min(NaN, x)` returns x: the NaN operand loses
+                // whether it lands in a lane or the tail.
+                Reduction::Min | Reduction::Max => {
+                    assert!(out[i].is_finite(), "{} should drop NaN", r.name())
+                }
+                _ => assert!(out[i].is_nan(), "{} should propagate NaN", r.name()),
+            }
+        }
+        // Elements without a NaN stay NaN-free either way.
+        assert!(out[1].is_finite(), "{} spilled NaN", r.name());
+    }
+}
+
+#[test]
+fn nan_in_a_later_operand_loses_the_min_fold() {
+    // Fold order matters for the bit pattern: min(d, NaN) keeps d, and
+    // min(NaN, x) yields x. Both directions must agree with the oracle.
+    let n = LANE;
+    let a = vec![2.0; n];
+    let mut b = vec![1.0; n];
+    b[0] = f64::NAN;
+    let data = vec![a, b];
+    let prog = KernelProgram::compile(&Expr::reduce(Reduction::Min, [0, 1]), 2).unwrap();
+    let out = pin(&prog, &data, "NaN right side of min");
+    assert_eq!(out[0], 2.0);
+    assert_eq!(out[1], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// plan level: fusion on == fusion off, bitwise, over real experiments
+// ---------------------------------------------------------------------------
+
+/// `metrics × calls × ranks` experiment filled from the LCG stream,
+/// with optional NaN injection.
+fn experiment(name: &str, metrics: usize, calls: usize, ranks: usize, seed: u64) -> Experiment {
+    let mut b = ExperimentBuilder::new(name);
+    let ms: Vec<_> = (0..metrics)
+        .map(|i| b.def_metric(format!("m{i}"), Unit::Seconds, "", None))
+        .collect();
+    let module = b.def_module("k.rs", "/k.rs");
+    let region = b.def_region("work", module, RegionKind::Function, 1, 9);
+    let cs = b.def_call_site("k.rs", 2, region);
+    let mut parent = None;
+    let cns: Vec<_> = (0..calls)
+        .map(|_| {
+            let n = b.def_call_node(cs, parent);
+            parent = Some(n);
+            n
+        })
+        .collect();
+    let ts = single_threaded_system(&mut b, ranks);
+    let vals = values(metrics * calls * ranks, seed);
+    let mut it = vals.iter();
+    for &m in &ms {
+        for &c in &cns {
+            for &t in &ts {
+                b.set_severity(m, c, t, *it.next().unwrap());
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn plan_exprs() -> Vec<(&'static str, Expr)> {
+    let mut exprs: Vec<(&'static str, Expr)> = ALL_REDUCTIONS
+        .iter()
+        .map(|&r| (r.name(), Expr::reduce(r, 0..3)))
+        .collect();
+    exprs.push(("operand", Expr::Operand(2)));
+    exprs.push((
+        "diff-of-means",
+        Expr::diff(
+            Expr::reduce(Reduction::Mean, [0, 1]),
+            Expr::reduce(Reduction::Mean, [1, 2]),
+        ),
+    ));
+    exprs.push((
+        "scaled-stddev",
+        Expr::scale(Expr::reduce(Reduction::Stddev, 0..3), 2.5),
+    ));
+    exprs.push(("zero", Expr::Zero));
+    exprs
+}
+
+/// Evaluates with fusion forced on and off under the lock, asserting
+/// byte-identical severity values. `expect_fusible: None` skips the
+/// path assertion (mixed dense/gather plans fuse some trees, not all).
+fn pin_plan(operands: &[&dyn BatchOperand], expr: &Expr, expect_fusible: Option<bool>, what: &str) {
+    let _guard = FUSION_LOCK.lock().unwrap();
+    let plan = BatchPlan::from_operands(operands, MergeOptions::default());
+    kernel::set_fusion(true);
+    if let Some(expect) = expect_fusible {
+        assert_eq!(plan.fusible(expr), expect, "{what}: fusible()");
+    }
+    let fused = plan.eval(expr).unwrap();
+    kernel::set_fusion(false);
+    assert!(!plan.fusible(expr), "{what}: fusible() with fusion off");
+    let unfused = plan.eval(expr).unwrap();
+    kernel::set_fusion(true);
+    assert_bits_eq(fused.severity().values(), unfused.severity().values(), what);
+    assert_eq!(
+        fused.provenance().label(),
+        unfused.provenance().label(),
+        "{what}: provenance"
+    );
+}
+
+#[test]
+fn fused_plan_matches_unfused_on_dense_operands() {
+    let (calls, ranks) = if cfg!(miri) { (3, 5) } else { (9, 31) };
+    let exps: Vec<Experiment> = (0..3)
+        .map(|i| experiment("dense", 4, calls, ranks, 100 + i))
+        .collect();
+    let operands: Vec<&dyn BatchOperand> = exps.iter().map(|e| e as &dyn BatchOperand).collect();
+    for (name, expr) in plan_exprs() {
+        pin_plan(&operands, &expr, Some(true), &format!("dense/{name}"));
+    }
+}
+
+#[test]
+fn fused_plan_matches_unfused_with_nan_values() {
+    let mut exps: Vec<Experiment> = (0..3)
+        .map(|i| experiment("nan", 2, 4, 5, 200 + i))
+        .collect();
+    // Poison a few positions of operand 1 in place.
+    let e = &mut exps[1];
+    let poisoned = {
+        let vals = e.severity_mut().values_mut();
+        vals[0] = f64::NAN;
+        let mid = vals.len() / 2;
+        vals[mid] = f64::NAN;
+        true
+    };
+    assert!(poisoned);
+    let operands: Vec<&dyn BatchOperand> = exps.iter().map(|e| e as &dyn BatchOperand).collect();
+    for (name, expr) in plan_exprs() {
+        pin_plan(&operands, &expr, Some(true), &format!("nan/{name}"));
+    }
+}
+
+#[test]
+fn gather_operands_fall_back_and_still_agree() {
+    // Different call-tree depths: integration extends the shallower
+    // operands, and differing thread counts force a Gather source, so
+    // the fused path must decline and the tree walker must answer.
+    let a = experiment("deep", 2, 6, 4, 301);
+    let b = experiment("shallow", 2, 3, 2, 302);
+    let c = experiment("mid", 2, 4, 4, 303);
+    let operands: Vec<&dyn BatchOperand> = [&a, &b, &c]
+        .iter()
+        .map(|e| *e as &dyn BatchOperand)
+        .collect();
+    let plan = BatchPlan::from_operands(&operands, MergeOptions::default());
+    let expr = Expr::reduce(Reduction::Mean, 0..3);
+    let fusible = {
+        let _guard = FUSION_LOCK.lock().unwrap();
+        kernel::set_fusion(true);
+        plan.fusible(&expr)
+    };
+    // At least one operand needs gathering here; the plan must say so.
+    assert!(!fusible, "gathered operands cannot fuse");
+    // Trees that only touch dense operands (or none, like zero()) may
+    // still fuse; only the byte-identity is asserted here.
+    for (name, expr) in plan_exprs() {
+        pin_plan(&operands, &expr, None, &format!("gather/{name}"));
+    }
+}
+
+#[test]
+fn fused_plan_parallel_path_matches_unfused() {
+    // One metric, one call node, BIG ranks: crosses the parallel
+    // threshold so the fused block driver and the unfused blocked
+    // kernels both engage.
+    if cfg!(miri) {
+        return; // builder-heavy; the small dense test covers miri
+    }
+    let exps: Vec<Experiment> = (0..2)
+        .map(|i| experiment("big", 1, 1, BIG, 400 + i))
+        .collect();
+    let operands: Vec<&dyn BatchOperand> = exps.iter().map(|e| e as &dyn BatchOperand).collect();
+    let expr = Expr::diff(
+        Expr::reduce(Reduction::Stddev, [0, 1]),
+        Expr::scale(Expr::reduce(Reduction::Sum, [0, 1]), 0.125),
+    );
+    pin_plan(&operands, &expr, Some(true), "big parallel composite");
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_gate assemble OUT.json RAW.tsv [RAW.tsv ...]
+//! bench_gate median OUT.json RUN.json RUN.json [RUN.json ...]
 //! bench_gate compare CURRENT.json BASELINE.json [--max-regression 0.15]
 //! ```
 //!
@@ -19,8 +20,14 @@
 //! }
 //! ```
 //!
-//! `compare` checks every baseline metric against the current run and
-//! fails when any is slower than `baseline × (1 + max-regression)` or
+//! `median` combines several per-run documents into one that holds, per
+//! metric, the median of the runs that measured it — what the CI gate
+//! feeds to `compare`, so a single noisy run cannot trip the threshold.
+//!
+//! `compare` checks every baseline metric against the current run,
+//! reporting a signed delta for *each* metric (not just the first
+//! failure) plus a closing summary of everything over budget, and fails
+//! when any metric is slower than `baseline × (1 + max-regression)` or
 //! missing entirely. Faster-than-baseline results always pass; commit a
 //! fresh document (`cp BENCH_5.json ci/bench_baseline.json`) to
 //! re-baseline after intentional performance changes.
@@ -37,10 +44,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.split_first() {
         Some((cmd, rest)) if cmd == "assemble" => assemble(rest),
+        Some((cmd, rest)) if cmd == "median" => median(rest),
         Some((cmd, rest)) if cmd == "compare" => compare(rest),
         _ => {
             eprintln!(
                 "usage: bench_gate assemble OUT.json RAW.tsv [RAW.tsv ...]\n\
+                 \x20      bench_gate median OUT.json RUN.json RUN.json [RUN.json ...]\n\
                  \x20      bench_gate compare CURRENT.json BASELINE.json [--max-regression R]"
             );
             2
@@ -95,17 +104,70 @@ fn assemble(args: &[String]) -> i32 {
         eprintln!("bench_gate assemble: no measurements in {raws:?}");
         return 2;
     }
+    if let Err(e) = write_doc(out, &metrics) {
+        eprintln!("bench_gate assemble: {e}");
+        return 2;
+    }
+    println!("wrote {out}: {} metrics", metrics.len());
+    0
+}
+
+/// Serializes a metrics map in the documented schema-1 layout.
+fn write_doc(path: &str, metrics: &BTreeMap<String, u64>) -> Result<(), String> {
     let mut doc = String::from("{\n  \"schema\": 1,\n  \"metrics\": {\n");
     for (i, (name, ns)) in metrics.iter().enumerate() {
         let comma = if i + 1 < metrics.len() { "," } else { "" };
         let _ = writeln!(doc, "    \"{name}\": {ns}{comma}");
     }
     doc.push_str("  }\n}\n");
-    if let Err(e) = std::fs::write(out, doc) {
-        eprintln!("bench_gate assemble: cannot write {out}: {e}");
+    std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Combines per-run documents into per-metric medians: the anti-flake
+/// layer of the gate. For an even run count the lower middle value is
+/// taken (conservative: never slower than the true median). Metrics are
+/// combined over the runs that measured them, so one truncated run
+/// cannot erase a metric.
+fn median(args: &[String]) -> i32 {
+    let Some((out, runs)) = args.split_first() else {
+        eprintln!("bench_gate median: missing OUT.json");
+        return 2;
+    };
+    if runs.len() < 2 {
+        eprintln!("bench_gate median: need at least 2 RUN.json inputs");
         return 2;
     }
-    println!("wrote {out}: {} metrics", metrics.len());
+    let mut samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for run in runs {
+        match parse_doc(run) {
+            Ok(metrics) => {
+                for (name, ns) in metrics {
+                    samples.entry(name).or_default().push(ns);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate median: {e}");
+                return 2;
+            }
+        }
+    }
+    let medians: BTreeMap<String, u64> = samples
+        .into_iter()
+        .map(|(name, mut ns)| {
+            ns.sort_unstable();
+            let mid = ns[(ns.len() - 1) / 2];
+            (name, mid)
+        })
+        .collect();
+    if let Err(e) = write_doc(out, &medians) {
+        eprintln!("bench_gate median: {e}");
+        return 2;
+    }
+    println!(
+        "wrote {out}: per-metric median of {} runs ({} metrics)",
+        runs.len(),
+        medians.len()
+    );
     0
 }
 
@@ -179,43 +241,58 @@ fn compare(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let mut failures = 0usize;
+    let mut failed: Vec<String> = Vec::new();
     println!(
-        "{:<44} {:>12} {:>12} {:>8}  verdict (budget +{:.0}%)",
+        "{:<44} {:>12} {:>12} {:>8} {:>8}  verdict (budget +{:.0}%)",
         "metric",
         "baseline",
         "current",
         "ratio",
+        "delta",
         max_regression * 100.0
     );
     for (name, &base_ns) in &baseline {
         match current.get(name) {
             None => {
-                println!("{name:<44} {base_ns:>12} {:>12} {:>8}  MISSING", "-", "-");
-                failures += 1;
+                println!(
+                    "{name:<44} {base_ns:>12} {:>12} {:>8} {:>8}  MISSING",
+                    "-", "-", "-"
+                );
+                failed.push(format!("{name}: missing from current run"));
             }
             Some(&cur_ns) => {
                 let ratio = cur_ns as f64 / base_ns.max(1) as f64;
+                let delta = (ratio - 1.0) * 100.0;
                 let regressed = ratio > 1.0 + max_regression;
                 println!(
-                    "{name:<44} {base_ns:>12} {cur_ns:>12} {ratio:>7.2}x  {}",
+                    "{name:<44} {base_ns:>12} {cur_ns:>12} {ratio:>7.2}x {delta:>+7.1}%  {}",
                     if regressed { "REGRESSED" } else { "ok" }
                 );
-                failures += usize::from(regressed);
+                if regressed {
+                    failed.push(format!(
+                        "{name}: {delta:+.1}% (budget +{:.0}%)",
+                        max_regression * 100.0
+                    ));
+                }
             }
         }
     }
     for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
         println!(
-            "{name:<44} {:>12} {:>12} {:>8}  new (untracked)",
-            "-", "-", "-"
+            "{name:<44} {:>12} {:>12} {:>8} {:>8}  new (untracked)",
+            "-", "-", "-", "-"
         );
     }
-    if failures > 0 {
+    if !failed.is_empty() {
+        // The closing summary repeats every over-budget metric with its
+        // delta, so a CI log tail shows the full damage, not just the
+        // first casualty.
+        eprintln!("bench_gate: {} metric(s) over budget:", failed.len());
+        for f in &failed {
+            eprintln!("  {f}");
+        }
         eprintln!(
-            "bench_gate: {failures} metric(s) regressed beyond {:.0}% or went missing \
-             (re-baseline intentional changes: cp BENCH_5.json ci/bench_baseline.json)",
-            max_regression * 100.0
+            "bench_gate: re-baseline intentional changes: cp BENCH_5.json ci/bench_baseline.json"
         );
         1
     } else {

@@ -88,7 +88,7 @@ fn ok(stdout: String) -> Result<Outcome, String> {
 /// Returns `Err` with a message for usage errors and I/O failures; the
 /// binary prints it to stderr and exits nonzero.
 pub fn run(args: &[String]) -> Result<Outcome, String> {
-    let args = apply_threads_flag(args)?;
+    let args = apply_global_flags(args)?;
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
@@ -121,19 +121,25 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
 fn usage() -> String {
     "usage: cube <diff|merge|mean|sum|min|max|stddev|stats|scale|cut|info|stat|calltree|hotspots|cmp|lint|check|repair|fsck|serve|pack|unpack|view|browse|help> ...\n\
      global flags: --threads N (pool size; default CUBE_THREADS or all cores)\n\
+     \x20             --fusion on|off (fused evaluation kernels; default CUBE_FUSION or on)\n\
      paths ending in .cubec use the columnar store format (docs/STORE.md)\n\
      see the crate documentation for per-subcommand flags"
         .to_string()
 }
 
-/// Drains the global `--threads N` flag — valid anywhere on the command
-/// line, before or after the subcommand — and retargets the worker pool
-/// before dispatch. Returns the remaining arguments.
+/// Drains the global flags — valid anywhere on the command line, before
+/// or after the subcommand — and applies them before dispatch. Returns
+/// the remaining arguments.
 ///
-/// The flag wins over the `CUBE_THREADS` / `RAYON_NUM_THREADS`
-/// environment variables ([`rayon::set_threads`]). Results never depend
-/// on the pool size, only wall-clock time does.
-fn apply_threads_flag(args: &[String]) -> Result<Vec<String>, String> {
+/// `--threads N` retargets the worker pool and wins over the
+/// `CUBE_THREADS` / `RAYON_NUM_THREADS` environment variables
+/// ([`rayon::set_threads`]). `--fusion on|off` switches the fused
+/// evaluation kernels ([`cube_algebra::set_fusion`]), winning over
+/// `CUBE_FUSION`. Results never depend on either flag — the pool size
+/// changes only wall-clock time, and fused results are byte-identical
+/// to unfused ones (docs/KERNELS.md) — which is exactly what the CI
+/// differential gate asserts.
+fn apply_global_flags(args: &[String]) -> Result<Vec<String>, String> {
     let mut out = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -145,6 +151,14 @@ fn apply_threads_flag(args: &[String]) -> Result<Vec<String>, String> {
                 .filter(|&n| n > 0)
                 .ok_or_else(|| format!("--threads needs a positive integer, got '{v}'"))?;
             rayon::set_threads(n);
+        } else if a == "--fusion" {
+            let v = it.next().ok_or("missing value after --fusion")?;
+            let on = match v.as_str() {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("--fusion needs 'on' or 'off', got '{other}'")),
+            };
+            cube_algebra::set_fusion(on);
         } else {
             out.push(a.clone());
         }
@@ -1123,6 +1137,13 @@ fn check_cmd(args: &[String]) -> Result<Outcome, String> {
             "cost: operands={} resolved={} nodes={} reductions={} values={} pages={}",
             c.operands, c.known, c.nodes, c.reductions, c.values, c.pages
         );
+        if let Some(f) = &c.fused {
+            let _ = writeln!(
+                s,
+                "fused: single-pass kernel, instrs={} regs={} loads={}",
+                f.instrs, f.regs, f.loads
+            );
+        }
         let _ = writeln!(
             s,
             "1 expression checked: {} error{}, {} warning{}",

@@ -37,6 +37,12 @@ pub const SEC_SEVERITY: u32 = 2;
 pub const SEC_CHUNKCRC: u32 = 3;
 
 /// Severity values per chunk (page): 4096 values = 32 KiB pages.
+///
+/// The fused evaluation kernels split their parallel work into blocks
+/// of exactly this many elements ([`cube_algebra::kernel::BLOCK_VALUES`],
+/// pinned equal by a test below), so a fused pass over columnar
+/// operands streams decoded severity data page by page — each worker
+/// holds one page-sized working set per operand at a time.
 pub const CHUNK_VALUES: usize = 4096;
 
 /// Encoding of "no parent" / "no reference" in u32 id fields.
@@ -150,6 +156,14 @@ pub fn chunk_count(len: usize, chunk_values: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fused_kernel_blocks_match_store_pages() {
+        // Page-granular streaming: the fused evaluator's parallel block
+        // is exactly one severity page, so workers consume decoded
+        // `.cubec` data at the store's own granularity.
+        assert_eq!(CHUNK_VALUES, cube_algebra::kernel::BLOCK_VALUES);
+    }
 
     #[test]
     fn align8_rounds_up() {
